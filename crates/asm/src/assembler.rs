@@ -1,0 +1,425 @@
+//! Two-pass assembler: AST → ([`Program`], [`Config`]).
+
+use crate::ast::{File, Item, OperandAst, StmtKind};
+use crate::error::AsmError;
+use crate::parser::parse;
+use crate::token::Pos;
+use sct_core::{Config, Instr, Memory, OpCode, Operand, Pc, Program, Reg, RegFile, Val};
+use std::collections::BTreeMap;
+
+/// The result of assembling a source file: the program, the initial
+/// configuration described by its directives, and symbol metadata.
+#[derive(Clone, Debug)]
+pub struct Assembled {
+    /// The program (instruction space).
+    pub program: Program,
+    /// The initial configuration (registers/memory from directives,
+    /// program point at the entry).
+    pub config: Config,
+    /// Label name → program point.
+    pub labels: BTreeMap<String, Pc>,
+    /// Program point → source line (for diagnostics).
+    pub lines: BTreeMap<Pc, u32>,
+}
+
+impl Assembled {
+    /// Look up a label's program point.
+    pub fn label(&self, name: &str) -> Option<Pc> {
+        self.labels.get(name).copied()
+    }
+}
+
+/// Assemble a source string.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error.
+///
+/// # Examples
+///
+/// ```
+/// let asm = sct_asm::assemble(r"
+/// .entry start
+/// .reg ra = 9
+/// .public 0x40 = 1, 0, 2, 1
+/// .secret 0x48 = 0x11, 0x22, 0x33, 0x44
+/// start:
+///     br gt(4, ra), then, out
+/// then:
+///     rb = load [0x40, ra]
+///     rc = load [0x44, rb]
+/// out:
+/// ").unwrap();
+/// assert_eq!(asm.program.len(), 3);
+/// assert_eq!(asm.config.pc, asm.label("start").unwrap());
+/// ```
+pub fn assemble(src: &str) -> Result<Assembled, AsmError> {
+    let file = parse(src)?;
+    assemble_file(&file)
+}
+
+/// Assemble an already-parsed file.
+///
+/// # Errors
+///
+/// Returns label-resolution and semantic errors.
+pub fn assemble_file(file: &File) -> Result<Assembled, AsmError> {
+    // Pass 1: assign program points (1-based, sequential) and bind labels.
+    let mut labels: BTreeMap<String, Pc> = BTreeMap::new();
+    let mut next_pc: Pc = 1;
+    for item in &file.items {
+        match item {
+            Item::LabelDef { name, pos }
+                if labels.insert(name.clone(), next_pc).is_some() => {
+                    return Err(AsmError::DuplicateLabel {
+                        name: name.clone(),
+                        pos: *pos,
+                    });
+                }
+            Item::Stmt { .. } => next_pc += 1,
+            _ => {}
+        }
+    }
+    let end_pc = next_pc;
+
+    // Pass 2: emit instructions and configuration.
+    let mut program = Program::new();
+    let mut regs = RegFile::new();
+    let mut mem = Memory::new();
+    let mut lines = BTreeMap::new();
+    let mut entry: Option<(Pc, Pos)> = None;
+    let mut pc: Pc = 1;
+
+    let lookup = |name: &str, pos: Pos| -> Result<Pc, AsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::UndefinedLabel {
+                name: name.to_string(),
+                pos,
+            })
+    };
+
+    for item in &file.items {
+        match item {
+            Item::LabelDef { .. } => {}
+            Item::Entry { name, pos } => {
+                if entry.is_some() {
+                    return Err(AsmError::BadEntry {
+                        reason: "multiple .entry directives".into(),
+                        pos: *pos,
+                    });
+                }
+                entry = Some((lookup(name, *pos)?, *pos));
+            }
+            Item::RegInit {
+                name,
+                value,
+                label,
+                pos,
+            } => {
+                let reg = Reg::parse(name).ok_or_else(|| AsmError::UnknownRegister {
+                    name: name.clone(),
+                    pos: *pos,
+                })?;
+                regs.write(reg, Val::new(*value, *label));
+            }
+            Item::MemInit { base, values, .. } => {
+                for (k, (v, l)) in values.iter().enumerate() {
+                    mem.write(base + k as u64, Val::new(*v, *l));
+                }
+            }
+            Item::Stmt { kind, pos } => {
+                let next = pc + 1;
+                let instr = lower_stmt(kind, *pos, next, &labels, end_pc)?;
+                program.insert(pc, instr);
+                lines.insert(pc, pos.line);
+                pc = next;
+            }
+        }
+    }
+
+    program.entry = entry.map(|(n, _)| n).unwrap_or(1);
+    let config = Config::initial(regs, mem, program.entry);
+    Ok(Assembled {
+        program,
+        config,
+        labels,
+        lines,
+    })
+}
+
+fn lower_operand(
+    op: &OperandAst,
+    labels: &BTreeMap<String, Pc>,
+) -> Result<Operand, AsmError> {
+    match op {
+        OperandAst::Reg(name, pos) => Reg::parse(name)
+            .map(Operand::Reg)
+            .ok_or_else(|| AsmError::UnknownRegister {
+                name: name.clone(),
+                pos: *pos,
+            }),
+        OperandAst::Num(v, l, _) => Ok(Operand::Imm(Val::new(*v, *l))),
+        OperandAst::LabelRef(name, pos) => labels
+            .get(name)
+            .map(|&n| Operand::Imm(Val::public(n)))
+            .ok_or_else(|| AsmError::UndefinedLabel {
+                name: name.clone(),
+                pos: *pos,
+            }),
+    }
+}
+
+fn lower_operands(
+    ops: &[OperandAst],
+    labels: &BTreeMap<String, Pc>,
+) -> Result<Vec<Operand>, AsmError> {
+    ops.iter().map(|o| lower_operand(o, labels)).collect()
+}
+
+fn lower_stmt(
+    kind: &StmtKind,
+    pos: Pos,
+    next: Pc,
+    labels: &BTreeMap<String, Pc>,
+    _end_pc: Pc,
+) -> Result<Instr, AsmError> {
+    let lookup = |name: &str| -> Result<Pc, AsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::UndefinedLabel {
+                name: name.to_string(),
+                pos,
+            })
+    };
+    let parse_reg = |name: &str| -> Result<Reg, AsmError> {
+        Reg::parse(name).ok_or_else(|| AsmError::UnknownRegister {
+            name: name.to_string(),
+            pos,
+        })
+    };
+    Ok(match kind {
+        StmtKind::OpAssign {
+            dst,
+            mnemonic,
+            args,
+        } => {
+            let op = OpCode::parse(mnemonic).ok_or_else(|| AsmError::UnknownMnemonic {
+                name: mnemonic.clone(),
+                pos,
+            })?;
+            let args = lower_operands(args, labels)?;
+            if let Some(n) = op.arity() {
+                if args.len() != n {
+                    return Err(AsmError::Invalid {
+                        reason: format!(
+                            "opcode `{mnemonic}` expects {n} operand(s), got {}",
+                            args.len()
+                        ),
+                        pos,
+                    });
+                }
+            } else if args.is_empty() {
+                return Err(AsmError::Invalid {
+                    reason: format!("opcode `{mnemonic}` needs at least one operand"),
+                    pos,
+                });
+            }
+            Instr::Op {
+                dst: parse_reg(dst)?,
+                op,
+                args,
+                next,
+            }
+        }
+        StmtKind::Load { dst, addr } => Instr::Load {
+            dst: parse_reg(dst)?,
+            addr: lower_operands(addr, labels)?,
+            next,
+        },
+        StmtKind::Store { src, addr } => Instr::Store {
+            src: lower_operand(src, labels)?,
+            addr: lower_operands(addr, labels)?,
+            next,
+        },
+        StmtKind::Br {
+            mnemonic,
+            args,
+            tru,
+            fls,
+        } => {
+            let op = OpCode::parse(mnemonic).ok_or_else(|| AsmError::UnknownMnemonic {
+                name: mnemonic.clone(),
+                pos,
+            })?;
+            Instr::Br {
+                op,
+                args: lower_operands(args, labels)?,
+                tru: lookup(tru)?,
+                fls: lookup(fls)?,
+            }
+        }
+        StmtKind::Jmp { target } => {
+            let n = lookup(target)?;
+            // Sugar: an always-true branch with both arms at the target.
+            Instr::Br {
+                op: OpCode::Eq,
+                args: vec![Operand::imm(0), Operand::imm(0)],
+                tru: n,
+                fls: n,
+            }
+        }
+        StmtKind::Jmpi { args } => Instr::Jmpi {
+            args: lower_operands(args, labels)?,
+        },
+        StmtKind::Call { target } => Instr::Call {
+            callee: lookup(target)?,
+            ret: next,
+        },
+        StmtKind::Ret => Instr::Ret,
+        StmtKind::Fence => Instr::Fence { next },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::reg::names::*;
+
+    #[test]
+    fn fig1_assembles_to_paper_program() {
+        let asm = assemble(
+            "\
+.entry start
+.reg ra = 9
+.public 0x40 = 1, 0, 2, 1
+.public 0x44 = 0, 3, 1, 2
+.secret 0x48 = 0x11, 0x22, 0x33, 0x44
+start:
+    br gt(4, ra), then, out
+then:
+    rb = load [0x40, ra]
+    rc = load [0x44, rb]
+out:
+",
+        )
+        .unwrap();
+        let (expect_p, expect_c) = sct_core::examples::fig1();
+        assert_eq!(asm.program, expect_p);
+        assert_eq!(asm.config, expect_c);
+        assert_eq!(asm.label("then"), Some(2));
+        assert_eq!(asm.label("out"), Some(4));
+    }
+
+    #[test]
+    fn entry_defaults_to_one() {
+        let asm = assemble("x: ra = add 1, 2").unwrap();
+        assert_eq!(asm.program.entry, 1);
+        assert_eq!(asm.config.pc, 1);
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let err = assemble("x: jmp nowhere").unwrap_err();
+        assert!(matches!(err, AsmError::UndefinedLabel { .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let err = assemble("x:\nra = add 1\nx:\n").unwrap_err();
+        assert!(matches!(err, AsmError::DuplicateLabel { .. }));
+    }
+
+    #[test]
+    fn arity_is_checked_at_assembly() {
+        let err = assemble("x: ra = not 1, 2").unwrap_err();
+        assert!(matches!(err, AsmError::Invalid { .. }), "{err}");
+        let err = assemble("x: ra = add").unwrap_err();
+        assert!(matches!(err, AsmError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn call_return_point_is_next_statement() {
+        let asm = assemble(
+            "\
+main:
+    call f
+    ra = add 1
+f:
+    ret
+",
+        )
+        .unwrap();
+        match asm.program.fetch(1).unwrap() {
+            Instr::Call { callee, ret } => {
+                assert_eq!(*callee, 3);
+                assert_eq!(*ret, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jmp_lowers_to_always_taken_branch() {
+        let asm = assemble("a: jmp b\nb: ra = add 1\n").unwrap();
+        match asm.program.fetch(1).unwrap() {
+            Instr::Br { op, tru, fls, .. } => {
+                assert_eq!(*op, OpCode::Eq);
+                assert_eq!(*tru, 2);
+                assert_eq!(*fls, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_refs_resolve_to_program_points() {
+        let asm = assemble(
+            "\
+a:
+    jmpi [target]
+target:
+    ra = add 1
+",
+        )
+        .unwrap();
+        match asm.program.fetch(1).unwrap() {
+            Instr::Jmpi { args } => {
+                assert_eq!(args[0], Operand::imm(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembled_program_runs() {
+        let asm = assemble(
+            "\
+.reg ra = 2
+.public 0x40 = 10, 20, 30
+start:
+    rb = load [0x40, ra]
+    rc = add rb, 5
+",
+        )
+        .unwrap();
+        let out = sct_core::sched::sequential::run_sequential(
+            &asm.program,
+            asm.config,
+            sct_core::Params::paper(),
+            1_000,
+        )
+        .unwrap();
+        assert!(out.terminal);
+        assert_eq!(out.config.regs.read(RC), Val::public(35));
+    }
+
+    #[test]
+    fn lines_map_points_back_to_source() {
+        let asm = assemble("a:\n    ra = add 1\n    rb = add 2\n").unwrap();
+        assert_eq!(asm.lines.get(&1), Some(&2));
+        assert_eq!(asm.lines.get(&2), Some(&3));
+    }
+}

@@ -1,0 +1,136 @@
+//! Abstract syntax of assembly files.
+
+use crate::token::Pos;
+use sct_core::Label;
+
+/// An operand as written in the source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OperandAst {
+    /// A register reference.
+    Reg(String, Pos),
+    /// A number, optionally annotated `@pub` / `@sec`.
+    Num(u64, Label, Pos),
+    /// A reference to a code label, resolved to its program point.
+    LabelRef(String, Pos),
+}
+
+impl OperandAst {
+    /// The operand's source position.
+    pub fn pos(&self) -> Pos {
+        match self {
+            OperandAst::Reg(_, p) | OperandAst::Num(_, _, p) | OperandAst::LabelRef(_, p) => *p,
+        }
+    }
+}
+
+/// One statement (an instruction; label definitions are separate items).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StmtKind {
+    /// `rd = <op> a, b, ...`
+    OpAssign {
+        /// Destination register name.
+        dst: String,
+        /// Opcode mnemonic.
+        mnemonic: String,
+        /// Operands.
+        args: Vec<OperandAst>,
+    },
+    /// `rd = load [a, b, ...]`
+    Load {
+        /// Destination register name.
+        dst: String,
+        /// Address operands.
+        addr: Vec<OperandAst>,
+    },
+    /// `store v, [a, b, ...]`
+    Store {
+        /// Stored operand.
+        src: OperandAst,
+        /// Address operands.
+        addr: Vec<OperandAst>,
+    },
+    /// `br <op>(a, b, ...), true_label, false_label`
+    Br {
+        /// Boolean opcode mnemonic.
+        mnemonic: String,
+        /// Condition operands.
+        args: Vec<OperandAst>,
+        /// True-branch label.
+        tru: String,
+        /// False-branch label.
+        fls: String,
+    },
+    /// `jmp label` — sugar for an always-taken conditional branch.
+    Jmp {
+        /// Target label.
+        target: String,
+    },
+    /// `jmpi [a, b, ...]`
+    Jmpi {
+        /// Target-address operands.
+        args: Vec<OperandAst>,
+    },
+    /// `call label` (the return point is the next statement).
+    Call {
+        /// Callee label.
+        target: String,
+    },
+    /// `ret`
+    Ret,
+    /// `fence`
+    Fence,
+}
+
+/// A top-level item.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    /// `name:`
+    LabelDef {
+        /// The label name.
+        name: String,
+        /// Where it was defined.
+        pos: Pos,
+    },
+    /// An instruction statement.
+    Stmt {
+        /// The statement.
+        kind: StmtKind,
+        /// Where it started.
+        pos: Pos,
+    },
+    /// `.entry name`
+    Entry {
+        /// Entry label name.
+        name: String,
+        /// Where it occurred.
+        pos: Pos,
+    },
+    /// `.reg rX = value[@label]`
+    RegInit {
+        /// Register name.
+        name: String,
+        /// Initial value.
+        value: u64,
+        /// Security label.
+        label: Label,
+        /// Where it occurred.
+        pos: Pos,
+    },
+    /// `.public base = v, v, ...` / `.secret base = v, v, ...` /
+    /// `.mem base = v[@l], ...`
+    MemInit {
+        /// First address.
+        base: u64,
+        /// Values with labels, stored at consecutive addresses.
+        values: Vec<(u64, Label)>,
+        /// Where it occurred.
+        pos: Pos,
+    },
+}
+
+/// A parsed file: items in source order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct File {
+    /// The items.
+    pub items: Vec<Item>,
+}

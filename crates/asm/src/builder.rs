@@ -1,0 +1,481 @@
+//! Programmatic builders: construct programs and configurations without
+//! going through text. The litmus corpus and case studies use these.
+
+use crate::error::AsmError;
+use crate::token::Pos;
+use sct_core::{Config, Instr, Label, Memory, OpCode, Operand, Pc, Program, Reg, RegFile, Val};
+use std::collections::BTreeMap;
+
+/// A not-yet-resolved operand: a concrete [`Operand`] or a label
+/// reference (resolved to the label's program point at build time).
+#[derive(Clone, Debug)]
+pub enum Arg {
+    /// A concrete operand.
+    Concrete(Operand),
+    /// A reference to a builder label.
+    Label(String),
+}
+
+impl From<Operand> for Arg {
+    fn from(o: Operand) -> Self {
+        Arg::Concrete(o)
+    }
+}
+
+impl From<Reg> for Arg {
+    fn from(r: Reg) -> Self {
+        Arg::Concrete(Operand::Reg(r))
+    }
+}
+
+impl From<u64> for Arg {
+    fn from(v: u64) -> Self {
+        Arg::Concrete(Operand::imm(v))
+    }
+}
+
+impl From<Val> for Arg {
+    fn from(v: Val) -> Self {
+        Arg::Concrete(Operand::Imm(v))
+    }
+}
+
+impl From<&str> for Arg {
+    fn from(name: &str) -> Self {
+        Arg::Label(name.to_string())
+    }
+}
+
+/// A public immediate argument.
+pub fn imm(v: u64) -> Arg {
+    Arg::Concrete(Operand::imm(v))
+}
+
+/// A secret immediate argument.
+pub fn sec(v: u64) -> Arg {
+    Arg::Concrete(Operand::Imm(Val::secret(v)))
+}
+
+/// A register argument.
+pub fn reg(r: Reg) -> Arg {
+    Arg::Concrete(Operand::Reg(r))
+}
+
+enum Pending {
+    Op {
+        dst: Reg,
+        op: OpCode,
+        args: Vec<Arg>,
+    },
+    Load {
+        dst: Reg,
+        addr: Vec<Arg>,
+    },
+    Store {
+        src: Arg,
+        addr: Vec<Arg>,
+    },
+    Br {
+        op: OpCode,
+        args: Vec<Arg>,
+        tru: String,
+        fls: String,
+    },
+    Jmp {
+        target: String,
+    },
+    Jmpi {
+        args: Vec<Arg>,
+    },
+    Call {
+        target: String,
+    },
+    Ret,
+    Fence,
+}
+
+/// A fluent program builder with label resolution and automatic
+/// program-point assignment (sequential from 1).
+///
+/// # Examples
+///
+/// ```
+/// use sct_asm::builder::{imm, reg, ProgramBuilder};
+/// use sct_core::reg::names::*;
+/// use sct_core::OpCode;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.label("start");
+/// b.br(OpCode::Gt, [imm(4), reg(RA)], "then", "out");
+/// b.label("then");
+/// b.load(RB, [imm(0x40), reg(RA)]);
+/// b.load(RC, [imm(0x44), reg(RB)]);
+/// b.label("out");
+/// let program = b.build().unwrap();
+/// assert_eq!(program.len(), 3);
+/// ```
+#[derive(Default)]
+pub struct ProgramBuilder {
+    items: Vec<Pending>,
+    labels: BTreeMap<String, Pc>,
+    entry: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Bind `name` to the next instruction's program point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate label names (builder misuse).
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let pc = self.items.len() as Pc + 1;
+        let prev = self.labels.insert(name.to_string(), pc);
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    /// Set the entry label (defaults to program point 1).
+    pub fn entry(&mut self, name: &str) -> &mut Self {
+        self.entry = Some(name.to_string());
+        self
+    }
+
+    /// `dst = op(args...)`.
+    pub fn op<I: IntoIterator<Item = Arg>>(&mut self, dst: Reg, op: OpCode, args: I) -> &mut Self {
+        self.items.push(Pending::Op {
+            dst,
+            op,
+            args: args.into_iter().collect(),
+        });
+        self
+    }
+
+    /// `dst = load [addr...]`.
+    pub fn load<I: IntoIterator<Item = Arg>>(&mut self, dst: Reg, addr: I) -> &mut Self {
+        self.items.push(Pending::Load {
+            dst,
+            addr: addr.into_iter().collect(),
+        });
+        self
+    }
+
+    /// `store src, [addr...]`.
+    pub fn store<S: Into<Arg>, I: IntoIterator<Item = Arg>>(
+        &mut self,
+        src: S,
+        addr: I,
+    ) -> &mut Self {
+        self.items.push(Pending::Store {
+            src: src.into(),
+            addr: addr.into_iter().collect(),
+        });
+        self
+    }
+
+    /// `br op(args...), tru, fls`.
+    pub fn br<I: IntoIterator<Item = Arg>>(
+        &mut self,
+        op: OpCode,
+        args: I,
+        tru: &str,
+        fls: &str,
+    ) -> &mut Self {
+        self.items.push(Pending::Br {
+            op,
+            args: args.into_iter().collect(),
+            tru: tru.to_string(),
+            fls: fls.to_string(),
+        });
+        self
+    }
+
+    /// Unconditional `jmp target` (sugar for an always-taken branch).
+    pub fn jmp(&mut self, target: &str) -> &mut Self {
+        self.items.push(Pending::Jmp {
+            target: target.to_string(),
+        });
+        self
+    }
+
+    /// `jmpi [args...]`.
+    pub fn jmpi<I: IntoIterator<Item = Arg>>(&mut self, args: I) -> &mut Self {
+        self.items.push(Pending::Jmpi {
+            args: args.into_iter().collect(),
+        });
+        self
+    }
+
+    /// `call target` (the return point is the following instruction).
+    pub fn call(&mut self, target: &str) -> &mut Self {
+        self.items.push(Pending::Call {
+            target: target.to_string(),
+        });
+        self
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.items.push(Pending::Ret);
+        self
+    }
+
+    /// `fence`.
+    pub fn fence(&mut self) -> &mut Self {
+        self.items.push(Pending::Fence);
+        self
+    }
+
+    /// The program point the next instruction will occupy.
+    pub fn here(&self) -> Pc {
+        self.items.len() as Pc + 1
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] for dangling label references.
+    pub fn build(&self) -> Result<Program, AsmError> {
+        let lookup = |name: &str| -> Result<Pc, AsmError> {
+            self.labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel {
+                    name: name.to_string(),
+                    pos: Pos::START,
+                })
+        };
+        let arg = |a: &Arg| -> Result<Operand, AsmError> {
+            match a {
+                Arg::Concrete(o) => Ok(*o),
+                Arg::Label(name) => Ok(Operand::Imm(Val::public(lookup(name)?))),
+            }
+        };
+        let args = |xs: &[Arg]| -> Result<Vec<Operand>, AsmError> { xs.iter().map(arg).collect() };
+
+        let mut program = Program::new();
+        for (k, item) in self.items.iter().enumerate() {
+            let pc = k as Pc + 1;
+            let next = pc + 1;
+            let instr = match item {
+                Pending::Op { dst, op, args: a } => Instr::Op {
+                    dst: *dst,
+                    op: *op,
+                    args: args(a)?,
+                    next,
+                },
+                Pending::Load { dst, addr } => Instr::Load {
+                    dst: *dst,
+                    addr: args(addr)?,
+                    next,
+                },
+                Pending::Store { src, addr } => Instr::Store {
+                    src: arg(src)?,
+                    addr: args(addr)?,
+                    next,
+                },
+                Pending::Br {
+                    op,
+                    args: a,
+                    tru,
+                    fls,
+                } => Instr::Br {
+                    op: *op,
+                    args: args(a)?,
+                    tru: lookup(tru)?,
+                    fls: lookup(fls)?,
+                },
+                Pending::Jmp { target } => {
+                    let n = lookup(target)?;
+                    Instr::Br {
+                        op: OpCode::Eq,
+                        args: vec![Operand::imm(0), Operand::imm(0)],
+                        tru: n,
+                        fls: n,
+                    }
+                }
+                Pending::Jmpi { args: a } => Instr::Jmpi { args: args(a)? },
+                Pending::Call { target } => Instr::Call {
+                    callee: lookup(target)?,
+                    ret: next,
+                },
+                Pending::Ret => Instr::Ret,
+                Pending::Fence => Instr::Fence { next },
+            };
+            program.insert(pc, instr);
+        }
+        program.entry = match &self.entry {
+            Some(name) => lookup(name)?,
+            None => 1,
+        };
+        Ok(program)
+    }
+}
+
+/// A fluent initial-configuration builder.
+///
+/// # Examples
+///
+/// ```
+/// use sct_asm::builder::ConfigBuilder;
+/// use sct_core::reg::names::RA;
+/// use sct_core::Val;
+///
+/// let cfg = ConfigBuilder::new()
+///     .reg(RA, Val::public(9))
+///     .public_array(0x40, &[1, 0, 2, 1])
+///     .secret_array(0x48, &[0x11, 0x22, 0x33, 0x44])
+///     .entry(1)
+///     .build();
+/// assert_eq!(cfg.regs.read(RA), Val::public(9));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ConfigBuilder {
+    regs: RegFile,
+    mem: Memory,
+    entry: Pc,
+}
+
+impl ConfigBuilder {
+    /// An empty builder (entry 1).
+    pub fn new() -> Self {
+        ConfigBuilder {
+            regs: RegFile::new(),
+            mem: Memory::new(),
+            entry: 1,
+        }
+    }
+
+    /// Set a register.
+    pub fn reg(mut self, r: Reg, v: Val) -> Self {
+        self.regs.write(r, v);
+        self
+    }
+
+    /// Set the stack pointer.
+    pub fn rsp(self, addr: u64) -> Self {
+        self.reg(Reg::RSP, Val::public(addr))
+    }
+
+    /// Write a public array at `base`.
+    pub fn public_array(mut self, base: u64, data: &[u64]) -> Self {
+        self.mem.write_array(base, data, Label::Public);
+        self
+    }
+
+    /// Write a secret array at `base`.
+    pub fn secret_array(mut self, base: u64, data: &[u64]) -> Self {
+        self.mem.write_array(base, data, Label::Secret);
+        self
+    }
+
+    /// Write a single labeled cell.
+    pub fn cell(mut self, addr: u64, v: Val) -> Self {
+        self.mem.write(addr, v);
+        self
+    }
+
+    /// Set the entry program point (use the program's entry).
+    pub fn entry(mut self, pc: Pc) -> Self {
+        self.entry = pc;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Config {
+        Config::initial(self.regs, self.mem, self.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::reg::names::*;
+
+    #[test]
+    fn builder_reproduces_fig1() {
+        let mut b = ProgramBuilder::new();
+        b.entry("start");
+        b.label("start");
+        b.br(OpCode::Gt, [imm(4), reg(RA)], "then", "out");
+        b.label("then");
+        b.load(RB, [imm(0x40), reg(RA)]);
+        b.load(RC, [imm(0x44), reg(RB)]);
+        b.label("out");
+        let program = b.build().unwrap();
+        let cfg = ConfigBuilder::new()
+            .reg(RA, Val::public(9))
+            .public_array(0x40, &[1, 0, 2, 1])
+            .public_array(0x44, &[0, 3, 1, 2])
+            .secret_array(0x48, &[0x11, 0x22, 0x33, 0x44])
+            .entry(program.entry)
+            .build();
+        let (expect_p, expect_c) = sct_core::examples::fig1();
+        assert_eq!(program, expect_p);
+        assert_eq!(cfg, expect_c);
+    }
+
+    #[test]
+    fn dangling_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.jmp("nowhere");
+        assert!(matches!(
+            b.build(),
+            Err(AsmError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new();
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn trailing_label_points_past_program() {
+        let mut b = ProgramBuilder::new();
+        b.op(RA, OpCode::Add, [imm(1)]);
+        b.label("end");
+        assert_eq!(b.here(), 2);
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p.fetch(2).is_none());
+    }
+
+    #[test]
+    fn call_targets_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.call("f");
+        b.op(RA, OpCode::Add, [imm(1)]);
+        b.label("f");
+        b.ret();
+        let p = b.build().unwrap();
+        match p.fetch(1).unwrap() {
+            Instr::Call { callee, ret } => {
+                assert_eq!(*callee, 3);
+                assert_eq!(*ret, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_args_become_program_points() {
+        let mut b = ProgramBuilder::new();
+        b.jmpi([Arg::from("t")]);
+        b.label("t");
+        b.op(RA, OpCode::Add, [imm(1)]);
+        let p = b.build().unwrap();
+        match p.fetch(1).unwrap() {
+            Instr::Jmpi { args } => assert_eq!(args[0], Operand::imm(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Disassembler: [`Program`] (plus optionally a [`Config`]) → source text
+//! that reassembles to the same program.
+//!
+//! Program points that are targets of branches/calls get synthetic
+//! `L<pc>:` labels; instructions are emitted in program-point order.
+//! Gaps in the program-point space cannot be represented (the assembler
+//! assigns contiguous points), so disassembly requires a contiguous
+//! program — which is what the assembler and builder always produce.
+
+use sct_core::{Config, Instr, Operand, Pc, Program, Val};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+fn fmt_val(v: Val) -> String {
+    if v.label.is_secret() {
+        format!("{:#x}@sec", v.bits)
+    } else {
+        format!("{:#x}", v.bits)
+    }
+}
+
+fn fmt_operand(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => r.name(),
+        Operand::Imm(v) => fmt_val(*v),
+    }
+}
+
+fn fmt_operands(ops: &[Operand]) -> String {
+    ops.iter().map(fmt_operand).collect::<Vec<_>>().join(", ")
+}
+
+/// Collect every program point that needs a label.
+fn label_targets(program: &Program) -> BTreeSet<Pc> {
+    let mut targets = BTreeSet::new();
+    targets.insert(program.entry);
+    for (pc, instr) in program.iter() {
+        match instr {
+            Instr::Br { tru, fls, .. } => {
+                targets.insert(*tru);
+                targets.insert(*fls);
+            }
+            Instr::Call { callee, ret } => {
+                targets.insert(*callee);
+                targets.insert(*ret);
+            }
+            // `next` pointers other than pc+1 are unrepresentable; assert
+            // the contiguous discipline in debug builds.
+            _ => {
+                if let Some(n) = instr.next() {
+                    debug_assert!(
+                        matches!(instr, Instr::Call { .. }) || n == pc + 1,
+                        "non-contiguous next pointer at {pc}"
+                    );
+                }
+            }
+        }
+    }
+    targets
+}
+
+/// Disassemble a program (no configuration directives).
+pub fn disassemble(program: &Program) -> String {
+    disassemble_with(program, None)
+}
+
+/// Disassemble a program together with an initial configuration's
+/// `.reg`/`.mem` directives.
+pub fn disassemble_with(program: &Program, config: Option<&Config>) -> String {
+    let targets = label_targets(program);
+    let label = |pc: Pc| format!("L{pc}");
+    let mut out = String::new();
+    let _ = writeln!(out, ".entry {}", label(program.entry));
+    if let Some(cfg) = config {
+        for (r, v) in cfg.regs.iter() {
+            let _ = writeln!(out, ".reg {} = {}", r.name(), fmt_val(v));
+        }
+        for (a, v) in cfg.mem.iter() {
+            if v.label.is_secret() {
+                let _ = writeln!(out, ".secret {a:#x} = {:#x}", v.bits);
+            } else {
+                let _ = writeln!(out, ".public {a:#x} = {:#x}", v.bits);
+            }
+        }
+    }
+    let max = program.max_pc().unwrap_or(0);
+    for (pc, instr) in program.iter() {
+        if targets.contains(&pc) {
+            let _ = writeln!(out, "{}:", label(pc));
+        }
+        let line = match instr {
+            Instr::Op { dst, op, args, .. } => {
+                format!("{} = {} {}", dst.name(), op.mnemonic(), fmt_operands(args))
+            }
+            Instr::Br { op, args, tru, fls } => {
+                // `jmp` sugar round-trips as a plain branch; that is fine
+                // because the lowering is semantically identical.
+                format!(
+                    "br {}({}), {}, {}",
+                    op.mnemonic(),
+                    fmt_operands(args),
+                    label(*tru),
+                    label(*fls)
+                )
+            }
+            Instr::Load { dst, addr, .. } => {
+                format!("{} = load [{}]", dst.name(), fmt_operands(addr))
+            }
+            Instr::Store { src, addr, .. } => {
+                format!("store {}, [{}]", fmt_operand(src), fmt_operands(addr))
+            }
+            Instr::Jmpi { args } => format!("jmpi [{}]", fmt_operands(args)),
+            Instr::Call { callee, .. } => format!("call {}", label(*callee)),
+            Instr::Ret => "ret".to_string(),
+            Instr::Fence { .. } => "fence".to_string(),
+        };
+        let _ = writeln!(out, "    {line}");
+    }
+    // Labels pointing one past the last instruction (fall-through exits).
+    for &t in targets.iter().filter(|&&t| t == max + 1) {
+        let _ = writeln!(out, "{}:", label(t));
+    }
+    out
+}
+
+/// `true` when the program uses only contiguous `next` pointers and
+/// in-range branch labels, i.e. is representable in assembly text.
+pub fn is_representable(program: &Program) -> bool {
+    let max = program.max_pc().unwrap_or(0);
+    let in_range = |n: Pc| n >= 1 && n <= max + 1;
+    if !in_range(program.entry.max(1)) {
+        return false;
+    }
+    for (pc, instr) in program.iter() {
+        match instr {
+            Instr::Call { callee, ret } => {
+                if !in_range(*callee) || *ret != pc + 1 {
+                    return false;
+                }
+            }
+            Instr::Br { tru, fls, .. } => {
+                if !in_range(*tru) || !in_range(*fls) {
+                    return false;
+                }
+            }
+            _ => {
+                if let Some(n) = instr.next() {
+                    if n != pc + 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // Contiguity of program points themselves.
+    program
+        .iter()
+        .zip(1u64..)
+        .all(|((pc, _), expect)| pc == expect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn fig1_round_trips() {
+        let (p, c) = sct_core::examples::fig1();
+        assert!(is_representable(&p));
+        let text = disassemble_with(&p, Some(&c));
+        let asm = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        assert_eq!(asm.program, p);
+        assert_eq!(asm.config, c);
+    }
+
+    #[test]
+    fn all_instruction_kinds_round_trip() {
+        let src = "\
+.entry L1
+.reg rsp = 0x7c
+L1:
+    ra = add rb, 0x4
+    rb = load [0x40, ra]
+    store rb, [0x44]
+    br lt(ra, rb), L1, L5
+L5:
+    jmpi [0xc, rb]
+    call L8
+    fence
+L8:
+    ret
+";
+        let asm = assemble(src).unwrap();
+        let text = disassemble_with(&asm.program, Some(&asm.config));
+        let again = assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(again.program, asm.program);
+        assert_eq!(again.config, asm.config);
+    }
+
+    #[test]
+    fn secret_immediates_round_trip() {
+        let asm = assemble("x: store 7@sec, [0x40]").unwrap();
+        let text = disassemble(&asm.program);
+        let again = assemble(&text).unwrap();
+        assert_eq!(again.program, asm.program);
+    }
+
+    #[test]
+    fn representability_rejects_gaps() {
+        let mut p = Program::new();
+        p.entry = 1;
+        p.insert(
+            1,
+            Instr::Fence { next: 5 }, // non-contiguous next
+        );
+        assert!(!is_representable(&p));
+    }
+}

@@ -1,0 +1,270 @@
+//! A hand-written, line-oriented lexer.
+
+use crate::error::AsmError;
+use crate::token::{Pos, Spanned, Token};
+
+/// Lex the whole source into tokens (with a trailing [`Token::Eof`]).
+///
+/// Comments run from `;` or `#` to end of line. Newlines are significant
+/// (statements are line-oriented) and consecutive newlines collapse.
+///
+/// # Errors
+///
+/// Returns [`AsmError::UnexpectedChar`] or [`AsmError::BadNumber`] with
+/// the offending position.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, AsmError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $pos:expr) => {
+            out.push(Spanned {
+                token: $tok,
+                pos: $pos,
+            })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let pos = Pos { line, col };
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+                if !matches!(
+                    out.last(),
+                    None | Some(Spanned {
+                        token: Token::Newline,
+                        ..
+                    })
+                ) {
+                    push!(Token::Newline, pos);
+                }
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            ';' | '#' => {
+                while let Some(&c2) = chars.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                push!(Token::Colon, pos);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Token::Comma, pos);
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                push!(Token::Equals, pos);
+            }
+            '[' => {
+                chars.next();
+                col += 1;
+                push!(Token::LBracket, pos);
+            }
+            ']' => {
+                chars.next();
+                col += 1;
+                push!(Token::RBracket, pos);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Token::LParen, pos);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Token::RParen, pos);
+            }
+            '@' => {
+                chars.next();
+                col += 1;
+                push!(Token::At, pos);
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        name.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(AsmError::UnexpectedChar { ch: '.', pos });
+                }
+                push!(Token::Directive(name), pos);
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        text.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let cleaned = text.replace('_', "");
+                let value = if let Some(hex) = cleaned
+                    .strip_prefix("0x")
+                    .or_else(|| cleaned.strip_prefix("0X"))
+                {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    cleaned.parse::<u64>()
+                };
+                match value {
+                    Ok(n) => push!(Token::Number(n), pos),
+                    Err(_) => return Err(AsmError::BadNumber { text, pos }),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' {
+                        name.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Token::Ident(name), pos);
+            }
+            other => return Err(AsmError::UnexpectedChar { ch: other, pos }),
+        }
+    }
+    let end = Pos { line, col };
+    if !matches!(
+        out.last(),
+        None | Some(Spanned {
+            token: Token::Newline,
+            ..
+        })
+    ) {
+        push!(Token::Newline, end);
+    }
+    push!(Token::Eof, end);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_basic_instruction() {
+        assert_eq!(
+            toks("rb = load [0x40, ra]"),
+            vec![
+                Token::Ident("rb".into()),
+                Token::Equals,
+                Token::Ident("load".into()),
+                Token::LBracket,
+                Token::Number(0x40),
+                Token::Comma,
+                Token::Ident("ra".into()),
+                Token::RBracket,
+                Token::Newline,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_collapse() {
+        let t = toks("; header\n\n\nfoo: ; trailing\n\nret\n");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("foo".into()),
+                Token::Colon,
+                Token::Newline,
+                Token::Ident("ret".into()),
+                Token::Newline,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_hex_underscore() {
+        assert_eq!(
+            toks("1 0x2A 1_000"),
+            vec![
+                Token::Number(1),
+                Token::Number(0x2a),
+                Token::Number(1000),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn directives_and_annotations() {
+        assert_eq!(
+            toks(".secret 0x48 = 7@sec"),
+            vec![
+                Token::Directive("secret".into()),
+                Token::Number(0x48),
+                Token::Equals,
+                Token::Number(7),
+                Token::At,
+                Token::Ident("sec".into()),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_number_reports_position() {
+        let err = lex("  0xZZ").unwrap_err();
+        assert_eq!(err.pos().col, 3);
+        assert!(matches!(err, AsmError::BadNumber { .. }));
+    }
+
+    #[test]
+    fn unexpected_char_reports_position() {
+        let err = lex("ra $ rb").unwrap_err();
+        assert!(matches!(err, AsmError::UnexpectedChar { ch: '$', .. }));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("a\nbb\n  c").unwrap();
+        let c = spanned
+            .iter()
+            .find(|s| s.token == Token::Ident("c".into()))
+            .unwrap();
+        assert_eq!(c.pos.line, 3);
+        assert_eq!(c.pos.col, 3);
+    }
+}

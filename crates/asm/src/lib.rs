@@ -1,0 +1,51 @@
+//! # sct-asm
+//!
+//! Assembly front-end for the `sct` ISA of
+//! [`sct-core`](sct_core): a textual assembly language (lexer, parser,
+//! two-pass assembler), a disassembler, and programmatic
+//! program/configuration builders.
+//!
+//! The paper analyzes x86 binaries through angr; our reproduction works
+//! on this ISA directly, so the litmus tests and case studies are written
+//! either in assembly text or with the builders here.
+//!
+//! # Example
+//!
+//! ```
+//! use sct_asm::assemble;
+//!
+//! let asm = assemble(r"
+//! .entry start
+//! .reg ra = 9
+//! .public 0x40 = 1, 0, 2, 1
+//! .secret 0x48 = 0x11, 0x22, 0x33, 0x44
+//! start:
+//!     br gt(4, ra), then, out
+//! then:
+//!     rb = load [0x40, ra]
+//!     rc = load [0x44, rb]
+//! out:
+//! ").unwrap();
+//!
+//! // Assembled files carry both the program and the initial configuration.
+//! let mut machine = sct_core::Machine::new(&asm.program, asm.config.clone());
+//! assert!(machine.step(sct_core::Directive::FetchBranch(true)).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assembler;
+pub mod ast;
+pub mod builder;
+pub mod disasm;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use assembler::{assemble, assemble_file, Assembled};
+pub use builder::{imm, reg, sec, Arg, ConfigBuilder, ProgramBuilder};
+pub use disasm::{disassemble, disassemble_with, is_representable};
+pub use error::AsmError;
+pub use parser::parse;

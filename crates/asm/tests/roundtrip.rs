@@ -1,0 +1,37 @@
+//! Property test: disassembling any generated program and reassembling
+//! it yields the identical program (and configuration).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sct_asm::{assemble, disassemble_with, is_representable};
+use sct_core::proggen::{random_config, random_program, ProgGenOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn disassembly_reassembles_identically(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let opts = ProgGenOptions::default();
+        let program = random_program(&mut rng, &opts);
+        let config = random_config(&mut rng, &opts);
+        prop_assert!(is_representable(&program));
+        let text = disassemble_with(&program, Some(&config));
+        let asm = assemble(&text)
+            .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        prop_assert_eq!(asm.program, program);
+        prop_assert_eq!(asm.config, config);
+    }
+
+    #[test]
+    fn disassembly_is_stable(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let opts = ProgGenOptions::default();
+        let program = random_program(&mut rng, &opts);
+        let text = disassemble_with(&program, None);
+        let asm = assemble(&text).unwrap();
+        let text2 = disassemble_with(&asm.program, None);
+        prop_assert_eq!(text, text2);
+    }
+}

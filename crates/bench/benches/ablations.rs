@@ -1,0 +1,120 @@
+//! Bench: ablations over the design knobs DESIGN.md calls out —
+//! addressing mode, ROB capacity, RSB policy, and the solver's
+//! candidate search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sct_core::sched::sequential::run_sequential;
+use sct_core::{AddrMode, Params, RsbPolicy, StackDiscipline};
+use sct_symx::{Expr, Solver};
+use std::hint::black_box;
+
+fn bench_addr_mode(c: &mut Criterion) {
+    let study = sct_casestudies::secretbox::fact_variant();
+    let mut group = c.benchmark_group("ablation_addr_mode");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, mode) in [("sum", AddrMode::Sum), ("x86", AddrMode::X86)] {
+        let params = Params {
+            addr_mode: mode,
+            ..Params::paper()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = run_sequential(
+                    &study.program,
+                    study.config.clone(),
+                    params,
+                    1_000_000,
+                )
+                .unwrap();
+                black_box(out.outcome.retired)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rob_capacity(c: &mut Criterion) {
+    let (program, config) = sct_core::examples::fig1();
+    let mut group = c.benchmark_group("ablation_rob_capacity");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for cap in [2usize, 4, 8, 16] {
+        let params = Params {
+            rob_capacity: Some(cap),
+            ..Params::paper()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, _| {
+            b.iter(|| {
+                let out =
+                    run_sequential(&program, config.clone(), params, 10_000).unwrap();
+                black_box(out.outcome.retired)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsb_policy(c: &mut Criterion) {
+    // A call/ret round trip under the three empty-RSB policies.
+    let study = sct_casestudies::meecbc::fact_variant();
+    let mut group = c.benchmark_group("ablation_rsb_policy");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, policy) in [
+        ("attacker_choice", RsbPolicy::AttackerChoice),
+        ("refuse", RsbPolicy::Refuse),
+        ("circular", RsbPolicy::Circular { stale: 1 }),
+    ] {
+        let params = Params {
+            rsb_policy: policy,
+            stack: StackDiscipline::default(),
+            ..Params::paper()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = run_sequential(
+                    &study.program,
+                    study.config.clone(),
+                    params,
+                    1_000_000,
+                )
+                .unwrap();
+                black_box(out.outcome.retired)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    use sct_core::OpCode;
+    use sct_symx::VarId;
+    let mut group = c.benchmark_group("ablation_solver");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let x = Expr::var(VarId(0));
+    let in_bounds = Expr::app(OpCode::Gt, vec![Expr::constant(4), x.clone()]);
+    let oob = Expr::app(OpCode::Eq, vec![in_bounds.clone(), Expr::constant(0)]);
+    let solver = Solver::new();
+    group.bench_function("feasibility_in_bounds", |b| {
+        b.iter(|| black_box(solver.check(std::slice::from_ref(&in_bounds))))
+    });
+    group.bench_function("feasibility_oob", |b| {
+        b.iter(|| black_box(solver.check(std::slice::from_ref(&oob))))
+    });
+    let addr = Expr::app(OpCode::Add, vec![Expr::constant(0x40), x]);
+    group.bench_function("concretize_address", |b| {
+        b.iter(|| black_box(solver.concretize(&addr, std::slice::from_ref(&oob))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_addr_mode,
+    bench_rob_capacity,
+    bench_rsb_policy,
+    bench_solver
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench: replaying every paper figure on the reference machine
+//! (Figures 1, 2, 4–8, 11–13). Measures the semantics' step throughput
+//! on the exact traces the paper presents.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_core::{Machine, Params};
+use sct_litmus::figures;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for run in figures::all_figures() {
+        group.bench_function(format!("fig{}", run.id), |b| {
+            b.iter(|| {
+                let mut m = Machine::with_params(
+                    &run.program,
+                    run.config.clone(),
+                    Params::paper(),
+                );
+                for d in run.schedule.iter() {
+                    black_box(m.step(d).unwrap());
+                }
+                black_box(m.cfg.pc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Bench: raw machine throughput — the reference semantics executing
+//! the donna case study sequentially, the random adversary, and the
+//! symbolic machine on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pitchfork::machine::SymMachine;
+use pitchfork::state::SymState;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sct_core::sched::random::{run_random, RandomSchedulerOptions};
+use sct_core::sched::sequential::run_sequential;
+use sct_core::Params;
+use std::hint::black_box;
+
+fn bench_machine(c: &mut Criterion) {
+    let study = sct_casestudies::donna::fact_variant();
+    let instrs = study.program.len() as u64;
+
+    let mut group = c.benchmark_group("machine");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(instrs));
+    group.bench_function("sequential_donna", |b| {
+        b.iter(|| {
+            let out = run_sequential(
+                &study.program,
+                study.config.clone(),
+                Params::paper(),
+                1_000_000,
+            )
+            .unwrap();
+            black_box(out.outcome.retired)
+        })
+    });
+    group.bench_function("random_adversary_donna", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let run = run_random(
+                &study.program,
+                study.config.clone(),
+                Params::paper(),
+                RandomSchedulerOptions {
+                    max_steps: 2_000,
+                    max_rob: 24,
+                    fetch_bias: 60,
+                },
+                &mut rng,
+            );
+            black_box(run.outcome.retired)
+        })
+    });
+    group.bench_function("symbolic_replay_donna", |b| {
+        // Drive the symbolic machine down the canonical sequential
+        // schedule recorded by the reference machine.
+        let seq = run_sequential(
+            &study.program,
+            study.config.clone(),
+            Params::paper(),
+            1_000_000,
+        )
+        .unwrap();
+        let machine = SymMachine::new(&study.program);
+        b.iter(|| {
+            let mut st = SymState::from_config(&study.config);
+            for d in seq.schedule.iter() {
+                st = machine
+                    .step(&st, d)
+                    .unwrap()
+                    .into_iter()
+                    .next()
+                    .unwrap();
+            }
+            black_box(st.pc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: Table 2 — Pitchfork analysis time per case study and mode
+//! (§4.2.1's procedure: v1 mode with a deep bound, v4 mode with a
+//! reduced bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_casestudies::table2::{all_studies, analyze};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for study in all_studies() {
+        let label = format!("{}/{}", study.name.replace(' ', "_"), study.variant.name());
+        group.bench_function(format!("{label}/v1_bound40"), |b| {
+            b.iter(|| black_box(analyze(&study, false, 40).has_violations()))
+        });
+        group.bench_function(format!("{label}/v4_bound12"), |b| {
+            b.iter(|| black_box(analyze(&study, true, 12).has_violations()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce                 # everything
+//! reproduce --fig 1         # one figure (1, 2, 4a, 4b, 5, 6, 7, 8, 11, 12, 13)
+//! reproduce --table 1       # Table 1 or 2
+//! reproduce --kocher        # the Kocher/v1.1/v4 litmus verdicts (§4.2)
+//! reproduce --sweep         # bound-tractability sweep (§4.2 text)
+//! reproduce --v1-bound 250 --v4-bound 20   # Table 2 bounds
+//! ```
+
+use sct_bench::{render, sweep};
+use sct_litmus::figures;
+
+struct Args {
+    fig: Option<String>,
+    table: Option<u32>,
+    kocher: bool,
+    sweep: bool,
+    all: bool,
+    v1_bound: usize,
+    v4_bound: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        fig: None,
+        table: None,
+        kocher: false,
+        sweep: false,
+        all: true,
+        v1_bound: 250,
+        v4_bound: 20,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fig" => {
+                out.fig = args.next();
+                out.all = false;
+            }
+            "--table" => {
+                out.table = args.next().and_then(|s| s.parse().ok());
+                out.all = false;
+            }
+            "--kocher" => {
+                out.kocher = true;
+                out.all = false;
+            }
+            "--sweep" => {
+                out.sweep = true;
+                out.all = false;
+            }
+            "--v1-bound" => {
+                if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                    out.v1_bound = v;
+                }
+            }
+            "--v4-bound" => {
+                if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                    out.v4_bound = v;
+                }
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn show_figures(which: Option<&str>) {
+    for run in figures::all_figures() {
+        if which.is_none_or(|w| w == run.id) {
+            println!("{}", "=".repeat(72));
+            println!("{}", render::render_figure(&run));
+        }
+    }
+}
+
+fn show_table(n: u32, v1_bound: usize, v4_bound: usize) {
+    match n {
+        1 => println!("{}", render::render_table1()),
+        2 => {
+            let table = sct_casestudies::table2::run(v1_bound, v4_bound);
+            println!("{table}");
+        }
+        other => eprintln!("no table {other} in the paper's evaluation"),
+    }
+}
+
+fn show_kocher() {
+    println!("Litmus corpus verdicts (§4.2 test suites)\n");
+    println!(
+        "{:<12} {:<10} {:<6} {:<6} {:<6}  description",
+        "case", "seq-clean", "v1", "v4", "expect"
+    );
+    for case in sct_litmus::all_cases() {
+        let got = sct_litmus::run_case(&case);
+        let expect = match (case.expect.v1_violation, case.expect.v4_violation) {
+            (true, _) => "✗",
+            (false, true) => "f",
+            (false, false) => "✓",
+        };
+        println!(
+            "{:<12} {:<10} {:<6} {:<6} {:<6}  {}",
+            case.name,
+            got.sequentially_clean,
+            got.v1_violation,
+            got.v4_violation,
+            expect,
+            case.description
+        );
+    }
+}
+
+fn show_sweep() {
+    println!("Tractability sweep (§4.2): exploration cost vs speculation bound\n");
+
+    let study = sct_casestudies::ssl3::fact_variant();
+    println!(
+        "workload A: {} ({}), {} instructions (straight-line)\n",
+        study.name,
+        study.variant.name(),
+        study.program.len()
+    );
+    println!("without forwarding-hazard detection (v1 mode):");
+    let points = sweep::sweep(
+        &study.program,
+        &study.config,
+        &[2, 4, 8, 16, 32, 64, 128, 250],
+        false,
+        200_000,
+    );
+    println!("{}", sweep::render(&points));
+    println!("with forwarding-hazard detection (v4 mode):");
+    let points = sweep::sweep(
+        &study.program,
+        &study.config,
+        &[2, 4, 8, 12, 16, 20, 24],
+        true,
+        200_000,
+    );
+    println!("{}", sweep::render(&points));
+
+    let (program, config) = sweep::branch_chain(8);
+    println!(
+        "workload B: synthetic chain of 8 bounds checks ({} instructions) —\n\
+         every branch multiplies the schedule count (the paper's path\n\
+         explosion; violations suppressed to measure full exploration)\n",
+        program.len()
+    );
+    println!("without forwarding-hazard detection (v1 mode):");
+    let points = sweep::sweep(&program, &config, &[2, 4, 8, 12, 16, 20, 24], false, 400_000);
+    println!("{}", sweep::render(&points));
+    println!("with forwarding-hazard detection (v4 mode):");
+    let points = sweep::sweep(&program, &config, &[2, 4, 8, 12, 16], true, 400_000);
+    println!("{}", sweep::render(&points));
+}
+
+fn main() {
+    let args = parse_args();
+    if args.all {
+        show_figures(None);
+        println!("{}", "=".repeat(72));
+        show_table(1, args.v1_bound, args.v4_bound);
+        println!("{}", "=".repeat(72));
+        show_table(2, args.v1_bound, args.v4_bound);
+        println!("{}", "=".repeat(72));
+        show_kocher();
+        println!("{}", "=".repeat(72));
+        show_sweep();
+        return;
+    }
+    if let Some(fig) = &args.fig {
+        show_figures(Some(fig));
+    }
+    if let Some(t) = args.table {
+        show_table(t, args.v1_bound, args.v4_bound);
+    }
+    if args.kocher {
+        show_kocher();
+    }
+    if args.sweep {
+        show_sweep();
+    }
+}

@@ -1,0 +1,11 @@
+//! # sct-bench
+//!
+//! The benchmark/reproduction harness: Criterion benches (one per paper
+//! table/figure plus ablations) and the `reproduce` binary that
+//! regenerates every table and figure as text.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod render;
+pub mod sweep;

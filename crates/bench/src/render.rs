@@ -1,0 +1,91 @@
+//! Text rendering of figures and tables.
+
+use sct_litmus::figures::FigureRun;
+use std::fmt::Write as _;
+
+/// Render one figure replay as the paper's directive/effect/leakage
+/// table, followed by the final reorder-buffer state.
+pub fn render_figure(run: &FigureRun) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure {}: {}", run.id, run.title);
+    let _ = writeln!(out, "\nProgram:");
+    for (n, i) in run.program.iter() {
+        let _ = writeln!(out, "  {n}: {i}");
+    }
+    let _ = writeln!(out, "\nRegisters:");
+    for (r, v) in run.config.regs.iter() {
+        let _ = writeln!(out, "  {r} = {v}");
+    }
+    let _ = writeln!(out, "Memory:");
+    for (a, v) in run.config.mem.iter() {
+        let _ = writeln!(out, "  {a:#x} = {v}");
+    }
+    if run.shown_from > 0 {
+        let setup: Vec<String> = run
+            .schedule
+            .iter()
+            .take(run.shown_from)
+            .map(|d| d.to_string())
+            .collect();
+        let _ = writeln!(out, "\nSetup directives: {}", setup.join("; "));
+    }
+    let _ = writeln!(out, "\n{:<28} Leakage", "Directive");
+    for (k, d) in run.schedule.iter().enumerate().skip(run.shown_from) {
+        let obs: Vec<String> = run.step_obs[k].iter().map(|o| o.to_string()).collect();
+        let _ = writeln!(out, "{:<28} {}", d.to_string(), obs.join(", "));
+    }
+    let _ = writeln!(out, "\nFinal reorder buffer:");
+    for (i, t) in run.final_config.rob.iter() {
+        let _ = writeln!(out, "  {i} ↦ {t}");
+    }
+    let _ = writeln!(out, "Final program point: {}", run.final_config.pc);
+    let _ = writeln!(
+        out,
+        "Secret leaked: {}",
+        if run.leaks_secret() { "YES" } else { "no" }
+    );
+    out
+}
+
+/// Render Table 1 (instructions and their transient forms) from the
+/// implementation's own vocabulary.
+pub fn render_table1() -> String {
+    let rows: [(&str, &str, &str); 9] = [
+        (
+            "arithmetic operation",
+            "(r = op(op, rv⃗, n'))",
+            "(r = op(op, rv⃗)) unresolved; (r = vℓ) resolved value",
+        ),
+        (
+            "conditional branch",
+            "br(op, rv⃗, n_true, n_false)",
+            "br(op, rv⃗, n0, (n_true, n_false)) unresolved; jump n0 resolved",
+        ),
+        (
+            "memory load",
+            "(r = load(rv⃗, n'))",
+            "(r = load(rv⃗))_n; (r = load(rv⃗, (vℓ, j)))_n partially resolved; (r = vℓ{⊥|j, a})_n resolved",
+        ),
+        (
+            "memory store",
+            "store(rv, rv⃗, n')",
+            "store(rv, rv⃗) unresolved; store(vℓ, aℓ) resolved",
+        ),
+        (
+            "indirect jump",
+            "jmpi(rv⃗)",
+            "jmpi(rv⃗, n0) unresolved predicted to n0; jump n0 resolved",
+        ),
+        ("function call", "call(nf, nret)", "call (marker) + rsp bump + return-address store"),
+        ("return", "ret", "ret (marker) + return-address load + rsp pop + jmpi"),
+        ("speculation fence", "fence n", "fence (no resolution step)"),
+        ("(jump sugar)", "jmp n", "lowered to an always-taken br"),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: instructions and their transient forms\n");
+    let _ = writeln!(out, "{:<22} {:<24} Transient form(s)", "Instruction", "Physical form");
+    for (a, b, c) in rows {
+        let _ = writeln!(out, "{a:<22} {b:<24} {c}");
+    }
+    out
+}

@@ -1,0 +1,120 @@
+//! The tractability experiment (§4.2): exploration cost versus
+//! speculation bound, with and without forwarding-hazard detection.
+//!
+//! The paper reports that analysis remained tractable up to a bound of
+//! **250** without forwarding hazards but only **20** with them; the
+//! sweep regenerates that cliff on our case studies.
+
+use pitchfork::{Detector, DetectorOptions};
+use std::time::Instant;
+
+/// One sweep measurement.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The speculation bound.
+    pub bound: usize,
+    /// Forwarding-hazard detection on?
+    pub forwarding_hazards: bool,
+    /// States expanded.
+    pub states: usize,
+    /// Schedules completed.
+    pub schedules: usize,
+    /// Machine steps taken.
+    pub steps: usize,
+    /// Whether exploration hit its budget.
+    pub truncated: bool,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+}
+
+/// Run the detector over `study` at each bound, in the given mode.
+pub fn sweep(
+    program: &sct_core::Program,
+    config: &sct_core::Config,
+    bounds: &[usize],
+    forwarding_hazards: bool,
+    max_states: usize,
+) -> Vec<SweepPoint> {
+    bounds
+        .iter()
+        .map(|&bound| {
+            let mut options = if forwarding_hazards {
+                DetectorOptions::v4_mode(bound)
+            } else {
+                DetectorOptions::v1_mode(bound)
+            };
+            options.explorer.max_states = max_states;
+            // Count full exploration work, not first-hit shortcuts: keep
+            // exploring past violations, as the paper's tool does when
+            // collecting all flagged locations.
+            options.explorer.stop_path_on_violation = false;
+            options.explorer.max_violations = usize::MAX;
+            let start = Instant::now();
+            let report = Detector::new(options).analyze(program, config);
+            SweepPoint {
+                bound,
+                forwarding_hazards,
+                states: report.stats.states,
+                schedules: report.stats.schedules,
+                steps: report.stats.steps,
+                truncated: report.stats.truncated,
+                millis: start.elapsed().as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// A synthetic worst-case workload: a chain of `depth` bounds checks
+/// each guarding a load pair — every branch multiplies the schedule
+/// count, reproducing the path explosion that limited the paper's tool.
+pub fn branch_chain(depth: usize) -> (sct_core::Program, sct_core::Config) {
+    use sct_asm::builder::{imm, reg, ProgramBuilder};
+    use sct_core::reg::names::{RA, RB, RC};
+    use sct_core::OpCode;
+    let mut b = ProgramBuilder::new();
+    for k in 0..depth {
+        b.br(
+            OpCode::Gt,
+            [imm(4), reg(RA)],
+            &format!("l{k}"),
+            &format!("l{k}"),
+        );
+        b.label(&format!("l{k}"));
+        b.load(RB, [imm(0x40), reg(RA)]);
+        b.load(RC, [imm(0x50), reg(RB)]);
+    }
+    let program = b.build().expect("branch chain builds");
+    let config = sct_asm::ConfigBuilder::new()
+        .reg(RA, sct_core::Val::public(9))
+        .public_array(0x40, &[1, 0, 2, 1])
+        .secret_array(0x44, &[7; 8])
+        .public_array(0x50, &[0; 16])
+        .entry(program.entry)
+        .build();
+    (program, config)
+}
+
+/// Render a sweep as an aligned table.
+pub fn render(points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>10} {:>10} {:>10} {:>10}  trunc",
+        "bound", "fwd", "states", "schedules", "steps", "ms"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>10.1}  {}",
+            p.bound,
+            if p.forwarding_hazards { "on" } else { "off" },
+            p.states,
+            p.schedules,
+            p.steps,
+            p.millis,
+            if p.truncated { "yes" } else { "no" }
+        );
+    }
+    out
+}

@@ -1,0 +1,155 @@
+//! Shared scaffolding for the case studies: the memory map, realistic
+//! straight-line crypto building blocks, and the case-study descriptor.
+
+use sct_asm::builder::{imm, reg, Arg, ConfigBuilder, ProgramBuilder};
+use sct_core::reg::names::*;
+use sct_core::{Config, OpCode, Program, Reg, Val};
+
+/// Which build of a case study (Table 2's two columns).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// The C reference implementation (with its ancillary code).
+    C,
+    /// The FaCT constant-time implementation (straight-line selection).
+    Fact,
+}
+
+impl Variant {
+    /// Column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::C => "C",
+            Variant::Fact => "FaCT",
+        }
+    }
+}
+
+/// A case study: a program plus its initial configuration.
+pub struct CaseStudy {
+    /// Row name (e.g. `curve25519-donna`).
+    pub name: &'static str,
+    /// Which build.
+    pub variant: Variant,
+    /// What the interesting code pattern is.
+    pub description: &'static str,
+    /// The program.
+    pub program: Program,
+    /// The initial configuration.
+    pub config: Config,
+}
+
+// ---- memory map ------------------------------------------------------------
+
+/// Secret key material.
+pub const KEY: u64 = 0x100;
+/// Public nonce/IV.
+pub const NONCE: u64 = 0x120;
+/// Message buffer (secret plaintext).
+pub const MSG: u64 = 0x140;
+/// Output buffer (secret until released).
+pub const OUT: u64 = 0x180;
+/// Public lookup table (the "transmission" array for leaks).
+pub const TABLE: u64 = 0x200;
+/// Public scratch.
+pub const SCRATCH: u64 = 0x240;
+/// Initial stack pointer.
+pub const STACK_TOP: u64 = 0x7c;
+/// The stack-protector canary cell (public).
+pub const CANARY: u64 = 0x248;
+/// Head of the error-path string list (libc `__libc_message`).
+pub const LIST_HEAD: u64 = 0x24c;
+/// The list node region, deliberately adjacent below [`KEY`].
+pub const LIST_NODES: u64 = 0xfc;
+
+/// The standard configuration: key/message secret, nonce/table public,
+/// stack pointer set, canary intact.
+pub fn standard_config(entry: u64) -> Config {
+    ConfigBuilder::new()
+        .secret_array(KEY, &[0x1111, 0x2222, 0x3333, 0x4444, 0x5555, 0x6666, 0x7777, 0x8888])
+        .public_array(NONCE, &[0xaa, 0xbb, 0xcc, 0xdd])
+        .secret_array(MSG, &[0xd0, 0xd1, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7])
+        .secret_array(OUT, &[0; 16])
+        .public_array(TABLE, &[0; 32])
+        .public_array(SCRATCH, &[0; 8])
+        .cell(CANARY, Val::public(0x5a5a))
+        // The valid list node: one (string-ptr, next) pair whose `next`
+        // runs off into key material.
+        .cell(LIST_HEAD, Val::public(LIST_NODES))
+        .cell(LIST_NODES, Val::public(TABLE)) // str pointer (valid)
+        .cell(LIST_NODES + 1, Val::public(KEY)) // "next" walks into secrets
+        .rsp(STACK_TOP)
+        .entry(entry)
+        .build()
+}
+
+// ---- straight-line crypto building blocks ----------------------------------
+
+/// Emit an ARX-style quarter round over registers `(a, b, c)` with the
+/// rotation counts of Salsa20 — pure straight-line data flow.
+pub fn quarter_round(b: &mut ProgramBuilder, ra: Reg, rb: Reg, rc: Reg) {
+    // b ^= rotl(a + c, 7); modeled with shl/shr/or.
+    b.op(RG, OpCode::Add, [reg(ra), reg(rc)]);
+    b.op(RH, OpCode::Shl, [reg(RG), imm(7)]);
+    b.op(RG, OpCode::Shr, [reg(RG), imm(57)]);
+    b.op(RG, OpCode::Or, [reg(RG), reg(RH)]);
+    b.op(rb, OpCode::Xor, [reg(rb), reg(RG)]);
+}
+
+/// Emit a load of `count` words from `base` into registers `r0..`,
+/// returning the registers used.
+pub fn load_block(b: &mut ProgramBuilder, base: u64, regs: &[Reg]) {
+    for (k, &r) in regs.iter().enumerate() {
+        b.load(r, [imm(base + k as u64)]);
+    }
+}
+
+/// Emit a store of the registers to `base..`.
+pub fn store_block(b: &mut ProgramBuilder, base: u64, regs: &[Reg]) {
+    for (k, &r) in regs.iter().enumerate() {
+        b.store(reg(r), [imm(base + k as u64)]);
+    }
+}
+
+/// A schoolbook multiply-accumulate chain over `limbs` registers —
+/// the shape of a donna field multiplication (straight-line, no
+/// branches, no secret-dependent addresses).
+pub fn mul_chain(b: &mut ProgramBuilder, xs: &[Reg], ys: &[Reg], acc: Reg) {
+    b.op(acc, OpCode::Mov, [imm(0)]);
+    for &x in xs {
+        for &y in ys {
+            b.op(RG, OpCode::Mul, [reg(x), reg(y)]);
+            b.op(acc, OpCode::Add, [reg(acc), reg(RG)]);
+        }
+    }
+    // Carry-fold: acc = (acc & mask) + 19 * (acc >> 51), donna-style.
+    b.op(RG, OpCode::Shr, [reg(acc), imm(51)]);
+    b.op(RG, OpCode::Mul, [reg(RG), imm(19)]);
+    b.op(RH, OpCode::And, [reg(acc), imm((1u64 << 51) - 1)]);
+    b.op(acc, OpCode::Add, [reg(RH), reg(RG)]);
+}
+
+/// Convenience: an `Arg` list for a constant address.
+pub fn at(addr: u64) -> [Arg; 1] {
+    [imm(addr)]
+}
+
+/// Extra general-purpose registers beyond the `ra..rh` aliases.
+pub mod regs {
+    use sct_core::Reg;
+    /// `r8`
+    pub const R8: Reg = Reg(8);
+    /// `r9`
+    pub const R9: Reg = Reg(9);
+    /// `r10`
+    pub const R10: Reg = Reg(10);
+    /// `r11`
+    pub const R11: Reg = Reg(11);
+    /// `r12`
+    pub const R12: Reg = Reg(12);
+    /// `r13`
+    pub const R13: Reg = Reg(13);
+    /// `r14` — the register of the Figure 10 gadget.
+    pub const R14: Reg = Reg(14);
+    /// `r15`
+    pub const R15: Reg = Reg(15);
+}

@@ -1,0 +1,34 @@
+//! # sct-casestudies
+//!
+//! The four real-world crypto case studies of the paper's Table 2,
+//! reimplemented in the `sct` ISA in two builds each:
+//!
+//! | Case study | C build | FaCT build |
+//! |---|---|---|
+//! | [`donna`] curve25519-donna | clean | clean |
+//! | [`secretbox`] libsodium secretbox | v1 leak via stack-protector error path (fig. 9) | clean |
+//! | [`ssl3`] OpenSSL record validate | v1 leak via branchy length check | `f`: v4 leak via bypassed sanitizing store |
+//! | [`meecbc`] OpenSSL MEE-CBC | v1 leak via branchy length check | `f`: v4 leak via stale return address (fig. 10) |
+//!
+//! We do not have the authors' binaries or the FaCT compiler; these are
+//! reconstructions of the *code patterns* the paper reports, so the
+//! same semantics rules fire (see DESIGN.md's substitution notes).
+//!
+//! # Example
+//!
+//! ```no_run
+//! let table = sct_casestudies::table2::run(250, 20);
+//! println!("{table}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod common;
+pub mod donna;
+pub mod meecbc;
+pub mod secretbox;
+pub mod ssl3;
+pub mod table2;
+
+pub use common::{CaseStudy, Variant};

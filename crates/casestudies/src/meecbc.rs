@@ -1,0 +1,122 @@
+//! OpenSSL MAC-then-Encode-then-CBC-encrypt (MEE-CBC).
+//!
+//! Table 2: the **C** build is flagged in v1 mode (record-length bounds
+//! check bypassed). The **FaCT** build is flagged **only with
+//! forwarding-hazard detection** — the Figure 10 gadget: after
+//! `_sha1_update` returns, the return-address load can speculatively
+//! receive the *previous* return address stored at the same stack slot
+//! (the one from the `aesni_cbc_encrypt` call), re-executing the
+//! `_out[%r14]` access with `%r14` holding the secret-derived `ret`
+//! value instead of the public length.
+
+use crate::common::regs::*;
+use crate::common::{
+    load_block, quarter_round, standard_config, CaseStudy, Variant, KEY, MSG, OUT, SCRATCH,
+    TABLE,
+};
+use sct_asm::builder::{imm, reg, ProgramBuilder};
+use sct_core::reg::names::*;
+use sct_core::OpCode;
+
+/// A small AES-CBC-flavoured body for `aesni_cbc_encrypt`.
+fn cbc_body(b: &mut ProgramBuilder) {
+    let st = [RA, RB];
+    load_block(b, KEY, &st);
+    b.load(RC, [imm(MSG)]);
+    b.op(RC, OpCode::Xor, [reg(RC), reg(RA)]); // CBC xor
+    quarter_round(b, RA, RB, RC); // "rounds"
+    quarter_round(b, RB, RC, RA);
+    b.store(reg(RC), [imm(OUT)]);
+}
+
+/// A small SHA1-flavoured body for `_sha1_update`.
+fn sha_body(b: &mut ProgramBuilder) {
+    b.load(R8, [imm(OUT)]);
+    b.op(R9, OpCode::Shl, [reg(R8), imm(5)]);
+    b.op(R10, OpCode::Shr, [reg(R8), imm(27)]);
+    b.op(R9, OpCode::Or, [reg(R9), reg(R10)]);
+    b.op(R9, OpCode::Add, [reg(R9), imm(0x5a827999)]);
+    b.store(reg(R9), [imm(SCRATCH + 3)]);
+}
+
+/// The FaCT build (Figure 10): constant-time padding handling, leaking
+/// only through the speculative-return re-execution of the `_out[r14]`
+/// load.
+pub fn fact_variant() -> CaseStudy {
+    let mut b = ProgramBuilder::new();
+    b.entry("main");
+    b.label("main");
+    // %r14 holds the public output length.
+    b.op(R14, OpCode::Mov, [imm(7)]);
+    b.call("aesni_cbc_encrypt");
+    // Figure 10 line 3: pad = _out[len _out - 1] — public address, the
+    // value (the pad byte) is secret. Re-executed speculatively with
+    // r14 = ret (secret-derived), this same load leaks.
+    b.op(R15, OpCode::Sub, [reg(R14), imm(1)]);
+    b.load(RC, [imm(OUT), reg(R15)]); // pad (secret value)
+    // maxpad = tmppad > 255 ? 255 : tmppad (public; constant here).
+    b.op(RD, OpCode::Mov, [imm(255)]);
+    // FaCT turns `if (pad > maxpad) { pad = maxpad; ret = 0; }` into
+    // straight-line selects; ret (and thus r14) becomes secret-derived.
+    b.op(RE, OpCode::Gt, [reg(RC), reg(RD)]);
+    b.op(RC, OpCode::Csel, [reg(RE), reg(RD), reg(RC)]);
+    b.op(R14, OpCode::Csel, [reg(RE), imm(0), imm(1)]); // overwrites %r14
+    b.call("sha1_update");
+    // Epilogue bookkeeping (public).
+    b.store(reg(R14), [imm(SCRATCH + 4)]);
+    b.jmp("end");
+    b.label("aesni_cbc_encrypt");
+    cbc_body(&mut b);
+    b.ret();
+    b.label("sha1_update");
+    sha_body(&mut b);
+    b.ret();
+    b.label("end");
+    let program = b.build().expect("mee fact builds");
+    let config = standard_config(program.entry);
+    CaseStudy {
+        name: "OpenSSL MEE-CBC",
+        variant: Variant::Fact,
+        description: "fig. 10: stale return address re-executes _out[r14] with secret r14",
+        program,
+        config,
+    }
+}
+
+/// The C build: same structure, but record handling bounds-checks the
+/// (attacker-controlled) length with a branch — a v1 gadget.
+pub fn c_variant() -> CaseStudy {
+    let mut b = ProgramBuilder::new();
+    b.entry("main");
+    b.label("main");
+    b.op(R14, OpCode::Mov, [imm(7)]);
+    b.call("aesni_cbc_encrypt");
+    // len = wire length (attacker-controlled, architecturally OOB).
+    b.load(RA, [imm(SCRATCH)]);
+    b.br(OpCode::Gt, [imm(8), reg(RA)], "pad_ok", "bad_record");
+    b.label("pad_ok");
+    // pad = _out[len]; speculatively out of bounds into key material.
+    b.load(RC, [imm(OUT), reg(RA)]);
+    b.load(RD, [imm(TABLE), reg(RC)]); // pad-dependent lookup: leak
+    b.label("bad_record");
+    b.call("sha1_update");
+    b.store(reg(R14), [imm(SCRATCH + 4)]);
+    b.jmp("end");
+    b.label("aesni_cbc_encrypt");
+    cbc_body(&mut b);
+    b.ret();
+    b.label("sha1_update");
+    sha_body(&mut b);
+    b.ret();
+    b.label("end");
+    let program = b.build().expect("mee c builds");
+    let mut config = standard_config(program.entry);
+    config.mem.write(SCRATCH, sct_core::Val::public(12)); // OOB length (lands in secret _out)
+    CaseStudy {
+        name: "OpenSSL MEE-CBC",
+        variant: Variant::C,
+        description: "branchy record-length check: speculative OOB pad read (v1)",
+        program,
+        config,
+    }
+}

@@ -1,0 +1,109 @@
+//! libsodium `crypto_secretbox`: an XSalsa20/Poly1305-flavoured seal.
+//!
+//! The paper (Table 2, §4.2.2) found a Spectre v1 violation in the **C**
+//! build only — not in the crypto core, but in ancillary code: the
+//! stack-protector epilogue. On a mispredicted canary check the
+//! processor runs into `__libc_message`'s linked-list walk (Figure 9),
+//! traverses non-existent links, and dereferences secret bytes as
+//! pointers. The **FaCT** build has no such epilogue and is clean.
+
+use crate::common::regs::*;
+use crate::common::{
+    load_block, quarter_round, standard_config, store_block, CaseStudy, Variant, CANARY, KEY,
+    LIST_HEAD, MSG, NONCE, OUT, SCRATCH,
+};
+use sct_asm::builder::{imm, reg, ProgramBuilder};
+use sct_core::reg::names::*;
+use sct_core::OpCode;
+
+/// The crypto core shared by both builds: an ARX stream-cipher block
+/// (key ⊕ nonce mixing, two double-rounds) and a Poly1305-ish MAC
+/// accumulation. Straight-line, constant addresses.
+fn crypto_core(b: &mut ProgramBuilder) {
+    let state = [RA, RB, RC, RD];
+    load_block(b, KEY, &state);
+    b.load(RE, [imm(NONCE)]);
+    b.load(RF, [imm(NONCE + 1)]);
+    // Mix the nonce into the state.
+    b.op(RA, OpCode::Xor, [reg(RA), reg(RE)]);
+    b.op(RB, OpCode::Xor, [reg(RB), reg(RF)]);
+    // Two double-rounds.
+    for _ in 0..2 {
+        quarter_round(b, RA, RB, RC);
+        quarter_round(b, RB, RC, RD);
+        quarter_round(b, RC, RD, RA);
+        quarter_round(b, RD, RA, RB);
+    }
+    // Encrypt four message words.
+    for k in 0..4u64 {
+        b.load(R8, [imm(MSG + k)]);
+        b.op(R9, OpCode::Xor, [reg(R8), reg(state[k as usize])]);
+        b.store(reg(R9), [imm(OUT + k)]);
+    }
+    // Poly1305-ish MAC accumulation over the ciphertext.
+    b.op(R10, OpCode::Mov, [imm(0)]);
+    for k in 0..4u64 {
+        b.load(R8, [imm(OUT + k)]);
+        b.op(R10, OpCode::Add, [reg(R10), reg(R8)]);
+        b.op(R10, OpCode::Mul, [reg(R10), imm(5)]);
+        b.op(R10, OpCode::And, [reg(R10), imm(0x3ffffff)]);
+    }
+    b.store(reg(R10), [imm(OUT + 8)]);
+    store_block(b, SCRATCH, &[RA]);
+}
+
+/// The stack-protector epilogue of the C build: reload the canary and
+/// compare; on mismatch, call the fatal-error path which walks the
+/// `__libc_message` argument list (Figure 9's gadget).
+fn stack_protector_epilogue(b: &mut ProgramBuilder) {
+    b.load(R11, [imm(CANARY)]); // the reference canary
+    b.load(R12, [imm(SCRATCH + 7)]); // the copy saved in this frame
+    // The frame is intact, so architecturally the check always passes
+    // and the error path below is speculative-only.
+    b.br(OpCode::Eq, [reg(R11), reg(R12)], "ok", "smashed");
+    b.label("smashed");
+    // __libc_message: walk the iovec list (Figure 9). The misspeculated
+    // walk runs one node past the real list into key material.
+    b.load(R14, [imm(LIST_HEAD)]); // list
+    b.load(R15, [reg(R14)]); // iov_base = list->str   (valid node)
+    b.load(R14, [reg(R14), imm(1)]); // list = list->next → points at KEY
+    b.load(R15, [reg(R14)]); // list->str: loads a *secret* word
+    b.load(R15, [reg(R15)]); // dereferences it: secret-addressed load
+    b.label("ok");
+}
+
+/// The C build: crypto core + canary save/check + error path.
+pub fn c_variant() -> CaseStudy {
+    let mut b = ProgramBuilder::new();
+    // Prologue: save the canary into the frame (so the check passes
+    // architecturally and the error path is speculative-only).
+    b.load(R11, [imm(CANARY)]);
+    b.store(reg(R11), [imm(SCRATCH + 7)]);
+    crypto_core(&mut b);
+    stack_protector_epilogue(&mut b);
+    let program = b.build().expect("secretbox C builds");
+    let config = standard_config(program.entry);
+    CaseStudy {
+        name: "libsodium secretbox",
+        variant: Variant::C,
+        description: "stack-protector error path walks a list into key material (fig. 9)",
+        program,
+        config,
+    }
+}
+
+/// The FaCT build: the crypto core only — FaCT emits no stack-protector
+/// branches and its epilogue is straight-line.
+pub fn fact_variant() -> CaseStudy {
+    let mut b = ProgramBuilder::new();
+    crypto_core(&mut b);
+    let program = b.build().expect("secretbox FaCT builds");
+    let config = standard_config(program.entry);
+    CaseStudy {
+        name: "libsodium secretbox",
+        variant: Variant::Fact,
+        description: "straight-line seal; no ancillary branches",
+        program,
+        config,
+    }
+}

@@ -1,0 +1,97 @@
+//! OpenSSL `ssl3_record_validate`-style record processing.
+//!
+//! Table 2: the **C** build is flagged in v1 mode (a record-length
+//! bounds check speculatively bypassed into an out-of-bounds read whose
+//! result indexes a table); the **FaCT** build is constant-time but is
+//! flagged **only with forwarding-hazard detection** (`f` in the
+//! table): its sanitized padding scratch slot can be read *before* the
+//! sanitizing store resolves its address, reviving the secret
+//! intermediate (a Spectre v4 pattern).
+
+use crate::common::regs::*;
+use crate::common::{
+    standard_config, CaseStudy, Variant, KEY, OUT, SCRATCH, TABLE,
+};
+use sct_asm::builder::{imm, reg, ProgramBuilder};
+use sct_core::reg::names::*;
+use sct_core::OpCode;
+
+/// Constant-time MAC comparison shared by both builds: XOR-accumulate
+/// the (secret) MAC words against recomputed values; reduce with csel.
+fn ct_mac_check(b: &mut ProgramBuilder) {
+    b.op(R8, OpCode::Mov, [imm(0)]);
+    for k in 0..4u64 {
+        b.load(R9, [imm(OUT + k)]); // received MAC word (secret)
+        b.load(R10, [imm(KEY + k)]); // recomputed word (secret)
+        b.op(R11, OpCode::Xor, [reg(R9), reg(R10)]);
+        b.op(R8, OpCode::Or, [reg(R8), reg(R11)]);
+    }
+    // ok = (diff == 0) ? 1 : 0 — data flow only.
+    b.op(R12, OpCode::Eq, [reg(R8), imm(0)]);
+    b.op(R13, OpCode::Csel, [reg(R12), imm(1), imm(0)]);
+    b.store(reg(R13), [imm(SCRATCH + 1)]);
+}
+
+/// The C build: the record-length check is a branch, and the
+/// mispredicted path reads past the record into the MAC/key region,
+/// then uses the byte as a table index — a textbook v1 gadget inside
+/// record validation.
+pub fn c_variant() -> CaseStudy {
+    let mut b = ProgramBuilder::new();
+    // rec_len comes from the (public) wire header.
+    b.load(RA, [imm(SCRATCH)]); // rec_len (public, architecturally 0)
+    b.br(OpCode::Gt, [imm(4), reg(RA)], "in_bounds", "reject");
+    b.label("in_bounds");
+    // padding byte = rec[rec_len - 1]; with rec_len speculatively huge
+    // this reads the secret MAC region.
+    b.op(RB, OpCode::Sub, [reg(RA), imm(1)]);
+    b.load(RC, [imm(OUT), reg(RB)]);
+    // pad-dependent table lookup (the leak).
+    b.load(RD, [imm(TABLE), reg(RC)]);
+    b.label("reject");
+    ct_mac_check(&mut b);
+    let program = b.build().expect("ssl3 C builds");
+    let mut config = standard_config(program.entry);
+    // The attacker controls the wire length field: out of bounds.
+    config.mem.write(SCRATCH, sct_core::Val::public(12));
+    CaseStudy {
+        name: "OpenSSL ssl3 record validate",
+        variant: Variant::C,
+        description: "branchy length check: speculative OOB pad read indexes a table",
+        program,
+        config,
+    }
+}
+
+/// The FaCT build: the length check is constant-time (csel-clamped), but
+/// the pad scratch slot is sanitized by a store whose address arrives
+/// late — a load slipping underneath it revives the secret pad byte.
+pub fn fact_variant() -> CaseStudy {
+    let mut b = ProgramBuilder::new();
+    // Clamp the length without branching: len = min(len, 3).
+    b.load(RA, [imm(SCRATCH)]);
+    b.op(RB, OpCode::Lt, [reg(RA), imm(4)]);
+    b.op(RA, OpCode::Csel, [reg(RB), reg(RA), imm(3)]);
+    // pad = rec[len] (in bounds by construction; value is secret).
+    b.load(RC, [imm(OUT), reg(RA)]);
+    // Spill the secret pad byte to the scratch slot...
+    b.store(reg(RC), [imm(SCRATCH + 2)]);
+    // ...then sanitize the slot; the slot address is register-computed,
+    // so its resolution can be delayed (the v4 hazard).
+    b.op(RD, OpCode::Add, [imm(SCRATCH), imm(2)]);
+    b.store(imm(0), [reg(RD)]);
+    // Later, "public" bookkeeping reloads the slot and uses it as an
+    // index — correct architecturally (reads 0), leaking speculatively.
+    b.load(RE, [imm(SCRATCH + 2)]);
+    b.load(RF, [imm(TABLE), reg(RE)]);
+    ct_mac_check(&mut b);
+    let program = b.build().expect("ssl3 FaCT builds");
+    let config = standard_config(program.entry);
+    CaseStudy {
+        name: "OpenSSL ssl3 record validate",
+        variant: Variant::Fact,
+        description: "sanitizing store bypassed: stale secret pad byte indexes a table (v4)",
+        program,
+        config,
+    }
+}

@@ -1,0 +1,143 @@
+//! Table 2: run Pitchfork over every case study in both modes and
+//! render the paper's detection matrix.
+
+use crate::common::{CaseStudy, Variant};
+use crate::{donna, meecbc, secretbox, ssl3};
+use pitchfork::{Detector, DetectorOptions};
+use std::fmt;
+
+/// The verdicts for one build of one case study.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cell {
+    /// Flagged in v1/v1.1 mode (no forwarding hazards).
+    pub v1: bool,
+    /// Flagged in v4 mode (with forwarding hazards).
+    pub v4: bool,
+}
+
+impl Cell {
+    /// The paper's notation: `✗` = violation found in v1 mode, `f` =
+    /// found only with forwarding-hazard detection, `✓` = no violation.
+    pub fn symbol(&self) -> &'static str {
+        match (self.v1, self.v4) {
+            (true, _) => "✗",
+            (false, true) => "f",
+            (false, false) => "✓",
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Case-study name.
+    pub name: &'static str,
+    /// The C build's verdicts.
+    pub c: Cell,
+    /// The FaCT build's verdicts.
+    pub fact: Cell,
+}
+
+/// The whole table, with the bounds used.
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// Rows in paper order.
+    pub rows: Vec<Row>,
+    /// Speculation bound used in v1 mode.
+    pub v1_bound: usize,
+    /// Speculation bound used in v4 mode.
+    pub v4_bound: usize,
+}
+
+/// All eight case-study builds (four studies × two variants).
+pub fn all_studies() -> Vec<CaseStudy> {
+    vec![
+        donna::c_variant(),
+        donna::fact_variant(),
+        secretbox::c_variant(),
+        secretbox::fact_variant(),
+        ssl3::c_variant(),
+        ssl3::fact_variant(),
+        meecbc::c_variant(),
+        meecbc::fact_variant(),
+    ]
+}
+
+/// Analyze one build in one mode.
+pub fn analyze(study: &CaseStudy, forwarding_hazards: bool, bound: usize) -> pitchfork::Report {
+    let options = if forwarding_hazards {
+        DetectorOptions::v4_mode(bound)
+    } else {
+        DetectorOptions::v1_mode(bound)
+    };
+    Detector::new(options).analyze(&study.program, &study.config)
+}
+
+/// Run the full Table 2 experiment, mirroring §4.2.1's procedure:
+/// v1 mode with a deep bound first; v4 mode with a reduced bound.
+pub fn run(v1_bound: usize, v4_bound: usize) -> Table2 {
+    let names = [
+        "curve25519-donna",
+        "libsodium secretbox",
+        "OpenSSL ssl3 record validate",
+        "OpenSSL MEE-CBC",
+    ];
+    let studies = all_studies();
+    let mut rows = Vec::new();
+    for name in names {
+        let mut c = Cell { v1: false, v4: false };
+        let mut fact = Cell { v1: false, v4: false };
+        for s in studies.iter().filter(|s| s.name == name) {
+            let v1 = analyze(s, false, v1_bound).has_violations();
+            let v4 = analyze(s, true, v4_bound).has_violations();
+            match s.variant {
+                Variant::C => c = Cell { v1, v4 },
+                Variant::Fact => fact = Cell { v1, v4 },
+            }
+        }
+        rows.push(Row { name, c, fact });
+    }
+    Table2 {
+        rows,
+        v1_bound,
+        v4_bound,
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 2: ✗ = SCT violation; f = violation only with forwarding"
+        )?;
+        writeln!(
+            f,
+            "hazard detection; ✓ = no violation (bounds: v1 {}, v4 {})",
+            self.v1_bound, self.v4_bound
+        )?;
+        writeln!(f)?;
+        writeln!(f, "{:<32} {:>4} {:>5}", "Case Study", "C", "FaCT")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<32} {:>4} {:>5}",
+                row.name,
+                row.c.symbol(),
+                row.fact.symbol()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_symbols() {
+        assert_eq!(Cell { v1: true, v4: true }.symbol(), "✗");
+        assert_eq!(Cell { v1: false, v4: true }.symbol(), "f");
+        assert_eq!(Cell { v1: false, v4: false }.symbol(), "✓");
+    }
+}

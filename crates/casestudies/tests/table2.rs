@@ -1,0 +1,76 @@
+//! The Table 2 reproduction: the detection matrix must match the
+//! paper's prose —
+//!
+//! * curve25519-donna: no violations in either build;
+//! * libsodium secretbox: violation in the C build only (v1 mode);
+//! * OpenSSL ssl3 record validate: C flagged in v1 mode, FaCT only
+//!   with forwarding-hazard detection;
+//! * OpenSSL MEE-CBC: C flagged in v1 mode, FaCT only with
+//!   forwarding-hazard detection.
+
+use sct_casestudies::table2::{self, Cell};
+use sct_core::sched::sequential::run_sequential;
+use sct_core::Params;
+
+/// Reduced bounds keep the test quick; the bench sweeps the paper's
+/// 250/20 configuration.
+const V1_BOUND: usize = 40;
+const V4_BOUND: usize = 20;
+
+#[test]
+fn table2_matrix_matches_paper() {
+    let table = table2::run(V1_BOUND, V4_BOUND);
+    let expect = [
+        ("curve25519-donna", Cell { v1: false, v4: false }, Cell { v1: false, v4: false }),
+        ("libsodium secretbox", Cell { v1: true, v4: true }, Cell { v1: false, v4: false }),
+        (
+            "OpenSSL ssl3 record validate",
+            Cell { v1: true, v4: true },
+            Cell { v1: false, v4: true },
+        ),
+        (
+            "OpenSSL MEE-CBC",
+            Cell { v1: true, v4: true },
+            Cell { v1: false, v4: true },
+        ),
+    ];
+    assert_eq!(table.rows.len(), expect.len());
+    for (row, (name, c, fact)) in table.rows.iter().zip(expect) {
+        assert_eq!(row.name, name);
+        assert_eq!(row.c, c, "{name} (C): got {:?}", row.c);
+        assert_eq!(row.fact, fact, "{name} (FaCT): got {:?}", row.fact);
+    }
+    // The rendered table shows the paper's symbols.
+    let text = table.to_string();
+    assert!(text.contains("curve25519-donna"), "{text}");
+    assert!(text.contains('✗'));
+    assert!(text.contains('f'));
+}
+
+/// Every case study is sequentially constant-time — the violations the
+/// detector finds are speculative-only, as in the paper (the case
+/// studies were verified sequentially CT by FaCT's authors).
+#[test]
+fn case_studies_are_sequentially_constant_time() {
+    for study in table2::all_studies() {
+        let out = run_sequential(
+            &study.program,
+            study.config.clone(),
+            Params::paper(),
+            500_000,
+        )
+        .unwrap_or_else(|e| panic!("{} ({}): {e}", study.name, study.variant.name()));
+        assert!(
+            out.terminal,
+            "{} ({}) did not run to completion",
+            study.name,
+            study.variant.name()
+        );
+        assert!(
+            out.outcome.trace.is_public(),
+            "{} ({}) leaks sequentially",
+            study.name,
+            study.variant.name()
+        );
+    }
+}

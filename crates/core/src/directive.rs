@@ -1,0 +1,199 @@
+//! Attacker directives (§3.1).
+//!
+//! Directives resolve *all* microarchitectural non-determinism: which
+//! branch the predictor guesses, which instruction executes next, which
+//! store an aliasing predictor forwards from. A schedule of directives
+//! therefore stands for one concrete behaviour of one (adversarially
+//! chosen) microarchitecture.
+
+use crate::value::Pc;
+use std::fmt;
+
+/// A single attacker directive.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Directive {
+    /// `fetch` — fetch the next instruction (ops, loads, stores, fences,
+    /// calls, and rets with a non-empty RSB).
+    Fetch,
+    /// `fetch: b` — fetch a conditional branch, speculatively following
+    /// the `true` or `false` arm.
+    FetchBranch(bool),
+    /// `fetch: n` — fetch an indirect jump (or a `ret` under an empty
+    /// RSB), speculatively targeting program point `n`.
+    FetchJump(Pc),
+    /// `execute i` — execute the transient instruction at buffer index
+    /// `i` (ops, branches, loads, indirect jumps).
+    Execute(usize),
+    /// `execute i : value` — resolve the data operand of the store at `i`.
+    ExecuteValue(usize),
+    /// `execute i : addr` — resolve the address of the store at `i`.
+    ExecuteAddr(usize),
+    /// `execute i : fwd j` — alias-predict: forward the (resolved) data of
+    /// the store at `j` to the load at `i` without knowing the store's
+    /// address (§3.5).
+    ExecuteFwd(usize, usize),
+    /// `retire` — retire the instruction at `MIN(buf)` (for `call`/`ret`,
+    /// retire the whole expansion group).
+    Retire,
+}
+
+impl Directive {
+    /// `true` for the fetch-family directives.
+    pub fn is_fetch(self) -> bool {
+        matches!(
+            self,
+            Directive::Fetch | Directive::FetchBranch(_) | Directive::FetchJump(_)
+        )
+    }
+
+    /// `true` for the execute-family directives.
+    pub fn is_execute(self) -> bool {
+        matches!(
+            self,
+            Directive::Execute(_)
+                | Directive::ExecuteValue(_)
+                | Directive::ExecuteAddr(_)
+                | Directive::ExecuteFwd(_, _)
+        )
+    }
+
+    /// The buffer index an execute-family directive targets.
+    pub fn target_index(self) -> Option<usize> {
+        match self {
+            Directive::Execute(i)
+            | Directive::ExecuteValue(i)
+            | Directive::ExecuteAddr(i)
+            | Directive::ExecuteFwd(i, _) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Directive::Fetch => write!(f, "fetch"),
+            Directive::FetchBranch(b) => write!(f, "fetch: {b}"),
+            Directive::FetchJump(n) => write!(f, "fetch: {n}"),
+            Directive::Execute(i) => write!(f, "execute {i}"),
+            Directive::ExecuteValue(i) => write!(f, "execute {i} : value"),
+            Directive::ExecuteAddr(i) => write!(f, "execute {i} : addr"),
+            Directive::ExecuteFwd(i, j) => write!(f, "execute {i} : fwd {j}"),
+            Directive::Retire => write!(f, "retire"),
+        }
+    }
+}
+
+/// A schedule `D`: a finite sequence of directives.
+///
+/// `N` in the paper's big step `C ⇓_D^N C'` is the number of `retire`
+/// directives, exposed as [`Schedule::retire_count`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule(pub Vec<Directive>);
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Append a directive.
+    pub fn push(&mut self, d: Directive) {
+        self.0.push(d);
+    }
+
+    /// Number of directives.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the empty schedule.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// `N = #{d ∈ D | d = retire}`.
+    pub fn retire_count(&self) -> usize {
+        self.0
+            .iter()
+            .filter(|d| matches!(d, Directive::Retire))
+            .count()
+    }
+
+    /// Iterate over the directives in order.
+    pub fn iter(&self) -> impl Iterator<Item = Directive> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl FromIterator<Directive> for Schedule {
+    fn from_iter<I: IntoIterator<Item = Directive>>(iter: I) -> Self {
+        Schedule(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Directive> for Schedule {
+    fn extend<I: IntoIterator<Item = Directive>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, d) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Directive::Fetch.is_fetch());
+        assert!(Directive::FetchBranch(true).is_fetch());
+        assert!(Directive::FetchJump(7).is_fetch());
+        assert!(Directive::Execute(1).is_execute());
+        assert!(Directive::ExecuteFwd(7, 2).is_execute());
+        assert!(!Directive::Retire.is_fetch());
+        assert!(!Directive::Retire.is_execute());
+    }
+
+    #[test]
+    fn target_indices() {
+        assert_eq!(Directive::Execute(3).target_index(), Some(3));
+        assert_eq!(Directive::ExecuteAddr(2).target_index(), Some(2));
+        assert_eq!(Directive::ExecuteFwd(7, 2).target_index(), Some(7));
+        assert_eq!(Directive::Retire.target_index(), None);
+        assert_eq!(Directive::Fetch.target_index(), None);
+    }
+
+    #[test]
+    fn retire_count_counts_only_retires() {
+        let s: Schedule = [
+            Directive::Fetch,
+            Directive::Execute(1),
+            Directive::Retire,
+            Directive::Retire,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.retire_count(), 2);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Directive::FetchBranch(true).to_string(), "fetch: true");
+        assert_eq!(Directive::ExecuteValue(2).to_string(), "execute 2 : value");
+        assert_eq!(Directive::ExecuteFwd(7, 2).to_string(), "execute 7 : fwd 2");
+        let s: Schedule = [Directive::Fetch, Directive::Retire].into_iter().collect();
+        assert_eq!(s.to_string(), "fetch; retire");
+    }
+}

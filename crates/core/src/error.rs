@@ -1,0 +1,165 @@
+//! Errors for the small-step semantics.
+//!
+//! A directive for which no rule applies makes the step fail with a
+//! [`StepError`]; a schedule is *well-formed* for a configuration exactly
+//! when every step succeeds.
+
+use crate::directive::Directive;
+use crate::value::Pc;
+use std::fmt;
+
+/// Why a directive had no applicable rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// `fetch` at a program point with no instruction (the program has
+    /// halted, or speculation ran off the program).
+    NoInstruction(Pc),
+    /// The fetch directive's shape does not match the instruction at the
+    /// current program point (e.g. plain `fetch` on a branch).
+    FetchMismatch {
+        /// The current program point.
+        pc: Pc,
+        /// The instruction kind found there.
+        found: &'static str,
+    },
+    /// The reorder buffer is at its configured capacity.
+    RobFull,
+    /// An execute-family directive referenced an index outside the
+    /// buffer's domain.
+    NoSuchIndex(usize),
+    /// The execute directive's shape does not match the transient
+    /// instruction at the index.
+    ExecuteMismatch {
+        /// The targeted index.
+        index: usize,
+        /// The transient kind found there.
+        found: &'static str,
+    },
+    /// A fence at a smaller index blocks this execute step (§3.6).
+    FenceBlocked {
+        /// The targeted index.
+        index: usize,
+    },
+    /// An operand's latest assignment is still unresolved
+    /// (`(buf +i ρ)(r) = ⊥`).
+    OperandsPending {
+        /// The targeted index.
+        index: usize,
+    },
+    /// A load's most recent address-matching store has no resolved data
+    /// yet: neither load-execute rule applies.
+    StoreDataPending {
+        /// The load's index.
+        index: usize,
+        /// The matching store's index.
+        store: usize,
+    },
+    /// `execute i : fwd j` named an index `j` that is not a store with
+    /// resolved data, or `j ≥ i`.
+    BadForwardSource {
+        /// The load's index.
+        index: usize,
+        /// The claimed store index.
+        from: usize,
+    },
+    /// A partially-resolved load whose originating store has retired found
+    /// a prior in-buffer store with a matching resolved address; the paper
+    /// has no rule for this case.
+    GuessedLoadBlocked {
+        /// The load's index.
+        index: usize,
+    },
+    /// `retire` on an empty buffer.
+    EmptyBuffer,
+    /// The oldest instruction (or its call/ret expansion group) is not
+    /// fully resolved, so it cannot retire.
+    NotRetirable {
+        /// The oldest index.
+        index: usize,
+        /// The transient kind found there.
+        found: &'static str,
+    },
+    /// Fetching a `ret` under an empty RSB with the
+    /// [`crate::params::RsbPolicy::Refuse`] policy.
+    RsbRefused,
+    /// An opcode was applied to the wrong number of operands.
+    Eval(crate::op::EvalError),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::NoInstruction(pc) => write!(f, "no instruction at program point {pc}"),
+            StepError::FetchMismatch { pc, found } => {
+                write!(f, "fetch directive does not match `{found}` at {pc}")
+            }
+            StepError::RobFull => write!(f, "reorder buffer is full"),
+            StepError::NoSuchIndex(i) => write!(f, "no reorder-buffer entry at index {i}"),
+            StepError::ExecuteMismatch { index, found } => {
+                write!(f, "execute directive does not match `{found}` at index {index}")
+            }
+            StepError::FenceBlocked { index } => {
+                write!(f, "a fence below index {index} blocks execution")
+            }
+            StepError::OperandsPending { index } => {
+                write!(f, "operands of index {index} are not yet resolved")
+            }
+            StepError::StoreDataPending { index, store } => write!(
+                f,
+                "load at {index} matches store at {store} whose data is unresolved"
+            ),
+            StepError::BadForwardSource { index, from } => write!(
+                f,
+                "cannot forward to load at {index} from index {from}"
+            ),
+            StepError::GuessedLoadBlocked { index } => write!(
+                f,
+                "guessed load at {index} is blocked by a prior matching store"
+            ),
+            StepError::EmptyBuffer => write!(f, "retire on an empty reorder buffer"),
+            StepError::NotRetirable { index, found } => {
+                write!(f, "`{found}` at index {index} is not ready to retire")
+            }
+            StepError::RsbRefused => {
+                write!(f, "empty RSB: processor refuses to speculate on ret")
+            }
+            StepError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+impl From<crate::op::EvalError> for StepError {
+    fn from(e: crate::op::EvalError) -> Self {
+        StepError::Eval(e)
+    }
+}
+
+/// An error together with the directive that caused it, as reported by
+/// schedule runners.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScheduleError {
+    /// Position of the failing directive within the schedule.
+    pub at: usize,
+    /// The failing directive.
+    pub directive: Directive,
+    /// The underlying step error.
+    pub error: StepError,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "directive #{} ({}) failed: {}",
+            self.at, self.directive, self.error
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}

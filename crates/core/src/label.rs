@@ -1,0 +1,141 @@
+//! Security labels.
+//!
+//! The paper annotates every value with a label drawn from "a lattice of
+//! security labels with join operator ⊔". All of the paper's examples (and
+//! the speculative constant-time definition itself) use the two-point
+//! lattice `public ⊑ secret`; we implement that lattice directly and keep
+//! the lattice operations behind the [`Lattice`] trait so richer lattices
+//! can be slotted in later.
+
+use std::fmt;
+
+/// A join-semilattice of security labels.
+///
+/// Laws (checked by property tests in this module):
+/// * `join` is associative, commutative, and idempotent;
+/// * `bottom` is the identity of `join`.
+pub trait Lattice: Copy + Eq + fmt::Debug {
+    /// The least element (most permissive label).
+    const BOTTOM: Self;
+    /// Least upper bound.
+    fn join(self, other: Self) -> Self;
+    /// Lattice ordering: `self ⊑ other`.
+    fn flows_to(self, other: Self) -> bool {
+        self.join(other) == other
+    }
+}
+
+/// The two-point security lattice used throughout the paper's examples.
+///
+/// `Public ⊑ Secret`. An observation that carries a [`Label::Secret`]
+/// label witnesses a speculative constant-time violation (Corollary B.10).
+///
+/// # Examples
+///
+/// ```
+/// use sct_core::label::{Label, Lattice};
+/// assert_eq!(Label::Public.join(Label::Secret), Label::Secret);
+/// assert!(Label::Public.flows_to(Label::Secret));
+/// assert!(!Label::Secret.flows_to(Label::Public));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Label {
+    /// Attacker-observable data; leaking it is fine.
+    #[default]
+    Public,
+    /// Confidential data; any observation carrying this label is a leak.
+    Secret,
+}
+
+impl Lattice for Label {
+    const BOTTOM: Self = Label::Public;
+
+    #[inline]
+    fn join(self, other: Self) -> Self {
+        match (self, other) {
+            (Label::Public, Label::Public) => Label::Public,
+            _ => Label::Secret,
+        }
+    }
+}
+
+impl Label {
+    /// `true` iff the label is [`Label::Secret`].
+    #[inline]
+    pub fn is_secret(self) -> bool {
+        matches!(self, Label::Secret)
+    }
+
+    /// `true` iff the label is [`Label::Public`].
+    #[inline]
+    pub fn is_public(self) -> bool {
+        matches!(self, Label::Public)
+    }
+
+    /// Join of an iterator of labels (`⊔ ℓ⃗`), [`Label::Public`] when empty.
+    pub fn join_all<I: IntoIterator<Item = Label>>(labels: I) -> Label {
+        labels
+            .into_iter()
+            .fold(Label::Public, |acc, l| acc.join(l))
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Public => write!(f, "pub"),
+            Label::Secret => write!(f, "sec"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Label; 2] = [Label::Public, Label::Secret];
+
+    #[test]
+    fn join_is_commutative_and_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.join(b), b.join(a));
+                for c in ALL {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent_with_bottom_identity() {
+        for a in ALL {
+            assert_eq!(a.join(a), a);
+            assert_eq!(a.join(Label::BOTTOM), a);
+            assert_eq!(Label::BOTTOM.join(a), a);
+        }
+    }
+
+    #[test]
+    fn flows_to_is_the_expected_order() {
+        assert!(Label::Public.flows_to(Label::Public));
+        assert!(Label::Public.flows_to(Label::Secret));
+        assert!(Label::Secret.flows_to(Label::Secret));
+        assert!(!Label::Secret.flows_to(Label::Public));
+    }
+
+    #[test]
+    fn join_all_of_empty_is_public() {
+        assert_eq!(Label::join_all(std::iter::empty()), Label::Public);
+        assert_eq!(
+            Label::join_all([Label::Public, Label::Secret, Label::Public]),
+            Label::Secret
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_subscripts() {
+        assert_eq!(Label::Public.to_string(), "pub");
+        assert_eq!(Label::Secret.to_string(), "sec");
+    }
+}

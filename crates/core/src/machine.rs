@@ -1,0 +1,251 @@
+//! The speculative machine: a configuration paired with a program, driven
+//! by attacker directives (`C ↪→ᵈₒ C'`).
+
+use crate::config::Config;
+use crate::directive::{Directive, Schedule};
+use crate::error::{ScheduleError, StepError};
+use crate::instr::Program;
+use crate::label::Label;
+use crate::observation::{Observation, Trace};
+use crate::op::{self, OpCode};
+use crate::params::Params;
+use crate::resolve::{resolve_operand, resolve_operands, Resolved};
+use crate::value::Val;
+
+/// The outcome of one small step: the observations it emitted (0–2).
+pub type StepObs = Vec<Observation>;
+
+/// Outcome of running a whole schedule: the big step `C ⇓ᴰ_O^N C'`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunOutcome {
+    /// The observation trace `O`.
+    pub trace: Trace,
+    /// The number of retired instructions `N` (retire directives that
+    /// succeeded).
+    pub retired: usize,
+}
+
+/// A machine: program, parameters, and current configuration.
+///
+/// # Examples
+///
+/// Running the Spectre v1 gadget of Figure 1 under the attack schedule:
+///
+/// ```
+/// use sct_core::examples::fig1;
+/// use sct_core::directive::Directive::*;
+///
+/// let (program, config) = fig1();
+/// let mut m = sct_core::machine::Machine::new(&program, config);
+/// m.step(FetchBranch(true)).unwrap();
+/// m.step(Fetch).unwrap();
+/// m.step(Fetch).unwrap();
+/// m.step(Execute(2)).unwrap(); // read 0x49pub
+/// let leak = m.step(Execute(3)).unwrap(); // read (Key[1] + 0x44)sec
+/// assert!(leak.iter().any(|o| o.is_secret()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    /// The immutable program (instruction space).
+    pub program: &'p Program,
+    /// Machine parameters (addressing mode, stack discipline, ...).
+    pub params: Params,
+    /// The current configuration.
+    pub cfg: Config,
+}
+
+impl<'p> Machine<'p> {
+    /// A machine over `program` starting from `config`, with default
+    /// (paper) parameters.
+    pub fn new(program: &'p Program, config: Config) -> Self {
+        Machine {
+            program,
+            params: Params::paper(),
+            cfg: config,
+        }
+    }
+
+    /// A machine with explicit parameters.
+    pub fn with_params(program: &'p Program, config: Config, params: Params) -> Self {
+        Machine {
+            program,
+            params,
+            cfg: config,
+        }
+    }
+
+    /// Perform one small step under `directive`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StepError`] when no rule of the semantics applies; the
+    /// configuration is left unchanged in that case.
+    pub fn step(&mut self, directive: Directive) -> Result<StepObs, StepError> {
+        match directive {
+            Directive::Fetch | Directive::FetchBranch(_) | Directive::FetchJump(_) => {
+                self.fetch(directive)
+            }
+            Directive::Execute(i) => self.execute(i),
+            Directive::ExecuteValue(i) => self.execute_store_value(i),
+            Directive::ExecuteAddr(i) => self.execute_store_addr(i),
+            Directive::ExecuteFwd(i, j) => self.execute_forward_guess(i, j),
+            Directive::Retire => self.retire(),
+        }
+    }
+
+    /// Run a fixed schedule to completion, producing the big-step outcome.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`ScheduleError`] identifying the first directive with
+    /// no applicable rule (the schedule is then not well-formed).
+    pub fn run(&mut self, schedule: &Schedule) -> Result<RunOutcome, ScheduleError> {
+        let mut trace = Trace::new();
+        let mut retired = 0;
+        for (at, d) in schedule.iter().enumerate() {
+            match self.step(d) {
+                Ok(obs) => {
+                    if matches!(d, Directive::Retire) {
+                        retired += 1;
+                    }
+                    trace.extend_step(obs);
+                }
+                Err(error) => {
+                    return Err(ScheduleError {
+                        at,
+                        directive: d,
+                        error,
+                    })
+                }
+            }
+        }
+        Ok(RunOutcome { trace, retired })
+    }
+
+    /// Evaluate an opcode, routing the abstract `succ`/`pred`/`addr`
+    /// operations through the machine parameters.
+    pub(crate) fn eval_op(&self, opcode: OpCode, args: &[Val]) -> Result<Val, StepError> {
+        match opcode {
+            OpCode::Succ | OpCode::Pred => {
+                if args.len() != 1 {
+                    return Err(op::EvalError::Arity {
+                        op: opcode,
+                        got: args.len(),
+                    }
+                    .into());
+                }
+                let v = args[0];
+                let bits = if opcode == OpCode::Succ {
+                    self.params.stack.succ(v.bits)
+                } else {
+                    self.params.stack.pred(v.bits)
+                };
+                Ok(Val::new(bits, v.label))
+            }
+            OpCode::Addr => Ok(self.params.addr_mode.eval(args)),
+            _ => Ok(op::eval(opcode, args)?),
+        }
+    }
+
+    /// `Jaddr(v⃗ℓ)K` with `ℓa = ⊔ ℓ⃗`.
+    pub(crate) fn eval_addr(&self, args: &[Val]) -> Val {
+        self.params.addr_mode.eval(args)
+    }
+
+    /// Resolve one operand at buffer index `i`, mapping `⊥` to
+    /// [`StepError::OperandsPending`].
+    pub(crate) fn resolve1(
+        &self,
+        i: usize,
+        opnd: &crate::instr::Operand,
+    ) -> Result<Val, StepError> {
+        match resolve_operand(&self.cfg.rob, &self.cfg.regs, i, opnd) {
+            Resolved::Val(v) => Ok(v),
+            Resolved::Pending => Err(StepError::OperandsPending { index: i }),
+        }
+    }
+
+    /// Resolve an operand list at buffer index `i`.
+    pub(crate) fn resolve_list(
+        &self,
+        i: usize,
+        ops: &[crate::instr::Operand],
+    ) -> Result<Vec<Val>, StepError> {
+        resolve_operands(&self.cfg.rob, &self.cfg.regs, i, ops)
+            .ok_or(StepError::OperandsPending { index: i })
+    }
+
+    /// The execute-stage fence side condition `∀ j < i : buf(j) ≠ fence`.
+    pub(crate) fn check_no_fence_below(&self, i: usize) -> Result<(), StepError> {
+        if self.cfg.rob.no_fence_below(i) {
+            Ok(())
+        } else {
+            Err(StepError::FenceBlocked { index: i })
+        }
+    }
+
+    /// Roll back the reorder buffer *and* the RSB from index `cut`,
+    /// redirecting the program point to `new_pc`.
+    pub(crate) fn rollback(&mut self, cut: usize, new_pc: crate::value::Pc) {
+        self.cfg.rob.truncate_from(cut);
+        self.cfg.rsb.truncate_from(cut);
+        self.cfg.pc = new_pc;
+    }
+
+    /// Helper building a `jump` observation.
+    pub(crate) fn obs_jump(target: crate::value::Pc, label: Label) -> Observation {
+        Observation::Jump { target, label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::reg::names::*;
+
+    #[test]
+    fn run_reports_failing_directive() {
+        let mut p = Program::new();
+        p.entry = 1;
+        p.insert(
+            1,
+            Instr::Op {
+                dst: RA,
+                op: OpCode::Add,
+                args: vec![crate::instr::Operand::imm(1)],
+                next: 2,
+            },
+        );
+        let cfg = Config::initial(Default::default(), Default::default(), 1);
+        let mut m = Machine::new(&p, cfg);
+        let sched: Schedule = [Directive::Fetch, Directive::Fetch].into_iter().collect();
+        let err = m.run(&sched).unwrap_err();
+        assert_eq!(err.at, 1);
+        assert_eq!(err.error, StepError::NoInstruction(2));
+    }
+
+    #[test]
+    fn eval_op_uses_stack_params() {
+        let p = Program::new();
+        let cfg = Config::initial(Default::default(), Default::default(), 0);
+        let mut params = Params::paper();
+        params.stack = crate::params::StackDiscipline::GrowsUp { word: 4 };
+        let m = Machine::with_params(&p, cfg, params);
+        let v = m.eval_op(OpCode::Succ, &[Val::public(100)]).unwrap();
+        assert_eq!(v.bits, 104);
+        let v = m.eval_op(OpCode::Pred, &[Val::public(104)]).unwrap();
+        assert_eq!(v.bits, 100);
+    }
+
+    #[test]
+    fn eval_op_addr_uses_addr_mode() {
+        let p = Program::new();
+        let cfg = Config::initial(Default::default(), Default::default(), 0);
+        let m = Machine::new(&p, cfg);
+        let v = m
+            .eval_op(OpCode::Addr, &[Val::public(12), Val::public(8)])
+            .unwrap();
+        assert_eq!(v.bits, 20);
+    }
+}

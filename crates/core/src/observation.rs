@@ -1,0 +1,210 @@
+//! Observations (leakage) and traces.
+//!
+//! The semantics does not model caches or predictors; instead every step
+//! may emit observations capturing exactly what a cache/timing attacker
+//! can learn: memory reads and writes, store-to-load forwards, resolved
+//! control flow, and rollbacks (§3.2). Speculative constant-time asks
+//! that low-equivalent configurations produce *identical* observation
+//! traces; by Corollary B.10 it suffices to check that no observation
+//! carries a secret label.
+
+use crate::label::Label;
+use crate::value::{Pc, Word};
+use std::fmt;
+
+/// A single observation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Observation {
+    /// `read aℓ` — a load accessed memory address `a`.
+    Read {
+        /// The address read.
+        addr: Word,
+        /// Label of the address computation (`ℓa = ⊔ ℓ⃗`).
+        label: Label,
+    },
+    /// `write aℓ` — a retiring store wrote address `a`.
+    Write {
+        /// The address written.
+        addr: Word,
+        /// Label of the address computation.
+        label: Label,
+    },
+    /// `fwd aℓ` — a load was satisfied by store-forwarding for address
+    /// `a` (observable as the *absence* of a memory access), or a store
+    /// resolved its address `a`.
+    Fwd {
+        /// The forwarded address.
+        addr: Word,
+        /// Label of the address computation.
+        label: Label,
+    },
+    /// `jump nℓ` — control flow resolved to program point `n`.
+    Jump {
+        /// The resolved target.
+        target: Pc,
+        /// Label of the condition/target computation.
+        label: Label,
+    },
+    /// `rollback` — misspeculation or a memory hazard squashed the
+    /// buffer (observable through instruction timing).
+    Rollback,
+}
+
+impl Observation {
+    /// The label the observation leaks at, if it carries one
+    /// (`rollback` does not carry data).
+    pub fn label(self) -> Option<Label> {
+        match self {
+            Observation::Read { label, .. }
+            | Observation::Write { label, .. }
+            | Observation::Fwd { label, .. }
+            | Observation::Jump { label, .. } => Some(label),
+            Observation::Rollback => None,
+        }
+    }
+
+    /// `true` iff this observation leaks secret-labeled data — a
+    /// speculative constant-time violation by Corollary B.10.
+    pub fn is_secret(self) -> bool {
+        self.label().is_some_and(Label::is_secret)
+    }
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observation::Read { addr, label } => write!(f, "read {addr:#x}{label}"),
+            Observation::Write { addr, label } => write!(f, "write {addr:#x}{label}"),
+            Observation::Fwd { addr, label } => write!(f, "fwd {addr:#x}{label}"),
+            Observation::Jump { target, label } => write!(f, "jump {target}{label}"),
+            Observation::Rollback => write!(f, "rollback"),
+        }
+    }
+}
+
+/// The observation trace `O` of an execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace(pub Vec<Observation>);
+
+impl Trace {
+    /// The empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append the observations of one step.
+    pub fn extend_step(&mut self, obs: impl IntoIterator<Item = Observation>) {
+        self.0.extend(obs);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the observations.
+    pub fn iter(&self) -> impl Iterator<Item = Observation> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The first secret-labeled observation, if any (the witness Pitchfork
+    /// reports).
+    pub fn first_secret(&self) -> Option<Observation> {
+        self.iter().find(|o| o.is_secret())
+    }
+
+    /// `true` iff no observation carries a secret label (Thm B.9's
+    /// premise; Corollary B.10's sufficient condition for SCT).
+    pub fn is_public(&self) -> bool {
+        self.first_secret().is_none()
+    }
+}
+
+impl FromIterator<Observation> for Trace {
+    fn from_iter<I: IntoIterator<Item = Observation>>(iter: I) -> Self {
+        Trace(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, o) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_secrecy() {
+        let r = Observation::Read {
+            addr: 0x49,
+            label: Label::Public,
+        };
+        assert!(!r.is_secret());
+        let j = Observation::Jump {
+            target: 9,
+            label: Label::Secret,
+        };
+        assert!(j.is_secret());
+        assert_eq!(Observation::Rollback.label(), None);
+        assert!(!Observation::Rollback.is_secret());
+    }
+
+    #[test]
+    fn trace_first_secret() {
+        let t: Trace = [
+            Observation::Read {
+                addr: 0x49,
+                label: Label::Public,
+            },
+            Observation::Rollback,
+            Observation::Read {
+                addr: 0x8c,
+                label: Label::Secret,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert!(!t.is_public());
+        assert_eq!(
+            t.first_secret(),
+            Some(Observation::Read {
+                addr: 0x8c,
+                label: Label::Secret
+            })
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_public() {
+        assert!(Trace::new().is_public());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let o = Observation::Fwd {
+            addr: 0x45,
+            label: Label::Public,
+        };
+        assert_eq!(o.to_string(), "fwd 0x45pub");
+        assert_eq!(Observation::Rollback.to_string(), "rollback");
+        let j = Observation::Jump {
+            target: 9,
+            label: Label::Public,
+        };
+        assert_eq!(j.to_string(), "jump 9pub");
+    }
+}

@@ -1,0 +1,347 @@
+//! Opcodes and the evaluation function `J·K`.
+//!
+//! The paper keeps the set of arithmetic/Boolean operators abstract (`op`
+//! "specifies opcode"). We provide the operators its examples and our case
+//! studies need, including a constant-time select (`Csel`) standing in for
+//! the `cmov`-style instructions the FaCT compiler emits.
+
+use crate::label::Label;
+use crate::value::{Val, Word};
+use std::fmt;
+
+/// An operator usable in `op` instructions and as the Boolean operator of
+/// conditional branches.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpCode {
+    /// Wrapping addition of all operands (identity 0).
+    Add,
+    /// Wrapping subtraction, left-associated over the operands.
+    Sub,
+    /// Wrapping multiplication of all operands (identity 1).
+    Mul,
+    /// Bitwise and (identity all-ones).
+    And,
+    /// Bitwise or (identity 0).
+    Or,
+    /// Bitwise xor (identity 0).
+    Xor,
+    /// Left shift: `v0 << (v1 mod 64)`.
+    Shl,
+    /// Logical right shift: `v0 >> (v1 mod 64)`.
+    Shr,
+    /// Bitwise complement of the single operand.
+    Not,
+    /// Equality of `v0` and `v1` (1 or 0).
+    Eq,
+    /// Inequality of `v0` and `v1`.
+    Ne,
+    /// Unsigned `v0 < v1`.
+    Lt,
+    /// Unsigned `v0 <= v1`.
+    Le,
+    /// Unsigned `v0 > v1`. Figure 1's bounds check is `br(>, (4, ra), ...)`:
+    /// operand order follows the paper, so `Gt(4, ra)` is `4 > ra`.
+    Gt,
+    /// Unsigned `v0 >= v1`.
+    Ge,
+    /// Signed `v0 < v1`.
+    SLt,
+    /// Signed `v0 <= v1`.
+    SLe,
+    /// Constant-time select: `v0 != 0 ? v1 : v2`. The label of the result
+    /// joins all three operand labels, so selecting on a secret taints the
+    /// result rather than the control flow.
+    Csel,
+    /// Identity on the single operand (register-to-register move).
+    Mov,
+    /// The abstract stack-successor operation `succ` of Appendix A.
+    Succ,
+    /// The abstract stack-predecessor operation `pred` of Appendix A.
+    Pred,
+    /// The abstract address computation `addr`. Exposed as an opcode so the
+    /// retpoline gadget of Figure 13 (`rd = op(addr, [12, rb])`) can be
+    /// written; evaluates with [`crate::params::AddrMode::Sum`] semantics.
+    Addr,
+}
+
+impl OpCode {
+    /// Arity check: `None` means variadic (at least one operand).
+    pub fn arity(self) -> Option<usize> {
+        use OpCode::*;
+        match self {
+            Not | Mov | Succ | Pred => Some(1),
+            Shl | Shr | Eq | Ne | Lt | Le | Gt | Ge | SLt | SLe => Some(2),
+            Csel => Some(3),
+            Add | Sub | Mul | And | Or | Xor | Addr => None,
+        }
+    }
+
+    /// `true` for operators producing a 0/1 Boolean, usable in `br`.
+    pub fn is_boolean(self) -> bool {
+        use OpCode::*;
+        matches!(self, Eq | Ne | Lt | Le | Gt | Ge | SLt | SLe)
+    }
+
+    /// The mnemonic used by the assembler and `Display`.
+    pub fn mnemonic(self) -> &'static str {
+        use OpCode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Not => "not",
+            Eq => "eq",
+            Ne => "ne",
+            Lt => "lt",
+            Le => "le",
+            Gt => "gt",
+            Ge => "ge",
+            SLt => "slt",
+            SLe => "sle",
+            Csel => "csel",
+            Mov => "mov",
+            Succ => "succ",
+            Pred => "pred",
+            Addr => "addr",
+        }
+    }
+
+    /// Parse a mnemonic produced by [`OpCode::mnemonic`].
+    pub fn parse(s: &str) -> Option<OpCode> {
+        use OpCode::*;
+        Some(match s {
+            "add" => Add,
+            "sub" => Sub,
+            "mul" => Mul,
+            "and" => And,
+            "or" => Or,
+            "xor" => Xor,
+            "shl" => Shl,
+            "shr" => Shr,
+            "not" => Not,
+            "eq" => Eq,
+            "ne" => Ne,
+            "lt" => Lt,
+            "le" => Le,
+            "gt" => Gt,
+            "ge" => Ge,
+            "slt" => SLt,
+            "sle" => SLe,
+            "csel" => Csel,
+            "mov" => Mov,
+            "succ" => Succ,
+            "pred" => Pred,
+            "addr" => Addr,
+            _ => return None,
+        })
+    }
+
+    /// All opcodes, for exhaustive tests and fuzzing.
+    pub const ALL: [OpCode; 22] = [
+        OpCode::Add,
+        OpCode::Sub,
+        OpCode::Mul,
+        OpCode::And,
+        OpCode::Or,
+        OpCode::Xor,
+        OpCode::Shl,
+        OpCode::Shr,
+        OpCode::Not,
+        OpCode::Eq,
+        OpCode::Ne,
+        OpCode::Lt,
+        OpCode::Le,
+        OpCode::Gt,
+        OpCode::Ge,
+        OpCode::SLt,
+        OpCode::SLe,
+        OpCode::Csel,
+        OpCode::Mov,
+        OpCode::Succ,
+        OpCode::Pred,
+        OpCode::Addr,
+    ];
+}
+
+impl fmt::Display for OpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Errors from [`eval`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// The operand list length does not match the opcode's arity.
+    Arity {
+        /// Opcode being evaluated.
+        op: OpCode,
+        /// Number of operands supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Arity { op, got } => {
+                write!(f, "opcode {op} applied to {got} operand(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluation function `Jop(v⃗ℓ)K`.
+///
+/// The result's label is the join of every operand label: evaluation never
+/// declassifies. `succ`/`pred` use the stack discipline's word size 8 with
+/// a downward-growing stack by default; [`crate::params::StackDiscipline`]
+/// callers evaluate those two opcodes themselves.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Arity`] when the operand count does not match
+/// [`OpCode::arity`] (or is zero for variadic opcodes).
+pub fn eval(op: OpCode, args: &[Val]) -> Result<Val, EvalError> {
+    if let Some(n) = op.arity() {
+        if args.len() != n {
+            return Err(EvalError::Arity { op, got: args.len() });
+        }
+    } else if args.is_empty() {
+        return Err(EvalError::Arity { op, got: 0 });
+    }
+    let label = Label::join_all(args.iter().map(|v| v.label));
+    let bits = eval_bits(op, args);
+    Ok(Val::new(bits, label))
+}
+
+fn eval_bits(op: OpCode, args: &[Val]) -> Word {
+    use OpCode::*;
+    let a = |i: usize| args[i].bits;
+    match op {
+        Add | Addr => args.iter().fold(0u64, |acc, v| acc.wrapping_add(v.bits)),
+        Sub => args[1..]
+            .iter()
+            .fold(a(0), |acc, v| acc.wrapping_sub(v.bits)),
+        Mul => args.iter().fold(1u64, |acc, v| acc.wrapping_mul(v.bits)),
+        And => args.iter().fold(u64::MAX, |acc, v| acc & v.bits),
+        Or => args.iter().fold(0u64, |acc, v| acc | v.bits),
+        Xor => args.iter().fold(0u64, |acc, v| acc ^ v.bits),
+        Shl => a(0).wrapping_shl(a(1) as u32 & 63),
+        Shr => a(0).wrapping_shr(a(1) as u32 & 63),
+        Not => !a(0),
+        Eq => (a(0) == a(1)) as u64,
+        Ne => (a(0) != a(1)) as u64,
+        Lt => (a(0) < a(1)) as u64,
+        Le => (a(0) <= a(1)) as u64,
+        Gt => (a(0) > a(1)) as u64,
+        Ge => (a(0) >= a(1)) as u64,
+        SLt => ((a(0) as i64) < (a(1) as i64)) as u64,
+        SLe => ((a(0) as i64) <= (a(1) as i64)) as u64,
+        Csel => {
+            if a(0) != 0 {
+                a(1)
+            } else {
+                a(2)
+            }
+        }
+        Mov => a(0),
+        Succ => a(0).wrapping_sub(8),
+        Pred => a(0).wrapping_add(8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: Word) -> Val {
+        Val::public(x)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(eval(OpCode::Add, &[p(2), p(3), p(4)]).unwrap().bits, 9);
+        assert_eq!(eval(OpCode::Sub, &[p(10), p(3), p(2)]).unwrap().bits, 5);
+        assert_eq!(eval(OpCode::Mul, &[p(3), p(4)]).unwrap().bits, 12);
+        assert_eq!(eval(OpCode::Xor, &[p(0b101), p(0b011)]).unwrap().bits, 0b110);
+        assert_eq!(eval(OpCode::Not, &[p(0)]).unwrap().bits, u64::MAX);
+        assert_eq!(eval(OpCode::Shl, &[p(1), p(4)]).unwrap().bits, 16);
+        assert_eq!(eval(OpCode::Shr, &[p(16), p(4)]).unwrap().bits, 1);
+    }
+
+    #[test]
+    fn wrapping_never_panics() {
+        assert_eq!(
+            eval(OpCode::Add, &[p(u64::MAX), p(1)]).unwrap().bits,
+            0
+        );
+        assert_eq!(
+            eval(OpCode::Mul, &[p(u64::MAX), p(2)]).unwrap().bits,
+            u64::MAX - 1
+        );
+        assert_eq!(eval(OpCode::Shl, &[p(1), p(200)]).unwrap().bits, 1 << (200 & 63));
+    }
+
+    #[test]
+    fn comparisons_follow_paper_operand_order() {
+        // Figure 1: br(>, (4, ra), ...) with ra = 9 takes the false branch.
+        assert_eq!(eval(OpCode::Gt, &[p(4), p(9)]).unwrap().bits, 0);
+        assert_eq!(eval(OpCode::Gt, &[p(4), p(3)]).unwrap().bits, 1);
+        assert_eq!(eval(OpCode::SLt, &[p(u64::MAX), p(0)]).unwrap().bits, 1);
+        assert_eq!(eval(OpCode::Lt, &[p(u64::MAX), p(0)]).unwrap().bits, 0);
+    }
+
+    #[test]
+    fn csel_is_data_not_control() {
+        let sel = eval(OpCode::Csel, &[Val::secret(1), p(11), p(22)]).unwrap();
+        assert_eq!(sel.bits, 11);
+        assert!(sel.label.is_secret(), "selector label must taint result");
+        let sel0 = eval(OpCode::Csel, &[p(0), p(11), p(22)]).unwrap();
+        assert_eq!(sel0.bits, 22);
+        assert!(sel0.label.is_public());
+    }
+
+    #[test]
+    fn labels_join_across_operands() {
+        let v = eval(OpCode::Add, &[p(1), Val::secret(2)]).unwrap();
+        assert!(v.label.is_secret());
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(eval(OpCode::Not, &[p(1), p(2)]).is_err());
+        assert!(eval(OpCode::Add, &[]).is_err());
+        assert!(eval(OpCode::Csel, &[p(1)]).is_err());
+        let e = eval(OpCode::Eq, &[p(1)]).unwrap_err();
+        assert_eq!(e.to_string(), "opcode eq applied to 1 operand(s)");
+    }
+
+    #[test]
+    fn succ_pred_default_stack() {
+        assert_eq!(eval(OpCode::Succ, &[p(0x80)]).unwrap().bits, 0x78);
+        assert_eq!(eval(OpCode::Pred, &[p(0x78)]).unwrap().bits, 0x80);
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for op in OpCode::ALL {
+            assert_eq!(OpCode::parse(op.mnemonic()), Some(op));
+        }
+        assert_eq!(OpCode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn boolean_classification() {
+        assert!(OpCode::Gt.is_boolean());
+        assert!(!OpCode::Add.is_boolean());
+        assert!(!OpCode::Csel.is_boolean());
+    }
+}

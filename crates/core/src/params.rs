@@ -1,0 +1,173 @@
+//! Machine parameters: the abstract operations the paper leaves open.
+//!
+//! §3.4 leaves the address-calculation operator `addr` abstract ("to model
+//! a large variety of architectures"); Appendix A leaves the stack
+//! discipline (`succ`/`pred`) and the empty-RSB policy open. All three are
+//! configuration knobs here, and each has an ablation bench.
+
+use crate::label::Label;
+use crate::value::{Val, Word};
+
+/// The address-calculation operator `Jaddr(v⃗)K`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AddrMode {
+    /// `Jaddr(v⃗)K = Σ v_i` — the "simple addressing mode" used by every
+    /// figure in the paper.
+    #[default]
+    Sum,
+    /// x86-style `Jaddr([v1, v2, v3])K = v1 + v2·v3` (base + index·scale);
+    /// with fewer than three operands the missing scale defaults to 1.
+    X86,
+}
+
+impl AddrMode {
+    /// Compute the target address and its label (`ℓa = ⊔ ℓ⃗`).
+    pub fn eval(self, args: &[Val]) -> Val {
+        let label = Label::join_all(args.iter().map(|v| v.label));
+        let bits: Word = match self {
+            AddrMode::Sum => args.iter().fold(0u64, |acc, v| acc.wrapping_add(v.bits)),
+            AddrMode::X86 => match args {
+                [] => 0,
+                [v1] => v1.bits,
+                [v1, v2] => v1.bits.wrapping_add(v2.bits),
+                [v1, v2, v3, ..] => v1.bits.wrapping_add(v2.bits.wrapping_mul(v3.bits)),
+            },
+        };
+        Val::new(bits, label)
+    }
+}
+
+/// The stack discipline used by `call`/`ret` (Appendix A): the abstract
+/// `succ` moves `rsp` to a fresh slot, `pred` undoes it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackDiscipline {
+    /// Downward-growing stack (x86-like): `succ(rsp) = rsp - word`,
+    /// `pred(rsp) = rsp + word`.
+    GrowsDown {
+        /// Stack slot size in address units.
+        word: Word,
+    },
+    /// Upward-growing stack: `succ(rsp) = rsp + word`.
+    GrowsUp {
+        /// Stack slot size in address units.
+        word: Word,
+    },
+}
+
+impl Default for StackDiscipline {
+    fn default() -> Self {
+        // The paper's Figure 13 uses byte-addressed slots one word apart
+        // (7C → 7B); a 1-unit downward stack reproduces its traces exactly.
+        StackDiscipline::GrowsDown { word: 1 }
+    }
+}
+
+impl StackDiscipline {
+    /// `op(succ, rsp)`.
+    pub fn succ(self, rsp: Word) -> Word {
+        match self {
+            StackDiscipline::GrowsDown { word } => rsp.wrapping_sub(word),
+            StackDiscipline::GrowsUp { word } => rsp.wrapping_add(word),
+        }
+    }
+
+    /// `op(pred, rsp)`.
+    pub fn pred(self, rsp: Word) -> Word {
+        match self {
+            StackDiscipline::GrowsDown { word } => rsp.wrapping_add(word),
+            StackDiscipline::GrowsUp { word } => rsp.wrapping_sub(word),
+        }
+    }
+}
+
+/// What `top(σ)` yields when the return stack buffer is empty
+/// (Appendix A surveys three real processor behaviours).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RsbPolicy {
+    /// The attacker supplies the prediction via `fetch: n'`
+    /// (Intel Skylake/Broadwell fall back to the branch-target predictor,
+    /// which the attacker can train arbitrarily). This is the paper's
+    /// default rule `ret-fetch-rsb-empty`.
+    #[default]
+    AttackerChoice,
+    /// AMD-style: refuse to speculate past an empty RSB — fetching the
+    /// `ret` blocks until retirement catches up (the fetch directive is
+    /// simply not applicable).
+    Refuse,
+    /// "Most" Intel: circular buffer; an empty RSB yields whatever stale
+    /// value the buffer holds — modeled as a fixed junk program point.
+    Circular {
+        /// The stale program point an underflow produces.
+        stale: Word,
+    },
+}
+
+/// All machine parameters bundled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Params {
+    /// Address-calculation mode.
+    pub addr_mode: AddrMode,
+    /// Stack discipline for `call`/`ret`.
+    pub stack: StackDiscipline,
+    /// Empty-RSB behaviour.
+    pub rsb_policy: RsbPolicy,
+    /// Optional reorder-buffer capacity; `None` means unbounded. The
+    /// Pitchfork speculation bound (§4.1) is enforced by its scheduler,
+    /// but a hard capacity is useful for the machine-throughput benches.
+    pub rob_capacity: Option<usize>,
+}
+
+impl Params {
+    /// Parameters matching the paper's figures (sum addressing, 1-unit
+    /// downward stack, attacker-controlled empty-RSB prediction).
+    pub fn paper() -> Self {
+        Params::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: Word) -> Val {
+        Val::public(x)
+    }
+
+    #[test]
+    fn sum_mode_adds_all_operands() {
+        // Figure 1: Jaddr([40, ra])K with ra = 9 is 49.
+        assert_eq!(AddrMode::Sum.eval(&[p(0x40), p(9)]).bits, 0x49);
+        assert_eq!(AddrMode::Sum.eval(&[]).bits, 0);
+    }
+
+    #[test]
+    fn x86_mode_uses_base_index_scale() {
+        assert_eq!(AddrMode::X86.eval(&[p(100), p(3), p(8)]).bits, 124);
+        assert_eq!(AddrMode::X86.eval(&[p(100), p(3)]).bits, 103);
+        assert_eq!(AddrMode::X86.eval(&[p(100)]).bits, 100);
+    }
+
+    #[test]
+    fn address_label_joins_operands() {
+        let a = AddrMode::Sum.eval(&[p(0x40), Val::secret(1)]);
+        assert!(a.label.is_secret());
+    }
+
+    #[test]
+    fn stack_succ_pred_are_inverses() {
+        for d in [
+            StackDiscipline::GrowsDown { word: 1 },
+            StackDiscipline::GrowsDown { word: 8 },
+            StackDiscipline::GrowsUp { word: 4 },
+        ] {
+            assert_eq!(d.pred(d.succ(0x1000)), 0x1000);
+        }
+    }
+
+    #[test]
+    fn figure13_stack_step() {
+        let d = StackDiscipline::default();
+        assert_eq!(d.succ(0x7C), 0x7B);
+        assert_eq!(d.pred(0x7B), 0x7C);
+    }
+}

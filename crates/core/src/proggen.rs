@@ -1,0 +1,225 @@
+//! Random well-formed program generation, for fuzzing the metatheory.
+//!
+//! Generated programs are forward-only (branch targets always point
+//! later), so *every* speculative execution terminates: even mispredicted
+//! paths only fetch forward until they run off the program. Loads and
+//! stores address a small window so that store-forwarding and hazards
+//! actually happen.
+
+use crate::config::Config;
+use crate::instr::{Instr, Operand, Program};
+use crate::label::Label;
+use crate::mem::Memory;
+use crate::op::OpCode;
+use crate::reg::{Reg, RegFile};
+use crate::value::{Pc, Val};
+use rand::Rng;
+
+/// Tuning knobs for the generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgGenOptions {
+    /// Number of instructions.
+    pub len: usize,
+    /// Number of general-purpose registers in play.
+    pub regs: u16,
+    /// Base of the data window.
+    pub mem_base: u64,
+    /// Size of the data window (secret half lives at the top).
+    pub mem_size: u64,
+    /// Percentage (0–100) of memory instructions.
+    pub mem_ratio: u8,
+    /// Percentage (0–100) of branches.
+    pub branch_ratio: u8,
+    /// Percentage (0–100) of fences.
+    pub fence_ratio: u8,
+}
+
+impl Default for ProgGenOptions {
+    fn default() -> Self {
+        ProgGenOptions {
+            len: 12,
+            regs: 4,
+            mem_base: 0x40,
+            mem_size: 16,
+            mem_ratio: 40,
+            branch_ratio: 20,
+            fence_ratio: 5,
+        }
+    }
+}
+
+fn random_reg<R: Rng>(rng: &mut R, opts: &ProgGenOptions) -> Reg {
+    Reg::gpr(rng.gen_range(0..opts.regs))
+}
+
+fn random_operand<R: Rng>(rng: &mut R, opts: &ProgGenOptions) -> Operand {
+    if rng.gen_bool(0.5) {
+        Operand::Reg(random_reg(rng, opts))
+    } else {
+        Operand::imm(rng.gen_range(0..8))
+    }
+}
+
+/// Address operands of the form `[base + small, reg & mask]`: register
+/// contents are masked into the window by construction of the initial
+/// state, so collisions (forwarding opportunities) are frequent.
+fn random_addr_ops<R: Rng>(rng: &mut R, opts: &ProgGenOptions) -> Vec<Operand> {
+    let off = rng.gen_range(0..opts.mem_size);
+    if rng.gen_bool(0.6) {
+        vec![Operand::imm(opts.mem_base + off)]
+    } else {
+        vec![
+            Operand::imm(opts.mem_base),
+            Operand::Reg(random_reg(rng, opts)),
+        ]
+    }
+}
+
+const BOOL_OPS: [OpCode; 6] = [
+    OpCode::Eq,
+    OpCode::Ne,
+    OpCode::Lt,
+    OpCode::Le,
+    OpCode::Gt,
+    OpCode::Ge,
+];
+
+const ARITH_OPS: [OpCode; 7] = [
+    OpCode::Add,
+    OpCode::Sub,
+    OpCode::Mul,
+    OpCode::And,
+    OpCode::Or,
+    OpCode::Xor,
+    OpCode::Mov,
+];
+
+/// Generate a random forward-only program with entry point 1 and
+/// program points `1..=len`.
+pub fn random_program<R: Rng>(rng: &mut R, opts: &ProgGenOptions) -> Program {
+    let mut p = Program::new();
+    p.entry = 1;
+    let len = opts.len.max(1) as Pc;
+    for n in 1..=len {
+        let next = n + 1;
+        let roll: u8 = rng.gen_range(0..100);
+        let instr = if roll < opts.fence_ratio {
+            Instr::Fence { next }
+        } else if roll < opts.fence_ratio + opts.branch_ratio && n + 1 < len {
+            // Forward branch: both targets strictly later.
+            let tru = rng.gen_range(n + 1..=len + 1);
+            let fls = rng.gen_range(n + 1..=len + 1);
+            Instr::Br {
+                op: BOOL_OPS[rng.gen_range(0..BOOL_OPS.len())],
+                args: vec![
+                    random_operand(rng, opts),
+                    Operand::Reg(random_reg(rng, opts)),
+                ],
+                tru,
+                fls,
+            }
+        } else if roll < opts.fence_ratio + opts.branch_ratio + opts.mem_ratio {
+            if rng.gen_bool(0.5) {
+                Instr::Load {
+                    dst: random_reg(rng, opts),
+                    addr: random_addr_ops(rng, opts),
+                    next,
+                }
+            } else {
+                Instr::Store {
+                    src: random_operand(rng, opts),
+                    addr: random_addr_ops(rng, opts),
+                    next,
+                }
+            }
+        } else {
+            let op = ARITH_OPS[rng.gen_range(0..ARITH_OPS.len())];
+            let args = match op.arity() {
+                Some(1) => vec![random_operand(rng, opts)],
+                _ => vec![random_operand(rng, opts), random_operand(rng, opts)],
+            };
+            Instr::Op {
+                dst: random_reg(rng, opts),
+                op,
+                args,
+                next,
+            }
+        };
+        p.insert(n, instr);
+    }
+    p
+}
+
+/// An initial configuration for a generated program: registers hold small
+/// window offsets; the lower half of the data window is public, the upper
+/// half secret.
+pub fn random_config<R: Rng>(rng: &mut R, opts: &ProgGenOptions) -> Config {
+    let mut regs = RegFile::new();
+    for r in 0..opts.regs {
+        regs.write(Reg::gpr(r), Val::public(rng.gen_range(0..opts.mem_size)));
+    }
+    let mut mem = Memory::new();
+    let half = opts.mem_size / 2;
+    for k in 0..half {
+        mem.write(opts.mem_base + k, Val::new(rng.gen_range(0..16), Label::Public));
+    }
+    for k in half..opts.mem_size {
+        mem.write(opts.mem_base + k, Val::new(rng.gen_range(0..16), Label::Secret));
+    }
+    Config::initial(regs, mem, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::sched::sequential::run_sequential;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_programs_have_expected_shape() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let opts = ProgGenOptions::default();
+        for _ in 0..50 {
+            let p = random_program(&mut rng, &opts);
+            assert_eq!(p.len(), opts.len);
+            for (n, i) in p.iter() {
+                if let Instr::Br { tru, fls, .. } = i {
+                    assert!(*tru > n && *fls > n, "branches must be forward");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_run_sequentially_to_completion() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let opts = ProgGenOptions::default();
+        for _ in 0..50 {
+            let p = random_program(&mut rng, &opts);
+            let cfg = random_config(&mut rng, &opts);
+            let out = run_sequential(&p, cfg, Params::paper(), 10_000).unwrap();
+            assert!(out.terminal, "forward-only programs must terminate");
+        }
+    }
+
+    #[test]
+    fn random_speculative_runs_terminate() {
+        use crate::sched::random::{run_random, RandomSchedulerOptions};
+        let mut rng = SmallRng::seed_from_u64(13);
+        let opts = ProgGenOptions::default();
+        for _ in 0..30 {
+            let p = random_program(&mut rng, &opts);
+            let cfg = random_config(&mut rng, &opts);
+            let run = run_random(
+                &p,
+                cfg,
+                Params::paper(),
+                RandomSchedulerOptions::default(),
+                &mut rng,
+            );
+            assert!(run.schedule.len() <= RandomSchedulerOptions::default().max_steps);
+        }
+    }
+}

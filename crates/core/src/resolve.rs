@@ -1,0 +1,194 @@
+//! The register resolve function `(buf +i ρ)` (Figure 3, extended per
+//! §3.5 to read through partially-resolved loads).
+
+use crate::instr::Operand;
+use crate::reg::{Reg, RegFile};
+use crate::rob::Rob;
+use crate::value::Val;
+
+/// Result of resolving one register at a buffer index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resolved {
+    /// A value was determined (case 1 or 2 of Figure 3).
+    Val(Val),
+    /// The latest assignment before `i` is still unresolved
+    /// (`(buf +i ρ)(r) = ⊥`): the consumer must wait.
+    Pending,
+}
+
+impl Resolved {
+    /// The value, if resolution succeeded.
+    pub fn ok(self) -> Option<Val> {
+        match self {
+            Resolved::Val(v) => Some(v),
+            Resolved::Pending => None,
+        }
+    }
+}
+
+/// `(buf +i ρ)(r)`:
+/// * the value of the **latest** resolved assignment to `r` strictly
+///   before index `i` in the buffer, if one exists;
+/// * `ρ(r)` if no assignment to `r` is pending before `i`;
+/// * `⊥` ([`Resolved::Pending`]) if the latest assignment is unresolved.
+pub fn resolve_reg(rob: &Rob, regs: &RegFile, i: usize, r: Reg) -> Resolved {
+    // Scan from the youngest entry below `i` to the oldest: the first
+    // assignment to `r` we meet is `max(j) < i`.
+    let mut latest: Option<Option<Val>> = None;
+    for (_, t) in rob.iter_below(i) {
+        if let Some((dst, v)) = t.assignment() {
+            if dst == r {
+                latest = Some(v);
+            }
+        }
+    }
+    match latest {
+        Some(Some(v)) => Resolved::Val(v),
+        Some(None) => Resolved::Pending,
+        None => Resolved::Val(regs.read(r)),
+    }
+}
+
+/// The pointwise lifting of the resolve function to operands: immediates
+/// resolve to themselves (`(buf +i ρ)(vℓ) = vℓ`).
+pub fn resolve_operand(rob: &Rob, regs: &RegFile, i: usize, op: &Operand) -> Resolved {
+    match op {
+        Operand::Imm(v) => Resolved::Val(*v),
+        Operand::Reg(r) => resolve_reg(rob, regs, i, *r),
+    }
+}
+
+/// Lift resolution to an operand list; `None` if any operand is pending.
+pub fn resolve_operands(
+    rob: &Rob,
+    regs: &RegFile,
+    i: usize,
+    ops: &[Operand],
+) -> Option<Vec<Val>> {
+    ops.iter()
+        .map(|op| resolve_operand(rob, regs, i, op).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpCode;
+    use crate::reg::names::*;
+    use crate::transient::{LoadProvenance, Transient};
+
+    fn regs() -> RegFile {
+        [(RA, Val::public(10)), (RB, Val::public(20))]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn falls_back_to_register_file() {
+        let rob = Rob::new();
+        assert_eq!(
+            resolve_reg(&rob, &regs(), 1, RA),
+            Resolved::Val(Val::public(10))
+        );
+    }
+
+    #[test]
+    fn latest_resolved_assignment_wins() {
+        let mut rob = Rob::new();
+        rob.push(Transient::Value {
+            dst: RA,
+            val: Val::public(1),
+        }); // index 1
+        rob.push(Transient::Value {
+            dst: RA,
+            val: Val::public(2),
+        }); // index 2
+        assert_eq!(
+            resolve_reg(&rob, &regs(), 3, RA),
+            Resolved::Val(Val::public(2))
+        );
+        // Below index 2 only the first assignment is visible.
+        assert_eq!(
+            resolve_reg(&rob, &regs(), 2, RA),
+            Resolved::Val(Val::public(1))
+        );
+        // Below index 1 nothing is visible: register file.
+        assert_eq!(
+            resolve_reg(&rob, &regs(), 1, RA),
+            Resolved::Val(Val::public(10))
+        );
+    }
+
+    #[test]
+    fn pending_assignment_blocks() {
+        let mut rob = Rob::new();
+        rob.push(Transient::Value {
+            dst: RA,
+            val: Val::public(1),
+        }); // 1
+        rob.push(Transient::Op {
+            dst: RA,
+            op: OpCode::Add,
+            args: vec![Operand::imm(1)],
+        }); // 2: unresolved
+        assert_eq!(resolve_reg(&rob, &regs(), 3, RA), Resolved::Pending);
+        // Other registers are unaffected.
+        assert_eq!(
+            resolve_reg(&rob, &regs(), 3, RB),
+            Resolved::Val(Val::public(20))
+        );
+    }
+
+    #[test]
+    fn resolved_loads_and_guessed_loads_supply_values() {
+        let mut rob = Rob::new();
+        rob.push(Transient::LoadedValue {
+            dst: RA,
+            val: Val::secret(5),
+            prov: LoadProvenance { dep: None, addr: 0x40 },
+            pp: 2,
+        }); // 1
+        assert_eq!(
+            resolve_reg(&rob, &regs(), 2, RA),
+            Resolved::Val(Val::secret(5))
+        );
+        rob.push(Transient::LoadGuessed {
+            dst: RA,
+            addr: vec![Operand::imm(0x45)],
+            fwd: Val::secret(9),
+            from: 1,
+            pp: 3,
+        }); // 2
+        assert_eq!(
+            resolve_reg(&rob, &regs(), 3, RA),
+            Resolved::Val(Val::secret(9))
+        );
+    }
+
+    #[test]
+    fn immediates_resolve_to_themselves() {
+        let rob = Rob::new();
+        let rf = regs();
+        assert_eq!(
+            resolve_operand(&rob, &rf, 1, &Operand::imm(7)),
+            Resolved::Val(Val::public(7))
+        );
+        let ops = [Operand::imm(1), RA.into()];
+        assert_eq!(
+            resolve_operands(&rob, &rf, 1, &ops),
+            Some(vec![Val::public(1), Val::public(10)])
+        );
+    }
+
+    #[test]
+    fn operand_list_with_pending_register_is_none() {
+        let mut rob = Rob::new();
+        rob.push(Transient::Op {
+            dst: RA,
+            op: OpCode::Add,
+            args: vec![Operand::imm(1)],
+        });
+        let ops = [Operand::imm(1), RA.into()];
+        assert_eq!(resolve_operands(&rob, &regs(), 2, &ops), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! The return stack buffer `σ` (Appendix A).
+//!
+//! The paper models `σ` as a map from reorder-buffer indices to `push n`
+//! / `pop` commands; `top(σ)` replays the commands in index order and
+//! returns the top of the resulting stack (`⊥` when empty). Keying the
+//! commands by buffer index is what lets rollbacks erase the RSB effects
+//! of squashed instructions.
+
+use crate::value::Pc;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single RSB command.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RsbOp {
+    /// `push n` — recorded when fetching a `call` with return point `n`.
+    Push(Pc),
+    /// `pop` — recorded when fetching a `ret`.
+    Pop,
+}
+
+/// The return stack buffer `σ`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Rsb {
+    ops: BTreeMap<usize, RsbOp>,
+}
+
+impl Rsb {
+    /// An empty RSB.
+    pub fn new() -> Self {
+        Rsb::default()
+    }
+
+    /// `σ[i ↦ op]`.
+    pub fn record(&mut self, index: usize, op: RsbOp) {
+        self.ops.insert(index, op);
+    }
+
+    /// `top(σ)`: replay all commands in index order and return the top of
+    /// the resulting stack, or `None` (`⊥`) when the stack is empty.
+    ///
+    /// Example from the paper: `∅[1 ↦ push 4][2 ↦ push 5][3 ↦ pop]`
+    /// yields `top = 4`.
+    pub fn top(&self) -> Option<Pc> {
+        self.replay().last().copied()
+    }
+
+    /// The stack `JσK` obtained by replaying the commands.
+    pub fn replay(&self) -> Vec<Pc> {
+        let mut st = Vec::new();
+        for op in self.ops.values() {
+            match op {
+                RsbOp::Push(n) => st.push(*n),
+                RsbOp::Pop => {
+                    st.pop();
+                }
+            }
+        }
+        st
+    }
+
+    /// Discard every command recorded at index `≥ cut` — RSB rollback,
+    /// performed together with the reorder-buffer rollback.
+    pub fn truncate_from(&mut self, cut: usize) {
+        self.ops.retain(|&i, _| i < cut);
+    }
+
+    /// Number of recorded commands.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when no command has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate `(index, op)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, RsbOp)> + '_ {
+        self.ops.iter().map(|(&i, &op)| (i, op))
+    }
+}
+
+impl fmt::Display for Rsb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ = ∅")?;
+        for (i, op) in self.iter() {
+            match op {
+                RsbOp::Push(n) => write!(f, "[{i} ↦ push {n}]")?,
+                RsbOp::Pop => write!(f, "[{i} ↦ pop]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_replay() {
+        // σ = ∅[1 ↦ push 4][2 ↦ push 5][3 ↦ pop]  ⇒  JσK = [4], top = 4.
+        let mut rsb = Rsb::new();
+        rsb.record(1, RsbOp::Push(4));
+        rsb.record(2, RsbOp::Push(5));
+        rsb.record(3, RsbOp::Pop);
+        assert_eq!(rsb.replay(), vec![4]);
+        assert_eq!(rsb.top(), Some(4));
+    }
+
+    #[test]
+    fn empty_rsb_has_bottom_top() {
+        assert_eq!(Rsb::new().top(), None);
+    }
+
+    #[test]
+    fn pop_on_empty_stack_is_ignored() {
+        let mut rsb = Rsb::new();
+        rsb.record(1, RsbOp::Pop);
+        rsb.record(2, RsbOp::Push(7));
+        assert_eq!(rsb.top(), Some(7));
+    }
+
+    #[test]
+    fn rollback_erases_squashed_commands() {
+        let mut rsb = Rsb::new();
+        rsb.record(1, RsbOp::Push(4));
+        rsb.record(5, RsbOp::Pop);
+        rsb.record(8, RsbOp::Push(9));
+        rsb.truncate_from(5);
+        assert_eq!(rsb.len(), 1);
+        assert_eq!(rsb.top(), Some(4));
+    }
+
+    #[test]
+    fn display_shows_commands() {
+        let mut rsb = Rsb::new();
+        rsb.record(3, RsbOp::Push(4));
+        assert_eq!(rsb.to_string(), "σ = ∅[3 ↦ push 4]");
+    }
+}

@@ -1,0 +1,736 @@
+//! Execute-stage rules (§3.3 branches, §3.4 memory, §3.5 aliasing
+//! prediction, Appendix A indirect jumps).
+
+use crate::error::StepError;
+use crate::machine::{Machine, StepObs};
+use crate::observation::Observation;
+use crate::transient::{LoadProvenance, StoreAddr, StoreData, Transient};
+use crate::value::{Val, Word};
+
+impl Machine<'_> {
+    /// Dispatch `execute i` on the transient instruction at `i`.
+    pub(crate) fn execute(&mut self, i: usize) -> Result<StepObs, StepError> {
+        let entry = self
+            .cfg
+            .rob
+            .get(i)
+            .ok_or(StepError::NoSuchIndex(i))?
+            .clone();
+        match entry {
+            Transient::Op { dst, op, args } => self.execute_op(i, dst, op, &args),
+            Transient::Br {
+                op,
+                args,
+                guess,
+                tru,
+                fls,
+            } => self.execute_branch(i, op, &args, guess, tru, fls),
+            Transient::Load { dst, addr, pp } => self.execute_load(i, dst, &addr, pp),
+            Transient::LoadGuessed {
+                dst,
+                addr,
+                fwd,
+                from,
+                pp,
+            } => self.execute_guessed_load(i, dst, &addr, fwd, from, pp),
+            Transient::Jmpi { args, guess } => self.execute_jmpi(i, &args, guess),
+            other => Err(StepError::ExecuteMismatch {
+                index: i,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Execute an unresolved `op`, leaving a resolved value.
+    fn execute_op(
+        &mut self,
+        i: usize,
+        dst: crate::reg::Reg,
+        op: crate::op::OpCode,
+        args: &[crate::instr::Operand],
+    ) -> Result<StepObs, StepError> {
+        self.check_no_fence_below(i)?;
+        let vals = self.resolve_list(i, args)?;
+        let val = self.eval_op(op, &vals)?;
+        self.cfg.rob.set(i, Transient::Value { dst, val });
+        Ok(vec![])
+    }
+
+    /// `cond-execute-correct` / `cond-execute-incorrect`.
+    fn execute_branch(
+        &mut self,
+        i: usize,
+        op: crate::op::OpCode,
+        args: &[crate::instr::Operand],
+        guess: Word,
+        tru: Word,
+        fls: Word,
+    ) -> Result<StepObs, StepError> {
+        self.check_no_fence_below(i)?;
+        let vals = self.resolve_list(i, args)?;
+        let cond = self.eval_op(op, &vals)?;
+        let target = if cond.as_bool() { tru } else { fls };
+        let label = cond.label;
+        if target == guess {
+            // cond-execute-correct
+            self.cfg.rob.set(i, Transient::Jump { target });
+            Ok(vec![Machine::obs_jump(target, label)])
+        } else {
+            // cond-execute-incorrect: squash everything newer than the
+            // branch, resolve the jump, and redirect the front end.
+            self.rollback(i, target);
+            self.cfg.rob.push(Transient::Jump { target });
+            Ok(vec![Observation::Rollback, Machine::obs_jump(target, label)])
+        }
+    }
+
+    /// `jmpi-execute-correct` / `jmpi-execute-incorrect` (Appendix A).
+    fn execute_jmpi(
+        &mut self,
+        i: usize,
+        args: &[crate::instr::Operand],
+        guess: Word,
+    ) -> Result<StepObs, StepError> {
+        self.check_no_fence_below(i)?;
+        let vals = self.resolve_list(i, args)?;
+        let target_val = self.eval_addr(&vals);
+        let target = target_val.bits;
+        let label = target_val.label;
+        if target == guess {
+            self.cfg.rob.set(i, Transient::Jump { target });
+            Ok(vec![Machine::obs_jump(target, label)])
+        } else {
+            self.rollback(i, target);
+            self.cfg.rob.push(Transient::Jump { target });
+            Ok(vec![Observation::Rollback, Machine::obs_jump(target, label)])
+        }
+    }
+
+    /// `load-execute-nodep` / `load-execute-forward`.
+    ///
+    /// With no prior store resolved to the same address the load reads
+    /// memory (`read a`); otherwise the *most recent* such store forwards
+    /// its data (`fwd a`) — provided the data is resolved. Loads never
+    /// wait for older stores with unresolved addresses: that is the
+    /// speculation that enables Spectre v4.
+    fn execute_load(
+        &mut self,
+        i: usize,
+        dst: crate::reg::Reg,
+        addr_ops: &[crate::instr::Operand],
+        pp: Word,
+    ) -> Result<StepObs, StepError> {
+        self.check_no_fence_below(i)?;
+        let vals = self.resolve_list(i, addr_ops)?;
+        let addr = self.eval_addr(&vals);
+        let a = addr.bits;
+        let la = addr.label;
+        // max(j) < i with buf(j) = store(_, a)
+        let matching = self.latest_matching_store(i, a);
+        match matching {
+            None => {
+                // load-execute-nodep
+                let val = self.cfg.mem.read(a);
+                self.cfg.rob.set(
+                    i,
+                    Transient::LoadedValue {
+                        dst,
+                        val,
+                        prov: LoadProvenance { dep: None, addr: a },
+                        pp,
+                    },
+                );
+                Ok(vec![Observation::Read { addr: a, label: la }])
+            }
+            Some((j, store)) => match store.store_resolved_data() {
+                Some(val) => {
+                    // load-execute-forward
+                    self.cfg.rob.set(
+                        i,
+                        Transient::LoadedValue {
+                            dst,
+                            val,
+                            prov: LoadProvenance {
+                                dep: Some(j),
+                                addr: a,
+                            },
+                            pp,
+                        },
+                    );
+                    Ok(vec![Observation::Fwd { addr: a, label: la }])
+                }
+                // The matching store's data is unresolved: neither load
+                // rule applies, the load must wait.
+                None => Err(StepError::StoreDataPending { index: i, store: j }),
+            },
+        }
+    }
+
+    /// The most recent store below `i` whose *resolved* address equals
+    /// `a`, if any.
+    fn latest_matching_store(&self, i: usize, a: Word) -> Option<(usize, Transient)> {
+        let mut found = None;
+        for (j, t) in self.cfg.rob.iter_below(i) {
+            if t.store_resolved_addr().is_some_and(|av| av.bits == a) {
+                found = Some((j, t.clone()));
+            }
+        }
+        found
+    }
+
+    /// `store-execute-value`: resolve the data operand of the store at
+    /// `i` (directive `execute i : value`).
+    pub(crate) fn execute_store_value(&mut self, i: usize) -> Result<StepObs, StepError> {
+        let entry = self
+            .cfg
+            .rob
+            .get(i)
+            .ok_or(StepError::NoSuchIndex(i))?
+            .clone();
+        let Transient::Store {
+            data: StoreData::Pending(rv),
+            addr,
+        } = entry
+        else {
+            return Err(StepError::ExecuteMismatch {
+                index: i,
+                found: entry.kind(),
+            });
+        };
+        self.check_no_fence_below(i)?;
+        let val = self.resolve1(i, &rv)?;
+        self.cfg.rob.set(
+            i,
+            Transient::Store {
+                data: StoreData::Resolved(val),
+                addr,
+            },
+        );
+        Ok(vec![])
+    }
+
+    /// `store-execute-addr-ok` / `store-execute-addr-hazard`
+    /// (directive `execute i : addr`).
+    ///
+    /// Resolving a store's address checks every *later* resolved load
+    /// against it: a later load bound to the same address must have
+    /// forwarded from this store or a younger one (`a_k = a ⇒ j_k ≥ i`,
+    /// with `⊥ < i`), and a load that forwarded from this very store must
+    /// be bound to this address (`j_k = i ⇒ a_k = a`). The first
+    /// offending load (smallest `k`) triggers a rollback to its program
+    /// point.
+    pub(crate) fn execute_store_addr(&mut self, i: usize) -> Result<StepObs, StepError> {
+        let entry = self
+            .cfg
+            .rob
+            .get(i)
+            .ok_or(StepError::NoSuchIndex(i))?
+            .clone();
+        let Transient::Store {
+            data,
+            addr: StoreAddr::Pending(ops),
+        } = entry
+        else {
+            return Err(StepError::ExecuteMismatch {
+                index: i,
+                found: entry.kind(),
+            });
+        };
+        self.check_no_fence_below(i)?;
+        let vals = self.resolve_list(i, &ops)?;
+        let addr = self.eval_addr(&vals);
+        let a = addr.bits;
+        let la = addr.label;
+        // min(k) > i violating the forwarding-consistency conditions.
+        let hazard = self.cfg.rob.iter_above(i).find_map(|(k, t)| match t {
+            Transient::LoadedValue { prov, pp, .. } => {
+                let same_addr_older_source = prov.addr == a && prov.dep_lt(i);
+                let from_store_wrong_addr = prov.dep == Some(i) && prov.addr != a;
+                if same_addr_older_source || from_store_wrong_addr {
+                    Some((k, *pp))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        });
+        match hazard {
+            None => {
+                // store-execute-addr-ok
+                self.cfg.rob.set(
+                    i,
+                    Transient::Store {
+                        data,
+                        addr: StoreAddr::Resolved(Val::new(a, la)),
+                    },
+                );
+                Ok(vec![Observation::Fwd { addr: a, label: la }])
+            }
+            Some((k, load_pp)) => {
+                // store-execute-addr-hazard: squash from the offending
+                // load, restart the front end there, but keep this
+                // store's now-resolved address.
+                self.rollback(k, load_pp);
+                self.cfg.rob.set(
+                    i,
+                    Transient::Store {
+                        data,
+                        addr: StoreAddr::Resolved(Val::new(a, la)),
+                    },
+                );
+                Ok(vec![
+                    Observation::Rollback,
+                    Observation::Fwd { addr: a, label: la },
+                ])
+            }
+        }
+    }
+
+    /// `load-execute-forwarded-guessed` (§3.5, directive
+    /// `execute i : fwd j`): the aliasing predictor forwards the resolved
+    /// data of the store at `j` to the load at `i`, even though the
+    /// store's address is still unknown.
+    pub(crate) fn execute_forward_guess(
+        &mut self,
+        i: usize,
+        j: usize,
+    ) -> Result<StepObs, StepError> {
+        let entry = self
+            .cfg
+            .rob
+            .get(i)
+            .ok_or(StepError::NoSuchIndex(i))?
+            .clone();
+        let Transient::Load { dst, addr, pp } = entry else {
+            return Err(StepError::ExecuteMismatch {
+                index: i,
+                found: entry.kind(),
+            });
+        };
+        self.check_no_fence_below(i)?;
+        if j >= i {
+            return Err(StepError::BadForwardSource { index: i, from: j });
+        }
+        let fwd = self
+            .cfg
+            .rob
+            .get(j)
+            .and_then(Transient::store_resolved_data)
+            .ok_or(StepError::BadForwardSource { index: i, from: j })?;
+        self.cfg.rob.set(
+            i,
+            Transient::LoadGuessed {
+                dst,
+                addr,
+                fwd,
+                from: j,
+                pp,
+            },
+        );
+        Ok(vec![])
+    }
+
+    /// Resolve a partially-resolved (alias-predicted) load: the four
+    /// rules `load-execute-addr-{ok,hazard}` and
+    /// `load-execute-addr-mem-{match,hazard}` of §3.5.
+    fn execute_guessed_load(
+        &mut self,
+        i: usize,
+        dst: crate::reg::Reg,
+        addr_ops: &[crate::instr::Operand],
+        fwd: Val,
+        from: usize,
+        pp: Word,
+    ) -> Result<StepObs, StepError> {
+        self.check_no_fence_below(i)?;
+        let vals = self.resolve_list(i, addr_ops)?;
+        let addr = self.eval_addr(&vals);
+        let a = addr.bits;
+        let la = addr.label;
+        let originating_present = self.cfg.rob.get(from).is_some();
+        if originating_present {
+            // The originating store is still in the buffer.
+            let store_addr = self
+                .cfg
+                .rob
+                .get(from)
+                .and_then(Transient::store_resolved_addr);
+            let addr_consistent = match store_addr {
+                None => true,          // still unresolved: optimistically fine
+                Some(av) => av.bits == a, // resolved: must match
+            };
+            let intervening = self
+                .cfg
+                .rob
+                .iter_above(from)
+                .take_while(|&(k, _)| k < i)
+                .any(|(_, t)| t.store_resolved_addr().is_some_and(|av| av.bits == a));
+            if addr_consistent && !intervening {
+                // load-execute-addr-ok
+                self.cfg.rob.set(
+                    i,
+                    Transient::LoadedValue {
+                        dst,
+                        val: fwd,
+                        prov: LoadProvenance {
+                            dep: Some(from),
+                            addr: a,
+                        },
+                        pp,
+                    },
+                );
+                Ok(vec![Observation::Fwd { addr: a, label: la }])
+            } else {
+                // load-execute-addr-hazard: roll back to just before the
+                // load.
+                self.rollback(i, pp);
+                Ok(vec![
+                    Observation::Rollback,
+                    Observation::Fwd { addr: a, label: la },
+                ])
+            }
+        } else {
+            // The originating store has retired; validate against memory.
+            let prior_matching = self
+                .cfg
+                .rob
+                .iter_below(i)
+                .any(|(_, t)| t.store_resolved_addr().is_some_and(|av| av.bits == a));
+            if prior_matching {
+                // No rule of the paper covers this shape; the schedule is
+                // stuck on this load.
+                return Err(StepError::GuessedLoadBlocked { index: i });
+            }
+            let vmem = self.cfg.mem.read(a);
+            if vmem == fwd {
+                // load-execute-addr-mem-match
+                self.cfg.rob.set(
+                    i,
+                    Transient::LoadedValue {
+                        dst,
+                        val: vmem,
+                        prov: LoadProvenance { dep: None, addr: a },
+                        pp,
+                    },
+                );
+                Ok(vec![Observation::Read { addr: a, label: la }])
+            } else {
+                // load-execute-addr-mem-hazard
+                self.rollback(i, pp);
+                Ok(vec![
+                    Observation::Rollback,
+                    Observation::Read { addr: a, label: la },
+                ])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::directive::Directive;
+    use crate::instr::{Instr, Operand, Program};
+    use crate::label::Label;
+    use crate::op::OpCode;
+    use crate::reg::names::*;
+    use crate::reg::RegFile;
+
+    /// Build a machine with the given instructions and registers.
+    fn machine(
+        instrs: Vec<(u64, Instr)>,
+        regs: Vec<(crate::reg::Reg, Val)>,
+        entry: u64,
+    ) -> (Program, Config) {
+        let mut p = Program::new();
+        p.entry = entry;
+        for (n, i) in instrs {
+            p.insert(n, i);
+        }
+        let rf: RegFile = regs.into_iter().collect();
+        (p, Config::initial(rf, Default::default(), entry))
+    }
+
+    #[test]
+    fn op_execute_resolves_value() {
+        let (p, cfg) = machine(
+            vec![(
+                1,
+                Instr::Op {
+                    dst: RA,
+                    op: OpCode::Add,
+                    args: vec![Operand::imm(2), Operand::imm(3)],
+                    next: 2,
+                },
+            )],
+            vec![],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        let obs = m.step(Directive::Execute(1)).unwrap();
+        assert!(obs.is_empty());
+        assert_eq!(
+            m.cfg.rob.get(1),
+            Some(&Transient::Value {
+                dst: RA,
+                val: Val::public(5)
+            })
+        );
+    }
+
+    #[test]
+    fn branch_correct_prediction_emits_jump() {
+        // Figure 4(a): ra = 3, br(<, (2, ra), 9, 12) predicted true.
+        let (p, cfg) = machine(
+            vec![(
+                4,
+                Instr::Br {
+                    op: OpCode::Lt,
+                    args: vec![Operand::imm(2), RA.into()],
+                    tru: 9,
+                    fls: 12,
+                },
+            )],
+            vec![(RA, Val::public(3))],
+            4,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::FetchBranch(true)).unwrap();
+        let obs = m.step(Directive::Execute(1)).unwrap();
+        assert_eq!(
+            obs,
+            vec![Observation::Jump {
+                target: 9,
+                label: Label::Public
+            }]
+        );
+        assert_eq!(m.cfg.rob.get(1), Some(&Transient::Jump { target: 9 }));
+    }
+
+    #[test]
+    fn branch_misprediction_rolls_back() {
+        // Figure 4(b): predicted false (to 12) but 2 < 3 is true.
+        let (p, cfg) = machine(
+            vec![
+                (
+                    4,
+                    Instr::Br {
+                        op: OpCode::Lt,
+                        args: vec![Operand::imm(2), RA.into()],
+                        tru: 9,
+                        fls: 12,
+                    },
+                ),
+                (
+                    12,
+                    Instr::Op {
+                        dst: RD,
+                        op: OpCode::Mul,
+                        args: vec![RG.into(), RH.into()],
+                        next: 13,
+                    },
+                ),
+            ],
+            vec![(RA, Val::public(3))],
+            4,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::FetchBranch(false)).unwrap();
+        m.step(Directive::Fetch).unwrap(); // speculative op at 12
+        assert_eq!(m.cfg.rob.len(), 2);
+        let obs = m.step(Directive::Execute(1)).unwrap();
+        assert_eq!(
+            obs,
+            vec![
+                Observation::Rollback,
+                Observation::Jump {
+                    target: 9,
+                    label: Label::Public
+                }
+            ]
+        );
+        // The speculative op was squashed; the jump replaces the branch.
+        assert_eq!(m.cfg.rob.len(), 1);
+        assert_eq!(m.cfg.rob.get(1), Some(&Transient::Jump { target: 9 }));
+        assert_eq!(m.cfg.pc, 9);
+    }
+
+    #[test]
+    fn branch_condition_label_taints_jump() {
+        let (p, cfg) = machine(
+            vec![(
+                1,
+                Instr::Br {
+                    op: OpCode::Gt,
+                    args: vec![Operand::imm(4), RA.into()],
+                    tru: 2,
+                    fls: 4,
+                },
+            )],
+            vec![(RA, Val::secret(1))],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::FetchBranch(true)).unwrap();
+        let obs = m.step(Directive::Execute(1)).unwrap();
+        assert!(obs[0].is_secret(), "secret branch condition must leak");
+    }
+
+    #[test]
+    fn load_reads_memory_when_no_matching_store() {
+        let (p, mut cfg) = machine(
+            vec![(
+                1,
+                Instr::Load {
+                    dst: RB,
+                    addr: vec![Operand::imm(0x40), RA.into()],
+                    next: 2,
+                },
+            )],
+            vec![(RA, Val::public(2))],
+            1,
+        );
+        cfg.mem.write(0x42, Val::secret(99));
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        let obs = m.step(Directive::Execute(1)).unwrap();
+        assert_eq!(
+            obs,
+            vec![Observation::Read {
+                addr: 0x42,
+                label: Label::Public
+            }]
+        );
+        match m.cfg.rob.get(1) {
+            Some(Transient::LoadedValue { val, prov, .. }) => {
+                assert_eq!(*val, Val::secret(99));
+                assert_eq!(prov.dep, None);
+                assert_eq!(prov.addr, 0x42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn secret_address_taints_read_observation() {
+        let (p, cfg) = machine(
+            vec![(
+                1,
+                Instr::Load {
+                    dst: RB,
+                    addr: vec![Operand::imm(0x44), RA.into()],
+                    next: 2,
+                },
+            )],
+            vec![(RA, Val::secret(3))],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        let obs = m.step(Directive::Execute(1)).unwrap();
+        assert!(obs[0].is_secret());
+    }
+
+    #[test]
+    fn fence_blocks_younger_execution() {
+        let (p, cfg) = machine(
+            vec![
+                (1, Instr::Fence { next: 2 }),
+                (
+                    2,
+                    Instr::Op {
+                        dst: RA,
+                        op: OpCode::Add,
+                        args: vec![Operand::imm(1)],
+                        next: 3,
+                    },
+                ),
+            ],
+            vec![],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(
+            m.step(Directive::Execute(2)),
+            Err(StepError::FenceBlocked { index: 2 })
+        );
+    }
+
+    #[test]
+    fn store_value_then_addr_resolution() {
+        let (p, cfg) = machine(
+            vec![(
+                1,
+                Instr::Store {
+                    src: RB.into(),
+                    addr: vec![Operand::imm(0x40), RA.into()],
+                    next: 2,
+                },
+            )],
+            vec![(RA, Val::public(2)), (RB, Val::secret(7))],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        assert!(m.step(Directive::ExecuteValue(1)).unwrap().is_empty());
+        let obs = m.step(Directive::ExecuteAddr(1)).unwrap();
+        assert_eq!(
+            obs,
+            vec![Observation::Fwd {
+                addr: 0x42,
+                label: Label::Public
+            }]
+        );
+        match m.cfg.rob.get(1) {
+            Some(Transient::Store { data, addr }) => {
+                assert_eq!(data.resolved(), Some(Val::secret(7)));
+                assert_eq!(addr.resolved(), Some(Val::public(0x42)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Re-resolving is not applicable.
+        assert!(m.step(Directive::ExecuteValue(1)).is_err());
+        assert!(m.step(Directive::ExecuteAddr(1)).is_err());
+    }
+
+    #[test]
+    fn pending_operand_blocks_execution() {
+        let (p, cfg) = machine(
+            vec![
+                (
+                    1,
+                    Instr::Op {
+                        dst: RA,
+                        op: OpCode::Add,
+                        args: vec![Operand::imm(1)],
+                        next: 2,
+                    },
+                ),
+                (
+                    2,
+                    Instr::Op {
+                        dst: RB,
+                        op: OpCode::Add,
+                        args: vec![RA.into(), Operand::imm(1)],
+                        next: 3,
+                    },
+                ),
+            ],
+            vec![],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(
+            m.step(Directive::Execute(2)),
+            Err(StepError::OperandsPending { index: 2 })
+        );
+        m.step(Directive::Execute(1)).unwrap();
+        m.step(Directive::Execute(2)).unwrap();
+    }
+}

@@ -1,0 +1,375 @@
+//! Fetch-stage rules.
+//!
+//! Fetching moves the physical instruction at the current program point
+//! into the reorder buffer as a transient instruction (Table 1) and
+//! advances the program point — speculatively for branches, indirect
+//! jumps, and returns. `call` and `ret` unpack into expansion groups
+//! (Appendix A).
+
+use crate::directive::Directive;
+use crate::error::StepError;
+use crate::instr::{Instr, Operand};
+use crate::machine::{Machine, StepObs};
+use crate::op::OpCode;
+use crate::params::RsbPolicy;
+use crate::reg::Reg;
+use crate::rsb::RsbOp;
+use crate::transient::{StoreAddr, StoreData, Transient};
+use crate::value::{Pc, Val};
+
+/// Number of reorder-buffer entries a `call` expands into.
+pub const CALL_GROUP: usize = 3;
+/// Number of reorder-buffer entries a `ret` expands into.
+pub const RET_GROUP: usize = 4;
+
+impl Machine<'_> {
+    /// Dispatch a fetch-family directive.
+    pub(crate) fn fetch(&mut self, directive: Directive) -> Result<StepObs, StepError> {
+        let pc = self.cfg.pc;
+        let instr = self
+            .program
+            .fetch(pc)
+            .ok_or(StepError::NoInstruction(pc))?
+            .clone();
+        match (&instr, directive) {
+            // simple-fetch
+            (Instr::Op { .. }, Directive::Fetch)
+            | (Instr::Load { .. }, Directive::Fetch)
+            | (Instr::Store { .. }, Directive::Fetch)
+            | (Instr::Fence { .. }, Directive::Fetch) => self.fetch_simple(&instr),
+            // cond-fetch
+            (Instr::Br { .. }, Directive::FetchBranch(b)) => self.fetch_branch(&instr, b),
+            // jmpi-fetch
+            (Instr::Jmpi { .. }, Directive::FetchJump(n)) => self.fetch_jmpi(&instr, n),
+            // call-direct-fetch
+            (Instr::Call { .. }, Directive::Fetch) => self.fetch_call(&instr),
+            // ret-fetch-rsb / ret-fetch-rsb-empty
+            (Instr::Ret, d) => self.fetch_ret(d),
+            (found, _) => Err(StepError::FetchMismatch {
+                pc,
+                found: found.kind(),
+            }),
+        }
+    }
+
+    fn check_capacity(&self, needed: usize) -> Result<(), StepError> {
+        match self.params.rob_capacity {
+            Some(cap) if self.cfg.rob.len() + needed > cap => Err(StepError::RobFull),
+            _ => Ok(()),
+        }
+    }
+
+    /// `simple-fetch`: translate the physical instruction to its
+    /// unresolved transient form and advance to `next(µ(n))`.
+    fn fetch_simple(&mut self, instr: &Instr) -> Result<StepObs, StepError> {
+        self.check_capacity(1)?;
+        let pc = self.cfg.pc;
+        let (transient, next) = match instr {
+            Instr::Op { dst, op, args, next } => (
+                Transient::Op {
+                    dst: *dst,
+                    op: *op,
+                    args: args.clone(),
+                },
+                *next,
+            ),
+            Instr::Load { dst, addr, next } => (
+                Transient::Load {
+                    dst: *dst,
+                    addr: addr.clone(),
+                    pp: pc,
+                },
+                *next,
+            ),
+            Instr::Store { src, addr, next } => (
+                Transient::Store {
+                    data: StoreData::Pending(*src),
+                    addr: StoreAddr::Pending(addr.clone()),
+                },
+                *next,
+            ),
+            Instr::Fence { next } => (Transient::Fence, *next),
+            _ => unreachable!("fetch_simple on non-simple instruction"),
+        };
+        self.cfg.rob.push(transient);
+        self.cfg.pc = next;
+        Ok(vec![])
+    }
+
+    /// `cond-fetch`: record the guessed branch `n0` in the transient
+    /// instruction and continue along it.
+    fn fetch_branch(&mut self, instr: &Instr, taken: bool) -> Result<StepObs, StepError> {
+        self.check_capacity(1)?;
+        let Instr::Br { op, args, tru, fls } = instr else {
+            unreachable!()
+        };
+        let guess = if taken { *tru } else { *fls };
+        self.cfg.rob.push(Transient::Br {
+            op: *op,
+            args: args.clone(),
+            guess,
+            tru: *tru,
+            fls: *fls,
+        });
+        self.cfg.pc = guess;
+        Ok(vec![])
+    }
+
+    /// `jmpi-fetch`: the attacker-supplied guess `n'` becomes the next
+    /// program point and is recorded for the execute-stage check.
+    fn fetch_jmpi(&mut self, instr: &Instr, guess: Pc) -> Result<StepObs, StepError> {
+        self.check_capacity(1)?;
+        let Instr::Jmpi { args } = instr else {
+            unreachable!()
+        };
+        self.cfg.rob.push(Transient::Jmpi {
+            args: args.clone(),
+            guess,
+        });
+        self.cfg.pc = guess;
+        Ok(vec![])
+    }
+
+    /// `call-direct-fetch`: unpack into `call`-marker, stack-pointer
+    /// bump, and return-address store; push the return point onto the RSB
+    /// keyed by the marker's index.
+    fn fetch_call(&mut self, instr: &Instr) -> Result<StepObs, StepError> {
+        self.check_capacity(CALL_GROUP)?;
+        let Instr::Call { callee, ret } = instr else {
+            unreachable!()
+        };
+        let marker = self.cfg.rob.push(Transient::Call);
+        self.cfg.rob.push(Transient::Op {
+            dst: Reg::RSP,
+            op: OpCode::Succ,
+            args: vec![Operand::Reg(Reg::RSP)],
+        });
+        self.cfg.rob.push(Transient::Store {
+            data: StoreData::Pending(Operand::Imm(Val::public(*ret))),
+            addr: StoreAddr::Pending(vec![Operand::Reg(Reg::RSP)]),
+        });
+        self.cfg.rsb.record(marker, RsbOp::Push(*ret));
+        self.cfg.pc = *callee;
+        Ok(vec![])
+    }
+
+    /// `ret-fetch-rsb` / `ret-fetch-rsb-empty`: unpack into `ret`-marker,
+    /// return-address load, stack-pointer pop, and an indirect jump
+    /// predicted by `top(σ)` (or by the policy-determined fallback when
+    /// the RSB is empty).
+    fn fetch_ret(&mut self, directive: Directive) -> Result<StepObs, StepError> {
+        self.check_capacity(RET_GROUP)?;
+        let top = self.cfg.rsb.top();
+        let guess: Pc = match (top, directive, self.params.rsb_policy) {
+            // ret-fetch-rsb: the RSB supplies the prediction.
+            (Some(n), Directive::Fetch, _) => n,
+            // ret-fetch-rsb-empty under attacker-chosen fallback.
+            (None, Directive::FetchJump(n), RsbPolicy::AttackerChoice) => n,
+            // AMD-style refuse-to-speculate.
+            (None, _, RsbPolicy::Refuse) => return Err(StepError::RsbRefused),
+            // Circular buffer: a stale junk value, via plain fetch.
+            (None, Directive::Fetch, RsbPolicy::Circular { stale }) => stale,
+            _ => {
+                return Err(StepError::FetchMismatch {
+                    pc: self.cfg.pc,
+                    found: "ret",
+                })
+            }
+        };
+        let pc = self.cfg.pc;
+        let marker = self.cfg.rob.push(Transient::Ret);
+        self.cfg.rob.push(Transient::Load {
+            dst: Reg::RTMP,
+            addr: vec![Operand::Reg(Reg::RSP)],
+            pp: pc,
+        });
+        self.cfg.rob.push(Transient::Op {
+            dst: Reg::RSP,
+            op: OpCode::Pred,
+            args: vec![Operand::Reg(Reg::RSP)],
+        });
+        self.cfg.rob.push(Transient::Jmpi {
+            args: vec![Operand::Reg(Reg::RTMP)],
+            guess,
+        });
+        self.cfg.rsb.record(marker, RsbOp::Pop);
+        self.cfg.pc = guess;
+        Ok(vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::instr::Program;
+    use crate::reg::names::*;
+
+    fn machine_with(instrs: Vec<(Pc, Instr)>, entry: Pc) -> (Program, Config) {
+        let mut p = Program::new();
+        p.entry = entry;
+        for (n, i) in instrs {
+            p.insert(n, i);
+        }
+        let cfg = Config::initial(Default::default(), Default::default(), entry);
+        (p, cfg)
+    }
+
+    #[test]
+    fn simple_fetch_advances_pc_and_fills_rob() {
+        let (p, cfg) = machine_with(
+            vec![(
+                1,
+                Instr::Op {
+                    dst: RA,
+                    op: OpCode::Add,
+                    args: vec![Operand::imm(1)],
+                    next: 2,
+                },
+            )],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(m.cfg.pc, 2);
+        assert_eq!(m.cfg.rob.len(), 1);
+        assert!(matches!(m.cfg.rob.get(1), Some(Transient::Op { .. })));
+    }
+
+    #[test]
+    fn branch_fetch_requires_branch_directive() {
+        let (p, cfg) = machine_with(
+            vec![(
+                1,
+                Instr::Br {
+                    op: OpCode::Gt,
+                    args: vec![Operand::imm(4), RA.into()],
+                    tru: 2,
+                    fls: 4,
+                },
+            )],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        assert!(matches!(
+            m.step(Directive::Fetch),
+            Err(StepError::FetchMismatch { .. })
+        ));
+        m.step(Directive::FetchBranch(true)).unwrap();
+        assert_eq!(m.cfg.pc, 2);
+        match m.cfg.rob.get(1) {
+            Some(Transient::Br { guess, .. }) => assert_eq!(*guess, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_false_goes_to_false_target() {
+        let (p, cfg) = machine_with(
+            vec![(
+                1,
+                Instr::Br {
+                    op: OpCode::Gt,
+                    args: vec![Operand::imm(4), RA.into()],
+                    tru: 2,
+                    fls: 4,
+                },
+            )],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::FetchBranch(false)).unwrap();
+        assert_eq!(m.cfg.pc, 4);
+    }
+
+    #[test]
+    fn fetch_beyond_program_fails() {
+        let (p, cfg) = machine_with(vec![], 1);
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(
+            m.step(Directive::Fetch),
+            Err(StepError::NoInstruction(1))
+        );
+    }
+
+    #[test]
+    fn rob_capacity_blocks_fetch() {
+        let (p, cfg) = machine_with(
+            vec![
+                (1, Instr::Fence { next: 2 }),
+                (2, Instr::Fence { next: 3 }),
+            ],
+            1,
+        );
+        let mut params = crate::params::Params::paper();
+        params.rob_capacity = Some(1);
+        let mut m = Machine::with_params(&p, cfg, params);
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(m.step(Directive::Fetch), Err(StepError::RobFull));
+    }
+
+    #[test]
+    fn call_fetch_unpacks_and_pushes_rsb() {
+        let (p, cfg) = machine_with(vec![(3, Instr::Call { callee: 5, ret: 4 })], 3);
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(m.cfg.pc, 5);
+        assert_eq!(m.cfg.rob.len(), 3);
+        assert!(matches!(m.cfg.rob.get(1), Some(Transient::Call)));
+        assert!(matches!(
+            m.cfg.rob.get(2),
+            Some(Transient::Op {
+                op: OpCode::Succ,
+                ..
+            })
+        ));
+        assert!(matches!(m.cfg.rob.get(3), Some(Transient::Store { .. })));
+        assert_eq!(m.cfg.rsb.top(), Some(4));
+    }
+
+    #[test]
+    fn ret_fetch_uses_rsb_prediction() {
+        let (p, mut cfg) = machine_with(vec![(7, Instr::Ret)], 7);
+        cfg.rsb.record(0, RsbOp::Push(4));
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(m.cfg.pc, 4);
+        assert_eq!(m.cfg.rob.len(), 4);
+        assert!(matches!(
+            m.cfg.rob.get(4),
+            Some(Transient::Jmpi { guess: 4, .. })
+        ));
+        // The pop is recorded, so the RSB is now empty.
+        assert_eq!(m.cfg.rsb.top(), None);
+    }
+
+    #[test]
+    fn ret_fetch_empty_rsb_takes_attacker_target() {
+        let (p, cfg) = machine_with(vec![(2, Instr::Ret)], 2);
+        let mut m = Machine::new(&p, cfg);
+        // Plain fetch is not applicable under AttackerChoice with empty σ.
+        assert!(m.step(Directive::Fetch).is_err());
+        m.step(Directive::FetchJump(17)).unwrap();
+        assert_eq!(m.cfg.pc, 17);
+    }
+
+    #[test]
+    fn ret_fetch_empty_rsb_refuse_policy() {
+        let (p, cfg) = machine_with(vec![(2, Instr::Ret)], 2);
+        let mut params = crate::params::Params::paper();
+        params.rsb_policy = RsbPolicy::Refuse;
+        let mut m = Machine::with_params(&p, cfg, params);
+        assert_eq!(m.step(Directive::Fetch), Err(StepError::RsbRefused));
+        assert_eq!(m.step(Directive::FetchJump(9)), Err(StepError::RsbRefused));
+    }
+
+    #[test]
+    fn ret_fetch_empty_rsb_circular_policy() {
+        let (p, cfg) = machine_with(vec![(2, Instr::Ret)], 2);
+        let mut params = crate::params::Params::paper();
+        params.rsb_policy = RsbPolicy::Circular { stale: 0x99 };
+        let mut m = Machine::with_params(&p, cfg, params);
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(m.cfg.pc, 0x99);
+    }
+}

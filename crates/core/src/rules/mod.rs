@@ -1,0 +1,11 @@
+//! The step rules of the semantics, one module per pipeline stage.
+//!
+//! * [`fetch`] — `simple-fetch`, `cond-fetch`, `jmpi-fetch`,
+//!   `call-direct-fetch`, `ret-fetch-rsb`, `ret-fetch-rsb-empty`;
+//! * [`execute`] — the execute-stage rules of §3.3–§3.5 and Appendix A;
+//! * [`retire`] — `value-retire`, `jump-retire`, `store-retire`,
+//!   `fence-retire`, `call-retire`, `ret-retire`.
+
+pub mod execute;
+pub mod fetch;
+pub mod retire;

@@ -1,0 +1,261 @@
+//! Retire-stage rules: commit the oldest (group of) transient
+//! instruction(s) to architectural state.
+
+use crate::error::StepError;
+use crate::machine::{Machine, StepObs};
+use crate::observation::Observation;
+use crate::rules::fetch::{CALL_GROUP, RET_GROUP};
+use crate::transient::{StoreAddr, StoreData, Transient};
+use crate::value::Val;
+
+impl Machine<'_> {
+    /// Dispatch `retire` on `MIN(buf)`.
+    pub(crate) fn retire(&mut self) -> Result<StepObs, StepError> {
+        let i = self.cfg.rob.min().ok_or(StepError::EmptyBuffer)?;
+        let entry = self.cfg.rob.get(i).expect("min index present").clone();
+        match entry {
+            // value-retire: plain resolved values and resolved loads alike.
+            Transient::Value { dst, val } => {
+                self.cfg.regs.write(dst, val);
+                self.cfg.rob.pop_min();
+                Ok(vec![])
+            }
+            Transient::LoadedValue { dst, val, .. } => {
+                self.cfg.regs.write(dst, val);
+                self.cfg.rob.pop_min();
+                Ok(vec![])
+            }
+            // jump-retire
+            Transient::Jump { .. } => {
+                self.cfg.rob.pop_min();
+                Ok(vec![])
+            }
+            // fence-retire
+            Transient::Fence => {
+                self.cfg.rob.pop_min();
+                Ok(vec![])
+            }
+            // store-retire
+            Transient::Store {
+                data: StoreData::Resolved(v),
+                addr: StoreAddr::Resolved(a),
+            } => {
+                self.cfg.mem.write(a.bits, v);
+                self.cfg.rob.pop_min();
+                Ok(vec![Observation::Write {
+                    addr: a.bits,
+                    label: a.label,
+                }])
+            }
+            // call-retire / ret-retire: whole expansion groups.
+            Transient::Call => self.retire_call(i),
+            Transient::Ret => self.retire_ret(i),
+            other => Err(StepError::NotRetirable {
+                index: i,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// `call-retire`: commit the stack-pointer bump and the return-address
+    /// store together with the marker (Appendix A).
+    fn retire_call(&mut self, i: usize) -> Result<StepObs, StepError> {
+        let rsp_val = match self.cfg.rob.get(i + 1) {
+            Some(Transient::Value { dst, val }) if *dst == crate::reg::Reg::RSP => *val,
+            _ => {
+                return Err(StepError::NotRetirable {
+                    index: i,
+                    found: "call",
+                })
+            }
+        };
+        let (store_val, store_addr): (Val, Val) = match self.cfg.rob.get(i + 2) {
+            Some(Transient::Store {
+                data: StoreData::Resolved(v),
+                addr: StoreAddr::Resolved(a),
+            }) => (*v, *a),
+            _ => {
+                return Err(StepError::NotRetirable {
+                    index: i,
+                    found: "call",
+                })
+            }
+        };
+        self.cfg.regs.write(crate::reg::Reg::RSP, rsp_val);
+        self.cfg.mem.write(store_addr.bits, store_val);
+        self.cfg.rob.pop_min_n(CALL_GROUP);
+        Ok(vec![Observation::Write {
+            addr: store_addr.bits,
+            label: store_addr.label,
+        }])
+    }
+
+    /// `ret-retire`: commit the stack-pointer pop; the scratch load and
+    /// the resolved jump are discarded (Appendix A updates only `rsp`).
+    fn retire_ret(&mut self, i: usize) -> Result<StepObs, StepError> {
+        let loaded_ok = matches!(
+            self.cfg.rob.get(i + 1),
+            Some(Transient::LoadedValue { dst, .. }) if *dst == crate::reg::Reg::RTMP
+        ) || matches!(
+            self.cfg.rob.get(i + 1),
+            Some(Transient::Value { dst, .. }) if *dst == crate::reg::Reg::RTMP
+        );
+        let rsp_val = match self.cfg.rob.get(i + 2) {
+            Some(Transient::Value { dst, val }) if *dst == crate::reg::Reg::RSP => Some(*val),
+            _ => None,
+        };
+        let jump_ok = matches!(self.cfg.rob.get(i + 3), Some(Transient::Jump { .. }));
+        match (loaded_ok, rsp_val, jump_ok) {
+            (true, Some(v), true) => {
+                self.cfg.regs.write(crate::reg::Reg::RSP, v);
+                self.cfg.rob.pop_min_n(RET_GROUP);
+                Ok(vec![])
+            }
+            _ => Err(StepError::NotRetirable {
+                index: i,
+                found: "ret",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::directive::Directive;
+    use crate::instr::{Instr, Operand, Program};
+    use crate::label::Label;
+    use crate::op::OpCode;
+    use crate::reg::names::*;
+    use crate::reg::{Reg, RegFile};
+
+    fn machine(
+        instrs: Vec<(u64, Instr)>,
+        regs: Vec<(Reg, Val)>,
+        entry: u64,
+    ) -> (Program, Config) {
+        let mut p = Program::new();
+        p.entry = entry;
+        for (n, i) in instrs {
+            p.insert(n, i);
+        }
+        let rf: RegFile = regs.into_iter().collect();
+        (p, Config::initial(rf, Default::default(), entry))
+    }
+
+    #[test]
+    fn value_retire_updates_register_file() {
+        let (p, cfg) = machine(
+            vec![(
+                1,
+                Instr::Op {
+                    dst: RA,
+                    op: OpCode::Add,
+                    args: vec![Operand::imm(4)],
+                    next: 2,
+                },
+            )],
+            vec![],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        assert_eq!(
+            m.step(Directive::Retire),
+            Err(StepError::NotRetirable {
+                index: 1,
+                found: "op"
+            })
+        );
+        m.step(Directive::Execute(1)).unwrap();
+        m.step(Directive::Retire).unwrap();
+        assert_eq!(m.cfg.regs.read(RA), Val::public(4));
+        assert!(m.cfg.rob.is_empty());
+    }
+
+    #[test]
+    fn store_retire_writes_memory_and_observes() {
+        let (p, cfg) = machine(
+            vec![(
+                1,
+                Instr::Store {
+                    src: Operand::Imm(Val::secret(9)),
+                    addr: vec![Operand::imm(0x41)],
+                    next: 2,
+                },
+            )],
+            vec![],
+            1,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        m.step(Directive::ExecuteValue(1)).unwrap();
+        m.step(Directive::ExecuteAddr(1)).unwrap();
+        let obs = m.step(Directive::Retire).unwrap();
+        assert_eq!(
+            obs,
+            vec![Observation::Write {
+                addr: 0x41,
+                label: Label::Public
+            }]
+        );
+        assert_eq!(m.cfg.mem.read(0x41), Val::secret(9));
+    }
+
+    #[test]
+    fn retire_on_empty_buffer_fails() {
+        let (p, cfg) = machine(vec![], vec![], 1);
+        let mut m = Machine::new(&p, cfg);
+        assert_eq!(m.step(Directive::Retire), Err(StepError::EmptyBuffer));
+    }
+
+    #[test]
+    fn call_retires_as_a_group() {
+        let (p, cfg) = machine(
+            vec![(3, Instr::Call { callee: 5, ret: 4 })],
+            vec![(Reg::RSP, Val::public(0x7c))],
+            3,
+        );
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::Fetch).unwrap();
+        // Unresolved expansion cannot retire yet.
+        assert!(m.step(Directive::Retire).is_err());
+        m.step(Directive::Execute(2)).unwrap(); // rsp = succ(rsp) = 0x7b
+        m.step(Directive::ExecuteValue(3)).unwrap();
+        m.step(Directive::ExecuteAddr(3)).unwrap();
+        let obs = m.step(Directive::Retire).unwrap();
+        assert_eq!(
+            obs,
+            vec![Observation::Write {
+                addr: 0x7b,
+                label: Label::Public
+            }]
+        );
+        assert_eq!(m.cfg.regs.read(Reg::RSP), Val::public(0x7b));
+        assert_eq!(m.cfg.mem.read(0x7b), Val::public(4));
+        assert!(m.cfg.rob.is_empty());
+    }
+
+    #[test]
+    fn ret_retires_as_a_group() {
+        // Set up a stack with a return address, then run a ret whose RSB
+        // prediction is attacker-supplied (empty RSB).
+        let (p, mut cfg) = machine(
+            vec![(7, Instr::Ret)],
+            vec![(Reg::RSP, Val::public(0x7b))],
+            7,
+        );
+        cfg.mem.write(0x7b, Val::public(4));
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::FetchJump(4)).unwrap();
+        m.step(Directive::Execute(2)).unwrap(); // rtmp = load [rsp] → 4
+        m.step(Directive::Execute(3)).unwrap(); // rsp = pred(rsp) = 0x7c
+        m.step(Directive::Execute(4)).unwrap(); // jmpi [rtmp] → 4, correct
+        m.step(Directive::Retire).unwrap();
+        assert_eq!(m.cfg.regs.read(Reg::RSP), Val::public(0x7c));
+        assert!(m.cfg.rob.is_empty());
+        // rtmp is scratch: the paper's ret-retire does not commit it.
+        assert_eq!(m.cfg.regs.read(Reg::RTMP), Val::public(0));
+    }
+}

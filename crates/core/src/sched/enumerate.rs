@@ -1,0 +1,155 @@
+//! Enumerating applicable directives.
+//!
+//! The directive alphabet is infinite only through the program points of
+//! `fetch: n` guesses; restricting guesses to the program's own points
+//! (plus the statically correct one where known) keeps the set finite
+//! without losing any *interesting* behaviour — a guess outside the
+//! program rolls back exactly like any other wrong guess but can fetch
+//! nothing speculatively.
+
+use crate::directive::Directive;
+use crate::instr::Instr;
+use crate::machine::Machine;
+use crate::params::RsbPolicy;
+use crate::transient::{StoreAddr, StoreData, Transient};
+
+/// All candidate directives worth attempting in the current state,
+/// *before* filtering by rule applicability.
+pub fn candidate_directives(m: &Machine<'_>) -> Vec<Directive> {
+    let mut out = Vec::new();
+    candidate_fetches(m, &mut out);
+    candidate_executes(m, &mut out);
+    if !m.cfg.rob.is_empty() {
+        out.push(Directive::Retire);
+    }
+    out
+}
+
+/// The subset of [`candidate_directives`] that actually steps (checked by
+/// dry-running each candidate on a clone).
+pub fn applicable_directives(m: &Machine<'_>) -> Vec<Directive> {
+    candidate_directives(m)
+        .into_iter()
+        .filter(|&d| {
+            let mut probe = m.clone();
+            probe.step(d).is_ok()
+        })
+        .collect()
+}
+
+fn candidate_fetches(m: &Machine<'_>, out: &mut Vec<Directive>) {
+    let Some(instr) = m.program.fetch(m.cfg.pc) else {
+        return;
+    };
+    match instr {
+        Instr::Op { .. }
+        | Instr::Load { .. }
+        | Instr::Store { .. }
+        | Instr::Fence { .. }
+        | Instr::Call { .. } => out.push(Directive::Fetch),
+        Instr::Br { .. } => {
+            out.push(Directive::FetchBranch(true));
+            out.push(Directive::FetchBranch(false));
+        }
+        Instr::Jmpi { .. } => {
+            out.extend(m.program.iter().map(|(n, _)| Directive::FetchJump(n)));
+        }
+        Instr::Ret => {
+            if m.cfg.rsb.top().is_some() {
+                out.push(Directive::Fetch);
+            } else {
+                match m.params.rsb_policy {
+                    RsbPolicy::AttackerChoice => {
+                        out.extend(m.program.iter().map(|(n, _)| Directive::FetchJump(n)));
+                    }
+                    RsbPolicy::Refuse => {}
+                    RsbPolicy::Circular { .. } => out.push(Directive::Fetch),
+                }
+            }
+        }
+    }
+}
+
+fn candidate_executes(m: &Machine<'_>, out: &mut Vec<Directive>) {
+    for (i, t) in m.cfg.rob.iter() {
+        match t {
+            Transient::Op { .. }
+            | Transient::Br { .. }
+            | Transient::Jmpi { .. }
+            | Transient::LoadGuessed { .. } => out.push(Directive::Execute(i)),
+            Transient::Load { .. } => {
+                out.push(Directive::Execute(i));
+                // Alias-predicted forwarding from any older store with
+                // resolved data (§3.5).
+                for (j, s) in m.cfg.rob.iter_below(i) {
+                    if s.store_resolved_data().is_some() {
+                        out.push(Directive::ExecuteFwd(i, j));
+                    }
+                }
+            }
+            Transient::Store { data, addr } => {
+                if matches!(data, StoreData::Pending(_)) {
+                    out.push(Directive::ExecuteValue(i));
+                }
+                if matches!(addr, StoreAddr::Pending(_)) {
+                    out.push(Directive::ExecuteAddr(i));
+                }
+            }
+            Transient::Value { .. }
+            | Transient::Jump { .. }
+            | Transient::LoadedValue { .. }
+            | Transient::Call
+            | Transient::Ret
+            | Transient::Fence => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fig1;
+
+    #[test]
+    fn initial_fig1_offers_both_branch_guesses() {
+        let (p, cfg) = fig1();
+        let m = Machine::new(&p, cfg);
+        let ds = applicable_directives(&m);
+        assert!(ds.contains(&Directive::FetchBranch(true)));
+        assert!(ds.contains(&Directive::FetchBranch(false)));
+        assert!(!ds.contains(&Directive::Retire));
+    }
+
+    #[test]
+    fn applicability_filters_pending_operands() {
+        let (p, cfg) = fig1();
+        let mut m = Machine::new(&p, cfg);
+        m.step(Directive::FetchBranch(true)).unwrap();
+        m.step(Directive::Fetch).unwrap(); // load rb
+        m.step(Directive::Fetch).unwrap(); // load rc (depends on rb)
+        let ds = applicable_directives(&m);
+        assert!(ds.contains(&Directive::Execute(1))); // the branch
+        assert!(ds.contains(&Directive::Execute(2))); // first load
+        // Second load's address depends on the unresolved rb.
+        assert!(!ds.contains(&Directive::Execute(3)));
+        // Retire of the unresolved branch is not applicable.
+        assert!(!ds.contains(&Directive::Retire));
+    }
+
+    #[test]
+    fn every_applicable_directive_actually_steps() {
+        let (p, cfg) = fig1();
+        let mut m = Machine::new(&p, cfg);
+        for _ in 0..20 {
+            let ds = applicable_directives(&m);
+            if ds.is_empty() {
+                break;
+            }
+            for &d in &ds {
+                let mut probe = m.clone();
+                assert!(probe.step(d).is_ok(), "directive {d} must step");
+            }
+            m.step(ds[0]).unwrap();
+        }
+    }
+}

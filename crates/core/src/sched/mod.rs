@@ -1,0 +1,11 @@
+//! Schedulers: ways of producing well-formed directive schedules.
+//!
+//! * [`enumerate`] — enumerate the directives applicable in a state
+//!   (used by the random adversary and by Pitchfork's explorer);
+//! * [`sequential`] — the canonical sequential schedule of Theorem 3.2;
+//! * [`random`] — a random adversarial scheduler for fuzzing and for the
+//!   relational SCT checker.
+
+pub mod enumerate;
+pub mod random;
+pub mod sequential;

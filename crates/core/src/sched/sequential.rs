@@ -1,0 +1,273 @@
+//! The canonical sequential schedule (`C ⇓ⁿseq C'`, Theorem 3.2).
+//!
+//! A sequential schedule "executes and retires instructions immediately
+//! upon fetching them" (Def. B.3). Our canonical scheduler additionally
+//! fetches with the *correct* prediction (evaluating branch conditions and
+//! jump targets against the architectural state, which is sound because
+//! the buffer is empty at every fetch), so canonical sequential traces
+//! contain no rollbacks from branches — the paper's footnote 6 permits
+//! either choice.
+
+use crate::config::Config;
+use crate::directive::{Directive, Schedule};
+use crate::error::{ScheduleError, StepError};
+use crate::instr::{Instr, Program};
+use crate::machine::{Machine, RunOutcome};
+use crate::observation::Trace;
+use crate::params::Params;
+use crate::transient::{StoreAddr, StoreData, Transient};
+
+/// Result of a sequential run.
+#[derive(Clone, Debug)]
+pub struct SeqOutcome {
+    /// The final configuration.
+    pub config: Config,
+    /// Trace, retired-instruction count.
+    pub outcome: RunOutcome,
+    /// The schedule that was generated (useful for replay/validation).
+    pub schedule: Schedule,
+    /// `true` when execution reached a terminal configuration (empty
+    /// buffer, no instruction at the final program point) rather than the
+    /// step bound.
+    pub terminal: bool,
+}
+
+/// Pick the canonical (correctly-predicted) fetch directive for the
+/// instruction at the current program point, given an **empty** buffer.
+fn canonical_fetch(m: &Machine<'_>) -> Result<Directive, StepError> {
+    debug_assert!(m.cfg.rob.is_empty());
+    let i = m.cfg.rob.next_index();
+    let instr = m
+        .program
+        .fetch(m.cfg.pc)
+        .ok_or(StepError::NoInstruction(m.cfg.pc))?;
+    Ok(match instr {
+        Instr::Br { op, args, tru, fls } => {
+            let vals = m.resolve_list(i, args)?;
+            let cond = m.eval_op(*op, &vals)?;
+            let _ = (tru, fls);
+            Directive::FetchBranch(cond.as_bool())
+        }
+        Instr::Jmpi { args } => {
+            let vals = m.resolve_list(i, args)?;
+            Directive::FetchJump(m.eval_addr(&vals).bits)
+        }
+        Instr::Ret => {
+            if m.cfg.rsb.top().is_some() {
+                Directive::Fetch
+            } else {
+                // Empty RSB: predict the architecturally correct target,
+                // which is the return address stored at the top of stack.
+                let rsp = m.cfg.regs.read(crate::reg::Reg::RSP);
+                let target = m.cfg.mem.read(rsp.bits).bits;
+                Directive::FetchJump(target)
+            }
+        }
+        _ => Directive::Fetch,
+    })
+}
+
+/// The next execute directive for the oldest unresolved entry, or
+/// `Retire` when the whole (group at the) head is resolved.
+fn next_inorder_directive(m: &Machine<'_>) -> Directive {
+    for (i, t) in m.cfg.rob.iter() {
+        match t {
+            Transient::Op { .. }
+            | Transient::Br { .. }
+            | Transient::Jmpi { .. }
+            | Transient::Load { .. }
+            | Transient::LoadGuessed { .. } => return Directive::Execute(i),
+            Transient::Store { data, addr } => {
+                if matches!(data, StoreData::Pending(_)) {
+                    return Directive::ExecuteValue(i);
+                }
+                if matches!(addr, StoreAddr::Pending(_)) {
+                    return Directive::ExecuteAddr(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Directive::Retire
+}
+
+/// Run the canonical sequential schedule from `config` until the program
+/// halts or `max_steps` directives have been issued.
+///
+/// # Errors
+///
+/// Propagates the first [`StepError`] other than the terminal
+/// "no instruction to fetch" (which ends the run normally). The canonical
+/// schedule is well-formed on every program our generators produce, so an
+/// error indicates a genuinely stuck program (e.g. a `ret` under the
+/// [`crate::params::RsbPolicy::Refuse`] policy with an empty stack).
+pub fn run_sequential(
+    program: &Program,
+    config: Config,
+    params: Params,
+    max_steps: usize,
+) -> Result<SeqOutcome, ScheduleError> {
+    run_sequential_bounded(program, config, params, usize::MAX, max_steps)
+}
+
+/// Like [`run_sequential`], but stop after `max_retires` retire
+/// directives — the sequential big step `C ⇓seq^N C'` with a fixed `N`,
+/// used to validate Theorem 3.2 against arbitrary speculative runs.
+///
+/// # Errors
+///
+/// As for [`run_sequential`].
+pub fn run_sequential_bounded(
+    program: &Program,
+    config: Config,
+    params: Params,
+    max_retires: usize,
+    max_steps: usize,
+) -> Result<SeqOutcome, ScheduleError> {
+    let mut m = Machine::with_params(program, config, params);
+    let mut schedule = Schedule::new();
+    let mut trace = Trace::new();
+    let mut retired = 0;
+    let mut terminal = false;
+    for at in 0..max_steps {
+        if retired >= max_retires {
+            break;
+        }
+        let directive = if m.cfg.rob.is_empty() {
+            match canonical_fetch(&m) {
+                Ok(d) => d,
+                Err(StepError::NoInstruction(_)) => {
+                    terminal = true;
+                    break;
+                }
+                Err(error) => {
+                    return Err(ScheduleError {
+                        at,
+                        directive: Directive::Fetch,
+                        error,
+                    })
+                }
+            }
+        } else {
+            next_inorder_directive(&m)
+        };
+        match m.step(directive) {
+            Ok(obs) => {
+                if matches!(directive, Directive::Retire) {
+                    retired += 1;
+                }
+                trace.extend_step(obs);
+                schedule.push(directive);
+            }
+            Err(error) => {
+                return Err(ScheduleError {
+                    at,
+                    directive,
+                    error,
+                })
+            }
+        }
+    }
+    Ok(SeqOutcome {
+        config: m.cfg,
+        outcome: RunOutcome { trace, retired },
+        schedule,
+        terminal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fig1;
+    use crate::instr::Operand;
+    use crate::label::Label;
+    use crate::op::OpCode;
+    use crate::reg::names::*;
+    use crate::reg::{Reg, RegFile};
+    use crate::value::Val;
+
+    #[test]
+    fn fig1_sequential_takes_false_branch() {
+        let (p, cfg) = fig1();
+        let out = run_sequential(&p, cfg, Params::paper(), 1_000).unwrap();
+        assert!(out.terminal);
+        // ra = 9 fails the bounds check; no load executes.
+        assert_eq!(out.outcome.retired, 1);
+        assert!(out.outcome.trace.is_public());
+        assert_eq!(out.config.pc, 4);
+        assert!(out.config.rob.is_empty());
+    }
+
+    #[test]
+    fn in_bounds_index_loads_sequentially() {
+        let (p, mut cfg) = fig1();
+        cfg.regs.write(RA, Val::public(2));
+        let out = run_sequential(&p, cfg, Params::paper(), 1_000).unwrap();
+        assert!(out.terminal);
+        assert_eq!(out.outcome.retired, 3);
+        // A[2] = 2, so rc = B[2] = 1.
+        assert_eq!(out.config.regs.read(RC), Val::public(1));
+        assert!(out.outcome.trace.is_public());
+    }
+
+    #[test]
+    fn sequential_call_ret_round_trip() {
+        // 1: call(3, 2); 2: op ra += 1; 3: op rb = 5; 4: ret
+        let mut p = Program::new();
+        p.entry = 1;
+        p.insert(1, Instr::Call { callee: 3, ret: 2 });
+        p.insert(
+            2,
+            Instr::Op {
+                dst: RA,
+                op: OpCode::Add,
+                args: vec![RA.into(), Operand::imm(1)],
+                next: 5,
+            },
+        );
+        p.insert(
+            3,
+            Instr::Op {
+                dst: RB,
+                op: OpCode::Add,
+                args: vec![Operand::imm(5)],
+                next: 4,
+            },
+        );
+        p.insert(4, Instr::Ret);
+        let regs: RegFile = [(Reg::RSP, Val::public(0x7c))].into_iter().collect();
+        let cfg = Config::initial(regs, Default::default(), 1);
+        let out = run_sequential(&p, cfg, Params::paper(), 1_000).unwrap();
+        assert!(out.terminal, "schedule: {}", out.schedule);
+        assert_eq!(out.config.regs.read(RB), Val::public(5));
+        assert_eq!(out.config.regs.read(RA), Val::public(1));
+        // Stack pointer restored.
+        assert_eq!(out.config.regs.read(Reg::RSP), Val::public(0x7c));
+        // Return address was written to the stack (call-retire observes it).
+        assert_eq!(out.config.mem.read(0x7b), Val::public(2));
+        assert!(out
+            .outcome
+            .trace
+            .iter()
+            .any(|o| matches!(o, crate::observation::Observation::Write { addr: 0x7b, .. })));
+    }
+
+    #[test]
+    fn step_bound_returns_partial_run() {
+        let (p, cfg) = fig1();
+        let out = run_sequential(&p, cfg, Params::paper(), 1).unwrap();
+        assert!(!out.terminal);
+        assert_eq!(out.schedule.len(), 1);
+    }
+
+    #[test]
+    fn secret_branch_leaks_sequentially_too() {
+        // Sequential constant-time is still violated by branching on a
+        // secret: br(gt, (4, ra_sec), ...) leaks via the jump observation.
+        let (p, mut cfg) = fig1();
+        cfg.regs.write(RA, Val::new(9, Label::Secret));
+        let out = run_sequential(&p, cfg, Params::paper(), 1_000).unwrap();
+        assert!(out.outcome.trace.first_secret().is_some());
+    }
+}

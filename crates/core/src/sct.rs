@@ -1,0 +1,298 @@
+//! Speculative constant-time (Definition 3.1) and executable checkers.
+//!
+//! The relational definition — low-equivalent configurations produce the
+//! same observation trace under every schedule — is checked here in two
+//! complementary ways:
+//!
+//! * **label-based** (what Pitchfork does): run a schedule once and flag
+//!   any observation carrying a secret label. By the taint-propagation
+//!   discipline of the semantics this is a sound over-approximation: a
+//!   trace with no secret-labeled observation is identical for every
+//!   low-equivalent sibling.
+//! * **relational sampling**: actually run low-equivalent siblings with
+//!   the secrets re-randomized and compare traces directive by directive.
+//!   This is the ground truth the property tests validate the label-based
+//!   checker against.
+
+use crate::config::Config;
+use crate::directive::Schedule;
+use crate::error::ScheduleError;
+use crate::instr::Program;
+use crate::machine::Machine;
+use crate::observation::{Observation, Trace};
+use crate::params::Params;
+use crate::value::Val;
+use rand::Rng;
+use std::fmt;
+
+/// A speculative constant-time violation witness.
+#[derive(Clone, Debug)]
+pub enum SctViolation {
+    /// An observation carried a secret label (Corollary B.10 witness).
+    SecretObservation {
+        /// The schedule under which it occurred.
+        schedule: Schedule,
+        /// The first secret-labeled observation.
+        observation: Observation,
+        /// Position in the trace.
+        position: usize,
+    },
+    /// Two low-equivalent configurations produced different traces under
+    /// the same schedule (direct Definition 3.1 counterexample).
+    TraceDivergence {
+        /// The schedule under which the traces diverged.
+        schedule: Schedule,
+        /// Trace of the original configuration.
+        left: Trace,
+        /// Trace of the secrets-mutated sibling.
+        right: Trace,
+    },
+    /// The schedule was well-formed for one configuration but not its
+    /// low-equivalent sibling — itself distinguishing (the big steps of
+    /// Definition 3.1 must both exist).
+    WellFormednessDivergence {
+        /// The schedule in question.
+        schedule: Schedule,
+        /// The error the sibling ran into.
+        error: ScheduleError,
+    },
+}
+
+impl fmt::Display for SctViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SctViolation::SecretObservation {
+                observation,
+                position,
+                ..
+            } => write!(
+                f,
+                "secret-labeled observation `{observation}` at trace position {position}"
+            ),
+            SctViolation::TraceDivergence { left, right, .. } => write!(
+                f,
+                "trace divergence between low-equivalent runs:\n  left:  {left}\n  right: {right}"
+            ),
+            SctViolation::WellFormednessDivergence { error, .. } => write!(
+                f,
+                "schedule well-formed for one configuration but not its sibling: {error}"
+            ),
+        }
+    }
+}
+
+/// Run `schedule` from `config` and return the first secret-labeled
+/// observation as a violation, if any.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] when the schedule is not well-formed for
+/// `config`.
+pub fn check_schedule_label_based(
+    program: &Program,
+    config: Config,
+    params: Params,
+    schedule: &Schedule,
+) -> Result<Option<SctViolation>, ScheduleError> {
+    let mut m = Machine::with_params(program, config, params);
+    let out = m.run(schedule)?;
+    let hit = out
+        .trace
+        .iter()
+        .enumerate()
+        .find(|(_, o)| o.is_secret());
+    Ok(hit.map(|(position, observation)| SctViolation::SecretObservation {
+        schedule: schedule.clone(),
+        observation,
+        position,
+    }))
+}
+
+/// Produce a low-equivalent sibling of `config` by re-randomizing the
+/// bits of every secret-labeled register and memory cell.
+///
+/// The result satisfies `config ≃pub sibling` by construction.
+pub fn mutate_secrets<R: Rng>(config: &Config, rng: &mut R) -> Config {
+    let mut sibling = config.clone();
+    let reg_updates: Vec<_> = config
+        .regs
+        .iter()
+        .filter(|(_, v)| v.label.is_secret())
+        .map(|(r, v)| (r, Val::new(rng.gen::<u64>(), v.label)))
+        .collect();
+    for (r, v) in reg_updates {
+        sibling.regs.write(r, v);
+    }
+    let mem_updates: Vec<_> = config
+        .mem
+        .iter()
+        .filter(|(_, v)| v.label.is_secret())
+        .map(|(a, v)| (a, Val::new(rng.gen::<u64>(), v.label)))
+        .collect();
+    for (a, v) in mem_updates {
+        sibling.mem.write(a, v);
+    }
+    debug_assert!(config.low_equivalent(&sibling));
+    sibling
+}
+
+/// Like [`mutate_secrets`], but keeps secret values inside `0..bound` —
+/// useful when secret data must stay within a modeled address space.
+pub fn mutate_secrets_bounded<R: Rng>(config: &Config, bound: u64, rng: &mut R) -> Config {
+    let mut sibling = config.clone();
+    let reg_updates: Vec<_> = config
+        .regs
+        .iter()
+        .filter(|(_, v)| v.label.is_secret())
+        .map(|(r, v)| (r, Val::new(rng.gen_range(0..bound), v.label)))
+        .collect();
+    for (r, v) in reg_updates {
+        sibling.regs.write(r, v);
+    }
+    let mem_updates: Vec<_> = config
+        .mem
+        .iter()
+        .filter(|(_, v)| v.label.is_secret())
+        .map(|(a, v)| (a, Val::new(rng.gen_range(0..bound), v.label)))
+        .collect();
+    for (a, v) in mem_updates {
+        sibling.mem.write(a, v);
+    }
+    sibling
+}
+
+/// Relationally check one schedule against `samples` secrets-mutated
+/// siblings (Definition 3.1, sampled).
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] when the schedule is not well-formed for
+/// the *original* configuration (callers normally obtain schedules from a
+/// scheduler, so this indicates a bug).
+pub fn check_schedule_relational<R: Rng>(
+    program: &Program,
+    config: Config,
+    params: Params,
+    schedule: &Schedule,
+    samples: usize,
+    rng: &mut R,
+) -> Result<Option<SctViolation>, ScheduleError> {
+    check_schedule_relational_with(program, config, params, schedule, samples, |c| {
+        mutate_secrets(c, rng)
+    })
+}
+
+/// Like [`check_schedule_relational`], but with a caller-supplied
+/// low-equivalent sibling generator — useful when secrets need to stay
+/// in a small range for a 1-bit leak to actually flip (e.g. a branch on
+/// `secret == 0`).
+///
+/// # Errors
+///
+/// As for [`check_schedule_relational`].
+pub fn check_schedule_relational_with(
+    program: &Program,
+    config: Config,
+    params: Params,
+    schedule: &Schedule,
+    samples: usize,
+    mut sibling_of: impl FnMut(&Config) -> Config,
+) -> Result<Option<SctViolation>, ScheduleError> {
+    let mut m = Machine::with_params(program, config.clone(), params);
+    let base = m.run(schedule)?;
+    for _ in 0..samples {
+        let sibling = sibling_of(&config);
+        debug_assert!(config.low_equivalent(&sibling));
+        let mut ms = Machine::with_params(program, sibling, params);
+        match ms.run(schedule) {
+            Ok(out) => {
+                if out.trace != base.trace {
+                    return Ok(Some(SctViolation::TraceDivergence {
+                        schedule: schedule.clone(),
+                        left: base.trace,
+                        right: out.trace,
+                    }));
+                }
+            }
+            Err(error) => {
+                return Ok(Some(SctViolation::WellFormednessDivergence {
+                    schedule: schedule.clone(),
+                    error,
+                }))
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directive::Directive::*;
+    use crate::examples::fig1;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn v1_schedule() -> Schedule {
+        [FetchBranch(true), Fetch, Fetch, Execute(2), Execute(3)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn label_checker_flags_fig1() {
+        let (p, cfg) = fig1();
+        let v = check_schedule_label_based(&p, cfg, Params::paper(), &v1_schedule())
+            .unwrap()
+            .expect("Figure 1 violates SCT");
+        match v {
+            SctViolation::SecretObservation { position, .. } => assert_eq!(position, 1),
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relational_checker_flags_fig1() {
+        let (p, cfg) = fig1();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v = check_schedule_relational(&p, cfg, Params::paper(), &v1_schedule(), 8, &mut rng)
+            .unwrap();
+        assert!(
+            matches!(v, Some(SctViolation::TraceDivergence { .. })),
+            "differing secrets must produce differing traces: {v:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_prefix_is_clean_both_ways() {
+        let (p, cfg) = fig1();
+        // The correct (false) prediction leads to immediate termination.
+        let sched: Schedule = [FetchBranch(false), Execute(1), Retire].into_iter().collect();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(
+            check_schedule_label_based(&p, cfg.clone(), Params::paper(), &sched)
+                .unwrap()
+                .is_none()
+        );
+        assert!(
+            check_schedule_relational(&p, cfg, Params::paper(), &sched, 8, &mut rng)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn mutate_secrets_preserves_low_equivalence() {
+        let (_, cfg) = fig1();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let sib = mutate_secrets(&cfg, &mut rng);
+            assert!(cfg.low_equivalent(&sib));
+        }
+        let sib = mutate_secrets_bounded(&cfg, 4, &mut rng);
+        assert!(cfg.low_equivalent(&sib));
+        for (_, v) in sib.mem.iter().filter(|(_, v)| v.label.is_secret()) {
+            assert!(v.bits < 4);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Labeled machine values (`vℓ` in the paper).
+
+use crate::label::{Label, Lattice};
+use std::fmt;
+
+/// A machine word. The paper leaves the value domain `V` abstract; we use
+/// 64-bit words, which is wide enough for every example and case study.
+pub type Word = u64;
+
+/// A program point (`n` in the paper): an address in instruction space.
+pub type Pc = u64;
+
+/// A labeled value `vℓ`: a machine word together with its security label.
+///
+/// # Examples
+///
+/// ```
+/// use sct_core::value::Val;
+/// use sct_core::label::Label;
+/// let v = Val::public(9);
+/// let s = Val::secret(0xdead);
+/// assert_eq!(v.bits, 9);
+/// assert!(s.label.is_secret());
+/// assert!(v.join_label(s.label).label.is_secret());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Val {
+    /// The word contents.
+    pub bits: Word,
+    /// The security label attached to the word.
+    pub label: Label,
+}
+
+impl Val {
+    /// A fresh labeled value.
+    #[inline]
+    pub const fn new(bits: Word, label: Label) -> Self {
+        Val { bits, label }
+    }
+
+    /// A public value (the paper omits the `pub` subscript for these).
+    #[inline]
+    pub const fn public(bits: Word) -> Self {
+        Val::new(bits, Label::Public)
+    }
+
+    /// A secret value (`v_sec`).
+    #[inline]
+    pub const fn secret(bits: Word) -> Self {
+        Val::new(bits, Label::Secret)
+    }
+
+    /// The same bits with the label raised by `other` (`v_{ℓ ⊔ ℓ'}`).
+    #[inline]
+    pub fn join_label(self, other: Label) -> Self {
+        Val::new(self.bits, self.label.join(other))
+    }
+
+    /// Interpret the word as a boolean (`0` is false, anything else true).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        self.bits != 0
+    }
+
+    /// Interpret the word as a signed 64-bit integer.
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        self.bits as i64
+    }
+}
+
+impl Default for Val {
+    /// The default value is public zero, matching uninitialized registers
+    /// in the examples.
+    fn default() -> Self {
+        Val::public(0)
+    }
+}
+
+impl From<Word> for Val {
+    /// Bare words are public, matching the paper's convention of omitting
+    /// public label subscripts.
+    fn from(bits: Word) -> Self {
+        Val::public(bits)
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.bits, self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_labels() {
+        assert!(Val::public(1).label.is_public());
+        assert!(Val::secret(1).label.is_secret());
+        assert_eq!(Val::from(7u64), Val::public(7));
+        assert_eq!(Val::default(), Val::public(0));
+    }
+
+    #[test]
+    fn join_label_raises_but_never_lowers() {
+        let v = Val::public(3).join_label(Label::Secret);
+        assert!(v.label.is_secret());
+        let w = Val::secret(3).join_label(Label::Public);
+        assert!(w.label.is_secret());
+        assert_eq!(v.bits, 3);
+    }
+
+    #[test]
+    fn bool_and_signed_views() {
+        assert!(!Val::public(0).as_bool());
+        assert!(Val::public(2).as_bool());
+        assert_eq!(Val::public(u64::MAX).as_i64(), -1);
+    }
+
+    #[test]
+    fn display_shows_label_subscript() {
+        assert_eq!(Val::public(9).to_string(), "9pub");
+        assert_eq!(Val::secret(4).to_string(), "4sec");
+    }
+}

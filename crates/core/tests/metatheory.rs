@@ -1,0 +1,214 @@
+//! Executable metatheory: the paper's lemmas and theorems, checked by
+//! property-based testing over random programs and random adversarial
+//! schedules.
+//!
+//! | Test | Paper result |
+//! |------|--------------|
+//! | `determinism`                    | Lemma B.1 |
+//! | `sequential_determinism`         | Lemma B.5 |
+//! | `sequential_equivalence`         | Theorem 3.2 / B.7 |
+//! | `label_stability`                | Theorem B.9 / Corollary B.10 |
+//! | `label_check_soundness`          | justification of Pitchfork's label-based check |
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sct_core::proggen::{random_config, random_program, ProgGenOptions};
+use sct_core::sched::enumerate::applicable_directives;
+use sct_core::sched::random::{run_random, RandomRun, RandomSchedulerOptions};
+use sct_core::sched::sequential::{run_sequential, run_sequential_bounded};
+use sct_core::{Directive, Machine, Params};
+
+fn gen_opts() -> ProgGenOptions {
+    ProgGenOptions {
+        len: 14,
+        regs: 4,
+        mem_base: 0x40,
+        mem_size: 16,
+        mem_ratio: 45,
+        branch_ratio: 20,
+        fence_ratio: 5,
+    }
+}
+
+fn adversary_opts() -> RandomSchedulerOptions {
+    RandomSchedulerOptions {
+        max_steps: 3_000,
+        max_rob: 20,
+        fetch_bias: 55,
+    }
+}
+
+fn random_run_from_seed(seed: u64) -> (sct_core::Program, sct_core::Config, RandomRun) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let opts = gen_opts();
+    let program = random_program(&mut rng, &opts);
+    let config = random_config(&mut rng, &opts);
+    let run = run_random(
+        &program,
+        config.clone(),
+        Params::paper(),
+        adversary_opts(),
+        &mut rng,
+    );
+    (program, config, run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma B.1: the step relation is a function of `(C, d)`.
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let opts = gen_opts();
+        let program = random_program(&mut rng, &opts);
+        let config = random_config(&mut rng, &opts);
+        let mut m = Machine::new(&program, config);
+        for _ in 0..200 {
+            let ds = applicable_directives(&m);
+            let Some(&d) = ds.first() else { break };
+            let mut m1 = m.clone();
+            let mut m2 = m.clone();
+            let o1 = m1.step(d).unwrap();
+            let o2 = m2.step(d).unwrap();
+            prop_assert_eq!(&o1, &o2);
+            prop_assert_eq!(&m1.cfg, &m2.cfg);
+            m = m1;
+        }
+    }
+
+    /// Lemma B.5: sequential execution is deterministic (two canonical
+    /// sequential runs from the same initial configuration agree).
+    #[test]
+    fn sequential_determinism(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let opts = gen_opts();
+        let program = random_program(&mut rng, &opts);
+        let config = random_config(&mut rng, &opts);
+        let a = run_sequential(&program, config.clone(), Params::paper(), 20_000).unwrap();
+        let b = run_sequential(&program, config, Params::paper(), 20_000).unwrap();
+        prop_assert_eq!(a.config, b.config);
+        prop_assert_eq!(a.outcome.trace, b.outcome.trace);
+        prop_assert_eq!(a.outcome.retired, b.outcome.retired);
+    }
+
+    /// Theorem 3.2 / B.7: any well-formed speculative execution with `N`
+    /// retires agrees with the canonical sequential execution of `N`
+    /// instructions on registers and memory (`≈`); if the speculative
+    /// execution is terminal the configurations agree exactly on
+    /// architectural state and program point.
+    #[test]
+    fn sequential_equivalence(seed in any::<u64>()) {
+        let (program, config, run) = random_run_from_seed(seed);
+        let n = run.outcome.retired;
+        let seq = run_sequential_bounded(
+            &program,
+            config,
+            Params::paper(),
+            n,
+            50_000,
+        )
+        .unwrap();
+        prop_assert_eq!(seq.outcome.retired, n, "sequential run too short");
+        prop_assert!(
+            run.config.arch_equivalent(&seq.config),
+            "speculative (N={}) and sequential architectural states differ:\n\
+             spec regs: {:?}\nseq regs:  {:?}\nschedule: {}",
+            n, run.config.regs, seq.config.regs, run.schedule
+        );
+        if run.terminal {
+            prop_assert_eq!(run.config.pc, seq.config.pc);
+        }
+    }
+
+    /// Theorem B.9 / Corollary B.10: if a speculative execution's trace
+    /// carries no secret label, neither does the sequential execution of
+    /// the same `N` instructions.
+    #[test]
+    fn label_stability(seed in any::<u64>()) {
+        let (program, config, run) = random_run_from_seed(seed);
+        if run.outcome.trace.is_public() {
+            let seq = run_sequential_bounded(
+                &program,
+                config,
+                Params::paper(),
+                run.outcome.retired,
+                50_000,
+            )
+            .unwrap();
+            prop_assert!(
+                seq.outcome.trace.is_public(),
+                "sequential run leaked where speculative did not: seq trace {}",
+                seq.outcome.trace
+            );
+        }
+    }
+
+    /// Soundness of the label-based (Pitchfork-style) check for the
+    /// fragment Pitchfork explores (no alias-prediction directives): a
+    /// schedule whose trace carries no secret label produces *identical*
+    /// traces on every low-equivalent sibling.
+    #[test]
+    fn label_check_soundness(seed in any::<u64>()) {
+        let (program, config, run) = random_run_from_seed(seed);
+        let uses_alias_prediction = run
+            .schedule
+            .iter()
+            .any(|d| matches!(d, Directive::ExecuteFwd(_, _)));
+        if uses_alias_prediction || !run.outcome.trace.is_public() {
+            return Ok(());
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead_beef);
+        let violation = sct_core::sct::check_schedule_relational(
+            &program,
+            config,
+            Params::paper(),
+            &run.schedule,
+            6,
+            &mut rng,
+        )
+        .unwrap();
+        prop_assert!(
+            violation.is_none(),
+            "label-clean schedule diverged relationally: {}",
+            violation.unwrap()
+        );
+    }
+
+    /// Replaying a recorded well-formed schedule reproduces the identical
+    /// outcome (big-step determinism).
+    #[test]
+    fn replay_fidelity(seed in any::<u64>()) {
+        let (program, config, run) = random_run_from_seed(seed);
+        let mut m = Machine::new(&program, config);
+        let replay = m.run(&run.schedule).expect("recorded schedule is well-formed");
+        prop_assert_eq!(replay.trace, run.outcome.trace);
+        prop_assert_eq!(replay.retired, run.outcome.retired);
+        prop_assert_eq!(m.cfg, run.config);
+    }
+}
+
+/// Proposition B.11 on the corpus scale is exercised in the litmus crate;
+/// here we check the degenerate case: an SCT-clean straight-line program
+/// is sequentially constant-time.
+#[test]
+fn sct_implies_sequential_ct_smoke() {
+    use sct_core::instr::{Instr, Operand};
+    use sct_core::OpCode;
+    let mut p = sct_core::Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Op {
+            dst: sct_core::reg::names::RA,
+            op: OpCode::Add,
+            args: vec![Operand::imm(1), Operand::imm(2)],
+            next: 2,
+        },
+    );
+    let cfg = sct_core::Config::initial(Default::default(), Default::default(), 1);
+    let seq = run_sequential(&p, cfg, Params::paper(), 100).unwrap();
+    assert!(seq.outcome.trace.is_public());
+    assert!(seq.terminal);
+}

@@ -1,0 +1,373 @@
+//! Rule-level tests for aliasing prediction (§3.5): all four resolution
+//! rules of partially-resolved loads, plus the interaction with the
+//! store-address hazard checks.
+
+use sct_core::instr::{Instr, Operand};
+use sct_core::label::Label;
+use sct_core::reg::names::*;
+use sct_core::transient::Transient;
+use sct_core::{Config, Directive, Machine, Observation, OpCode, Program, StepError, Val};
+
+/// Program: store rb, [0x40 + ra]; load rc, [0x45]; load rd, [0x50 + rc].
+fn alias_program() -> (Program, Config) {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Store {
+            src: RB.into(),
+            addr: vec![Operand::imm(0x40), RA.into()],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x45)],
+            next: 3,
+        },
+    );
+    p.insert(
+        3,
+        Instr::Load {
+            dst: RD,
+            addr: vec![Operand::imm(0x50), RC.into()],
+            next: 4,
+        },
+    );
+    let regs = [(RA, Val::public(5)), (RB, Val::secret(3))]
+        .into_iter()
+        .collect();
+    let mut cfg = Config::initial(regs, Default::default(), 1);
+    cfg.mem.write(0x45, Val::public(7));
+    (p, cfg)
+}
+
+fn setup(m: &mut Machine<'_>) {
+    m.step(Directive::Fetch).unwrap(); // store at 1
+    m.step(Directive::Fetch).unwrap(); // load at 2
+    m.step(Directive::Fetch).unwrap(); // load at 3
+    m.step(Directive::ExecuteValue(1)).unwrap(); // store data = 3_sec
+}
+
+#[test]
+fn fwd_guess_requires_resolved_store_data() {
+    let (p, cfg) = alias_program();
+    let mut m = Machine::new(&p, cfg);
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::Fetch).unwrap();
+    // Data not resolved yet: the predictor has nothing to forward.
+    assert_eq!(
+        m.step(Directive::ExecuteFwd(2, 1)),
+        Err(StepError::BadForwardSource { index: 2, from: 1 })
+    );
+    // Nor can a load forward from itself or from a later index.
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    assert!(matches!(
+        m.step(Directive::ExecuteFwd(2, 2)),
+        Err(StepError::BadForwardSource { .. })
+    ));
+}
+
+#[test]
+fn guessed_load_supplies_value_to_dependents() {
+    let (p, cfg) = alias_program();
+    let mut m = Machine::new(&p, cfg);
+    setup(&mut m);
+    m.step(Directive::ExecuteFwd(2, 1)).unwrap();
+    assert!(matches!(
+        m.cfg.rob.get(2),
+        Some(Transient::LoadGuessed { from: 1, .. })
+    ));
+    // The dependent load resolves using the forwarded (secret) value:
+    // address = 0x50 + 3 with a secret label — the Figure 2 leak.
+    let obs = m.step(Directive::Execute(3)).unwrap();
+    assert_eq!(
+        obs,
+        vec![Observation::Read {
+            addr: 0x53,
+            label: Label::Secret
+        }]
+    );
+}
+
+#[test]
+fn guessed_load_resolves_optimistically_while_store_unresolved() {
+    let (p, cfg) = alias_program();
+    let mut m = Machine::new(&p, cfg);
+    setup(&mut m);
+    m.step(Directive::ExecuteFwd(2, 1)).unwrap();
+    // load-execute-addr-ok: the originating store's address is still
+    // unknown, so the prediction stands.
+    let obs = m.step(Directive::Execute(2)).unwrap();
+    assert_eq!(
+        obs,
+        vec![Observation::Fwd {
+            addr: 0x45,
+            label: Label::Public
+        }]
+    );
+    match m.cfg.rob.get(2) {
+        Some(Transient::LoadedValue { val, prov, .. }) => {
+            assert_eq!(*val, Val::secret(3));
+            assert_eq!(prov.dep, Some(1));
+            assert_eq!(prov.addr, 0x45);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn store_addr_mismatch_rolls_back_the_misprediction() {
+    let (p, cfg) = alias_program();
+    let mut m = Machine::new(&p, cfg);
+    setup(&mut m);
+    m.step(Directive::ExecuteFwd(2, 1)).unwrap();
+    m.step(Directive::Execute(2)).unwrap(); // optimistic resolution
+    // Now the store resolves to 0x45... with ra = 5 it really is 0x45!
+    // The prediction was *correct*: forwarding consistency holds
+    // (jk = i ⇒ ak = a), no hazard.
+    let obs = m.step(Directive::ExecuteAddr(1)).unwrap();
+    assert_eq!(
+        obs,
+        vec![Observation::Fwd {
+            addr: 0x45,
+            label: Label::Public
+        }]
+    );
+}
+
+#[test]
+fn store_addr_mismatch_with_wrong_prediction_hazards() {
+    let (p, mut cfg) = alias_program();
+    // ra = 2: the store actually writes 0x42, not 0x45.
+    cfg.regs.write(RA, Val::public(2));
+    let mut m = Machine::new(&p, cfg);
+    setup(&mut m);
+    m.step(Directive::ExecuteFwd(2, 1)).unwrap();
+    m.step(Directive::Execute(2)).unwrap(); // resolves with dep = 1, addr = 0x45
+    // The store resolves to 0x42: the load forwarded from it but is
+    // bound to a different address (jk = i ∧ ak ≠ a) — hazard.
+    let obs = m.step(Directive::ExecuteAddr(1)).unwrap();
+    assert_eq!(obs[0], Observation::Rollback);
+    // Rolled back to the load's program point.
+    assert_eq!(m.cfg.pc, 2);
+    assert!(m.cfg.rob.get(2).is_none());
+}
+
+#[test]
+fn guessed_load_detects_mispredicted_aliasing_at_resolution() {
+    let (p, mut cfg) = alias_program();
+    cfg.regs.write(RA, Val::public(2)); // store goes to 0x42
+    let mut m = Machine::new(&p, cfg);
+    setup(&mut m);
+    m.step(Directive::ExecuteFwd(2, 1)).unwrap();
+    // Resolve the *store address* first (no hazard yet: the load is
+    // only partially resolved, not a LoadedValue).
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    // Now the guessed load resolves: its address 0x45 ≠ the store's
+    // 0x42 — mispredicted aliasing, rollback (load-execute-addr-hazard).
+    let obs = m.step(Directive::Execute(2)).unwrap();
+    assert_eq!(
+        obs,
+        vec![
+            Observation::Rollback,
+            Observation::Fwd {
+                addr: 0x45,
+                label: Label::Public
+            }
+        ]
+    );
+    assert_eq!(m.cfg.pc, 2);
+}
+
+#[test]
+fn retired_store_validates_against_memory_match() {
+    // The originating store retires before the guessed load resolves;
+    // the forwarded value must be checked against memory.
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Store {
+            src: Operand::Imm(Val::public(7)),
+            addr: vec![Operand::imm(0x45)],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x45)],
+            next: 3,
+        },
+    );
+    let cfg = Config::initial(Default::default(), Default::default(), 1);
+    let mut m = Machine::new(&p, cfg);
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    m.step(Directive::ExecuteFwd(2, 1)).unwrap();
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    m.step(Directive::Retire).unwrap(); // store commits 7 to 0x45
+    // load-execute-addr-mem-match: memory now holds exactly the
+    // forwarded value.
+    let obs = m.step(Directive::Execute(2)).unwrap();
+    assert_eq!(
+        obs,
+        vec![Observation::Read {
+            addr: 0x45,
+            label: Label::Public
+        }]
+    );
+    match m.cfg.rob.get(2) {
+        Some(Transient::LoadedValue { val, prov, .. }) => {
+            assert_eq!(*val, Val::public(7));
+            assert_eq!(prov.dep, None, "validated against memory: dep = ⊥");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn retired_store_validates_against_memory_hazard() {
+    // Same shape, but another store overwrote the slot in between: the
+    // forwarded value no longer matches memory (mem-hazard rollback).
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Store {
+            src: Operand::Imm(Val::public(7)),
+            addr: vec![Operand::imm(0x45)],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Store {
+            src: Operand::Imm(Val::public(9)),
+            addr: vec![Operand::imm(0x45)],
+            next: 3,
+        },
+    );
+    p.insert(
+        3,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x45)],
+            next: 4,
+        },
+    );
+    let cfg = Config::initial(Default::default(), Default::default(), 1);
+    let mut m = Machine::new(&p, cfg);
+    m.step(Directive::Fetch).unwrap(); // store 7
+    m.step(Directive::Fetch).unwrap(); // store 9
+    m.step(Directive::Fetch).unwrap(); // load
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    // The aliasing predictor forwards the *old* store's 7.
+    m.step(Directive::ExecuteFwd(3, 1)).unwrap();
+    m.step(Directive::ExecuteValue(2)).unwrap();
+    m.step(Directive::ExecuteAddr(2)).unwrap();
+    m.step(Directive::Retire).unwrap(); // 7 hits memory
+    m.step(Directive::Retire).unwrap(); // 9 overwrites it
+    let obs = m.step(Directive::Execute(3)).unwrap();
+    assert_eq!(obs[0], Observation::Rollback, "stale forward must roll back");
+    assert_eq!(m.cfg.pc, 3);
+}
+
+#[test]
+fn guessed_load_blocked_by_prior_matching_store_after_retirement() {
+    // The paper has no rule when the originating store retired but a
+    // *different* prior in-buffer store matches the address: the
+    // directive is stuck.
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Store {
+            src: Operand::Imm(Val::public(7)),
+            addr: vec![Operand::imm(0x45)],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Store {
+            src: Operand::Imm(Val::public(9)),
+            addr: vec![Operand::imm(0x45)],
+            next: 3,
+        },
+    );
+    p.insert(
+        3,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x45)],
+            next: 4,
+        },
+    );
+    let cfg = Config::initial(Default::default(), Default::default(), 1);
+    let mut m = Machine::new(&p, cfg);
+    for _ in 0..3 {
+        m.step(Directive::Fetch).unwrap();
+    }
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    m.step(Directive::ExecuteFwd(3, 1)).unwrap();
+    m.step(Directive::Retire).unwrap(); // store 1 retires
+    // Store 2 is still in the buffer with a resolved matching address.
+    m.step(Directive::ExecuteValue(2)).unwrap();
+    m.step(Directive::ExecuteAddr(2)).unwrap();
+    assert_eq!(
+        m.step(Directive::Execute(3)),
+        Err(StepError::GuessedLoadBlocked { index: 3 })
+    );
+}
+
+#[test]
+fn fig2_attack_full_replay() {
+    // End-to-end §3.5: value-forward before any address is known, leak,
+    // then rollback on the detected misprediction — Figure 2's exact
+    // directive sequence (on a compact 4-instruction variant).
+    let (p, cfg) = alias_program();
+    let mut m = Machine::new(&p, cfg);
+    setup(&mut m);
+    let mut trace = Vec::new();
+    for d in [
+        Directive::ExecuteFwd(2, 1),
+        Directive::Execute(3), // leak: read (3 + 0x50)_sec
+    ] {
+        trace.extend(m.step(d).unwrap());
+    }
+    assert!(trace.iter().any(|o| o.is_secret()));
+    // The leak happened while the store's address was still unknown:
+    // no rollback has occurred yet.
+    assert!(!trace.contains(&Observation::Rollback));
+}
+
+#[test]
+fn op_arity_mismatch_is_reported_not_panicked() {
+    // Malformed programs surface as step errors, not panics.
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Op {
+            dst: RA,
+            op: OpCode::Not,
+            args: vec![Operand::imm(1), Operand::imm(2)],
+            next: 2,
+        },
+    );
+    let cfg = Config::initial(Default::default(), Default::default(), 1);
+    let mut m = Machine::new(&p, cfg);
+    m.step(Directive::Fetch).unwrap();
+    assert!(matches!(
+        m.step(Directive::Execute(1)),
+        Err(StepError::Eval(_))
+    ));
+}

@@ -1,0 +1,181 @@
+//! Rule-level tests for calls, returns, and the RSB (Appendix A):
+//! speculative call/ret squashing, RSB rollback, nested calls, and
+//! stack-discipline interaction.
+
+use sct_core::instr::{Instr, Operand};
+use sct_core::reg::names::*;
+use sct_core::reg::Reg;
+use sct_core::{
+    Config, Directive, Machine, Observation, OpCode, Params, Program, RegFile, StepError, Val,
+};
+
+/// main: br → (mispredicted) call f; out: ...; f: ret
+fn speculative_call_program() -> (Program, Config) {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Br {
+            op: OpCode::Gt,
+            args: vec![Operand::imm(4), RA.into()],
+            tru: 2,
+            fls: 3,
+        },
+    );
+    p.insert(2, Instr::Call { callee: 4, ret: 3 });
+    p.insert(
+        3,
+        Instr::Op {
+            dst: RB,
+            op: OpCode::Add,
+            args: vec![RB.into(), Operand::imm(1)],
+            next: 5,
+        },
+    );
+    p.insert(4, Instr::Ret);
+    let regs: RegFile = [(RA, Val::public(9)), (Reg::RSP, Val::public(0x7c))]
+        .into_iter()
+        .collect();
+    (p, Config::initial(regs, Default::default(), 1))
+}
+
+#[test]
+fn squashed_call_unwinds_the_rsb() {
+    let (p, cfg) = speculative_call_program();
+    let mut m = Machine::new(&p, cfg);
+    // Mispredict into the call.
+    m.step(Directive::FetchBranch(true)).unwrap();
+    m.step(Directive::Fetch).unwrap(); // call expands at 2..4
+    assert_eq!(m.cfg.rsb.top(), Some(3), "speculative push visible");
+    // The branch resolves: everything after it (including the call's
+    // RSB push) is squashed.
+    let obs = m.step(Directive::Execute(1)).unwrap();
+    assert_eq!(obs[0], Observation::Rollback);
+    assert_eq!(m.cfg.rsb.top(), None, "RSB rolled back with the buffer");
+    assert_eq!(m.cfg.pc, 3);
+    assert_eq!(m.cfg.rob.len(), 1); // just the resolved jump
+}
+
+#[test]
+fn speculative_ret_through_rsb_matches_architecture() {
+    let (p, mut cfg) = speculative_call_program();
+    cfg.regs.write(RA, Val::public(1)); // the call is architectural now
+    let mut m = Machine::new(&p, cfg);
+    m.step(Directive::FetchBranch(true)).unwrap(); // correct guess
+    m.step(Directive::Fetch).unwrap(); // call → 2,3,4; rsb push 3
+    m.step(Directive::Fetch).unwrap(); // ret at 4 → 5..8; rsb pop; pc = 3
+    assert_eq!(m.cfg.pc, 3);
+    // Resolve everything in order and retire through both groups.
+    m.step(Directive::Execute(1)).unwrap(); // branch correct
+    m.step(Directive::Execute(3)).unwrap(); // rsp = succ
+    m.step(Directive::ExecuteValue(4)).unwrap();
+    m.step(Directive::ExecuteAddr(4)).unwrap();
+    m.step(Directive::Execute(6)).unwrap(); // rtmp = load [rsp] (forwarded 3)
+    m.step(Directive::Execute(7)).unwrap(); // rsp = pred
+    let obs = m.step(Directive::Execute(8)).unwrap(); // jmpi: correct (3)
+    assert_eq!(
+        obs,
+        vec![Observation::Jump {
+            target: 3,
+            label: sct_core::Label::Public
+        }]
+    );
+    m.step(Directive::Retire).unwrap(); // jump (the branch)
+    let obs = m.step(Directive::Retire).unwrap(); // call group
+    assert!(matches!(obs[0], Observation::Write { .. }));
+    m.step(Directive::Retire).unwrap(); // ret group
+    assert_eq!(m.cfg.regs.read(Reg::RSP), Val::public(0x7c), "stack balanced");
+}
+
+#[test]
+fn ret_group_cannot_retire_before_call_group() {
+    let (p, mut cfg) = speculative_call_program();
+    cfg.regs.write(RA, Val::public(1));
+    let mut m = Machine::new(&p, cfg);
+    m.step(Directive::FetchBranch(true)).unwrap();
+    m.step(Directive::Fetch).unwrap(); // call
+    m.step(Directive::Fetch).unwrap(); // ret
+    // Retire is strictly in order: the branch at MIN is unresolved.
+    assert!(matches!(
+        m.step(Directive::Retire),
+        Err(StepError::NotRetirable { .. })
+    ));
+}
+
+#[test]
+fn nested_calls_track_the_rsb_stack() {
+    // main calls f, f calls g: the RSB holds both return points.
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, Instr::Call { callee: 3, ret: 2 });
+    p.insert(
+        2,
+        Instr::Op {
+            dst: RB,
+            op: OpCode::Add,
+            args: vec![Operand::imm(1)],
+            next: 6,
+        },
+    );
+    p.insert(3, Instr::Call { callee: 5, ret: 4 });
+    p.insert(4, Instr::Ret);
+    p.insert(5, Instr::Ret);
+    let regs: RegFile = [(Reg::RSP, Val::public(0x7c))].into_iter().collect();
+    let cfg = Config::initial(regs, Default::default(), 1);
+    let mut m = Machine::new(&p, cfg);
+    m.step(Directive::Fetch).unwrap(); // call f: push 2
+    assert_eq!(m.cfg.rsb.top(), Some(2));
+    m.step(Directive::Fetch).unwrap(); // call g: push 4
+    assert_eq!(m.cfg.rsb.top(), Some(4));
+    m.step(Directive::Fetch).unwrap(); // ret in g: pop → predict 4
+    assert_eq!(m.cfg.pc, 4);
+    assert_eq!(m.cfg.rsb.top(), Some(2));
+    m.step(Directive::Fetch).unwrap(); // ret in f: pop → predict 2
+    assert_eq!(m.cfg.pc, 2);
+    assert_eq!(m.cfg.rsb.top(), None);
+}
+
+#[test]
+fn stack_discipline_governs_slot_addresses() {
+    for (stack, expected_slot) in [
+        (sct_core::StackDiscipline::GrowsDown { word: 1 }, 0x7b),
+        (sct_core::StackDiscipline::GrowsDown { word: 8 }, 0x74),
+        (sct_core::StackDiscipline::GrowsUp { word: 4 }, 0x80),
+    ] {
+        let mut p = Program::new();
+        p.entry = 1;
+        p.insert(1, Instr::Call { callee: 3, ret: 2 });
+        p.insert(3, Instr::Ret);
+        let regs: RegFile = [(Reg::RSP, Val::public(0x7c))].into_iter().collect();
+        let cfg = Config::initial(regs, Default::default(), 1);
+        let params = Params {
+            stack,
+            ..Params::paper()
+        };
+        let mut m = Machine::with_params(&p, cfg, params);
+        m.step(Directive::Fetch).unwrap();
+        m.step(Directive::Execute(2)).unwrap();
+        m.step(Directive::ExecuteValue(3)).unwrap();
+        let obs = m.step(Directive::ExecuteAddr(3)).unwrap();
+        assert_eq!(
+            obs,
+            vec![Observation::Fwd {
+                addr: expected_slot,
+                label: sct_core::Label::Public
+            }],
+            "{stack:?}"
+        );
+    }
+}
+
+#[test]
+fn rob_capacity_counts_expansion_groups() {
+    let (p, mut cfg) = speculative_call_program();
+    cfg.pc = 2; // straight at the call
+    let params = Params {
+        rob_capacity: Some(2), // too small for a 3-entry call group
+        ..Params::paper()
+    };
+    let mut m = Machine::with_params(&p, cfg, params);
+    assert_eq!(m.step(Directive::Fetch), Err(StepError::RobFull));
+}

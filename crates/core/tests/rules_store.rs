@@ -1,0 +1,233 @@
+//! Rule-level tests for the store/forward machinery of §3.4: the full
+//! hazard-condition matrix of `store-execute-addr-{ok,hazard}`, load
+//! forwarding choice, and fence interactions.
+
+use sct_core::instr::{Instr, Operand};
+use sct_core::label::Label;
+use sct_core::reg::names::*;
+use sct_core::transient::Transient;
+use sct_core::{Config, Directive, Machine, Observation, Program, StepError, Val};
+
+fn store(src: Operand, addr: Vec<Operand>, next: u64) -> Instr {
+    Instr::Store { src, addr, next }
+}
+
+fn load(dst: sct_core::Reg, addr: Vec<Operand>, next: u64) -> Instr {
+    Instr::Load { dst, addr, next }
+}
+
+/// Two stores to the same slot plus a load: forwarding must pick the
+/// *most recent* store with a resolved matching address.
+#[test]
+fn forwarding_picks_the_most_recent_resolved_store() {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, store(Operand::imm(11), vec![Operand::imm(0x45)], 2));
+    p.insert(2, store(Operand::imm(22), vec![Operand::imm(0x45)], 3));
+    p.insert(3, load(RC, vec![Operand::imm(0x45)], 4));
+    let mut m = Machine::new(&p, Config::initial(Default::default(), Default::default(), 1));
+    for _ in 0..3 {
+        m.step(Directive::Fetch).unwrap();
+    }
+    for i in [1, 2] {
+        m.step(Directive::ExecuteValue(i)).unwrap();
+        m.step(Directive::ExecuteAddr(i)).unwrap();
+    }
+    let obs = m.step(Directive::Execute(3)).unwrap();
+    assert_eq!(
+        obs,
+        vec![Observation::Fwd {
+            addr: 0x45,
+            label: Label::Public
+        }]
+    );
+    match m.cfg.rob.get(3) {
+        Some(Transient::LoadedValue { val, prov, .. }) => {
+            assert_eq!(val.bits, 22, "most recent store wins");
+            assert_eq!(prov.dep, Some(2));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// A matching store whose *data* is unresolved blocks the load: neither
+/// load rule applies.
+#[test]
+fn unresolved_data_on_matching_store_blocks_the_load() {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, store(RB.into(), vec![Operand::imm(0x45)], 2));
+    p.insert(2, load(RC, vec![Operand::imm(0x45)], 3));
+    let mut m = Machine::new(&p, Config::initial(Default::default(), Default::default(), 1));
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    assert_eq!(
+        m.step(Directive::Execute(2)),
+        Err(StepError::StoreDataPending { index: 2, store: 1 })
+    );
+    // Resolving the data unblocks it.
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    assert!(m.step(Directive::Execute(2)).is_ok());
+}
+
+/// The hazard matrix of `store-execute-addr`:
+/// (a) a later load bound to the same address with an *older* source
+///     (`a_k = a ∧ j_k < i`, including `⊥`) → hazard;
+/// (b) a later load bound to the same address forwarded from *this or a
+///     newer* store (`j_k ≥ i`) → no hazard;
+/// (c) a later load bound to a different address → no hazard.
+#[test]
+fn store_addr_hazard_matrix() {
+    // Case (a): the load read memory (dep = ⊥) at the address this
+    // store later resolves to.
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, store(Operand::imm(0), vec![RA.into()], 2));
+    p.insert(2, load(RC, vec![Operand::imm(0x45)], 3));
+    let regs: sct_core::RegFile = [(RA, Val::public(0x45))].into_iter().collect();
+    let mut m = Machine::new(&p, Config::initial(regs, Default::default(), 1));
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    m.step(Directive::Execute(2)).unwrap(); // reads memory, dep = ⊥
+    let obs = m.step(Directive::ExecuteAddr(1)).unwrap();
+    assert_eq!(obs[0], Observation::Rollback, "case (a) must hazard");
+    assert_eq!(m.cfg.pc, 2, "restart at the offending load");
+
+    // Case (b): the load forwarded from this very store (addresses
+    // match) — consistent, no hazard.
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, store(Operand::imm(7), vec![Operand::imm(0x45)], 2));
+    p.insert(2, load(RC, vec![Operand::imm(0x45)], 3));
+    let mut m = Machine::new(&p, Config::initial(Default::default(), Default::default(), 1));
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    m.step(Directive::Execute(2)).unwrap(); // forwards, dep = 1
+    // Nothing left to hazard: the store is already resolved; re-resolving
+    // is not applicable (covered elsewhere). Retire cleanly.
+    m.step(Directive::Retire).unwrap();
+    m.step(Directive::Retire).unwrap();
+    assert!(m.cfg.rob.is_empty());
+
+    // Case (c): later load at a *different* address — store resolution
+    // does not disturb it.
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, store(Operand::imm(0), vec![RA.into()], 2));
+    p.insert(2, load(RC, vec![Operand::imm(0x50)], 3));
+    let regs: sct_core::RegFile = [(RA, Val::public(0x45))].into_iter().collect();
+    let mut m = Machine::new(&p, Config::initial(regs, Default::default(), 1));
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    m.step(Directive::Execute(2)).unwrap();
+    let obs = m.step(Directive::ExecuteAddr(1)).unwrap();
+    assert_eq!(
+        obs,
+        vec![Observation::Fwd {
+            addr: 0x45,
+            label: Label::Public
+        }],
+        "case (c) must not hazard"
+    );
+}
+
+/// The hazard picks the *earliest* offending load (`min(k) > i`) and
+/// squashes everything from there.
+#[test]
+fn hazard_restarts_at_the_earliest_offender() {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, store(Operand::imm(0), vec![RA.into()], 2));
+    p.insert(2, load(RB, vec![Operand::imm(0x45)], 3));
+    p.insert(3, load(RC, vec![Operand::imm(0x45)], 4));
+    let regs: sct_core::RegFile = [(RA, Val::public(0x45))].into_iter().collect();
+    let mut m = Machine::new(&p, Config::initial(regs, Default::default(), 1));
+    for _ in 0..3 {
+        m.step(Directive::Fetch).unwrap();
+    }
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    m.step(Directive::Execute(2)).unwrap();
+    m.step(Directive::Execute(3)).unwrap();
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    // Both loads were offenders; the rollback restarts at the first.
+    assert_eq!(m.cfg.pc, 2);
+    assert!(m.cfg.rob.get(2).is_none());
+    assert!(m.cfg.rob.get(3).is_none());
+}
+
+/// Store execution (both halves) is blocked by an older fence.
+#[test]
+fn fence_blocks_store_resolution() {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, Instr::Fence { next: 2 });
+    p.insert(2, store(Operand::imm(1), vec![Operand::imm(0x45)], 3));
+    let mut m = Machine::new(&p, Config::initial(Default::default(), Default::default(), 1));
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::Fetch).unwrap();
+    assert_eq!(
+        m.step(Directive::ExecuteValue(2)),
+        Err(StepError::FenceBlocked { index: 2 })
+    );
+    assert_eq!(
+        m.step(Directive::ExecuteAddr(2)),
+        Err(StepError::FenceBlocked { index: 2 })
+    );
+    // Retiring the fence unblocks the store.
+    m.step(Directive::Retire).unwrap();
+    assert!(m.step(Directive::ExecuteValue(2)).is_ok());
+    assert!(m.step(Directive::ExecuteAddr(2)).is_ok());
+}
+
+/// Stores retire only when fully resolved, and retiring writes memory
+/// with the store's value (label included).
+#[test]
+fn store_retire_requires_full_resolution() {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        store(Operand::Imm(Val::secret(9)), vec![Operand::imm(0x45)], 2),
+    );
+    let mut m = Machine::new(&p, Config::initial(Default::default(), Default::default(), 1));
+    m.step(Directive::Fetch).unwrap();
+    assert!(matches!(
+        m.step(Directive::Retire),
+        Err(StepError::NotRetirable { .. })
+    ));
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    assert!(matches!(
+        m.step(Directive::Retire),
+        Err(StepError::NotRetirable { .. })
+    ));
+    m.step(Directive::ExecuteAddr(1)).unwrap();
+    let obs = m.step(Directive::Retire).unwrap();
+    assert_eq!(
+        obs,
+        vec![Observation::Write {
+            addr: 0x45,
+            label: Label::Public
+        }]
+    );
+    assert_eq!(m.cfg.mem.read(0x45), Val::secret(9));
+}
+
+/// A store with a secret-labeled address leaks at *address resolution*
+/// (the `fwd` observation), before it ever retires.
+#[test]
+fn secret_store_address_leaks_at_resolution() {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, store(Operand::imm(0), vec![Operand::imm(0x50), RB.into()], 2));
+    let regs: sct_core::RegFile = [(RB, Val::secret(3))].into_iter().collect();
+    let mut m = Machine::new(&p, Config::initial(regs, Default::default(), 1));
+    m.step(Directive::Fetch).unwrap();
+    m.step(Directive::ExecuteValue(1)).unwrap();
+    let obs = m.step(Directive::ExecuteAddr(1)).unwrap();
+    assert!(obs[0].is_secret(), "fwd observation carries the address label");
+}

@@ -1,0 +1,97 @@
+//! The textual corpus: `.sasm` sources shipped with the crate, as both
+//! CLI fixtures and end-to-end assembler tests.
+
+use crate::harness::Expectation;
+use sct_asm::{assemble, Assembled};
+
+/// A corpus entry: a named assembly source with expected verdicts.
+pub struct CorpusEntry {
+    /// File stem (e.g. `spectre_v1`).
+    pub name: &'static str,
+    /// The assembly source text.
+    pub source: &'static str,
+    /// Expected verdicts.
+    pub expect: Expectation,
+}
+
+/// All shipped `.sasm` sources with their expectations.
+pub fn entries() -> Vec<CorpusEntry> {
+    vec![
+        CorpusEntry {
+            name: "spectre_v1",
+            source: include_str!("../corpus/spectre_v1.sasm"),
+            expect: Expectation::V1,
+        },
+        CorpusEntry {
+            name: "spectre_v1_fenced",
+            source: include_str!("../corpus/spectre_v1_fenced.sasm"),
+            expect: Expectation::SAFE,
+        },
+        CorpusEntry {
+            name: "spectre_v1p1",
+            source: include_str!("../corpus/spectre_v1p1.sasm"),
+            expect: Expectation::V1,
+        },
+        CorpusEntry {
+            name: "spectre_v4",
+            source: include_str!("../corpus/spectre_v4.sasm"),
+            expect: Expectation::V4_ONLY,
+        },
+        CorpusEntry {
+            name: "ct_select",
+            source: include_str!("../corpus/ct_select.sasm"),
+            expect: Expectation::SAFE,
+        },
+    ]
+}
+
+/// Assemble a corpus entry.
+///
+/// # Panics
+///
+/// Panics if the shipped source does not assemble (a packaging bug).
+pub fn assemble_entry(entry: &CorpusEntry) -> Assembled {
+    assemble(entry.source)
+        .unwrap_or_else(|e| panic!("corpus entry `{}` does not assemble: {e}", entry.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_case, LitmusCase};
+
+    #[test]
+    fn corpus_assembles_and_matches_expectations() {
+        for entry in entries() {
+            let asm = assemble_entry(&entry);
+            let case = LitmusCase {
+                name: entry.name,
+                description: "corpus entry",
+                program: asm.program,
+                config: asm.config,
+                expect: entry.expect,
+                bound: 16,
+            };
+            let got = run_case(&case);
+            assert_eq!(
+                got.sequentially_clean, entry.expect.sequentially_clean,
+                "{}: sequential",
+                entry.name
+            );
+            assert_eq!(got.v1_violation, entry.expect.v1_violation, "{}: v1", entry.name);
+            assert_eq!(got.v4_violation, entry.expect.v4_violation, "{}: v4", entry.name);
+        }
+    }
+
+    #[test]
+    fn corpus_round_trips_through_the_disassembler() {
+        for entry in entries() {
+            let asm = assemble_entry(&entry);
+            let text = sct_asm::disassemble_with(&asm.program, Some(&asm.config));
+            let again = sct_asm::assemble(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert_eq!(again.program, asm.program, "{}", entry.name);
+            assert_eq!(again.config, asm.config, "{}", entry.name);
+        }
+    }
+}

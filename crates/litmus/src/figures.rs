@@ -1,0 +1,746 @@
+//! The paper's figures as executable artifacts: each function builds the
+//! exact program/configuration of a figure, and [`FigureRun`] replays the
+//! figure's directive schedule on the reference machine to regenerate
+//! its directive/effect/leakage table.
+
+use sct_core::instr::{Instr, Operand};
+use sct_core::label::Label;
+use sct_core::mem::Memory;
+use sct_core::reg::names::*;
+use sct_core::reg::{Reg, RegFile};
+use sct_core::{Config, Directive, Machine, Observation, OpCode, Params, Program, Schedule, Val};
+
+/// A figure replay: the machine run under the paper's directives, with
+/// each step's observations.
+#[derive(Clone, Debug)]
+pub struct FigureRun {
+    /// Figure identifier (e.g. `"1"`, `"4a"`).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// The program.
+    pub program: Program,
+    /// The initial configuration.
+    pub config: Config,
+    /// The full schedule (setup plus the attack directives).
+    pub schedule: Schedule,
+    /// Index into the schedule where the paper's shown directives begin
+    /// (everything before is setup reaching the figure's starting state).
+    pub shown_from: usize,
+    /// Per-directive observations for the whole schedule.
+    pub step_obs: Vec<Vec<Observation>>,
+    /// The final configuration.
+    pub final_config: Config,
+}
+
+impl FigureRun {
+    /// Execute `schedule` on `(program, config)` and package the result.
+    fn run(
+        id: &'static str,
+        title: &'static str,
+        program: Program,
+        config: Config,
+        schedule: Schedule,
+        shown_from: usize,
+    ) -> FigureRun {
+        let mut m = Machine::with_params(&program, config.clone(), Params::paper());
+        let mut step_obs = Vec::with_capacity(schedule.len());
+        for d in schedule.iter() {
+            let obs = m
+                .step(d)
+                .unwrap_or_else(|e| panic!("figure {id}: directive {d} failed: {e}"));
+            step_obs.push(obs);
+        }
+        let final_config = m.cfg;
+        FigureRun {
+            id,
+            title,
+            program,
+            config,
+            schedule,
+            shown_from,
+            step_obs,
+            final_config,
+        }
+    }
+
+    /// All observations in order.
+    pub fn trace(&self) -> Vec<Observation> {
+        self.step_obs.iter().flatten().copied().collect()
+    }
+
+    /// `true` if any observation carries a secret label.
+    pub fn leaks_secret(&self) -> bool {
+        self.trace().iter().any(|o| o.is_secret())
+    }
+}
+
+/// Figure 1: the Spectre v1 bounds-check-bypass attack.
+pub fn fig1() -> FigureRun {
+    let (program, config) = sct_core::examples::fig1();
+    let schedule: Schedule = [
+        Directive::FetchBranch(true),
+        Directive::Fetch,
+        Directive::Fetch,
+        Directive::Execute(2),
+        Directive::Execute(3),
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "1",
+        "Spectre v1: speculative bounds-check bypass leaks Key[1]",
+        program,
+        config,
+        schedule,
+        0,
+    )
+}
+
+/// Figure 2: the hypothetical aliasing-predictor attack
+/// (`execute i : fwd j` forwards from an address-unresolved store).
+pub fn fig2() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    // Filler at 1 keeps buffer indices aligned with the figure (store at
+    // index 2, loads at 7 and 8).
+    p.insert(
+        1,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(0)],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Store {
+            src: RB.into(),
+            addr: vec![Operand::imm(0x40), RA.into()],
+            next: 3,
+        },
+    );
+    for n in 3..=6 {
+        p.insert(
+            n,
+            Instr::Op {
+                dst: RD,
+                op: OpCode::Mov,
+                args: vec![Operand::imm(n)],
+                next: n + 1,
+            },
+        );
+    }
+    p.insert(
+        7,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x45)],
+            next: 8,
+        },
+    );
+    p.insert(
+        8,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x48), RC.into()],
+            next: 9,
+        },
+    );
+
+    let regs: RegFile = [(RA, Val::public(2)), (RB, Val::secret(3))]
+        .into_iter()
+        .collect();
+    let mut mem = Memory::new();
+    mem.write_array(0x40, &[7, 7, 7, 7], Label::Secret); // secretKey
+    mem.write_array(0x44, &[1, 1, 1, 1], Label::Public); // pubArrA
+    mem.write_array(0x48, &[2, 2, 2, 2], Label::Public); // pubArrB
+    let config = Config::initial(regs, mem, 1);
+
+    let mut schedule: Schedule = std::iter::repeat_n(Directive::Fetch, 8).collect();
+    let shown_from = schedule.len();
+    schedule.extend([
+        Directive::ExecuteValue(2), // execute 2 : value
+        Directive::ExecuteFwd(7, 2), // execute 7 : fwd 2
+        Directive::Execute(8),      // leaks read (x_sec + 0x48)
+        Directive::ExecuteAddr(2),  // store resolves to 0x42
+        Directive::Execute(7),      // aliasing misprediction: rollback
+    ]);
+    FigureRun::run(
+        "2",
+        "hypothetical aliasing-predictor attack: value forwarded before addresses known",
+        p,
+        config,
+        schedule,
+        shown_from,
+    )
+}
+
+fn fig4_program(guess_true_target: bool) -> (Program, Config) {
+    let mut p = Program::new();
+    p.entry = 3;
+    p.insert(
+        3,
+        Instr::Op {
+            dst: RB,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(4)],
+            next: 4,
+        },
+    );
+    p.insert(
+        4,
+        Instr::Br {
+            op: OpCode::Lt,
+            args: vec![Operand::imm(2), RA.into()],
+            tru: 9,
+            fls: 12,
+        },
+    );
+    p.insert(
+        9,
+        Instr::Op {
+            dst: RC,
+            op: OpCode::Add,
+            args: vec![Operand::imm(1), RB.into()],
+            next: 10,
+        },
+    );
+    p.insert(
+        12,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mul,
+            args: vec![RG.into(), RH.into()],
+            next: 13,
+        },
+    );
+    let _ = guess_true_target;
+    let regs: RegFile = [(RA, Val::public(3))].into_iter().collect();
+    (p, Config::initial(regs, Memory::new(), 3))
+}
+
+/// Figure 4(a): correctly predicted branch (`ra = 3`, guess true).
+pub fn fig4a() -> FigureRun {
+    let (p, cfg) = fig4_program(true);
+    // Reach the figure's buffer: 3 ↦ (rb = 4), 4 ↦ br, 5 ↦ op at 9.
+    let schedule: Schedule = [
+        Directive::Fetch,            // rb = mov 4   (index 1)
+        Directive::Execute(1),
+        Directive::FetchBranch(true), // br guessed true (index 2)
+        Directive::Fetch,             // op at 9 (index 3)
+        Directive::Execute(2),        // resolves to jump 9
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "4a",
+        "correct branch prediction: br resolves to jump 9, execution proceeds",
+        p,
+        cfg,
+        schedule,
+        4,
+    )
+}
+
+/// Figure 4(b): mispredicted branch (guess false); rollback squashes the
+/// speculatively fetched multiply.
+pub fn fig4b() -> FigureRun {
+    let (p, cfg) = fig4_program(false);
+    let schedule: Schedule = [
+        Directive::Fetch,              // rb = mov 4
+        Directive::Execute(1),
+        Directive::FetchBranch(false), // br guessed false → 12
+        Directive::Fetch,              // (rd = mul rg, rh) at 12
+        Directive::Execute(2),         // misprediction: rollback to 9
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "4b",
+        "incorrect branch prediction: rollback squashes the wrong-path multiply",
+        p,
+        cfg,
+        schedule,
+        4,
+    )
+}
+
+/// Figure 5: store hazard from late store-address resolution.
+pub fn fig5() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(0)],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Store {
+            src: Operand::imm(12),
+            addr: vec![Operand::imm(0x43)],
+            next: 3,
+        },
+    );
+    p.insert(
+        3,
+        Instr::Store {
+            src: Operand::imm(20),
+            addr: vec![Operand::imm(3), RA.into()],
+            next: 4,
+        },
+    );
+    p.insert(
+        4,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x43)],
+            next: 5,
+        },
+    );
+    let regs: RegFile = [(RA, Val::public(0x40))].into_iter().collect();
+    let config = Config::initial(regs, Memory::new(), 1);
+    let schedule: Schedule = [
+        Directive::Fetch, // filler (1)
+        Directive::Fetch, // store (2)
+        Directive::Fetch, // store (3)
+        Directive::Fetch, // load  (4)
+        Directive::Execute(1),
+        Directive::ExecuteValue(2),
+        Directive::ExecuteAddr(2), // store 2 fully resolved: store(12, 43)
+        Directive::ExecuteValue(3), // store 3: value resolved, addr pending
+        // --- the figure's shown directives ---
+        Directive::Execute(4),     // load forwards 12 from store 2 (fwd 43)
+        Directive::ExecuteAddr(3), // store 3 resolves to 43: hazard, rollback
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "5",
+        "store hazard: late store-address resolution invalidates a forwarded load",
+        p,
+        config,
+        schedule,
+        8,
+    )
+}
+
+/// Figure 6: Spectre v1.1 — a speculative out-of-bounds store forwards
+/// its secret data to a load that then leaks it.
+pub fn fig6() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Br {
+            op: OpCode::Gt,
+            args: vec![Operand::imm(4), RA.into()],
+            tru: 2,
+            fls: 9,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Store {
+            src: RB.into(),
+            addr: vec![Operand::imm(0x40), RA.into()],
+            next: 3,
+        },
+    );
+    for n in 3..=6 {
+        p.insert(
+            n,
+            Instr::Op {
+                dst: RD,
+                op: OpCode::Mov,
+                args: vec![Operand::imm(n)],
+                next: n + 1,
+            },
+        );
+    }
+    p.insert(
+        7,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x45)],
+            next: 8,
+        },
+    );
+    p.insert(
+        8,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x48), RC.into()],
+            next: 9,
+        },
+    );
+    let regs: RegFile = [(RA, Val::public(5)), (RB, Val::secret(3))]
+        .into_iter()
+        .collect();
+    let mut mem = Memory::new();
+    mem.write_array(0x40, &[9, 9, 9, 9], Label::Secret); // secretKey
+    mem.write_array(0x44, &[1, 1, 1, 1], Label::Public); // pubArrA
+    mem.write_array(0x48, &[2, 2, 2, 2], Label::Public); // pubArrB
+    let config = Config::initial(regs, mem, 1);
+    let mut schedule: Schedule = [Directive::FetchBranch(true)].into_iter().collect();
+    schedule.extend(std::iter::repeat_n(Directive::Fetch, 7)); // pcs 2..8
+    let shown_from = schedule.len();
+    schedule.extend([
+        Directive::ExecuteAddr(2),  // addr = 0x45 (out of bounds!)
+        Directive::ExecuteValue(2), // store(x_sec, 0x45)
+        Directive::Execute(7),      // forwards x_sec (fwd 45)
+        Directive::Execute(8),      // read (x_sec + 0x48): leak
+    ]);
+    FigureRun::run(
+        "6",
+        "Spectre v1.1: out-of-bounds store forwards secret data to a leaking load",
+        p,
+        config,
+        schedule,
+        shown_from,
+    )
+}
+
+/// Figure 7: Spectre v4 — a store executes too late and a load reads the
+/// stale secret underneath it.
+pub fn fig7() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(0)],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Store {
+            src: Operand::imm(0),
+            addr: vec![Operand::imm(3), RA.into()],
+            next: 3,
+        },
+    );
+    p.insert(
+        3,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x43)],
+            next: 4,
+        },
+    );
+    p.insert(
+        4,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x44), RC.into()],
+            next: 5,
+        },
+    );
+    let regs: RegFile = [(RA, Val::public(0x40))].into_iter().collect();
+    let mut mem = Memory::new();
+    mem.write_array(0x40, &[5, 5, 5, 5], Label::Secret); // secretKey
+    mem.write_array(0x44, &[1, 1, 1, 1], Label::Public); // pubArrA
+    let config = Config::initial(regs, mem, 1);
+    let schedule: Schedule = [
+        Directive::Fetch,
+        Directive::Fetch,
+        Directive::Fetch,
+        Directive::Fetch,
+        Directive::Execute(1),
+        Directive::ExecuteValue(2), // store value ready; address delayed
+        // --- shown directives ---
+        Directive::Execute(3),     // reads stale secretKey[3] (read 43)
+        Directive::Execute(4),     // read (Key[3] + 0x44): leak
+        Directive::ExecuteAddr(2), // store resolves to 43: hazard, rollback
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "7",
+        "Spectre v4: load bypasses an address-unresolved store and leaks stale secret",
+        p,
+        config,
+        schedule,
+        6,
+    )
+}
+
+/// Figure 8: the fence mitigation for Figure 1 — the loads cannot
+/// execute before the branch resolves.
+pub fn fig8() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Br {
+            op: OpCode::Gt,
+            args: vec![Operand::imm(4), RA.into()],
+            tru: 2,
+            fls: 5,
+        },
+    );
+    p.insert(2, Instr::Fence { next: 3 });
+    p.insert(
+        3,
+        Instr::Load {
+            dst: RB,
+            addr: vec![Operand::imm(0x40), RA.into()],
+            next: 4,
+        },
+    );
+    p.insert(
+        4,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x44), RB.into()],
+            next: 5,
+        },
+    );
+    let regs: RegFile = [(RA, Val::public(9))].into_iter().collect();
+    let mut mem = Memory::new();
+    mem.write_array(0x40, &[1, 0, 2, 1], Label::Public);
+    mem.write_array(0x44, &[0, 3, 1, 2], Label::Public);
+    mem.write_array(0x48, &[0x11, 0x22, 0x33, 0x44], Label::Secret);
+    let config = Config::initial(regs, mem, 1);
+    let schedule: Schedule = [
+        Directive::FetchBranch(true), // mispredict into the fenced region
+        Directive::Fetch,             // fence (2)
+        Directive::Fetch,             // load (3)
+        Directive::Fetch,             // load (4)
+        Directive::Execute(1),        // branch resolves: rollback past fence
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "8",
+        "fence mitigation: loads blocked until the branch resolves, then squashed",
+        p,
+        config,
+        schedule,
+        0,
+    )
+}
+
+/// Figure 11: Spectre v2 — a mistrained indirect jump sends execution to
+/// a disclosure gadget; fences do not help.
+pub fn fig11() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(
+        1,
+        Instr::Load {
+            dst: RC,
+            addr: vec![Operand::imm(0x48), RA.into()],
+            next: 2,
+        },
+    );
+    p.insert(2, Instr::Fence { next: 3 });
+    p.insert(
+        3,
+        Instr::Jmpi {
+            args: vec![Operand::imm(12), RB.into()],
+        },
+    );
+    p.insert(16, Instr::Fence { next: 17 });
+    p.insert(
+        17,
+        Instr::Load {
+            dst: RD,
+            addr: vec![Operand::imm(0x44), RC.into()],
+            next: 18,
+        },
+    );
+    // The architecturally correct target 12 + rb = 20.
+    p.insert(
+        20,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(0)],
+            next: 21,
+        },
+    );
+    let regs: RegFile = [(RA, Val::public(1)), (RB, Val::public(8))]
+        .into_iter()
+        .collect();
+    let mut mem = Memory::new();
+    mem.write_array(0x44, &[0, 3, 1, 2], Label::Public); // array B
+    mem.write_array(0x48, &[0x11, 0x22, 0x33, 0x44], Label::Secret); // Key
+    let config = Config::initial(regs, mem, 1);
+    let schedule: Schedule = [
+        Directive::Fetch,        // load Key[1] (index 1)
+        Directive::Fetch,        // fence (2)
+        Directive::Execute(1),   // read 0x49: rc = Key[1]_sec
+        Directive::FetchJump(17), // mistrained indirect jump (3)
+        Directive::Fetch,        // the gadget load at 17 (index 4)
+        Directive::Retire,       // retire load
+        Directive::Retire,       // retire fence: gadget may now execute
+        Directive::Execute(4),   // read (Key[1] + 0x44): leak
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "11",
+        "Spectre v2: mistrained indirect branch jumps over the fence into a gadget",
+        p,
+        config,
+        schedule,
+        0,
+    )
+}
+
+/// Figure 12: ret2spec — RSB underflow lets the attacker steer a `ret`.
+pub fn fig12() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    p.insert(1, Instr::Call { callee: 3, ret: 2 });
+    p.insert(2, Instr::Ret);
+    p.insert(3, Instr::Ret);
+    // The attacker-chosen target: a landing op.
+    p.insert(
+        9,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(1)],
+            next: 10,
+        },
+    );
+    let regs: RegFile = [(Reg::RSP, Val::public(0x7c))].into_iter().collect();
+    let config = Config::initial(regs, Memory::new(), 1);
+    let schedule: Schedule = [
+        Directive::Fetch,       // call: σ = [1 ↦ push 2]
+        Directive::Fetch,       // ret at 3: predicted by RSB to 2, σ pop
+        Directive::FetchJump(9), // ret at 2: RSB empty — attacker chooses 9
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "12",
+        "ret2spec: RSB underflow lets the schedule steer speculative execution",
+        p,
+        config,
+        schedule,
+        0,
+    )
+}
+
+/// Figure 13: the retpoline construction defeats indirect-jump
+/// mistraining — speculation is caught by the fence self-loop, and the
+/// eventual rollback lands on the architecturally correct target.
+pub fn fig13() -> FigureRun {
+    let mut p = Program::new();
+    p.entry = 1;
+    // Two fillers so the call marker lands at buffer index 3 as in the
+    // figure.
+    p.insert(
+        1,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(0)],
+            next: 2,
+        },
+    );
+    p.insert(
+        2,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(0)],
+            next: 3,
+        },
+    );
+    p.insert(3, Instr::Call { callee: 5, ret: 4 });
+    p.insert(4, Instr::Fence { next: 4 }); // speculation trap: self-loop
+    p.insert(
+        5,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Addr,
+            args: vec![Operand::imm(12), RB.into()],
+            next: 6,
+        },
+    );
+    p.insert(
+        6,
+        Instr::Store {
+            src: RD.into(),
+            addr: vec![Operand::Reg(Reg::RSP)],
+            next: 7,
+        },
+    );
+    p.insert(7, Instr::Ret);
+    // The real indirect target 12 + rb = 20.
+    p.insert(
+        20,
+        Instr::Op {
+            dst: RD,
+            op: OpCode::Mov,
+            args: vec![Operand::imm(7)],
+            next: 21,
+        },
+    );
+    let regs: RegFile = [(RB, Val::public(8)), (Reg::RSP, Val::public(0x7c))]
+        .into_iter()
+        .collect();
+    let config = Config::initial(regs, Memory::new(), 1);
+    let schedule: Schedule = [
+        // Setup: retire the two fillers so the call marker sits at 3.
+        Directive::Fetch,
+        Directive::Execute(1),
+        Directive::Retire,
+        Directive::Fetch,
+        Directive::Execute(2),
+        Directive::Retire,
+        // --- the figure's fetch sequence ---
+        Directive::Fetch, // call → 3: call, 4: rsp op, 5: store(4, [rsp])
+        Directive::Fetch, // 6: rd = addr(12, rb)
+        Directive::Fetch, // 7: store(rd, [rsp])
+        Directive::Fetch, // ret → 8..11 (jmpi predicted to 4 via RSB)
+        Directive::Fetch, // 12: fence (the speculation trap at 4)
+        // --- the figure's execute sequence ---
+        Directive::Execute(4),       // rsp = 0x7b
+        Directive::Execute(6),       // rd = 20
+        Directive::ExecuteValue(7),  // store value 20
+        Directive::ExecuteAddr(7),   // store addr 0x7b (fwd 7b)
+        Directive::Execute(9),       // rtmp forwards 20 from store 7 (fwd 7b)
+        Directive::Execute(11),      // jmpi: 20 ≠ 4 → rollback, jump 20
+    ]
+    .into_iter()
+    .collect();
+    FigureRun::run(
+        "13",
+        "retpoline: speculative return parks on a fence; rollback lands on the true target",
+        p,
+        config,
+        schedule,
+        6,
+    )
+}
+
+/// Every figure replay, in paper order.
+pub fn all_figures() -> Vec<FigureRun> {
+    vec![
+        fig1(),
+        fig2(),
+        fig4a(),
+        fig4b(),
+        fig5(),
+        fig6(),
+        fig7(),
+        fig8(),
+        fig11(),
+        fig12(),
+        fig13(),
+    ]
+}

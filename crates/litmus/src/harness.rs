@@ -1,0 +1,122 @@
+//! The litmus harness: named cases with expected verdicts, and a runner
+//! that checks them against the sequential semantics and both Pitchfork
+//! modes.
+
+use sct_core::sched::sequential::run_sequential;
+use sct_core::{Config, Params, Program};
+use std::fmt;
+
+/// What a litmus case is expected to exhibit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Expectation {
+    /// The canonical sequential execution leaks no secret observation
+    /// (i.e. the case is sequentially constant-time). All our cases are,
+    /// by construction — the violations are speculative-only.
+    pub sequentially_clean: bool,
+    /// Pitchfork flags the case in v1/v1.1 mode (no forwarding hazards).
+    pub v1_violation: bool,
+    /// Pitchfork flags the case in v4 mode (with forwarding hazards).
+    pub v4_violation: bool,
+}
+
+impl Expectation {
+    /// Speculatively safe everywhere.
+    pub const SAFE: Expectation = Expectation {
+        sequentially_clean: true,
+        v1_violation: false,
+        v4_violation: false,
+    };
+
+    /// Flagged in both modes (v1-style leak; v4 mode subsumes it).
+    pub const V1: Expectation = Expectation {
+        sequentially_clean: true,
+        v1_violation: true,
+        v4_violation: true,
+    };
+
+    /// Flagged only when forwarding-hazard detection is on (v4-style).
+    pub const V4_ONLY: Expectation = Expectation {
+        sequentially_clean: true,
+        v1_violation: false,
+        v4_violation: true,
+    };
+}
+
+/// A named litmus case.
+pub struct LitmusCase {
+    /// Short identifier (e.g. `kocher_01`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The program.
+    pub program: Program,
+    /// The initial configuration.
+    pub config: Config,
+    /// Expected verdicts.
+    pub expect: Expectation,
+    /// Speculation bound sufficient to expose the case's behaviour.
+    pub bound: usize,
+}
+
+/// The observed verdicts for a case.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CaseResult {
+    /// Sequential trace carried no secret observation.
+    pub sequentially_clean: bool,
+    /// v1-mode Pitchfork verdict.
+    pub v1_violation: bool,
+    /// v4-mode Pitchfork verdict.
+    pub v4_violation: bool,
+}
+
+impl fmt::Display for CaseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seq-clean={} v1={} v4={}",
+            self.sequentially_clean, self.v1_violation, self.v4_violation
+        )
+    }
+}
+
+/// Run a case through the sequential semantics and both detector modes.
+pub fn run_case(case: &LitmusCase) -> CaseResult {
+    let seq = run_sequential(
+        &case.program,
+        case.config.clone(),
+        Params::paper(),
+        200_000,
+    )
+    .unwrap_or_else(|e| panic!("{}: sequential run failed: {e}", case.name));
+    let v1 = pitchfork::Detector::new(pitchfork::DetectorOptions::v1_mode(case.bound))
+        .analyze(&case.program, &case.config);
+    let v4 = pitchfork::Detector::new(pitchfork::DetectorOptions::v4_mode(case.bound))
+        .analyze(&case.program, &case.config);
+    CaseResult {
+        sequentially_clean: seq.outcome.trace.is_public(),
+        v1_violation: v1.has_violations(),
+        v4_violation: v4.has_violations(),
+    }
+}
+
+/// Check a case against its expectation, panicking with context on
+/// mismatch (used by the test suites).
+pub fn assert_case(case: &LitmusCase) {
+    let got = run_case(case);
+    let want = case.expect;
+    assert_eq!(
+        got.sequentially_clean, want.sequentially_clean,
+        "{}: sequential cleanliness mismatch ({})",
+        case.name, case.description
+    );
+    assert_eq!(
+        got.v1_violation, want.v1_violation,
+        "{}: v1-mode verdict mismatch ({}): got {got}",
+        case.name, case.description
+    );
+    assert_eq!(
+        got.v4_violation, want.v4_violation,
+        "{}: v4-mode verdict mismatch ({}): got {got}",
+        case.name, case.description
+    );
+}

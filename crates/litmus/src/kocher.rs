@@ -1,0 +1,366 @@
+//! A Spectre v1 test suite in the style of Kocher's fifteen examples
+//! (citation 19 of the paper), adapted to the `sct` ISA.
+//!
+//! As in the paper (§4.2), the suite is built so that violations are
+//! *speculative-only* wherever possible: the canonical sequential
+//! execution of every case except `kocher_04` is constant-time, and the
+//! leak appears only under misprediction. `kocher_04` deliberately keeps
+//! the original Kocher flavour of a case that leaks even sequentially
+//! (insufficient masking), which the paper calls out as the reason for
+//! writing a new suite.
+
+use crate::harness::{Expectation, LitmusCase};
+use crate::layout::{standard_config, A_BASE, A_LEN, B_BASE, OOB_INDEX, SCRATCH};
+use sct_asm::builder::{imm, reg, ProgramBuilder};
+use sct_core::reg::names::*;
+use sct_core::OpCode;
+
+/// A case that leaks even sequentially (labels on the sequential trace).
+const SEQ_LEAK: Expectation = Expectation {
+    sequentially_clean: false,
+    v1_violation: true,
+    v4_violation: true,
+};
+
+fn case(
+    name: &'static str,
+    description: &'static str,
+    build: impl FnOnce(&mut ProgramBuilder),
+    attacker_index: u64,
+    expect: Expectation,
+    bound: usize,
+) -> LitmusCase {
+    let mut b = ProgramBuilder::new();
+    build(&mut b);
+    let program = b.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let config = standard_config(program.entry, attacker_index);
+    LitmusCase {
+        name,
+        description,
+        program,
+        config,
+        expect,
+        bound,
+    }
+}
+
+/// `kocher_01`: the classic double-load bounds-check bypass (Figure 1).
+pub fn kocher_01() -> LitmusCase {
+    case(
+        "kocher_01",
+        "classic v1: if (ra < 4) leak B[A[ra]]",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_02`: the same check with reversed comparison operands.
+pub fn kocher_02() -> LitmusCase {
+    case(
+        "kocher_02",
+        "v1 with ra < 4 spelled lt(ra, 4)",
+        |b| {
+            b.br(OpCode::Lt, [reg(RA), imm(A_LEN)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_03`: the leaked byte is scaled before indexing (cache-line
+/// style `B[A[ra] * 2]`).
+pub fn kocher_03() -> LitmusCase {
+    case(
+        "kocher_03",
+        "v1 with scaled transmission index B[A[ra]*2]",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.op(RD, OpCode::Mul, [reg(RB), imm(2)]);
+            b.load(RC, [imm(B_BASE), reg(RD)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_04`: insufficient masking — `ra & 7` still reaches the secret
+/// region, so the case leaks **even sequentially** (the Kocher-original
+/// flavour the paper's new suite removes).
+pub fn kocher_04() -> LitmusCase {
+    case(
+        "kocher_04",
+        "insufficient mask: A[ra & 7] reaches secrets sequentially",
+        |b| {
+            b.op(RD, OpCode::And, [reg(RA), imm(7)]);
+            b.load(RB, [imm(A_BASE), reg(RD)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+        },
+        // 9 & 7 = 1 would be in bounds; use 12 & 7 = 4: the first secret.
+        12,
+        SEQ_LEAK,
+        16,
+    )
+}
+
+/// `kocher_05`: nested bounds checks; the leak needs both branches
+/// mispredicted.
+pub fn kocher_05() -> LitmusCase {
+    case(
+        "kocher_05",
+        "nested v1: two stacked bounds checks",
+        |b| {
+            b.br(OpCode::Gt, [imm(16), reg(RA)], "outer", "out");
+            b.label("outer");
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "inner", "out");
+            b.label("inner");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_06`: the fence mitigation — safe.
+pub fn kocher_06() -> LitmusCase {
+    case(
+        "kocher_06",
+        "v1 gadget guarded by a fence after the bounds check: safe",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.fence();
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::SAFE,
+        16,
+    )
+}
+
+/// `kocher_07`: transmission through a **store** address instead of a
+/// load (the address of a store leaks at address resolution).
+pub fn kocher_07() -> LitmusCase {
+    case(
+        "kocher_07",
+        "v1 leaking through a store address: store 1, [B + A[ra]]",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.store(imm(1), [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_08`: off-by-one comparison (`<=` instead of `<`).
+pub fn kocher_08() -> LitmusCase {
+    case(
+        "kocher_08",
+        "v1 with an off-by-one (le) bounds check",
+        |b| {
+            b.br(OpCode::Le, [reg(RA), imm(A_LEN)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_09`: the speculatively loaded secret leaks through a branch
+/// condition (control-flow transmission) rather than an address.
+pub fn kocher_09() -> LitmusCase {
+    case(
+        "kocher_09",
+        "v1 transmitting through a secret branch condition",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.br(OpCode::Eq, [reg(RB), imm(0)], "zero", "out");
+            b.label("zero");
+            b.op(RC, OpCode::Add, [reg(RC), imm(1)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_10`: the speculatively loaded secret flows only through
+/// `csel` into a register and is never used as an address or condition —
+/// safe (constant-time selection does not transmit).
+pub fn kocher_10() -> LitmusCase {
+    case(
+        "kocher_10",
+        "speculative secret into csel only: safe",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.op(RC, OpCode::Csel, [reg(RB), imm(1), imm(2)]);
+            b.store(reg(RC), [imm(SCRATCH)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::SAFE,
+        16,
+    )
+}
+
+/// `kocher_11`: one bit of the secret leaks through arithmetic into an
+/// address (`B[A[ra] & 1]`).
+pub fn kocher_11() -> LitmusCase {
+    case(
+        "kocher_11",
+        "v1 leaking a single secret bit: B[A[ra] & 1]",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.op(RD, OpCode::And, [reg(RB), imm(1)]);
+            b.load(RC, [imm(B_BASE), reg(RD)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_12`: a *sufficient* mask (`ra & 3`) keeps every access in
+/// bounds with no branch at all — safe.
+pub fn kocher_12() -> LitmusCase {
+    case(
+        "kocher_12",
+        "sufficient mask A[ra & 3]: safe without any branch",
+        |b| {
+            b.op(RD, OpCode::And, [reg(RA), imm(A_LEN - 1)]);
+            b.load(RB, [imm(A_BASE), reg(RD)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+        },
+        OOB_INDEX,
+        Expectation::SAFE,
+        16,
+    )
+}
+
+/// `kocher_13`: the gadget sits behind three stacked branches — needs
+/// deeper speculation.
+pub fn kocher_13() -> LitmusCase {
+    case(
+        "kocher_13",
+        "v1 behind three stacked conditions",
+        |b| {
+            b.br(OpCode::Gt, [imm(64), reg(RA)], "c1", "out");
+            b.label("c1");
+            b.br(OpCode::Gt, [imm(16), reg(RA)], "c2", "out");
+            b.label("c2");
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "c3", "out");
+            b.label("c3");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_14`: index underflow — `A[ra - 1]` with a mispredicted
+/// `ra != 0` check wraps below the array onto a secret guard cell.
+pub fn kocher_14() -> LitmusCase {
+    case(
+        "kocher_14",
+        "v1 by underflow: A[ra-1] with ra = 0 mispredicted non-zero",
+        |b| {
+            b.br(OpCode::Ne, [reg(RA), imm(0)], "then", "out");
+            b.label("then");
+            b.op(RD, OpCode::Sub, [reg(RA), imm(1)]);
+            b.load(RB, [imm(A_BASE), reg(RD)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        0,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `kocher_15`: the bounds check lives in the caller, the leak in the
+/// callee — crossing a `call` boundary.
+pub fn kocher_15() -> LitmusCase {
+    case(
+        "kocher_15",
+        "v1 across a call: check in caller, gadget in callee",
+        |b| {
+            b.entry("main");
+            b.label("main");
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.call("gadget");
+            b.label("out");
+            b.jmp("end");
+            b.label("gadget");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(B_BASE), reg(RB)]);
+            b.ret();
+            b.label("end");
+        },
+        OOB_INDEX,
+        Expectation::V1,
+        20,
+    )
+}
+
+/// The whole suite.
+pub fn all() -> Vec<LitmusCase> {
+    vec![
+        kocher_01(),
+        kocher_02(),
+        kocher_03(),
+        kocher_04(),
+        kocher_05(),
+        kocher_06(),
+        kocher_07(),
+        kocher_08(),
+        kocher_09(),
+        kocher_10(),
+        kocher_11(),
+        kocher_12(),
+        kocher_13(),
+        kocher_14(),
+        kocher_15(),
+    ]
+}

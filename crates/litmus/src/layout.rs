@@ -1,0 +1,46 @@
+//! The shared memory layout of the litmus corpus.
+//!
+//! ```text
+//! 0x3F          secret guard cell (for underflow cases)
+//! 0x40..0x43    array A   (public, 4 elements — the bounds-checked array)
+//! 0x44..0x4B    secret    (8 cells adjacent above A — the leak target)
+//! 0x50..0x5F    array B   (public, 16 elements — the transmission array)
+//! 0x60..0x63    scratch   (public)
+//! 0x7C          initial stack pointer
+//! ```
+
+use sct_asm::ConfigBuilder;
+use sct_core::reg::names::RA;
+use sct_core::{Config, Pc, Val};
+
+/// Base of the bounds-checked public array A.
+pub const A_BASE: u64 = 0x40;
+/// Length of A (the bounds check compares against this).
+pub const A_LEN: u64 = 4;
+/// Base of the secret region adjacent above A.
+pub const SECRET_BASE: u64 = 0x44;
+/// Base of the public transmission array B.
+pub const B_BASE: u64 = 0x50;
+/// Base of public scratch cells.
+pub const SCRATCH: u64 = 0x60;
+/// Initial stack pointer.
+pub const STACK_TOP: u64 = 0x7c;
+
+/// The standard initial configuration: `ra` holds the attacker index
+/// (out of bounds by default), A/B public, the secret region populated.
+pub fn standard_config(entry: Pc, attacker_index: u64) -> Config {
+    ConfigBuilder::new()
+        .reg(RA, Val::public(attacker_index))
+        .cell(0x3f, Val::secret(0x55)) // underflow guard
+        .public_array(A_BASE, &[1, 0, 2, 1])
+        .secret_array(SECRET_BASE, &[0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88])
+        .public_array(B_BASE, &[0; 16])
+        .public_array(SCRATCH, &[0; 4])
+        .rsp(STACK_TOP)
+        .entry(entry)
+        .build()
+}
+
+/// An attacker index that fails the bounds check and lands in the
+/// secret region when used unchecked (`A_BASE + 9 = 0x49`).
+pub const OOB_INDEX: u64 = 9;

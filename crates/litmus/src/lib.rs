@@ -1,0 +1,47 @@
+//! # sct-litmus
+//!
+//! The litmus corpus for the speculative constant-time semantics and
+//! the Pitchfork detector:
+//!
+//! * [`figures`] — every figure of the paper as an executable replay
+//!   (program + configuration + the paper's directive schedule);
+//! * [`kocher`] — fifteen Spectre v1 cases in the style of Kocher's
+//!   examples, adapted so violations are speculative-only (§4.2);
+//! * [`v1p1`] — Spectre v1.1 (speculative store) cases;
+//! * [`v4`] — Spectre v4 (store-bypass) cases, flagged only with
+//!   forwarding-hazard detection;
+//! * [`harness`] — expected-verdict bookkeeping and the case runner.
+//!
+//! # Example
+//!
+//! ```
+//! use sct_litmus::{harness, kocher};
+//!
+//! let case = kocher::kocher_01();
+//! let result = harness::run_case(&case);
+//! assert!(result.sequentially_clean);
+//! assert!(result.v1_violation);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alias;
+pub mod corpus;
+pub mod figures;
+pub mod harness;
+pub mod kocher;
+pub mod layout;
+pub mod v1p1;
+pub mod v2;
+pub mod v4;
+
+pub use harness::{assert_case, run_case, CaseResult, Expectation, LitmusCase};
+
+/// Every litmus case across all suites.
+pub fn all_cases() -> Vec<LitmusCase> {
+    let mut out = kocher::all();
+    out.extend(v1p1::all());
+    out.extend(v4::all());
+    out
+}

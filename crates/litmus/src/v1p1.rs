@@ -1,0 +1,171 @@
+//! Spectre v1.1 test cases: speculative out-of-bounds *stores* whose
+//! data is forwarded to later loads (the paper's Figure 6 pattern).
+
+use crate::harness::{Expectation, LitmusCase};
+use crate::layout::{standard_config, A_BASE, A_LEN, B_BASE, SCRATCH, SECRET_BASE};
+use sct_asm::builder::{imm, reg, sec, ProgramBuilder};
+use sct_core::reg::names::*;
+use sct_core::OpCode;
+
+fn case(
+    name: &'static str,
+    description: &'static str,
+    build: impl FnOnce(&mut ProgramBuilder),
+    attacker_index: u64,
+    expect: Expectation,
+    bound: usize,
+) -> LitmusCase {
+    let mut b = ProgramBuilder::new();
+    build(&mut b);
+    let program = b.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let config = standard_config(program.entry, attacker_index);
+    LitmusCase {
+        name,
+        description,
+        program,
+        config,
+        expect,
+        bound,
+    }
+}
+
+/// `v1p1_01`: the Figure 6 gadget — a bounds-checked store, executed
+/// speculatively out of bounds, forwards a secret to an in-bounds load.
+///
+/// The stored value is a secret immediate standing for `rb = x_sec`;
+/// the out-of-bounds index makes `A + ra` collide with the address the
+/// later load reads.
+pub fn v1p1_01() -> LitmusCase {
+    case(
+        "v1p1_01",
+        "fig. 6: speculative OOB store forwards secret to load pair",
+        |b| {
+            // if (ra < 4) A[ra] = x_sec;  -- index 5 collides with 0x45
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.store(sec(3), [imm(A_BASE), reg(RA)]);
+            b.load(RC, [imm(0x45)]);
+            b.load(RC, [imm(B_BASE), reg(RC)]);
+            b.label("out");
+        },
+        5,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `v1p1_02`: the forwarded secret escapes through an indirect jump
+/// target instead of a load address.
+pub fn v1p1_02() -> LitmusCase {
+    case(
+        "v1p1_02",
+        "speculative OOB store corrupts a jump-table slot",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            // Speculatively smashes the jump slot at SCRATCH (= A + 32).
+            b.store(sec(7), [imm(A_BASE), reg(RA)]);
+            b.load(RD, [imm(SCRATCH)]);
+            b.jmpi([reg(RD)]);
+            b.label("out");
+        },
+        SCRATCH - A_BASE, // collide exactly with the slot
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `v1p1_03`: a speculative store whose *address* is derived from a
+/// speculatively loaded secret (write-variant transmission).
+pub fn v1p1_03() -> LitmusCase {
+    case(
+        "v1p1_03",
+        "store address derived from speculative secret load",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(A_BASE), reg(RA)]);
+            b.store(imm(0), [imm(B_BASE), reg(RB)]);
+            b.label("out");
+        },
+        9,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `v1p1_04`: fence between the OOB store and the load pair — safe.
+pub fn v1p1_04() -> LitmusCase {
+    case(
+        "v1p1_04",
+        "fig. 6 gadget with a fence before the loads: safe",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.store(sec(3), [imm(A_BASE), reg(RA)]);
+            b.fence();
+            b.load(RC, [imm(0x45)]);
+            b.load(RC, [imm(B_BASE), reg(RC)]);
+            b.label("out");
+        },
+        5,
+        Expectation::SAFE,
+        16,
+    )
+}
+
+/// `v1p1_05`: a *guarded* in-bounds store of secret data forwarded to a
+/// load that uses it as an address — only reachable speculatively.
+pub fn v1p1_05() -> LitmusCase {
+    case(
+        "v1p1_05",
+        "guarded secret spill forwarded into an address",
+        |b| {
+            // The guard is architecturally false (ra = 9 ≥ 4): the spill
+            // and reload happen only on the mispredicted path.
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(SECRET_BASE)]); // in-bounds *secret* load
+            b.store(reg(RB), [imm(SCRATCH)]); // spill
+            b.load(RC, [imm(SCRATCH)]); // reload (forwarded)
+            b.load(RC, [imm(B_BASE), reg(RC)]); // transmit
+            b.label("out");
+        },
+        9,
+        Expectation::V1,
+        16,
+    )
+}
+
+/// `v1p1_06`: same spill/reload but the reload result only feeds `csel`
+/// — safe.
+pub fn v1p1_06() -> LitmusCase {
+    case(
+        "v1p1_06",
+        "speculative spill/reload into csel only: safe",
+        |b| {
+            b.br(OpCode::Gt, [imm(A_LEN), reg(RA)], "then", "out");
+            b.label("then");
+            b.load(RB, [imm(SECRET_BASE)]);
+            b.store(reg(RB), [imm(SCRATCH)]);
+            b.load(RC, [imm(SCRATCH)]);
+            b.op(RD, OpCode::Csel, [reg(RC), imm(1), imm(0)]);
+            b.label("out");
+        },
+        9,
+        Expectation::SAFE,
+        16,
+    )
+}
+
+/// The whole suite.
+pub fn all() -> Vec<LitmusCase> {
+    vec![
+        v1p1_01(),
+        v1p1_02(),
+        v1p1_03(),
+        v1p1_04(),
+        v1p1_05(),
+        v1p1_06(),
+    ]
+}

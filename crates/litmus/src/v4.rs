@@ -1,0 +1,114 @@
+//! Spectre v4 test cases: loads that speculatively bypass
+//! address-unresolved stores and observe stale secrets (the paper's
+//! Figure 7 pattern). These are flagged **only** when Pitchfork's
+//! forwarding-hazard detection is enabled (§4.2.1).
+
+use crate::harness::{Expectation, LitmusCase};
+use crate::layout::{standard_config, B_BASE, SECRET_BASE};
+use sct_asm::builder::{imm, reg, ProgramBuilder};
+use sct_core::reg::names::*;
+use sct_core::OpCode;
+
+fn case(
+    name: &'static str,
+    description: &'static str,
+    build: impl FnOnce(&mut ProgramBuilder),
+    attacker_index: u64,
+    expect: Expectation,
+    bound: usize,
+) -> LitmusCase {
+    let mut b = ProgramBuilder::new();
+    build(&mut b);
+    let program = b.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let config = standard_config(program.entry, attacker_index);
+    LitmusCase {
+        name,
+        description,
+        program,
+        config,
+        expect,
+        bound,
+    }
+}
+
+/// `v4_01`: the Figure 7 gadget — zeroing store delayed, stale secret
+/// read and transmitted.
+///
+/// `ra` holds the store's base address so its resolution genuinely
+/// requires execution; the load's address is a constant the machine can
+/// issue immediately.
+pub fn v4_01() -> LitmusCase {
+    case(
+        "v4_01",
+        "fig. 7: delayed zeroing store, stale secret leaks",
+        |b| {
+            // secret[0] = 0; rc = secret[0]; rc = B[rc];
+            b.store(imm(0), [reg(RA)]); // address via register: resolvable late
+            b.load(RC, [imm(SECRET_BASE)]);
+            b.load(RC, [imm(B_BASE), reg(RC)]);
+        },
+        SECRET_BASE, // ra points at the secret cell being sanitized
+        Expectation::V4_ONLY,
+        16,
+    )
+}
+
+/// `v4_02`: two sanitizing stores; only the second one matters, and the
+/// load pair still slips underneath it.
+pub fn v4_02() -> LitmusCase {
+    case(
+        "v4_02",
+        "double sanitize, load pair bypasses the second store",
+        |b| {
+            b.store(imm(0), [reg(RA)]);
+            b.op(RD, OpCode::Add, [reg(RA), imm(1)]);
+            b.store(imm(0), [reg(RD)]);
+            b.load(RC, [imm(SECRET_BASE + 1)]);
+            b.load(RC, [imm(B_BASE), reg(RC)]);
+        },
+        SECRET_BASE,
+        Expectation::V4_ONLY,
+        16,
+    )
+}
+
+/// `v4_03`: fence between the sanitizing store and the loads — safe.
+pub fn v4_03() -> LitmusCase {
+    case(
+        "v4_03",
+        "fig. 7 gadget with a fence after the store: safe",
+        |b| {
+            b.store(imm(0), [reg(RA)]);
+            b.fence();
+            b.load(RC, [imm(SECRET_BASE)]);
+            b.load(RC, [imm(B_BASE), reg(RC)]);
+        },
+        SECRET_BASE,
+        Expectation::SAFE,
+        16,
+    )
+}
+
+/// `v4_04`: the stale secret transmits through a branch condition.
+pub fn v4_04() -> LitmusCase {
+    case(
+        "v4_04",
+        "stale secret feeds a branch condition",
+        |b| {
+            b.store(imm(0), [reg(RA)]);
+            b.load(RC, [imm(SECRET_BASE)]);
+            b.br(OpCode::Eq, [reg(RC), imm(0)], "z", "out");
+            b.label("z");
+            b.op(RD, OpCode::Add, [reg(RD), imm(1)]);
+            b.label("out");
+        },
+        SECRET_BASE,
+        Expectation::V4_ONLY,
+        16,
+    )
+}
+
+/// The whole suite.
+pub fn all() -> Vec<LitmusCase> {
+    vec![v4_01(), v4_02(), v4_03(), v4_04()]
+}

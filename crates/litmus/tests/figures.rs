@@ -1,0 +1,257 @@
+//! Figure replays: each figure's directive schedule reproduces the
+//! leakage (and buffer evolution) the paper shows.
+
+use sct_core::{Directive, Label, Machine, Observation, Params, StepError};
+use sct_litmus::figures;
+
+#[test]
+fn fig1_trace() {
+    let run = figures::fig1();
+    assert_eq!(
+        run.trace(),
+        vec![
+            Observation::Read {
+                addr: 0x49,
+                label: Label::Public
+            },
+            Observation::Read {
+                addr: 0x44 + 0x22,
+                label: Label::Secret
+            },
+        ]
+    );
+}
+
+#[test]
+fn fig2_aliasing_prediction_trace() {
+    let run = figures::fig2();
+    let shown: Vec<Observation> = run.step_obs[run.shown_from..]
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    // execute 8 → read (x_sec + 0x48)_sec; execute 2:addr → fwd 0x42_pub;
+    // execute 7 → rollback, fwd 0x45_pub.
+    assert_eq!(
+        shown,
+        vec![
+            Observation::Read {
+                addr: 0x48 + 3,
+                label: Label::Secret
+            },
+            Observation::Fwd {
+                addr: 0x42,
+                label: Label::Public
+            },
+            Observation::Rollback,
+            Observation::Fwd {
+                addr: 0x45,
+                label: Label::Public
+            },
+        ]
+    );
+    // The rollback squashed the two loads: only entries < 7 remain.
+    assert_eq!(run.final_config.rob.max(), Some(6));
+    assert_eq!(run.final_config.pc, 7);
+}
+
+#[test]
+fn fig4_correct_and_incorrect_prediction() {
+    let a = figures::fig4a();
+    assert_eq!(
+        a.step_obs.last().unwrap(),
+        &vec![Observation::Jump {
+            target: 9,
+            label: Label::Public
+        }]
+    );
+    // Correct prediction: the speculatively fetched op survives.
+    assert_eq!(a.final_config.rob.len(), 3);
+
+    let b = figures::fig4b();
+    assert_eq!(
+        b.step_obs.last().unwrap(),
+        &vec![
+            Observation::Rollback,
+            Observation::Jump {
+                target: 9,
+                label: Label::Public
+            }
+        ]
+    );
+    // Misprediction: the wrong-path multiply is squashed; the rolled-back
+    // front end restarts at 9.
+    assert_eq!(b.final_config.pc, 9);
+}
+
+#[test]
+fn fig5_store_hazard_trace() {
+    let run = figures::fig5();
+    let shown: Vec<Observation> = run.step_obs[run.shown_from..]
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    assert_eq!(
+        shown,
+        vec![
+            Observation::Fwd {
+                addr: 0x43,
+                label: Label::Public
+            },
+            Observation::Rollback,
+            Observation::Fwd {
+                addr: 0x43,
+                label: Label::Public
+            },
+        ]
+    );
+    // The load was rolled back; the stores remain.
+    assert_eq!(run.final_config.pc, 4);
+}
+
+#[test]
+fn fig6_v1p1_trace() {
+    let run = figures::fig6();
+    let shown: Vec<Observation> = run.step_obs[run.shown_from..]
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    assert_eq!(
+        shown,
+        vec![
+            Observation::Fwd {
+                addr: 0x45,
+                label: Label::Public
+            },
+            Observation::Fwd {
+                addr: 0x45,
+                label: Label::Public
+            },
+            Observation::Read {
+                addr: 0x48 + 3,
+                label: Label::Secret
+            },
+        ]
+    );
+    assert!(run.leaks_secret());
+}
+
+#[test]
+fn fig7_v4_trace() {
+    let run = figures::fig7();
+    let shown: Vec<Observation> = run.step_obs[run.shown_from..]
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    assert_eq!(
+        shown,
+        vec![
+            Observation::Read {
+                addr: 0x43,
+                label: Label::Public
+            },
+            Observation::Read {
+                addr: 0x44 + 5,
+                label: Label::Secret
+            },
+            Observation::Rollback,
+            Observation::Fwd {
+                addr: 0x43,
+                label: Label::Public
+            },
+        ]
+    );
+}
+
+#[test]
+fn fig8_fence_blocks_loads() {
+    let run = figures::fig8();
+    // Replay the pre-rollback state and check the loads are blocked.
+    let mut m = Machine::with_params(&run.program, run.config.clone(), Params::paper());
+    for d in run.schedule.iter().take(4) {
+        m.step(d).unwrap();
+    }
+    assert_eq!(
+        m.step(Directive::Execute(3)),
+        Err(StepError::FenceBlocked { index: 3 })
+    );
+    assert_eq!(
+        m.step(Directive::Execute(4)),
+        Err(StepError::FenceBlocked { index: 4 })
+    );
+    // Executing the branch rolls everything back; nothing leaked.
+    assert!(!run.leaks_secret());
+    assert_eq!(run.final_config.pc, 5);
+    assert_eq!(run.final_config.rob.len(), 1); // just the resolved jump
+}
+
+#[test]
+fn fig11_v2_trace_leaks_despite_fences() {
+    let run = figures::fig11();
+    assert!(run.leaks_secret());
+    let last = run.step_obs.last().unwrap();
+    assert_eq!(
+        last,
+        &vec![Observation::Read {
+            addr: 0x44 + 0x22,
+            label: Label::Secret
+        }]
+    );
+}
+
+#[test]
+fn fig12_rsb_underflow_steers_execution() {
+    let run = figures::fig12();
+    // After the matched call/ret the RSB is empty; the attacker-supplied
+    // target 9 becomes the program point.
+    assert_eq!(run.final_config.pc, 9);
+}
+
+#[test]
+fn fig13_retpoline_lands_on_true_target() {
+    let run = figures::fig13();
+    let last = run.step_obs.last().unwrap();
+    assert_eq!(
+        last,
+        &vec![
+            Observation::Rollback,
+            Observation::Jump {
+                target: 20,
+                label: Label::Public
+            }
+        ]
+    );
+    // Execution was redirected to the architecturally correct target 20
+    // without the attacker ever steering the prediction.
+    assert_eq!(run.final_config.pc, 20);
+    assert!(!run.leaks_secret());
+}
+
+#[test]
+fn figure_leak_summary_matches_paper() {
+    // Figures 1, 2, 6, 7, 11 demonstrate leaks; 4, 5, 8, 12, 13 do not.
+    let expect = [
+        ("1", true),
+        ("2", true),
+        ("4a", false),
+        ("4b", false),
+        ("5", false),
+        ("6", true),
+        ("7", true),
+        ("8", false),
+        ("11", true),
+        ("12", false),
+        ("13", false),
+    ];
+    for run in figures::all_figures() {
+        let want = expect
+            .iter()
+            .find(|(id, _)| *id == run.id)
+            .unwrap_or_else(|| panic!("unknown figure {}", run.id))
+            .1;
+        assert_eq!(run.leaks_secret(), want, "figure {}", run.id);
+    }
+}

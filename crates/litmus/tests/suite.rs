@@ -1,0 +1,43 @@
+//! The litmus corpus against its expected verdicts — the §4.2 sanity
+//! check ("we create and analyze a set of Spectre v1 and v1.1 test
+//! cases, and ensure we flag their SCT violations"), extended with v4
+//! cases and safe controls.
+
+use sct_litmus::{assert_case, kocher, v1p1, v4};
+
+#[test]
+fn kocher_suite_matches_expectations() {
+    for case in kocher::all() {
+        assert_case(&case);
+    }
+}
+
+#[test]
+fn v1p1_suite_matches_expectations() {
+    for case in v1p1::all() {
+        assert_case(&case);
+    }
+}
+
+#[test]
+fn v4_suite_matches_expectations() {
+    for case in v4::all() {
+        assert_case(&case);
+    }
+}
+
+/// Proposition B.11 over the corpus: every case Pitchfork reports clean
+/// in both modes is also sequentially constant-time.
+#[test]
+fn sct_implies_sequential_ct_on_corpus() {
+    for case in sct_litmus::all_cases() {
+        let r = sct_litmus::run_case(&case);
+        if !r.v1_violation && !r.v4_violation {
+            assert!(
+                r.sequentially_clean,
+                "{}: clean speculative verdicts but sequential leak",
+                case.name
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The top-level detector API.
+
+use crate::explorer::{Explorer, ExplorerOptions};
+use crate::report::Report;
+use crate::state::SymState;
+use sct_core::{Config, Params, Program, Reg};
+
+/// Detector options: explorer options plus machine parameters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DetectorOptions {
+    /// Worst-case schedule exploration options.
+    pub explorer: ExplorerOptions,
+    /// Machine parameters (addressing, stack, RSB policy).
+    pub params: Params,
+}
+
+impl DetectorOptions {
+    /// The paper's Spectre v1/v1.1 configuration (§4.2.1): no
+    /// forwarding-hazard exploration, deep speculation bound.
+    pub fn v1_mode(spec_bound: usize) -> Self {
+        DetectorOptions {
+            explorer: ExplorerOptions {
+                spec_bound,
+                forwarding_hazards: false,
+                ..Default::default()
+            },
+            params: Params::paper(),
+        }
+    }
+
+    /// The paper's Spectre v4 configuration (§4.2.1): forwarding-hazard
+    /// exploration with a reduced bound to keep analysis tractable.
+    pub fn v4_mode(spec_bound: usize) -> Self {
+        DetectorOptions {
+            explorer: ExplorerOptions {
+                spec_bound,
+                forwarding_hazards: true,
+                ..Default::default()
+            },
+            params: Params::paper(),
+        }
+    }
+
+    /// **Extension**: aliasing-predictor exploration (§3.5) on top of
+    /// v4 mode — finds the paper's Figure 2 hypothetical attack, which
+    /// the original Pitchfork could not explore (§4).
+    pub fn alias_mode(spec_bound: usize) -> Self {
+        DetectorOptions {
+            explorer: ExplorerOptions {
+                spec_bound,
+                forwarding_hazards: true,
+                alias_prediction: true,
+                ..Default::default()
+            },
+            params: Params::paper(),
+        }
+    }
+
+    /// **Extension**: Spectre v2 exploration — mistrained indirect-jump
+    /// targets (Appendix A's attacker-influenced branch-target
+    /// predictor), which the original Pitchfork does not model (§4).
+    pub fn v2_mode(spec_bound: usize) -> Self {
+        DetectorOptions {
+            explorer: ExplorerOptions {
+                spec_bound,
+                jmpi_mistraining: true,
+                ..Default::default()
+            },
+            params: Params::paper(),
+        }
+    }
+}
+
+/// The Pitchfork detector: generates worst-case schedules and
+/// symbolically executes the program under each, flagging secret-labeled
+/// observations.
+///
+/// # Examples
+///
+/// ```
+/// use pitchfork::{Detector, DetectorOptions};
+/// use sct_core::examples::fig1;
+///
+/// let (program, config) = fig1();
+/// let report = Detector::new(DetectorOptions::default()).analyze(&program, &config);
+/// assert!(report.has_violations());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Detector {
+    options: DetectorOptions,
+}
+
+impl Detector {
+    /// A detector with the given options.
+    pub fn new(options: DetectorOptions) -> Self {
+        Detector { options }
+    }
+
+    /// Analyze a program from a concrete initial configuration.
+    pub fn analyze(&self, program: &Program, config: &Config) -> Report {
+        let explorer = Explorer::with_params(program, self.options.params, self.options.explorer);
+        explorer.explore(SymState::from_config(config))
+    }
+
+    /// Analyze with the given registers replaced by fresh symbolic
+    /// inputs (labels taken from the concrete configuration), covering
+    /// all public input values instead of the one in `config`.
+    pub fn analyze_symbolic(
+        &self,
+        program: &Program,
+        config: &Config,
+        symbolic_regs: &[Reg],
+    ) -> Report {
+        let explorer = Explorer::with_params(program, self.options.params, self.options.explorer);
+        explorer.explore(SymState::from_config_symbolizing(config, symbolic_regs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::examples::fig1;
+    use sct_core::reg::names::RA;
+
+    #[test]
+    fn default_detector_flags_fig1() {
+        let (p, cfg) = fig1();
+        let report = Detector::new(DetectorOptions::default()).analyze(&p, &cfg);
+        assert!(report.has_violations());
+    }
+
+    #[test]
+    fn symbolic_index_also_flags_fig1() {
+        // Even from an in-bounds concrete index, symbolizing `ra` lets
+        // the mispredicted out-of-bounds path carry a symbolic index.
+        let (p, mut cfg) = fig1();
+        cfg.regs.write(RA, sct_core::Val::public(1));
+        let d = Detector::new(DetectorOptions::default());
+        let report = d.analyze_symbolic(&p, &cfg, &[RA]);
+        assert!(report.has_violations(), "{report}");
+    }
+
+    #[test]
+    fn v1_and_v4_modes_differ_in_forwarding() {
+        assert!(!DetectorOptions::v1_mode(250).explorer.forwarding_hazards);
+        assert!(DetectorOptions::v4_mode(20).explorer.forwarding_hazards);
+    }
+}

@@ -1,0 +1,52 @@
+//! # pitchfork
+//!
+//! A reimplementation of **Pitchfork**, the speculative constant-time
+//! violation detector of "Constant-Time Foundations for the New Spectre
+//! Era" (Cauligi et al., PLDI 2020, §4).
+//!
+//! Pitchfork generates a set of *worst-case schedules* (Definition
+//! B.18) parametrized by a **speculation bound**, and symbolically
+//! executes the program under each, flagging any observation that
+//! carries a secret label. The schedule set is sound for the fragment
+//! the paper's tool exercises: if any schedule leaks, a worst-case
+//! schedule leaks (Theorem B.20).
+//!
+//! Two analysis modes mirror §4.2.1:
+//!
+//! * [`DetectorOptions::v1_mode`] — Spectre v1/v1.1: store addresses
+//!   resolve eagerly; deep speculation bounds stay tractable (the paper
+//!   used 250);
+//! * [`DetectorOptions::v4_mode`] — Spectre v4: additionally explores
+//!   delayed store-address resolution (forwarding hazards), requiring a
+//!   reduced bound (the paper used 20).
+//!
+//! # Example
+//!
+//! ```
+//! use pitchfork::{Detector, DetectorOptions};
+//! use sct_core::examples::fig1;
+//!
+//! let (program, config) = fig1();
+//! let report = Detector::new(DetectorOptions::v1_mode(20)).analyze(&program, &config);
+//! assert!(report.has_violations(), "Spectre v1 is flagged");
+//! for v in &report.violations {
+//!     println!("{v}");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod detector;
+pub mod explorer;
+pub mod machine;
+pub mod repair;
+pub mod report;
+pub mod state;
+
+pub use detector::{Detector, DetectorOptions};
+pub use explorer::{Explorer, ExplorerOptions};
+pub use machine::SymMachine;
+pub use repair::{insert_fences, repair, suggest_fences, RepairError, Repaired};
+pub use report::{ExploreStats, Report, Violation};
+pub use state::SymState;

@@ -1,0 +1,133 @@
+//! The `pitchfork` command-line tool: analyze `.sasm` assembly files for
+//! speculative constant-time violations.
+//!
+//! ```text
+//! pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose] FILE...
+//! ```
+
+use pitchfork::{Detector, DetectorOptions, ExplorerOptions};
+use sct_core::{Params, Reg};
+use std::process::ExitCode;
+
+struct Cli {
+    bound: usize,
+    fwd_hazards: bool,
+    symbolic: Vec<Reg>,
+    verbose: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose] FILE..."
+    );
+    eprintln!();
+    eprintln!("Analyze sct assembly files for speculative constant-time violations.");
+    eprintln!("  --bound N        speculation bound (default 20; paper: 250 without");
+    eprintln!("                   forwarding hazards, 20 with)");
+    eprintln!("  --fwd-hazards    explore store-forwarding hazards (Spectre v4 mode)");
+    eprintln!("  --symbolic LIST  treat these registers as symbolic inputs");
+    eprintln!("  --verbose        print schedules and traces for each violation");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        bound: 20,
+        fwd_hazards: false,
+        symbolic: Vec::new(),
+        verbose: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bound" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.bound = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--fwd-hazards" => cli.fwd_hazards = true,
+            "--symbolic" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                for name in v.split(',') {
+                    match Reg::parse(name.trim()) {
+                        Some(r) => cli.symbolic.push(r),
+                        None => {
+                            eprintln!("unknown register `{name}`");
+                            usage();
+                        }
+                    }
+                }
+            }
+            "--verbose" => cli.verbose = true,
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => cli.files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if cli.files.is_empty() {
+        usage();
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    let options = DetectorOptions {
+        explorer: ExplorerOptions {
+            spec_bound: cli.bound,
+            forwarding_hazards: cli.fwd_hazards,
+            ..Default::default()
+        },
+        params: Params::paper(),
+    };
+    let detector = Detector::new(options);
+    let mut any_violation = false;
+    for file in &cli.files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let asm = match sct_asm::assemble(&src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = if cli.symbolic.is_empty() {
+            detector.analyze(&asm.program, &asm.config)
+        } else {
+            detector.analyze_symbolic(&asm.program, &asm.config, &cli.symbolic)
+        };
+        any_violation |= report.has_violations();
+        println!(
+            "{file}: {} ({} states, {} schedules explored{})",
+            report.verdict(),
+            report.stats.states,
+            report.stats.schedules,
+            if report.stats.truncated {
+                ", truncated"
+            } else {
+                ""
+            }
+        );
+        if cli.verbose {
+            for v in &report.violations {
+                // Map the flagged program point back to a source line.
+                if let Some(line) = asm.lines.get(&v.pc) {
+                    println!("  (near source line {line})");
+                }
+                print!("{v}");
+            }
+        }
+    }
+    if any_violation {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

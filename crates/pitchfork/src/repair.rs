@@ -1,0 +1,274 @@
+//! **Extension**: automatic fence repair.
+//!
+//! The paper's conclusion names proving countermeasures effective as
+//! future work; this module closes the loop mechanically: given a
+//! violation report, propose `fence` insertion points, splice them into
+//! the program (renumbering program points), and re-analyze until the
+//! detector is satisfied.
+//!
+//! The heuristic mirrors how the Figure 8 mitigation works:
+//!
+//! * for a violation reached through a mispredicted branch, fence the
+//!   *speculatively taken* arm (right at the branch's guessed target);
+//! * for a store-bypass (v4) violation with no branch involved, fence
+//!   immediately before the load that observed stale memory.
+
+use crate::detector::{Detector, DetectorOptions};
+use crate::report::Report;
+use sct_core::{Config, Directive, Instr, Machine, Pc, Program};
+use std::collections::BTreeSet;
+
+/// Errors from the repair pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RepairError {
+    /// The program contains indirect jumps; renumbering cannot patch
+    /// code addresses held in data, so repair refuses.
+    HasIndirectJumps,
+    /// No insertion point could be derived from the report.
+    NoCandidate,
+    /// The fence budget was exhausted before the program became clean.
+    BudgetExhausted {
+        /// Fences inserted before giving up.
+        inserted: usize,
+    },
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::HasIndirectJumps => {
+                write!(f, "cannot renumber programs with indirect jumps")
+            }
+            RepairError::NoCandidate => write!(f, "no fence insertion point derivable"),
+            RepairError::BudgetExhausted { inserted } => {
+                write!(f, "still leaking after inserting {inserted} fence(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Insert a `fence` *before* each program point in `points`,
+/// renumbering every later program point and remapping all direct
+/// control-flow references.
+///
+/// # Errors
+///
+/// [`RepairError::HasIndirectJumps`] when the program contains `jmpi`
+/// (their targets are data and cannot be renumbered safely).
+pub fn insert_fences(program: &Program, points: &BTreeSet<Pc>) -> Result<Program, RepairError> {
+    if program.iter().any(|(_, i)| matches!(i, Instr::Jmpi { .. })) {
+        return Err(RepairError::HasIndirectJumps);
+    }
+    let shift = |p: Pc| -> Pc { p + points.iter().filter(|&&s| s <= p).count() as Pc };
+    // Control transfers to an insertion point must enter *through* the
+    // fence, which sits one slot before the shifted instruction.
+    let target = |p: Pc| -> Pc {
+        if points.contains(&p) {
+            shift(p) - 1
+        } else {
+            shift(p)
+        }
+    };
+    let mut out = Program::new();
+    out.entry = target(program.entry);
+    for (pc, instr) in program.iter() {
+        let new_pc = shift(pc);
+        if points.contains(&pc) {
+            // The fence occupies the slot just before the shifted
+            // instruction and falls through to it.
+            out.insert(new_pc - 1, Instr::Fence { next: new_pc });
+        }
+        let remapped = match instr.clone() {
+            Instr::Op { dst, op, args, next } => Instr::Op {
+                dst,
+                op,
+                args,
+                next: target(next),
+            },
+            Instr::Load { dst, addr, next } => Instr::Load {
+                dst,
+                addr,
+                next: target(next),
+            },
+            Instr::Store { src, addr, next } => Instr::Store {
+                src,
+                addr,
+                next: target(next),
+            },
+            Instr::Fence { next } => Instr::Fence { next: target(next) },
+            Instr::Br { op, args, tru, fls } => Instr::Br {
+                op,
+                args,
+                tru: target(tru),
+                fls: target(fls),
+            },
+            Instr::Call { callee, ret } => Instr::Call {
+                callee: target(callee),
+                ret: target(ret),
+            },
+            Instr::Ret => Instr::Ret,
+            Instr::Jmpi { .. } => unreachable!("rejected above"),
+        };
+        out.insert(new_pc, remapped);
+    }
+    Ok(out)
+}
+
+/// Derive fence insertion points from a report by replaying each
+/// violation's schedule on the reference machine.
+pub fn suggest_fences(program: &Program, config: &Config, report: &Report) -> BTreeSet<Pc> {
+    let mut points = BTreeSet::new();
+    for v in &report.violations {
+        if let Some(p) = suggest_for_schedule(program, config, &v.schedule) {
+            points.insert(p);
+        }
+    }
+    points
+}
+
+/// Replay one violating schedule and pick the insertion point.
+fn suggest_for_schedule(
+    program: &Program,
+    config: &Config,
+    schedule: &sct_core::Schedule,
+) -> Option<Pc> {
+    let mut m = Machine::new(program, config.clone());
+    let mut last_branch_target: Option<Pc> = None;
+    for d in schedule.iter() {
+        // Record where a branch fetch speculates to *before* stepping.
+        if let Directive::FetchBranch(taken) = d {
+            if let Some(Instr::Br { tru, fls, .. }) = program.fetch(m.cfg.pc) {
+                last_branch_target = Some(if taken { *tru } else { *fls });
+            }
+        }
+        // For load executions, remember the load's program point in
+        // case this is the leaking step.
+        let load_pp = d.target_index().and_then(|i| match m.cfg.rob.get(i) {
+            Some(sct_core::transient::Transient::Load { pp, .. }) => Some(*pp),
+            _ => None,
+        });
+        let obs = m.step(d).ok()?;
+        if obs.iter().any(|o| o.is_secret()) {
+            // Prefer fencing the mispredicted arm; otherwise fence the
+            // leaking load itself (v4-style repair).
+            return last_branch_target.or(load_pp);
+        }
+    }
+    None
+}
+
+/// Outcome of an iterative repair.
+#[derive(Clone, Debug)]
+pub struct Repaired {
+    /// The fenced program.
+    pub program: Program,
+    /// The insertion points chosen, in original program-point numbering
+    /// per round (round-by-round).
+    pub rounds: Vec<BTreeSet<Pc>>,
+    /// The final (clean) report.
+    pub report: Report,
+}
+
+/// Iteratively insert fences until the detector reports the program
+/// clean, up to `max_rounds`.
+///
+/// # Errors
+///
+/// * [`RepairError::HasIndirectJumps`] for programs with `jmpi`;
+/// * [`RepairError::NoCandidate`] when a violation yields no insertion
+///   point;
+/// * [`RepairError::BudgetExhausted`] when `max_rounds` rounds do not
+///   suffice.
+pub fn repair(
+    program: &Program,
+    config: &Config,
+    options: DetectorOptions,
+    max_rounds: usize,
+) -> Result<Repaired, RepairError> {
+    let detector = Detector::new(options);
+    let mut current = program.clone();
+    let mut rounds = Vec::new();
+    let mut inserted = 0usize;
+    for _ in 0..max_rounds {
+        let report = detector.analyze(&current, config);
+        if !report.has_violations() {
+            return Ok(Repaired {
+                program: current,
+                rounds,
+                report,
+            });
+        }
+        let points = suggest_fences(&current, config, &report);
+        if points.is_empty() {
+            return Err(RepairError::NoCandidate);
+        }
+        inserted += points.len();
+        current = insert_fences(&current, &points)?;
+        rounds.push(points);
+    }
+    let report = detector.analyze(&current, config);
+    if report.has_violations() {
+        Err(RepairError::BudgetExhausted { inserted })
+    } else {
+        Ok(Repaired {
+            program: current,
+            rounds,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::examples::fig1;
+    use sct_core::sched::sequential::run_sequential;
+    use sct_core::Params;
+
+    #[test]
+    fn insert_fences_renumbers_consistently() {
+        let (p, _) = fig1();
+        let points: BTreeSet<Pc> = [2].into_iter().collect();
+        let fenced = insert_fences(&p, &points).unwrap();
+        // One extra instruction; the branch's true arm now points at
+        // the fence's slot... the branch targets shift with the block.
+        assert_eq!(fenced.len(), p.len() + 1);
+        match fenced.fetch(2) {
+            Some(Instr::Fence { next }) => assert_eq!(*next, 3),
+            other => panic!("expected fence at 2, got {other:?}"),
+        }
+        match fenced.fetch(1) {
+            Some(Instr::Br { tru, fls, .. }) => {
+                // The guarded arm (old 2) enters through the fence at
+                // its slot (2); the other arm (old 4) just shifts to 5.
+                assert_eq!((*tru, *fls), (2, 5));
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_fixes_fig1_and_preserves_sequential_behaviour() {
+        let (p, c) = fig1();
+        let repaired = repair(&p, &c, DetectorOptions::v1_mode(20), 4).unwrap();
+        assert!(!repaired.report.has_violations());
+        assert!(!repaired.rounds.is_empty());
+        // Sequential architectural behaviour is unchanged. (Traces are
+        // compared modulo renumbering: jump-target observations shift
+        // with the inserted fences, data addresses do not.)
+        let before = run_sequential(&p, c.clone(), Params::paper(), 10_000).unwrap();
+        let after = run_sequential(&repaired.program, c, Params::paper(), 10_000).unwrap();
+        assert!(before.config.arch_equivalent(&after.config));
+        assert_eq!(before.outcome.trace.len(), after.outcome.trace.len());
+        for (x, y) in before.outcome.trace.iter().zip(after.outcome.trace.iter()) {
+            use sct_core::Observation::*;
+            match (x, y) {
+                (Jump { label: la, .. }, Jump { label: lb, .. }) => assert_eq!(la, lb),
+                other => assert_eq!(other.0, other.1),
+            }
+        }
+        assert!(after.outcome.trace.is_public());
+    }
+}

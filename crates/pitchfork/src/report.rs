@@ -1,0 +1,138 @@
+//! Violation reports.
+
+use sct_core::{Observation, Pc, Schedule};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One speculative constant-time violation found by the explorer.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The secret-labeled observation that witnessed the leak.
+    pub observation: Observation,
+    /// The schedule prefix (worst-case attacker directives) leading to it.
+    pub schedule: Schedule,
+    /// The full observation trace up to and including the witness.
+    pub trace: Vec<Observation>,
+    /// The program point of the most recently fetched instruction when
+    /// the leak occurred (best-effort source attribution).
+    pub pc: Pc,
+    /// Path constraints active when the leak occurred (rendered).
+    pub constraints: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {}", self.observation)?;
+        writeln!(f, "  near program point {}", self.pc)?;
+        writeln!(f, "  schedule: {}", self.schedule)?;
+        write!(f, "  trace:")?;
+        for o in &self.trace {
+            write!(f, " {o};")?;
+        }
+        writeln!(f)?;
+        if !self.constraints.is_empty() {
+            writeln!(f, "  path constraints:")?;
+            for c in &self.constraints {
+                writeln!(f, "    {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exploration statistics (used by the tractability benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Symbolic states expanded.
+    pub states: usize,
+    /// Complete schedules (paths run to completion or violation).
+    pub schedules: usize,
+    /// Machine steps taken.
+    pub steps: usize,
+    /// Solver feasibility queries issued.
+    pub solver_queries: usize,
+    /// `true` when exploration hit the state budget and stopped early.
+    pub truncated: bool,
+}
+
+/// The analysis report for one program.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All violations found (possibly several per instruction).
+    pub violations: Vec<Violation>,
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+}
+
+impl Report {
+    /// `true` when at least one violation was found.
+    pub fn has_violations(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// The distinct program points flagged.
+    pub fn flagged_pcs(&self) -> BTreeSet<Pc> {
+        self.violations.iter().map(|v| v.pc).collect()
+    }
+
+    /// A one-line verdict.
+    pub fn verdict(&self) -> &'static str {
+        if self.has_violations() {
+            "VIOLATION"
+        } else {
+            "secure (within bound)"
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} violation(s); {} states, {} schedules, {} steps{}",
+            self.verdict(),
+            self.violations.len(),
+            self.stats.states,
+            self.stats.schedules,
+            self.stats.steps,
+            if self.stats.truncated {
+                " (truncated)"
+            } else {
+                ""
+            }
+        )?;
+        for v in &self.violations {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::Label;
+
+    #[test]
+    fn report_verdicts() {
+        let mut r = Report::default();
+        assert!(!r.has_violations());
+        assert_eq!(r.verdict(), "secure (within bound)");
+        r.violations.push(Violation {
+            observation: Observation::Read {
+                addr: 0x66,
+                label: Label::Secret,
+            },
+            schedule: Schedule::new(),
+            trace: vec![],
+            pc: 3,
+            constraints: vec![],
+        });
+        assert!(r.has_violations());
+        assert_eq!(r.verdict(), "VIOLATION");
+        assert!(r.flagged_pcs().contains(&3));
+        let text = r.to_string();
+        assert!(text.contains("VIOLATION"));
+        assert!(text.contains("read 0x66sec"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Symbolic machine state: the symbolic analogue of a configuration.
+
+use sct_core::instr::Operand;
+use sct_core::rob::Rob;
+use sct_core::rsb::Rsb;
+use sct_core::{Config, Directive, Label, Observation, OpCode, Pc, Reg, Schedule};
+use sct_symx::{Expr, SymMemory, SymRegFile, SymVal, VarPool};
+use std::fmt;
+
+/// Provenance of a resolved symbolic load (`{j, a}` with a concretized
+/// address).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SymProvenance {
+    /// Forwarding source: `Some(j)` for a store at buffer index `j`,
+    /// `None` for memory (`⊥`).
+    pub dep: Option<usize>,
+    /// The (concretized) address the load is bound to.
+    pub addr: u64,
+}
+
+impl SymProvenance {
+    /// `⊥ < i` convention of the store hazard check.
+    pub fn dep_lt(&self, i: usize) -> bool {
+        self.dep.is_none_or(|j| j < i)
+    }
+}
+
+/// Resolution state of a symbolic store's data operand.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymStoreData {
+    /// Unresolved operand.
+    Pending(Operand),
+    /// Resolved symbolic value.
+    Resolved(SymVal),
+}
+
+impl SymStoreData {
+    /// The resolved value, if any.
+    pub fn resolved(&self) -> Option<&SymVal> {
+        match self {
+            SymStoreData::Resolved(v) => Some(v),
+            SymStoreData::Pending(_) => None,
+        }
+    }
+}
+
+/// Resolution state of a symbolic store's address.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymStoreAddr {
+    /// Unresolved operands.
+    Pending(Vec<Operand>),
+    /// Concretized address with the label of its computation.
+    Resolved(u64, Label),
+}
+
+impl SymStoreAddr {
+    /// The resolved address and label, if any.
+    pub fn resolved(&self) -> Option<(u64, Label)> {
+        match self {
+            SymStoreAddr::Resolved(a, l) => Some((*a, *l)),
+            SymStoreAddr::Pending(_) => None,
+        }
+    }
+}
+
+/// A symbolic transient instruction (Table 1, symbolic values).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymTransient {
+    /// Unresolved arithmetic operation.
+    Op {
+        /// Destination register.
+        dst: Reg,
+        /// Opcode.
+        op: OpCode,
+        /// Operands.
+        args: Vec<Operand>,
+    },
+    /// Resolved value.
+    Value {
+        /// Destination register.
+        dst: Reg,
+        /// Value.
+        val: SymVal,
+    },
+    /// Unresolved conditional branch with recorded guess.
+    Br {
+        /// Boolean opcode.
+        op: OpCode,
+        /// Condition operands.
+        args: Vec<Operand>,
+        /// Speculatively taken target.
+        guess: Pc,
+        /// True target.
+        tru: Pc,
+        /// False target.
+        fls: Pc,
+    },
+    /// Resolved jump.
+    Jump {
+        /// Target.
+        target: Pc,
+    },
+    /// Unresolved load.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address operands.
+        addr: Vec<Operand>,
+        /// Originating program point.
+        pp: Pc,
+    },
+    /// Resolved load with provenance.
+    LoadedValue {
+        /// Destination register.
+        dst: Reg,
+        /// Value.
+        val: SymVal,
+        /// Provenance.
+        prov: SymProvenance,
+        /// Originating program point.
+        pp: Pc,
+    },
+    /// Alias-predicted partially-resolved load (§3.5).
+    LoadGuessed {
+        /// Destination register.
+        dst: Reg,
+        /// Address operands.
+        addr: Vec<Operand>,
+        /// Forwarded value.
+        fwd: SymVal,
+        /// Originating store index.
+        from: usize,
+        /// Originating program point.
+        pp: Pc,
+    },
+    /// Store with independently resolving data and address.
+    Store {
+        /// Data state.
+        data: SymStoreData,
+        /// Address state.
+        addr: SymStoreAddr,
+    },
+    /// Unresolved indirect jump with predicted target.
+    Jmpi {
+        /// Target operands.
+        args: Vec<Operand>,
+        /// Predicted target.
+        guess: Pc,
+    },
+    /// `call` marker.
+    Call,
+    /// `ret` marker.
+    Ret,
+    /// Speculation barrier.
+    Fence,
+}
+
+impl SymTransient {
+    /// Assignment view for the register-resolve function (mirrors
+    /// [`sct_core::transient::Transient::assignment`]).
+    pub fn assignment(&self) -> Option<(Reg, Option<&SymVal>)> {
+        match self {
+            SymTransient::Op { dst, .. } | SymTransient::Load { dst, .. } => Some((*dst, None)),
+            SymTransient::Value { dst, val } => Some((*dst, Some(val))),
+            SymTransient::LoadedValue { dst, val, .. } => Some((*dst, Some(val))),
+            SymTransient::LoadGuessed { dst, fwd, .. } => Some((*dst, Some(fwd))),
+            _ => None,
+        }
+    }
+
+    /// `true` for the fence marker.
+    pub fn is_fence(&self) -> bool {
+        matches!(self, SymTransient::Fence)
+    }
+
+    /// `true` when fully resolved (ready to retire on its own).
+    pub fn is_resolved(&self) -> bool {
+        match self {
+            SymTransient::Value { .. }
+            | SymTransient::Jump { .. }
+            | SymTransient::LoadedValue { .. }
+            | SymTransient::Fence
+            | SymTransient::Call
+            | SymTransient::Ret => true,
+            SymTransient::Store { data, addr } => {
+                data.resolved().is_some() && addr.resolved().is_some()
+            }
+            _ => false,
+        }
+    }
+
+    /// Resolved store address, if this is such a store.
+    pub fn store_resolved_addr(&self) -> Option<(u64, Label)> {
+        match self {
+            SymTransient::Store { addr, .. } => addr.resolved(),
+            _ => None,
+        }
+    }
+
+    /// Resolved store data, if this is such a store.
+    pub fn store_resolved_data(&self) -> Option<&SymVal> {
+        match self {
+            SymTransient::Store { data, .. } => data.resolved(),
+            _ => None,
+        }
+    }
+
+    /// Diagnostic kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SymTransient::Op { .. } => "op",
+            SymTransient::Value { .. } => "value",
+            SymTransient::Br { .. } => "br",
+            SymTransient::Jump { .. } => "jump",
+            SymTransient::Load { .. } => "load",
+            SymTransient::LoadedValue { .. } => "loaded-value",
+            SymTransient::LoadGuessed { .. } => "load-guessed",
+            SymTransient::Store { .. } => "store",
+            SymTransient::Jmpi { .. } => "jmpi",
+            SymTransient::Call => "call",
+            SymTransient::Ret => "ret",
+            SymTransient::Fence => "fence",
+        }
+    }
+}
+
+impl fmt::Display for SymTransient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymTransient::Value { dst, val } => write!(f, "({dst} = {val})"),
+            SymTransient::Jump { target } => write!(f, "jump {target}"),
+            SymTransient::LoadedValue { dst, val, prov, .. } => match prov.dep {
+                Some(j) => write!(f, "({dst} = {val}{{{j}, {:#x}}})", prov.addr),
+                None => write!(f, "({dst} = {val}{{⊥, {:#x}}})", prov.addr),
+            },
+            other => write!(f, "{}", other.kind()),
+        }
+    }
+}
+
+/// A symbolic execution state: configuration + path condition +
+/// accumulated schedule/trace.
+#[derive(Clone, Debug)]
+pub struct SymState {
+    /// Symbolic register file.
+    pub regs: SymRegFile,
+    /// Symbolic memory (concrete addresses).
+    pub mem: SymMemory,
+    /// Current (concrete) program point.
+    pub pc: Pc,
+    /// Reorder buffer of symbolic transients.
+    pub rob: Rob<SymTransient>,
+    /// Return stack buffer.
+    pub rsb: Rsb,
+    /// Path condition: all constraints must be non-zero.
+    pub constraints: Vec<Expr>,
+    /// Variable pool (symbolic inputs minted so far).
+    pub pool: VarPool,
+    /// The schedule of directives taken along this path.
+    pub schedule: Schedule,
+    /// The observation trace along this path.
+    pub trace: Vec<Observation>,
+}
+
+impl SymState {
+    /// Lift a concrete initial configuration.
+    pub fn from_config(config: &Config) -> Self {
+        SymState {
+            regs: SymRegFile::from_concrete(&config.regs),
+            mem: SymMemory::from_concrete(&config.mem),
+            pc: config.pc,
+            rob: Rob::new(),
+            rsb: config.rsb.clone(),
+            constraints: Vec::new(),
+            pool: VarPool::new(),
+            schedule: Schedule::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Lift a concrete configuration, replacing the values of the given
+    /// registers with fresh symbolic variables (labels preserved from the
+    /// concrete values). This is how public inputs become symbolic.
+    pub fn from_config_symbolizing(config: &Config, symbolic_regs: &[Reg]) -> Self {
+        let mut st = SymState::from_config(config);
+        for &r in symbolic_regs {
+            let label = config.regs.read(r).label;
+            let (v, _) = SymVal::fresh(&mut st.pool, r.name(), label);
+            st.regs.write(r, v);
+        }
+        st
+    }
+
+    /// Record one executed directive and its observations.
+    pub fn record(&mut self, d: Directive, obs: &[Observation]) {
+        self.schedule.push(d);
+        self.trace.extend_from_slice(obs);
+    }
+
+    /// Add a path constraint.
+    pub fn assume(&mut self, e: Expr) {
+        if e.as_const() != Some(1) {
+            self.constraints.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::reg::names::*;
+    use sct_core::Val;
+
+    #[test]
+    fn lifting_preserves_architectural_state() {
+        let (_, cfg) = sct_core::examples::fig1();
+        let st = SymState::from_config(&cfg);
+        assert_eq!(st.pc, cfg.pc);
+        assert_eq!(
+            st.regs.read(RA).as_const(),
+            Some(cfg.regs.read(RA))
+        );
+        assert_eq!(
+            st.mem.read(0x49).as_const(),
+            Some(cfg.mem.read(0x49))
+        );
+        assert!(st.constraints.is_empty());
+    }
+
+    #[test]
+    fn symbolizing_replaces_values_keeps_labels() {
+        let (_, mut cfg) = sct_core::examples::fig1();
+        cfg.regs.write(RB, Val::secret(3));
+        let st = SymState::from_config_symbolizing(&cfg, &[RA, RB]);
+        assert!(st.regs.read(RA).as_const().is_none());
+        assert!(st.regs.read(RA).label.is_public());
+        assert!(st.regs.read(RB).label.is_secret());
+        assert_eq!(st.pool.len(), 2);
+    }
+
+    #[test]
+    fn assume_skips_trivially_true() {
+        let (_, cfg) = sct_core::examples::fig1();
+        let mut st = SymState::from_config(&cfg);
+        st.assume(Expr::constant(1));
+        assert!(st.constraints.is_empty());
+        st.assume(Expr::constant(0));
+        assert_eq!(st.constraints.len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! CLI smoke tests: run the `pitchfork` binary on corpus-shaped inputs
+//! and check exit codes and output.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> (String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pitchfork"))
+        .args(args)
+        .output()
+        .expect("pitchfork binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (text, out.status.code())
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("pitchfork_cli_{}_{}.sasm", name, std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const GADGET: &str = r"
+.entry start
+.reg ra = 9
+.public 0x40 = 1, 0, 2, 1
+.secret 0x48 = 0x11, 0x22, 0x33, 0x44
+start:
+    br gt(4, ra), then, out
+then:
+    rb = load [0x40, ra]
+    rc = load [0x44, rb]
+out:
+";
+
+#[test]
+fn flags_a_gadget_with_exit_code_one() {
+    let path = write_temp("gadget", GADGET);
+    let (text, code) = run_cli(&["--bound", "16", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("VIOLATION"), "{text}");
+}
+
+#[test]
+fn verbose_mode_prints_schedules() {
+    let path = write_temp("verbose", GADGET);
+    let (text, code) = run_cli(&["--verbose", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(1));
+    assert!(text.contains("schedule:"), "{text}");
+    assert!(text.contains("fetch"), "{text}");
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let clean = "start:\n    ra = add 1, 2\n";
+    let path = write_temp("clean", clean);
+    let (text, code) = run_cli(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(0), "{text}");
+    assert!(text.contains("secure"), "{text}");
+}
+
+#[test]
+fn parse_errors_exit_two() {
+    let path = write_temp("bad", "start:\n    bogus ra\n");
+    let (text, code) = run_cli(&[path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(2), "{text}");
+    assert!(text.contains("unknown mnemonic"), "{text}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let (_, code) = run_cli(&["/nonexistent/file.sasm"]);
+    assert_eq!(code, Some(2));
+}
+
+#[test]
+fn usage_on_no_files() {
+    let (text, code) = run_cli(&[]);
+    assert_eq!(code, Some(2));
+    assert!(text.contains("usage"), "{text}");
+}

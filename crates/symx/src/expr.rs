@@ -1,0 +1,333 @@
+//! Symbolic bit-vector expressions over 64-bit words.
+//!
+//! Expressions are immutable reference-counted trees. Constructors fold
+//! constants eagerly (by delegating to the *concrete* evaluator of
+//! `sct-core`, so symbolic and concrete semantics cannot drift) and apply
+//! the algebraic simplifications of [`crate::simplify`].
+
+use sct_core::op::{self, OpCode};
+use sct_core::Val;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A symbolic input variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An assignment of concrete values to variables (default 0).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Model {
+    map: std::collections::BTreeMap<VarId, u64>,
+}
+
+impl Model {
+    /// The all-zero model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Look up a variable (0 when unassigned).
+    pub fn get(&self, v: VarId) -> u64 {
+        self.map.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Assign a variable.
+    pub fn set(&mut self, v: VarId, value: u64) {
+        self.map.insert(v, value);
+    }
+
+    /// Iterate over explicit assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.map.iter().map(|(&v, &x)| (v, x))
+    }
+}
+
+impl FromIterator<(VarId, u64)> for Model {
+    fn from_iter<I: IntoIterator<Item = (VarId, u64)>>(iter: I) -> Self {
+        Model {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[derive(PartialEq, Eq, Hash, Debug)]
+pub(crate) enum Node {
+    Const(u64),
+    Var(VarId),
+    App(OpCode, Vec<Expr>),
+}
+
+/// A symbolic expression (cheap to clone).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Expr(pub(crate) Rc<Node>);
+
+impl Expr {
+    /// A constant.
+    pub fn constant(v: u64) -> Expr {
+        Expr(Rc::new(Node::Const(v)))
+    }
+
+    /// A variable.
+    pub fn var(v: VarId) -> Expr {
+        Expr(Rc::new(Node::Var(v)))
+    }
+
+    /// Apply an opcode, folding constants and simplifying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count violates the opcode's arity — callers
+    /// construct applications from machine instructions, which were
+    /// arity-checked at assembly time.
+    pub fn app(opcode: OpCode, args: Vec<Expr>) -> Expr {
+        // Constant folding through the concrete evaluator.
+        if let Some(consts) = args
+            .iter()
+            .map(|a| a.as_const())
+            .collect::<Option<Vec<u64>>>()
+        {
+            let vals: Vec<Val> = consts.into_iter().map(Val::public).collect();
+            let folded = op::eval(opcode, &vals).expect("arity checked upstream");
+            return Expr::constant(folded.bits);
+        }
+        crate::simplify::simplify_app(opcode, args)
+    }
+
+    /// Raw application without simplification (used by the simplifier to
+    /// terminate).
+    pub(crate) fn raw_app(opcode: OpCode, args: Vec<Expr>) -> Expr {
+        Expr(Rc::new(Node::App(opcode, args)))
+    }
+
+    /// The constant value, if this expression is a constant.
+    pub fn as_const(&self) -> Option<u64> {
+        match &*self.0 {
+            Node::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The variable, if this expression is one.
+    pub fn as_var(&self) -> Option<VarId> {
+        match &*self.0 {
+            Node::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// `true` when the expression contains no variables.
+    pub fn is_concrete(&self) -> bool {
+        self.as_const().is_some()
+    }
+
+    /// Evaluate under a model (total: missing variables read 0).
+    pub fn eval(&self, model: &Model) -> u64 {
+        match &*self.0 {
+            Node::Const(v) => *v,
+            Node::Var(v) => model.get(*v),
+            Node::App(opcode, args) => {
+                let vals: Vec<Val> = args
+                    .iter()
+                    .map(|a| Val::public(a.eval(model)))
+                    .collect();
+                op::eval(*opcode, &vals)
+                    .expect("arity checked at construction")
+                    .bits
+            }
+        }
+    }
+
+    /// Collect the variables occurring in the expression.
+    pub fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match &*self.0 {
+            Node::Const(_) => {}
+            Node::Var(v) => {
+                out.insert(*v);
+            }
+            Node::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The variables occurring in the expression.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut s = BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Number of nodes (used to bound simplifier work).
+    pub fn size(&self) -> usize {
+        match &*self.0 {
+            Node::Const(_) | Node::Var(_) => 1,
+            Node::App(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// Structural equality with a pointer fast path.
+    pub fn same(&self, other: &Expr) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self == other
+    }
+
+    /// All constants occurring in the expression (seed values for the
+    /// solver's candidate search).
+    pub fn collect_consts(&self, out: &mut BTreeSet<u64>) {
+        match &*self.0 {
+            Node::Const(v) => {
+                out.insert(*v);
+            }
+            Node::Var(_) => {}
+            Node::App(_, args) => {
+                for a in args {
+                    a.collect_consts(out);
+                }
+            }
+        }
+    }
+}
+
+impl From<u64> for Expr {
+    fn from(v: u64) -> Self {
+        Expr::constant(v)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.0 {
+            Node::Const(v) => write!(f, "{v:#x}"),
+            Node::Var(v) => write!(f, "{v}"),
+            Node::App(opcode, args) => {
+                write!(f, "{}(", opcode.mnemonic())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Mints fresh variables with remembered debug names.
+#[derive(Clone, Debug, Default)]
+pub struct VarPool {
+    names: Vec<String>,
+}
+
+impl VarPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        VarPool::default()
+    }
+
+    /// Mint a fresh variable with a debug name.
+    pub fn fresh(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.into());
+        id
+    }
+
+    /// The debug name of a variable from this pool.
+    pub fn name(&self, v: VarId) -> Option<&str> {
+        self.names.get(v.0 as usize).map(String::as_str)
+    }
+
+    /// Number of minted variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no variable was minted.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold_through_concrete_evaluator() {
+        let e = Expr::app(
+            OpCode::Add,
+            vec![Expr::constant(2), Expr::constant(3), Expr::constant(4)],
+        );
+        assert_eq!(e.as_const(), Some(9));
+        let e = Expr::app(OpCode::Gt, vec![Expr::constant(4), Expr::constant(9)]);
+        assert_eq!(e.as_const(), Some(0));
+    }
+
+    #[test]
+    fn eval_matches_concrete_semantics_on_random_exprs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let op = OpCode::ALL[rng.gen_range(0..OpCode::ALL.len())];
+            let n = op.arity().unwrap_or(2).max(1);
+            let args: Vec<u64> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+            let sym = Expr::app(op, args.iter().map(|&v| Expr::constant(v)).collect());
+            let conc = op::eval(op, &args.iter().map(|&v| Val::public(v)).collect::<Vec<_>>())
+                .unwrap()
+                .bits;
+            assert_eq!(sym.as_const(), Some(conc), "{op:?} {args:?}");
+        }
+    }
+
+    #[test]
+    fn variables_evaluate_under_models() {
+        let x = VarId(0);
+        let e = Expr::app(OpCode::Add, vec![Expr::var(x), Expr::constant(5)]);
+        let mut m = Model::new();
+        assert_eq!(e.eval(&m), 5);
+        m.set(x, 10);
+        assert_eq!(e.eval(&m), 15);
+    }
+
+    #[test]
+    fn vars_and_consts_are_collected() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let e = Expr::app(
+            OpCode::Add,
+            vec![
+                Expr::var(x),
+                Expr::app(OpCode::Mul, vec![Expr::var(y), Expr::constant(8)]),
+            ],
+        );
+        assert_eq!(e.vars().len(), 2);
+        let mut consts = BTreeSet::new();
+        e.collect_consts(&mut consts);
+        assert!(consts.contains(&8));
+    }
+
+    #[test]
+    fn pool_names_variables() {
+        let mut pool = VarPool::new();
+        let a = pool.fresh("ra");
+        let b = pool.fresh("mem_0x48");
+        assert_eq!(pool.name(a), Some("ra"));
+        assert_eq!(pool.name(b), Some("mem_0x48"));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::app(OpCode::Add, vec![Expr::var(VarId(3)), Expr::constant(0x44)]);
+        assert_eq!(e.to_string(), "add(v3, 0x44)");
+    }
+}

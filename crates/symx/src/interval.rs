@@ -1,0 +1,282 @@
+//! Unsigned interval analysis over symbolic expressions.
+//!
+//! Used by the solver for cheap unsatisfiability proofs: if a
+//! constraint's interval is exactly `[0, 0]` it cannot be satisfied. The
+//! analysis is deliberately conservative — any operation that might wrap
+//! returns the full range.
+
+use crate::expr::{Expr, Node, VarId};
+use sct_core::op::OpCode;
+use std::collections::BTreeMap;
+
+/// A closed unsigned interval `[lo, hi]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The full 64-bit range.
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// A singleton interval.
+    pub fn point(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An interval from bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Interval {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// `true` iff the interval is the single value `v`.
+    pub fn is_point(&self, v: u64) -> bool {
+        self.lo == v && self.hi == v
+    }
+
+    /// `true` iff `v` lies in the interval.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Sum, or TOP on potential wrap.
+    fn add(self, other: Interval) -> Interval {
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Product, or TOP on potential wrap.
+    fn mul(self, other: Interval) -> Interval {
+        match (self.lo.checked_mul(other.lo), self.hi.checked_mul(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Difference, or TOP on potential wrap.
+    fn sub(self, other: Interval) -> Interval {
+        match (self.lo.checked_sub(other.hi), self.hi.checked_sub(other.lo)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    const BOOL: Interval = Interval { lo: 0, hi: 1 };
+}
+
+/// Per-variable interval assumptions (unlisted variables are TOP).
+pub type VarIntervals = BTreeMap<VarId, Interval>;
+
+/// Compute an interval over-approximation of `expr` under `vars`.
+pub fn interval_of(expr: &Expr, vars: &VarIntervals) -> Interval {
+    match &*expr.0 {
+        Node::Const(v) => Interval::point(*v),
+        Node::Var(v) => vars.get(v).copied().unwrap_or(Interval::TOP),
+        Node::App(opcode, args) => {
+            let iv: Vec<Interval> = args.iter().map(|a| interval_of(a, vars)).collect();
+            apply(*opcode, &iv)
+        }
+    }
+}
+
+fn apply(opcode: OpCode, iv: &[Interval]) -> Interval {
+    use OpCode::*;
+    match opcode {
+        Add | Addr => iv
+            .iter()
+            .copied()
+            .fold(Interval::point(0), Interval::add),
+        Mul => iv
+            .iter()
+            .copied()
+            .fold(Interval::point(1), Interval::mul),
+        Sub => iv[1..]
+            .iter()
+            .copied()
+            .fold(iv[0], Interval::sub),
+        Mov => iv[0],
+        // Comparison results are 0/1; sharpen when the intervals separate.
+        Eq => {
+            if iv[0].hi < iv[1].lo || iv[1].hi < iv[0].lo {
+                Interval::point(0)
+            } else if iv[0].is_point(iv[1].lo) && iv[1].is_point(iv[0].lo) {
+                Interval::point(1)
+            } else {
+                Interval::BOOL
+            }
+        }
+        Ne => {
+            if iv[0].hi < iv[1].lo || iv[1].hi < iv[0].lo {
+                Interval::point(1)
+            } else if iv[0].is_point(iv[1].lo) && iv[1].is_point(iv[0].lo) {
+                Interval::point(0)
+            } else {
+                Interval::BOOL
+            }
+        }
+        Lt => {
+            if iv[0].hi < iv[1].lo {
+                Interval::point(1)
+            } else if iv[0].lo >= iv[1].hi {
+                Interval::point(0)
+            } else {
+                Interval::BOOL
+            }
+        }
+        Le => {
+            if iv[0].hi <= iv[1].lo {
+                Interval::point(1)
+            } else if iv[0].lo > iv[1].hi {
+                Interval::point(0)
+            } else {
+                Interval::BOOL
+            }
+        }
+        Gt => {
+            if iv[0].lo > iv[1].hi {
+                Interval::point(1)
+            } else if iv[0].hi <= iv[1].lo {
+                Interval::point(0)
+            } else {
+                Interval::BOOL
+            }
+        }
+        Ge => {
+            if iv[0].lo >= iv[1].hi {
+                Interval::point(1)
+            } else if iv[0].hi < iv[1].lo {
+                Interval::point(0)
+            } else {
+                Interval::BOOL
+            }
+        }
+        SLt | SLe => Interval::BOOL,
+        // Bitwise/shift/abstract-stack results: give up precisely but
+        // cheaply. `x & y ≤ min(x, y)`, so the smallest operand `hi`
+        // bounds an `and`.
+        And => Interval {
+            lo: 0,
+            hi: iv.iter().map(|i| i.hi).min().unwrap_or(u64::MAX),
+        },
+        Or | Xor | Shl | Shr | Not | Succ | Pred => Interval::TOP,
+        Csel => {
+            let lo = iv[1].lo.min(iv[2].lo);
+            let hi = iv[1].hi.max(iv[2].hi);
+            Interval { lo, hi }
+        }
+    }
+}
+
+/// `true` when interval analysis proves the constraint can never be
+/// non-zero (i.e. the constraint is unsatisfiable).
+pub fn provably_false(expr: &Expr, vars: &VarIntervals) -> bool {
+    interval_of(expr, vars).is_point(0)
+}
+
+/// `true` when interval analysis proves the constraint is always
+/// non-zero under the assumptions.
+pub fn provably_true(expr: &Expr, vars: &VarIntervals) -> bool {
+    let iv = interval_of(expr, vars);
+    iv.lo >= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Expr {
+        Expr::var(VarId(0))
+    }
+
+    #[test]
+    fn constants_are_points() {
+        assert!(interval_of(&Expr::constant(7), &VarIntervals::new()).is_point(7));
+    }
+
+    #[test]
+    fn bounded_variable_comparison() {
+        let mut vars = VarIntervals::new();
+        vars.insert(VarId(0), Interval::new(0, 3));
+        // x < 4 is provably true; x > 9 provably false.
+        let lt = Expr::raw_app(OpCode::Lt, vec![x(), Expr::constant(4)]);
+        assert!(provably_true(&lt, &vars));
+        let gt = Expr::raw_app(OpCode::Gt, vec![x(), Expr::constant(9)]);
+        assert!(provably_false(&gt, &vars));
+    }
+
+    #[test]
+    fn unbounded_comparison_is_bool() {
+        let lt = Expr::raw_app(OpCode::Lt, vec![x(), Expr::constant(4)]);
+        let iv = interval_of(&lt, &VarIntervals::new());
+        assert_eq!(iv, Interval::BOOL);
+        assert!(!provably_false(&lt, &VarIntervals::new()));
+        assert!(!provably_true(&lt, &VarIntervals::new()));
+    }
+
+    #[test]
+    fn addition_tracks_bounds_without_wrap() {
+        let mut vars = VarIntervals::new();
+        vars.insert(VarId(0), Interval::new(1, 2));
+        let e = Expr::raw_app(OpCode::Add, vec![x(), Expr::constant(10)]);
+        assert_eq!(interval_of(&e, &vars), Interval::new(11, 12));
+        // Potential wrap collapses to TOP.
+        let e = Expr::raw_app(OpCode::Add, vec![x(), Expr::constant(u64::MAX)]);
+        assert_eq!(interval_of(&e, &vars), Interval::TOP);
+    }
+
+    #[test]
+    fn eq_separated_intervals_is_false() {
+        let mut vars = VarIntervals::new();
+        vars.insert(VarId(0), Interval::new(0, 3));
+        let eq = Expr::raw_app(OpCode::Eq, vec![x(), Expr::constant(9)]);
+        assert!(provably_false(&eq, &vars));
+    }
+
+    #[test]
+    fn soundness_spot_check() {
+        // The interval must always contain the true value.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use crate::expr::Model;
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let op = OpCode::ALL[rng.gen_range(0..OpCode::ALL.len())];
+            let n = op.arity().unwrap_or(2);
+            let args: Vec<Expr> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        Expr::constant(rng.gen_range(0..100))
+                    } else {
+                        Expr::var(VarId(0))
+                    }
+                })
+                .collect();
+            let e = Expr::raw_app(op, args);
+            let xval = rng.gen_range(0..50u64);
+            let mut vars = VarIntervals::new();
+            vars.insert(VarId(0), Interval::new(0, 50));
+            let model: Model = [(VarId(0), xval)].into_iter().collect();
+            let true_val = e.eval(&model);
+            let iv = interval_of(&e, &vars);
+            assert!(
+                iv.contains(true_val),
+                "{e}: {true_val} not in [{}, {}]",
+                iv.lo,
+                iv.hi
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # sct-symx
+//!
+//! The symbolic-execution substrate for Pitchfork: bit-vector
+//! expressions with eager constant folding and algebraic simplification,
+//! unsigned interval analysis, a heuristic model-finding solver, and
+//! symbolic machine state (labeled symbolic values, register files,
+//! memories).
+//!
+//! The paper builds its tool on angr\'s symbolic execution (citation 30); this
+//! crate is the from-scratch substitute. Like angr, it concretizes
+//! memory addresses and over-approximates path feasibility (the solver
+//! answers [`solver::Verdict::Unknown`] rather than missing models),
+//! which is sound for violation *detection*.
+//!
+//! # Example
+//!
+//! ```
+//! use sct_symx::expr::{Expr, VarPool};
+//! use sct_symx::solver::{Solver, Verdict};
+//! use sct_core::OpCode;
+//!
+//! let mut pool = VarPool::new();
+//! let idx = pool.fresh("idx");
+//! // The Figure 1 bounds check: 4 > idx.
+//! let in_bounds = Expr::app(OpCode::Gt, vec![Expr::constant(4), Expr::var(idx)]);
+//! // Is the out-of-bounds (mispredicted) path feasible? ¬(4 > idx).
+//! let oob = Expr::app(OpCode::Eq, vec![in_bounds, Expr::constant(0)]);
+//! let verdict = Solver::new().check(&[oob]);
+//! assert!(matches!(verdict, Verdict::Sat(_)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod expr;
+pub mod interval;
+pub mod simplify;
+pub mod solver;
+pub mod symmem;
+
+pub use expr::{Expr, Model, VarId, VarPool};
+pub use interval::{interval_of, Interval};
+pub use solver::{Solver, SolverOptions, Verdict};
+pub use symmem::{SymMemory, SymRegFile, SymVal};

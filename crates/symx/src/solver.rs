@@ -1,0 +1,453 @@
+//! A heuristic bit-vector constraint solver.
+//!
+//! The paper's tool delegates feasibility to angr's SMT solver (with
+//! concretization and timeouts); our substitute combines:
+//!
+//! 1. structural simplification and constant checks;
+//! 2. interval-analysis unsatisfiability proofs ([`crate::interval`]);
+//! 3. a candidate/model search over "interesting" values (constants
+//!    appearing in the constraints ± 1, small values, random probes) with
+//!    greedy per-variable repair.
+//!
+//! The search is complete for the small arithmetic constraints our
+//! worst-case schedules generate; when it proves nothing it answers
+//! [`Verdict::Unknown`], which the detector treats as satisfiable — an
+//! over-approximation that can cost a false positive but never a missed
+//! leak, matching how angr concretization errs.
+
+use crate::expr::{Expr, Model, VarId};
+use crate::interval::{provably_false, VarIntervals};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// The solver's answer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// A model satisfying every constraint.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Nothing proven within budget.
+    Unknown,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Verdict::Sat(_))
+    }
+
+    /// Treat [`Verdict::Unknown`] as satisfiable (the detector's
+    /// over-approximating reading).
+    pub fn maybe_sat(&self) -> bool {
+        !matches!(self, Verdict::Unsat)
+    }
+}
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Random probes per query.
+    pub random_probes: usize,
+    /// Exhaustive-product budget (number of assignments tried).
+    pub exhaustive_budget: usize,
+    /// Greedy repair sweeps.
+    pub repair_rounds: usize,
+    /// RNG seed (solving is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            random_probes: 64,
+            exhaustive_budget: 4_096,
+            repair_rounds: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The solver. Stateless between queries apart from options.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    options: SolverOptions,
+}
+
+impl Solver {
+    /// A solver with default options.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// A solver with explicit options.
+    pub fn with_options(options: SolverOptions) -> Self {
+        Solver { options }
+    }
+
+    /// Check whether all `constraints` (non-zero = true) are
+    /// simultaneously satisfiable.
+    pub fn check(&self, constraints: &[Expr]) -> Verdict {
+        // 1. Constant and structural checks.
+        let mut live: Vec<&Expr> = Vec::new();
+        for c in constraints {
+            match c.as_const() {
+                Some(0) => return Verdict::Unsat,
+                Some(_) => {}
+                None => live.push(c),
+            }
+        }
+        if live.is_empty() {
+            return Verdict::Sat(Model::new());
+        }
+        // 2. Interval refutation: derive per-variable bounds from the
+        // simple comparisons among the constraints, then re-check every
+        // constraint under those assumptions.
+        let assumptions = match derive_var_intervals(&live) {
+            Some(a) => a,
+            None => return Verdict::Unsat, // contradictory bounds
+        };
+        if live.iter().any(|c| provably_false(c, &assumptions)) {
+            return Verdict::Unsat;
+        }
+        // 3. Model search.
+        match self.search(&live) {
+            Some(model) => Verdict::Sat(model),
+            None => Verdict::Unknown,
+        }
+    }
+
+    /// Find a model for `expr != 0` alone.
+    pub fn check_one(&self, expr: &Expr) -> Verdict {
+        self.check(std::slice::from_ref(expr))
+    }
+
+    /// Find a model and evaluate `expr` under it, preferring small
+    /// values — the angr-style concretization used for addresses.
+    /// Returns `None` when the constraints are unsatisfiable.
+    pub fn concretize(&self, expr: &Expr, constraints: &[Expr]) -> Option<u64> {
+        match self.check(constraints) {
+            Verdict::Sat(m) => Some(expr.eval(&m)),
+            Verdict::Unsat => None,
+            // Unknown: fall back to the all-zero model — arbitrary but
+            // deterministic, like angr's preferred-value concretization.
+            Verdict::Unknown => Some(expr.eval(&Model::new())),
+        }
+    }
+
+    fn candidate_values(&self, constraints: &[&Expr]) -> Vec<u64> {
+        let mut consts = BTreeSet::new();
+        for c in constraints {
+            c.collect_consts(&mut consts);
+        }
+        let mut cands = BTreeSet::new();
+        for v in [0u64, 1, 2, 3, 4, 8, 16, 255, u64::MAX] {
+            cands.insert(v);
+        }
+        for &c in &consts {
+            cands.insert(c);
+            cands.insert(c.wrapping_add(1));
+            cands.insert(c.wrapping_sub(1));
+        }
+        // Pairwise sums/differences catch derived values such as the `7`
+        // in `x + 5 == 12` (capped: the grid must stay exhaustible).
+        let consts: Vec<u64> = consts.into_iter().take(24).collect();
+        for &a in &consts {
+            for &b in &consts {
+                cands.insert(a.wrapping_add(b));
+                cands.insert(a.wrapping_sub(b));
+            }
+        }
+        cands.into_iter().collect()
+    }
+
+    fn satisfied(model: &Model, constraints: &[&Expr]) -> usize {
+        constraints.iter().filter(|c| c.eval(model) != 0).count()
+    }
+
+    fn search(&self, constraints: &[&Expr]) -> Option<Model> {
+        let mut vars = BTreeSet::new();
+        for c in constraints {
+            c.collect_vars(&mut vars);
+        }
+        let vars: Vec<VarId> = vars.into_iter().collect();
+        let cands = self.candidate_values(constraints);
+        let total = constraints.len();
+
+        // Exhaustive product when affordable.
+        let combos = cands.len().checked_pow(vars.len() as u32);
+        if let Some(n) = combos {
+            if n <= self.options.exhaustive_budget {
+                let mut model = Model::new();
+                if self.exhaustive(&vars, &cands, constraints, &mut model, 0) {
+                    return Some(model);
+                }
+                // Complete search over the candidate grid failed; random
+                // probes below may still succeed on off-grid values.
+            }
+        }
+
+        let mut rng = SmallRng::seed_from_u64(self.options.seed);
+        // Random probing with greedy repair.
+        for _ in 0..self.options.random_probes {
+            let mut model: Model = vars
+                .iter()
+                .map(|&v| {
+                    let x = if rng.gen_bool(0.5) {
+                        cands[rng.gen_range(0..cands.len())]
+                    } else {
+                        rng.gen()
+                    };
+                    (v, x)
+                })
+                .collect();
+            if Self::satisfied(&model, constraints) == total {
+                return Some(model);
+            }
+            // Greedy repair: sweep variables, try every candidate.
+            for _ in 0..self.options.repair_rounds {
+                let mut improved = false;
+                for &v in &vars {
+                    let before = Self::satisfied(&model, constraints);
+                    if before == total {
+                        return Some(model);
+                    }
+                    let orig = model.get(v);
+                    let mut best = (before, orig);
+                    for &cand in &cands {
+                        model.set(v, cand);
+                        let score = Self::satisfied(&model, constraints);
+                        if score > best.0 {
+                            best = (score, cand);
+                        }
+                    }
+                    model.set(v, best.1);
+                    if best.1 != orig {
+                        improved = true;
+                    }
+                }
+                if Self::satisfied(&model, constraints) == total {
+                    return Some(model);
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    fn exhaustive(
+        &self,
+        vars: &[VarId],
+        cands: &[u64],
+        constraints: &[&Expr],
+        model: &mut Model,
+        depth: usize,
+    ) -> bool {
+        if depth == vars.len() {
+            return Self::satisfied(model, constraints) == constraints.len();
+        }
+        for &c in cands {
+            model.set(vars[depth], c);
+            if self.exhaustive(vars, cands, constraints, model, depth + 1) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Extract `var ⋈ const` bounds from the constraints and intersect them
+/// per variable; `None` means the bounds are contradictory.
+fn derive_var_intervals(constraints: &[&Expr]) -> Option<VarIntervals> {
+    use crate::interval::Interval;
+    use sct_core::op::OpCode::*;
+
+    fn intersect(a: Interval, b: Interval) -> Option<Interval> {
+        let lo = a.lo.max(b.lo);
+        let hi = a.hi.min(b.hi);
+        (lo <= hi).then(|| Interval::new(lo, hi))
+    }
+
+    let mut out = VarIntervals::new();
+    let mut refine = |v: VarId, iv: Interval| -> bool {
+        let cur = out.get(&v).copied().unwrap_or(Interval::TOP);
+        match intersect(cur, iv) {
+            Some(joined) => {
+                out.insert(v, joined);
+                true
+            }
+            None => false,
+        }
+    };
+
+    for c in constraints {
+        let crate::expr::Node::App(op, args) = &*c.0 else {
+            continue;
+        };
+        if args.len() != 2 {
+            continue;
+        }
+        // Normalize to (var ⋈ const).
+        let (v, k, op) = match (args[0].as_var(), args[1].as_const()) {
+            (Some(v), Some(k)) => (v, k, *op),
+            _ => match (args[0].as_const(), args[1].as_var()) {
+                // Mirror: const ⋈ var  ⇒  var ⋈' const.
+                (Some(k), Some(v)) => {
+                    let mirrored = match op {
+                        Lt => Gt,
+                        Le => Ge,
+                        Gt => Lt,
+                        Ge => Le,
+                        Eq => Eq,
+                        other => {
+                            let _ = other;
+                            continue;
+                        }
+                    };
+                    (v, k, mirrored)
+                }
+                _ => continue,
+            },
+        };
+        let iv = match op {
+            Eq => Interval::point(k),
+            Lt => {
+                if k == 0 {
+                    return None;
+                }
+                Interval::new(0, k - 1)
+            }
+            Le => Interval::new(0, k),
+            Gt => {
+                if k == u64::MAX {
+                    return None;
+                }
+                Interval::new(k + 1, u64::MAX)
+            }
+            Ge => Interval::new(k, u64::MAX),
+            _ => continue,
+        };
+        if !refine(v, iv) {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::op::OpCode;
+
+    fn x() -> Expr {
+        Expr::var(VarId(0))
+    }
+
+    fn y() -> Expr {
+        Expr::var(VarId(1))
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let s = Solver::new();
+        assert_eq!(s.check(&[]), Verdict::Sat(Model::new()));
+        assert_eq!(s.check(&[Expr::constant(1)]), Verdict::Sat(Model::new()));
+        assert_eq!(s.check(&[Expr::constant(0)]), Verdict::Unsat);
+    }
+
+    #[test]
+    fn finds_bound_satisfying_models() {
+        let s = Solver::new();
+        // x < 4 (Figure 1's in-bounds path)
+        let c = Expr::app(OpCode::Gt, vec![Expr::constant(4), x()]);
+        match s.check(std::slice::from_ref(&c)) {
+            Verdict::Sat(m) => assert!(m.get(VarId(0)) < 4),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // ¬(4 > x), i.e. x ≥ 4 (the out-of-bounds path)
+        let neg = Expr::app(OpCode::Eq, vec![c, Expr::constant(0)]);
+        match s.check(&[neg]) {
+            Verdict::Sat(m) => assert!(m.get(VarId(0)) >= 4),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refutes_contradictions() {
+        let s = Solver::new();
+        // x < 2 together with x > 5: the derived per-variable intervals
+        // are disjoint, so this is proven Unsat.
+        let a = Expr::app(OpCode::Lt, vec![x(), Expr::constant(2)]);
+        let b = Expr::app(OpCode::Gt, vec![x(), Expr::constant(5)]);
+        assert_eq!(s.check(&[a, b]), Verdict::Unsat);
+        // Mirrored operand order is normalized: 2 > x ∧ 5 < x.
+        let a = Expr::app(OpCode::Gt, vec![Expr::constant(2), x()]);
+        let b = Expr::app(OpCode::Lt, vec![Expr::constant(5), x()]);
+        assert_eq!(s.check(&[a, b]), Verdict::Unsat);
+    }
+
+    #[test]
+    fn refutes_impossible_strict_bounds() {
+        let s = Solver::new();
+        // x < 0 is unsatisfiable for unsigned x.
+        let c = Expr::app(OpCode::Lt, vec![x(), Expr::constant(0)]);
+        assert_eq!(s.check(&[c]), Verdict::Unsat);
+        // x > u64::MAX likewise.
+        let c = Expr::app(OpCode::Gt, vec![x(), Expr::constant(u64::MAX)]);
+        assert_eq!(s.check(&[c]), Verdict::Unsat);
+    }
+
+    #[test]
+    fn refutes_reflexive_falsehood() {
+        let s = Solver::new();
+        let c = Expr::app(OpCode::Lt, vec![x(), x()]);
+        assert_eq!(s.check(&[c]), Verdict::Unsat);
+    }
+
+    #[test]
+    fn solves_equalities_on_two_vars() {
+        let s = Solver::new();
+        // x + 5 == y  ∧  y == 12
+        let c1 = Expr::app(
+            OpCode::Eq,
+            vec![
+                Expr::app(OpCode::Add, vec![x(), Expr::constant(5)]),
+                y(),
+            ],
+        );
+        let c2 = Expr::app(OpCode::Eq, vec![y(), Expr::constant(12)]);
+        match s.check(&[c1, c2]) {
+            Verdict::Sat(m) => {
+                assert_eq!(m.get(VarId(0)), 7);
+                assert_eq!(m.get(VarId(1)), 12);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concretize_prefers_a_model() {
+        let s = Solver::new();
+        let c = Expr::app(OpCode::Gt, vec![Expr::constant(4), x()]);
+        let addr = Expr::app(OpCode::Add, vec![Expr::constant(0x40), x()]);
+        let a = s.concretize(&addr, &[c]).unwrap();
+        assert!((0x40..0x44).contains(&a));
+    }
+
+    #[test]
+    fn concretize_of_unsat_is_none() {
+        let s = Solver::new();
+        assert_eq!(s.concretize(&x(), &[Expr::constant(0)]), None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s1 = Solver::new();
+        let s2 = Solver::new();
+        let c = Expr::app(OpCode::Gt, vec![x(), Expr::constant(1000)]);
+        assert_eq!(s1.check(std::slice::from_ref(&c)), s2.check(&[c]));
+    }
+}

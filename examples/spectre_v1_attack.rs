@@ -1,0 +1,50 @@
+//! A step-by-step replay of the paper's Figure 1: drive the speculative
+//! machine directive by directive and watch the reorder buffer and the
+//! leakage evolve.
+//!
+//! ```sh
+//! cargo run --example spectre_v1_attack
+//! ```
+
+use spectre_ct::core::directive::Directive::*;
+use spectre_ct::core::examples::fig1;
+use spectre_ct::core::machine::Machine;
+
+fn main() {
+    let (program, config) = fig1();
+    println!("Program:");
+    for (n, i) in program.iter() {
+        println!("  {n}: {i}");
+    }
+    println!("\nInitial registers: ra = {}", config.regs.read(spectre_ct::core::reg::names::RA));
+    println!("Memory: A at 0x40 (pub), B at 0x44 (pub), Key at 0x48 (sec)\n");
+
+    let mut m = Machine::new(&program, config);
+    let attack = [
+        (FetchBranch(true), "speculatively follow the 'in-bounds' arm"),
+        (Fetch, "fetch the first load"),
+        (Fetch, "fetch the second load"),
+        (Execute(2), "execute A[ra]: reads Key[1] out of bounds"),
+        (Execute(3), "execute B[rb]: the address *is* the secret"),
+        (Execute(1), "finally resolve the branch: misprediction, rollback"),
+    ];
+    for (d, why) in attack {
+        let obs = m.step(d).expect("the attack schedule is well-formed");
+        let leakage = if obs.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "   leaks: {}",
+                obs.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(", ")
+            )
+        };
+        println!("{d:<16} -- {why}{leakage}");
+        for (i, t) in m.cfg.rob.iter() {
+            println!("    buf {i} ↦ {t}");
+        }
+    }
+    println!(
+        "\nThe secret Key[1] = 0x22 escaped through the address 0x44 + 0x22 = 0x66\n\
+         before the rollback — exactly the paper's Figure 1 trace."
+    );
+}

@@ -1,0 +1,34 @@
+//! # spectre-ct
+//!
+//! Facade crate for the workspace reproducing **"Constant-Time
+//! Foundations for the New Spectre Era"** (Cauligi et al., PLDI 2020).
+//!
+//! * [`core`] — the speculative operational semantics and the
+//!   speculative constant-time (SCT) definition;
+//! * [`asm`] — the assembly front-end for the ISA;
+//! * [`symx`] — the symbolic-execution substrate (bit-vector expressions,
+//!   solver, symbolic memory);
+//! * [`pitchfork`] — the SCT-violation detector (worst-case schedules +
+//!   symbolic execution);
+//! * [`litmus`] — Kocher-style Spectre test cases and the paper's figure
+//!   gadgets;
+//! * [`casestudies`] — the four crypto case studies of Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use spectre_ct::core::examples::fig1;
+//! use spectre_ct::pitchfork::{Detector, DetectorOptions};
+//!
+//! let (program, config) = fig1();
+//! let report = Detector::new(DetectorOptions::default())
+//!     .analyze(&program, &config);
+//! assert!(report.has_violations(), "Spectre v1 must be flagged");
+//! ```
+
+pub use pitchfork;
+pub use sct_asm as asm;
+pub use sct_casestudies as casestudies;
+pub use sct_core as core;
+pub use sct_litmus as litmus;
+pub use sct_symx as symx;
