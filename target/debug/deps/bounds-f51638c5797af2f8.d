@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds-f51638c5797af2f8.d: crates/litmus/tests/bounds.rs
+
+/root/repo/target/debug/deps/bounds-f51638c5797af2f8: crates/litmus/tests/bounds.rs
+
+crates/litmus/tests/bounds.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-29a782f6b8ac8f58.d: crates/pitchfork/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-29a782f6b8ac8f58: crates/pitchfork/tests/cli.rs
+
+crates/pitchfork/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pitchfork=/root/repo/target/debug/pitchfork

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-6c62ae0f6a5c21cb.d: crates/pitchfork/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-6c62ae0f6a5c21cb: crates/pitchfork/tests/differential.rs
+
+crates/pitchfork/tests/differential.rs:

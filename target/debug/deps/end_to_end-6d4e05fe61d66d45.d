@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6d4e05fe61d66d45.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6d4e05fe61d66d45: tests/end_to_end.rs
+
+tests/end_to_end.rs:

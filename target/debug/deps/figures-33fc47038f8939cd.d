@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-33fc47038f8939cd.d: crates/litmus/tests/figures.rs
+
+/root/repo/target/debug/deps/figures-33fc47038f8939cd: crates/litmus/tests/figures.rs
+
+crates/litmus/tests/figures.rs:

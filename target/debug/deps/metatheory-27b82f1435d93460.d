@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metatheory-27b82f1435d93460.d: crates/core/tests/metatheory.rs
+
+/root/repo/target/debug/deps/metatheory-27b82f1435d93460: crates/core/tests/metatheory.rs
+
+crates/core/tests/metatheory.rs:

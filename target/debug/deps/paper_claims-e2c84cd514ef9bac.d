@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-e2c84cd514ef9bac.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-e2c84cd514ef9bac: tests/paper_claims.rs
+
+tests/paper_claims.rs:

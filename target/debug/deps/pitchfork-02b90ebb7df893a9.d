@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pitchfork-02b90ebb7df893a9.d: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+/root/repo/target/debug/deps/libpitchfork-02b90ebb7df893a9.rlib: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+/root/repo/target/debug/deps/libpitchfork-02b90ebb7df893a9.rmeta: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+crates/pitchfork/src/lib.rs:
+crates/pitchfork/src/detector.rs:
+crates/pitchfork/src/explorer.rs:
+crates/pitchfork/src/machine.rs:
+crates/pitchfork/src/repair.rs:
+crates/pitchfork/src/report.rs:
+crates/pitchfork/src/state.rs:

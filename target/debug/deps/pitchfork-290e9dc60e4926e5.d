@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pitchfork-290e9dc60e4926e5.d: crates/pitchfork/src/main.rs
+
+/root/repo/target/debug/deps/pitchfork-290e9dc60e4926e5: crates/pitchfork/src/main.rs
+
+crates/pitchfork/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pitchfork-32ee8618c83dcc05.d: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+/root/repo/target/debug/deps/pitchfork-32ee8618c83dcc05: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+crates/pitchfork/src/lib.rs:
+crates/pitchfork/src/detector.rs:
+crates/pitchfork/src/explorer.rs:
+crates/pitchfork/src/machine.rs:
+crates/pitchfork/src/repair.rs:
+crates/pitchfork/src/report.rs:
+crates/pitchfork/src/state.rs:

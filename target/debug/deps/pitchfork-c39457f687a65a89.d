@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pitchfork-c39457f687a65a89.d: crates/pitchfork/src/main.rs
+
+/root/repo/target/debug/deps/pitchfork-c39457f687a65a89: crates/pitchfork/src/main.rs
+
+crates/pitchfork/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-683ba744ffc7be38.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-683ba744ffc7be38: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

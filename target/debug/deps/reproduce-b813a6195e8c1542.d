@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-b813a6195e8c1542.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-b813a6195e8c1542: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rob_model-32ea5caec868a77d.d: crates/core/tests/rob_model.rs
+
+/root/repo/target/debug/deps/rob_model-32ea5caec868a77d: crates/core/tests/rob_model.rs
+
+crates/core/tests/rob_model.rs:

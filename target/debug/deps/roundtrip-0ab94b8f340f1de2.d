@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-0ab94b8f340f1de2.d: crates/asm/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-0ab94b8f340f1de2: crates/asm/tests/roundtrip.rs
+
+crates/asm/tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules_alias-f8d37c0842f4a036.d: crates/core/tests/rules_alias.rs
+
+/root/repo/target/debug/deps/rules_alias-f8d37c0842f4a036: crates/core/tests/rules_alias.rs
+
+crates/core/tests/rules_alias.rs:

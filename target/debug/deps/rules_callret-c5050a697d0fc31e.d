@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules_callret-c5050a697d0fc31e.d: crates/core/tests/rules_callret.rs
+
+/root/repo/target/debug/deps/rules_callret-c5050a697d0fc31e: crates/core/tests/rules_callret.rs
+
+crates/core/tests/rules_callret.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules_store-08fdfcccfe96271a.d: crates/core/tests/rules_store.rs
+
+/root/repo/target/debug/deps/rules_store-08fdfcccfe96271a: crates/core/tests/rules_store.rs
+
+crates/core/tests/rules_store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sct_asm-d0a29ee38fb010ea.d: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/ast.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/lexer.rs crates/asm/src/parser.rs crates/asm/src/token.rs
+
+/root/repo/target/debug/deps/libsct_asm-d0a29ee38fb010ea.rlib: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/ast.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/lexer.rs crates/asm/src/parser.rs crates/asm/src/token.rs
+
+/root/repo/target/debug/deps/libsct_asm-d0a29ee38fb010ea.rmeta: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/ast.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/lexer.rs crates/asm/src/parser.rs crates/asm/src/token.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assembler.rs:
+crates/asm/src/ast.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/lexer.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/token.rs:

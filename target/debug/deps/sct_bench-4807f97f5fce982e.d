@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sct_bench-4807f97f5fce982e.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libsct_bench-4807f97f5fce982e.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libsct_bench-4807f97f5fce982e.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/sweep.rs:

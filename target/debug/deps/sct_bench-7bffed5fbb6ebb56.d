@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sct_bench-7bffed5fbb6ebb56.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/sct_bench-7bffed5fbb6ebb56: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sct_casestudies-73e78ca1eb31092f.d: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+/root/repo/target/debug/deps/libsct_casestudies-73e78ca1eb31092f.rlib: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+/root/repo/target/debug/deps/libsct_casestudies-73e78ca1eb31092f.rmeta: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+crates/casestudies/src/lib.rs:
+crates/casestudies/src/common.rs:
+crates/casestudies/src/donna.rs:
+crates/casestudies/src/meecbc.rs:
+crates/casestudies/src/secretbox.rs:
+crates/casestudies/src/ssl3.rs:
+crates/casestudies/src/table2.rs:

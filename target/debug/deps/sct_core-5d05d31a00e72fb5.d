@@ -1,0 +1,34 @@
+/root/repo/target/debug/deps/sct_core-5d05d31a00e72fb5.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/directive.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/instr.rs crates/core/src/label.rs crates/core/src/machine.rs crates/core/src/mem.rs crates/core/src/observation.rs crates/core/src/op.rs crates/core/src/params.rs crates/core/src/proggen.rs crates/core/src/reg.rs crates/core/src/resolve.rs crates/core/src/rob.rs crates/core/src/rsb.rs crates/core/src/rules/mod.rs crates/core/src/rules/execute.rs crates/core/src/rules/fetch.rs crates/core/src/rules/retire.rs crates/core/src/sched/mod.rs crates/core/src/sched/enumerate.rs crates/core/src/sched/random.rs crates/core/src/sched/sequential.rs crates/core/src/sct.rs crates/core/src/transient.rs crates/core/src/value.rs
+
+/root/repo/target/debug/deps/libsct_core-5d05d31a00e72fb5.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/directive.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/instr.rs crates/core/src/label.rs crates/core/src/machine.rs crates/core/src/mem.rs crates/core/src/observation.rs crates/core/src/op.rs crates/core/src/params.rs crates/core/src/proggen.rs crates/core/src/reg.rs crates/core/src/resolve.rs crates/core/src/rob.rs crates/core/src/rsb.rs crates/core/src/rules/mod.rs crates/core/src/rules/execute.rs crates/core/src/rules/fetch.rs crates/core/src/rules/retire.rs crates/core/src/sched/mod.rs crates/core/src/sched/enumerate.rs crates/core/src/sched/random.rs crates/core/src/sched/sequential.rs crates/core/src/sct.rs crates/core/src/transient.rs crates/core/src/value.rs
+
+/root/repo/target/debug/deps/libsct_core-5d05d31a00e72fb5.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/directive.rs crates/core/src/error.rs crates/core/src/examples.rs crates/core/src/instr.rs crates/core/src/label.rs crates/core/src/machine.rs crates/core/src/mem.rs crates/core/src/observation.rs crates/core/src/op.rs crates/core/src/params.rs crates/core/src/proggen.rs crates/core/src/reg.rs crates/core/src/resolve.rs crates/core/src/rob.rs crates/core/src/rsb.rs crates/core/src/rules/mod.rs crates/core/src/rules/execute.rs crates/core/src/rules/fetch.rs crates/core/src/rules/retire.rs crates/core/src/sched/mod.rs crates/core/src/sched/enumerate.rs crates/core/src/sched/random.rs crates/core/src/sched/sequential.rs crates/core/src/sct.rs crates/core/src/transient.rs crates/core/src/value.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/directive.rs:
+crates/core/src/error.rs:
+crates/core/src/examples.rs:
+crates/core/src/instr.rs:
+crates/core/src/label.rs:
+crates/core/src/machine.rs:
+crates/core/src/mem.rs:
+crates/core/src/observation.rs:
+crates/core/src/op.rs:
+crates/core/src/params.rs:
+crates/core/src/proggen.rs:
+crates/core/src/reg.rs:
+crates/core/src/resolve.rs:
+crates/core/src/rob.rs:
+crates/core/src/rsb.rs:
+crates/core/src/rules/mod.rs:
+crates/core/src/rules/execute.rs:
+crates/core/src/rules/fetch.rs:
+crates/core/src/rules/retire.rs:
+crates/core/src/sched/mod.rs:
+crates/core/src/sched/enumerate.rs:
+crates/core/src/sched/random.rs:
+crates/core/src/sched/sequential.rs:
+crates/core/src/sct.rs:
+crates/core/src/transient.rs:
+crates/core/src/value.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sct_litmus-ba16f6cf69b06b1d.d: crates/litmus/src/lib.rs crates/litmus/src/alias.rs crates/litmus/src/corpus.rs crates/litmus/src/figures.rs crates/litmus/src/harness.rs crates/litmus/src/kocher.rs crates/litmus/src/layout.rs crates/litmus/src/v1p1.rs crates/litmus/src/v2.rs crates/litmus/src/v4.rs crates/litmus/src/../corpus/spectre_v1.sasm crates/litmus/src/../corpus/spectre_v1_fenced.sasm crates/litmus/src/../corpus/spectre_v1p1.sasm crates/litmus/src/../corpus/spectre_v4.sasm crates/litmus/src/../corpus/ct_select.sasm
+
+/root/repo/target/debug/deps/sct_litmus-ba16f6cf69b06b1d: crates/litmus/src/lib.rs crates/litmus/src/alias.rs crates/litmus/src/corpus.rs crates/litmus/src/figures.rs crates/litmus/src/harness.rs crates/litmus/src/kocher.rs crates/litmus/src/layout.rs crates/litmus/src/v1p1.rs crates/litmus/src/v2.rs crates/litmus/src/v4.rs crates/litmus/src/../corpus/spectre_v1.sasm crates/litmus/src/../corpus/spectre_v1_fenced.sasm crates/litmus/src/../corpus/spectre_v1p1.sasm crates/litmus/src/../corpus/spectre_v4.sasm crates/litmus/src/../corpus/ct_select.sasm
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/alias.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/figures.rs:
+crates/litmus/src/harness.rs:
+crates/litmus/src/kocher.rs:
+crates/litmus/src/layout.rs:
+crates/litmus/src/v1p1.rs:
+crates/litmus/src/v2.rs:
+crates/litmus/src/v4.rs:
+crates/litmus/src/../corpus/spectre_v1.sasm:
+crates/litmus/src/../corpus/spectre_v1_fenced.sasm:
+crates/litmus/src/../corpus/spectre_v1p1.sasm:
+crates/litmus/src/../corpus/spectre_v4.sasm:
+crates/litmus/src/../corpus/ct_select.sasm:

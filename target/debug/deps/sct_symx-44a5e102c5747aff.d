@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sct_symx-44a5e102c5747aff.d: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+/root/repo/target/debug/deps/libsct_symx-44a5e102c5747aff.rlib: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+/root/repo/target/debug/deps/libsct_symx-44a5e102c5747aff.rmeta: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/expr.rs:
+crates/symx/src/interval.rs:
+crates/symx/src/simplify.rs:
+crates/symx/src/solver.rs:
+crates/symx/src/symmem.rs:

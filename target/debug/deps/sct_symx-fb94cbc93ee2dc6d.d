@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sct_symx-fb94cbc93ee2dc6d.d: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+/root/repo/target/debug/deps/sct_symx-fb94cbc93ee2dc6d: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/expr.rs:
+crates/symx/src/interval.rs:
+crates/symx/src/simplify.rs:
+crates/symx/src/solver.rs:
+crates/symx/src/symmem.rs:

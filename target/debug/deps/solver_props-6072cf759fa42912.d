@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_props-6072cf759fa42912.d: crates/symx/tests/solver_props.rs
+
+/root/repo/target/debug/deps/solver_props-6072cf759fa42912: crates/symx/tests/solver_props.rs
+
+crates/symx/tests/solver_props.rs:

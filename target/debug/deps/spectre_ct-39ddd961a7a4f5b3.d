@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spectre_ct-39ddd961a7a4f5b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspectre_ct-39ddd961a7a4f5b3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspectre_ct-39ddd961a7a4f5b3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spectre_ct-ce08a406770f214c.d: src/lib.rs
+
+/root/repo/target/debug/deps/spectre_ct-ce08a406770f214c: src/lib.rs
+
+src/lib.rs:

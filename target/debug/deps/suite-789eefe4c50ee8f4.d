@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite-789eefe4c50ee8f4.d: crates/litmus/tests/suite.rs
+
+/root/repo/target/debug/deps/suite-789eefe4c50ee8f4: crates/litmus/tests/suite.rs
+
+crates/litmus/tests/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-44c1424913c456a1.d: crates/casestudies/tests/table2.rs
+
+/root/repo/target/debug/deps/table2-44c1424913c456a1: crates/casestudies/tests/table2.rs
+
+crates/casestudies/tests/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/auto_repair-2db5ff9b5210f9ef.d: examples/auto_repair.rs
+
+/root/repo/target/debug/examples/auto_repair-2db5ff9b5210f9ef: examples/auto_repair.rs
+
+examples/auto_repair.rs:

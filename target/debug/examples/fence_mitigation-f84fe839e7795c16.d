@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fence_mitigation-f84fe839e7795c16.d: examples/fence_mitigation.rs
+
+/root/repo/target/debug/examples/fence_mitigation-f84fe839e7795c16: examples/fence_mitigation.rs
+
+examples/fence_mitigation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pitchfork_scan-cb6e6ee5ec29d00f.d: examples/pitchfork_scan.rs
+
+/root/repo/target/debug/examples/pitchfork_scan-cb6e6ee5ec29d00f: examples/pitchfork_scan.rs
+
+examples/pitchfork_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef962ddc3928f20d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ef962ddc3928f20d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/retpoline_rsb-9ca0db404cee8e2a.d: examples/retpoline_rsb.rs
+
+/root/repo/target/debug/examples/retpoline_rsb-9ca0db404cee8e2a: examples/retpoline_rsb.rs
+
+examples/retpoline_rsb.rs:

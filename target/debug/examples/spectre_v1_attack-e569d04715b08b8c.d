@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectre_v1_attack-e569d04715b08b8c.d: examples/spectre_v1_attack.rs
+
+/root/repo/target/debug/examples/spectre_v1_attack-e569d04715b08b8c: examples/spectre_v1_attack.rs
+
+examples/spectre_v1_attack.rs:

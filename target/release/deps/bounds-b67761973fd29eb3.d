@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bounds-b67761973fd29eb3.d: crates/litmus/tests/bounds.rs
+
+/root/repo/target/release/deps/bounds-b67761973fd29eb3: crates/litmus/tests/bounds.rs
+
+crates/litmus/tests/bounds.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-cc2fcaa4f4ec846e.d: crates/pitchfork/tests/cli.rs
+
+/root/repo/target/release/deps/cli-cc2fcaa4f4ec846e: crates/pitchfork/tests/cli.rs
+
+crates/pitchfork/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pitchfork=/root/repo/target/release/pitchfork

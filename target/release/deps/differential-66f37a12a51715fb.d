@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-66f37a12a51715fb.d: crates/pitchfork/tests/differential.rs
+
+/root/repo/target/release/deps/differential-66f37a12a51715fb: crates/pitchfork/tests/differential.rs
+
+crates/pitchfork/tests/differential.rs:

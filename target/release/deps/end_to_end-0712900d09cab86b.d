@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-0712900d09cab86b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-0712900d09cab86b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

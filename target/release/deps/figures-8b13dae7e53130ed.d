@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-8b13dae7e53130ed.d: crates/litmus/tests/figures.rs
+
+/root/repo/target/release/deps/figures-8b13dae7e53130ed: crates/litmus/tests/figures.rs
+
+crates/litmus/tests/figures.rs:

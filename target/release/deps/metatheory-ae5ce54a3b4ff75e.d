@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metatheory-ae5ce54a3b4ff75e.d: crates/core/tests/metatheory.rs
+
+/root/repo/target/release/deps/metatheory-ae5ce54a3b4ff75e: crates/core/tests/metatheory.rs
+
+crates/core/tests/metatheory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-d40222695a966d60.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-d40222695a966d60: tests/paper_claims.rs
+
+tests/paper_claims.rs:

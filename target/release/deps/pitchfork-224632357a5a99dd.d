@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pitchfork-224632357a5a99dd.d: crates/pitchfork/src/main.rs
+
+/root/repo/target/release/deps/pitchfork-224632357a5a99dd: crates/pitchfork/src/main.rs
+
+crates/pitchfork/src/main.rs:

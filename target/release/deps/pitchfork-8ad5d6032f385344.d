@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pitchfork-8ad5d6032f385344.d: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+/root/repo/target/release/deps/libpitchfork-8ad5d6032f385344.rlib: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+/root/repo/target/release/deps/libpitchfork-8ad5d6032f385344.rmeta: crates/pitchfork/src/lib.rs crates/pitchfork/src/detector.rs crates/pitchfork/src/explorer.rs crates/pitchfork/src/machine.rs crates/pitchfork/src/repair.rs crates/pitchfork/src/report.rs crates/pitchfork/src/state.rs
+
+crates/pitchfork/src/lib.rs:
+crates/pitchfork/src/detector.rs:
+crates/pitchfork/src/explorer.rs:
+crates/pitchfork/src/machine.rs:
+crates/pitchfork/src/repair.rs:
+crates/pitchfork/src/report.rs:
+crates/pitchfork/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pitchfork-edefe57461c6fff8.d: crates/pitchfork/src/main.rs
+
+/root/repo/target/release/deps/pitchfork-edefe57461c6fff8: crates/pitchfork/src/main.rs
+
+crates/pitchfork/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-620fe2487e21c68f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-620fe2487e21c68f: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

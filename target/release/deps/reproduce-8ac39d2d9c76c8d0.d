@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-8ac39d2d9c76c8d0.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-8ac39d2d9c76c8d0: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-bafeec88d99eb7c3.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-bafeec88d99eb7c3: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rob_model-f8b678cf9f3e1093.d: crates/core/tests/rob_model.rs
+
+/root/repo/target/release/deps/rob_model-f8b678cf9f3e1093: crates/core/tests/rob_model.rs
+
+crates/core/tests/rob_model.rs:

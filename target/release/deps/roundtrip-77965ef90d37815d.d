@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-77965ef90d37815d.d: crates/asm/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-77965ef90d37815d: crates/asm/tests/roundtrip.rs
+
+crates/asm/tests/roundtrip.rs:

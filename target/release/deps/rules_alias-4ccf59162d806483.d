@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rules_alias-4ccf59162d806483.d: crates/core/tests/rules_alias.rs
+
+/root/repo/target/release/deps/rules_alias-4ccf59162d806483: crates/core/tests/rules_alias.rs
+
+crates/core/tests/rules_alias.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rules_callret-52c7163f385a91e9.d: crates/core/tests/rules_callret.rs
+
+/root/repo/target/release/deps/rules_callret-52c7163f385a91e9: crates/core/tests/rules_callret.rs
+
+crates/core/tests/rules_callret.rs:

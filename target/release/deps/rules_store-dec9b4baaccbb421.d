@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rules_store-dec9b4baaccbb421.d: crates/core/tests/rules_store.rs
+
+/root/repo/target/release/deps/rules_store-dec9b4baaccbb421: crates/core/tests/rules_store.rs
+
+crates/core/tests/rules_store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sct_asm-37bd85257a60923e.d: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/ast.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/lexer.rs crates/asm/src/parser.rs crates/asm/src/token.rs
+
+/root/repo/target/release/deps/libsct_asm-37bd85257a60923e.rlib: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/ast.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/lexer.rs crates/asm/src/parser.rs crates/asm/src/token.rs
+
+/root/repo/target/release/deps/libsct_asm-37bd85257a60923e.rmeta: crates/asm/src/lib.rs crates/asm/src/assembler.rs crates/asm/src/ast.rs crates/asm/src/builder.rs crates/asm/src/disasm.rs crates/asm/src/error.rs crates/asm/src/lexer.rs crates/asm/src/parser.rs crates/asm/src/token.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/assembler.rs:
+crates/asm/src/ast.rs:
+crates/asm/src/builder.rs:
+crates/asm/src/disasm.rs:
+crates/asm/src/error.rs:
+crates/asm/src/lexer.rs:
+crates/asm/src/parser.rs:
+crates/asm/src/token.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sct_bench-9dc3719d695f844c.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/sct_bench-9dc3719d695f844c: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sct_bench-ed4976ef17b64afc.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libsct_bench-ed4976ef17b64afc.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libsct_bench-ed4976ef17b64afc.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/sweep.rs:

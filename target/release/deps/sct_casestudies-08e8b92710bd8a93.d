@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sct_casestudies-08e8b92710bd8a93.d: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+/root/repo/target/release/deps/sct_casestudies-08e8b92710bd8a93: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+crates/casestudies/src/lib.rs:
+crates/casestudies/src/common.rs:
+crates/casestudies/src/donna.rs:
+crates/casestudies/src/meecbc.rs:
+crates/casestudies/src/secretbox.rs:
+crates/casestudies/src/ssl3.rs:
+crates/casestudies/src/table2.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sct_casestudies-81bc9ee6d621fea4.d: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+/root/repo/target/release/deps/libsct_casestudies-81bc9ee6d621fea4.rlib: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+/root/repo/target/release/deps/libsct_casestudies-81bc9ee6d621fea4.rmeta: crates/casestudies/src/lib.rs crates/casestudies/src/common.rs crates/casestudies/src/donna.rs crates/casestudies/src/meecbc.rs crates/casestudies/src/secretbox.rs crates/casestudies/src/ssl3.rs crates/casestudies/src/table2.rs
+
+crates/casestudies/src/lib.rs:
+crates/casestudies/src/common.rs:
+crates/casestudies/src/donna.rs:
+crates/casestudies/src/meecbc.rs:
+crates/casestudies/src/secretbox.rs:
+crates/casestudies/src/ssl3.rs:
+crates/casestudies/src/table2.rs:

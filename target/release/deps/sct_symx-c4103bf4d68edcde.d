@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sct_symx-c4103bf4d68edcde.d: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+/root/repo/target/release/deps/libsct_symx-c4103bf4d68edcde.rlib: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+/root/repo/target/release/deps/libsct_symx-c4103bf4d68edcde.rmeta: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/expr.rs:
+crates/symx/src/interval.rs:
+crates/symx/src/simplify.rs:
+crates/symx/src/solver.rs:
+crates/symx/src/symmem.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sct_symx-cd4f9b20cff31aed.d: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+/root/repo/target/release/deps/sct_symx-cd4f9b20cff31aed: crates/symx/src/lib.rs crates/symx/src/expr.rs crates/symx/src/interval.rs crates/symx/src/simplify.rs crates/symx/src/solver.rs crates/symx/src/symmem.rs
+
+crates/symx/src/lib.rs:
+crates/symx/src/expr.rs:
+crates/symx/src/interval.rs:
+crates/symx/src/simplify.rs:
+crates/symx/src/solver.rs:
+crates/symx/src/symmem.rs:

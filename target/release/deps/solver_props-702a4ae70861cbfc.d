@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_props-702a4ae70861cbfc.d: crates/symx/tests/solver_props.rs
+
+/root/repo/target/release/deps/solver_props-702a4ae70861cbfc: crates/symx/tests/solver_props.rs
+
+crates/symx/tests/solver_props.rs:

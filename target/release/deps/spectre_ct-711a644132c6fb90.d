@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spectre_ct-711a644132c6fb90.d: src/lib.rs
+
+/root/repo/target/release/deps/spectre_ct-711a644132c6fb90: src/lib.rs
+
+src/lib.rs:

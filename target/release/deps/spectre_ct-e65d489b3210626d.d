@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spectre_ct-e65d489b3210626d.d: src/lib.rs
+
+/root/repo/target/release/deps/libspectre_ct-e65d489b3210626d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspectre_ct-e65d489b3210626d.rmeta: src/lib.rs
+
+src/lib.rs:

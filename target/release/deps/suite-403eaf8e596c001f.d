@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite-403eaf8e596c001f.d: crates/litmus/tests/suite.rs
+
+/root/repo/target/release/deps/suite-403eaf8e596c001f: crates/litmus/tests/suite.rs
+
+crates/litmus/tests/suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-15ef1cc2e02a9d21.d: crates/casestudies/tests/table2.rs
+
+/root/repo/target/release/deps/table2-15ef1cc2e02a9d21: crates/casestudies/tests/table2.rs
+
+crates/casestudies/tests/table2.rs:

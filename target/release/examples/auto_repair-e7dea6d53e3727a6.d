@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/auto_repair-e7dea6d53e3727a6.d: examples/auto_repair.rs
+
+/root/repo/target/release/examples/auto_repair-e7dea6d53e3727a6: examples/auto_repair.rs
+
+examples/auto_repair.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fence_mitigation-4e31875447fc9e20.d: examples/fence_mitigation.rs
+
+/root/repo/target/release/examples/fence_mitigation-4e31875447fc9e20: examples/fence_mitigation.rs
+
+examples/fence_mitigation.rs:

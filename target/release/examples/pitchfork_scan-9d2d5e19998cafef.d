@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pitchfork_scan-9d2d5e19998cafef.d: examples/pitchfork_scan.rs
+
+/root/repo/target/release/examples/pitchfork_scan-9d2d5e19998cafef: examples/pitchfork_scan.rs
+
+examples/pitchfork_scan.rs:

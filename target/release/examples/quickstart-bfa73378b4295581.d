@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bfa73378b4295581.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bfa73378b4295581: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/retpoline_rsb-e2dcf4498f343716.d: examples/retpoline_rsb.rs
+
+/root/repo/target/release/examples/retpoline_rsb-e2dcf4498f343716: examples/retpoline_rsb.rs
+
+examples/retpoline_rsb.rs:

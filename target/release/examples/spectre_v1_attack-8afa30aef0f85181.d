@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spectre_v1_attack-8afa30aef0f85181.d: examples/spectre_v1_attack.rs
+
+/root/repo/target/release/examples/spectre_v1_attack-8afa30aef0f85181: examples/spectre_v1_attack.rs
+
+examples/spectre_v1_attack.rs:

@@ -1,0 +1,397 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Implements the surface this workspace's benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with `sample_size`, `measurement_time`,
+//! `warm_up_time`, `throughput`, `bench_function`, `bench_with_input`,
+//! and `finish`, plus [`BenchmarkId`] and [`Throughput`].
+//!
+//! Measurement is a plain warm-up + timed-samples loop (median and mean
+//! reported, no bootstrap statistics). Each bench also appends a JSON
+//! record to `BENCH_<group>.json` in the workspace root so results are
+//! machine-readable across runs — see [`Criterion::output_dir`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured result.
+#[derive(Clone, Debug)]
+struct Sampled {
+    name: String,
+    mean: Duration,
+    median: Duration,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+impl Sampled {
+    fn per_second(&self) -> Option<f64> {
+        let secs = self.mean.as_secs_f64();
+        if secs == 0.0 {
+            return None;
+        }
+        match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n as f64 / secs),
+            None => None,
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The per-iteration timer handed to bench closures.
+pub struct Bencher<'m> {
+    samples: &'m mut Vec<Duration>,
+    rounds: usize,
+    sample_iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, called repeatedly; one sample per outer round.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.rounds.max(1) {
+            let start = Instant::now();
+            for _ in 0..self.sample_iters {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed / u32::try_from(self.sample_iters).unwrap_or(u32::MAX));
+        }
+    }
+}
+
+/// Measurement settings shared by a group (or the top level).
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(name: &str, settings: Settings, mut f: F) -> Sampled {
+    // Warm-up / calibration: run once to estimate the per-iteration cost.
+    let cal_start = Instant::now();
+    let mut cal = Vec::new();
+    f(&mut Bencher {
+        samples: &mut cal,
+        rounds: 1,
+        sample_iters: 1,
+    });
+    let per_iter = cal_start.elapsed().max(Duration::from_nanos(1));
+    let warm_rounds = (settings.warm_up_time.as_nanos() / per_iter.as_nanos()).min(1_000) as usize;
+    if warm_rounds > 0 {
+        let mut warm = Vec::new();
+        f(&mut Bencher {
+            samples: &mut warm,
+            rounds: warm_rounds,
+            sample_iters: 1,
+        });
+    }
+    // Choose the per-sample iteration count so all samples fit the
+    // measurement budget.
+    let budget = settings.measurement_time.as_nanos().max(1);
+    let per_sample = budget / settings.sample_size.max(1) as u128;
+    let sample_iters = (per_sample / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut samples = Vec::new();
+    f(&mut Bencher {
+        samples: &mut samples,
+        rounds: settings.sample_size,
+        sample_iters,
+    });
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / u32::try_from(samples.len()).unwrap_or(1);
+    Sampled {
+        name: name.to_string(),
+        mean,
+        median,
+        iters: sample_iters * samples.len() as u64,
+        throughput: None,
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    results: Vec<Sampled>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Total time budget for one benchmark's samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut sampled = run_one(&id.to_string(), self.settings, f);
+        sampled.throughput = self.throughput;
+        self.report(&sampled);
+        self.results.push(sampled);
+        self
+    }
+
+    /// Run one parametrized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    fn report(&self, s: &Sampled) {
+        let mut line = format!(
+            "{}/{:<40} mean {:>12}  median {:>12}  ({} iters)",
+            self.name,
+            s.name,
+            fmt_duration(s.mean),
+            fmt_duration(s.median),
+            s.iters
+        );
+        if let Some(rate) = s.per_second() {
+            let _ = write!(line, "  {rate:.0}/s");
+        }
+        println!("{line}");
+    }
+
+    /// Finish the group, writing `BENCH_<group>.json`.
+    pub fn finish(&mut self) {
+        let path = self
+            .criterion
+            .output_dir
+            .join(format!("BENCH_{}.json", self.name.replace(['/', ' '], "_")));
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": \"{}\",", self.name);
+        json.push_str("  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"mean_ns\": {}, \"median_ns\": {}, \"iters\": {}{}}}{}",
+                s.name,
+                s.mean.as_nanos(),
+                s.median.as_nanos(),
+                s.iters,
+                s.per_second()
+                    .map(|r| format!(", \"per_second\": {r:.1}"))
+                    .unwrap_or_default(),
+                sep
+            );
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion shim: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    settings: Settings,
+    output_dir: PathBuf,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::default(),
+            output_dir: Criterion::output_dir(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Where `BENCH_*.json` files land: `$BENCH_OUT_DIR` when set, else
+    /// the workspace root (two levels above the bench package, which is
+    /// the process working directory under `cargo bench`), else `.`.
+    pub fn output_dir() -> PathBuf {
+        if let Ok(d) = std::env::var("BENCH_OUT_DIR") {
+            return PathBuf::from(d);
+        }
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        for dir in cwd.ancestors() {
+            if dir.join("Cargo.toml").exists()
+                && std::fs::read_to_string(dir.join("Cargo.toml"))
+                    .is_ok_and(|t| t.contains("[workspace]"))
+            {
+                return dir.to_path_buf();
+            }
+        }
+        cwd
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let sampled = run_one(name, self.settings, f);
+        println!(
+            "{:<48} mean {:>12}  median {:>12}  ({} iters)",
+            sampled.name,
+            fmt_duration(sampled.mean),
+            fmt_duration(sampled.median),
+            sampled.iters
+        );
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings,
+            throughput: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// Define a benchmark group function list (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 5,
+                measurement_time: Duration::from_millis(20),
+                warm_up_time: Duration::from_millis(1),
+            },
+            output_dir: std::env::temp_dir(),
+        };
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(5).measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(std::env::temp_dir().join("BENCH_shim_selftest.json").exists());
+    }
+}
