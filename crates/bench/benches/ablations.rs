@@ -94,8 +94,8 @@ fn bench_solver(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     let x = Expr::var(VarId(0));
-    let in_bounds = Expr::app(OpCode::Gt, vec![Expr::constant(4), x.clone()]);
-    let oob = Expr::app(OpCode::Eq, vec![in_bounds.clone(), Expr::constant(0)]);
+    let in_bounds = Expr::app(OpCode::Gt, vec![Expr::constant(4), x]);
+    let oob = Expr::app(OpCode::Eq, vec![in_bounds, Expr::constant(0)]);
     let solver = Solver::new();
     group.bench_function("feasibility_in_bounds", |b| {
         b.iter(|| black_box(solver.check(std::slice::from_ref(&in_bounds))))

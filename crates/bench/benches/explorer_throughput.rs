@@ -1,0 +1,154 @@
+//! Bench: worklist-engine throughput (states/sec) and explored-state
+//! counts on fig1 and the whole litmus corpus at the paper's bounds
+//! {20, 50, 250}, with deduplication on and off.
+//!
+//! Besides the criterion timings (`BENCH_explorer_throughput.json`),
+//! this bench writes `BENCH_explorer_dedup.json` recording the state
+//! counts both ways, quantifying exactly how much the fingerprint
+//! visited-set prunes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pitchfork::{BatchAnalyzer, Detector, DetectorOptions, Report};
+use sct_core::examples::fig1;
+use sct_litmus::{all_cases, harness};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+const BOUNDS: [usize; 3] = [20, 50, 250];
+
+fn options(bound: usize, v4: bool, dedup: bool) -> DetectorOptions {
+    let mut o = if v4 {
+        DetectorOptions::v4_mode(bound)
+    } else {
+        DetectorOptions::v1_mode(bound)
+    }
+    .dedup(dedup);
+    o.explorer.max_states = 200_000;
+    o
+}
+
+/// Pre-parsed corpus items, so timed iterations measure exploration
+/// only (cloning items is cheap; parsing `.sasm` fixtures is not).
+fn corpus_items(bound: usize) -> Vec<pitchfork::BatchItem> {
+    let cases = all_cases();
+    let mut items = harness::batch_items(&cases);
+    // One corpus-wide bound so the sweep actually exercises it.
+    for item in &mut items {
+        item.bound = Some(bound);
+    }
+    items
+}
+
+fn corpus_pass(items: &[pitchfork::BatchItem], bound: usize, v4: bool, dedup: bool) -> pitchfork::BatchReport {
+    BatchAnalyzer::new(options(bound, v4, dedup)).analyze_all(items.to_vec())
+}
+
+fn fig1_pass(bound: usize, v4: bool, dedup: bool) -> Report {
+    let (p, cfg) = fig1();
+    Detector::new(options(bound, v4, dedup)).analyze(&p, &cfg)
+}
+
+fn bench_explorer_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for bound in BOUNDS {
+        let items = corpus_items(bound);
+        group.throughput(Throughput::Elements(fig1_pass(bound, false, true).stats.states as u64));
+        group.bench_with_input(BenchmarkId::new("fig1_v1_dedup", bound), &bound, |b, &n| {
+            b.iter(|| black_box(fig1_pass(n, false, true).stats.states))
+        });
+
+        // Throughput is set per benchmark from that configuration's own
+        // state count (the group value applies to subsequent benches).
+        group.throughput(Throughput::Elements(
+            corpus_pass(&items, bound, false, true).totals.states as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("corpus_v1_dedup", bound),
+            &bound,
+            |b, &n| b.iter(|| black_box(corpus_pass(&items, n, false, true).totals.states)),
+        );
+        group.throughput(Throughput::Elements(
+            corpus_pass(&items, bound, false, false).totals.states as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("corpus_v1_nodedup", bound),
+            &bound,
+            |b, &n| b.iter(|| black_box(corpus_pass(&items, n, false, false).totals.states)),
+        );
+    }
+    // The v4 cliff, at the paper's v4 bound.
+    let items = corpus_items(20);
+    group.throughput(Throughput::Elements(
+        corpus_pass(&items, 20, true, true).totals.states as u64,
+    ));
+    group.bench_with_input(BenchmarkId::new("corpus_v4_dedup", 20), &20, |b, &n| {
+        b.iter(|| black_box(corpus_pass(&items, n, true, true).totals.states))
+    });
+    group.throughput(Throughput::Elements(
+        corpus_pass(&items, 20, true, false).totals.states as u64,
+    ));
+    group.bench_with_input(BenchmarkId::new("corpus_v4_nodedup", 20), &20, |b, &n| {
+        b.iter(|| black_box(corpus_pass(&items, n, true, false).totals.states))
+    });
+    group.finish();
+
+    write_dedup_counts();
+}
+
+/// One representative run per configuration, recording explored-state
+/// counts with dedup on/off (the numbers the timings are explained by).
+fn write_dedup_counts() {
+    let mut json = String::from("{\n  \"workloads\": [\n");
+    let mut first = true;
+    let mut emit = |name: &str, bound: usize, on: (usize, usize, bool), off: (usize, bool)| {
+        let sep = if first { "" } else { ",\n" };
+        first = false;
+        let _ = write!(
+            json,
+            "{sep}    {{\"workload\": \"{name}\", \"bound\": {bound}, \
+             \"states_dedup\": {}, \"pruned\": {}, \"truncated_dedup\": {}, \
+             \"states_nodedup\": {}, \"truncated_nodedup\": {}}}",
+            on.0, on.1, on.2, off.0, off.1
+        );
+    };
+    for bound in BOUNDS {
+        let items = corpus_items(bound);
+        for v4 in [false, true] {
+            let name = if v4 { "corpus_v4" } else { "corpus_v1" };
+            let on = corpus_pass(&items, bound, v4, true);
+            let off = corpus_pass(&items, bound, v4, false);
+            emit(
+                name,
+                bound,
+                (on.totals.states, on.totals.deduped, on.totals.truncated > 0),
+                (off.totals.states, off.totals.truncated > 0),
+            );
+            let fig_on = fig1_pass(bound, v4, true);
+            let fig_off = fig1_pass(bound, v4, false);
+            emit(
+                if v4 { "fig1_v4" } else { "fig1_v1" },
+                bound,
+                (
+                    fig_on.stats.states,
+                    fig_on.stats.deduped,
+                    fig_on.stats.truncated,
+                ),
+                (fig_off.stats.states, fig_off.stats.truncated),
+            );
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    let path = criterion::Criterion::output_dir().join("BENCH_explorer_dedup.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_explorer_throughput);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use crate::common::{CaseStudy, Variant};
 use crate::{donna, meecbc, secretbox, ssl3};
-use pitchfork::{Detector, DetectorOptions};
+use pitchfork::{BatchAnalyzer, BatchItem, BatchReport, Detector, DetectorOptions};
 use std::fmt;
 
 /// The verdicts for one build of one case study.
@@ -73,30 +73,66 @@ pub fn analyze(study: &CaseStudy, forwarding_hazards: bool, bound: usize) -> pit
     Detector::new(options).analyze(&study.program, &study.config)
 }
 
+/// The key a study gets inside the Table 2 batches.
+fn item_name(study: &CaseStudy) -> String {
+    format!(
+        "{}/{}",
+        study.name,
+        match study.variant {
+            Variant::C => "c",
+            Variant::Fact => "fact",
+        }
+    )
+}
+
+/// All eight builds as batch items.
+pub fn batch_items() -> Vec<BatchItem> {
+    all_studies()
+        .into_iter()
+        .map(|s| BatchItem::new(item_name(&s), s.program, s.config))
+        .collect()
+}
+
 /// Run the full Table 2 experiment, mirroring §4.2.1's procedure:
-/// v1 mode with a deep bound first; v4 mode with a reduced bound.
+/// v1 mode with a deep bound first; v4 mode with a reduced bound. Both
+/// passes run as one [`BatchAnalyzer`] batch each, so all eight builds
+/// share the expression arena and the aggregate statistics cover the
+/// whole matrix.
 pub fn run(v1_bound: usize, v4_bound: usize) -> Table2 {
+    let v1 = BatchAnalyzer::new(DetectorOptions::v1_mode(v1_bound)).analyze_all(batch_items());
+    let v4 = BatchAnalyzer::new(DetectorOptions::v4_mode(v4_bound)).analyze_all(batch_items());
+    from_batches(&v1, &v4, v1_bound, v4_bound)
+}
+
+/// Assemble the detection matrix from one batch per mode (exposed so
+/// callers holding their own batch reports — the bench, the example —
+/// can render the paper's table without re-running).
+pub fn from_batches(v1: &BatchReport, v4: &BatchReport, v1_bound: usize, v4_bound: usize) -> Table2 {
     let names = [
         "curve25519-donna",
         "libsodium secretbox",
         "OpenSSL ssl3 record validate",
         "OpenSSL MEE-CBC",
     ];
-    let studies = all_studies();
-    let mut rows = Vec::new();
-    for name in names {
-        let mut c = Cell { v1: false, v4: false };
-        let mut fact = Cell { v1: false, v4: false };
-        for s in studies.iter().filter(|s| s.name == name) {
-            let v1 = analyze(s, false, v1_bound).has_violations();
-            let v4 = analyze(s, true, v4_bound).has_violations();
-            match s.variant {
-                Variant::C => c = Cell { v1, v4 },
-                Variant::Fact => fact = Cell { v1, v4 },
+    let flagged = |batch: &BatchReport, key: &str| {
+        batch
+            .outcome(key)
+            .is_some_and(|o| o.report.has_violations())
+    };
+    let rows = names
+        .into_iter()
+        .map(|name| {
+            let cell = |variant: &str| Cell {
+                v1: flagged(v1, &format!("{name}/{variant}")),
+                v4: flagged(v4, &format!("{name}/{variant}")),
+            };
+            Row {
+                name,
+                c: cell("c"),
+                fact: cell("fact"),
             }
-        }
-        rows.push(Row { name, c, fact });
-    }
+        })
+        .collect();
     Table2 {
         rows,
         v1_bound,

@@ -74,3 +74,44 @@ fn case_studies_are_sequentially_constant_time() {
         );
     }
 }
+
+/// Deduplication must not change any Table 2 verdict, only shrink the
+/// exploration (drastically, in v4 mode — the seed's duplicate-blind
+/// engine hit its state budget on half the builds).
+#[test]
+fn dedup_preserves_every_table2_verdict() {
+    use pitchfork::{Detector, DetectorOptions};
+    for study in table2::all_studies() {
+        for (v4, bound) in [(false, V1_BOUND), (true, V4_BOUND)] {
+            let mk = |dedup: bool| {
+                if v4 {
+                    DetectorOptions::v4_mode(bound)
+                } else {
+                    DetectorOptions::v1_mode(bound)
+                }
+                .dedup(dedup)
+            };
+            let on = Detector::new(mk(true)).analyze(&study.program, &study.config);
+            let off = Detector::new(mk(false)).analyze(&study.program, &study.config);
+            // A truncated run's verdict is budget-dependent (the
+            // duplicate-blind engine exceeds its budget on some v4
+            // builds); only complete explorations are comparable.
+            if on.stats.truncated || off.stats.truncated {
+                continue;
+            }
+            assert_eq!(
+                on.has_violations(),
+                off.has_violations(),
+                "{} ({}) v4={v4}: dedup changed the verdict",
+                study.name,
+                study.variant.name()
+            );
+            assert!(
+                on.stats.states <= off.stats.states,
+                "{} ({}) v4={v4}: dedup explored more states",
+                study.name,
+                study.variant.name()
+            );
+        }
+    }
+}

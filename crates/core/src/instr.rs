@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// An operand `rv`: a register name or an immediate labeled value.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Operand {
     /// A register read.
     Reg(Reg),

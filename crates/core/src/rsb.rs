@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A single RSB command.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RsbOp {
     /// `push n` — recorded when fetching a `call` with return point `n`.
     Push(Pc),
@@ -20,7 +20,7 @@ pub enum RsbOp {
 }
 
 /// The return stack buffer `σ`.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Rsb {
     ops: BTreeMap<usize, RsbOp>,
 }

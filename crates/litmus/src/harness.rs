@@ -2,6 +2,7 @@
 //! that checks them against the sequential semantics and both Pitchfork
 //! modes.
 
+use pitchfork::{BatchAnalyzer, BatchItem, BatchReport, DetectorOptions};
 use sct_core::sched::sequential::run_sequential;
 use sct_core::{Config, Params, Program};
 use std::fmt;
@@ -96,6 +97,47 @@ pub fn run_case(case: &LitmusCase) -> CaseResult {
         sequentially_clean: seq.outcome.trace.is_public(),
         v1_violation: v1.has_violations(),
         v4_violation: v4.has_violations(),
+    }
+}
+
+/// The whole suite as batch items, preserving each case's speculation
+/// bound.
+pub fn batch_items(cases: &[LitmusCase]) -> Vec<BatchItem> {
+    cases
+        .iter()
+        .map(|c| BatchItem::with_bound(c.name, c.program.clone(), c.config.clone(), c.bound))
+        .collect()
+}
+
+/// Batch verdicts for a suite: one shared-arena pass per detector mode.
+pub struct CorpusVerdicts {
+    /// The v1-mode (no forwarding hazards) batch.
+    pub v1: BatchReport,
+    /// The v4-mode (forwarding hazards) batch.
+    pub v4: BatchReport,
+}
+
+impl CorpusVerdicts {
+    /// The observed verdicts for one named case (sequential cleanliness
+    /// is not covered by the batches; see [`run_case`]).
+    pub fn violations(&self, name: &str) -> Option<(bool, bool)> {
+        let v1 = self.v1.outcome(name)?.report.has_violations();
+        let v4 = self.v4.outcome(name)?.report.has_violations();
+        Some((v1, v4))
+    }
+}
+
+/// Run a whole suite through [`BatchAnalyzer`] — one pass per mode,
+/// every case sharing the expression arena. Equivalent, case for case,
+/// to [`run_case`]'s per-case detector verdicts (the batch suite test
+/// checks exactly that), but reports corpus-wide statistics.
+pub fn run_corpus(cases: &[LitmusCase]) -> CorpusVerdicts {
+    let items = batch_items(cases);
+    // The 16 is a placeholder: every item carries `Some(case.bound)`,
+    // which overrides the batch-wide bound per program.
+    CorpusVerdicts {
+        v1: BatchAnalyzer::new(DetectorOptions::v1_mode(16)).analyze_all(items.clone()),
+        v4: BatchAnalyzer::new(DetectorOptions::v4_mode(16)).analyze_all(items),
     }
 }
 

@@ -1,0 +1,254 @@
+//! Batch analysis: many programs through one detector configuration and
+//! one shared expression arena.
+//!
+//! The hash-consed arena (see [`sct_symx::arena_stats`]) is
+//! process-wide, so analyzing a whole corpus in one batch lets later
+//! programs hit the expression and simplification caches warmed by
+//! earlier ones; [`BatchReport`] surfaces exactly how much structure
+//! was shared, along with aggregate exploration statistics. This is the
+//! API the litmus corpus, the Table 2 matrix, and the throughput bench
+//! drive.
+
+use crate::detector::{Detector, DetectorOptions};
+use crate::report::Report;
+use sct_core::{Config, Program};
+use sct_symx::{arena_stats, ArenaStats};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One program to analyze.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// Display name (e.g. the litmus case or case-study name).
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The initial configuration.
+    pub config: Config,
+    /// Per-item speculation-bound override (`None` uses the batch
+    /// options' bound).
+    pub bound: Option<usize>,
+}
+
+impl BatchItem {
+    /// An item analyzed at the batch-wide bound.
+    pub fn new(name: impl Into<String>, program: Program, config: Config) -> Self {
+        BatchItem {
+            name: name.into(),
+            program,
+            config,
+            bound: None,
+        }
+    }
+
+    /// An item with its own speculation bound.
+    pub fn with_bound(name: impl Into<String>, program: Program, config: Config, bound: usize) -> Self {
+        BatchItem {
+            name: name.into(),
+            program,
+            config,
+            bound: Some(bound),
+        }
+    }
+}
+
+/// The analysis result for one batch item.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The item's name.
+    pub name: String,
+    /// Its full report.
+    pub report: Report,
+}
+
+/// Aggregate statistics over a whole batch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchTotals {
+    /// Programs analyzed.
+    pub programs: usize,
+    /// Programs with at least one violation.
+    pub flagged: usize,
+    /// States expanded across all programs.
+    pub states: usize,
+    /// Duplicate states pruned across all programs.
+    pub deduped: usize,
+    /// Machine steps across all programs.
+    pub steps: usize,
+    /// Violations found across all programs.
+    pub violations: usize,
+    /// Programs whose exploration hit a budget.
+    pub truncated: usize,
+}
+
+/// The result of [`BatchAnalyzer::analyze_all`].
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-item outcomes, in input order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Aggregate exploration statistics.
+    pub totals: BatchTotals,
+    /// Arena counters when the batch started.
+    pub arena_before: ArenaStats,
+    /// Arena counters when the batch finished.
+    pub arena_after: ArenaStats,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Expression nodes interned during this batch (new structure that
+    /// no earlier program — in or before the batch — had built).
+    pub fn fresh_nodes(&self) -> usize {
+        self.arena_after.nodes - self.arena_before.nodes
+    }
+
+    /// States per second over the whole batch.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.totals.states as f64 / secs
+        }
+    }
+
+    /// The outcome for a named item, if present.
+    pub fn outcome(&self, name: &str) -> Option<&BatchOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "batch: {} programs, {} flagged; {} states ({} deduped), {} steps in {:.1?} ({:.0} states/s)",
+            self.totals.programs,
+            self.totals.flagged,
+            self.totals.states,
+            self.totals.deduped,
+            self.totals.steps,
+            self.wall,
+            self.states_per_sec(),
+        )?;
+        writeln!(
+            f,
+            "arena: {} nodes (+{} this batch), app cache {} hits / {} misses",
+            self.arena_after.nodes,
+            self.fresh_nodes(),
+            self.arena_after.app_cache_hits,
+            self.arena_after.app_cache_misses,
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  {:<32} {:<24} {:>6} states {:>6} deduped{}",
+                o.name,
+                o.report.verdict(),
+                o.report.stats.states,
+                o.report.stats.deduped,
+                if o.report.stats.truncated {
+                    " (truncated)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs many programs through one detector configuration, sharing the
+/// process-wide expression arena, and reports aggregate statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pitchfork::{BatchAnalyzer, BatchItem, DetectorOptions};
+/// use sct_core::examples::fig1;
+///
+/// let (program, config) = fig1();
+/// let batch = BatchAnalyzer::new(DetectorOptions::v1_mode(16))
+///     .analyze_all(vec![BatchItem::new("fig1", program, config)]);
+/// assert_eq!(batch.totals.programs, 1);
+/// assert_eq!(batch.totals.flagged, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchAnalyzer {
+    options: DetectorOptions,
+}
+
+impl BatchAnalyzer {
+    /// A batch analyzer running every item with `options` (modulo
+    /// per-item bound overrides).
+    pub fn new(options: DetectorOptions) -> Self {
+        BatchAnalyzer { options }
+    }
+
+    /// Analyze every item, in order, accumulating totals and arena
+    /// deltas.
+    pub fn analyze_all(&self, items: impl IntoIterator<Item = BatchItem>) -> BatchReport {
+        let arena_before = arena_stats();
+        let start = Instant::now();
+        let mut outcomes = Vec::new();
+        let mut totals = BatchTotals::default();
+        for item in items {
+            let mut options = self.options;
+            if let Some(bound) = item.bound {
+                options.explorer.spec_bound = bound;
+            }
+            let report = Detector::new(options).analyze(&item.program, &item.config);
+            totals.programs += 1;
+            totals.flagged += usize::from(report.has_violations());
+            totals.states += report.stats.states;
+            totals.deduped += report.stats.deduped;
+            totals.steps += report.stats.steps;
+            totals.violations += report.violations.len();
+            totals.truncated += usize::from(report.stats.truncated);
+            outcomes.push(BatchOutcome {
+                name: item.name,
+                report,
+            });
+        }
+        BatchReport {
+            outcomes,
+            totals,
+            arena_before,
+            arena_after: arena_stats(),
+            wall: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sct_core::examples::fig1;
+
+    #[test]
+    fn batch_aggregates_and_matches_single_runs() {
+        let (p, cfg) = fig1();
+        let items = vec![
+            BatchItem::new("fig1-a", p.clone(), cfg.clone()),
+            BatchItem::with_bound("fig1-b", p.clone(), cfg.clone(), 4),
+        ];
+        let batch = BatchAnalyzer::new(DetectorOptions::v1_mode(16)).analyze_all(items);
+        assert_eq!(batch.totals.programs, 2);
+        assert_eq!(batch.totals.flagged, 2);
+        let single = Detector::new(DetectorOptions::v1_mode(16)).analyze(&p, &cfg);
+        let in_batch = &batch.outcome("fig1-a").unwrap().report;
+        assert_eq!(in_batch.has_violations(), single.has_violations());
+        assert_eq!(in_batch.stats.states, single.stats.states);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let (p, cfg) = fig1();
+        let batch = BatchAnalyzer::new(DetectorOptions::v1_mode(8))
+            .analyze_all(vec![BatchItem::new("fig1", p, cfg)]);
+        let text = batch.to_string();
+        assert!(text.contains("batch: 1 programs"));
+        assert!(text.contains("arena:"));
+        assert!(text.contains("fig1"));
+    }
+}

@@ -69,6 +69,15 @@ impl DetectorOptions {
             params: Params::paper(),
         }
     }
+
+    /// The same options with state deduplication toggled — duplicate
+    /// states are pruned by default; turning it off reproduces the
+    /// duplicate-blind exploration the equivalence tests and the
+    /// throughput bench compare against.
+    pub fn dedup(mut self, dedup_states: bool) -> Self {
+        self.explorer.dedup_states = dedup_states;
+        self
+    }
 }
 
 /// The Pitchfork detector: generates worst-case schedules and

@@ -1,4 +1,19 @@
-//! Worst-case schedule exploration (§4.1, Definition B.18).
+//! Worst-case schedule exploration (§4.1, Definition B.18) as an
+//! explicit worklist engine.
+//!
+//! Exploration keeps a frontier of symbolic states and a visited set
+//! keyed by [`SymState::fingerprint`] (ROB contents, interned
+//! register/memory expressions, path condition). Distinct schedule
+//! prefixes frequently reconverge on identical states — e.g. the
+//! delayed and the eager store-address resolutions of a non-hazarding
+//! store, or branch guesses after rollback — and the visited set prunes
+//! every such duplicate, turning the seed's exponential re-exploration
+//! into work proportional to the number of *distinct* states. The
+//! pruning is sound for violation detection because a state's future
+//! (and therefore every future observation) depends only on the
+//! fingerprinted components; only the already-emitted schedule prefix
+//! differs, and that prefix is known clean or it would have been
+//! reported when first reached.
 //!
 //! The explorer enumerates the *tool schedules* `DT(n)`:
 //!
@@ -53,6 +68,9 @@ pub struct ExplorerOptions {
     /// Cap on explored mistrained targets per `jmpi` (keeps the v2
     /// exploration bounded).
     pub jmpi_target_cap: usize,
+    /// Prune states whose fingerprint was already expanded (on by
+    /// default; the bench compares both settings).
+    pub dedup_states: bool,
     /// State-expansion budget; exploration truncates beyond it.
     pub max_states: usize,
     /// Stop extending a path once it has produced a violation.
@@ -69,6 +87,7 @@ impl Default for ExplorerOptions {
             alias_prediction: false,
             jmpi_mistraining: false,
             jmpi_target_cap: 32,
+            dedup_states: true,
             max_states: 50_000,
             stop_path_on_violation: true,
             max_violations: 64,
@@ -121,11 +140,22 @@ impl<'p> Explorer<'p> {
         }
     }
 
-    /// Explore all worst-case schedules from `initial`.
+    /// Explore all worst-case schedules from `initial` with a worklist.
+    ///
+    /// Deduplication happens at push time: a successor whose
+    /// fingerprint is already in the visited set is dropped before it
+    /// occupies frontier memory, and everything enqueued is distinct,
+    /// so the pop path needs no second check. Every state is
+    /// fingerprinted exactly once.
     pub fn explore(&self, initial: SymState) -> Report {
         let mut report = Report::default();
-        let mut stack = vec![initial];
-        while let Some(state) = stack.pop() {
+        let dedup = self.options.dedup_states;
+        let mut visited: std::collections::HashSet<u128> = std::collections::HashSet::new();
+        if dedup {
+            visited.insert(initial.fingerprint());
+        }
+        let mut frontier = vec![initial];
+        while let Some(state) = frontier.pop() {
             if report.stats.states >= self.options.max_states
                 || report.violations.len() >= self.options.max_violations
             {
@@ -140,9 +170,14 @@ impl<'p> Explorer<'p> {
             }
             for cont in conts {
                 for succ in self.apply(&state, &cont, &mut report) {
-                    stack.push(succ);
+                    if dedup && !visited.insert(succ.fingerprint()) {
+                        report.stats.deduped += 1;
+                        continue;
+                    }
+                    frontier.push(succ);
                 }
             }
+            report.stats.frontier_peak = report.stats.frontier_peak.max(frontier.len());
         }
         report
     }

@@ -2,14 +2,27 @@
 //!
 //! A reimplementation of **Pitchfork**, the speculative constant-time
 //! violation detector of "Constant-Time Foundations for the New Spectre
-//! Era" (Cauligi et al., PLDI 2020, §4).
+//! Era" (Cauligi et al., PLDI 2020, §4), re-architected as a
+//! **worklist exploration engine** over hash-consed symbolic state:
 //!
-//! Pitchfork generates a set of *worst-case schedules* (Definition
-//! B.18) parametrized by a **speculation bound**, and symbolically
-//! executes the program under each, flagging any observation that
-//! carries a secret label. The schedule set is sound for the fragment
-//! the paper's tool exercises: if any schedule leaks, a worst-case
-//! schedule leaks (Theorem B.20).
+//! * [`SymMachine`] lifts the reference semantics to symbolic values
+//!   ([`sct_symx`]'s interned expressions), forking on symbolic branch
+//!   conditions and concretizing addresses angr-style;
+//! * [`Explorer`] enumerates the worst-case schedules (Definition
+//!   B.18) with an explicit frontier and a visited set keyed by
+//!   [`SymState::fingerprint`] — ROB contents, interned
+//!   register/memory expressions, and the path condition. Schedules
+//!   that reconverge on an already-expanded state are pruned, which is
+//!   what keeps deep speculation bounds (250 for v1, 20 for v4)
+//!   tractable: on the Table 2 case studies, v4-mode exploration that
+//!   exhausted the seed engine's 50k-state budget completes in a few
+//!   hundred distinct states;
+//! * [`Detector`] wraps program + configuration into reports;
+//!   [`BatchAnalyzer`] runs whole corpora through one configuration and
+//!   the shared expression arena, reporting aggregate statistics and
+//!   arena reuse;
+//! * [`repair`](crate::repair) inserts fences until the detector is
+//!   satisfied.
 //!
 //! Two analysis modes mirror §4.2.1:
 //!
@@ -29,14 +42,26 @@
 //! let (program, config) = fig1();
 //! let report = Detector::new(DetectorOptions::v1_mode(20)).analyze(&program, &config);
 //! assert!(report.has_violations(), "Spectre v1 is flagged");
-//! for v in &report.violations {
-//!     println!("{v}");
-//! }
+//! println!("{} states, {} duplicates pruned", report.stats.states, report.stats.deduped);
+//! ```
+//!
+//! Batch mode over many programs:
+//!
+//! ```
+//! use pitchfork::{BatchAnalyzer, BatchItem, DetectorOptions};
+//! use sct_core::examples::fig1;
+//!
+//! let (program, config) = fig1();
+//! let batch = BatchAnalyzer::new(DetectorOptions::v1_mode(20))
+//!     .analyze_all(vec![BatchItem::new("fig1", program, config)]);
+//! assert_eq!(batch.totals.flagged, 1);
+//! println!("{batch}");
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod detector;
 pub mod explorer;
 pub mod machine;
@@ -44,6 +69,7 @@ pub mod repair;
 pub mod report;
 pub mod state;
 
+pub use batch::{BatchAnalyzer, BatchItem, BatchOutcome, BatchReport, BatchTotals};
 pub use detector::{Detector, DetectorOptions};
 pub use explorer::{Explorer, ExplorerOptions};
 pub use machine::SymMachine;

@@ -142,7 +142,7 @@ impl<'p> SymMachine<'p> {
                     matches!(self.params.stack, sct_core::StackDiscipline::GrowsDown { .. });
                 let subtract = (opcode == OpCode::Succ) == grows_down;
                 let op = if subtract { OpCode::Sub } else { OpCode::Add };
-                Expr::app(op, vec![args[0].expr.clone(), Expr::constant(word)])
+                Expr::app(op, vec![args[0].expr, Expr::constant(word)])
             }
             OpCode::Addr => self.sym_addr_expr(args),
             _ => {
@@ -159,7 +159,7 @@ impl<'p> SymMachine<'p> {
                         got: 0,
                     }));
                 }
-                Expr::app(opcode, args.iter().map(|a| a.expr.clone()).collect())
+                Expr::app(opcode, args.iter().map(|a| a.expr).collect())
             }
         };
         Ok(SymVal::new(expr, label))
@@ -167,7 +167,7 @@ impl<'p> SymMachine<'p> {
 
     /// `Jaddr(v⃗)K` as an expression.
     fn sym_addr_expr(&self, args: &[SymVal]) -> Expr {
-        let exprs: Vec<Expr> = args.iter().map(|a| a.expr.clone()).collect();
+        let exprs: Vec<Expr> = args.iter().map(|a| a.expr).collect();
         match self.params.addr_mode {
             sct_core::AddrMode::Sum => Expr::app(OpCode::Add, exprs),
             sct_core::AddrMode::X86 => match exprs.len() {
@@ -231,9 +231,9 @@ impl<'p> SymMachine<'p> {
             .take(PROBE_LIMIT)
             .collect();
         for s in secret_cells {
-            let pin = Expr::app(OpCode::Eq, vec![expr.clone(), Expr::constant(s)]);
+            let pin = Expr::app(OpCode::Eq, vec![expr, Expr::constant(s)]);
             let mut cs = state.constraints.clone();
-            cs.push(pin.clone());
+            cs.push(pin);
             if self.solver.check(&cs).is_sat() {
                 state.assume(pin);
                 return (s, label);
@@ -253,7 +253,7 @@ impl<'p> SymMachine<'p> {
             None => self.solver.check(&state.constraints).maybe_sat(),
             Some(e) => {
                 let mut cs = state.constraints.clone();
-                cs.push(e.clone());
+                cs.push(*e);
                 self.solver.check(&cs).maybe_sat()
             }
         }
@@ -455,9 +455,9 @@ impl<'p> SymMachine<'p> {
         let mut out = Vec::new();
         for outcome in [true, false] {
             let constraint = if outcome {
-                Expr::app(OpCode::Ne, vec![cond.expr.clone(), Expr::constant(0)])
+                Expr::app(OpCode::Ne, vec![cond.expr, Expr::constant(0)])
             } else {
-                Expr::app(OpCode::Eq, vec![cond.expr.clone(), Expr::constant(0)])
+                Expr::app(OpCode::Eq, vec![cond.expr, Expr::constant(0)])
             };
             match constraint.as_const() {
                 Some(0) => continue,
@@ -786,14 +786,14 @@ impl<'p> SymMachine<'p> {
         // feasible (labels must agree for the values to be equal).
         let mut out = Vec::new();
         let labels_agree = vmem.label == fwd.label;
-        let eq_expr = Expr::app(OpCode::Eq, vec![vmem.expr.clone(), fwd.expr.clone()]);
+        let eq_expr = Expr::app(OpCode::Eq, vec![vmem.expr, fwd.expr]);
         let match_feasible = labels_agree
             && match eq_expr.as_const() {
                 Some(0) => false,
                 Some(_) => true,
                 None => self.feasible(&st, Some(&eq_expr)),
             };
-        let mismatch_expr = Expr::app(OpCode::Eq, vec![eq_expr.clone(), Expr::constant(0)]);
+        let mismatch_expr = Expr::app(OpCode::Eq, vec![eq_expr, Expr::constant(0)]);
         let mismatch_feasible = !labels_agree
             || match mismatch_expr.as_const() {
                 Some(0) => false,
@@ -803,13 +803,13 @@ impl<'p> SymMachine<'p> {
         if match_feasible {
             let mut m = st.clone();
             if eq_expr.as_const().is_none() {
-                m.assume(eq_expr.clone());
+                m.assume(eq_expr);
             }
             m.rob.set(
                 i,
                 SymTransient::LoadedValue {
                     dst,
-                    val: vmem.clone(),
+                    val: vmem,
                     prov: SymProvenance { dep: None, addr: a },
                     pp,
                 },
@@ -868,7 +868,7 @@ impl<'p> SymMachine<'p> {
             }
             SymTransient::Call => {
                 let rsp_val = match st.rob.get(i + 1) {
-                    Some(SymTransient::Value { dst, val }) if *dst == Reg::RSP => val.clone(),
+                    Some(SymTransient::Value { dst, val }) if *dst == Reg::RSP => *val,
                     _ => {
                         return Err(StepError::NotRetirable {
                             index: i,
@@ -880,7 +880,7 @@ impl<'p> SymMachine<'p> {
                     Some(SymTransient::Store {
                         data: SymStoreData::Resolved(v),
                         addr: SymStoreAddr::Resolved(a, l),
-                    }) => (v.clone(), *a, *l),
+                    }) => (*v, *a, *l),
                     _ => {
                         return Err(StepError::NotRetirable {
                             index: i,
@@ -904,7 +904,7 @@ impl<'p> SymMachine<'p> {
                 );
                 let rsp_val = match st.rob.get(i + 2) {
                     Some(SymTransient::Value { dst, val }) if *dst == Reg::RSP => {
-                        Some(val.clone())
+                        Some(*val)
                     }
                     _ => None,
                 };

@@ -43,8 +43,14 @@ impl fmt::Display for Violation {
 /// Exploration statistics (used by the tractability benches).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExploreStats {
-    /// Symbolic states expanded.
+    /// Symbolic states expanded (after deduplication).
     pub states: usize,
+    /// Frontier states pruned because an identical state (same
+    /// fingerprint: ROB, registers, memory, path condition) was already
+    /// expanded along another schedule.
+    pub deduped: usize,
+    /// Largest worklist size observed.
+    pub frontier_peak: usize,
     /// Complete schedules (paths run to completion or violation).
     pub schedules: usize,
     /// Machine steps taken.
@@ -89,10 +95,11 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}: {} violation(s); {} states, {} schedules, {} steps{}",
+            "{}: {} violation(s); {} states ({} deduped), {} schedules, {} steps{}",
             self.verdict(),
             self.violations.len(),
             self.stats.states,
+            self.stats.deduped,
             self.stats.schedules,
             self.stats.steps,
             if self.stats.truncated {

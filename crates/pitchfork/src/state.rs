@@ -9,7 +9,7 @@ use std::fmt;
 
 /// Provenance of a resolved symbolic load (`{j, a}` with a concretized
 /// address).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SymProvenance {
     /// Forwarding source: `Some(j)` for a store at buffer index `j`,
     /// `None` for memory (`⊥`).
@@ -26,7 +26,7 @@ impl SymProvenance {
 }
 
 /// Resolution state of a symbolic store's data operand.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum SymStoreData {
     /// Unresolved operand.
     Pending(Operand),
@@ -45,7 +45,7 @@ impl SymStoreData {
 }
 
 /// Resolution state of a symbolic store's address.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum SymStoreAddr {
     /// Unresolved operands.
     Pending(Vec<Operand>),
@@ -64,7 +64,7 @@ impl SymStoreAddr {
 }
 
 /// A symbolic transient instruction (Table 1, symbolic values).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum SymTransient {
     /// Unresolved arithmetic operation.
     Op {
@@ -297,11 +297,49 @@ impl SymState {
         self.trace.extend_from_slice(obs);
     }
 
-    /// Add a path constraint.
+    /// Add a path constraint. The constraint vector is kept sorted by
+    /// interned id and deduplicated — a canonical set representation,
+    /// so [`SymState::fingerprint`] can hash it directly and logically
+    /// equal path conditions fingerprint identically.
     pub fn assume(&mut self, e: Expr) {
         if e.as_const() != Some(1) {
-            self.constraints.push(e);
+            if let Err(pos) = self.constraints.binary_search(&e) {
+                self.constraints.insert(pos, e);
+            }
         }
+    }
+
+    /// A 128-bit fingerprint of everything that determines this state's
+    /// *future* behaviour: program point, reorder buffer (with its base
+    /// index — provenance `{j, a}` is absolute), RSB, interned register
+    /// and memory expressions, and the path condition as a canonical
+    /// (sorted, deduplicated) set of interned constraint ids.
+    ///
+    /// The schedule and trace taken to reach the state are deliberately
+    /// excluded: two states that agree on the fingerprint explore
+    /// identical futures, so the worklist engine keeps only one. The
+    /// two halves are SipHash over the same data with different
+    /// prefixes — two passes buy 128 genuinely independent bits
+    /// (deriving one half from the other would collapse the entropy to
+    /// 64), making accidental collisions (~2⁻¹²⁸) irrelevant in
+    /// practice.
+    pub fn fingerprint(&self) -> u128 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let hash_with = |prefix: u64| {
+            let mut h = DefaultHasher::new();
+            prefix.hash(&mut h);
+            self.pc.hash(&mut h);
+            self.rob.hash(&mut h);
+            self.rsb.hash(&mut h);
+            self.regs.hash(&mut h);
+            self.mem.hash(&mut h);
+            // Canonical (sorted, deduplicated) by `assume`'s invariant.
+            self.constraints.hash(&mut h);
+            h.finish()
+        };
+        (u128::from(hash_with(0x5c7)) << 64) | u128::from(hash_with(0xa5a5_0f0f))
     }
 }
 

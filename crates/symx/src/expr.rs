@@ -1,15 +1,24 @@
-//! Symbolic bit-vector expressions over 64-bit words.
+//! Hash-consed symbolic bit-vector expressions over 64-bit words.
 //!
-//! Expressions are immutable reference-counted trees. Constructors fold
-//! constants eagerly (by delegating to the *concrete* evaluator of
-//! `sct-core`, so symbolic and concrete semantics cannot drift) and apply
-//! the algebraic simplifications of [`crate::simplify`].
+//! Expressions are immutable nodes interned in a process-wide arena:
+//! an [`ExprRef`] is a 32-bit id, structural equality is id equality
+//! (O(1)), and every distinct structure is stored exactly once, so
+//! cloning machine states shares all expression structure. The
+//! [`ExprRef::app`] constructor folds constants eagerly (delegating to
+//! the *concrete* evaluator of `sct-core`, so symbolic and concrete
+//! semantics cannot drift), applies the algebraic simplifications of
+//! [`crate::simplify`], and memoizes `(op, args) → result`, so
+//! re-deriving the same value along different schedules is a cache hit.
+//!
+//! The arena is shared by every analysis in the process (see
+//! [`arena_stats`]); batch runs over many programs reuse each other's
+//! interned expressions.
 
 use sct_core::op::{self, OpCode};
 use sct_core::Val;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{LazyLock, PoisonError, RwLock, RwLockReadGuard};
 
 /// A symbolic input variable.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -57,85 +66,154 @@ impl FromIterator<(VarId, u64)> for Model {
     }
 }
 
-#[derive(PartialEq, Eq, Hash, Debug)]
+/// An interned expression node. Children are [`ExprRef`]s, so the node
+/// itself is small and hashes in O(arity).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) enum Node {
     Const(u64),
     Var(VarId),
-    App(OpCode, Vec<Expr>),
+    App(OpCode, Box<[ExprRef]>),
 }
 
-/// A symbolic expression (cheap to clone).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct Expr(pub(crate) Rc<Node>);
+/// A reference into the expression arena: a 32-bit id whose equality is
+/// structural equality of the interned (simplified) expression.
+///
+/// `ExprRef` is `Copy`; cloning a whole symbolic machine state copies
+/// ids, never expression trees. The `Ord` instance is interning order —
+/// arbitrary but deterministic within a process, which is what the
+/// explorer needs to canonicalize path-condition sets.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprRef(u32);
 
-impl Expr {
+/// The traditional name: the seed's `Expr` tree type is now an interned
+/// reference.
+pub type Expr = ExprRef;
+
+/// A borrowed view of a node, for callers that need to match on
+/// structure (the solver's bound extraction, the interval analysis).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExprKind {
     /// A constant.
-    pub fn constant(v: u64) -> Expr {
-        Expr(Rc::new(Node::Const(v)))
-    }
-
+    Const(u64),
     /// A variable.
-    pub fn var(v: VarId) -> Expr {
-        Expr(Rc::new(Node::Var(v)))
+    Var(VarId),
+    /// An application.
+    App(OpCode, Vec<ExprRef>),
+}
+
+/// The hash-consing interner. One process-wide instance lives behind a
+/// [`RwLock`]; public [`ExprRef`] methods lock it, crate-internal code
+/// (the simplifier, the interval analysis, the solver's hot loops)
+/// receives `&ExprArena`/`&mut ExprArena` to stay re-entrancy-free.
+#[derive(Debug, Default)]
+pub(crate) struct ExprArena {
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, u32>,
+    app_cache: HashMap<ExprRef, ExprRef>,
+    app_hits: u64,
+    app_misses: u64,
+}
+
+impl ExprArena {
+    /// Intern a node, returning the existing id when the structure is
+    /// already present.
+    fn intern(&mut self, node: Node) -> ExprRef {
+        if let Some(&id) = self.dedup.get(&node) {
+            return ExprRef(id);
+        }
+        let id = u32::try_from(self.nodes.len()).expect("expression arena overflow");
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, id);
+        ExprRef(id)
     }
 
-    /// Apply an opcode, folding constants and simplifying.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operand count violates the opcode's arity — callers
-    /// construct applications from machine instructions, which were
-    /// arity-checked at assembly time.
-    pub fn app(opcode: OpCode, args: Vec<Expr>) -> Expr {
+    fn node(&self, e: ExprRef) -> &Node {
+        &self.nodes[e.0 as usize]
+    }
+
+    pub(crate) fn constant(&mut self, v: u64) -> ExprRef {
+        self.intern(Node::Const(v))
+    }
+
+    pub(crate) fn var(&mut self, v: VarId) -> ExprRef {
+        self.intern(Node::Var(v))
+    }
+
+    /// Intern an application verbatim, without simplification (used by
+    /// the simplifier to terminate).
+    pub(crate) fn raw_app(&mut self, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+        self.intern(Node::App(opcode, args.into_boxed_slice()))
+    }
+
+    /// Fold, simplify, and intern an application; memoized per raw
+    /// interned node. The (dominant) cache-hit path costs one interning
+    /// probe — exact-capacity argument vectors convert to boxed slices
+    /// without reallocating, so no fresh allocation on a hit beyond
+    /// that probe's key.
+    pub(crate) fn app(&mut self, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+        let raw = self.intern(Node::App(opcode, args.into_boxed_slice()));
+        if let Some(&cached) = self.app_cache.get(&raw) {
+            self.app_hits += 1;
+            return cached;
+        }
+        self.app_misses += 1;
+        let args: Vec<ExprRef> = match self.node(raw) {
+            Node::App(_, a) => a.to_vec(),
+            _ => unreachable!("raw app interned above"),
+        };
         // Constant folding through the concrete evaluator.
-        if let Some(consts) = args
+        let result = if let Some(consts) = args
             .iter()
-            .map(|a| a.as_const())
+            .map(|a| self.as_const(*a))
             .collect::<Option<Vec<u64>>>()
         {
             let vals: Vec<Val> = consts.into_iter().map(Val::public).collect();
             let folded = op::eval(opcode, &vals).expect("arity checked upstream");
-            return Expr::constant(folded.bits);
-        }
-        crate::simplify::simplify_app(opcode, args)
+            self.constant(folded.bits)
+        } else {
+            crate::simplify::simplify_app(self, opcode, args)
+        };
+        self.app_cache.insert(raw, result);
+        result
     }
 
-    /// Raw application without simplification (used by the simplifier to
-    /// terminate).
-    pub(crate) fn raw_app(opcode: OpCode, args: Vec<Expr>) -> Expr {
-        Expr(Rc::new(Node::App(opcode, args)))
-    }
-
-    /// The constant value, if this expression is a constant.
-    pub fn as_const(&self) -> Option<u64> {
-        match &*self.0 {
+    pub(crate) fn as_const(&self, e: ExprRef) -> Option<u64> {
+        match self.node(e) {
             Node::Const(v) => Some(*v),
             _ => None,
         }
     }
 
-    /// The variable, if this expression is one.
-    pub fn as_var(&self) -> Option<VarId> {
-        match &*self.0 {
+    pub(crate) fn as_var(&self, e: ExprRef) -> Option<VarId> {
+        match self.node(e) {
             Node::Var(v) => Some(*v),
             _ => None,
         }
     }
 
-    /// `true` when the expression contains no variables.
-    pub fn is_concrete(&self) -> bool {
-        self.as_const().is_some()
+    pub(crate) fn as_app(&self, e: ExprRef) -> Option<(OpCode, &[ExprRef])> {
+        match self.node(e) {
+            Node::App(op, args) => Some((*op, args)),
+            _ => None,
+        }
     }
 
-    /// Evaluate under a model (total: missing variables read 0).
-    pub fn eval(&self, model: &Model) -> u64 {
-        match &*self.0 {
+    pub(crate) fn kind(&self, e: ExprRef) -> ExprKind {
+        match self.node(e) {
+            Node::Const(v) => ExprKind::Const(*v),
+            Node::Var(v) => ExprKind::Var(*v),
+            Node::App(op, args) => ExprKind::App(*op, args.to_vec()),
+        }
+    }
+
+    pub(crate) fn eval(&self, e: ExprRef, model: &Model) -> u64 {
+        match self.node(e) {
             Node::Const(v) => *v,
             Node::Var(v) => model.get(*v),
             Node::App(opcode, args) => {
                 let vals: Vec<Val> = args
                     .iter()
-                    .map(|a| Val::public(a.eval(model)))
+                    .map(|&a| Val::public(self.eval(a, model)))
                     .collect();
                 op::eval(*opcode, &vals)
                     .expect("arity checked at construction")
@@ -144,80 +222,192 @@ impl Expr {
         }
     }
 
-    /// Collect the variables occurring in the expression.
-    pub fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
-        match &*self.0 {
+    pub(crate) fn collect_vars(&self, e: ExprRef, out: &mut BTreeSet<VarId>) {
+        match self.node(e) {
             Node::Const(_) => {}
             Node::Var(v) => {
                 out.insert(*v);
             }
             Node::App(_, args) => {
-                for a in args {
-                    a.collect_vars(out);
+                for &a in args.iter() {
+                    self.collect_vars(a, out);
                 }
             }
         }
     }
 
-    /// The variables occurring in the expression.
-    pub fn vars(&self) -> BTreeSet<VarId> {
-        let mut s = BTreeSet::new();
-        self.collect_vars(&mut s);
-        s
-    }
-
-    /// Number of nodes (used to bound simplifier work).
-    pub fn size(&self) -> usize {
-        match &*self.0 {
-            Node::Const(_) | Node::Var(_) => 1,
-            Node::App(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
-        }
-    }
-
-    /// Structural equality with a pointer fast path.
-    pub fn same(&self, other: &Expr) -> bool {
-        Rc::ptr_eq(&self.0, &other.0) || self == other
-    }
-
-    /// All constants occurring in the expression (seed values for the
-    /// solver's candidate search).
-    pub fn collect_consts(&self, out: &mut BTreeSet<u64>) {
-        match &*self.0 {
+    pub(crate) fn collect_consts(&self, e: ExprRef, out: &mut BTreeSet<u64>) {
+        match self.node(e) {
             Node::Const(v) => {
                 out.insert(*v);
             }
             Node::Var(_) => {}
             Node::App(_, args) => {
-                for a in args {
-                    a.collect_consts(out);
+                for &a in args.iter() {
+                    self.collect_consts(a, out);
                 }
             }
         }
     }
-}
 
-impl From<u64> for Expr {
-    fn from(v: u64) -> Self {
-        Expr::constant(v)
-    }
-}
-
-impl fmt::Display for Expr {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &*self.0 {
+    fn display(&self, e: ExprRef, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node(e) {
             Node::Const(v) => write!(f, "{v:#x}"),
             Node::Var(v) => write!(f, "{v}"),
             Node::App(opcode, args) => {
                 write!(f, "{}(", opcode.mnemonic())?;
-                for (i, a) in args.iter().enumerate() {
+                for (i, &a) in args.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "{a}")?;
+                    self.display(a, f)?;
                 }
                 write!(f, ")")
             }
         }
+    }
+}
+
+static ARENA: LazyLock<RwLock<ExprArena>> = LazyLock::new(|| RwLock::new(ExprArena::default()));
+
+/// Run `f` with shared access to the process-wide arena.
+///
+/// Lock discipline: arena-internal code never calls back into these
+/// helpers; a poisoned lock (panic in an unrelated test) is ignored
+/// because the arena is append-only and stays structurally valid.
+pub(crate) fn with_arena<R>(f: impl FnOnce(&ExprArena) -> R) -> R {
+    f(&ARENA.read().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// Run `f` with exclusive access to the process-wide arena.
+pub(crate) fn with_arena_mut<R>(f: impl FnOnce(&mut ExprArena) -> R) -> R {
+    f(&mut ARENA.write().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// A read guard on the arena, for hot loops that make many read-only
+/// queries (the solver's model search) without re-locking.
+pub(crate) fn read_arena() -> RwLockReadGuard<'static, ExprArena> {
+    ARENA.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Counters describing the process-wide expression arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ArenaStats {
+    /// Distinct interned nodes.
+    pub nodes: usize,
+    /// Memoized application-constructor hits.
+    pub app_cache_hits: u64,
+    /// Application-constructor misses (simplifier actually ran).
+    pub app_cache_misses: u64,
+}
+
+/// Snapshot the arena counters (used by batch analyses to report
+/// structural sharing across programs).
+pub fn arena_stats() -> ArenaStats {
+    with_arena(|a| ArenaStats {
+        nodes: a.nodes.len(),
+        app_cache_hits: a.app_hits,
+        app_cache_misses: a.app_misses,
+    })
+}
+
+impl ExprRef {
+    /// A constant.
+    pub fn constant(v: u64) -> ExprRef {
+        with_arena_mut(|a| a.constant(v))
+    }
+
+    /// A variable.
+    pub fn var(v: VarId) -> ExprRef {
+        with_arena_mut(|a| a.var(v))
+    }
+
+    /// Apply an opcode, folding constants and simplifying. Structurally
+    /// identical results — however they were derived — intern to the
+    /// same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count violates the opcode's arity — callers
+    /// construct applications from machine instructions, which were
+    /// arity-checked at assembly time.
+    pub fn app(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+        with_arena_mut(|a| a.app(opcode, args))
+    }
+
+    /// Intern an application verbatim, without simplification. Used by
+    /// tests and diagnostics to compare raw against simplified forms;
+    /// production construction goes through [`ExprRef::app`].
+    pub fn raw_app(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+        with_arena_mut(|a| a.raw_app(opcode, args))
+    }
+
+    /// The constant value, if this expression is a constant.
+    pub fn as_const(self) -> Option<u64> {
+        with_arena(|a| a.as_const(self))
+    }
+
+    /// The variable, if this expression is one.
+    pub fn as_var(self) -> Option<VarId> {
+        with_arena(|a| a.as_var(self))
+    }
+
+    /// The node shape: constant, variable, or application (children as
+    /// [`ExprRef`]s).
+    pub fn kind(self) -> ExprKind {
+        with_arena(|a| a.kind(self))
+    }
+
+    /// `true` when the expression contains no variables.
+    pub fn is_concrete(self) -> bool {
+        self.as_const().is_some()
+    }
+
+    /// Evaluate under a model (total: missing variables read 0).
+    pub fn eval(self, model: &Model) -> u64 {
+        with_arena(|a| a.eval(self, model))
+    }
+
+    /// Collect the variables occurring in the expression.
+    pub fn collect_vars(self, out: &mut BTreeSet<VarId>) {
+        with_arena(|a| a.collect_vars(self, out));
+    }
+
+    /// The variables occurring in the expression.
+    pub fn vars(self) -> BTreeSet<VarId> {
+        let mut s = BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Structural equality — with hash-consing this is id equality.
+    /// Kept for readability at call sites predating the arena.
+    pub fn same(self, other: ExprRef) -> bool {
+        self == other
+    }
+
+    /// All constants occurring in the expression (seed values for the
+    /// solver's candidate search).
+    pub fn collect_consts(self, out: &mut BTreeSet<u64>) {
+        with_arena(|a| a.collect_consts(self, out));
+    }
+}
+
+impl From<u64> for ExprRef {
+    fn from(v: u64) -> Self {
+        ExprRef::constant(v)
+    }
+}
+
+impl fmt::Display for ExprRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        with_arena(|a| a.display(*self, f))
+    }
+}
+
+impl fmt::Debug for ExprRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}`{self}`", self.0)
     }
 }
 
@@ -269,6 +459,15 @@ mod tests {
         assert_eq!(e.as_const(), Some(9));
         let e = Expr::app(OpCode::Gt, vec![Expr::constant(4), Expr::constant(9)]);
         assert_eq!(e.as_const(), Some(0));
+    }
+
+    #[test]
+    fn interning_is_structural() {
+        let a = Expr::app(OpCode::Add, vec![Expr::var(VarId(0)), Expr::constant(3)]);
+        let b = Expr::app(OpCode::Add, vec![Expr::var(VarId(0)), Expr::constant(3)]);
+        assert_eq!(a, b, "same structure must intern to the same id");
+        let c = Expr::app(OpCode::Add, vec![Expr::var(VarId(1)), Expr::constant(3)]);
+        assert_ne!(a, c);
     }
 
     #[test]
@@ -329,5 +528,19 @@ mod tests {
     fn display_is_readable() {
         let e = Expr::app(OpCode::Add, vec![Expr::var(VarId(3)), Expr::constant(0x44)]);
         assert_eq!(e.to_string(), "add(v3, 0x44)");
+    }
+
+    #[test]
+    fn app_constructor_is_memoized() {
+        let before = arena_stats();
+        let x = Expr::var(VarId(7));
+        let a = Expr::app(OpCode::Add, vec![x, Expr::constant(41)]);
+        let b = Expr::app(OpCode::Add, vec![x, Expr::constant(41)]);
+        assert_eq!(a, b);
+        let after = arena_stats();
+        assert!(
+            after.app_cache_hits > before.app_cache_hits,
+            "second construction must hit the cache"
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! analysis is deliberately conservative — any operation that might wrap
 //! returns the full range.
 
-use crate::expr::{Expr, Node, VarId};
+use crate::expr::{with_arena, Expr, ExprArena, VarId};
 use sct_core::op::OpCode;
 use std::collections::BTreeMap;
 
@@ -82,12 +82,22 @@ pub type VarIntervals = BTreeMap<VarId, Interval>;
 
 /// Compute an interval over-approximation of `expr` under `vars`.
 pub fn interval_of(expr: &Expr, vars: &VarIntervals) -> Interval {
-    match &*expr.0 {
-        Node::Const(v) => Interval::point(*v),
-        Node::Var(v) => vars.get(v).copied().unwrap_or(Interval::TOP),
-        Node::App(opcode, args) => {
-            let iv: Vec<Interval> = args.iter().map(|a| interval_of(a, vars)).collect();
-            apply(*opcode, &iv)
+    with_arena(|arena| interval_of_in(arena, *expr, vars))
+}
+
+/// [`interval_of`] against an already-borrowed arena (the solver's hot
+/// path, which holds the interner lock across a whole query).
+pub(crate) fn interval_of_in(arena: &ExprArena, expr: Expr, vars: &VarIntervals) -> Interval {
+    use crate::expr::ExprKind;
+    match arena.kind(expr) {
+        ExprKind::Const(v) => Interval::point(v),
+        ExprKind::Var(v) => vars.get(&v).copied().unwrap_or(Interval::TOP),
+        ExprKind::App(opcode, args) => {
+            let iv: Vec<Interval> = args
+                .iter()
+                .map(|&a| interval_of_in(arena, a, vars))
+                .collect();
+            apply(opcode, &iv)
         }
     }
 }
@@ -184,6 +194,11 @@ fn apply(opcode: OpCode, iv: &[Interval]) -> Interval {
 /// non-zero (i.e. the constraint is unsatisfiable).
 pub fn provably_false(expr: &Expr, vars: &VarIntervals) -> bool {
     interval_of(expr, vars).is_point(0)
+}
+
+/// [`provably_false`] against an already-borrowed arena.
+pub(crate) fn provably_false_in(arena: &ExprArena, expr: Expr, vars: &VarIntervals) -> bool {
+    interval_of_in(arena, expr, vars).is_point(0)
 }
 
 /// `true` when interval analysis proves the constraint is always

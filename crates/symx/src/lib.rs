@@ -1,16 +1,32 @@
 //! # sct-symx
 //!
-//! The symbolic-execution substrate for Pitchfork: bit-vector
-//! expressions with eager constant folding and algebraic simplification,
-//! unsigned interval analysis, a heuristic model-finding solver, and
-//! symbolic machine state (labeled symbolic values, register files,
-//! memories).
+//! The symbolic-execution substrate for Pitchfork, built around a
+//! **hash-consed expression arena**:
 //!
-//! The paper builds its tool on angr\'s symbolic execution (citation 30); this
-//! crate is the from-scratch substitute. Like angr, it concretizes
-//! memory addresses and over-approximates path feasibility (the solver
-//! answers [`solver::Verdict::Unknown`] rather than missing models),
-//! which is sound for violation *detection*.
+//! * [`ExprRef`] (alias [`Expr`]) — a `Copy` 32-bit id into a
+//!   process-wide interner. Structural equality is id equality (O(1)),
+//!   every distinct expression is stored once, and the simplifying
+//!   constructor [`ExprRef::app`] is memoized, so re-deriving the same
+//!   value along different schedules costs a hash lookup;
+//! * [`simplify`](crate::simplify) — conservative algebraic rewrites
+//!   applied at construction (each distinct application simplifies once
+//!   per process, then lives in the cache);
+//! * [`interval`](crate::interval) — unsigned interval analysis for
+//!   cheap unsatisfiability proofs;
+//! * [`solver`](crate::solver) — a heuristic model finder (interval
+//!   refutation + candidate/model search) that answers
+//!   [`Verdict::Unknown`] rather than missing models, sound for
+//!   violation *detection*;
+//! * [`symmem`](crate::symmem) — labeled symbolic values ([`SymVal`] is
+//!   two words and `Copy`), register files, and memories, all cheap to
+//!   clone because contents are interned ids.
+//!
+//! The arena is shared by every analysis in the process — batch runs
+//! over a corpus reuse each other's expressions; [`arena_stats`]
+//! reports the sharing. The paper builds its tool on angr's symbolic
+//! execution (citation 30); this crate is the from-scratch substitute.
+//! Like angr, it concretizes memory addresses and over-approximates
+//! path feasibility, which is sound for violation detection.
 //!
 //! # Example
 //!
@@ -23,6 +39,11 @@
 //! let idx = pool.fresh("idx");
 //! // The Figure 1 bounds check: 4 > idx.
 //! let in_bounds = Expr::app(OpCode::Gt, vec![Expr::constant(4), Expr::var(idx)]);
+//! // Interning is structural: rebuilding yields the same id.
+//! assert_eq!(
+//!     in_bounds,
+//!     Expr::app(OpCode::Gt, vec![Expr::constant(4), Expr::var(idx)]),
+//! );
 //! // Is the out-of-bounds (mispredicted) path feasible? ¬(4 > idx).
 //! let oob = Expr::app(OpCode::Eq, vec![in_bounds, Expr::constant(0)]);
 //! let verdict = Solver::new().check(&[oob]);
@@ -38,7 +59,7 @@ pub mod simplify;
 pub mod solver;
 pub mod symmem;
 
-pub use expr::{Expr, Model, VarId, VarPool};
+pub use expr::{arena_stats, ArenaStats, Expr, ExprKind, ExprRef, Model, VarId, VarPool};
 pub use interval::{interval_of, Interval};
 pub use solver::{Solver, SolverOptions, Verdict};
 pub use symmem::{SymMemory, SymRegFile, SymVal};

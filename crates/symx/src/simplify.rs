@@ -4,142 +4,147 @@
 //! 64-bit wrapping semantics of the concrete evaluator exactly (the
 //! property test at the bottom checks random instances under random
 //! models). Anything clever (and risky) is left to the solver.
+//!
+//! All functions take the arena directly: the caller
+//! ([`ExprArena::app`](crate::expr)) already holds the interner lock,
+//! and results it returns are memoized there, so each distinct
+//! application simplifies once per process.
 
-use crate::expr::Expr;
+use crate::expr::{ExprArena, ExprRef};
 use sct_core::op::OpCode;
 
 /// Simplify `opcode(args)` after constant folding failed (at least one
 /// operand is symbolic).
-pub(crate) fn simplify_app(opcode: OpCode, args: Vec<Expr>) -> Expr {
+pub(crate) fn simplify_app(arena: &mut ExprArena, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
     use OpCode::*;
     match opcode {
-        Add | Addr => simplify_add(opcode, args),
-        Mul => simplify_mul(args),
-        And => simplify_and(args),
-        Or => simplify_or(args),
-        Xor => simplify_xor(args),
-        Sub => simplify_sub(args),
+        Add | Addr => simplify_add(arena, opcode, args),
+        Mul => simplify_mul(arena, args),
+        And => simplify_and(arena, args),
+        Or => simplify_or(arena, args),
+        Xor => simplify_xor(arena, args),
+        Sub => simplify_sub(arena, args),
         Mov => args.into_iter().next().expect("mov has one operand"),
-        Not => simplify_not(args),
-        Eq => simplify_eq(args),
-        Ne => simplify_cmp_same(Ne, args, 0),
-        Lt => simplify_cmp_same(Lt, args, 0),
-        Gt => simplify_cmp_same(Gt, args, 0),
-        Le => simplify_cmp_same(Le, args, 1),
-        Ge => simplify_cmp_same(Ge, args, 1),
-        SLt => simplify_cmp_same(SLt, args, 0),
-        SLe => simplify_cmp_same(SLe, args, 1),
-        Csel => simplify_csel(args),
-        Shl | Shr | Succ | Pred => Expr::raw_app(opcode, args),
+        Not => simplify_not(arena, args),
+        Eq => simplify_eq(arena, args),
+        Ne => simplify_cmp_same(arena, Ne, args, 0),
+        Lt => simplify_cmp_same(arena, Lt, args, 0),
+        Gt => simplify_cmp_same(arena, Gt, args, 0),
+        Le => simplify_cmp_same(arena, Le, args, 1),
+        Ge => simplify_cmp_same(arena, Ge, args, 1),
+        SLt => simplify_cmp_same(arena, SLt, args, 0),
+        SLe => simplify_cmp_same(arena, SLe, args, 1),
+        Csel => simplify_csel(arena, args),
+        Shl | Shr | Succ | Pred => arena.raw_app(opcode, args),
     }
 }
 
 /// Drop additive zeros; single remaining operand collapses.
-fn simplify_add(opcode: OpCode, args: Vec<Expr>) -> Expr {
-    let mut rest: Vec<Expr> = Vec::with_capacity(args.len());
+fn simplify_add(arena: &mut ExprArena, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+    let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 0;
     for a in args {
-        match a.as_const() {
+        match arena.as_const(a) {
             Some(c) => acc = acc.wrapping_add(c),
             None => rest.push(a),
         }
     }
     if acc != 0 {
-        rest.push(Expr::constant(acc));
+        rest.push(arena.constant(acc));
     }
     match rest.len() {
-        0 => Expr::constant(0),
+        0 => arena.constant(0),
         1 => rest.pop().expect("len checked"),
-        _ => Expr::raw_app(opcode, rest),
+        _ => arena.raw_app(opcode, rest),
     }
 }
 
-fn simplify_mul(args: Vec<Expr>) -> Expr {
-    let mut rest: Vec<Expr> = Vec::with_capacity(args.len());
+fn simplify_mul(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+    let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 1;
     for a in args {
-        match a.as_const() {
-            Some(0) => return Expr::constant(0),
+        match arena.as_const(a) {
+            Some(0) => return arena.constant(0),
             Some(c) => acc = acc.wrapping_mul(c),
             None => rest.push(a),
         }
     }
     if acc == 0 {
-        return Expr::constant(0);
+        return arena.constant(0);
     }
     if acc != 1 {
-        rest.push(Expr::constant(acc));
+        rest.push(arena.constant(acc));
     }
     match rest.len() {
-        0 => Expr::constant(1),
+        0 => arena.constant(1),
         1 => rest.pop().expect("len checked"),
-        _ => Expr::raw_app(OpCode::Mul, rest),
+        _ => arena.raw_app(OpCode::Mul, rest),
     }
 }
 
-fn simplify_and(args: Vec<Expr>) -> Expr {
-    let mut rest: Vec<Expr> = Vec::with_capacity(args.len());
+fn simplify_and(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+    let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = u64::MAX;
     for a in args {
-        match a.as_const() {
-            Some(0) => return Expr::constant(0),
+        match arena.as_const(a) {
+            Some(0) => return arena.constant(0),
             Some(c) => acc &= c,
             None => {
-                if !rest.iter().any(|r| r.same(&a)) {
+                if !rest.contains(&a) {
                     rest.push(a); // x & x = x
                 }
             }
         }
     }
     if acc == 0 {
-        return Expr::constant(0);
+        return arena.constant(0);
     }
     if acc != u64::MAX {
-        rest.push(Expr::constant(acc));
+        rest.push(arena.constant(acc));
     }
     match rest.len() {
-        0 => Expr::constant(u64::MAX),
+        0 => arena.constant(u64::MAX),
         1 => rest.pop().expect("len checked"),
-        _ => Expr::raw_app(OpCode::And, rest),
+        _ => arena.raw_app(OpCode::And, rest),
     }
 }
 
-fn simplify_or(args: Vec<Expr>) -> Expr {
-    let mut rest: Vec<Expr> = Vec::with_capacity(args.len());
+fn simplify_or(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+    let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 0;
     for a in args {
-        match a.as_const() {
-            Some(u64::MAX) => return Expr::constant(u64::MAX),
+        match arena.as_const(a) {
+            Some(u64::MAX) => return arena.constant(u64::MAX),
             Some(c) => acc |= c,
             None => {
-                if !rest.iter().any(|r| r.same(&a)) {
+                if !rest.contains(&a) {
                     rest.push(a); // x | x = x
                 }
             }
         }
     }
     if acc == u64::MAX {
-        return Expr::constant(u64::MAX);
+        return arena.constant(u64::MAX);
     }
     if acc != 0 {
-        rest.push(Expr::constant(acc));
+        rest.push(arena.constant(acc));
     }
     match rest.len() {
-        0 => Expr::constant(0),
+        0 => arena.constant(0),
         1 => rest.pop().expect("len checked"),
-        _ => Expr::raw_app(OpCode::Or, rest),
+        _ => arena.raw_app(OpCode::Or, rest),
     }
 }
 
-fn simplify_xor(args: Vec<Expr>) -> Expr {
+fn simplify_xor(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
     // x ^ x cancels pairwise; constants fold together.
-    let mut rest: Vec<Expr> = Vec::with_capacity(args.len());
+    let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 0;
     for a in args {
-        match a.as_const() {
+        match arena.as_const(a) {
             Some(c) => acc ^= c,
             None => {
-                if let Some(k) = rest.iter().position(|r| r.same(&a)) {
+                if let Some(k) = rest.iter().position(|&r| r == a) {
                     rest.swap_remove(k);
                 } else {
                     rest.push(a);
@@ -148,64 +153,69 @@ fn simplify_xor(args: Vec<Expr>) -> Expr {
         }
     }
     if acc != 0 {
-        rest.push(Expr::constant(acc));
+        rest.push(arena.constant(acc));
     }
     match rest.len() {
-        0 => Expr::constant(0),
+        0 => arena.constant(0),
         1 => rest.pop().expect("len checked"),
-        _ => Expr::raw_app(OpCode::Xor, rest),
+        _ => arena.raw_app(OpCode::Xor, rest),
     }
 }
 
-fn simplify_sub(args: Vec<Expr>) -> Expr {
+fn simplify_sub(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
     // x - 0 - 0 ... = x ; x - x = 0 (two-operand case only).
     if args.len() == 2 {
-        if args[1].as_const() == Some(0) {
-            return args.into_iter().next().expect("len checked");
+        if arena.as_const(args[1]) == Some(0) {
+            return args[0];
         }
-        if args[0].same(&args[1]) {
-            return Expr::constant(0);
+        if args[0] == args[1] {
+            return arena.constant(0);
         }
     }
-    if args[1..].iter().all(|a| a.as_const() == Some(0)) {
-        return args.into_iter().next().expect("nonempty");
+    if args[1..].iter().all(|&a| arena.as_const(a) == Some(0)) {
+        return args[0];
     }
-    Expr::raw_app(OpCode::Sub, args)
+    arena.raw_app(OpCode::Sub, args)
 }
 
-fn simplify_not(args: Vec<Expr>) -> Expr {
+fn simplify_not(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
     // not(not(x)) = x
-    if let crate::expr::Node::App(OpCode::Not, inner) = &*args[0].0 {
-        return inner[0].clone();
+    if let Some((OpCode::Not, inner)) = arena.as_app(args[0]) {
+        return inner[0];
     }
-    Expr::raw_app(OpCode::Not, args)
+    arena.raw_app(OpCode::Not, args)
 }
 
-fn simplify_eq(args: Vec<Expr>) -> Expr {
-    if args[0].same(&args[1]) {
-        return Expr::constant(1);
+fn simplify_eq(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+    if args[0] == args[1] {
+        return arena.constant(1);
     }
-    Expr::raw_app(OpCode::Eq, args)
+    arena.raw_app(OpCode::Eq, args)
 }
 
 /// Comparisons of an expression with itself have a known value
 /// (`x < x = 0`, `x ≤ x = 1`, ...).
-fn simplify_cmp_same(opcode: OpCode, args: Vec<Expr>, same_value: u64) -> Expr {
-    if args[0].same(&args[1]) {
-        return Expr::constant(same_value);
+fn simplify_cmp_same(
+    arena: &mut ExprArena,
+    opcode: OpCode,
+    args: Vec<ExprRef>,
+    same_value: u64,
+) -> ExprRef {
+    if args[0] == args[1] {
+        return arena.constant(same_value);
     }
-    Expr::raw_app(opcode, args)
+    arena.raw_app(opcode, args)
 }
 
-fn simplify_csel(args: Vec<Expr>) -> Expr {
-    match args[0].as_const() {
-        Some(0) => args.into_iter().nth(2).expect("csel has three operands"),
-        Some(_) => args.into_iter().nth(1).expect("csel has three operands"),
+fn simplify_csel(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+    match arena.as_const(args[0]) {
+        Some(0) => args[2],
+        Some(_) => args[1],
         None => {
-            if args[1].same(&args[2]) {
-                args.into_iter().nth(1).expect("csel has three operands")
+            if args[1] == args[2] {
+                args[1]
             } else {
-                Expr::raw_app(OpCode::Csel, args)
+                arena.raw_app(OpCode::Csel, args)
             }
         }
     }
@@ -213,10 +223,10 @@ fn simplify_csel(args: Vec<Expr>) -> Expr {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::expr::{Model, VarId};
+    use crate::expr::{Expr, Model, VarId};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    use sct_core::op::OpCode;
 
     fn x() -> Expr {
         Expr::var(VarId(0))
@@ -275,14 +285,14 @@ mod tests {
         let a = Expr::var(VarId(1));
         let b = Expr::var(VarId(2));
         assert_eq!(
-            Expr::app(OpCode::Csel, vec![Expr::constant(1), a.clone(), b.clone()]),
+            Expr::app(OpCode::Csel, vec![Expr::constant(1), a, b]),
             a
         );
         assert_eq!(
-            Expr::app(OpCode::Csel, vec![Expr::constant(0), a.clone(), b.clone()]),
+            Expr::app(OpCode::Csel, vec![Expr::constant(0), a, b]),
             b
         );
-        assert_eq!(Expr::app(OpCode::Csel, vec![x(), a.clone(), a.clone()]), a);
+        assert_eq!(Expr::app(OpCode::Csel, vec![x(), a, a]), a);
     }
 
     /// Every simplification preserves semantics: compare simplified vs

@@ -15,8 +15,8 @@
 //! over-approximation that can cost a false positive but never a missed
 //! leak, matching how angr concretization errs.
 
-use crate::expr::{Expr, Model, VarId};
-use crate::interval::{provably_false, VarIntervals};
+use crate::expr::{read_arena, Expr, ExprArena, Model, VarId};
+use crate::interval::{provably_false_in, VarIntervals};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -89,10 +89,13 @@ impl Solver {
     /// Check whether all `constraints` (non-zero = true) are
     /// simultaneously satisfiable.
     pub fn check(&self, constraints: &[Expr]) -> Verdict {
+        // One interner read-lock for the whole query: every sub-step is
+        // read-only against the arena.
+        let arena = read_arena();
         // 1. Constant and structural checks.
-        let mut live: Vec<&Expr> = Vec::new();
-        for c in constraints {
-            match c.as_const() {
+        let mut live: Vec<Expr> = Vec::new();
+        for &c in constraints {
+            match arena.as_const(c) {
                 Some(0) => return Verdict::Unsat,
                 Some(_) => {}
                 None => live.push(c),
@@ -104,15 +107,18 @@ impl Solver {
         // 2. Interval refutation: derive per-variable bounds from the
         // simple comparisons among the constraints, then re-check every
         // constraint under those assumptions.
-        let assumptions = match derive_var_intervals(&live) {
+        let assumptions = match derive_var_intervals(&arena, &live) {
             Some(a) => a,
             None => return Verdict::Unsat, // contradictory bounds
         };
-        if live.iter().any(|c| provably_false(c, &assumptions)) {
+        if live
+            .iter()
+            .any(|&c| provably_false_in(&arena, c, &assumptions))
+        {
             return Verdict::Unsat;
         }
         // 3. Model search.
-        match self.search(&live) {
+        match self.search(&arena, &live) {
             Some(model) => Verdict::Sat(model),
             None => Verdict::Unknown,
         }
@@ -136,10 +142,10 @@ impl Solver {
         }
     }
 
-    fn candidate_values(&self, constraints: &[&Expr]) -> Vec<u64> {
+    fn candidate_values(&self, arena: &ExprArena, constraints: &[Expr]) -> Vec<u64> {
         let mut consts = BTreeSet::new();
-        for c in constraints {
-            c.collect_consts(&mut consts);
+        for &c in constraints {
+            arena.collect_consts(c, &mut consts);
         }
         let mut cands = BTreeSet::new();
         for v in [0u64, 1, 2, 3, 4, 8, 16, 255, u64::MAX] {
@@ -162,17 +168,20 @@ impl Solver {
         cands.into_iter().collect()
     }
 
-    fn satisfied(model: &Model, constraints: &[&Expr]) -> usize {
-        constraints.iter().filter(|c| c.eval(model) != 0).count()
+    fn satisfied(arena: &ExprArena, model: &Model, constraints: &[Expr]) -> usize {
+        constraints
+            .iter()
+            .filter(|&&c| arena.eval(c, model) != 0)
+            .count()
     }
 
-    fn search(&self, constraints: &[&Expr]) -> Option<Model> {
+    fn search(&self, arena: &ExprArena, constraints: &[Expr]) -> Option<Model> {
         let mut vars = BTreeSet::new();
-        for c in constraints {
-            c.collect_vars(&mut vars);
+        for &c in constraints {
+            arena.collect_vars(c, &mut vars);
         }
         let vars: Vec<VarId> = vars.into_iter().collect();
-        let cands = self.candidate_values(constraints);
+        let cands = self.candidate_values(arena, constraints);
         let total = constraints.len();
 
         // Exhaustive product when affordable.
@@ -180,7 +189,7 @@ impl Solver {
         if let Some(n) = combos {
             if n <= self.options.exhaustive_budget {
                 let mut model = Model::new();
-                if self.exhaustive(&vars, &cands, constraints, &mut model, 0) {
+                if self.exhaustive(arena, &vars, &cands, constraints, &mut model, 0) {
                     return Some(model);
                 }
                 // Complete search over the candidate grid failed; random
@@ -202,14 +211,14 @@ impl Solver {
                     (v, x)
                 })
                 .collect();
-            if Self::satisfied(&model, constraints) == total {
+            if Self::satisfied(arena, &model, constraints) == total {
                 return Some(model);
             }
             // Greedy repair: sweep variables, try every candidate.
             for _ in 0..self.options.repair_rounds {
                 let mut improved = false;
                 for &v in &vars {
-                    let before = Self::satisfied(&model, constraints);
+                    let before = Self::satisfied(arena, &model, constraints);
                     if before == total {
                         return Some(model);
                     }
@@ -217,7 +226,7 @@ impl Solver {
                     let mut best = (before, orig);
                     for &cand in &cands {
                         model.set(v, cand);
-                        let score = Self::satisfied(&model, constraints);
+                        let score = Self::satisfied(arena, &model, constraints);
                         if score > best.0 {
                             best = (score, cand);
                         }
@@ -227,7 +236,7 @@ impl Solver {
                         improved = true;
                     }
                 }
-                if Self::satisfied(&model, constraints) == total {
+                if Self::satisfied(arena, &model, constraints) == total {
                     return Some(model);
                 }
                 if !improved {
@@ -238,20 +247,22 @@ impl Solver {
         None
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exhaustive(
         &self,
+        arena: &ExprArena,
         vars: &[VarId],
         cands: &[u64],
-        constraints: &[&Expr],
+        constraints: &[Expr],
         model: &mut Model,
         depth: usize,
     ) -> bool {
         if depth == vars.len() {
-            return Self::satisfied(model, constraints) == constraints.len();
+            return Self::satisfied(arena, model, constraints) == constraints.len();
         }
         for &c in cands {
             model.set(vars[depth], c);
-            if self.exhaustive(vars, cands, constraints, model, depth + 1) {
+            if self.exhaustive(arena, vars, cands, constraints, model, depth + 1) {
                 return true;
             }
         }
@@ -261,7 +272,7 @@ impl Solver {
 
 /// Extract `var ⋈ const` bounds from the constraints and intersect them
 /// per variable; `None` means the bounds are contradictory.
-fn derive_var_intervals(constraints: &[&Expr]) -> Option<VarIntervals> {
+fn derive_var_intervals(arena: &ExprArena, constraints: &[Expr]) -> Option<VarIntervals> {
     use crate::interval::Interval;
     use sct_core::op::OpCode::*;
 
@@ -283,17 +294,17 @@ fn derive_var_intervals(constraints: &[&Expr]) -> Option<VarIntervals> {
         }
     };
 
-    for c in constraints {
-        let crate::expr::Node::App(op, args) = &*c.0 else {
+    for &c in constraints {
+        let Some((op, args)) = arena.as_app(c) else {
             continue;
         };
         if args.len() != 2 {
             continue;
         }
         // Normalize to (var ⋈ const).
-        let (v, k, op) = match (args[0].as_var(), args[1].as_const()) {
-            (Some(v), Some(k)) => (v, k, *op),
-            _ => match (args[0].as_const(), args[1].as_var()) {
+        let (v, k, op) = match (arena.as_var(args[0]), arena.as_const(args[1])) {
+            (Some(v), Some(k)) => (v, k, op),
+            _ => match (arena.as_const(args[0]), arena.as_var(args[1])) {
                 // Mirror: const ⋈ var  ⇒  var ⋈' const.
                 (Some(k), Some(v)) => {
                     let mirrored = match op {

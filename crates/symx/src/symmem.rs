@@ -10,7 +10,10 @@ use sct_core::{Label, Lattice, Reg, Val};
 use std::collections::BTreeMap;
 
 /// A labeled symbolic value — the symbolic analogue of [`sct_core::Val`].
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// With the hash-consed expression arena this is two words and `Copy`:
+/// register files and memories clone by `memcpy`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SymVal {
     /// The symbolic word.
     pub expr: Expr,
@@ -69,7 +72,7 @@ impl std::fmt::Display for SymVal {
 }
 
 /// Symbolic register file (`ρ` with symbolic values).
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct SymRegFile {
     map: BTreeMap<Reg, SymVal>,
 }
@@ -82,7 +85,7 @@ impl SymRegFile {
 
     /// Read a register; unmapped registers read as concrete public zero.
     pub fn read(&self, r: Reg) -> SymVal {
-        self.map.get(&r).cloned().unwrap_or_else(|| SymVal::public(0))
+        self.map.get(&r).copied().unwrap_or_else(|| SymVal::public(0))
     }
 
     /// Write a register.
@@ -112,7 +115,7 @@ impl SymRegFile {
 }
 
 /// Symbolic memory: concrete addresses, symbolic labeled contents.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct SymMemory {
     map: BTreeMap<u64, SymVal>,
 }
@@ -127,7 +130,7 @@ impl SymMemory {
     pub fn read(&self, addr: u64) -> SymVal {
         self.map
             .get(&addr)
-            .cloned()
+            .copied()
             .unwrap_or_else(|| SymVal::public(0))
     }
 

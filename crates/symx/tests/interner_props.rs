@@ -1,0 +1,116 @@
+//! Property tests for the hash-consing interner: structural interning,
+//! idempotent simplification, and verdict preservation.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sct_core::OpCode;
+use sct_symx::{Expr, ExprKind, Model, Solver, VarId, Verdict};
+
+/// A random expression tree, built bottom-up through the simplifying
+/// constructor (like all production construction).
+fn random_expr(rng: &mut SmallRng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            Expr::var(VarId(rng.gen_range(0..3)))
+        } else {
+            Expr::constant(rng.gen_range(0..16))
+        };
+    }
+    let op = OpCode::ALL[rng.gen_range(0..OpCode::ALL.len())];
+    let n = op.arity().unwrap_or(rng.gen_range(1..4)).max(1);
+    let args = (0..n).map(|_| random_expr(rng, depth - 1)).collect();
+    Expr::app(op, args)
+}
+
+/// Rebuild an expression bottom-up through [`Expr::app`] — i.e. re-run
+/// the simplifier on every node.
+fn resimplify(e: Expr) -> Expr {
+    match e.kind() {
+        ExprKind::Const(_) | ExprKind::Var(_) => e,
+        ExprKind::App(op, args) => {
+            let args = args.into_iter().map(resimplify).collect();
+            Expr::app(op, args)
+        }
+    }
+}
+
+/// Rebuild an expression verbatim through [`Expr::raw_app`] — the
+/// unsimplified twin used to compare solver verdicts.
+fn rebuild_raw(e: Expr) -> Expr {
+    match e.kind() {
+        ExprKind::Const(_) | ExprKind::Var(_) => e,
+        ExprKind::App(op, args) => {
+            let args = args.into_iter().map(rebuild_raw).collect();
+            Expr::raw_app(op, args)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Interning the same structure twice yields the same `ExprRef`.
+    #[test]
+    fn same_structure_interns_to_same_ref(seed in any::<u64>()) {
+        let a = random_expr(&mut SmallRng::seed_from_u64(seed), 4);
+        let b = random_expr(&mut SmallRng::seed_from_u64(seed), 4);
+        prop_assert_eq!(a, b, "identical construction must produce identical ids");
+    }
+
+    /// Simplification is idempotent: re-simplifying a simplified
+    /// expression is the identity on interned ids.
+    #[test]
+    fn simplification_is_idempotent(seed in any::<u64>()) {
+        let e = random_expr(&mut SmallRng::seed_from_u64(seed), 4);
+        prop_assert_eq!(resimplify(e), e, "resimplifying {} moved it", e);
+    }
+
+    /// The simplified and raw forms evaluate identically under random
+    /// models.
+    #[test]
+    fn simplified_and_raw_forms_agree_semantically(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let e = random_expr(&mut rng, 4);
+        let raw = rebuild_raw(e);
+        for _ in 0..16 {
+            let model: Model = (0..3)
+                .map(|i| (VarId(i), rng.gen::<u64>() >> rng.gen_range(0..64)))
+                .collect();
+            prop_assert_eq!(e.eval(&model), raw.eval(&model), "{} vs raw {}", e, raw);
+        }
+    }
+
+    /// Simplification preserves solver verdicts: the simplified and the
+    /// raw constraint sets never contradict each other (`Sat` against
+    /// `Unsat`), and any model found satisfies both forms. (`Unknown`
+    /// may legitimately differ: simplification exposes structure the
+    /// interval refutation and candidate search feed on.)
+    #[test]
+    fn simplification_preserves_solver_verdicts(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..4);
+        let simplified: Vec<Expr> = (0..n).map(|_| random_expr(&mut rng, 3)).collect();
+        let raw: Vec<Expr> = simplified.iter().map(|&e| rebuild_raw(e)).collect();
+        let solver = Solver::new();
+        let vs = solver.check(&simplified);
+        let vr = solver.check(&raw);
+        prop_assert!(
+            !(matches!(vs, Verdict::Sat(_)) && vr == Verdict::Unsat),
+            "simplified Sat but raw Unsat"
+        );
+        prop_assert!(
+            !(vs == Verdict::Unsat && matches!(vr, Verdict::Sat(_))),
+            "simplified Unsat but raw Sat"
+        );
+        for model in [&vs, &vr].into_iter().filter_map(|v| match v {
+            Verdict::Sat(m) => Some(m),
+            _ => None,
+        }) {
+            for (&s, &r) in simplified.iter().zip(&raw) {
+                prop_assert_ne!(s.eval(model), 0, "model misses simplified {}", s);
+                prop_assert_ne!(r.eval(model), 0, "model misses raw {}", r);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Scan every Table 2 case study and the whole litmus corpus with
+//! `BatchAnalyzer`: one shared expression arena, one pass per detector
+//! mode, aggregate statistics at the end.
+//!
+//! ```text
+//! cargo run --release --example batch_scan
+//! ```
+
+use spectre_ct::casestudies::table2;
+use spectre_ct::litmus;
+use spectre_ct::pitchfork::{BatchAnalyzer, DetectorOptions};
+use spectre_ct::symx::arena_stats;
+
+fn main() {
+    let (v1_bound, v4_bound) = (40, 20);
+
+    println!("== Table 2 case studies ==\n");
+    let v1 = BatchAnalyzer::new(DetectorOptions::v1_mode(v1_bound))
+        .analyze_all(table2::batch_items());
+    let v4 = BatchAnalyzer::new(DetectorOptions::v4_mode(v4_bound))
+        .analyze_all(table2::batch_items());
+    println!("v1 mode (bound {v1_bound}):\n{v1}");
+    println!("v4 mode (bound {v4_bound}):\n{v4}");
+    println!("{}", table2::from_batches(&v1, &v4, v1_bound, v4_bound));
+
+    println!("\n== Litmus corpus ==\n");
+    let cases = litmus::all_cases();
+    let verdicts = litmus::harness::run_corpus(&cases);
+    println!("v1 mode:\n{}", verdicts.v1);
+    println!("v4 mode:\n{}", verdicts.v4);
+
+    let arena = arena_stats();
+    println!(
+        "\nshared arena after both corpora: {} nodes, {} cache hits / {} misses ({:.1}% hit rate)",
+        arena.nodes,
+        arena.app_cache_hits,
+        arena.app_cache_misses,
+        100.0 * arena.app_cache_hits as f64
+            / (arena.app_cache_hits + arena.app_cache_misses).max(1) as f64,
+    );
+}
