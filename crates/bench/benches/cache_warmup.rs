@@ -1,0 +1,146 @@
+//! Bench: warm-start caching — cold versus warm runs of the litmus
+//! corpus (concrete v1/v4 passes plus a symbolic-`ra` v1 pass) and the
+//! Table 2 matrix, through `sct-cache` snapshots.
+//!
+//! Besides the criterion timings (`BENCH_cache_warmup.json` gets the
+//! group results), this bench records the ISSUE 2 acceptance numbers in
+//! the same file: snapshot size, load time, the node disk-hit rate of
+//! the warm run, and the solver-memo hit rate. Cold and warm phases are
+//! separated by [`sct_symx::retire_arena`], exactly like separate CLI
+//! invocations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sct_cache::Snapshot;
+use sct_litmus::{all_cases, harness};
+use sct_symx::{arena_stats, retire_arena};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const V1_BOUND: usize = 40;
+const V4_BOUND: usize = 20;
+
+fn cache_path() -> PathBuf {
+    std::env::temp_dir().join(format!("sct_bench_cache_warmup_{}.cache", std::process::id()))
+}
+
+/// One full workload pass (litmus corpus + Table 2) against `path`,
+/// returning (explored states, solver queries, solver memo hits).
+fn workload(path: &std::path::Path) -> (usize, usize, usize) {
+    let cases = all_cases();
+    let corpus = harness::run_corpus_cached(&cases, path).expect("corpus pass");
+    let (_, t2_v1, t2_v4) =
+        sct_casestudies::table2::run_cached(V1_BOUND, V4_BOUND, path).expect("table2 pass");
+    let reports = [
+        &corpus.verdicts.v1,
+        &corpus.verdicts.v4,
+        &corpus.v1_symbolic,
+        &t2_v1,
+        &t2_v4,
+    ];
+    (
+        reports.iter().map(|r| r.totals.states).sum(),
+        reports.iter().map(|r| r.totals.solver_queries).sum(),
+        reports.iter().map(|r| r.totals.solver_memo_hits).sum(),
+    )
+}
+
+fn bench_cache_warmup(c: &mut Criterion) {
+    let path = cache_path();
+    let _ = std::fs::remove_file(&path);
+
+    let mut group = c.benchmark_group("cache_warmup");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+
+    // Cold pass: empty epoch, no snapshot on disk.
+    group.bench_function("corpus_table2_cold", |b| {
+        b.iter(|| {
+            retire_arena();
+            let _ = std::fs::remove_file(&path);
+            black_box(workload(&path))
+        })
+    });
+    // Warm pass: empty epoch, hydrated from the snapshot the previous
+    // iteration saved.
+    retire_arena();
+    let _ = std::fs::remove_file(&path);
+    workload(&path); // seed the snapshot
+    group.bench_function("corpus_table2_warm", |b| {
+        b.iter(|| {
+            retire_arena();
+            black_box(workload(&path))
+        })
+    });
+    // Snapshot decode+hydrate alone, into an empty epoch.
+    let bytes = std::fs::read(&path).expect("snapshot exists");
+    group.bench_function("snapshot_load", |b| {
+        b.iter(|| {
+            retire_arena();
+            let snap = Snapshot::decode(black_box(&bytes)).expect("decodes");
+            black_box(snap.hydrate().expect("hydrates"))
+        })
+    });
+    group.finish();
+
+    write_warmup_stats(&path);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// One representative cold/warm pair, recording the acceptance-criteria
+/// numbers (disk-hit rates, load time, snapshot size).
+fn write_warmup_stats(path: &std::path::Path) {
+    // Cold: empty epoch, no snapshot.
+    retire_arena();
+    let _ = std::fs::remove_file(path);
+    let cold_start = Instant::now();
+    let (cold_states, cold_queries, _) = workload(path);
+    let cold_wall = cold_start.elapsed();
+    let cold_nodes = arena_stats().nodes;
+    let snapshot_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+
+    // Warm: empty epoch, hydrate from the cold run's snapshot.
+    retire_arena();
+    let load_start = Instant::now();
+    let load = sct_cache::load(path).expect("snapshot loads");
+    let load_wall = load_start.elapsed();
+    let warm_start = Instant::now();
+    let (warm_states, warm_queries, warm_hits) = workload(path);
+    let warm_wall = warm_start.elapsed();
+    let warm_nodes = arena_stats().nodes;
+
+    let fresh = warm_nodes.saturating_sub(load.added);
+    let node_hit_rate = 1.0 - fresh as f64 / cold_nodes.max(1) as f64;
+    let memo_hit_rate = warm_hits as f64 / warm_queries.max(1) as f64;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"litmus corpus (v1, v4, v1-symbolic) + table2\",");
+    let _ = writeln!(json, "  \"cold_wall_ms\": {},", cold_wall.as_millis());
+    let _ = writeln!(json, "  \"warm_wall_ms\": {},", warm_wall.as_millis());
+    let _ = writeln!(json, "  \"cold_states\": {cold_states},");
+    let _ = writeln!(json, "  \"warm_states\": {warm_states},");
+    let _ = writeln!(json, "  \"cold_nodes\": {cold_nodes},");
+    let _ = writeln!(json, "  \"snapshot_nodes_loaded\": {},", load.added);
+    let _ = writeln!(json, "  \"warm_fresh_nodes\": {fresh},");
+    let _ = writeln!(json, "  \"node_disk_hit_rate\": {node_hit_rate:.4},");
+    let _ = writeln!(json, "  \"cold_solver_queries\": {cold_queries},");
+    let _ = writeln!(json, "  \"warm_solver_queries\": {warm_queries},");
+    let _ = writeln!(json, "  \"warm_solver_memo_hits\": {warm_hits},");
+    let _ = writeln!(json, "  \"solver_memo_hit_rate\": {memo_hit_rate:.4},");
+    let _ = writeln!(json, "  \"verdicts_loaded\": {},", load.verdicts_imported);
+    let _ = writeln!(json, "  \"snapshot_bytes\": {snapshot_bytes},");
+    let _ = writeln!(json, "  \"load_time_us\": {}", load_wall.as_micros());
+    json.push_str("}\n");
+
+    let out = criterion::Criterion::output_dir().join("BENCH_cache_warmup.json");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("could not write {}: {e}", out.display());
+    } else {
+        println!("wrote {}", out.display());
+    }
+}
+
+criterion_group!(benches, bench_cache_warmup);
+criterion_main!(benches);

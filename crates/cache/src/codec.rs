@@ -1,0 +1,178 @@
+//! The hand-rolled binary codec: little-endian integer primitives over
+//! a growable byte buffer, a bounds-checked reader, and the FNV-1a 64
+//! checksum guarding snapshot files. No dependencies, no unsafe — the
+//! reader treats its input as untrusted and fails with
+//! [`crate::SnapshotError::Truncated`] instead of panicking.
+
+use crate::snapshot::SnapshotError;
+
+/// FNV-1a 64 over `bytes` (the snapshot trailer checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only little-endian writer.
+#[derive(Default, Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far (borrowing).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over untrusted bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated { at: self.pos });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("len 2")))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("len 4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("len 8")))
+    }
+
+    /// Read a `u32` element count whose elements occupy at least
+    /// `min_elem_bytes` each, rejecting counts the remaining input
+    /// cannot possibly hold — the guard that keeps a corrupted count
+    /// from driving a pathological allocation.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(SnapshotError::BadCount {
+                at: self.pos,
+                count: n,
+            });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0x1234);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 5);
+        w.bytes(b"sct");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 5);
+        assert_eq!(r.bytes(3).unwrap(), b"sct");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(SnapshotError::Truncated { .. })));
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.count(4), Err(SnapshotError::BadCount { .. })));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,473 @@
+//! The versioned snapshot format: capture the process-wide arena and
+//! verdict memo, encode to bytes, decode with full validation, and
+//! hydrate a (possibly non-empty) process arena with id remapping.
+//!
+//! Field layout of format version 1 (all integers little-endian):
+//!
+//! ```text
+//! magic        8 × u8   "SCTCACHE"
+//! version      u32      = 1
+//! node_count   u32
+//! node*        tag u8:  0 ⇒ const u64
+//!                       1 ⇒ var   u32
+//!                       2 ⇒ app   opcode u8, argc u16, argc × u32
+//! app_count    u32
+//! app_pair*    raw u32, simplified u32
+//! memo_count   u32
+//! memo_entry*  options_tag u64, key_len u32, key_len × u32,
+//!              verdict u8: 0 ⇒ unsat
+//!                          1 ⇒ unknown
+//!                          2 ⇒ sat, model_len u32, model_len × (u32, u64)
+//! checksum     u64      FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Node children and app-cache indices refer to positions in the node
+//! table, memo key ids likewise; all are re-validated against the table
+//! bounds (and, at hydrate time, the topological-order and arity
+//! invariants) before anything touches the live arena.
+
+use crate::codec::{fnv1a, Reader, Writer};
+use sct_core::OpCode;
+use sct_symx::{
+    export_arena, export_solver_memo, import_arena, import_solver_memo, ArenaExport,
+    ArenaImportError, ArenaImportStats, ExportedNode, MemoExport, MemoImportStats, Model, VarId,
+    Verdict,
+};
+use std::fmt;
+
+/// The 8-byte file magic.
+pub const MAGIC: &[u8; 8] = b"SCTCACHE";
+
+/// The current snapshot format version. Bump on any layout change; old
+/// versions are rejected (a stale cache is rebuilt, never migrated).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode. Every variant is a rejection of
+/// untrusted input — decoding never panics and never partially applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SnapshotError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is not [`FORMAT_VERSION`].
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The input ended mid-field.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        at: usize,
+    },
+    /// An element count larger than the remaining input could hold.
+    BadCount {
+        /// Byte offset of the count.
+        at: usize,
+        /// The count read.
+        count: usize,
+    },
+    /// The trailing checksum did not match the content.
+    BadChecksum {
+        /// Checksum recomputed from the content.
+        expected: u64,
+        /// Checksum stored in the trailer.
+        found: u64,
+    },
+    /// An opcode byte outside the opcode table.
+    BadOpcode {
+        /// Byte offset of the opcode.
+        at: usize,
+        /// The byte found.
+        byte: u8,
+    },
+    /// A node tag byte outside `{0, 1, 2}`.
+    BadNodeTag {
+        /// Byte offset of the tag.
+        at: usize,
+        /// The byte found.
+        byte: u8,
+    },
+    /// A verdict tag byte outside `{0, 1, 2}`.
+    BadVerdictTag {
+        /// Byte offset of the tag.
+        at: usize,
+        /// The byte found.
+        byte: u8,
+    },
+    /// An index (node child, app-cache pair, or memo key id) outside
+    /// the node table.
+    IndexOutOfRange {
+        /// Byte offset of the index.
+        at: usize,
+        /// The index found.
+        index: u32,
+    },
+    /// Well-formed content followed by unexpected extra bytes.
+    TrailingBytes {
+        /// Offset where the trailing bytes begin.
+        at: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadVersion { found } => {
+                write!(f, "unsupported snapshot version {found} (expected {FORMAT_VERSION})")
+            }
+            SnapshotError::Truncated { at } => write!(f, "snapshot truncated at byte {at}"),
+            SnapshotError::BadCount { at, count } => {
+                write!(f, "implausible element count {count} at byte {at}")
+            }
+            SnapshotError::BadChecksum { expected, found } => {
+                write!(f, "checksum mismatch: content hashes to {expected:#x}, trailer says {found:#x}")
+            }
+            SnapshotError::BadOpcode { at, byte } => {
+                write!(f, "invalid opcode byte {byte:#x} at byte {at}")
+            }
+            SnapshotError::BadNodeTag { at, byte } => {
+                write!(f, "invalid node tag {byte:#x} at byte {at}")
+            }
+            SnapshotError::BadVerdictTag { at, byte } => {
+                write!(f, "invalid verdict tag {byte:#x} at byte {at}")
+            }
+            SnapshotError::IndexOutOfRange { at, index } => {
+                write!(f, "index {index} out of range at byte {at}")
+            }
+            SnapshotError::TrailingBytes { at } => {
+                write!(f, "trailing bytes after snapshot content at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A decoded (or captured) snapshot: the flattened arena plus the
+/// verdict memo, ready to encode or hydrate.
+#[derive(Clone, Default, Debug)]
+pub struct Snapshot {
+    /// The flattened expression arena.
+    pub arena: ArenaExport,
+    /// The flattened solver-verdict memo.
+    pub memo: MemoExport,
+}
+
+/// What [`Snapshot::hydrate`] did: arena import statistics plus memo
+/// merge statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HydrateStats {
+    /// Arena-side statistics (nodes preexisting/added, cache merged).
+    pub arena: ArenaImportStats,
+    /// Memo-side statistics (verdicts imported/dropped).
+    pub memo: MemoImportStats,
+}
+
+impl Snapshot {
+    /// Capture the current process-wide arena and verdict memo.
+    pub fn capture() -> Snapshot {
+        Snapshot {
+            arena: export_arena(),
+            memo: export_solver_memo(),
+        }
+    }
+
+    /// `true` when the snapshot holds no nodes and no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.arena.nodes.is_empty() && self.memo.entries.is_empty()
+    }
+
+    /// Encode to the versioned, checksummed byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.arena.nodes.len() as u32);
+        for node in &self.arena.nodes {
+            match node {
+                ExportedNode::Const(v) => {
+                    w.u8(0);
+                    w.u64(*v);
+                }
+                ExportedNode::Var(v) => {
+                    w.u8(1);
+                    w.u32(*v);
+                }
+                ExportedNode::App(op, args) => {
+                    w.u8(2);
+                    w.u8(opcode_to_byte(*op));
+                    assert!(
+                        args.len() <= usize::from(u16::MAX),
+                        "application arity {} exceeds the snapshot format's u16 field",
+                        args.len()
+                    );
+                    w.u16(args.len() as u16);
+                    for &c in args {
+                        w.u32(c);
+                    }
+                }
+            }
+        }
+        w.u32(self.arena.app_cache.len() as u32);
+        for &(raw, simplified) in &self.arena.app_cache {
+            w.u32(raw);
+            w.u32(simplified);
+        }
+        w.u32(self.memo.entries.len() as u32);
+        for (tag, key, verdict) in &self.memo.entries {
+            w.u64(*tag);
+            w.u32(key.len() as u32);
+            for &id in key {
+                w.u32(id);
+            }
+            match verdict {
+                Verdict::Unsat => w.u8(0),
+                Verdict::Unknown => w.u8(1),
+                Verdict::Sat(model) => {
+                    w.u8(2);
+                    let entries: Vec<(VarId, u64)> = model.iter().collect();
+                    w.u32(entries.len() as u32);
+                    for (var, val) in entries {
+                        w.u32(var.0);
+                        w.u64(val);
+                    }
+                }
+            }
+        }
+        let checksum = fnv1a(w.as_bytes());
+        w.u64(checksum);
+        w.into_bytes()
+    }
+
+    /// Decode and validate a snapshot. Rejects bad magic/version,
+    /// truncation, checksum mismatches, out-of-range opcodes, verdict
+    /// tags, and indices — see [`SnapshotError`].
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(SnapshotError::Truncated { at: bytes.len() });
+        }
+        let (content, trailer) = bytes.split_at(bytes.len() - 8);
+        let found = u64::from_le_bytes(trailer.try_into().expect("len 8"));
+        let expected = fnv1a(content);
+        if expected != found {
+            return Err(SnapshotError::BadChecksum { expected, found });
+        }
+        let mut r = Reader::new(content);
+        if r.bytes(MAGIC.len())? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::BadVersion { found: version });
+        }
+        let node_count = r.count(2)?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let at = r.position();
+            let node = match r.u8()? {
+                0 => ExportedNode::Const(r.u64()?),
+                1 => ExportedNode::Var(r.u32()?),
+                2 => {
+                    let op_at = r.position();
+                    let op_byte = r.u8()?;
+                    let op = opcode_from_byte(op_byte)
+                        .ok_or(SnapshotError::BadOpcode { at: op_at, byte: op_byte })?;
+                    let argc = r.u16()? as usize;
+                    let mut args = Vec::with_capacity(argc);
+                    for _ in 0..argc {
+                        let id_at = r.position();
+                        let c = r.u32()?;
+                        if c as usize >= nodes.len() {
+                            return Err(SnapshotError::IndexOutOfRange { at: id_at, index: c });
+                        }
+                        args.push(c);
+                    }
+                    ExportedNode::App(op, args)
+                }
+                byte => return Err(SnapshotError::BadNodeTag { at, byte }),
+            };
+            nodes.push(node);
+        }
+        let n = nodes.len() as u32;
+        let read_index = |r: &mut Reader<'_>| -> Result<u32, SnapshotError> {
+            let at = r.position();
+            let index = r.u32()?;
+            if index >= n {
+                return Err(SnapshotError::IndexOutOfRange { at, index });
+            }
+            Ok(index)
+        };
+        let app_count = r.count(8)?;
+        let mut app_cache = Vec::with_capacity(app_count);
+        for _ in 0..app_count {
+            let raw = read_index(&mut r)?;
+            let simplified = read_index(&mut r)?;
+            app_cache.push((raw, simplified));
+        }
+        let memo_count = r.count(13)?;
+        let mut entries = Vec::with_capacity(memo_count);
+        for _ in 0..memo_count {
+            let tag = r.u64()?;
+            let key_len = r.count(4)?;
+            let mut key = Vec::with_capacity(key_len);
+            for _ in 0..key_len {
+                key.push(read_index(&mut r)?);
+            }
+            let tag_at = r.position();
+            let verdict = match r.u8()? {
+                0 => Verdict::Unsat,
+                1 => Verdict::Unknown,
+                2 => {
+                    let model_len = r.count(12)?;
+                    let mut model = Model::new();
+                    for _ in 0..model_len {
+                        let var = r.u32()?;
+                        let val = r.u64()?;
+                        model.set(VarId(var), val);
+                    }
+                    Verdict::Sat(model)
+                }
+                byte => return Err(SnapshotError::BadVerdictTag { at: tag_at, byte }),
+            };
+            entries.push((tag, key, verdict));
+        }
+        if r.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes { at: r.position() });
+        }
+        Ok(Snapshot {
+            arena: ArenaExport { nodes, app_cache },
+            memo: MemoExport { entries },
+        })
+    }
+
+    /// Hydrate the process-wide arena and verdict memo from this
+    /// snapshot, remapping every id. The arena need not be empty.
+    pub fn hydrate(&self) -> Result<HydrateStats, ArenaImportError> {
+        let (remap, arena) = import_arena(&self.arena)?;
+        let memo = import_solver_memo(&self.memo, &remap);
+        Ok(HydrateStats { arena, memo })
+    }
+}
+
+/// Stable `OpCode` → byte mapping: the opcode's position in
+/// [`OpCode::ALL`]. Part of format version 1; reordering `ALL` without
+/// bumping [`FORMAT_VERSION`] would silently corrupt caches, which is
+/// why `decode ∘ encode` round-trip tests pin this down.
+fn opcode_to_byte(op: OpCode) -> u8 {
+    OpCode::ALL
+        .iter()
+        .position(|&o| o == op)
+        .expect("every opcode is in OpCode::ALL") as u8
+}
+
+/// Byte → `OpCode`, rejecting out-of-table bytes.
+fn opcode_from_byte(byte: u8) -> Option<OpCode> {
+    OpCode::ALL.get(byte as usize).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            arena: ArenaExport {
+                nodes: vec![
+                    ExportedNode::Const(4),
+                    ExportedNode::Var(0),
+                    ExportedNode::App(OpCode::Gt, vec![0, 1]),
+                    ExportedNode::App(OpCode::Add, vec![0, 0, 1]),
+                ],
+                app_cache: vec![(2, 2), (3, 3)],
+            },
+            memo: MemoExport {
+                entries: vec![
+                    (7, vec![2], Verdict::Sat(Model::from_iter([(VarId(0), 3)]))),
+                    (7, vec![2, 3], Verdict::Unknown),
+                    (9, vec![3], Verdict::Unsat),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).expect("decodes");
+        assert_eq!(back.arena.nodes, snap.arena.nodes);
+        assert_eq!(back.arena.app_cache, snap.arena.app_cache);
+        assert_eq!(back.memo.entries.len(), snap.memo.entries.len());
+        for ((t1, k1, v1), (t2, k2, v2)) in back.memo.entries.iter().zip(&snap.memo.entries) {
+            assert_eq!((t1, k1), (t2, k2));
+            assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn every_opcode_survives_the_byte_mapping() {
+        for op in OpCode::ALL {
+            assert_eq!(opcode_from_byte(opcode_to_byte(op)), Some(op));
+        }
+        assert_eq!(opcode_from_byte(OpCode::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let bytes = sample_snapshot().encode();
+        for len in 0..bytes.len() {
+            let err = Snapshot::decode(&bytes[..len]).expect_err("truncated must fail");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::BadChecksum { .. }
+                ),
+                "unexpected error at prefix {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_rejected() {
+        let bytes = sample_snapshot().encode();
+        for byte in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[byte] ^= 0x10;
+            assert!(
+                Snapshot::decode(&corrupt).is_err(),
+                "bit flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        // A hand-crafted snapshot whose App node references itself; the
+        // checksum is valid, so only structural validation catches it.
+        let snap = Snapshot {
+            arena: ArenaExport {
+                nodes: vec![ExportedNode::Const(1), ExportedNode::App(OpCode::Not, vec![1])],
+                app_cache: vec![],
+            },
+            memo: MemoExport::default(),
+        };
+        let bytes = snap.encode();
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut bytes = sample_snapshot().encode();
+        bytes[8] = 0xfe; // version field, after the 8-byte magic
+        let len = bytes.len();
+        let checksum = fnv1a(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::BadVersion { found: 0xfe })
+        ));
+    }
+}

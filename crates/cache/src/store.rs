@@ -1,0 +1,176 @@
+//! High-level cache files: capture/save and load/hydrate the
+//! process-wide symbolic state with one call each, reporting what was
+//! transferred.
+
+use crate::snapshot::{Snapshot, SnapshotError};
+use sct_symx::ArenaImportError;
+use std::fmt;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Why a cache file could not be saved or loaded.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file decoded to garbage (corruption, truncation, version
+    /// skew).
+    Format(SnapshotError),
+    /// The file decoded but violated a structural invariant during
+    /// import.
+    Import(ArenaImportError),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache io error: {e}"),
+            CacheError::Format(e) => write!(f, "cache format error: {e}"),
+            CacheError::Import(e) => write!(f, "cache import error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for CacheError {
+    fn from(e: SnapshotError) -> Self {
+        CacheError::Format(e)
+    }
+}
+
+impl From<ArenaImportError> for CacheError {
+    fn from(e: ArenaImportError) -> Self {
+        CacheError::Import(e)
+    }
+}
+
+/// What a [`load`] transferred into the process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LoadStats {
+    /// Nodes in the snapshot file.
+    pub snapshot_nodes: usize,
+    /// Snapshot nodes the live arena already had.
+    pub preexisting: usize,
+    /// Snapshot nodes newly interned.
+    pub added: usize,
+    /// Application-cache pairs merged.
+    pub app_cache_merged: usize,
+    /// Solver verdicts merged into the memo.
+    pub verdicts_imported: usize,
+    /// Solver verdicts dropped (unmappable or already memoized).
+    pub verdicts_dropped: usize,
+    /// Size of the snapshot file in bytes.
+    pub bytes: usize,
+    /// Wall-clock time for read + decode + hydrate.
+    pub load_time: Duration,
+}
+
+impl fmt::Display for LoadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} new, {} shared), {} verdicts, {} bytes in {:.1?}",
+            self.snapshot_nodes,
+            self.added,
+            self.preexisting,
+            self.verdicts_imported,
+            self.bytes,
+            self.load_time,
+        )
+    }
+}
+
+/// What a [`save`] wrote.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SaveStats {
+    /// Nodes written.
+    pub nodes: usize,
+    /// Solver verdicts written.
+    pub verdicts: usize,
+    /// File size in bytes.
+    pub bytes: usize,
+}
+
+impl fmt::Display for SaveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} verdicts, {} bytes",
+            self.nodes, self.verdicts, self.bytes
+        )
+    }
+}
+
+/// Load a snapshot file and hydrate the process-wide arena and verdict
+/// memo (id-remapped; the arena need not be empty).
+///
+/// On any error the process state is untouched; treating the error as
+/// "cold start" is always sound.
+pub fn load(path: &Path) -> Result<LoadStats, CacheError> {
+    let start = Instant::now();
+    let bytes = std::fs::read(path)?;
+    let snapshot = Snapshot::decode(&bytes)?;
+    let stats = snapshot.hydrate()?;
+    Ok(LoadStats {
+        snapshot_nodes: stats.arena.snapshot_nodes,
+        preexisting: stats.arena.preexisting,
+        added: stats.arena.added,
+        app_cache_merged: stats.arena.app_cache_merged,
+        verdicts_imported: stats.memo.imported,
+        verdicts_dropped: stats.memo.dropped,
+        bytes: bytes.len(),
+        load_time: start.elapsed(),
+    })
+}
+
+/// [`load`], but a missing file is `Ok(None)` (the cold-start case)
+/// rather than an error.
+pub fn load_if_exists(path: &Path) -> Result<Option<LoadStats>, CacheError> {
+    match load(path) {
+        Ok(stats) => Ok(Some(stats)),
+        Err(CacheError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Capture the process-wide arena and verdict memo and write them to
+/// `path`, atomically: the bytes land in a uniquely named temporary
+/// sibling first (per-process, so concurrent savers to the same path
+/// do not clobber each other's half-written bytes) and are renamed
+/// over the target, so a crashed writer never leaves a torn cache for
+/// the next run to trip on.
+pub fn save(path: &Path) -> Result<SaveStats, CacheError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let snapshot = Snapshot::capture();
+    let bytes = snapshot.encode();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = std::path::PathBuf::from(tmp);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&tmp, &bytes)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(SaveStats {
+        nodes: snapshot.arena.nodes.len(),
+        verdicts: snapshot.memo.entries.len(),
+        bytes: bytes.len(),
+    })
+}

@@ -1,0 +1,165 @@
+//! Property tests for snapshot round-trips: capture → encode → decode →
+//! retire → hydrate preserves structural interning and solver verdicts,
+//! imports into non-empty arenas are pure merges, and corrupted or
+//! truncated snapshots are rejected, never trusted, never a panic.
+//!
+//! Tests in this binary retire the process-wide arena, so they
+//! serialize on a file-local lock (other test binaries are separate
+//! processes).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sct_cache::Snapshot;
+use sct_core::OpCode;
+use sct_symx::{
+    arena_stats, retire_arena, solver_memo_stats, Expr, ExportedNode, Solver, VarId, Verdict,
+};
+use std::sync::Mutex;
+
+static ARENA_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ARENA_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An owned expression shape that survives arena retirement.
+#[derive(Clone, Debug)]
+enum Tree {
+    Const(u64),
+    Var(u32),
+    App(OpCode, Vec<Tree>),
+}
+
+fn random_tree(rng: &mut SmallRng, depth: usize) -> Tree {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            Tree::Var(rng.gen_range(0..3))
+        } else {
+            Tree::Const(rng.gen_range(0..16))
+        };
+    }
+    let op = OpCode::ALL[rng.gen_range(0..OpCode::ALL.len())];
+    let n = op.arity().unwrap_or(rng.gen_range(1..4)).max(1);
+    Tree::App(op, (0..n).map(|_| random_tree(rng, depth - 1)).collect())
+}
+
+/// Build through the production constructor (simplifying, memoized).
+fn build(tree: &Tree) -> Expr {
+    match tree {
+        Tree::Const(v) => Expr::constant(*v),
+        Tree::Var(v) => Expr::var(VarId(*v)),
+        Tree::App(op, args) => Expr::app(*op, args.iter().map(build).collect()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full warm-start story on synthetic constraints: everything
+    /// the cold run interned and solved is served by the snapshot after
+    /// an epoch reset — zero fresh nodes, memo hits, identical verdicts.
+    #[test]
+    fn snapshot_roundtrip_preserves_interning_and_verdicts(seed in any::<u64>()) {
+        let _guard = lock();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sets: Vec<Vec<Tree>> = (0..3)
+            .map(|_| (0..rng.gen_range(1..4)).map(|_| random_tree(&mut rng, 3)).collect())
+            .collect();
+        let solver = Solver::new();
+        let cold_verdicts: Vec<Verdict> = sets
+            .iter()
+            .map(|set| solver.check(&set.iter().map(build).collect::<Vec<_>>()))
+            .collect();
+
+        let bytes = Snapshot::capture().encode();
+        let decoded = Snapshot::decode(&bytes).expect("own snapshot decodes");
+
+        retire_arena();
+        let stats = decoded.hydrate().expect("own snapshot hydrates");
+        prop_assert_eq!(
+            stats.arena.added, stats.arena.snapshot_nodes,
+            "into an empty epoch, every snapshot node is new"
+        );
+        let nodes_after_hydrate = arena_stats().nodes;
+
+        // Rebuilding the same structures interns nothing new: the
+        // snapshot covered the whole cold arena.
+        let rebuilt: Vec<Vec<Expr>> = sets
+            .iter()
+            .map(|set| set.iter().map(build).collect())
+            .collect();
+        prop_assert_eq!(
+            arena_stats().nodes, nodes_after_hydrate,
+            "warm rebuild must be fully served by hydrated nodes"
+        );
+
+        // Re-solving is served by the imported memo, verbatim.
+        let hits_before = solver_memo_stats().hits;
+        for (set, cold) in rebuilt.iter().zip(&cold_verdicts) {
+            let warm = solver.check(set);
+            prop_assert_eq!(&warm, cold, "verdict changed across snapshot round-trip");
+        }
+        prop_assert!(
+            solver_memo_stats().hits >= hits_before + cold_verdicts.len() as u64,
+            "warm re-solves must hit the imported memo"
+        );
+
+        // A second hydrate into the now-warm arena is a pure merge.
+        let again = decoded.hydrate().expect("re-hydrate");
+        prop_assert_eq!(again.arena.added, 0);
+        prop_assert_eq!(again.arena.preexisting, again.arena.snapshot_nodes);
+    }
+
+    /// Truncating a valid snapshot anywhere is rejected cleanly.
+    #[test]
+    fn truncated_snapshots_are_rejected(seed in any::<u64>()) {
+        let _guard = lock();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            build(&random_tree(&mut rng, 3));
+        }
+        let bytes = Snapshot::capture().encode();
+        let len = rng.gen_range(0..bytes.len());
+        prop_assert!(Snapshot::decode(&bytes[..len]).is_err());
+    }
+
+    /// Randomly corrupted bytes are rejected cleanly (checksum or
+    /// structural validation), never a panic, never a silent accept.
+    #[test]
+    fn corrupted_snapshots_are_rejected(seed in any::<u64>()) {
+        let _guard = lock();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            build(&random_tree(&mut rng, 3));
+        }
+        let mut bytes = Snapshot::capture().encode();
+        let at = rng.gen_range(0..bytes.len());
+        let xor = rng.gen_range(1..=255u8);
+        bytes[at] ^= xor;
+        prop_assert!(Snapshot::decode(&bytes).is_err(), "flip at {} undetected", at);
+    }
+
+    /// Hand-crafted snapshots with dangling indices are caught by
+    /// structural validation even under a valid checksum.
+    #[test]
+    fn forward_references_never_hydrate(seed in any::<u64>()) {
+        let extra = (seed % 8) as u32;
+        let snap = Snapshot {
+            arena: sct_symx::ArenaExport {
+                nodes: vec![
+                    ExportedNode::Const(1),
+                    // Self- or forward-reference, offset by `extra`.
+                    ExportedNode::App(OpCode::Not, vec![1 + extra]),
+                ],
+                app_cache: vec![],
+            },
+            memo: sct_symx::MemoExport::default(),
+        };
+        // Either the codec rejects it at decode, or (constructed in
+        // memory) the importer rejects it at hydrate; both before any
+        // arena mutation.
+        prop_assert!(Snapshot::decode(&snap.encode()).is_err());
+        prop_assert!(snap.hydrate().is_err());
+    }
+}

@@ -104,6 +104,23 @@ pub fn run(v1_bound: usize, v4_bound: usize) -> Table2 {
     from_batches(&v1, &v4, v1_bound, v4_bound)
 }
 
+/// [`run`], warm-started from (and saved back to) a `sct-cache`
+/// snapshot: the v1 batch hydrates the arena and verdict memo from
+/// `cache`, both batch reports carry solver-memo statistics, and the
+/// state after both passes is persisted for the next invocation.
+/// Returns the per-mode batch reports alongside the rendered table.
+pub fn run_cached(
+    v1_bound: usize,
+    v4_bound: usize,
+    cache: &std::path::Path,
+) -> Result<(Table2, BatchReport, BatchReport), sct_cache::CacheError> {
+    let analyzer = BatchAnalyzer::new(DetectorOptions::v1_mode(v1_bound)).with_cache(cache)?;
+    let v1 = analyzer.analyze_all(batch_items());
+    let v4 = BatchAnalyzer::new(DetectorOptions::v4_mode(v4_bound)).analyze_all(batch_items());
+    analyzer.save_cache()?;
+    Ok((from_batches(&v1, &v4, v1_bound, v4_bound), v1, v4))
+}
+
 /// Assemble the detection matrix from one batch per mode (exposed so
 /// callers holding their own batch reports — the bench, the example —
 /// can render the paper's table without re-running).

@@ -109,6 +109,18 @@ pub fn batch_items(cases: &[LitmusCase]) -> Vec<BatchItem> {
         .collect()
 }
 
+/// [`batch_items`] with `regs` symbolized in every item: the analysis
+/// covers all attacker-controlled values of those registers, which
+/// makes branch conditions and addresses symbolic and therefore drives
+/// the constraint solver (and its verdict memo) — concrete litmus runs
+/// constant-fold every condition and never query it.
+pub fn symbolic_batch_items(cases: &[LitmusCase], regs: &[sct_core::Reg]) -> Vec<BatchItem> {
+    batch_items(cases)
+        .into_iter()
+        .map(|item| item.symbolize(regs.iter().copied()))
+        .collect()
+}
+
 /// Batch verdicts for a suite: one shared-arena pass per detector mode.
 pub struct CorpusVerdicts {
     /// The v1-mode (no forwarding hazards) batch.
@@ -139,6 +151,45 @@ pub fn run_corpus(cases: &[LitmusCase]) -> CorpusVerdicts {
         v1: BatchAnalyzer::new(DetectorOptions::v1_mode(16)).analyze_all(items.clone()),
         v4: BatchAnalyzer::new(DetectorOptions::v4_mode(16)).analyze_all(items),
     }
+}
+
+/// A warm-started corpus run: the concrete per-mode verdicts plus a
+/// symbolic-index v1 pass (the pass that exercises the constraint
+/// solver and its persisted verdict memo).
+pub struct CachedCorpusRun {
+    /// The concrete v1/v4 batch verdicts, as in [`run_corpus`].
+    pub verdicts: CorpusVerdicts,
+    /// A v1-mode pass with the attacker index register (`ra`)
+    /// symbolized in every case.
+    pub v1_symbolic: BatchReport,
+}
+
+/// [`run_corpus`], warm-started from (and saved back to) a `sct-cache`
+/// snapshot file: the expression arena and the solver-verdict memo are
+/// hydrated from `cache` before the first batch, and the state after
+/// all passes — the concrete v1/v4 batches plus a symbolic-`ra` v1
+/// batch — is persisted for the next invocation. The v1 report's
+/// [`pitchfork::BatchReport::cache_load`] says what the warm start
+/// transferred.
+pub fn run_corpus_cached(
+    cases: &[LitmusCase],
+    cache: &std::path::Path,
+) -> Result<CachedCorpusRun, sct_cache::CacheError> {
+    let items = batch_items(cases);
+    let analyzer = BatchAnalyzer::new(DetectorOptions::v1_mode(16)).with_cache(cache)?;
+    let run = CachedCorpusRun {
+        verdicts: CorpusVerdicts {
+            v1: analyzer.analyze_all(items.clone()),
+            v4: BatchAnalyzer::new(DetectorOptions::v4_mode(16)).analyze_all(items),
+        },
+        v1_symbolic: BatchAnalyzer::new(DetectorOptions::v1_mode(16)).analyze_all(
+            symbolic_batch_items(cases, &[sct_core::reg::names::RA]),
+        ),
+    };
+    // Saving goes through the analyzer so every pass's state (the
+    // arena and memo are process-wide) lands in the snapshot.
+    analyzer.save_cache()?;
+    Ok(run)
 }
 
 /// Check a case against its expectation, panicking with context on

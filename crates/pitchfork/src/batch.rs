@@ -11,9 +11,10 @@
 
 use crate::detector::{Detector, DetectorOptions};
 use crate::report::Report;
-use sct_core::{Config, Program};
+use sct_core::{Config, Program, Reg};
 use sct_symx::{arena_stats, ArenaStats};
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// One program to analyze.
@@ -28,6 +29,10 @@ pub struct BatchItem {
     /// Per-item speculation-bound override (`None` uses the batch
     /// options' bound).
     pub bound: Option<usize>,
+    /// Registers replaced by fresh symbolic inputs (covering every
+    /// value of those registers instead of the one in `config`); empty
+    /// means fully concrete analysis.
+    pub symbolic: Vec<Reg>,
 }
 
 impl BatchItem {
@@ -38,6 +43,7 @@ impl BatchItem {
             program,
             config,
             bound: None,
+            symbolic: Vec::new(),
         }
     }
 
@@ -48,7 +54,17 @@ impl BatchItem {
             program,
             config,
             bound: Some(bound),
+            symbolic: Vec::new(),
         }
+    }
+
+    /// The same item with `regs` symbolized (the batch equivalent of
+    /// [`Detector::analyze_symbolic`]); symbolic analyses exercise the
+    /// constraint solver, so these items populate — and profit from —
+    /// the verdict memo.
+    pub fn symbolize(mut self, regs: impl IntoIterator<Item = Reg>) -> Self {
+        self.symbolic = regs.into_iter().collect();
+        self
     }
 }
 
@@ -78,6 +94,23 @@ pub struct BatchTotals {
     pub violations: usize,
     /// Programs whose exploration hit a budget.
     pub truncated: usize,
+    /// Solver feasibility queries across all programs.
+    pub solver_queries: usize,
+    /// Queries answered from the verdict memo across all programs.
+    pub solver_memo_hits: usize,
+    /// Queries that ran the full solver pipeline.
+    pub solver_memo_misses: usize,
+}
+
+impl BatchTotals {
+    /// Fraction of solver queries answered from the verdict memo.
+    pub fn solver_memo_hit_rate(&self) -> f64 {
+        if self.solver_queries == 0 {
+            0.0
+        } else {
+            self.solver_memo_hits as f64 / self.solver_queries as f64
+        }
+    }
 }
 
 /// The result of [`BatchAnalyzer::analyze_all`].
@@ -91,6 +124,10 @@ pub struct BatchReport {
     pub arena_before: ArenaStats,
     /// Arena counters when the batch finished.
     pub arena_after: ArenaStats,
+    /// What the warm-start cache load transferred, when the analyzer
+    /// was built with [`BatchAnalyzer::with_cache`] and the file
+    /// existed.
+    pub cache_load: Option<sct_cache::LoadStats>,
     /// Wall-clock time for the whole batch.
     pub wall: Duration,
 }
@@ -139,6 +176,17 @@ impl fmt::Display for BatchReport {
             self.arena_after.app_cache_hits,
             self.arena_after.app_cache_misses,
         )?;
+        writeln!(
+            f,
+            "solver: {} queries, {} memo hits / {} misses ({:.1}% hit rate)",
+            self.totals.solver_queries,
+            self.totals.solver_memo_hits,
+            self.totals.solver_memo_misses,
+            100.0 * self.totals.solver_memo_hit_rate(),
+        )?;
+        if let Some(load) = &self.cache_load {
+            writeln!(f, "cache: warm start — {load}")?;
+        }
         for o in &self.outcomes {
             writeln!(
                 f,
@@ -161,6 +209,11 @@ impl fmt::Display for BatchReport {
 /// Runs many programs through one detector configuration, sharing the
 /// process-wide expression arena, and reports aggregate statistics.
 ///
+/// With [`BatchAnalyzer::with_cache`] the analyzer also spans
+/// *processes*: it hydrates the arena and the solver-verdict memo from
+/// a snapshot file before analyzing, and [`BatchAnalyzer::save_cache`]
+/// persists the (now warmer) state for the next invocation.
+///
 /// # Examples
 ///
 /// ```
@@ -173,16 +226,52 @@ impl fmt::Display for BatchReport {
 /// assert_eq!(batch.totals.programs, 1);
 /// assert_eq!(batch.totals.flagged, 1);
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BatchAnalyzer {
     options: DetectorOptions,
+    cache_path: Option<PathBuf>,
+    cache_load: Option<sct_cache::LoadStats>,
 }
 
 impl BatchAnalyzer {
     /// A batch analyzer running every item with `options` (modulo
     /// per-item bound overrides).
     pub fn new(options: DetectorOptions) -> Self {
-        BatchAnalyzer { options }
+        BatchAnalyzer {
+            options,
+            cache_path: None,
+            cache_load: None,
+        }
+    }
+
+    /// Attach a warm-start cache file: if `path` exists, the expression
+    /// arena and solver-verdict memo are hydrated from it immediately
+    /// (a missing file is a cold start, not an error), and
+    /// [`BatchAnalyzer::save_cache`] will persist to the same path.
+    pub fn with_cache(
+        mut self,
+        path: impl Into<PathBuf>,
+    ) -> Result<Self, sct_cache::CacheError> {
+        let path = path.into();
+        self.cache_load = sct_cache::load_if_exists(&path)?;
+        self.cache_path = Some(path);
+        Ok(self)
+    }
+
+    /// What the warm-start load transferred (`None` before
+    /// [`BatchAnalyzer::with_cache`], or when the file did not exist).
+    pub fn cache_load(&self) -> Option<&sct_cache::LoadStats> {
+        self.cache_load.as_ref()
+    }
+
+    /// Persist the process-wide arena and verdict memo to the path
+    /// given to [`BatchAnalyzer::with_cache`]. Returns `Ok(None)` when
+    /// no cache path is attached.
+    pub fn save_cache(&self) -> Result<Option<sct_cache::SaveStats>, sct_cache::CacheError> {
+        match &self.cache_path {
+            Some(path) => sct_cache::save(path).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Analyze every item, in order, accumulating totals and arena
@@ -197,7 +286,12 @@ impl BatchAnalyzer {
             if let Some(bound) = item.bound {
                 options.explorer.spec_bound = bound;
             }
-            let report = Detector::new(options).analyze(&item.program, &item.config);
+            let detector = Detector::new(options);
+            let report = if item.symbolic.is_empty() {
+                detector.analyze(&item.program, &item.config)
+            } else {
+                detector.analyze_symbolic(&item.program, &item.config, &item.symbolic)
+            };
             totals.programs += 1;
             totals.flagged += usize::from(report.has_violations());
             totals.states += report.stats.states;
@@ -205,6 +299,9 @@ impl BatchAnalyzer {
             totals.steps += report.stats.steps;
             totals.violations += report.violations.len();
             totals.truncated += usize::from(report.stats.truncated);
+            totals.solver_queries += report.stats.solver_queries;
+            totals.solver_memo_hits += report.stats.solver_memo_hits;
+            totals.solver_memo_misses += report.stats.solver_memo_misses;
             outcomes.push(BatchOutcome {
                 name: item.name,
                 report,
@@ -215,6 +312,7 @@ impl BatchAnalyzer {
             totals,
             arena_before,
             arena_after: arena_stats(),
+            cache_load: self.cache_load,
             wall: start.elapsed(),
         }
     }

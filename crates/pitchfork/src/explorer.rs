@@ -148,6 +148,7 @@ impl<'p> Explorer<'p> {
     /// so the pop path needs no second check. Every state is
     /// fingerprinted exactly once.
     pub fn explore(&self, initial: SymState) -> Report {
+        let memo_before = sct_symx::solver_memo_stats();
         let mut report = Report::default();
         let dedup = self.options.dedup_states;
         let mut visited: std::collections::HashSet<u128> = std::collections::HashSet::new();
@@ -179,6 +180,10 @@ impl<'p> Explorer<'p> {
             }
             report.stats.frontier_peak = report.stats.frontier_peak.max(frontier.len());
         }
+        let memo_after = sct_symx::solver_memo_stats();
+        report.stats.solver_queries = (memo_after.queries - memo_before.queries) as usize;
+        report.stats.solver_memo_hits = (memo_after.hits - memo_before.hits) as usize;
+        report.stats.solver_memo_misses = (memo_after.misses - memo_before.misses) as usize;
         report
     }
 

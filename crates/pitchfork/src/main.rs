@@ -2,7 +2,8 @@
 //! speculative constant-time violations.
 //!
 //! ```text
-//! pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose] FILE...
+//! pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose]
+//!           [--cache PATH] FILE...
 //! ```
 
 use pitchfork::{Detector, DetectorOptions, ExplorerOptions};
@@ -14,12 +15,13 @@ struct Cli {
     fwd_hazards: bool,
     symbolic: Vec<Reg>,
     verbose: bool,
+    cache: Option<String>,
     files: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose] FILE..."
+        "usage: pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose] [--cache PATH] FILE..."
     );
     eprintln!();
     eprintln!("Analyze sct assembly files for speculative constant-time violations.");
@@ -28,6 +30,8 @@ fn usage() -> ! {
     eprintln!("  --fwd-hazards    explore store-forwarding hazards (Spectre v4 mode)");
     eprintln!("  --symbolic LIST  treat these registers as symbolic inputs");
     eprintln!("  --verbose        print schedules and traces for each violation");
+    eprintln!("  --cache PATH     warm-start the expression arena and solver memo");
+    eprintln!("                   from PATH (if it exists) and save back after the run");
     std::process::exit(2)
 }
 
@@ -37,6 +41,7 @@ fn parse_args() -> Cli {
         fwd_hazards: false,
         symbolic: Vec::new(),
         verbose: false,
+        cache: None,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -47,6 +52,10 @@ fn parse_args() -> Cli {
                 cli.bound = v.parse().unwrap_or_else(|_| usage());
             }
             "--fwd-hazards" => cli.fwd_hazards = true,
+            "--cache" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.cache = Some(v);
+            }
             "--symbolic" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 for name in v.split(',') {
@@ -73,6 +82,23 @@ fn parse_args() -> Cli {
 
 fn main() -> ExitCode {
     let cli = parse_args();
+    // Warm-start: hydrate the arena and verdict memo before any file is
+    // analyzed. Cache failures degrade to a cold start, never abort an
+    // analysis.
+    if let Some(path) = cli.cache.as_deref().map(std::path::Path::new) {
+        match sct_cache::load_if_exists(path) {
+            Ok(Some(stats)) => println!(
+                "cache: warm start from {}: {} snapshot nodes ({} new, {} shared), {} verdicts",
+                path.display(),
+                stats.snapshot_nodes,
+                stats.added,
+                stats.preexisting,
+                stats.verdicts_imported,
+            ),
+            Ok(None) => println!("cache: cold start ({} not found)", path.display()),
+            Err(e) => eprintln!("cache: cold start ({}: {e})", path.display()),
+        }
+    }
     let options = DetectorOptions {
         explorer: ExplorerOptions {
             spec_bound: cli.bound,
@@ -123,6 +149,12 @@ fn main() -> ExitCode {
                 }
                 print!("{v}");
             }
+        }
+    }
+    if let Some(path) = cli.cache.as_deref().map(std::path::Path::new) {
+        match sct_cache::save(path) {
+            Ok(stats) => println!("cache: saved {}: {stats}", path.display()),
+            Err(e) => eprintln!("cache: save failed ({}: {e})", path.display()),
         }
     }
     if any_violation {

@@ -55,8 +55,15 @@ pub struct ExploreStats {
     pub schedules: usize,
     /// Machine steps taken.
     pub steps: usize,
-    /// Solver feasibility queries issued.
+    /// Solver feasibility queries issued while exploring (delta of the
+    /// process-wide counter; approximate when explorations run
+    /// concurrently in one process).
     pub solver_queries: usize,
+    /// Queries answered from the process-wide verdict memo (same
+    /// delta-of-global caveat as [`ExploreStats::solver_queries`]).
+    pub solver_memo_hits: usize,
+    /// Queries that ran the full solver pipeline.
+    pub solver_memo_misses: usize,
     /// `true` when exploration hit the state budget and stopped early.
     pub truncated: bool,
 }

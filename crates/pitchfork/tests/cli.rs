@@ -88,3 +88,41 @@ fn usage_on_no_files() {
     assert_eq!(code, Some(2));
     assert!(text.contains("usage"), "{text}");
 }
+
+#[test]
+fn cache_flag_goes_cold_then_warm() {
+    let gadget = write_temp("cache_gadget", GADGET);
+    let mut cache = std::env::temp_dir();
+    cache.push(format!("pitchfork_cli_cache_{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
+
+    // First run: cold start, then a snapshot is saved.
+    let args = [
+        "--cache",
+        cache.to_str().unwrap(),
+        "--symbolic",
+        "ra",
+        gadget.to_str().unwrap(),
+    ];
+    let (text, code) = run_cli(&args);
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("cache: cold start"), "{text}");
+    assert!(text.contains("cache: saved"), "{text}");
+    assert!(cache.exists(), "snapshot file must be written");
+
+    // Second run: warm start with a non-zero node count, same verdict.
+    let (text, code) = run_cli(&args);
+    std::fs::remove_file(&gadget).ok();
+    std::fs::remove_file(&cache).ok();
+    assert_eq!(code, Some(1), "{text}");
+    assert!(text.contains("cache: warm start"), "{text}");
+    let warm_nodes: usize = text
+        .lines()
+        .find(|l| l.contains("warm start"))
+        .and_then(|l| l.split(": ").nth(2))
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    assert!(warm_nodes > 0, "warm start must hydrate nodes: {text}");
+    assert!(text.contains("VIOLATION"), "{text}");
+}

@@ -18,7 +18,14 @@ use sct_core::op::{self, OpCode};
 use sct_core::Val;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::{LazyLock, PoisonError, RwLock, RwLockReadGuard};
+
+/// Bits of an [`ExprRef`] holding the arena index; the remaining high
+/// bits hold the epoch tag (see [`retire_arena`]).
+const INDEX_BITS: u32 = 24;
+/// Largest interned-node index representable in one epoch (~16.7M).
+const MAX_INDEX: u32 = (1 << INDEX_BITS) - 1;
 
 /// A symbolic input variable.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -82,8 +89,31 @@ pub(crate) enum Node {
 /// ids, never expression trees. The `Ord` instance is interning order —
 /// arbitrary but deterministic within a process, which is what the
 /// explorer needs to canonicalize path-condition sets.
+///
+/// The 32 bits are split: the low [`INDEX_BITS`] index into the arena,
+/// the high bits carry the arena's epoch tag at interning time. After
+/// [`retire_arena`] the tag no longer matches, so using a retired
+/// reference panics loudly instead of silently reading an unrelated
+/// node (see the epoch discussion on [`retire_arena`]).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExprRef(u32);
+
+impl ExprRef {
+    fn pack(tag: u8, index: u32) -> ExprRef {
+        debug_assert!(index <= MAX_INDEX);
+        ExprRef((u32::from(tag) << INDEX_BITS) | index)
+    }
+
+    /// The arena index (low bits, without the epoch tag).
+    pub(crate) fn index(self) -> u32 {
+        self.0 & MAX_INDEX
+    }
+
+    /// The epoch tag this reference was interned under.
+    fn epoch_tag(self) -> u8 {
+        (self.0 >> INDEX_BITS) as u8
+    }
+}
 
 /// The traditional name: the seed's `Expr` tree type is now an interned
 /// reference.
@@ -105,30 +135,106 @@ pub enum ExprKind {
 /// [`RwLock`]; public [`ExprRef`] methods lock it, crate-internal code
 /// (the simplifier, the interval analysis, the solver's hot loops)
 /// receives `&ExprArena`/`&mut ExprArena` to stay re-entrancy-free.
+///
+/// The dedup index is **id-keyed**: each node is stored exactly once,
+/// in `nodes`, and the index maps a 64-bit structural hash to the id
+/// (with an overflow table for the ~never case of colliding hashes).
+/// The previous layout kept every `Node` a second time as its own map
+/// key, roughly doubling resident arena memory.
 #[derive(Debug, Default)]
 pub(crate) struct ExprArena {
+    /// Epoch counter; bumped by [`ExprArena::retire`]. The low 8 bits
+    /// are the tag packed into every handed-out [`ExprRef`].
+    epoch: u64,
     nodes: Vec<Node>,
-    dedup: HashMap<Node, u32>,
+    /// Total child slots across all `App` nodes (memory accounting).
+    child_slots: usize,
+    /// Structural hash → interned id. Nodes live only in `nodes`.
+    dedup: HashMap<u64, u32>,
+    /// Extra ids whose structural hash collides with an entry of
+    /// `dedup` (64-bit collisions: expected never at our arena sizes,
+    /// handled for correctness).
+    dedup_overflow: HashMap<u64, Vec<u32>>,
     app_cache: HashMap<ExprRef, ExprRef>,
     app_hits: u64,
     app_misses: u64,
 }
 
+/// The deterministic structural hash the dedup index is keyed by
+/// (SipHash with fixed keys; stable within a process, not across).
+fn node_hash(node: &Node) -> u64 {
+    let mut h = std::hash::DefaultHasher::new();
+    node.hash(&mut h);
+    h.finish()
+}
+
 impl ExprArena {
+    fn epoch_tag(&self) -> u8 {
+        self.epoch as u8
+    }
+
     /// Intern a node, returning the existing id when the structure is
     /// already present.
     fn intern(&mut self, node: Node) -> ExprRef {
-        if let Some(&id) = self.dedup.get(&node) {
-            return ExprRef(id);
+        let h = node_hash(&node);
+        if let Some(&id) = self.dedup.get(&h) {
+            if self.nodes[id as usize] == node {
+                return ExprRef::pack(self.epoch_tag(), id);
+            }
+            // Genuine 64-bit hash collision: consult/extend overflow.
+            if let Some(ids) = self.dedup_overflow.get(&h) {
+                for &id in ids {
+                    if self.nodes[id as usize] == node {
+                        return ExprRef::pack(self.epoch_tag(), id);
+                    }
+                }
+            }
+            let id = self.push_node(node);
+            self.dedup_overflow.entry(h).or_default().push(id);
+            return ExprRef::pack(self.epoch_tag(), id);
         }
+        let id = self.push_node(node);
+        self.dedup.insert(h, id);
+        ExprRef::pack(self.epoch_tag(), id)
+    }
+
+    fn push_node(&mut self, node: Node) -> u32 {
         let id = u32::try_from(self.nodes.len()).expect("expression arena overflow");
-        self.nodes.push(node.clone());
-        self.dedup.insert(node, id);
-        ExprRef(id)
+        assert!(
+            id <= MAX_INDEX,
+            "expression arena overflow: {} nodes exceed the per-epoch \
+             capacity of 2^{INDEX_BITS}; retire the arena between batches",
+            self.nodes.len()
+        );
+        if let Node::App(_, args) = &node {
+            self.child_slots += args.len();
+        }
+        self.nodes.push(node);
+        id
     }
 
     fn node(&self, e: ExprRef) -> &Node {
-        &self.nodes[e.0 as usize]
+        assert!(
+            e.epoch_tag() == self.epoch_tag(),
+            "stale ExprRef: interned under epoch tag {} but the arena \
+             is at epoch {} — the reference outlived retire_arena()",
+            e.epoch_tag(),
+            self.epoch
+        );
+        &self.nodes[e.index() as usize]
+    }
+
+    /// Retire the current expression arena: drop every node, the dedup
+    /// index, and the memoized constructor cache, and bump the epoch so
+    /// previously handed-out `ExprRef`s are detectably stale.
+    pub(crate) fn retire(&mut self) -> u64 {
+        self.epoch += 1;
+        self.nodes = Vec::new();
+        self.child_slots = 0;
+        self.dedup = HashMap::new();
+        self.dedup_overflow = HashMap::new();
+        self.app_cache = HashMap::new();
+        self.epoch
     }
 
     pub(crate) fn constant(&mut self, v: u64) -> ExprRef {
@@ -299,15 +405,249 @@ pub struct ArenaStats {
     pub app_cache_hits: u64,
     /// Application-constructor misses (simplifier actually ran).
     pub app_cache_misses: u64,
+    /// Current arena epoch (bumped by [`retire_arena`]).
+    pub epoch: u64,
+    /// Approximate bytes held by the node table itself (node headers
+    /// plus `App` child slots).
+    pub node_bytes: usize,
+    /// Approximate bytes held by the dedup index. With the id-keyed
+    /// layout this is a hash and an id per node; the old node-keyed
+    /// layout paid `node_bytes` again here.
+    pub dedup_bytes: usize,
 }
 
 /// Snapshot the arena counters (used by batch analyses to report
 /// structural sharing across programs).
 pub fn arena_stats() -> ArenaStats {
-    with_arena(|a| ArenaStats {
-        nodes: a.nodes.len(),
-        app_cache_hits: a.app_hits,
-        app_cache_misses: a.app_misses,
+    with_arena(|a| {
+        let overflow_ids: usize = a.dedup_overflow.values().map(Vec::len).sum();
+        ArenaStats {
+            nodes: a.nodes.len(),
+            app_cache_hits: a.app_hits,
+            app_cache_misses: a.app_misses,
+            epoch: a.epoch,
+            node_bytes: a.nodes.len() * std::mem::size_of::<Node>()
+                + a.child_slots * std::mem::size_of::<ExprRef>(),
+            dedup_bytes: a.dedup.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+                + overflow_ids * std::mem::size_of::<u32>(),
+        }
+    })
+}
+
+/// The current arena epoch. References interned before the last
+/// [`retire_arena`] call belong to earlier epochs and must not be used.
+pub fn arena_epoch() -> u64 {
+    with_arena(|a| a.epoch)
+}
+
+/// Retire the process-wide expression arena: every interned node, the
+/// dedup index, the memoized application cache, and the solver's
+/// verdict memo are dropped, and the epoch is bumped.
+///
+/// Long-lived processes call this between batches so the arena does not
+/// grow monotonically. Any [`ExprRef`] minted before the reset is
+/// *stale*: its packed epoch tag no longer matches the arena's, and
+/// using it **panics** with a clear message rather than aliasing a node
+/// of the new epoch. (The tag is 8 bits, so detection is generational
+/// modulo 256 — a stale reference would have to survive 256 retirements
+/// unused before it could be misread; holding `ExprRef`s across even
+/// one retirement is already a bug.)
+///
+/// Returns the new epoch number.
+pub fn retire_arena() -> u64 {
+    let epoch = with_arena_mut(ExprArena::retire);
+    crate::solver::reset_memo_for_new_epoch();
+    epoch
+}
+
+// ----- snapshot export / import ------------------------------------------
+
+/// One interned node in flat, id-free form: children are indices into
+/// the exported node table (always smaller than the node's own index —
+/// the arena is topologically ordered by construction).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExportedNode {
+    /// A constant.
+    Const(u64),
+    /// A variable (by [`VarId`] number).
+    Var(u32),
+    /// An application of an opcode to earlier table entries.
+    App(OpCode, Vec<u32>),
+}
+
+/// A flat copy of the arena: the node table in interning order plus the
+/// memoized application cache as `(raw index, simplified index)` pairs.
+/// This is what [`import_arena`] consumes and what the `sct-cache`
+/// crate serializes.
+#[derive(Clone, Default, Debug)]
+pub struct ArenaExport {
+    /// Every interned node, children as table indices.
+    pub nodes: Vec<ExportedNode>,
+    /// The `(op, args) → simplified` constructor cache, as indices.
+    pub app_cache: Vec<(u32, u32)>,
+}
+
+/// Flatten the process-wide arena into an [`ArenaExport`].
+pub fn export_arena() -> ArenaExport {
+    with_arena(|a| {
+        let nodes = a
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::Const(v) => ExportedNode::Const(*v),
+                Node::Var(v) => ExportedNode::Var(v.0),
+                Node::App(op, args) => {
+                    ExportedNode::App(*op, args.iter().map(|c| c.index()).collect())
+                }
+            })
+            .collect();
+        let mut app_cache: Vec<(u32, u32)> = a
+            .app_cache
+            .iter()
+            .map(|(raw, result)| (raw.index(), result.index()))
+            .collect();
+        app_cache.sort_unstable();
+        ArenaExport { nodes, app_cache }
+    })
+}
+
+/// Why an [`ArenaExport`] was rejected by [`import_arena`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArenaImportError {
+    /// An `App` child referred to a node at or after its parent.
+    ChildOutOfRange {
+        /// Index of the offending node.
+        node: usize,
+        /// The out-of-range child index.
+        child: u32,
+    },
+    /// An `App` operand count violated its opcode's arity.
+    BadArity {
+        /// Index of the offending node.
+        node: usize,
+        /// The application's opcode.
+        opcode: OpCode,
+        /// The operand count found.
+        argc: usize,
+    },
+    /// An app-cache pair referred outside the node table.
+    CacheOutOfRange {
+        /// The out-of-range index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for ArenaImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaImportError::ChildOutOfRange { node, child } => {
+                write!(f, "node {node} references child {child} at or after itself")
+            }
+            ArenaImportError::BadArity { node, opcode, argc } => {
+                write!(f, "node {node}: {} does not take {argc} operands", opcode.mnemonic())
+            }
+            ArenaImportError::CacheOutOfRange { index } => {
+                write!(f, "app-cache entry references missing node {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaImportError {}
+
+/// What [`import_arena`] did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ArenaImportStats {
+    /// Nodes in the imported snapshot.
+    pub snapshot_nodes: usize,
+    /// Snapshot nodes that were already interned (identical structure).
+    pub preexisting: usize,
+    /// Snapshot nodes newly added to the arena.
+    pub added: usize,
+    /// App-cache pairs merged (pairs whose raw node already had a cached
+    /// result are kept as-is and not counted).
+    pub app_cache_merged: usize,
+}
+
+/// Hydrate the process-wide arena from an export, returning the
+/// remapping table `snapshot index → live ExprRef` plus import
+/// statistics.
+///
+/// The arena need not be empty: every snapshot node is re-interned
+/// structurally, so ids are remapped, shared structure lands on the
+/// existing ids, and snapshots taken by different processes compose.
+/// Nodes are inserted verbatim (no re-simplification — the snapshot
+/// already stores post-simplification structure), and the app cache is
+/// merged without overwriting live entries.
+///
+/// Every reference in `export` is validated before anything is
+/// interned; a malformed export leaves the arena untouched.
+pub fn import_arena(export: &ArenaExport) -> Result<(Vec<ExprRef>, ArenaImportStats), ArenaImportError> {
+    // Validate up front so no partial import can corrupt the arena.
+    for (i, node) in export.nodes.iter().enumerate() {
+        if let ExportedNode::App(op, args) = node {
+            if let Some(arity) = op.arity() {
+                if args.len() != arity {
+                    return Err(ArenaImportError::BadArity {
+                        node: i,
+                        opcode: *op,
+                        argc: args.len(),
+                    });
+                }
+            } else if args.is_empty() {
+                return Err(ArenaImportError::BadArity {
+                    node: i,
+                    opcode: *op,
+                    argc: 0,
+                });
+            }
+            for &c in args {
+                if c as usize >= i {
+                    return Err(ArenaImportError::ChildOutOfRange { node: i, child: c });
+                }
+            }
+        }
+    }
+    let n = export.nodes.len() as u32;
+    for &(raw, result) in &export.app_cache {
+        for index in [raw, result] {
+            if index >= n {
+                return Err(ArenaImportError::CacheOutOfRange { index });
+            }
+        }
+    }
+    with_arena_mut(|a| {
+        let mut stats = ArenaImportStats {
+            snapshot_nodes: export.nodes.len(),
+            ..Default::default()
+        };
+        let mut remap: Vec<ExprRef> = Vec::with_capacity(export.nodes.len());
+        for node in &export.nodes {
+            let node = match node {
+                ExportedNode::Const(v) => Node::Const(*v),
+                ExportedNode::Var(v) => Node::Var(VarId(*v)),
+                ExportedNode::App(op, args) => Node::App(
+                    *op,
+                    args.iter().map(|&c| remap[c as usize]).collect(),
+                ),
+            };
+            let before = a.nodes.len();
+            let e = a.intern(node);
+            if a.nodes.len() == before {
+                stats.preexisting += 1;
+            } else {
+                stats.added += 1;
+            }
+            remap.push(e);
+        }
+        for &(raw, result) in &export.app_cache {
+            let (raw, result) = (remap[raw as usize], remap[result as usize]);
+            if let std::collections::hash_map::Entry::Vacant(v) = a.app_cache.entry(raw) {
+                v.insert(result);
+                stats.app_cache_merged += 1;
+            }
+        }
+        Ok((remap, stats))
     })
 }
 
@@ -407,7 +747,7 @@ impl fmt::Display for ExprRef {
 
 impl fmt::Debug for ExprRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "e{}`{self}`", self.0)
+        write!(f, "e{}`{self}`", self.index())
     }
 }
 

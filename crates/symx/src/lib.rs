@@ -16,14 +16,24 @@
 //! * [`solver`](crate::solver) — a heuristic model finder (interval
 //!   refutation + candidate/model search) that answers
 //!   [`Verdict::Unknown`] rather than missing models, sound for
-//!   violation *detection*;
+//!   violation *detection*. Verdicts are memoized process-wide per
+//!   canonical constraint set ([`solver_memo_stats`]) — the same path
+//!   conditions recur constantly across schedules and programs;
 //! * [`symmem`](crate::symmem) — labeled symbolic values ([`SymVal`] is
 //!   two words and `Copy`), register files, and memories, all cheap to
 //!   clone because contents are interned ids.
 //!
 //! The arena is shared by every analysis in the process — batch runs
 //! over a corpus reuse each other's expressions; [`arena_stats`]
-//! reports the sharing. The paper builds its tool on angr's symbolic
+//! reports the sharing. It also outlives the process: [`export_arena`]
+//! / [`import_arena`] flatten and re-intern it with id remapping (the
+//! `sct-cache` crate persists both the arena and the verdict memo to
+//! disk), and [`retire_arena`] gives long-lived processes an epoch
+//! lifecycle — the whole arena is dropped, and any `ExprRef` that
+//! outlives the reset is detectably stale (its packed epoch tag no
+//! longer matches, so use panics instead of aliasing a new node).
+//!
+//! The paper builds its tool on angr's symbolic
 //! execution (citation 30); this crate is the from-scratch substitute.
 //! Like angr, it concretizes memory addresses and over-approximates
 //! path feasibility, which is sound for violation detection.
@@ -59,7 +69,14 @@ pub mod simplify;
 pub mod solver;
 pub mod symmem;
 
-pub use expr::{arena_stats, ArenaStats, Expr, ExprKind, ExprRef, Model, VarId, VarPool};
+pub use expr::{
+    arena_epoch, arena_stats, export_arena, import_arena, retire_arena, ArenaExport,
+    ArenaImportError, ArenaImportStats, ArenaStats, ExportedNode, Expr, ExprKind, ExprRef, Model,
+    VarId, VarPool,
+};
 pub use interval::{interval_of, Interval};
-pub use solver::{Solver, SolverOptions, Verdict};
+pub use solver::{
+    export_solver_memo, import_solver_memo, solver_memo_stats, MemoExport, MemoImportStats,
+    Solver, SolverMemoStats, SolverOptions, Verdict,
+};
 pub use symmem::{SymMemory, SymRegFile, SymVal};

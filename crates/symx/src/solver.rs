@@ -19,7 +19,9 @@ use crate::expr::{read_arena, Expr, ExprArena, Model, VarId};
 use crate::interval::{provably_false_in, VarIntervals};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{LazyLock, Mutex, PoisonError};
 
 /// The solver's answer.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -69,6 +71,169 @@ impl Default for SolverOptions {
     }
 }
 
+impl SolverOptions {
+    /// A fingerprint of every knob that influences verdicts. Memoized
+    /// verdicts are keyed by this tag so a solver with different
+    /// options never reads another configuration's cache.
+    pub fn tag(&self) -> u64 {
+        let mut h = std::hash::DefaultHasher::new();
+        self.random_probes.hash(&mut h);
+        self.exhaustive_budget.hash(&mut h);
+        self.repair_rounds.hash(&mut h);
+        self.seed.hash(&mut h);
+        h.finish()
+    }
+}
+
+// ----- verdict memoization ------------------------------------------------
+
+/// The process-wide verdict memo: canonical constraint-id sets (sorted,
+/// deduplicated arena indices of the current epoch) → verdicts, keyed
+/// additionally by the solver-options tag. The same path conditions
+/// recur constantly across schedules and programs, and solving is
+/// deterministic given the options, so one table serves every analysis
+/// in the process — and persists across processes via `sct-cache`.
+struct MemoTable {
+    /// Keys hold full `ExprRef`s (epoch tag included), not bare
+    /// indices: a stale reference used after [`crate::expr::retire_arena`]
+    /// can then never be answered from the memo — it misses here and
+    /// trips the arena's stale-ref panic in the solver pipeline,
+    /// keeping the epoch contract loud.
+    entries: HashMap<(u64, Box<[Expr]>), Verdict>,
+    queries: u64,
+    hits: u64,
+    misses: u64,
+    stale_dropped: u64,
+}
+
+static MEMO: LazyLock<Mutex<MemoTable>> = LazyLock::new(|| {
+    Mutex::new(MemoTable {
+        entries: HashMap::new(),
+        queries: 0,
+        hits: 0,
+        misses: 0,
+        stale_dropped: 0,
+    })
+});
+
+fn memo() -> std::sync::MutexGuard<'static, MemoTable> {
+    MEMO.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The canonical memo key for a constraint list: sorted, deduplicated
+/// interned references. `Solver::check` treats constraints as a set,
+/// so logically equal path conditions share one entry.
+fn canonical_key(constraints: &[Expr]) -> Box<[Expr]> {
+    let mut ids: Vec<Expr> = constraints.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_boxed_slice()
+}
+
+/// Counters describing the process-wide solver verdict memo.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolverMemoStats {
+    /// Total `Solver::check` queries issued.
+    pub queries: u64,
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries that ran the full solver pipeline.
+    pub misses: u64,
+    /// Entries dropped as stale (epoch retirement, or snapshot entries
+    /// whose ids could not be remapped).
+    pub stale_dropped: u64,
+    /// Entries currently memoized.
+    pub entries: usize,
+}
+
+/// Snapshot the verdict-memo counters.
+pub fn solver_memo_stats() -> SolverMemoStats {
+    let m = memo();
+    SolverMemoStats {
+        queries: m.queries,
+        hits: m.hits,
+        misses: m.misses,
+        stale_dropped: m.stale_dropped,
+        entries: m.entries.len(),
+    }
+}
+
+/// Drop every memoized verdict: ids are arena indices, so a retired
+/// arena invalidates the whole table. Called by
+/// [`crate::expr::retire_arena`]; counts the drops as stale.
+pub(crate) fn reset_memo_for_new_epoch() {
+    let mut m = memo();
+    m.stale_dropped += m.entries.len() as u64;
+    m.entries = HashMap::new();
+}
+
+/// A flat copy of the verdict memo for persistence: `(options tag,
+/// canonical key indices, verdict)` triples, sorted for determinism.
+#[derive(Clone, Default, Debug)]
+pub struct MemoExport {
+    /// The memo entries. Key ids are arena indices of the exporting
+    /// epoch; [`import_solver_memo`] remaps them.
+    pub entries: Vec<(u64, Vec<u32>, Verdict)>,
+}
+
+/// Flatten the process-wide verdict memo into a [`MemoExport`]. Keys
+/// are exported as epoch-agnostic arena indices (the snapshot format
+/// never stores epoch tags).
+pub fn export_solver_memo() -> MemoExport {
+    let m = memo();
+    let mut entries: Vec<(u64, Vec<u32>, Verdict)> = m
+        .entries
+        .iter()
+        .map(|((tag, key), v)| (*tag, key.iter().map(|e| e.index()).collect(), v.clone()))
+        .collect();
+    entries.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    MemoExport { entries }
+}
+
+/// What [`import_solver_memo`] did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MemoImportStats {
+    /// Entries merged into the live memo.
+    pub imported: usize,
+    /// Entries dropped: a key id was outside the remap table, or the
+    /// live memo already held a verdict for the remapped key.
+    pub dropped: usize,
+}
+
+/// Merge a persisted verdict memo into the process-wide table,
+/// remapping every key id through `remap` (the table returned by
+/// [`crate::expr::import_arena`] for the snapshot the memo was saved
+/// with). Entries that fail to remap are dropped and counted, never
+/// trusted.
+pub fn import_solver_memo(export: &MemoExport, remap: &[Expr]) -> MemoImportStats {
+    let mut stats = MemoImportStats::default();
+    let mut m = memo();
+    'entry: for (tag, key, verdict) in &export.entries {
+        let mut ids: Vec<Expr> = Vec::with_capacity(key.len());
+        for &old in key {
+            match remap.get(old as usize) {
+                Some(&e) => ids.push(e),
+                None => {
+                    stats.dropped += 1;
+                    m.stale_dropped += 1;
+                    continue 'entry;
+                }
+            }
+        }
+        // Remapping does not preserve order: re-canonicalize.
+        ids.sort_unstable();
+        ids.dedup();
+        match m.entries.entry((*tag, ids.into_boxed_slice())) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(verdict.clone());
+                stats.imported += 1;
+            }
+            std::collections::hash_map::Entry::Occupied(_) => stats.dropped += 1,
+        }
+    }
+    stats
+}
+
 /// The solver. Stateless between queries apart from options.
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
@@ -88,7 +253,31 @@ impl Solver {
 
     /// Check whether all `constraints` (non-zero = true) are
     /// simultaneously satisfiable.
+    ///
+    /// Results are memoized process-wide per canonical constraint set
+    /// (sorted, deduplicated ids) and options tag — solving is
+    /// deterministic, and the same path conditions recur constantly
+    /// across schedules and programs. See [`solver_memo_stats`].
     pub fn check(&self, constraints: &[Expr]) -> Verdict {
+        let key = (self.options.tag(), canonical_key(constraints));
+        {
+            let mut m = memo();
+            m.queries += 1;
+            if let Some(v) = m.entries.get(&key).cloned() {
+                m.hits += 1;
+                return v;
+            }
+        }
+        let verdict = self.check_uncached(constraints);
+        let mut m = memo();
+        m.misses += 1;
+        m.entries.insert(key, verdict.clone());
+        verdict
+    }
+
+    /// The full solver pipeline, bypassing (and not populating) the
+    /// verdict memo.
+    pub fn check_uncached(&self, constraints: &[Expr]) -> Verdict {
         // One interner read-lock for the whole query: every sub-step is
         // read-only against the arena.
         let arena = read_arena();

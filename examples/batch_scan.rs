@@ -1,41 +1,83 @@
 //! Scan every Table 2 case study and the whole litmus corpus with
-//! `BatchAnalyzer`: one shared expression arena, one pass per detector
-//! mode, aggregate statistics at the end.
+//! `BatchAnalyzer` — then do it all again from a **warm start**: the
+//! cold pass saves an `sct-cache` snapshot (expression arena + solver
+//! verdict memo), the arena is retired as if the process had exited,
+//! and the warm pass hydrates everything back from disk.
 //!
 //! ```text
-//! cargo run --release --example batch_scan
+//! cargo run --release --example batch_scan [CACHE_PATH]
 //! ```
+//!
+//! With no argument the example uses a temp file and resets it first,
+//! so the cold→warm contrast is deterministic. A user-supplied
+//! `CACHE_PATH` is never deleted: pointing two invocations at the same
+//! path demonstrates cross-process warm starts (the "cold" pass then
+//! reports a warm start itself).
 
 use spectre_ct::casestudies::table2;
 use spectre_ct::litmus;
-use spectre_ct::pitchfork::{BatchAnalyzer, DetectorOptions};
-use spectre_ct::symx::arena_stats;
+use spectre_ct::pitchfork::BatchReport;
+use spectre_ct::symx::{arena_stats, retire_arena};
+use std::time::Instant;
+
+fn pass(cache: &std::path::Path, label: &str) -> (Vec<BatchReport>, std::time::Duration) {
+    let start = Instant::now();
+    let cases = litmus::all_cases();
+    let corpus = litmus::harness::run_corpus_cached(&cases, cache)
+        .unwrap_or_else(|e| panic!("{label} corpus pass: {e}"));
+    let (table, t2_v1, t2_v4) = table2::run_cached(40, 20, cache)
+        .unwrap_or_else(|e| panic!("{label} table2 pass: {e}"));
+    let wall = start.elapsed();
+
+    println!("== {label} pass ==\n");
+    if let Some(load) = &corpus.verdicts.v1.cache_load {
+        println!("warm start: {load}");
+    } else {
+        println!("cold start (no snapshot on disk)");
+    }
+    println!("litmus v1 batch:\n{}", corpus.verdicts.v1);
+    println!("{table}");
+    (
+        vec![corpus.verdicts.v1, corpus.verdicts.v4, corpus.v1_symbolic, t2_v1, t2_v4],
+        wall,
+    )
+}
 
 fn main() {
-    let (v1_bound, v4_bound) = (40, 20);
+    let cache = match std::env::args().nth(1) {
+        Some(path) => std::path::PathBuf::from(path),
+        None => {
+            // Default temp file only: reset so the first pass is cold.
+            let path = std::env::temp_dir().join("spectre_ct_batch_scan.cache");
+            let _ = std::fs::remove_file(&path);
+            path
+        }
+    };
 
-    println!("== Table 2 case studies ==\n");
-    let v1 = BatchAnalyzer::new(DetectorOptions::v1_mode(v1_bound))
-        .analyze_all(table2::batch_items());
-    let v4 = BatchAnalyzer::new(DetectorOptions::v4_mode(v4_bound))
-        .analyze_all(table2::batch_items());
-    println!("v1 mode (bound {v1_bound}):\n{v1}");
-    println!("v4 mode (bound {v4_bound}):\n{v4}");
-    println!("{}", table2::from_batches(&v1, &v4, v1_bound, v4_bound));
+    let (cold_reports, cold_wall) = pass(&cache, "cold");
+    let cold_nodes = arena_stats().nodes;
+    let cold_queries: usize = cold_reports.iter().map(|r| r.totals.solver_queries).sum();
 
-    println!("\n== Litmus corpus ==\n");
-    let cases = litmus::all_cases();
-    let verdicts = litmus::harness::run_corpus(&cases);
-    println!("v1 mode:\n{}", verdicts.v1);
-    println!("v4 mode:\n{}", verdicts.v4);
+    // Simulate a process exit: retire the arena (old ExprRefs become
+    // detectably stale) and start the next "invocation" from nothing
+    // but the snapshot.
+    retire_arena();
 
-    let arena = arena_stats();
+    let (warm_reports, warm_wall) = pass(&cache, "warm");
+    let warm_hits: usize = warm_reports.iter().map(|r| r.totals.solver_memo_hits).sum();
+    let warm_queries: usize = warm_reports.iter().map(|r| r.totals.solver_queries).sum();
+    let loaded = warm_reports[0]
+        .cache_load
+        .map(|l| l.added)
+        .unwrap_or(0);
+    let fresh = arena_stats().nodes.saturating_sub(loaded);
+
+    println!("== cold vs warm ==\n");
+    println!("cold: {cold_nodes} nodes interned, {cold_queries} solver queries, {cold_wall:.1?}");
     println!(
-        "\nshared arena after both corpora: {} nodes, {} cache hits / {} misses ({:.1}% hit rate)",
-        arena.nodes,
-        arena.app_cache_hits,
-        arena.app_cache_misses,
-        100.0 * arena.app_cache_hits as f64
-            / (arena.app_cache_hits + arena.app_cache_misses).max(1) as f64,
+        "warm: {loaded} nodes from disk + {fresh} fresh ({:.1}% disk hit), \
+         {warm_hits}/{warm_queries} solver queries from the persisted memo, {warm_wall:.1?}",
+        100.0 * (1.0 - fresh as f64 / cold_nodes.max(1) as f64),
     );
+    println!("snapshot: {}", cache.display());
 }

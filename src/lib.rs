@@ -8,6 +8,8 @@
 //! * [`asm`] — the assembly front-end for the ISA;
 //! * [`symx`] — the symbolic-execution substrate (bit-vector expressions,
 //!   solver, symbolic memory);
+//! * [`cache`] — warm-start persistence: arena snapshots, memoized
+//!   solver verdicts, and the epoch lifecycle;
 //! * [`pitchfork`] — the SCT-violation detector (worst-case schedules +
 //!   symbolic execution);
 //! * [`litmus`] — Kocher-style Spectre test cases and the paper's figure
@@ -28,6 +30,7 @@
 
 pub use pitchfork;
 pub use sct_asm as asm;
+pub use sct_cache as cache;
 pub use sct_casestudies as casestudies;
 pub use sct_core as core;
 pub use sct_litmus as litmus;
