@@ -35,7 +35,7 @@ fn workload(path: &std::path::Path) -> (usize, usize, usize) {
     let reports = [
         &corpus.verdicts.v1,
         &corpus.verdicts.v4,
-        &corpus.v1_symbolic,
+        corpus.v1_symbolic(),
         &t2_v1,
         &t2_v4,
     ];

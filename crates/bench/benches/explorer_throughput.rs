@@ -8,7 +8,7 @@
 //! visited-set prunes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pitchfork::{BatchAnalyzer, Detector, DetectorOptions, Report};
+use pitchfork::{AnalysisSession, DetectorOptions, Report};
 use sct_core::examples::fig1;
 use sct_litmus::{all_cases, harness};
 use std::fmt::Write as _;
@@ -40,12 +40,12 @@ fn corpus_items(bound: usize) -> Vec<pitchfork::BatchItem> {
 }
 
 fn corpus_pass(items: &[pitchfork::BatchItem], bound: usize, v4: bool, dedup: bool) -> pitchfork::BatchReport {
-    BatchAnalyzer::new(options(bound, v4, dedup)).analyze_all(items.to_vec())
+    AnalysisSession::with_options(options(bound, v4, dedup)).run_batch(items.to_vec())
 }
 
 fn fig1_pass(bound: usize, v4: bool, dedup: bool) -> Report {
     let (p, cfg) = fig1();
-    Detector::new(options(bound, v4, dedup)).analyze(&p, &cfg)
+    AnalysisSession::with_options(options(bound, v4, dedup)).analyze(&p, &cfg)
 }
 
 fn bench_explorer_throughput(c: &mut Criterion) {

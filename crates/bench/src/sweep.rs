@@ -5,7 +5,7 @@
 //! **250** without forwarding hazards but only **20** with them; the
 //! sweep regenerates that cliff on our case studies.
 
-use pitchfork::{Detector, DetectorOptions};
+use pitchfork::{AnalysisSession, DetectorOptions};
 use std::time::Instant;
 
 /// One sweep measurement.
@@ -50,7 +50,7 @@ pub fn sweep(
             options.explorer.stop_path_on_violation = false;
             options.explorer.max_violations = usize::MAX;
             let start = Instant::now();
-            let report = Detector::new(options).analyze(program, config);
+            let report = AnalysisSession::with_options(options).analyze(program, config);
             SweepPoint {
                 bound,
                 forwarding_hazards,

@@ -3,7 +3,7 @@
 
 use crate::common::{CaseStudy, Variant};
 use crate::{donna, meecbc, secretbox, ssl3};
-use pitchfork::{BatchAnalyzer, BatchItem, BatchReport, Detector, DetectorOptions};
+use pitchfork::{AnalysisSession, BatchItem, BatchReport, DetectorOptions, StrategyKind};
 use std::fmt;
 
 /// The verdicts for one build of one case study.
@@ -70,7 +70,7 @@ pub fn analyze(study: &CaseStudy, forwarding_hazards: bool, bound: usize) -> pit
     } else {
         DetectorOptions::v1_mode(bound)
     };
-    Detector::new(options).analyze(&study.program, &study.config)
+    AnalysisSession::with_options(options).analyze(&study.program, &study.config)
 }
 
 /// The key a study gets inside the Table 2 batches.
@@ -93,31 +93,47 @@ pub fn batch_items() -> Vec<BatchItem> {
         .collect()
 }
 
-/// Run the full Table 2 experiment, mirroring §4.2.1's procedure:
-/// v1 mode with a deep bound first; v4 mode with a reduced bound. Both
-/// passes run as one [`BatchAnalyzer`] batch each, so all eight builds
-/// share the expression arena and the aggregate statistics cover the
-/// whole matrix.
-pub fn run(v1_bound: usize, v4_bound: usize) -> Table2 {
-    let v1 = BatchAnalyzer::new(DetectorOptions::v1_mode(v1_bound)).analyze_all(batch_items());
-    let v4 = BatchAnalyzer::new(DetectorOptions::v4_mode(v4_bound)).analyze_all(batch_items());
+/// Run the full Table 2 experiment under the given frontier order,
+/// mirroring §4.2.1's procedure: v1 mode with a deep bound first; v4
+/// mode with a reduced bound. Both passes run through one
+/// [`AnalysisSession`], so all eight builds share the expression arena
+/// and the aggregate statistics cover the whole matrix.
+pub fn run_with_strategy(v1_bound: usize, v4_bound: usize, strategy: StrategyKind) -> Table2 {
+    let mut session = AnalysisSession::builder()
+        .v1_mode(v1_bound)
+        .strategy(strategy)
+        .build()
+        .expect("uncached session");
+    let v1 = session.run_batch(batch_items());
+    session.set_options(DetectorOptions::v4_mode(v4_bound));
+    let v4 = session.run_batch(batch_items());
     from_batches(&v1, &v4, v1_bound, v4_bound)
 }
 
+/// [`run_with_strategy`] under the default (LIFO) order.
+pub fn run(v1_bound: usize, v4_bound: usize) -> Table2 {
+    run_with_strategy(v1_bound, v4_bound, StrategyKind::Lifo)
+}
+
 /// [`run`], warm-started from (and saved back to) a `sct-cache`
-/// snapshot: the v1 batch hydrates the arena and verdict memo from
-/// `cache`, both batch reports carry solver-memo statistics, and the
-/// state after both passes is persisted for the next invocation.
-/// Returns the per-mode batch reports alongside the rendered table.
+/// snapshot through one [`AnalysisSession`]: the v1 batch hydrates the
+/// arena and verdict memo from `cache`, both batch reports carry
+/// solver-memo statistics, and the state after both passes is
+/// persisted for the next invocation. Returns the per-mode batch
+/// reports alongside the rendered table.
 pub fn run_cached(
     v1_bound: usize,
     v4_bound: usize,
     cache: &std::path::Path,
 ) -> Result<(Table2, BatchReport, BatchReport), sct_cache::CacheError> {
-    let analyzer = BatchAnalyzer::new(DetectorOptions::v1_mode(v1_bound)).with_cache(cache)?;
-    let v1 = analyzer.analyze_all(batch_items());
-    let v4 = BatchAnalyzer::new(DetectorOptions::v4_mode(v4_bound)).analyze_all(batch_items());
-    analyzer.save_cache()?;
+    let mut session = AnalysisSession::builder()
+        .v1_mode(v1_bound)
+        .cache(cache)
+        .build()?;
+    let v1 = session.run_batch(batch_items());
+    session.set_options(DetectorOptions::v4_mode(v4_bound));
+    let v4 = session.run_batch(batch_items());
+    session.save()?;
     Ok((from_batches(&v1, &v4, v1_bound, v4_bound), v1, v4))
 }
 

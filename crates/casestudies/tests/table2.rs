@@ -75,6 +75,27 @@ fn case_studies_are_sequentially_constant_time() {
     }
 }
 
+/// Strategy equivalence on Table 2: the full detection matrix is
+/// identical under every frontier order — the search strategy may
+/// change how fast a witness is found, never whether one is found.
+#[test]
+fn every_strategy_reproduces_the_table2_matrix() {
+    use pitchfork::StrategyKind;
+    let baseline = table2::run(V1_BOUND, V4_BOUND);
+    for strategy in StrategyKind::ALL {
+        let table = table2::run_with_strategy(V1_BOUND, V4_BOUND, strategy);
+        for (row, base) in table.rows.iter().zip(baseline.rows.iter()) {
+            assert_eq!(
+                (row.c, row.fact),
+                (base.c, base.fact),
+                "{} matrix cell differs under `{}`",
+                row.name,
+                strategy.name()
+            );
+        }
+    }
+}
+
 /// Deduplication must not change any Table 2 verdict, only shrink the
 /// exploration (drastically, in v4 mode — the seed's duplicate-blind
 /// engine hit its state budget on half the builds).

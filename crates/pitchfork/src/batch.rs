@@ -1,21 +1,28 @@
 //! Batch analysis: many programs through one detector configuration and
 //! one shared expression arena.
 //!
+//! **Compatibility wrapper** — [`BatchAnalyzer`] survives for existing
+//! callers, but it is a thin shell over [`crate::AnalysisSession`],
+//! which owns the batch engine ([`AnalysisSession::run_batch`]), the
+//! cache binding, and the epoch lifecycle. New code should build a
+//! session. The report types here ([`BatchItem`], [`BatchReport`],
+//! [`BatchTotals`]) are the session's batch vocabulary and are not
+//! deprecated.
+//!
 //! The hash-consed arena (see [`sct_symx::arena_stats`]) is
 //! process-wide, so analyzing a whole corpus in one batch lets later
 //! programs hit the expression and simplification caches warmed by
 //! earlier ones; [`BatchReport`] surfaces exactly how much structure
-//! was shared, along with aggregate exploration statistics. This is the
-//! API the litmus corpus, the Table 2 matrix, and the throughput bench
-//! drive.
+//! was shared, along with aggregate exploration statistics.
 
-use crate::detector::{Detector, DetectorOptions};
+use crate::detector::DetectorOptions;
 use crate::report::Report;
+use crate::session::AnalysisSession;
 use sct_core::{Config, Program, Reg};
-use sct_symx::{arena_stats, ArenaStats};
+use sct_symx::ArenaStats;
 use std::fmt;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One program to analyze.
 #[derive(Clone, Debug)]
@@ -120,6 +127,9 @@ pub struct BatchReport {
     pub outcomes: Vec<BatchOutcome>,
     /// Aggregate exploration statistics.
     pub totals: BatchTotals,
+    /// The frontier order the batch ran under (see
+    /// [`crate::StrategyKind::name`]).
+    pub strategy: &'static str,
     /// Arena counters when the batch started.
     pub arena_before: ArenaStats,
     /// Arena counters when the batch finished.
@@ -153,13 +163,29 @@ impl BatchReport {
     pub fn outcome(&self, name: &str) -> Option<&BatchOutcome> {
         self.outcomes.iter().find(|o| o.name == name)
     }
+
+    /// Per-item first-witness metrics: `(name, states expanded when the
+    /// first witness appeared, schedule depth of that witness)` for
+    /// every flagged item — the numbers strategy A/B comparisons are
+    /// made of.
+    pub fn first_witnesses(&self) -> Vec<(&str, usize, usize)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| {
+                let states = o.report.stats.first_witness_states?;
+                let depth = o.report.stats.first_witness_depth?;
+                Some((o.name.as_str(), states, depth))
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "batch: {} programs, {} flagged; {} states ({} deduped), {} steps in {:.1?} ({:.0} states/s)",
+            "batch[{}]: {} programs, {} flagged; {} states ({} deduped), {} steps in {:.1?} ({:.0} states/s)",
+            self.strategy,
             self.totals.programs,
             self.totals.flagged,
             self.totals.states,
@@ -208,6 +234,11 @@ impl fmt::Display for BatchReport {
 
 /// Runs many programs through one detector configuration, sharing the
 /// process-wide expression arena, and reports aggregate statistics.
+///
+/// **Compatibility wrapper**: every call delegates to an
+/// [`AnalysisSession`] ([`AnalysisSession::run_batch`] is the engine);
+/// new code should build the session directly — it additionally offers
+/// strategy selection, observers, and the epoch lifecycle.
 ///
 /// With [`BatchAnalyzer::with_cache`] the analyzer also spans
 /// *processes*: it hydrates the arena and the solver-verdict memo from
@@ -275,52 +306,18 @@ impl BatchAnalyzer {
     }
 
     /// Analyze every item, in order, accumulating totals and arena
-    /// deltas.
+    /// deltas. Delegates to a transient [`AnalysisSession`] adopting
+    /// this analyzer's cache binding.
     pub fn analyze_all(&self, items: impl IntoIterator<Item = BatchItem>) -> BatchReport {
-        let arena_before = arena_stats();
-        let start = Instant::now();
-        let mut outcomes = Vec::new();
-        let mut totals = BatchTotals::default();
-        for item in items {
-            let mut options = self.options;
-            if let Some(bound) = item.bound {
-                options.explorer.spec_bound = bound;
-            }
-            let detector = Detector::new(options);
-            let report = if item.symbolic.is_empty() {
-                detector.analyze(&item.program, &item.config)
-            } else {
-                detector.analyze_symbolic(&item.program, &item.config, &item.symbolic)
-            };
-            totals.programs += 1;
-            totals.flagged += usize::from(report.has_violations());
-            totals.states += report.stats.states;
-            totals.deduped += report.stats.deduped;
-            totals.steps += report.stats.steps;
-            totals.violations += report.violations.len();
-            totals.truncated += usize::from(report.stats.truncated);
-            totals.solver_queries += report.stats.solver_queries;
-            totals.solver_memo_hits += report.stats.solver_memo_hits;
-            totals.solver_memo_misses += report.stats.solver_memo_misses;
-            outcomes.push(BatchOutcome {
-                name: item.name,
-                report,
-            });
-        }
-        BatchReport {
-            outcomes,
-            totals,
-            arena_before,
-            arena_after: arena_stats(),
-            cache_load: self.cache_load,
-            wall: start.elapsed(),
-        }
+        AnalysisSession::from_loaded(self.options, self.cache_path.clone(), self.cache_load)
+            .run_batch(items)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::Detector;
     use sct_core::examples::fig1;
 
     #[test]
@@ -345,7 +342,7 @@ mod tests {
         let batch = BatchAnalyzer::new(DetectorOptions::v1_mode(8))
             .analyze_all(vec![BatchItem::new("fig1", p, cfg)]);
         let text = batch.to_string();
-        assert!(text.contains("batch: 1 programs"));
+        assert!(text.contains("batch[lifo]: 1 programs"));
         assert!(text.contains("arena:"));
         assert!(text.contains("fig1"));
     }

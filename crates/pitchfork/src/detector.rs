@@ -1,8 +1,15 @@
-//! The top-level detector API.
+//! The classic single-program detector API.
+//!
+//! **Compatibility wrapper** — [`Detector`] survives for existing
+//! callers and delegates to [`crate::AnalysisSession`]; new code should
+//! build a session ([`crate::SessionBuilder`]), which adds strategy
+//! selection, observers, caching, and the epoch lifecycle.
+//! [`DetectorOptions`] remains the canonical options bundle either way.
 
-use crate::explorer::{Explorer, ExplorerOptions};
+use crate::explorer::ExplorerOptions;
 use crate::report::Report;
-use crate::state::SymState;
+use crate::session::AnalysisSession;
+use crate::strategy::StrategyKind;
 use sct_core::{Config, Params, Program, Reg};
 
 /// Detector options: explorer options plus machine parameters.
@@ -78,6 +85,12 @@ impl DetectorOptions {
         self.explorer.dedup_states = dedup_states;
         self
     }
+
+    /// The same options with a different frontier order.
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.explorer.strategy = strategy;
+        self
+    }
 }
 
 /// The Pitchfork detector: generates worst-case schedules and
@@ -105,10 +118,10 @@ impl Detector {
         Detector { options }
     }
 
-    /// Analyze a program from a concrete initial configuration.
+    /// Analyze a program from a concrete initial configuration
+    /// (delegates to a transient [`AnalysisSession`]).
     pub fn analyze(&self, program: &Program, config: &Config) -> Report {
-        let explorer = Explorer::with_params(program, self.options.params, self.options.explorer);
-        explorer.explore(SymState::from_config(config))
+        AnalysisSession::with_options(self.options).analyze_symbolic(program, config, &[])
     }
 
     /// Analyze with the given registers replaced by fresh symbolic
@@ -120,8 +133,11 @@ impl Detector {
         config: &Config,
         symbolic_regs: &[Reg],
     ) -> Report {
-        let explorer = Explorer::with_params(program, self.options.params, self.options.explorer);
-        explorer.explore(SymState::from_config_symbolizing(config, symbolic_regs))
+        AnalysisSession::with_options(self.options).analyze_symbolic(
+            program,
+            config,
+            symbolic_regs,
+        )
     }
 }
 

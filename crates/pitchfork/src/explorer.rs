@@ -36,8 +36,10 @@
 //!   for delayed branches, address resolution for delayed stores.
 
 use crate::machine::SymMachine;
+use crate::observe::{Event, Observer};
 use crate::report::{Report, Violation};
 use crate::state::{SymState, SymStoreAddr, SymTransient};
+use crate::strategy::StrategyKind;
 use sct_core::{Directive, Instr, Observation, Params, Program};
 
 /// Explorer options.
@@ -45,6 +47,9 @@ use sct_core::{Directive, Instr, Observation, Params, Program};
 pub struct ExplorerOptions {
     /// The speculation bound `n` (maximum reorder-buffer occupancy).
     pub spec_bound: usize,
+    /// The frontier order (which state expands next); every strategy
+    /// reaches the same verdict, but states-to-first-witness differ.
+    pub strategy: StrategyKind,
     /// Explore delayed store-address resolution (Spectre v4 mode;
     /// §4.2.1 "forwarding hazard detection").
     pub forwarding_hazards: bool,
@@ -83,6 +88,7 @@ impl Default for ExplorerOptions {
     fn default() -> Self {
         ExplorerOptions {
             spec_bound: 20,
+            strategy: StrategyKind::Lifo,
             forwarding_hazards: false,
             alias_prediction: false,
             jmpi_mistraining: false,
@@ -142,20 +148,33 @@ impl<'p> Explorer<'p> {
 
     /// Explore all worst-case schedules from `initial` with a worklist.
     ///
-    /// Deduplication happens at push time: a successor whose
+    /// The frontier order is [`ExplorerOptions::strategy`];
+    /// deduplication happens at push time: a successor whose
     /// fingerprint is already in the visited set is dropped before it
     /// occupies frontier memory, and everything enqueued is distinct,
     /// so the pop path needs no second check. Every state is
     /// fingerprinted exactly once.
     pub fn explore(&self, initial: SymState) -> Report {
+        self.explore_observed(initial, &mut [])
+    }
+
+    /// [`Explorer::explore`], streaming [`Event`]s (state expansions,
+    /// violations) to `observers` as they happen.
+    pub fn explore_observed(
+        &self,
+        initial: SymState,
+        observers: &mut [Box<dyn Observer>],
+    ) -> Report {
         let memo_before = sct_symx::solver_memo_stats();
         let mut report = Report::default();
+        report.stats.strategy = self.options.strategy.name();
         let dedup = self.options.dedup_states;
         let mut visited: std::collections::HashSet<u128> = std::collections::HashSet::new();
         if dedup {
             visited.insert(initial.fingerprint());
         }
-        let mut frontier = vec![initial];
+        let mut frontier = self.options.strategy.frontier();
+        frontier.push(initial);
         while let Some(state) = frontier.pop() {
             if report.stats.states >= self.options.max_states
                 || report.violations.len() >= self.options.max_violations
@@ -164,13 +183,21 @@ impl<'p> Explorer<'p> {
                 break;
             }
             report.stats.states += 1;
+            crate::observe::emit(
+                observers,
+                Event::StateExpanded {
+                    states: report.stats.states,
+                    frontier: frontier.len(),
+                    rob_depth: state.rob.len(),
+                },
+            );
             let conts = self.continuations(&state);
             if conts.is_empty() {
                 report.stats.schedules += 1;
                 continue;
             }
             for cont in conts {
-                for succ in self.apply(&state, &cont, &mut report) {
+                for succ in self.apply(&state, &cont, &mut report, observers) {
                     if dedup && !visited.insert(succ.fingerprint()) {
                         report.stats.deduped += 1;
                         continue;
@@ -189,7 +216,13 @@ impl<'p> Explorer<'p> {
 
     /// Apply a continuation, checking each step's new observations for
     /// secret labels.
-    fn apply(&self, state: &SymState, cont: &Cont, report: &mut Report) -> Vec<SymState> {
+    fn apply(
+        &self,
+        state: &SymState,
+        cont: &Cont,
+        report: &mut Report,
+        observers: &mut [Box<dyn Observer>],
+    ) -> Vec<SymState> {
         let mut frontier = vec![state.clone()];
         let directives = cont.directives();
         for (k, &d) in directives.iter().enumerate() {
@@ -219,7 +252,7 @@ impl<'p> Explorer<'p> {
                     if let Some(p) = succ.trace[new_from..].iter().position(|o| o.is_secret())
                     {
                         let pos = new_from + p;
-                        report.violations.push(Violation {
+                        let violation = Violation {
                             observation: succ.trace[pos],
                             schedule: succ.schedule.clone(),
                             trace: succ.trace[..=pos].to_vec(),
@@ -229,7 +262,23 @@ impl<'p> Explorer<'p> {
                                 .iter()
                                 .map(|c| c.to_string())
                                 .collect(),
-                        });
+                        };
+                        report
+                            .stats
+                            .first_witness_states
+                            .get_or_insert(report.stats.states);
+                        report
+                            .stats
+                            .first_witness_depth
+                            .get_or_insert(violation.schedule.len());
+                        crate::observe::emit(
+                            observers,
+                            Event::ViolationFound {
+                                violation: &violation,
+                                states: report.stats.states,
+                            },
+                        );
+                        report.violations.push(violation);
                         if self.options.stop_path_on_violation {
                             report.stats.schedules += 1;
                             continue;

@@ -2,61 +2,80 @@
 //!
 //! A reimplementation of **Pitchfork**, the speculative constant-time
 //! violation detector of "Constant-Time Foundations for the New Spectre
-//! Era" (Cauligi et al., PLDI 2020, §4), re-architected as a
-//! **worklist exploration engine** over hash-consed symbolic state:
+//! Era" (Cauligi et al., PLDI 2020, §4), grown into a session-oriented
+//! analysis engine over hash-consed symbolic state.
+//!
+//! # Quickstart
+//!
+//! Everything goes through one entry point, [`AnalysisSession`]:
+//!
+//! ```
+//! use pitchfork::{AnalysisSession, StrategyKind, Verdict};
+//! use sct_core::examples::fig1;
+//!
+//! let (program, config) = fig1();
+//! let mut session = AnalysisSession::builder()
+//!     .v1_mode(20)                         // §4.2.1 Spectre v1 mode
+//!     .strategy(StrategyKind::DeepestRob)  // frontier order
+//!     .build()
+//!     .unwrap();
+//! let report = session.analyze(&program, &config);
+//! assert!(matches!(report.verdict(), Verdict::Insecure { .. }));
+//! println!("first witness after {:?} states", report.stats.first_witness_states);
+//! ```
+//!
+//! The session owns every piece of cross-cutting state:
+//!
+//! * **Options** — detector mode ([`DetectorOptions::v1_mode`] /
+//!   [`DetectorOptions::v4_mode`] and the alias/v2 extensions), bounds,
+//!   deduplication, and state budgets, set through [`SessionBuilder`];
+//! * **Search strategy** — the frontier order is a first-class
+//!   [`SearchStrategy`] trait with four built-ins selectable via
+//!   [`StrategyKind`] (`lifo`, `fifo`, `deepest-rob`,
+//!   `violation-likely`, also the CLI's `--strategy`). Every strategy
+//!   reaches the same verdict — the corpus equivalence tests pin this —
+//!   but states-to-first-witness differ, which is what matters under a
+//!   budget;
+//! * **Typed verdicts** — [`Report::verdict`] returns a [`Verdict`]
+//!   ([`Verdict::Secure`] / [`Verdict::Insecure`] /
+//!   [`Verdict::Unknown`]), and each [`Violation`] carries its witness
+//!   path: schedule, trace, program point, and path constraints;
+//! * **Event streaming** — [`Observer`]s registered on the builder
+//!   receive typed [`Event`]s (state-expanded, violation-found,
+//!   item-finished, epoch-retired) as analysis runs, the hook a future
+//!   `--serve` mode streams progress through;
+//! * **Cache & epochs** — [`SessionBuilder::cache`] hydrates the
+//!   expression arena and solver-verdict memo from an `sct-cache`
+//!   snapshot, [`AnalysisSession::save`] persists them, and
+//!   [`AnalysisSession::retire`] ends the arena epoch and warm-starts
+//!   the next one from the snapshot (the daemon-mode lifecycle);
+//! * **Batches** — [`AnalysisSession::run_batch`] drives whole corpora
+//!   ([`BatchItem`] per program, per-item bounds and symbolized
+//!   registers) through the shared arena and reports aggregate
+//!   statistics ([`BatchReport`]).
+//!
+//! # Compatibility wrappers
+//!
+//! [`Detector`] and [`BatchAnalyzer`], the pre-session entry points,
+//! remain as thin delegating wrappers: `Detector::analyze` is
+//! session-analyze with default wiring, `BatchAnalyzer::analyze_all` is
+//! [`AnalysisSession::run_batch`]. They stay because half the test
+//! suite and downstream examples speak them; new code should build a
+//! session.
+//!
+//! # Engine layers
 //!
 //! * [`SymMachine`] lifts the reference semantics to symbolic values
 //!   ([`sct_symx`]'s interned expressions), forking on symbolic branch
 //!   conditions and concretizing addresses angr-style;
 //! * [`Explorer`] enumerates the worst-case schedules (Definition
-//!   B.18) with an explicit frontier and a visited set keyed by
-//!   [`SymState::fingerprint`] — ROB contents, interned
-//!   register/memory expressions, and the path condition. Schedules
-//!   that reconverge on an already-expanded state are pruned, which is
-//!   what keeps deep speculation bounds (250 for v1, 20 for v4)
-//!   tractable: on the Table 2 case studies, v4-mode exploration that
-//!   exhausted the seed engine's 50k-state budget completes in a few
-//!   hundred distinct states;
-//! * [`Detector`] wraps program + configuration into reports;
-//!   [`BatchAnalyzer`] runs whole corpora through one configuration and
-//!   the shared expression arena, reporting aggregate statistics and
-//!   arena reuse;
+//!   B.18) with an explicit frontier (ordered by the session's
+//!   strategy) and a visited set keyed by [`SymState::fingerprint`];
+//!   schedules that reconverge on an already-expanded state are pruned,
+//!   which is what keeps deep speculation bounds (250 for v1, 20 for
+//!   v4) tractable;
 //! * [`repair`](crate::repair) inserts fences until the detector is
 //!   satisfied.
-//!
-//! Two analysis modes mirror §4.2.1:
-//!
-//! * [`DetectorOptions::v1_mode`] — Spectre v1/v1.1: store addresses
-//!   resolve eagerly; deep speculation bounds stay tractable (the paper
-//!   used 250);
-//! * [`DetectorOptions::v4_mode`] — Spectre v4: additionally explores
-//!   delayed store-address resolution (forwarding hazards), requiring a
-//!   reduced bound (the paper used 20).
-//!
-//! # Example
-//!
-//! ```
-//! use pitchfork::{Detector, DetectorOptions};
-//! use sct_core::examples::fig1;
-//!
-//! let (program, config) = fig1();
-//! let report = Detector::new(DetectorOptions::v1_mode(20)).analyze(&program, &config);
-//! assert!(report.has_violations(), "Spectre v1 is flagged");
-//! println!("{} states, {} duplicates pruned", report.stats.states, report.stats.deduped);
-//! ```
-//!
-//! Batch mode over many programs:
-//!
-//! ```
-//! use pitchfork::{BatchAnalyzer, BatchItem, DetectorOptions};
-//! use sct_core::examples::fig1;
-//!
-//! let (program, config) = fig1();
-//! let batch = BatchAnalyzer::new(DetectorOptions::v1_mode(20))
-//!     .analyze_all(vec![BatchItem::new("fig1", program, config)]);
-//! assert_eq!(batch.totals.flagged, 1);
-//! println!("{batch}");
-//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -65,14 +84,20 @@ pub mod batch;
 pub mod detector;
 pub mod explorer;
 pub mod machine;
+pub mod observe;
 pub mod repair;
 pub mod report;
+pub mod session;
 pub mod state;
+pub mod strategy;
 
 pub use batch::{BatchAnalyzer, BatchItem, BatchOutcome, BatchReport, BatchTotals};
 pub use detector::{Detector, DetectorOptions};
 pub use explorer::{Explorer, ExplorerOptions};
 pub use machine::SymMachine;
+pub use observe::{Event, EventLog, Observer};
 pub use repair::{insert_fences, repair, suggest_fences, RepairError, Repaired};
-pub use report::{ExploreStats, Report, Violation};
+pub use report::{ExploreStats, Report, Verdict, Violation};
+pub use session::{AnalysisSession, SessionBuilder};
 pub use state::SymState;
+pub use strategy::{SearchStrategy, StrategyKind};

@@ -2,17 +2,22 @@
 //! speculative constant-time violations.
 //!
 //! ```text
-//! pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose]
-//!           [--cache PATH] FILE...
+//! pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--symbolic ra,rb]
+//!           [--verbose] [--cache PATH] FILE...
 //! ```
+//!
+//! The CLI is a thin shell over [`pitchfork::AnalysisSession`]: one
+//! session per invocation owns the options, the search strategy, and
+//! the warm-start cache; every file is analyzed through it.
 
-use pitchfork::{Detector, DetectorOptions, ExplorerOptions};
-use sct_core::{Params, Reg};
+use pitchfork::{AnalysisSession, SessionBuilder, StrategyKind};
+use sct_core::Reg;
 use std::process::ExitCode;
 
 struct Cli {
     bound: usize,
     fwd_hazards: bool,
+    strategy: StrategyKind,
     symbolic: Vec<Reg>,
     verbose: bool,
     cache: Option<String>,
@@ -21,13 +26,16 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pitchfork [--bound N] [--fwd-hazards] [--symbolic ra,rb] [--verbose] [--cache PATH] FILE..."
+        "usage: pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--symbolic ra,rb] [--verbose] [--cache PATH] FILE..."
     );
     eprintln!();
     eprintln!("Analyze sct assembly files for speculative constant-time violations.");
     eprintln!("  --bound N        speculation bound (default 20; paper: 250 without");
     eprintln!("                   forwarding hazards, 20 with)");
     eprintln!("  --fwd-hazards    explore store-forwarding hazards (Spectre v4 mode)");
+    eprintln!("  --strategy NAME  frontier order: lifo (default), fifo, deepest-rob,");
+    eprintln!("                   violation-likely — same verdicts, different");
+    eprintln!("                   states-to-first-witness");
     eprintln!("  --symbolic LIST  treat these registers as symbolic inputs");
     eprintln!("  --verbose        print schedules and traces for each violation");
     eprintln!("  --cache PATH     warm-start the expression arena and solver memo");
@@ -39,6 +47,7 @@ fn parse_args() -> Cli {
     let mut cli = Cli {
         bound: 20,
         fwd_hazards: false,
+        strategy: StrategyKind::Lifo,
         symbolic: Vec::new(),
         verbose: false,
         cache: None,
@@ -52,6 +61,13 @@ fn parse_args() -> Cli {
                 cli.bound = v.parse().unwrap_or_else(|_| usage());
             }
             "--fwd-hazards" => cli.fwd_hazards = true,
+            "--strategy" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.strategy = StrategyKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown strategy `{v}`");
+                    usage()
+                });
+            }
             "--cache" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cli.cache = Some(v);
@@ -80,34 +96,49 @@ fn parse_args() -> Cli {
     cli
 }
 
-fn main() -> ExitCode {
-    let cli = parse_args();
-    // Warm-start: hydrate the arena and verdict memo before any file is
-    // analyzed. Cache failures degrade to a cold start, never abort an
-    // analysis.
-    if let Some(path) = cli.cache.as_deref().map(std::path::Path::new) {
-        match sct_cache::load_if_exists(path) {
-            Ok(Some(stats)) => println!(
-                "cache: warm start from {}: {} snapshot nodes ({} new, {} shared), {} verdicts",
-                path.display(),
-                stats.snapshot_nodes,
-                stats.added,
-                stats.preexisting,
-                stats.verdicts_imported,
-            ),
-            Ok(None) => println!("cache: cold start ({} not found)", path.display()),
-            Err(e) => eprintln!("cache: cold start ({}: {e})", path.display()),
+/// Build the session; a cache that fails to load degrades to a cold,
+/// cache-less start — it never aborts an analysis.
+fn build_session(cli: &Cli) -> AnalysisSession {
+    let builder = || {
+        let mut b = SessionBuilder::new()
+            .bound(cli.bound)
+            .strategy(cli.strategy)
+            .symbolize(cli.symbolic.iter().copied());
+        if cli.fwd_hazards {
+            b = b.v4_mode(cli.bound);
+        }
+        b
+    };
+    if let Some(path) = cli.cache.as_deref() {
+        match builder().cache(path).build() {
+            Ok(session) => {
+                match session.cache_load() {
+                    Some(stats) => println!(
+                        "cache: warm start from {path}: {} snapshot nodes ({} new, {} shared), {} verdicts",
+                        stats.snapshot_nodes, stats.added, stats.preexisting, stats.verdicts_imported,
+                    ),
+                    None => println!("cache: cold start ({path} not found)"),
+                }
+                return session;
+            }
+            Err(e) => {
+                // An unreadable snapshot degrades to a cold start; the
+                // file is only replaced by a successful save at exit.
+                eprintln!("cache: cold start ({path}: {e})");
+                let mut session = builder()
+                    .build()
+                    .expect("cache-less session build cannot fail");
+                session.attach_cache(path);
+                return session;
+            }
         }
     }
-    let options = DetectorOptions {
-        explorer: ExplorerOptions {
-            spec_bound: cli.bound,
-            forwarding_hazards: cli.fwd_hazards,
-            ..Default::default()
-        },
-        params: Params::paper(),
-    };
-    let detector = Detector::new(options);
+    builder().build().expect("cache-less session build cannot fail")
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    let mut session = build_session(&cli);
     let mut any_violation = false;
     for file in &cli.files {
         let src = match std::fs::read_to_string(file) {
@@ -124,17 +155,14 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = if cli.symbolic.is_empty() {
-            detector.analyze(&asm.program, &asm.config)
-        } else {
-            detector.analyze_symbolic(&asm.program, &asm.config, &cli.symbolic)
-        };
+        let report = session.analyze(&asm.program, &asm.config);
         any_violation |= report.has_violations();
         println!(
-            "{file}: {} ({} states, {} schedules explored{})",
+            "{file}: {} ({} states, {} schedules explored, strategy {}{})",
             report.verdict(),
             report.stats.states,
             report.stats.schedules,
+            report.stats.strategy,
             if report.stats.truncated {
                 ", truncated"
             } else {
@@ -151,10 +179,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Some(path) = cli.cache.as_deref().map(std::path::Path::new) {
-        match sct_cache::save(path) {
-            Ok(stats) => println!("cache: saved {}: {stats}", path.display()),
-            Err(e) => eprintln!("cache: save failed ({}: {e})", path.display()),
+    if cli.cache.is_some() {
+        match session.save() {
+            Ok(Some(stats)) => println!(
+                "cache: saved {}: {stats}",
+                cli.cache.as_deref().unwrap_or_default()
+            ),
+            Ok(None) => {}
+            Err(e) => eprintln!(
+                "cache: save failed ({}: {e})",
+                cli.cache.as_deref().unwrap_or_default()
+            ),
         }
     }
     if any_violation {

@@ -1,0 +1,154 @@
+//! Event streaming: observe an analysis as it runs.
+//!
+//! An [`Observer`] registered on an [`crate::AnalysisSession`] receives
+//! a typed [`Event`] at every interesting transition — a state expanded,
+//! a violation found, a batch item finished, an epoch retired. The hook
+//! exists so progress can be *streamed* (a future `pitchfork --serve`
+//! pushes these events to clients) instead of scraped from reports
+//! after the fact; [`EventLog`] is the bundled collector used by tests
+//! and simple progress displays.
+
+use crate::report::Violation;
+
+/// One analysis event, borrowed from the engine's state at the moment
+/// it happens.
+#[derive(Clone, Copy, Debug)]
+pub enum Event<'a> {
+    /// The explorer popped and expanded a frontier state.
+    StateExpanded {
+        /// States expanded so far in this exploration (including this
+        /// one).
+        states: usize,
+        /// Frontier occupancy after the expansion.
+        frontier: usize,
+        /// Reorder-buffer occupancy of the expanded state.
+        rob_depth: usize,
+    },
+    /// A secret-labeled observation was witnessed.
+    ViolationFound {
+        /// The violation, schedule and trace included.
+        violation: &'a Violation,
+        /// States expanded when the witness appeared.
+        states: usize,
+    },
+    /// A batch item finished analyzing.
+    ItemFinished {
+        /// The item's display name.
+        name: &'a str,
+        /// Whether its report carries violations.
+        flagged: bool,
+        /// States its exploration expanded.
+        states: usize,
+    },
+    /// The session retired its arena epoch (and, with a cache attached,
+    /// warm-started the next epoch from the snapshot).
+    EpochRetired {
+        /// The arena epoch that just ended.
+        epoch: u64,
+        /// Nodes rehydrated into the new epoch (0 without a cache).
+        rehydrated: usize,
+    },
+}
+
+/// A sink for [`Event`]s.
+///
+/// Observers are owned by the session and invoked synchronously on the
+/// analyzing thread; keep handlers cheap (copy the data out, notify a
+/// channel) — a slow observer is a slow analysis.
+pub trait Observer {
+    /// Receive one event.
+    fn on_event(&mut self, event: &Event<'_>);
+}
+
+/// Every `FnMut` over events is an observer.
+impl<F: FnMut(&Event<'_>)> Observer for F {
+    fn on_event(&mut self, event: &Event<'_>) {
+        self(event)
+    }
+}
+
+/// An aggregating observer: counts per event kind and remembers the
+/// first witness, enough for progress lines and assertions without
+/// retaining every event.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    /// `StateExpanded` events seen.
+    pub states_expanded: usize,
+    /// `ViolationFound` events seen.
+    pub violations_found: usize,
+    /// `ItemFinished` events seen.
+    pub items_finished: usize,
+    /// `EpochRetired` events seen.
+    pub epochs_retired: usize,
+    /// States expanded when the first `ViolationFound` arrived.
+    pub first_witness_states: Option<usize>,
+    /// Deepest ROB occupancy observed across expansions.
+    pub max_rob_depth: usize,
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, event: &Event<'_>) {
+        match event {
+            Event::StateExpanded { rob_depth, .. } => {
+                self.states_expanded += 1;
+                self.max_rob_depth = self.max_rob_depth.max(*rob_depth);
+            }
+            Event::ViolationFound { states, .. } => {
+                self.violations_found += 1;
+                self.first_witness_states.get_or_insert(*states);
+            }
+            Event::ItemFinished { .. } => self.items_finished += 1,
+            Event::EpochRetired { .. } => self.epochs_retired += 1,
+        }
+    }
+}
+
+/// Fan one event out to every registered observer (the session's
+/// internal dispatcher).
+pub(crate) fn emit(observers: &mut [Box<dyn Observer>], event: Event<'_>) {
+    for obs in observers.iter_mut() {
+        obs.on_event(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_aggregates() {
+        let mut log = EventLog::default();
+        log.on_event(&Event::StateExpanded {
+            states: 1,
+            frontier: 2,
+            rob_depth: 5,
+        });
+        log.on_event(&Event::StateExpanded {
+            states: 2,
+            frontier: 1,
+            rob_depth: 3,
+        });
+        log.on_event(&Event::EpochRetired {
+            epoch: 0,
+            rehydrated: 10,
+        });
+        assert_eq!(log.states_expanded, 2);
+        assert_eq!(log.max_rob_depth, 5);
+        assert_eq!(log.epochs_retired, 1);
+        assert_eq!(log.first_witness_states, None);
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut count = 0usize;
+        {
+            let mut f = |_: &Event<'_>| count += 1;
+            f.on_event(&Event::ItemFinished {
+                name: "x",
+                flagged: false,
+                states: 1,
+            });
+        }
+        assert_eq!(count, 1);
+    }
+}

@@ -40,9 +40,72 @@ impl fmt::Display for Violation {
     }
 }
 
+/// The typed analysis verdict: what the exploration established, with
+/// the caveat that makes it meaningful. Replaces the old stringly
+/// verdict; [`fmt::Display`] renders the historical strings, so text
+/// output is unchanged for the secure/insecure cases.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Every worst-case schedule within the speculation bound was
+    /// explored and none produced a secret-labeled observation.
+    Secure,
+    /// At least one witness schedule leaks; the witnesses (path,
+    /// schedule, trace) are in [`Report::violations`].
+    Insecure {
+        /// Number of witnesses found.
+        witnesses: usize,
+    },
+    /// Exploration hit the state budget before finding a witness or
+    /// exhausting the schedule space: no conclusion either way.
+    Unknown {
+        /// States expanded before the budget truncated the search.
+        explored: usize,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Insecure`].
+    pub fn is_insecure(&self) -> bool {
+        matches!(self, Verdict::Insecure { .. })
+    }
+
+    /// `true` for [`Verdict::Secure`] (exhaustive within the bound).
+    pub fn is_secure(&self) -> bool {
+        matches!(self, Verdict::Secure)
+    }
+
+    /// Two verdicts agree when both flag, or both do not flag, a
+    /// violation ([`Verdict::Unknown`] agrees with nothing — an
+    /// inconclusive search is not evidence of security).
+    pub fn agrees_with(&self, other: &Verdict) -> bool {
+        match (self, other) {
+            (Verdict::Unknown { .. }, _) | (_, Verdict::Unknown { .. }) => false,
+            _ => self.is_insecure() == other.is_insecure(),
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Secure => f.pad("secure (within bound)"),
+            Verdict::Insecure { .. } => f.pad("VIOLATION"),
+            Verdict::Unknown { .. } => f.pad("unknown (budget exhausted)"),
+        }
+    }
+}
+
 /// Exploration statistics (used by the tractability benches).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExploreStats {
+    /// The frontier order the exploration ran under (see
+    /// [`crate::StrategyKind::name`]).
+    pub strategy: &'static str,
+    /// States expanded when the first violation was witnessed (`None`
+    /// when no violation was found) — the strategy-comparison metric.
+    pub first_witness_states: Option<usize>,
+    /// Schedule length (directive count) of the first witness found.
+    pub first_witness_depth: Option<usize>,
     /// Symbolic states expanded (after deduplication).
     pub states: usize,
     /// Frontier states pruned because an identical state (same
@@ -68,6 +131,25 @@ pub struct ExploreStats {
     pub truncated: bool,
 }
 
+impl Default for ExploreStats {
+    fn default() -> Self {
+        ExploreStats {
+            strategy: "lifo",
+            first_witness_states: None,
+            first_witness_depth: None,
+            states: 0,
+            deduped: 0,
+            frontier_peak: 0,
+            schedules: 0,
+            steps: 0,
+            solver_queries: 0,
+            solver_memo_hits: 0,
+            solver_memo_misses: 0,
+            truncated: false,
+        }
+    }
+}
+
 /// The analysis report for one program.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -88,12 +170,20 @@ impl Report {
         self.violations.iter().map(|v| v.pc).collect()
     }
 
-    /// A one-line verdict.
-    pub fn verdict(&self) -> &'static str {
+    /// The typed verdict: [`Verdict::Insecure`] when witnesses exist,
+    /// [`Verdict::Unknown`] when the search truncated without one,
+    /// [`Verdict::Secure`] when the bounded space was exhausted clean.
+    pub fn verdict(&self) -> Verdict {
         if self.has_violations() {
-            "VIOLATION"
+            Verdict::Insecure {
+                witnesses: self.violations.len(),
+            }
+        } else if self.stats.truncated {
+            Verdict::Unknown {
+                explored: self.stats.states,
+            }
         } else {
-            "secure (within bound)"
+            Verdict::Secure
         }
     }
 }
@@ -131,7 +221,13 @@ mod tests {
     fn report_verdicts() {
         let mut r = Report::default();
         assert!(!r.has_violations());
-        assert_eq!(r.verdict(), "secure (within bound)");
+        assert_eq!(r.verdict(), Verdict::Secure);
+        assert_eq!(r.verdict().to_string(), "secure (within bound)");
+        r.stats.truncated = true;
+        r.stats.states = 7;
+        assert_eq!(r.verdict(), Verdict::Unknown { explored: 7 });
+        assert!(!r.verdict().agrees_with(&Verdict::Secure));
+        r.stats.truncated = false;
         r.violations.push(Violation {
             observation: Observation::Read {
                 addr: 0x66,
@@ -143,7 +239,10 @@ mod tests {
             constraints: vec![],
         });
         assert!(r.has_violations());
-        assert_eq!(r.verdict(), "VIOLATION");
+        assert_eq!(r.verdict(), Verdict::Insecure { witnesses: 1 });
+        assert!(r.verdict().is_insecure());
+        assert!(r.verdict().agrees_with(&Verdict::Insecure { witnesses: 9 }));
+        assert!(!r.verdict().agrees_with(&Verdict::Secure));
         assert!(r.flagged_pcs().contains(&3));
         let text = r.to_string();
         assert!(text.contains("VIOLATION"));

@@ -90,6 +90,30 @@ fn usage_on_no_files() {
 }
 
 #[test]
+fn strategy_flag_selects_the_frontier_order() {
+    let path = write_temp("strategy", GADGET);
+    for strategy in ["lifo", "fifo", "deepest-rob", "violation-likely"] {
+        let (text, code) = run_cli(&["--strategy", strategy, "--bound", "16", path.to_str().unwrap()]);
+        assert_eq!(code, Some(1), "{strategy}: {text}");
+        assert!(text.contains("VIOLATION"), "{strategy}: {text}");
+        assert!(
+            text.contains(&format!("strategy {strategy}")),
+            "{strategy}: {text}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_strategy_exits_two() {
+    let path = write_temp("badstrategy", GADGET);
+    let (text, code) = run_cli(&["--strategy", "bogo", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, Some(2), "{text}");
+    assert!(text.contains("unknown strategy"), "{text}");
+}
+
+#[test]
 fn cache_flag_goes_cold_then_warm() {
     let gadget = write_temp("cache_gadget", GADGET);
     let mut cache = std::env::temp_dir();

@@ -1,8 +1,8 @@
-//! Scan every Table 2 case study and the whole litmus corpus with
-//! `BatchAnalyzer` — then do it all again from a **warm start**: the
+//! Scan every Table 2 case study and the whole litmus corpus through
+//! the session API — then do it all again from a **warm start**: the
 //! cold pass saves an `sct-cache` snapshot (expression arena + solver
-//! verdict memo), the arena is retired as if the process had exited,
-//! and the warm pass hydrates everything back from disk.
+//! verdict memo), the arena epoch is retired as if the process had
+//! exited, and the warm pass hydrates everything back from disk.
 //!
 //! ```text
 //! cargo run --release --example batch_scan [CACHE_PATH]
@@ -16,8 +16,9 @@
 
 use spectre_ct::casestudies::table2;
 use spectre_ct::litmus;
-use spectre_ct::pitchfork::BatchReport;
-use spectre_ct::symx::{arena_stats, retire_arena};
+use spectre_ct::litmus::harness::SymbolicSweep;
+use spectre_ct::pitchfork::{AnalysisSession, BatchReport};
+use spectre_ct::symx::arena_stats;
 use std::time::Instant;
 
 fn pass(cache: &std::path::Path, label: &str) -> (Vec<BatchReport>, std::time::Duration) {
@@ -36,9 +37,11 @@ fn pass(cache: &std::path::Path, label: &str) -> (Vec<BatchReport>, std::time::D
         println!("cold start (no snapshot on disk)");
     }
     println!("litmus v1 batch:\n{}", corpus.verdicts.v1);
+    println!("{}", corpus.sweep);
     println!("{table}");
+    let SymbolicSweep { ra_only, per_case } = corpus.sweep;
     (
-        vec![corpus.verdicts.v1, corpus.verdicts.v4, corpus.v1_symbolic, t2_v1, t2_v4],
+        vec![corpus.verdicts.v1, corpus.verdicts.v4, ra_only, per_case, t2_v1, t2_v4],
         wall,
     )
 }
@@ -58,10 +61,15 @@ fn main() {
     let cold_nodes = arena_stats().nodes;
     let cold_queries: usize = cold_reports.iter().map(|r| r.totals.solver_queries).sum();
 
-    // Simulate a process exit: retire the arena (old ExprRefs become
-    // detectably stale) and start the next "invocation" from nothing
-    // but the snapshot.
-    retire_arena();
+    // Simulate a process exit: retire the epoch through a cache-less
+    // session (old ExprRefs become detectably stale, nothing is
+    // rehydrated) and start the next "invocation" from nothing but the
+    // snapshot on disk.
+    AnalysisSession::builder()
+        .build()
+        .expect("uncached session")
+        .retire()
+        .expect("epoch retire without a cache cannot fail");
 
     let (warm_reports, warm_wall) = pass(&cache, "warm");
     let warm_hits: usize = warm_reports.iter().map(|r| r.totals.solver_memo_hits).sum();

@@ -8,17 +8,20 @@
 
 use spectre_ct::core::{Directive, Machine, StepError};
 use spectre_ct::litmus::{figures, kocher};
-use spectre_ct::pitchfork::{Detector, DetectorOptions};
+use spectre_ct::pitchfork::AnalysisSession;
 
 fn main() {
     // The vulnerable gadget and its fenced repair, from the litmus
     // corpus (kocher_01 vs kocher_06).
     let vulnerable = kocher::kocher_01();
     let fenced = kocher::kocher_06();
-    let detector = Detector::new(DetectorOptions::v1_mode(16));
+    let mut session = AnalysisSession::builder()
+        .v1_mode(16)
+        .build()
+        .expect("uncached session");
 
-    let before = detector.analyze(&vulnerable.program, &vulnerable.config);
-    let after = detector.analyze(&fenced.program, &fenced.config);
+    let before = session.analyze(&vulnerable.program, &vulnerable.config);
+    let after = session.analyze(&fenced.program, &fenced.config);
     println!("without fence: {}", before.verdict());
     println!("with fence:    {}", after.verdict());
     assert!(before.has_violations() && !after.has_violations());

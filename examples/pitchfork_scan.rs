@@ -1,6 +1,6 @@
 //! Scan the whole litmus corpus and the four crypto case studies with
 //! Pitchfork in both analysis modes — a miniature of the paper's §4.2
-//! evaluation.
+//! evaluation, driven through one analysis session per mode.
 //!
 //! ```sh
 //! cargo run --release --example pitchfork_scan
@@ -8,16 +8,20 @@
 
 use spectre_ct::casestudies::table2;
 use spectre_ct::litmus;
-use spectre_ct::pitchfork::{Detector, DetectorOptions};
+use spectre_ct::pitchfork::{AnalysisSession, DetectorOptions};
 
 fn main() {
     println!("== Litmus corpus ==\n");
     println!("{:<12} {:>4} {:>4}   description", "case", "v1", "v4");
+    let mut session = AnalysisSession::builder()
+        .v1_mode(16)
+        .build()
+        .expect("uncached session");
     for case in litmus::all_cases() {
-        let v1 = Detector::new(DetectorOptions::v1_mode(case.bound))
-            .analyze(&case.program, &case.config);
-        let v4 = Detector::new(DetectorOptions::v4_mode(case.bound))
-            .analyze(&case.program, &case.config);
+        session.set_options(DetectorOptions::v1_mode(case.bound));
+        let v1 = session.analyze(&case.program, &case.config);
+        session.set_options(DetectorOptions::v4_mode(case.bound));
+        let v4 = session.analyze(&case.program, &case.config);
         println!(
             "{:<12} {:>4} {:>4}   {}",
             case.name,
@@ -33,8 +37,8 @@ fn main() {
 
     println!("A violation report for the classic v1 case:\n");
     let case = litmus::kocher::kocher_01();
-    let report =
-        Detector::new(DetectorOptions::v1_mode(case.bound)).analyze(&case.program, &case.config);
+    session.set_options(DetectorOptions::v1_mode(case.bound));
+    let report = session.analyze(&case.program, &case.config);
     if let Some(v) = report.violations.first() {
         println!("{v}");
     }

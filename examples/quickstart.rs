@@ -8,7 +8,7 @@
 use spectre_ct::asm::assemble;
 use spectre_ct::core::sched::sequential::run_sequential;
 use spectre_ct::core::Params;
-use spectre_ct::pitchfork::{Detector, DetectorOptions};
+use spectre_ct::pitchfork::AnalysisSession;
 
 fn main() {
     // The paper's Figure 1 gadget, written in the `sct` assembly
@@ -46,7 +46,11 @@ out:
     // Speculatively, Pitchfork's worst-case schedules find the Spectre
     // v1 leak: the mispredicted branch lets both loads execute before
     // the bounds check resolves.
-    let report = Detector::new(DetectorOptions::v1_mode(20)).analyze(&asm.program, &asm.config);
+    let mut session = AnalysisSession::builder()
+        .v1_mode(20)
+        .build()
+        .expect("uncached session");
+    let report = session.analyze(&asm.program, &asm.config);
     println!(
         "\npitchfork: {} ({} states explored)",
         report.verdict(),

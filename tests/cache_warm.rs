@@ -55,7 +55,7 @@ fn warm_start_meets_the_acceptance_thresholds() {
     let (cold_queries, _) = solver_counts(&[
         &cold_corpus.verdicts.v1,
         &cold_corpus.verdicts.v4,
-        &cold_corpus.v1_symbolic,
+        cold_corpus.v1_symbolic(),
         &cold_t2_v1,
         &cold_t2_v4,
     ]);
@@ -89,7 +89,7 @@ fn warm_start_meets_the_acceptance_thresholds() {
     let (warm_queries, warm_hits) = solver_counts(&[
         &warm_corpus.verdicts.v1,
         &warm_corpus.verdicts.v4,
-        &warm_corpus.v1_symbolic,
+        warm_corpus.v1_symbolic(),
         &warm_t2_v1,
         &warm_t2_v4,
     ]);
@@ -110,8 +110,8 @@ fn warm_start_meets_the_acceptance_thresholds() {
         verdicts(&warm_corpus.verdicts.v4)
     );
     assert_eq!(
-        verdicts(&cold_corpus.v1_symbolic),
-        verdicts(&warm_corpus.v1_symbolic)
+        verdicts(cold_corpus.v1_symbolic()),
+        verdicts(warm_corpus.v1_symbolic())
     );
     assert_eq!(cold_table.rows.len(), warm_table.rows.len());
     for (c, w) in cold_table.rows.iter().zip(&warm_table.rows) {
