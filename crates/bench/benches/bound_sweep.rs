@@ -2,6 +2,11 @@
 //! forwarding-hazard detection — the tractability observation of §4.2
 //! (bound 250 feasible without forwarding hazards, only ~20 with).
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pitchfork::{Detector, DetectorOptions};
 use std::hint::black_box;

@@ -1,6 +1,11 @@
 //! Bench: detection time over the Kocher-style litmus suites (§4.2's
 //! sanity-check corpus), per case and for the whole corpus.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pitchfork::{Detector, DetectorOptions};
 use std::hint::black_box;

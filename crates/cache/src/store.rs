@@ -94,6 +94,11 @@ pub struct SaveStats {
     pub nodes: usize,
     /// Solver verdicts written.
     pub verdicts: usize,
+    /// Verdicts the capacity guard evicted from the live memo before
+    /// this save (cumulative for the process; see
+    /// [`sct_symx::set_solver_memo_capacity`]) — what the snapshot does
+    /// *not* carry because the LRU cap dropped it first.
+    pub verdicts_evicted: u64,
     /// File size in bytes.
     pub bytes: usize,
 }
@@ -102,8 +107,8 @@ impl fmt::Display for SaveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes, {} verdicts, {} bytes",
-            self.nodes, self.verdicts, self.bytes
+            "{} nodes, {} verdicts ({} evicted), {} bytes",
+            self.nodes, self.verdicts, self.verdicts_evicted, self.bytes
         )
     }
 }
@@ -171,6 +176,7 @@ pub fn save(path: &Path) -> Result<SaveStats, CacheError> {
     Ok(SaveStats {
         nodes: snapshot.arena.nodes.len(),
         verdicts: snapshot.memo.entries.len(),
+        verdicts_evicted: sct_symx::solver_memo_stats().evicted,
         bytes: bytes.len(),
     })
 }

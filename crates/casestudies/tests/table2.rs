@@ -8,6 +8,11 @@
 //! * OpenSSL MEE-CBC: C flagged in v1 mode, FaCT only with
 //!   forwarding-hazard detection.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use sct_casestudies::table2::{self, Cell};
 use sct_core::sched::sequential::run_sequential;
 use sct_core::Params;

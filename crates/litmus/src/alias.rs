@@ -32,6 +32,7 @@ pub fn fig2_gadget() -> (Program, Config) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy-API coverage of the Detector wrapper
 mod tests {
     use super::*;
     use pitchfork::{Detector, DetectorOptions};

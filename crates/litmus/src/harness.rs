@@ -331,6 +331,58 @@ pub fn run_corpus_cached(
     })
 }
 
+/// One corpus entry's daemon-served result: the entry's name and the
+/// job view the client got back (status, typed verdict, exploration
+/// stats, rendered witnesses).
+pub struct ServedOutcome {
+    /// The corpus entry name.
+    pub name: String,
+    /// The daemon's answer.
+    pub view: pitchfork::client::JobView,
+}
+
+impl ServedOutcome {
+    /// `true` when the daemon flagged the entry.
+    pub fn flagged(&self) -> bool {
+        self.view.verdict.is_some_and(|v| v.is_insecure())
+    }
+}
+
+/// Run corpus entries through a **live daemon**: submit every entry's
+/// `.sasm` source over `client` (FIFO — the daemon preserves order),
+/// then collect the verdicts. Each entry runs in `mode` at its own
+/// speculation bound.
+///
+/// This is the served twin of [`run_corpus`]: same programs, same
+/// bounds, but analyzed by a resident `pitchfork --serve` process whose
+/// arena and solver memo persist across submissions (and clients) —
+/// the serve-mode tests pin verdict equivalence between the two paths.
+pub fn run_corpus_served(
+    entries: &[crate::corpus::CorpusEntry],
+    client: &mut pitchfork::client::Client,
+    mode: pitchfork::service::JobMode,
+) -> Result<Vec<ServedOutcome>, pitchfork::client::ClientError> {
+    let mut pending = Vec::new();
+    for entry in entries {
+        let spec = pitchfork::service::JobSpec {
+            mode,
+            bound: Some(entry.bound),
+            strategy: None,
+            symbolic: Vec::new(),
+        };
+        let id = client.submit_source(entry.name, entry.source, spec)?;
+        pending.push((entry.name.to_string(), id));
+    }
+    pending
+        .into_iter()
+        .map(|(name, id)| {
+            client
+                .wait(id, std::time::Duration::from_secs(120))
+                .map(|view| ServedOutcome { name, view })
+        })
+        .collect()
+}
+
 /// Check a case against its expectation, panicking with context on
 /// mismatch (used by the test suites).
 pub fn assert_case(case: &LitmusCase) {

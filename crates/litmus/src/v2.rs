@@ -72,6 +72,7 @@ pub fn retpolined_dispatch() -> (Program, Config) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy-API coverage of the Detector wrapper
 mod tests {
     use super::*;
     use pitchfork::{Detector, DetectorOptions};

@@ -3,6 +3,11 @@
 //! deduplication on, never explore more states than the seed's
 //! duplicate-blind engine would.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use pitchfork::{BatchAnalyzer, Detector, DetectorOptions};
 use sct_litmus::{all_cases, harness};
 

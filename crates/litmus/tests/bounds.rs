@@ -2,6 +2,11 @@
 //! reorder buffer is deep enough to hold the whole transient gadget —
 //! the knob behind the paper's 250-vs-20 trade-off.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use pitchfork::{Detector, DetectorOptions};
 use sct_litmus::kocher;
 

@@ -1,0 +1,143 @@
+//! The corpus through a live daemon: `harness::run_corpus_served`
+//! against an in-process `pitchfork::server::Server`, pinned to the
+//! batch-mode verdicts, plus the two-sequential-clients memo-warm
+//! property on a single corpus entry.
+
+use pitchfork::client::Client;
+use pitchfork::server::Server;
+use pitchfork::service::{JobMode, JobSpec, SessionService};
+use pitchfork::SessionBuilder;
+use sct_litmus::corpus;
+use sct_litmus::harness::{self, run_corpus_served};
+use std::time::Duration;
+
+fn start_server(label: &str) -> (Server, std::path::PathBuf) {
+    let sock = std::env::temp_dir().join(format!(
+        "sct_litmus_{label}_{}.sock",
+        std::process::id()
+    ));
+    let session = SessionBuilder::new()
+        .v1_mode(16)
+        .build()
+        .expect("uncached session");
+    let server = Server::bind(&sock, SessionService::new(session)).expect("bind");
+    (server, sock)
+}
+
+/// A corpus slice that covers flagged and safe entries in both modes
+/// (kept under the full 23 so the served pass stays quick).
+fn subset() -> Vec<corpus::CorpusEntry> {
+    corpus::entries()
+        .into_iter()
+        .filter(|e| {
+            matches!(
+                e.name,
+                "spectre_v1"
+                    | "spectre_v1_fenced"
+                    | "spectre_v4"
+                    | "kocher_03"
+                    | "kocher_08"
+                    | "ct_select"
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn served_corpus_matches_batch_verdicts() {
+    let entries = subset();
+    assert!(entries.len() >= 5, "subset names drifted from the corpus");
+    let cases: Vec<_> = entries
+        .iter()
+        .map(|entry| {
+            let asm = corpus::assemble_entry(entry);
+            harness::LitmusCase {
+                name: entry.name,
+                description: "served corpus entry",
+                program: asm.program,
+                config: asm.config,
+                expect: entry.expect,
+                bound: entry.bound,
+            }
+        })
+        .collect();
+    let batch = harness::run_corpus(&cases);
+
+    let (server, sock) = start_server("corpus");
+    let mut client = Client::connect(&sock).expect("connect");
+    for (mode, report) in [(JobMode::V1, &batch.v1), (JobMode::V4, &batch.v4)] {
+        let served = run_corpus_served(&entries, &mut client, mode).expect("served corpus");
+        assert_eq!(served.len(), entries.len());
+        for outcome in &served {
+            let batch_outcome = report
+                .outcome(&outcome.name)
+                .unwrap_or_else(|| panic!("{}: missing from batch report", outcome.name));
+            // Verdict display strings are the contract ("byte-identical
+            // to batch mode"), states pin the exploration itself.
+            let view_verdict = outcome.view.verdict.expect("done");
+            assert_eq!(
+                view_verdict.to_string(),
+                batch_outcome.report.verdict().to_string(),
+                "{} under {mode:?}",
+                outcome.name
+            );
+            assert_eq!(
+                outcome.view.stats.expect("stats").states,
+                batch_outcome.report.stats.states,
+                "{} under {mode:?}",
+                outcome.name
+            );
+        }
+    }
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn second_client_gets_a_memo_warm_answer() {
+    let entry = corpus::entries()
+        .into_iter()
+        .find(|e| e.name == "spectre_v1")
+        .expect("corpus carries spectre_v1");
+    // Symbolize the attacker index so the analysis actually queries the
+    // solver (fully concrete corpus runs constant-fold every branch).
+    let spec = JobSpec {
+        bound: Some(entry.bound),
+        symbolic: vec![sct_core::reg::names::RA],
+        ..JobSpec::default()
+    };
+    let (server, sock) = start_server("memo");
+
+    let mut first = Client::connect(&sock).expect("first client");
+    let id1 = first
+        .submit_source(entry.name, entry.source, spec.clone())
+        .expect("submit");
+    let cold = first
+        .wait(id1, Duration::from_secs(60))
+        .expect("cold run")
+        .stats
+        .expect("stats");
+    assert!(cold.solver_queries > 0, "symbolic run queries the solver");
+    drop(first);
+
+    let mut second = Client::connect(&sock).expect("second client");
+    let id2 = second
+        .submit_source(entry.name, entry.source, spec)
+        .expect("submit again");
+    let warm = second
+        .wait(id2, Duration::from_secs(60))
+        .expect("warm run")
+        .stats
+        .expect("stats");
+    assert_eq!(warm.states, cold.states, "same exploration either way");
+    assert!(
+        warm.solver_memo_hits > 0,
+        "the second client is answered from the first client's memo: {warm:?}"
+    );
+    assert_eq!(
+        warm.solver_memo_misses, 0,
+        "nothing left to solve on the repeat submission: {warm:?}"
+    );
+    second.shutdown().expect("shutdown");
+    server.wait();
+}

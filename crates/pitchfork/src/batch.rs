@@ -107,6 +107,9 @@ pub struct BatchTotals {
     pub solver_memo_hits: usize,
     /// Queries that ran the full solver pipeline.
     pub solver_memo_misses: usize,
+    /// Memoized verdicts evicted by the capacity guard during the
+    /// batch (see [`sct_symx::set_solver_memo_capacity`]).
+    pub solver_memo_evicted: usize,
 }
 
 impl BatchTotals {
@@ -204,11 +207,12 @@ impl fmt::Display for BatchReport {
         )?;
         writeln!(
             f,
-            "solver: {} queries, {} memo hits / {} misses ({:.1}% hit rate)",
+            "solver: {} queries, {} memo hits / {} misses ({:.1}% hit rate), {} evicted",
             self.totals.solver_queries,
             self.totals.solver_memo_hits,
             self.totals.solver_memo_misses,
             100.0 * self.totals.solver_memo_hit_rate(),
+            self.totals.solver_memo_evicted,
         )?;
         if let Some(load) = &self.cache_load {
             writeln!(f, "cache: warm start — {load}")?;
@@ -258,12 +262,14 @@ impl fmt::Display for BatchReport {
 /// assert_eq!(batch.totals.flagged, 1);
 /// ```
 #[derive(Clone, Debug, Default)]
+#[deprecated(note = "use AnalysisSession / SessionService")]
 pub struct BatchAnalyzer {
     options: DetectorOptions,
     cache_path: Option<PathBuf>,
     cache_load: Option<sct_cache::LoadStats>,
 }
 
+#[allow(deprecated)]
 impl BatchAnalyzer {
     /// A batch analyzer running every item with `options` (modulo
     /// per-item bound overrides).
@@ -314,7 +320,10 @@ impl BatchAnalyzer {
     }
 }
 
+// The wrapper's own coverage keeps speaking the deprecated API — that
+// is the point of the tests.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::detector::Detector;

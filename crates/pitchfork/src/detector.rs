@@ -108,10 +108,12 @@ impl DetectorOptions {
 /// assert!(report.has_violations());
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
+#[deprecated(note = "use AnalysisSession / SessionService")]
 pub struct Detector {
     options: DetectorOptions,
 }
 
+#[allow(deprecated)]
 impl Detector {
     /// A detector with the given options.
     pub fn new(options: DetectorOptions) -> Self {
@@ -141,7 +143,10 @@ impl Detector {
     }
 }
 
+// The wrapper's own coverage keeps speaking the deprecated API — that
+// is the point of the tests.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sct_core::examples::fig1;

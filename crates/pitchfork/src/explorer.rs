@@ -36,7 +36,7 @@
 //!   for delayed branches, address resolution for delayed stores.
 
 use crate::machine::SymMachine;
-use crate::observe::{Event, Observer};
+use crate::observe::{BoxObserver, Event};
 use crate::report::{Report, Violation};
 use crate::state::{SymState, SymStoreAddr, SymTransient};
 use crate::strategy::StrategyKind;
@@ -163,7 +163,7 @@ impl<'p> Explorer<'p> {
     pub fn explore_observed(
         &self,
         initial: SymState,
-        observers: &mut [Box<dyn Observer>],
+        observers: &mut [BoxObserver],
     ) -> Report {
         let memo_before = sct_symx::solver_memo_stats();
         let mut report = Report::default();
@@ -211,6 +211,7 @@ impl<'p> Explorer<'p> {
         report.stats.solver_queries = (memo_after.queries - memo_before.queries) as usize;
         report.stats.solver_memo_hits = (memo_after.hits - memo_before.hits) as usize;
         report.stats.solver_memo_misses = (memo_after.misses - memo_before.misses) as usize;
+        report.stats.solver_memo_evicted = (memo_after.evicted - memo_before.evicted) as usize;
         report
     }
 
@@ -221,7 +222,7 @@ impl<'p> Explorer<'p> {
         state: &SymState,
         cont: &Cont,
         report: &mut Report,
-        observers: &mut [Box<dyn Observer>],
+        observers: &mut [BoxObserver],
     ) -> Vec<SymState> {
         let mut frontier = vec![state.clone()];
         let directives = cont.directives();

@@ -42,8 +42,9 @@
 //!   path: schedule, trace, program point, and path constraints;
 //! * **Event streaming** — [`Observer`]s registered on the builder
 //!   receive typed [`Event`]s (state-expanded, violation-found,
-//!   item-finished, epoch-retired) as analysis runs, the hook a future
-//!   `--serve` mode streams progress through;
+//!   item-finished, epoch-retired) as analysis runs; daemon mode
+//!   streams these to subscribed clients ([`OwnedEvent`] is the owned,
+//!   wire-ready form);
 //! * **Cache & epochs** — [`SessionBuilder::cache`] hydrates the
 //!   expression arena and solver-verdict memo from an `sct-cache`
 //!   snapshot, [`AnalysisSession::save`] persists them, and
@@ -54,14 +55,52 @@
 //!   registers) through the shared arena and reports aggregate
 //!   statistics ([`BatchReport`]).
 //!
+//! # Daemon mode
+//!
+//! The session generalizes to a **service**: a [`service::Job`]
+//! (program + bounds + options + strategy) submitted to a
+//! [`service::SessionService`] that owns one session, a FIFO queue,
+//! and the epoch-retire policy ([`service::RetirePolicy`] — snapshot →
+//! retire → warm-start every N jobs or M arena nodes). `pitchfork
+//! --serve SOCK` puts that service behind a Unix-domain socket
+//! ([`server::Server`], thread-per-connection, hand-rolled
+//! line-delimited JSON in [`protocol`]) so a **resident daemon**
+//! amortizes the hash-consed arena and the solver-verdict memo across
+//! submissions, clients, and — via the cache snapshot — restarts.
+//!
+//! Quickstart: serve, submit the corpus form of Kocher example 1 (the
+//! classic Spectre v1 bounds-check-bypass gadget), read the verdict
+//! and its event stream:
+//!
+//! ```text
+//! $ pitchfork --serve /tmp/pitchfork.sock --cache /tmp/pitchfork.cache &
+//! $ pitchfork submit --connect /tmp/pitchfork.sock --bound 16 --symbolic ra \
+//!       crates/litmus/corpus/spectre_v1.sasm
+//! crates/litmus/corpus/spectre_v1.sasm: VIOLATION (12 states, 3 schedules explored, strategy lifo)
+//!   memo: 5 hits / 11 misses; first witness at Some(4) states
+//! $ pitchfork events --connect /tmp/pitchfork.sock --job 1 | tail -2
+//! violation-found: read 0x66sec near pc 4 after 4 states
+//! item-finished: crates/litmus/corpus/spectre_v1.sasm flagged=true (12 states)
+//! $ pitchfork retire --connect /tmp/pitchfork.sock   # snapshot → new epoch → warm start
+//! $ pitchfork stats --connect /tmp/pitchfork.sock
+//! ```
+//!
+//! Verdict lines are byte-identical to one-shot mode (CI diffs them);
+//! a repeat submission answers with nonzero memo/arena reuse; `Retire`
+//! round-trips the epoch without restarting the process. In-process
+//! users drive [`service::SessionService`] directly ([`Client`] and
+//! the [`protocol`] types are `std`-only, so the daemon needs no
+//! dependencies the workspace doesn't vendor).
+//!
 //! # Compatibility wrappers
 //!
 //! [`Detector`] and [`BatchAnalyzer`], the pre-session entry points,
-//! remain as thin delegating wrappers: `Detector::analyze` is
-//! session-analyze with default wiring, `BatchAnalyzer::analyze_all` is
-//! [`AnalysisSession::run_batch`]. They stay because half the test
-//! suite and downstream examples speak them; new code should build a
-//! session.
+//! remain as thin delegating wrappers and are now
+//! `#[deprecated]`: `Detector::analyze` is session-analyze with
+//! default wiring, `BatchAnalyzer::analyze_all` is
+//! [`AnalysisSession::run_batch`]. Their tests keep pinning the
+//! delegation; new code should build an [`AnalysisSession`] (or a
+//! [`service::SessionService`]).
 //!
 //! # Engine layers
 //!
@@ -81,23 +120,38 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod client;
 pub mod detector;
 pub mod explorer;
 pub mod machine;
 pub mod observe;
+pub mod protocol;
 pub mod repair;
 pub mod report;
+pub mod server;
+pub mod service;
 pub mod session;
 pub mod state;
 pub mod strategy;
 
-pub use batch::{BatchAnalyzer, BatchItem, BatchOutcome, BatchReport, BatchTotals};
-pub use detector::{Detector, DetectorOptions};
+#[allow(deprecated)]
+pub use batch::BatchAnalyzer;
+pub use batch::{BatchItem, BatchOutcome, BatchReport, BatchTotals};
+pub use client::{Client, ClientError, JobView};
+#[allow(deprecated)]
+pub use detector::Detector;
+pub use detector::DetectorOptions;
 pub use explorer::{Explorer, ExplorerOptions};
 pub use machine::SymMachine;
-pub use observe::{Event, EventLog, Observer};
+pub use observe::{BoxObserver, Event, EventLog, Observer, OwnedEvent};
+pub use protocol::{ProtocolError, Request, Response, WireViolation};
 pub use repair::{insert_fences, repair, suggest_fences, RepairError, Repaired};
 pub use report::{ExploreStats, Report, Verdict, Violation};
+pub use server::Server;
+pub use service::{
+    Job, JobId, JobMode, JobRecord, JobSpec, JobStatus, RetirePolicy, ServiceMonitor,
+    ServiceStats, SessionService,
+};
 pub use session::{AnalysisSession, SessionBuilder};
 pub use state::SymState;
 pub use strategy::{SearchStrategy, StrategyKind};

@@ -1,18 +1,39 @@
 //! The `pitchfork` command-line tool: analyze `.sasm` assembly files for
-//! speculative constant-time violations.
+//! speculative constant-time violations — one-shot, as a resident
+//! daemon, or as a client of one.
 //!
 //! ```text
+//! # one-shot (classic) mode
 //! pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--symbolic ra,rb]
 //!           [--verbose] [--cache PATH] FILE...
+//!
+//! # daemon mode: serve analyses over a Unix socket
+//! pitchfork --serve SOCK [--cache PATH] [--bound N] [--strategy NAME]
+//!           [--retire-every N] [--retire-nodes N] [--memo-capacity N]
+//!
+//! # client verbs against a running daemon
+//! pitchfork submit   --connect SOCK [--mode v1|v4|alias|v2] [--bound N]
+//!                    [--strategy NAME] [--symbolic ra,rb] [--verbose] FILE...
+//! pitchfork status   --connect SOCK --job ID
+//! pitchfork events   --connect SOCK --job ID
+//! pitchfork stats    --connect SOCK
+//! pitchfork retire   --connect SOCK
+//! pitchfork shutdown --connect SOCK
 //! ```
 //!
-//! The CLI is a thin shell over [`pitchfork::AnalysisSession`]: one
-//! session per invocation owns the options, the search strategy, and
-//! the warm-start cache; every file is analyzed through it.
+//! The one-shot CLI is a thin shell over
+//! [`pitchfork::AnalysisSession`]; the daemon wraps the same session in
+//! a [`pitchfork::service::SessionService`] behind
+//! [`pitchfork::server::Server`], so verdicts are identical either way
+//! (the CI serve-smoke job diffs them).
 
+use pitchfork::client::Client;
+use pitchfork::observe::OwnedEvent;
+use pitchfork::service::{JobId, JobMode, JobSpec, RetirePolicy, ServiceStats, SessionService};
 use pitchfork::{AnalysisSession, SessionBuilder, StrategyKind};
 use sct_core::Reg;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Cli {
     bound: usize,
@@ -28,6 +49,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--symbolic ra,rb] [--verbose] [--cache PATH] FILE..."
     );
+    eprintln!("       pitchfork --serve SOCK [--cache PATH] [--bound N] [--strategy NAME]");
+    eprintln!("                 [--retire-every N] [--retire-nodes N] [--memo-capacity N]");
+    eprintln!("       pitchfork submit --connect SOCK [--mode v1|v4|alias|v2] [--bound N]");
+    eprintln!("                 [--strategy NAME] [--symbolic ra,rb] [--verbose] FILE...");
+    eprintln!("       pitchfork status|events --connect SOCK --job ID");
+    eprintln!("       pitchfork stats|retire|shutdown --connect SOCK");
     eprintln!();
     eprintln!("Analyze sct assembly files for speculative constant-time violations.");
     eprintln!("  --bound N        speculation bound (default 20; paper: 250 without");
@@ -40,10 +67,15 @@ fn usage() -> ! {
     eprintln!("  --verbose        print schedules and traces for each violation");
     eprintln!("  --cache PATH     warm-start the expression arena and solver memo");
     eprintln!("                   from PATH (if it exists) and save back after the run");
+    eprintln!();
+    eprintln!("Daemon mode (--serve) keeps one session resident: submissions share the");
+    eprintln!("hash-consed arena and solver memo across clients, and the epoch-retire");
+    eprintln!("policy (--retire-every jobs / --retire-nodes arena nodes) snapshots and");
+    eprintln!("warm-starts without restarting the process.");
     std::process::exit(2)
 }
 
-fn parse_args() -> Cli {
+fn parse_args(args: Vec<String>) -> Cli {
     let mut cli = Cli {
         bound: 20,
         fwd_hazards: false,
@@ -53,7 +85,7 @@ fn parse_args() -> Cli {
         cache: None,
         files: Vec::new(),
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bound" => {
@@ -74,15 +106,8 @@ fn parse_args() -> Cli {
             }
             "--symbolic" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                for name in v.split(',') {
-                    match Reg::parse(name.trim()) {
-                        Some(r) => cli.symbolic.push(r),
-                        None => {
-                            eprintln!("unknown register `{name}`");
-                            usage();
-                        }
-                    }
-                }
+                // Repeated --symbolic flags accumulate.
+                cli.symbolic.extend(parse_regs(&v));
             }
             "--verbose" => cli.verbose = true,
             "--help" | "-h" => usage(),
@@ -96,20 +121,40 @@ fn parse_args() -> Cli {
     cli
 }
 
+fn parse_regs(list: &str) -> Vec<Reg> {
+    let mut regs = Vec::new();
+    for name in list.split(',') {
+        match Reg::parse(name.trim()) {
+            Some(r) => regs.push(r),
+            None => {
+                eprintln!("unknown register `{name}`");
+                usage();
+            }
+        }
+    }
+    regs
+}
+
 /// Build the session; a cache that fails to load degrades to a cold,
 /// cache-less start — it never aborts an analysis.
-fn build_session(cli: &Cli) -> AnalysisSession {
+fn build_session(
+    bound: usize,
+    fwd_hazards: bool,
+    strategy: StrategyKind,
+    symbolic: &[Reg],
+    cache: Option<&str>,
+) -> AnalysisSession {
     let builder = || {
         let mut b = SessionBuilder::new()
-            .bound(cli.bound)
-            .strategy(cli.strategy)
-            .symbolize(cli.symbolic.iter().copied());
-        if cli.fwd_hazards {
-            b = b.v4_mode(cli.bound);
+            .bound(bound)
+            .strategy(strategy)
+            .symbolize(symbolic.iter().copied());
+        if fwd_hazards {
+            b = b.v4_mode(bound);
         }
         b
     };
-    if let Some(path) = cli.cache.as_deref() {
+    if let Some(path) = cache {
         match builder().cache(path).build() {
             Ok(session) => {
                 match session.cache_load() {
@@ -136,9 +181,31 @@ fn build_session(cli: &Cli) -> AnalysisSession {
     builder().build().expect("cache-less session build cannot fail")
 }
 
-fn main() -> ExitCode {
-    let cli = parse_args();
-    let mut session = build_session(&cli);
+/// The per-file report line, shared verbatim by one-shot and daemon
+/// output so the serve-smoke CI job can diff them.
+fn report_line(
+    file: &str,
+    verdict: impl std::fmt::Display,
+    states: usize,
+    schedules: usize,
+    strategy: &str,
+    truncated: bool,
+) -> String {
+    format!(
+        "{file}: {verdict} ({states} states, {schedules} schedules explored, strategy {strategy}{})",
+        if truncated { ", truncated" } else { "" }
+    )
+}
+
+fn run_oneshot(args: Vec<String>) -> ExitCode {
+    let cli = parse_args(args);
+    let mut session = build_session(
+        cli.bound,
+        cli.fwd_hazards,
+        cli.strategy,
+        &cli.symbolic,
+        cli.cache.as_deref(),
+    );
     let mut any_violation = false;
     for file in &cli.files {
         let src = match std::fs::read_to_string(file) {
@@ -158,16 +225,15 @@ fn main() -> ExitCode {
         let report = session.analyze(&asm.program, &asm.config);
         any_violation |= report.has_violations();
         println!(
-            "{file}: {} ({} states, {} schedules explored, strategy {}{})",
-            report.verdict(),
-            report.stats.states,
-            report.stats.schedules,
-            report.stats.strategy,
-            if report.stats.truncated {
-                ", truncated"
-            } else {
-                ""
-            }
+            "{}",
+            report_line(
+                file,
+                report.verdict(),
+                report.stats.states,
+                report.stats.schedules,
+                report.stats.strategy,
+                report.stats.truncated,
+            )
         );
         if cli.verbose {
             for v in &report.violations {
@@ -196,5 +262,396 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+// ----- daemon mode --------------------------------------------------------
+
+fn run_serve(args: Vec<String>) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut cache: Option<String> = None;
+    let mut bound = 20usize;
+    let mut strategy = StrategyKind::Lifo;
+    let mut policy = RetirePolicy::never();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache" => cache = Some(args.next().unwrap_or_else(|| usage())),
+            "--bound" => {
+                bound = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--strategy" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                strategy = StrategyKind::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--retire-every" => {
+                policy.every_jobs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--retire-nodes" => {
+                policy.max_arena_nodes = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--memo-capacity" => {
+                let cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                sct_symx::set_solver_memo_capacity(cap);
+            }
+            s if socket.is_none() && !s.starts_with('-') => socket = Some(s.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    let session = build_session(bound, false, strategy, &[], cache.as_deref());
+    let service = SessionService::with_policy(session, policy);
+    let server = match pitchfork::server::Server::bind(&socket, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--serve {socket}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("serving on {socket} (bound {bound}, strategy {strategy})");
+    server.wait();
+    println!("daemon stopped");
+    ExitCode::SUCCESS
+}
+
+// ----- client verbs -------------------------------------------------------
+
+struct ClientArgs {
+    connect: Option<String>,
+    job: Option<u64>,
+    mode: JobMode,
+    bound: Option<usize>,
+    strategy: Option<StrategyKind>,
+    symbolic: Vec<Reg>,
+    verbose: bool,
+    files: Vec<String>,
+}
+
+fn parse_client_args(args: Vec<String>) -> ClientArgs {
+    let mut out = ClientArgs {
+        connect: None,
+        job: None,
+        mode: JobMode::V1,
+        bound: None,
+        strategy: None,
+        symbolic: Vec::new(),
+        verbose: false,
+        files: Vec::new(),
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => out.connect = Some(args.next().unwrap_or_else(|| usage())),
+            "--job" => {
+                out.job = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--mode" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                out.mode = JobMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown mode `{v}`");
+                    usage()
+                });
+            }
+            "--bound" => {
+                out.bound = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--strategy" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                out.strategy = Some(StrategyKind::parse(&v).unwrap_or_else(|| usage()));
+            }
+            "--symbolic" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                // Repeated --symbolic flags accumulate.
+                out.symbolic.extend(parse_regs(&v));
+            }
+            "--verbose" => out.verbose = true,
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => out.files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn connect(args: &ClientArgs) -> Client {
+    let Some(path) = args.connect.as_deref() else {
+        eprintln!("missing --connect SOCK");
+        usage();
+    };
+    match Client::connect(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("--connect {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Print one line, tolerating a closed stdout (`... | head` closes the
+/// pipe mid-output; that must end output quietly, not panic).
+fn out(line: std::fmt::Arguments<'_>) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+macro_rules! outln {
+    ($($arg:tt)*) => { out(format_args!($($arg)*)) };
+}
+
+fn print_stats(stats: &ServiceStats) {
+    outln!(
+        "jobs: {} submitted, {} done, {} failed, {} queued",
+        stats.jobs_submitted, stats.jobs_done, stats.jobs_failed, stats.queued
+    );
+    outln!(
+        "epochs_retired: {} ({} jobs since; last warm-start {} nodes, {} verdicts)",
+        stats.epochs_retired,
+        stats.jobs_since_retire,
+        stats.last_reload_nodes,
+        stats.last_reload_verdicts
+    );
+    outln!(
+        "arena: {} nodes (epoch {})",
+        stats.arena_nodes, stats.arena_epoch
+    );
+    outln!(
+        "memo: {} entries (cap {}), {} hits / {} misses, {} evicted, {} stale",
+        stats.memo_entries,
+        stats.memo_capacity,
+        stats.memo_hits,
+        stats.memo_misses,
+        stats.memo_evicted,
+        stats.memo_stale_dropped
+    );
+}
+
+fn print_view(label: &str, view: &pitchfork::client::JobView, verbose: bool) -> bool {
+    match (&view.verdict, &view.stats) {
+        (Some(verdict), Some(stats)) => {
+            outln!(
+                "{}",
+                report_line(
+                    label,
+                    verdict,
+                    stats.states,
+                    stats.schedules,
+                    stats.strategy,
+                    stats.truncated,
+                )
+            );
+            outln!(
+                "  memo: {} hits / {} misses; first witness at {:?} states",
+                stats.solver_memo_hits, stats.solver_memo_misses, stats.first_witness_states
+            );
+            if verbose {
+                for v in &view.violations {
+                    outln!("  violation: {} near program point {}", v.observation, v.pc);
+                    outln!("    schedule: {}", v.schedule);
+                    for c in &v.constraints {
+                        outln!("    constraint: {c}");
+                    }
+                }
+            }
+            verdict.is_insecure()
+        }
+        _ => {
+            outln!(
+                "{label}: {}{}",
+                view.status,
+                view.error
+                    .as_deref()
+                    .map(|e| format!(" ({e})"))
+                    .unwrap_or_default()
+            );
+            false
+        }
+    }
+}
+
+fn run_submit(args: Vec<String>) -> ExitCode {
+    let args = parse_client_args(args);
+    if args.files.is_empty() {
+        eprintln!("submit: no files");
+        usage();
+    }
+    let mut client = connect(&args);
+    let spec = JobSpec {
+        mode: args.mode,
+        bound: args.bound,
+        strategy: args.strategy,
+        symbolic: args.symbolic.clone(),
+    };
+    let mut ids = Vec::new();
+    for file in &args.files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match client.submit_source(file.clone(), source, spec.clone()) {
+            Ok(id) => ids.push((file.clone(), id)),
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut any_violation = false;
+    let mut any_failed = false;
+    for (file, id) in ids {
+        match client.wait(id, Duration::from_secs(120)) {
+            Ok(view) => {
+                any_violation |= print_view(&file, &view, args.verbose);
+                any_failed |= view.error.is_some();
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if any_failed {
+        ExitCode::from(2)
+    } else if any_violation {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_status(args: Vec<String>) -> ExitCode {
+    let args = parse_client_args(args);
+    let Some(job) = args.job else {
+        eprintln!("missing --job ID");
+        usage();
+    };
+    let mut client = connect(&args);
+    match client.status(JobId::from_u64(job)) {
+        Ok(view) => {
+            let flagged = print_view(&format!("job {job}"), &view, args.verbose);
+            // Exit codes mirror `submit`: 2 for a failed job, 1 for a
+            // flagged one, 0 otherwise — scripts can tell "secure"
+            // from "failed" without parsing output.
+            if view.status == pitchfork::service::JobStatus::Failed {
+                ExitCode::from(2)
+            } else if flagged {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("status: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_events(args: Vec<String>) -> ExitCode {
+    let args = parse_client_args(args);
+    let Some(job) = args.job else {
+        eprintln!("missing --job ID");
+        usage();
+    };
+    let mut client = connect(&args);
+    let result = client.stream_events(JobId::from_u64(job), 0, |event| match event {
+        OwnedEvent::StateExpanded {
+            states,
+            frontier,
+            rob_depth,
+        } => outln!("state-expanded: {states} states, frontier {frontier}, rob {rob_depth}"),
+        OwnedEvent::ViolationFound {
+            states,
+            pc,
+            observation,
+        } => outln!("violation-found: {observation} near pc {pc} after {states} states"),
+        OwnedEvent::ItemFinished {
+            name,
+            flagged,
+            states,
+        } => outln!("item-finished: {name} flagged={flagged} ({states} states)"),
+        OwnedEvent::EpochRetired { epoch, rehydrated } => {
+            outln!("epoch-retired: epoch {epoch}, {rehydrated} nodes rehydrated")
+        }
+    });
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("events: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_simple_verb(args: Vec<String>, verb: &str) -> ExitCode {
+    let args = parse_client_args(args);
+    let mut client = connect(&args);
+    let result = match verb {
+        "stats" => client.stats(),
+        "retire" => client.retire(),
+        "shutdown" => client.shutdown(),
+        _ => unreachable!("dispatcher only passes known verbs"),
+    };
+    match result {
+        Ok(stats) => {
+            print_stats(&stats);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{verb}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--serve") => {
+            args.remove(0);
+            run_serve(args)
+        }
+        Some("submit") => {
+            args.remove(0);
+            run_submit(args)
+        }
+        Some("status") => {
+            args.remove(0);
+            run_status(args)
+        }
+        Some("events") => {
+            args.remove(0);
+            run_events(args)
+        }
+        Some(verb @ ("stats" | "retire" | "shutdown")) => {
+            let verb = verb.to_string();
+            args.remove(0);
+            run_simple_verb(args, &verb)
+        }
+        _ => run_oneshot(args),
     }
 }

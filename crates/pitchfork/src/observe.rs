@@ -50,6 +50,88 @@ pub enum Event<'a> {
     },
 }
 
+/// An [`Event`] copied out of the engine: owned, storable, and
+/// wire-ready.
+///
+/// Borrowed events reference engine state that is gone by the next
+/// step; anything that *retains* events — the
+/// [`crate::service::SessionService`] job log, the `--serve` event
+/// stream — keeps this form instead. The violation payload is reduced
+/// to its stable display pieces (program point, rendered observation);
+/// the full [`Violation`] stays on the job's report.
+/// [`crate::protocol`] serializes this type with stable field names.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OwnedEvent {
+    /// See [`Event::StateExpanded`].
+    StateExpanded {
+        /// States expanded so far in this exploration.
+        states: usize,
+        /// Frontier occupancy after the expansion.
+        frontier: usize,
+        /// Reorder-buffer occupancy of the expanded state.
+        rob_depth: usize,
+    },
+    /// See [`Event::ViolationFound`].
+    ViolationFound {
+        /// States expanded when the witness appeared.
+        states: usize,
+        /// Program point of the leak (best-effort attribution).
+        pc: u64,
+        /// The secret-labeled observation, rendered
+        /// (`sct_core::Observation`'s stable display form).
+        observation: String,
+    },
+    /// See [`Event::ItemFinished`].
+    ItemFinished {
+        /// The item's display name.
+        name: String,
+        /// Whether its report carries violations.
+        flagged: bool,
+        /// States its exploration expanded.
+        states: usize,
+    },
+    /// See [`Event::EpochRetired`].
+    EpochRetired {
+        /// The arena epoch that just ended.
+        epoch: u64,
+        /// Nodes rehydrated into the new epoch (0 without a cache).
+        rehydrated: usize,
+    },
+}
+
+impl From<&Event<'_>> for OwnedEvent {
+    fn from(event: &Event<'_>) -> Self {
+        match *event {
+            Event::StateExpanded {
+                states,
+                frontier,
+                rob_depth,
+            } => OwnedEvent::StateExpanded {
+                states,
+                frontier,
+                rob_depth,
+            },
+            Event::ViolationFound { violation, states } => OwnedEvent::ViolationFound {
+                states,
+                pc: violation.pc,
+                observation: violation.observation.to_string(),
+            },
+            Event::ItemFinished {
+                name,
+                flagged,
+                states,
+            } => OwnedEvent::ItemFinished {
+                name: name.to_string(),
+                flagged,
+                states,
+            },
+            Event::EpochRetired { epoch, rehydrated } => {
+                OwnedEvent::EpochRetired { epoch, rehydrated }
+            }
+        }
+    }
+}
+
 /// A sink for [`Event`]s.
 ///
 /// Observers are owned by the session and invoked synchronously on the
@@ -66,6 +148,11 @@ impl<F: FnMut(&Event<'_>)> Observer for F {
         self(event)
     }
 }
+
+/// The boxed observer form sessions own. `Send` because a daemon
+/// ([`crate::server`]) runs its session — observers included — on a
+/// worker thread; share state out of an observer with `Arc<Mutex<..>>`.
+pub type BoxObserver = Box<dyn Observer + Send>;
 
 /// An aggregating observer: counts per event kind and remembers the
 /// first witness, enough for progress lines and assertions without
@@ -105,7 +192,7 @@ impl Observer for EventLog {
 
 /// Fan one event out to every registered observer (the session's
 /// internal dispatcher).
-pub(crate) fn emit(observers: &mut [Box<dyn Observer>], event: Event<'_>) {
+pub(crate) fn emit(observers: &mut [BoxObserver], event: Event<'_>) {
     for obs in observers.iter_mut() {
         obs.on_event(&event);
     }

@@ -13,7 +13,8 @@
 //! * for a store-bypass (v4) violation with no branch involved, fence
 //!   immediately before the load that observed stale memory.
 
-use crate::detector::{Detector, DetectorOptions};
+use crate::detector::DetectorOptions;
+use crate::session::AnalysisSession;
 use crate::report::Report;
 use sct_core::{Config, Directive, Instr, Machine, Pc, Program};
 use std::collections::BTreeSet;
@@ -187,12 +188,12 @@ pub fn repair(
     options: DetectorOptions,
     max_rounds: usize,
 ) -> Result<Repaired, RepairError> {
-    let detector = Detector::new(options);
+    let mut session = AnalysisSession::with_options(options);
     let mut current = program.clone();
     let mut rounds = Vec::new();
     let mut inserted = 0usize;
     for _ in 0..max_rounds {
-        let report = detector.analyze(&current, config);
+        let report = session.analyze(&current, config);
         if !report.has_violations() {
             return Ok(Repaired {
                 program: current,
@@ -208,7 +209,7 @@ pub fn repair(
         current = insert_fences(&current, &points)?;
         rounds.push(points);
     }
-    let report = detector.analyze(&current, config);
+    let report = session.analyze(&current, config);
     if report.has_violations() {
         Err(RepairError::BudgetExhausted { inserted })
     } else {

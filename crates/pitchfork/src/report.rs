@@ -127,6 +127,10 @@ pub struct ExploreStats {
     pub solver_memo_hits: usize,
     /// Queries that ran the full solver pipeline.
     pub solver_memo_misses: usize,
+    /// Memoized verdicts evicted by the capacity guard while this
+    /// exploration ran (LRU by last hit; same delta-of-global caveat as
+    /// [`ExploreStats::solver_queries`]).
+    pub solver_memo_evicted: usize,
     /// `true` when exploration hit the state budget and stopped early.
     pub truncated: bool,
 }
@@ -145,6 +149,7 @@ impl Default for ExploreStats {
             solver_queries: 0,
             solver_memo_hits: 0,
             solver_memo_misses: 0,
+            solver_memo_evicted: 0,
             truncated: false,
         }
     }

@@ -1,0 +1,367 @@
+//! The `pitchfork --serve` daemon: a Unix-domain-socket front end over
+//! one [`SessionService`].
+//!
+//! std-only, thread-per-connection. One **worker** thread owns the
+//! service lock while jobs run (jobs are FIFO; the analysis session,
+//! arena, and cache are one shared substrate, so job execution is
+//! serial by design); each accepted connection gets a handler thread
+//! speaking the line-delimited JSON protocol of [`crate::protocol`].
+//! `Status` and `Events` are answered from the [`ServiceMonitor`]
+//! without touching the service lock, which is what lets a client
+//! stream events *while* a job runs. Submissions and stats wait for the
+//! lock (bounded by the running job).
+//!
+//! ```no_run
+//! use pitchfork::server::Server;
+//! use pitchfork::service::SessionService;
+//! use pitchfork::AnalysisSession;
+//!
+//! let session = AnalysisSession::builder().v1_mode(20).build().unwrap();
+//! let server = Server::bind("/tmp/pitchfork.sock", SessionService::new(session)).unwrap();
+//! server.wait(); // serves until a Shutdown request arrives
+//! ```
+
+use crate::protocol::{Request, Response, WireViolation};
+use crate::service::{JobId, JobStatus, ServiceMonitor, SessionService};
+use std::io::{BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the worker sleeps between queue polls when idle, and the
+/// event streamer between batches. Wake-ups on submit go through the
+/// condvar; this is only the fallback cadence.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+struct Shared {
+    service: Mutex<SessionService>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    monitor: ServiceMonitor,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionService> {
+        self.service.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running daemon: the bound socket, its worker, and its accept loop.
+///
+/// Dropping the handle does **not** stop the daemon; call
+/// [`Server::shutdown`] (or send a `Shutdown` request) and then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    path: PathBuf,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `path` (an existing socket file is replaced — a daemon that
+    /// crashed leaves one behind) and start serving `service`.
+    pub fn bind(path: impl AsRef<Path>, service: SessionService) -> std::io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        // Non-blocking accept: the loop polls the shutdown flag between
+        // attempts, so `Shutdown` works without a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let monitor = service.monitor();
+        let shared = Arc::new(Shared {
+            service: Mutex::new(service),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            monitor,
+        });
+
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pitchfork-worker".into())
+                .spawn(move || worker_loop(&shared))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pitchfork-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        Ok(Server {
+            shared,
+            path,
+            accept: Some(accept),
+            worker: Some(worker),
+        })
+    }
+
+    /// The socket path the daemon listens on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Ask the daemon to stop: no new connections; the worker drains
+    /// the queue and exits.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work.notify_all();
+    }
+
+    /// `true` until a `Shutdown` request or [`Server::shutdown`] call.
+    pub fn is_running(&self) -> bool {
+        !self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the daemon stops, then remove the socket file.
+    pub fn wait(mut self) {
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut service = shared.lock();
+    loop {
+        if service.has_pending() {
+            service.run_next();
+            // Release the lock between jobs so waiting Submit/Stats/
+            // Retire handlers get a turn — a deep queue must not make
+            // every other request wait for the whole drain ("bounded
+            // by the running job", not by the backlog).
+            drop(service);
+            std::thread::yield_now();
+            service = shared.lock();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let (guard, _) = shared
+            .work
+            .wait_timeout(service, IDLE_POLL)
+            .unwrap_or_else(PoisonError::into_inner);
+        service = guard;
+    }
+}
+
+fn accept_loop(listener: UnixListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("pitchfork-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &shared);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => {
+                // Transient accept failures (EINTR, EMFILE under fd
+                // pressure) must not kill the daemon's front door: back
+                // off and keep accepting. The loop only exits via the
+                // shutdown flag checked above.
+                std::thread::sleep(IDLE_POLL);
+            }
+        }
+    }
+}
+
+fn write_line(stream: &mut UnixStream, response: &Response) -> std::io::Result<()> {
+    let mut line = response.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Build the `Verdicts` response for a job from the monitor's record
+/// snapshot — no service lock, so it works mid-run.
+fn verdicts_response(monitor: &ServiceMonitor, id: u64) -> Response {
+    match monitor.job_record(JobId::from_u64(id)) {
+        None => Response::Error {
+            message: format!("unknown job {id}"),
+        },
+        Some(record) => {
+            let (verdict, stats, violations) = match &record.report {
+                Some(report) => (
+                    Some(report.verdict()),
+                    Some(report.stats),
+                    report.violations.iter().map(WireViolation::from).collect(),
+                ),
+                None => (None, None, Vec::new()),
+            };
+            Response::Verdicts {
+                id,
+                status: record.status,
+                verdict,
+                stats,
+                violations,
+                error: record.error,
+            }
+        }
+    }
+}
+
+/// Serve one connection until the client hangs up (or the daemon shuts
+/// down). Garbage lines get [`Response::Error`] and the connection
+/// stays usable; an oversized line ([`crate::protocol::read_line_capped`]
+/// bounds buffering, so newline-less floods cost bounded memory, not
+/// daemon OOM) gets the error and then the connection closes — the
+/// stream is desynced mid-line.
+fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    use crate::protocol::{read_line_capped, CappedLine};
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let line = match read_line_capped(&mut reader)? {
+            CappedLine::Line(line) => line,
+            CappedLine::Eof => return Ok(()),
+            CappedLine::Overflow => {
+                write_line(
+                    &mut writer,
+                    &Response::Error {
+                        message: "line exceeds size limit".into(),
+                    },
+                )?;
+                return Ok(());
+            }
+        };
+        let Ok(text) = String::from_utf8(line) else {
+            write_line(
+                &mut writer,
+                &Response::Error {
+                    message: "invalid UTF-8".into(),
+                },
+            )?;
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                write_line(&mut writer, &Response::Error { message: e.to_string() })?;
+                continue;
+            }
+        };
+        match request {
+            Request::Submit { name, source, spec } => {
+                let id = {
+                    let mut service = shared.lock();
+                    service.submit_source(name, &source, spec)
+                };
+                shared.work.notify_all();
+                write_line(&mut writer, &Response::Accepted { id: id.as_u64() })?;
+            }
+            Request::Status { id } => {
+                write_line(&mut writer, &verdicts_response(&shared.monitor, id))?;
+            }
+            Request::Events { id, since } => {
+                stream_events(&mut writer, shared, id, since)?;
+            }
+            Request::Stats => {
+                let stats = shared.lock().stats();
+                write_line(&mut writer, &Response::Stats { stats })?;
+            }
+            Request::Retire => {
+                let response = {
+                    let mut service = shared.lock();
+                    match service.retire() {
+                        Ok(_) => Response::Stats {
+                            stats: service.stats(),
+                        },
+                        Err(e) => Response::Error {
+                            message: format!("retire failed: {e}"),
+                        },
+                    }
+                };
+                write_line(&mut writer, &response)?;
+            }
+            Request::Shutdown => {
+                let stats = shared.lock().stats();
+                write_line(&mut writer, &Response::Stats { stats })?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.work.notify_all();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Stream a job's events as `EventBatch` lines until the job is
+/// terminal and its log drained. Served entirely from the monitor, so
+/// batches flow while the worker analyzes.
+fn stream_events(
+    writer: &mut UnixStream,
+    shared: &Arc<Shared>,
+    id: u64,
+    since: u64,
+) -> std::io::Result<()> {
+    let job = JobId::from_u64(id);
+    let mut cursor = since as usize;
+    loop {
+        // Status before events: a job whose status reads terminal has
+        // already logged its last event, so the events read that
+        // *follows* is guaranteed complete (the reverse order could
+        // miss events appended between the two reads).
+        let status = shared.monitor.status(job).unwrap_or(JobStatus::Failed);
+        let Some((events, next)) = shared.monitor.events_since(job, cursor) else {
+            return write_line(
+                writer,
+                &Response::Error {
+                    message: format!("unknown job {id}"),
+                },
+            );
+        };
+        let done = status.is_terminal();
+        let had_events = !events.is_empty();
+        if had_events || done {
+            write_line(
+                writer,
+                &Response::EventBatch {
+                    id,
+                    events,
+                    next: next as u64,
+                    done,
+                },
+            )?;
+        }
+        if done {
+            return Ok(());
+        }
+        cursor = next;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The daemon is going away; close the stream with a final
+            // (possibly empty) terminal batch.
+            return write_line(
+                writer,
+                &Response::EventBatch {
+                    id,
+                    events: Vec::new(),
+                    next: cursor as u64,
+                    done: true,
+                },
+            );
+        }
+        if !had_events {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+}

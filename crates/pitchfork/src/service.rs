@@ -1,0 +1,877 @@
+//! The service-oriented job model: submit programs as [`Job`]s, run
+//! them FIFO through one long-lived [`crate::AnalysisSession`], and
+//! read back typed results, events, and service statistics.
+//!
+//! [`SessionService`] is the in-process form of the daemon: it owns the
+//! session, the request queue, and the epoch-retire policy
+//! ([`RetirePolicy`] — retire + warm-start every N jobs or at M arena
+//! nodes), and every future transport plugs into it —
+//! [`crate::server`] wraps one in a mutex behind a Unix socket, the
+//! examples drive one directly. Where [`AnalysisSession::analyze`]
+//! answers synchronously, the service answers in job lifecycle terms:
+//! [`JobStatus::Queued`] → [`JobStatus::Running`] → [`JobStatus::Done`]
+//! (or [`JobStatus::Failed`]), with an [`OwnedEvent`] log per job that
+//! a server can stream while the job runs.
+//!
+//! ```
+//! use pitchfork::service::{Job, SessionService};
+//! use pitchfork::AnalysisSession;
+//! use sct_core::examples::fig1;
+//!
+//! let session = AnalysisSession::builder().v1_mode(16).build().unwrap();
+//! let mut service = SessionService::new(session);
+//! let (program, config) = fig1();
+//! let id = service.submit(Job::new("fig1", program, config));
+//! service.run_pending();
+//! let record = service.record(id).unwrap();
+//! assert!(record.report.as_ref().unwrap().verdict().is_insecure());
+//! ```
+
+use crate::detector::DetectorOptions;
+use crate::observe::{Event, OwnedEvent};
+use crate::report::Report;
+use crate::session::AnalysisSession;
+use crate::strategy::StrategyKind;
+use sct_core::{Config, Program, Reg};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A service-assigned job identifier, unique within one
+/// [`SessionService`] (and one daemon): the handle every status, event,
+/// and verdict request names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// The wire form (protocol messages carry the bare number).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an id received over the wire.
+    pub fn from_u64(id: u64) -> JobId {
+        JobId(id)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {}", self.0)
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobStatus {
+    /// Accepted, waiting in the FIFO queue.
+    Queued,
+    /// The session is analyzing it now.
+    Running,
+    /// Finished; the record holds a [`Report`].
+    Done,
+    /// Rejected or aborted; the record holds an error message.
+    Failed,
+}
+
+impl JobStatus {
+    /// The stable wire name (`queued`, `running`, `done`, `failed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Parse a wire name (the inverse of [`JobStatus::name`]).
+    pub fn parse(name: &str) -> Option<JobStatus> {
+        [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+        ]
+        .into_iter()
+        .find(|s| s.name() == name)
+    }
+
+    /// `true` once the job will never change again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// The detector mode a job runs under — the typed form of the CLI's
+/// mode flags, with stable wire names.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum JobMode {
+    /// Spectre v1/v1.1 (no forwarding hazards).
+    #[default]
+    V1,
+    /// Spectre v4 (forwarding hazards).
+    V4,
+    /// Aliasing-predictor extension.
+    Alias,
+    /// Spectre v2 (mistrained indirect jumps) extension.
+    V2,
+}
+
+impl JobMode {
+    /// The stable wire name (`v1`, `v4`, `alias`, `v2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobMode::V1 => "v1",
+            JobMode::V4 => "v4",
+            JobMode::Alias => "alias",
+            JobMode::V2 => "v2",
+        }
+    }
+
+    /// Parse a wire name (the inverse of [`JobMode::name`]).
+    pub fn parse(name: &str) -> Option<JobMode> {
+        [JobMode::V1, JobMode::V4, JobMode::Alias, JobMode::V2]
+            .into_iter()
+            .find(|m| m.name() == name.trim())
+    }
+
+    /// The detector options this mode denotes at `bound`.
+    pub fn options(self, bound: usize) -> DetectorOptions {
+        match self {
+            JobMode::V1 => DetectorOptions::v1_mode(bound),
+            JobMode::V4 => DetectorOptions::v4_mode(bound),
+            JobMode::Alias => DetectorOptions::alias_mode(bound),
+            JobMode::V2 => DetectorOptions::v2_mode(bound),
+        }
+    }
+}
+
+impl fmt::Display for JobMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// Per-job analysis options: mode, bound, frontier order, and
+/// symbolized registers. `None` fields inherit the session's setting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Detector mode.
+    pub mode: JobMode,
+    /// Speculation-bound override (`None` = the session's bound).
+    pub bound: Option<usize>,
+    /// Frontier-order override (`None` = the session's strategy).
+    pub strategy: Option<StrategyKind>,
+    /// Registers replaced by fresh symbolic inputs.
+    pub symbolic: Vec<Reg>,
+}
+
+/// One unit of work: a program, its initial configuration, and the
+/// options to analyze it under.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Display name (file name, corpus entry, ...).
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The initial configuration.
+    pub config: Config,
+    /// Analysis options.
+    pub spec: JobSpec,
+}
+
+impl Job {
+    /// A job with default options (the session's mode and bound).
+    pub fn new(name: impl Into<String>, program: Program, config: Config) -> Job {
+        Job {
+            name: name.into(),
+            program,
+            config,
+            spec: JobSpec::default(),
+        }
+    }
+
+    /// A job with explicit options.
+    pub fn with_spec(
+        name: impl Into<String>,
+        program: Program,
+        config: Config,
+        spec: JobSpec,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            program,
+            config,
+            spec,
+        }
+    }
+
+    /// Assemble a job from `.sasm` source text — the form jobs arrive
+    /// in over the wire (`Request::Submit` carries source, not
+    /// structs). Errors render the assembler diagnostic.
+    pub fn from_source(
+        name: impl Into<String>,
+        source: &str,
+        spec: JobSpec,
+    ) -> Result<Job, sct_asm::AsmError> {
+        let asm = sct_asm::assemble(source)?;
+        Ok(Job {
+            name: name.into(),
+            program: asm.program,
+            config: asm.config,
+            spec,
+        })
+    }
+}
+
+/// A snapshot of what a job has produced so far: its lifecycle state,
+/// and the report or error once terminal.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job's display name.
+    pub name: String,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// The analysis report, once [`JobStatus::Done`].
+    pub report: Option<Report>,
+    /// The failure message, once [`JobStatus::Failed`].
+    pub error: Option<String>,
+}
+
+/// When the service retires the session's arena epoch (save snapshot →
+/// retire → warm-start; see [`AnalysisSession::retire`]). Both triggers
+/// are checked after each job; `None` disables a trigger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetirePolicy {
+    /// Retire after this many completed jobs since the last retirement.
+    pub every_jobs: Option<usize>,
+    /// Retire once the process arena holds at least this many nodes.
+    pub max_arena_nodes: Option<usize>,
+}
+
+impl RetirePolicy {
+    /// Retirement disabled (explicit [`SessionService::retire`] calls
+    /// and `Retire` requests still work).
+    pub fn never() -> RetirePolicy {
+        RetirePolicy::default()
+    }
+
+    /// Retire every `jobs` completed jobs.
+    pub fn every_jobs(jobs: usize) -> RetirePolicy {
+        RetirePolicy {
+            every_jobs: Some(jobs),
+            max_arena_nodes: None,
+        }
+    }
+
+    fn due(&self, jobs_since: usize, arena_nodes: usize) -> bool {
+        self.every_jobs.is_some_and(|n| jobs_since >= n.max(1))
+            || self.max_arena_nodes.is_some_and(|n| arena_nodes >= n)
+    }
+}
+
+/// Aggregate service counters — the payload of the wire `Stats`
+/// response, flat and `Copy` so it serializes stably.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs ever submitted (accepted or failed at submission).
+    pub jobs_submitted: u64,
+    /// Jobs finished with a report.
+    pub jobs_done: u64,
+    /// Jobs failed (submission rejects included).
+    pub jobs_failed: u64,
+    /// Jobs currently queued (running job excluded).
+    pub queued: u64,
+    /// Arena epochs retired by this service's session.
+    pub epochs_retired: u64,
+    /// Jobs completed since the last retirement.
+    pub jobs_since_retire: u64,
+    /// Live expression-arena nodes.
+    pub arena_nodes: u64,
+    /// Current arena epoch.
+    pub arena_epoch: u64,
+    /// Verdicts currently memoized.
+    pub memo_entries: u64,
+    /// The verdict-memo capacity cap.
+    pub memo_capacity: u64,
+    /// Cumulative memo hits (process-wide).
+    pub memo_hits: u64,
+    /// Cumulative memo misses (process-wide).
+    pub memo_misses: u64,
+    /// Cumulative memo evictions by the capacity guard.
+    pub memo_evicted: u64,
+    /// Cumulative memo entries dropped as stale.
+    pub memo_stale_dropped: u64,
+    /// Nodes the most recent retirement warm-started (0 when cold).
+    pub last_reload_nodes: u64,
+    /// Verdicts the most recent retirement warm-started.
+    pub last_reload_verdicts: u64,
+}
+
+/// Cap on retained events per job: one event per expanded state adds
+/// up, and the daemon is resident. Beyond the cap, events are counted
+/// but not stored (the terminal `ItemFinished` is always kept), so
+/// cursors stay monotonic and streams still close cleanly.
+pub const MAX_EVENTS_PER_JOB: usize = 100_000;
+
+/// Cap on retained job records. When exceeded, the oldest *terminal*
+/// records are dropped (their ids then answer "unknown job") — queued
+/// and running jobs are never evicted. Together with
+/// [`MAX_EVENTS_PER_JOB`] this bounds monitor *growth* per job and the
+/// job count; it is not a hard aggregate byte budget (4k retained
+/// reports of large analyses are still real memory — size the caps to
+/// the deployment, or retire records faster via a smaller cap).
+pub const MAX_RETAINED_JOBS: usize = 4_096;
+
+/// Per-job shared state: the record fields plus the event log.
+struct JobEntry {
+    name: String,
+    status: JobStatus,
+    report: Option<Report>,
+    error: Option<String>,
+    events: Vec<OwnedEvent>,
+    /// Events dropped past [`MAX_EVENTS_PER_JOB`].
+    events_dropped: usize,
+}
+
+struct MonitorInner {
+    jobs: BTreeMap<u64, JobEntry>,
+    /// The job currently analyzing (events are appended to it).
+    current: Option<u64>,
+    /// Events outside any job (epoch retirements between jobs).
+    service_events: Vec<OwnedEvent>,
+}
+
+/// A cheap, clonable view of job records and event logs — the
+/// authoritative store for everything a job *produces*.
+///
+/// The monitor exists so a server can answer `Status` and stream
+/// `Events` **while a job is running**: the worker holds the
+/// [`SessionService`] itself for the duration of an analysis, but the
+/// monitor is only locked for the microseconds an event append or a
+/// record read takes.
+#[derive(Clone)]
+pub struct ServiceMonitor {
+    inner: Arc<Mutex<MonitorInner>>,
+}
+
+impl ServiceMonitor {
+    fn new() -> ServiceMonitor {
+        ServiceMonitor {
+            inner: Arc::new(Mutex::new(MonitorInner {
+                jobs: BTreeMap::new(),
+                current: None,
+                service_events: Vec::new(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MonitorInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn add_job(&self, id: JobId, name: String, status: JobStatus, error: Option<String>) {
+        let mut inner = self.lock();
+        // Retention bound: evict the oldest terminal records first (ids
+        // are monotonic, so BTreeMap order is age order). Live jobs are
+        // never evicted.
+        while inner.jobs.len() >= MAX_RETAINED_JOBS {
+            let Some((&oldest, _)) = inner
+                .jobs
+                .iter()
+                .find(|(_, j)| j.status.is_terminal())
+            else {
+                break;
+            };
+            inner.jobs.remove(&oldest);
+        }
+        inner.jobs.insert(
+            id.as_u64(),
+            JobEntry {
+                name,
+                status,
+                report: None,
+                error,
+                events: Vec::new(),
+                events_dropped: 0,
+            },
+        );
+    }
+
+    fn set_status(&self, id: JobId, status: JobStatus) {
+        if let Some(j) = self.lock().jobs.get_mut(&id.as_u64()) {
+            j.status = status;
+        }
+    }
+
+    fn finish(&self, id: JobId, report: Report) {
+        if let Some(j) = self.lock().jobs.get_mut(&id.as_u64()) {
+            j.status = JobStatus::Done;
+            j.report = Some(report);
+        }
+    }
+
+    fn set_current(&self, id: Option<JobId>) {
+        self.lock().current = id.map(JobId::as_u64);
+    }
+
+    fn record_event(&self, event: OwnedEvent) {
+        let mut inner = self.lock();
+        match inner.current {
+            Some(id) => {
+                if let Some(j) = inner.jobs.get_mut(&id) {
+                    // Per-job cap: count overflow instead of storing it,
+                    // but always keep the terminal `ItemFinished` so
+                    // streams close on a real event.
+                    if j.events.len() < MAX_EVENTS_PER_JOB
+                        || matches!(event, OwnedEvent::ItemFinished { .. })
+                    {
+                        j.events.push(event);
+                    } else {
+                        j.events_dropped += 1;
+                    }
+                }
+            }
+            None => {
+                if inner.service_events.len() < MAX_EVENTS_PER_JOB {
+                    inner.service_events.push(event);
+                }
+            }
+        }
+    }
+
+    /// The mirrored status of a job (`None` for unknown ids).
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.lock().jobs.get(&id.as_u64()).map(|j| j.status)
+    }
+
+    /// A snapshot of a job's record (`None` for unknown ids).
+    pub fn job_record(&self, id: JobId) -> Option<JobRecord> {
+        let inner = self.lock();
+        let j = inner.jobs.get(&id.as_u64())?;
+        Some(JobRecord {
+            name: j.name.clone(),
+            status: j.status,
+            report: j.report.clone(),
+            error: j.error.clone(),
+        })
+    }
+
+    /// Events logged for a job from index `since` on, together with the
+    /// next cursor. `None` for unknown ids; an empty batch means
+    /// nothing new yet.
+    pub fn events_since(&self, id: JobId, since: usize) -> Option<(Vec<OwnedEvent>, usize)> {
+        let inner = self.lock();
+        let j = inner.jobs.get(&id.as_u64())?;
+        let start = since.min(j.events.len());
+        Some((j.events[start..].to_vec(), j.events.len()))
+    }
+
+    /// Events logged for a job so far.
+    pub fn event_count(&self, id: JobId) -> Option<usize> {
+        self.lock().jobs.get(&id.as_u64()).map(|j| j.events.len())
+    }
+
+    /// Events a job lost to the [`MAX_EVENTS_PER_JOB`] retention cap
+    /// (0 for ordinary jobs).
+    pub fn events_dropped(&self, id: JobId) -> Option<usize> {
+        self.lock().jobs.get(&id.as_u64()).map(|j| j.events_dropped)
+    }
+
+    /// Service-level events (epoch retirements between jobs) from index
+    /// `since` on, with the next cursor.
+    pub fn service_events_since(&self, since: usize) -> (Vec<OwnedEvent>, usize) {
+        let inner = self.lock();
+        let start = since.min(inner.service_events.len());
+        (
+            inner.service_events[start..].to_vec(),
+            inner.service_events.len(),
+        )
+    }
+}
+
+/// A long-lived analysis service: one [`AnalysisSession`], a FIFO job
+/// queue, and the epoch-retire policy.
+///
+/// The service is single-threaded by design — [`SessionService::submit`]
+/// enqueues, [`SessionService::run_next`] /
+/// [`SessionService::run_pending`] execute — because the session's
+/// arena, cache binding, and epoch lifecycle are one shared substrate;
+/// concurrency lives in the transport ([`crate::server`] runs the
+/// service on a worker thread and serves status/event reads from the
+/// [`ServiceMonitor`]).
+pub struct SessionService {
+    session: AnalysisSession,
+    monitor: ServiceMonitor,
+    queue: VecDeque<(JobId, Job)>,
+    next_id: u64,
+    policy: RetirePolicy,
+    jobs_since_retire: usize,
+    jobs_done: u64,
+    jobs_failed: u64,
+    jobs_submitted: u64,
+    last_reload: Option<sct_cache::LoadStats>,
+    last_retire_error: Option<String>,
+}
+
+impl SessionService {
+    /// A service over `session` with retirement disabled.
+    pub fn new(session: AnalysisSession) -> SessionService {
+        SessionService::with_policy(session, RetirePolicy::never())
+    }
+
+    /// A service over `session` retiring per `policy`.
+    pub fn with_policy(mut session: AnalysisSession, policy: RetirePolicy) -> SessionService {
+        let monitor = ServiceMonitor::new();
+        let tap = monitor.clone();
+        session.observe(Box::new(move |e: &Event<'_>| {
+            tap.record_event(OwnedEvent::from(e))
+        }));
+        SessionService {
+            session,
+            monitor,
+            queue: VecDeque::new(),
+            next_id: 1,
+            policy,
+            jobs_since_retire: 0,
+            jobs_done: 0,
+            jobs_failed: 0,
+            jobs_submitted: 0,
+            last_reload: None,
+            last_retire_error: None,
+        }
+    }
+
+    /// The wrapped session (options, cache binding, epoch counters).
+    pub fn session(&self) -> &AnalysisSession {
+        &self.session
+    }
+
+    /// The monitor handle a transport clones to answer status and event
+    /// reads while jobs run.
+    pub fn monitor(&self) -> ServiceMonitor {
+        self.monitor.clone()
+    }
+
+    /// The active retire policy.
+    pub fn policy(&self) -> RetirePolicy {
+        self.policy
+    }
+
+    fn fresh_id(&mut self) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Enqueue a job; it runs when [`SessionService::run_next`] reaches
+    /// it (FIFO).
+    pub fn submit(&mut self, job: Job) -> JobId {
+        let id = self.fresh_id();
+        self.jobs_submitted += 1;
+        self.monitor
+            .add_job(id, job.name.clone(), JobStatus::Queued, None);
+        self.queue.push_back((id, job));
+        id
+    }
+
+    /// Assemble `source` and enqueue it. A source that does not
+    /// assemble still gets an id — its record is immediately
+    /// [`JobStatus::Failed`] with the assembler diagnostic, so clients
+    /// can query why.
+    pub fn submit_source(
+        &mut self,
+        name: impl Into<String>,
+        source: &str,
+        spec: JobSpec,
+    ) -> JobId {
+        let name = name.into();
+        match Job::from_source(name.clone(), source, spec) {
+            Ok(job) => self.submit(job),
+            Err(e) => {
+                let id = self.fresh_id();
+                self.jobs_submitted += 1;
+                self.jobs_failed += 1;
+                self.monitor
+                    .add_job(id, name, JobStatus::Failed, Some(e.to_string()));
+                id
+            }
+        }
+    }
+
+    /// `true` when jobs are waiting.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A snapshot of a job's record (status, report once done, error if
+    /// failed).
+    pub fn record(&self, id: JobId) -> Option<JobRecord> {
+        self.monitor.job_record(id)
+    }
+
+    /// The job's status (`None` for unknown ids).
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        self.monitor.status(id)
+    }
+
+    /// Run the oldest queued job to completion, then apply the retire
+    /// policy. Returns the job's id, or `None` when the queue is empty.
+    pub fn run_next(&mut self) -> Option<JobId> {
+        let (id, job) = self.queue.pop_front()?;
+        self.monitor.set_status(id, JobStatus::Running);
+        self.monitor.set_current(Some(id));
+
+        // Per-job overrides are scoped to the job: snapshot the
+        // session's options (the daemon's configured defaults) and
+        // restore them afterwards, so one job's `--bound 12` or v4 mode
+        // never leaks into the next job's "inherit the session" case.
+        let saved_options = *self.session.options();
+        let bound = job.spec.bound.unwrap_or(saved_options.explorer.spec_bound);
+        self.session.set_options(job.spec.mode.options(bound));
+        if let Some(s) = job.spec.strategy {
+            self.session.set_strategy(s);
+        }
+        let report = self
+            .session
+            .analyze_symbolic(&job.program, &job.config, &job.spec.symbolic);
+        self.session.set_options(saved_options);
+        self.session.set_strategy(saved_options.explorer.strategy);
+
+        self.jobs_done += 1;
+        self.jobs_since_retire += 1;
+        // Apply the retire policy while this job is still `current`, so
+        // the `EpochRetired` event lands in the *triggering job's* log
+        // — per-job streams are the only events a daemon client can
+        // subscribe to, and they must show the retirements their jobs
+        // cause. The terminal `ItemFinished` follows it, and only then
+        // does the status flip to Done (streamers that read a terminal
+        // status are guaranteed the complete log).
+        if self
+            .policy
+            .due(self.jobs_since_retire, sct_symx::arena_stats().nodes)
+        {
+            if let Err(e) = self.retire() {
+                // The job itself succeeded; remember the lifecycle
+                // failure for the next stats/error query instead of
+                // failing the job.
+                self.last_retire_error = Some(e.to_string());
+            }
+        }
+        self.monitor.record_event(OwnedEvent::ItemFinished {
+            name: job.name.clone(),
+            flagged: report.has_violations(),
+            states: report.stats.states,
+        });
+        self.monitor.set_current(None);
+        self.monitor.finish(id, report);
+        Some(id)
+    }
+
+    /// Drain the queue; returns how many jobs ran.
+    pub fn run_pending(&mut self) -> usize {
+        let mut n = 0;
+        while self.run_next().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Retire the session's arena epoch now (snapshot save → retire →
+    /// warm-start; see [`AnalysisSession::retire`]) and reset the
+    /// policy's job counter.
+    pub fn retire(&mut self) -> Result<Option<sct_cache::LoadStats>, sct_cache::CacheError> {
+        let reload = self.session.retire()?;
+        self.jobs_since_retire = 0;
+        self.last_reload = reload;
+        self.last_retire_error = None;
+        Ok(reload)
+    }
+
+    /// The most recent policy-triggered retirement failure, if any
+    /// (cleared by a successful [`SessionService::retire`]).
+    pub fn last_retire_error(&self) -> Option<&str> {
+        self.last_retire_error.as_deref()
+    }
+
+    /// Aggregate counters (the wire `Stats` payload).
+    pub fn stats(&self) -> ServiceStats {
+        let arena = sct_symx::arena_stats();
+        let memo = sct_symx::solver_memo_stats();
+        ServiceStats {
+            jobs_submitted: self.jobs_submitted,
+            jobs_done: self.jobs_done,
+            jobs_failed: self.jobs_failed,
+            queued: self.queue.len() as u64,
+            epochs_retired: self.session.epochs_retired() as u64,
+            jobs_since_retire: self.jobs_since_retire as u64,
+            arena_nodes: arena.nodes as u64,
+            arena_epoch: arena.epoch,
+            memo_entries: memo.entries as u64,
+            memo_capacity: memo.capacity as u64,
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_evicted: memo.evicted,
+            memo_stale_dropped: memo.stale_dropped,
+            last_reload_nodes: self.last_reload.map_or(0, |l| l.added as u64),
+            last_reload_verdicts: self.last_reload.map_or(0, |l| l.verdicts_imported as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Verdict;
+    use sct_core::examples::fig1;
+
+    fn service() -> SessionService {
+        SessionService::new(
+            AnalysisSession::builder()
+                .v1_mode(16)
+                .build()
+                .expect("uncached session"),
+        )
+    }
+
+    #[test]
+    fn job_lifecycle_queued_running_done() {
+        let mut svc = service();
+        let (p, cfg) = fig1();
+        let id = svc.submit(Job::new("fig1", p, cfg));
+        assert_eq!(svc.status(id), Some(JobStatus::Queued));
+        assert!(svc.has_pending());
+        assert_eq!(svc.run_next(), Some(id));
+        let rec = svc.record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Done);
+        assert!(matches!(
+            rec.report.as_ref().unwrap().verdict(),
+            Verdict::Insecure { .. }
+        ));
+        assert!(!svc.has_pending());
+        assert_eq!(svc.stats().jobs_done, 1);
+    }
+
+    #[test]
+    fn jobs_run_fifo() {
+        let mut svc = service();
+        let (p, cfg) = fig1();
+        let a = svc.submit(Job::new("a", p.clone(), cfg.clone()));
+        let b = svc.submit(Job::new("b", p, cfg));
+        assert_eq!(svc.run_next(), Some(a));
+        assert_eq!(svc.status(b), Some(JobStatus::Queued));
+        assert_eq!(svc.run_next(), Some(b));
+        assert_eq!(svc.run_next(), None);
+    }
+
+    #[test]
+    fn bad_source_fails_with_diagnostic() {
+        let mut svc = service();
+        let id = svc.submit_source("garbage", "not an instruction !!!", JobSpec::default());
+        let rec = svc.record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Failed);
+        assert!(rec.error.is_some());
+        assert_eq!(svc.stats().jobs_failed, 1);
+        // Failed submissions never enter the queue.
+        assert_eq!(svc.run_next(), None);
+    }
+
+    #[test]
+    fn submit_source_runs_like_direct_analysis() {
+        let mut svc = service();
+        let (p, cfg) = fig1();
+        let source = sct_asm::disassemble_with(&p, Some(&cfg));
+        let id = svc.submit_source("fig1", &source, JobSpec::default());
+        svc.run_pending();
+        let via_service = svc.record(id).unwrap().report.clone().unwrap();
+        let mut session = AnalysisSession::builder().v1_mode(16).build().unwrap();
+        let direct = session.analyze(&p, &cfg);
+        assert_eq!(via_service.verdict(), direct.verdict());
+        assert_eq!(via_service.stats.states, direct.stats.states);
+    }
+
+    #[test]
+    fn monitor_streams_events_and_statuses() {
+        let mut svc = service();
+        let monitor = svc.monitor();
+        let (p, cfg) = fig1();
+        let id = svc.submit(Job::new("fig1", p, cfg));
+        assert_eq!(monitor.status(id), Some(JobStatus::Queued));
+        svc.run_pending();
+        assert_eq!(monitor.status(id), Some(JobStatus::Done));
+        let (events, next) = monitor.events_since(id, 0).unwrap();
+        assert_eq!(next, events.len());
+        let states = svc.record(id).unwrap().report.as_ref().unwrap().stats.states;
+        let expanded = events
+            .iter()
+            .filter(|e| matches!(e, OwnedEvent::StateExpanded { .. }))
+            .count();
+        assert_eq!(expanded, states);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, OwnedEvent::ViolationFound { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(OwnedEvent::ItemFinished { flagged: true, .. })
+        ));
+        // Cursored reads resume where they left off.
+        let (tail, _) = monitor.events_since(id, next).unwrap();
+        assert!(tail.is_empty());
+    }
+
+    // Retire-policy cycling is covered in `tests/serve_e2e.rs`
+    // (`retire_policy_cycles_epochs_under_service`): epoch retirement
+    // invalidates the process-wide arena, so tests that trigger it are
+    // serialized in one integration binary instead of racing the
+    // parallel unit tests here.
+
+    #[test]
+    fn per_job_spec_overrides_mode_and_strategy() {
+        let mut svc = service();
+        let (p, cfg) = fig1();
+        let spec = JobSpec {
+            mode: JobMode::V4,
+            bound: Some(12),
+            strategy: Some(StrategyKind::Fifo),
+            symbolic: vec![],
+        };
+        let id = svc.submit(Job::with_spec("fig1-v4", p, cfg, spec));
+        svc.run_pending();
+        let report = svc.record(id).unwrap().report.clone().unwrap();
+        assert_eq!(report.stats.strategy, "fifo");
+        // The session's own defaults survive the per-job overrides:
+        // strategy, bound, and mode are all restored after the job.
+        assert_eq!(svc.session().strategy(), StrategyKind::Lifo);
+        assert_eq!(svc.session().options().explorer.spec_bound, 16);
+        assert!(!svc.session().options().explorer.forwarding_hazards);
+    }
+
+    #[test]
+    fn mode_and_status_names_round_trip() {
+        for m in [JobMode::V1, JobMode::V4, JobMode::Alias, JobMode::V2] {
+            assert_eq!(JobMode::parse(m.name()), Some(m));
+        }
+        for s in [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+        ] {
+            assert_eq!(JobStatus::parse(s.name()), Some(s));
+        }
+        assert_eq!(JobMode::parse("v5"), None);
+        assert_eq!(JobStatus::parse(""), None);
+    }
+}

@@ -26,7 +26,7 @@
 use crate::batch::{BatchItem, BatchOutcome, BatchReport, BatchTotals};
 use crate::detector::DetectorOptions;
 use crate::explorer::Explorer;
-use crate::observe::{emit, Event, Observer};
+use crate::observe::{emit, BoxObserver, Event};
 use crate::report::Report;
 use crate::state::SymState;
 use crate::strategy::StrategyKind;
@@ -43,7 +43,7 @@ pub struct SessionBuilder {
     options: DetectorOptions,
     cache: Option<PathBuf>,
     symbolic: Vec<Reg>,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<BoxObserver>,
 }
 
 impl SessionBuilder {
@@ -133,7 +133,7 @@ impl SessionBuilder {
 
     /// Register an event observer (may be called repeatedly; events fan
     /// out to all observers in registration order).
-    pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
+    pub fn observer(mut self, observer: BoxObserver) -> Self {
         self.observers.push(observer);
         self
     }
@@ -171,7 +171,7 @@ pub struct AnalysisSession {
     symbolic: Vec<Reg>,
     cache_path: Option<PathBuf>,
     cache_load: Option<sct_cache::LoadStats>,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<BoxObserver>,
     epochs_retired: usize,
 }
 
@@ -267,7 +267,7 @@ impl AnalysisSession {
     }
 
     /// Register an observer on a built session.
-    pub fn observe(&mut self, observer: Box<dyn Observer>) {
+    pub fn observe(&mut self, observer: BoxObserver) {
         self.observers.push(observer);
     }
 
@@ -327,6 +327,7 @@ impl AnalysisSession {
             totals.solver_queries += report.stats.solver_queries;
             totals.solver_memo_hits += report.stats.solver_memo_hits;
             totals.solver_memo_misses += report.stats.solver_memo_misses;
+            totals.solver_memo_evicted += report.stats.solver_memo_evicted;
             emit(
                 &mut self.observers,
                 Event::ItemFinished {
@@ -393,13 +394,13 @@ impl AnalysisSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::observe::EventLog;
+    use crate::observe::{EventLog, Observer};
     use crate::report::Verdict;
     use sct_core::examples::fig1;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
+    #[allow(deprecated)]
     fn session_matches_detector() {
         let (p, cfg) = fig1();
         let mut session = AnalysisSession::builder().v1_mode(16).build().unwrap();
@@ -427,20 +428,21 @@ mod tests {
 
     #[test]
     fn observers_stream_events() {
-        // Shared handle: the session owns the observer, the test reads
-        // the aggregate through the Rc after analysis.
-        let log = Rc::new(RefCell::new(EventLog::default()));
-        let handle = Rc::clone(&log);
+        // Shared handle: the session owns the observer (observers are
+        // `Send`, hence the mutex), the test reads the aggregate
+        // through the Arc after analysis.
+        let log = Arc::new(Mutex::new(EventLog::default()));
+        let handle = Arc::clone(&log);
         let (p, cfg) = fig1();
         let mut session = AnalysisSession::builder()
             .v1_mode(16)
             .observer(Box::new(move |e: &Event<'_>| {
-                handle.borrow_mut().on_event(e)
+                handle.lock().unwrap().on_event(e)
             }))
             .build()
             .unwrap();
         let report = session.run_batch(vec![BatchItem::new("fig1", p, cfg)]);
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert_eq!(log.states_expanded, report.totals.states);
         assert!(log.violations_found >= 1);
         assert_eq!(log.items_finished, 1);

@@ -2,6 +2,11 @@
 //! no concurrently running test interns nodes during the measurement:
 //! a repeated batch is served entirely by the warm arena.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use pitchfork::{BatchAnalyzer, BatchItem, DetectorOptions};
 use sct_core::examples::fig1;
 

@@ -6,6 +6,11 @@
 //! concretized addresses, forwarded values), rather than synthetic
 //! trees.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use pitchfork::machine::SymMachine;
 use pitchfork::state::SymState;
 use pitchfork::{Detector, DetectorOptions};

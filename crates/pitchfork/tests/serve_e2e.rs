@@ -1,0 +1,292 @@
+//! End-to-end daemon tests: a real `Server` on a real Unix socket,
+//! real `Client`s, byte-identical verdicts against batch mode,
+//! memo-warm second submissions, `Retire` round-trips, and garbage
+//! tolerance.
+//!
+//! Every test takes `E2E_LOCK`: the expression arena, the solver memo,
+//! and the epoch counter are process-wide, and several tests retire
+//! epochs — interleaving them with concurrent analyses would trip the
+//! stale-`ExprRef` guard by design.
+
+use pitchfork::client::Client;
+use pitchfork::observe::OwnedEvent;
+use pitchfork::server::Server;
+use pitchfork::service::{Job, JobSpec, JobStatus, RetirePolicy, SessionService};
+use pitchfork::{AnalysisSession, SessionBuilder};
+use sct_core::examples::fig1;
+use sct_core::reg::names::RA;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static E2E_LOCK: Mutex<()> = Mutex::new(());
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    E2E_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_path(label: &str, suffix: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sct_e2e_{label}_{}.{suffix}",
+        std::process::id()
+    ))
+}
+
+fn fig1_source() -> String {
+    let (program, config) = fig1();
+    sct_asm::disassemble_with(&program, Some(&config))
+}
+
+fn serve(label: &str, session: AnalysisSession) -> (Server, PathBuf) {
+    let sock = temp_path(label, "sock");
+    let server = Server::bind(&sock, SessionService::new(session)).expect("bind socket");
+    (server, sock)
+}
+
+#[test]
+fn daemon_verdicts_match_batch_mode_and_warm_up() {
+    let _guard = lock();
+    let cache = temp_path("warm", "cache");
+    let _ = std::fs::remove_file(&cache);
+    let session = SessionBuilder::new()
+        .v1_mode(16)
+        .cache(&cache)
+        .build()
+        .expect("session over a fresh cache path");
+    let (server, sock) = serve("warm", session);
+    let source = fig1_source();
+    let spec = JobSpec {
+        symbolic: vec![RA],
+        ..JobSpec::default()
+    };
+
+    // Batch-mode baseline: the same program, bound, and symbolized
+    // registers through a plain session.
+    let (program, config) = fig1();
+    let mut baseline_session = AnalysisSession::builder().v1_mode(16).build().unwrap();
+    let baseline = baseline_session.analyze_symbolic(&program, &config, &[RA]);
+
+    // First client: cold submission.
+    let mut client1 = Client::connect(&sock).expect("connect");
+    let id1 = client1
+        .submit_source("fig1", source.clone(), spec.clone())
+        .expect("submit");
+    let view1 = client1.wait(id1, WAIT).expect("first job finishes");
+    assert_eq!(view1.status, JobStatus::Done);
+    let verdict1 = view1.verdict.expect("done jobs carry a verdict");
+    let stats1 = view1.stats.expect("done jobs carry stats");
+    // Byte-identical verdict and matching exploration against batch mode.
+    assert_eq!(verdict1.to_string(), baseline.verdict().to_string());
+    assert_eq!(stats1.states, baseline.stats.states);
+    assert_eq!(stats1.schedules, baseline.stats.schedules);
+    assert_eq!(view1.violations.len(), baseline.violations.len());
+    assert!(
+        stats1.solver_queries > 0,
+        "symbolic ra drives the solver: {stats1:?}"
+    );
+
+    // Second client, same program: answered from the warm memo and the
+    // already-interned arena.
+    let arena_before = sct_symx::arena_stats().nodes;
+    let mut client2 = Client::connect(&sock).expect("second connect");
+    let id2 = client2.submit_source("fig1-again", source.clone(), spec.clone()).unwrap();
+    let view2 = client2.wait(id2, WAIT).expect("second job finishes");
+    let stats2 = view2.stats.expect("stats");
+    assert_eq!(view2.verdict.unwrap().to_string(), verdict1.to_string());
+    assert_eq!(stats2.states, stats1.states);
+    assert!(
+        stats2.solver_memo_hits > 0,
+        "second submission reuses memoized verdicts: {stats2:?}"
+    );
+    assert_eq!(
+        stats2.solver_memo_misses, 0,
+        "nothing new to solve on a repeat submission: {stats2:?}"
+    );
+    assert_eq!(
+        sct_symx::arena_stats().nodes,
+        arena_before,
+        "a repeat submission interns no new arena structure"
+    );
+
+    // Retire round-trip: snapshot saved, epoch cycled, next job
+    // warm-starts — all without restarting the process.
+    let stats = client2.retire().expect("retire");
+    assert_eq!(stats.epochs_retired, 1);
+    assert!(
+        stats.last_reload_nodes > 0,
+        "retire warm-starts from the snapshot it just saved: {stats:?}"
+    );
+    assert!(cache.exists(), "retire persisted the snapshot");
+
+    let id3 = client2.submit_source("fig1-after-retire", source, spec).unwrap();
+    let view3 = client2.wait(id3, WAIT).expect("post-retire job finishes");
+    let stats3 = view3.stats.expect("stats");
+    assert_eq!(view3.verdict.unwrap().to_string(), verdict1.to_string());
+    assert_eq!(stats3.states, stats1.states);
+    assert!(
+        stats3.solver_memo_hits > 0,
+        "the re-imported memo answers the post-retire run: {stats3:?}"
+    );
+
+    let final_stats = client2.shutdown().expect("shutdown");
+    assert_eq!(final_stats.jobs_done, 3);
+    server.wait();
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn event_stream_covers_the_whole_exploration() {
+    let _guard = lock();
+    let session = SessionBuilder::new().v1_mode(16).build().unwrap();
+    let (server, sock) = serve("events", session);
+    let mut client = Client::connect(&sock).expect("connect");
+    let id = client
+        .submit_source("fig1", fig1_source(), JobSpec::default())
+        .expect("submit");
+
+    // Subscribe immediately — batches flow while (or right after) the
+    // worker analyzes; the stream ends exactly at the terminal event.
+    let mut events = Vec::new();
+    let final_cursor = client
+        .stream_events(id, 0, |e| events.push(e.clone()))
+        .expect("stream to completion");
+    assert_eq!(final_cursor as usize, events.len());
+
+    let view = client.status(id).expect("status");
+    let stats = view.stats.expect("done");
+    let expanded = events
+        .iter()
+        .filter(|e| matches!(e, OwnedEvent::StateExpanded { .. }))
+        .count();
+    assert_eq!(expanded, stats.states, "one event per expanded state");
+    assert!(
+        events.iter().any(|e| matches!(e, OwnedEvent::ViolationFound { .. })),
+        "fig1's witness streams as an event"
+    );
+    assert!(
+        matches!(events.last(), Some(OwnedEvent::ItemFinished { flagged: true, .. })),
+        "the stream closes with the terminal item-finished event"
+    );
+
+    // Resuming from the final cursor yields an immediately-done empty
+    // batch.
+    let mut tail = Vec::new();
+    let cursor2 = client
+        .stream_events(id, final_cursor, |e| tail.push(e.clone()))
+        .expect("resume");
+    assert_eq!(cursor2, final_cursor);
+    assert!(tail.is_empty());
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn garbage_lines_get_error_responses_and_the_connection_survives() {
+    let _guard = lock();
+    let session = SessionBuilder::new().v1_mode(16).build().unwrap();
+    let (server, sock) = serve("garbage", session);
+
+    let stream = std::os::unix::net::UnixStream::connect(&sock).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    for garbage in [
+        "{ not json",
+        "{\"req\":\"submit\"}",
+        "{\"req\":\"nope\"}",
+        "[1,2,3]",
+        "{\"req\":\"status\",\"id\":\"seven\"}",
+    ] {
+        writer.write_all(garbage.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("server answers");
+        let response = pitchfork::protocol::Response::parse(line.trim_end()).unwrap();
+        assert!(
+            matches!(response, pitchfork::protocol::Response::Error { .. }),
+            "garbage {garbage:?} → {response:?}"
+        );
+    }
+    // The same connection still serves valid requests afterwards.
+    writer.write_all(b"{\"req\":\"stats\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        pitchfork::protocol::Response::parse(line.trim_end()).unwrap(),
+        pitchfork::protocol::Response::Stats { .. }
+    ));
+    drop(writer);
+
+    // An oversized line (no newline in sight) is answered with an
+    // error and the connection closes — the daemon never buffers more
+    // than the protocol cap.
+    let oversized = std::os::unix::net::UnixStream::connect(&sock).expect("connect");
+    let mut big_reader = BufReader::new(oversized.try_clone().unwrap());
+    let mut big_writer = oversized;
+    let chunk = vec![b'x'; pitchfork::protocol::MAX_LINE_BYTES + 2];
+    big_writer.write_all(&chunk).unwrap();
+    let mut line = String::new();
+    big_reader.read_line(&mut line).expect("server answers before EOF");
+    assert!(
+        matches!(
+            pitchfork::protocol::Response::parse(line.trim_end()).unwrap(),
+            pitchfork::protocol::Response::Error { .. }
+        ),
+        "oversized line → {line:?}"
+    );
+    line.clear();
+    assert_eq!(
+        big_reader.read_line(&mut line).unwrap(),
+        0,
+        "the desynced connection is closed, not reused"
+    );
+
+    // Unknown jobs and unassemblable sources are errors/failures, not
+    // hangs.
+    let mut client = Client::connect(&sock).unwrap();
+    assert!(client.status(pitchfork::JobId::from_u64(999)).is_err());
+    let id = client
+        .submit_source("bad", "definitely not assembly !!!", JobSpec::default())
+        .expect("bad sources are accepted then failed");
+    let view = client.wait(id, WAIT).expect("terminal immediately");
+    assert_eq!(view.status, JobStatus::Failed);
+    assert!(view.error.is_some());
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn retire_policy_cycles_epochs_under_service() {
+    let _guard = lock();
+    let cache = temp_path("policy", "cache");
+    let _ = std::fs::remove_file(&cache);
+    let session = SessionBuilder::new()
+        .v1_mode(16)
+        .cache(&cache)
+        .build()
+        .unwrap();
+    let mut svc = SessionService::with_policy(session, RetirePolicy::every_jobs(2));
+    let epochs_before = svc.session().epochs_retired();
+    let (p, cfg) = fig1();
+    for i in 0..4 {
+        svc.submit(Job::new(format!("fig1-{i}"), p.clone(), cfg.clone()));
+    }
+    svc.run_pending();
+    let stats = svc.stats();
+    assert_eq!(stats.jobs_done, 4);
+    assert_eq!(
+        stats.epochs_retired as usize - epochs_before,
+        2,
+        "retire every 2 jobs over 4 jobs"
+    );
+    assert!(
+        stats.last_reload_nodes > 0,
+        "cache-backed retirement warm-starts: {stats:?}"
+    );
+    assert!(svc.last_retire_error().is_none());
+    let _ = std::fs::remove_file(&cache);
+}

@@ -76,7 +76,8 @@ pub use expr::{
 };
 pub use interval::{interval_of, Interval};
 pub use solver::{
-    export_solver_memo, import_solver_memo, solver_memo_stats, MemoExport, MemoImportStats,
-    Solver, SolverMemoStats, SolverOptions, Verdict,
+    export_solver_memo, import_solver_memo, set_solver_memo_capacity, solver_memo_capacity,
+    solver_memo_stats, MemoExport, MemoImportStats, Solver, SolverMemoStats, SolverOptions,
+    Verdict, DEFAULT_MEMO_CAPACITY,
 };
 pub use symmem::{SymMemory, SymRegFile, SymVal};

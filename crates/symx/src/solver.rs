@@ -99,22 +99,93 @@ struct MemoTable {
     /// can then never be answered from the memo — it misses here and
     /// trips the arena's stale-ref panic in the solver pipeline,
     /// keeping the epoch contract loud.
-    entries: HashMap<(u64, Box<[Expr]>), Verdict>,
+    ///
+    /// Each verdict carries the tick of its last hit (insertion counts);
+    /// when the table exceeds [`MemoTable::capacity`] the
+    /// least-recently-hit entries are evicted.
+    entries: MemoEntries,
+    capacity: usize,
+    tick: u64,
     queries: u64,
     hits: u64,
     misses: u64,
     stale_dropped: u64,
+    evicted: u64,
 }
+
+/// Memo storage: canonical `(options tag, sorted constraint ids)` keys
+/// to `(verdict, last-hit tick)`.
+type MemoEntries = HashMap<(u64, Box<[Expr]>), (Verdict, u64)>;
+
+/// Default cap on memoized verdicts. Within an epoch the memo grows
+/// monotonically; the cap keeps a months-old long-running service (and
+/// the snapshot it persists) from ballooning without bound.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
 
 static MEMO: LazyLock<Mutex<MemoTable>> = LazyLock::new(|| {
     Mutex::new(MemoTable {
         entries: HashMap::new(),
+        capacity: DEFAULT_MEMO_CAPACITY,
+        tick: 0,
         queries: 0,
         hits: 0,
         misses: 0,
         stale_dropped: 0,
+        evicted: 0,
     })
 });
+
+impl MemoTable {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict least-recently-hit entries until the table fits the
+    /// capacity. Eviction is batched — when the cap is crossed, the
+    /// table is taken ~1/16th below it — so an insert-heavy workload
+    /// pays the O(n) recency scan once per batch, not once per insert.
+    fn enforce_capacity(&mut self) {
+        if self.entries.len() <= self.capacity {
+            return;
+        }
+        let slack = (self.capacity / 16).max(1);
+        let target = self.capacity.saturating_sub(slack).max(1);
+        let excess = self.entries.len() - target;
+        let mut stamps: Vec<u64> = self.entries.values().map(|(_, hit)| *hit).collect();
+        stamps.sort_unstable();
+        let cutoff = stamps[excess - 1];
+        // Drop everything at or below the cutoff stamp, but never more
+        // than `excess` entries (ties on the cutoff stamp cannot happen
+        // with a monotonic tick, so this retains exactly `target`).
+        let mut to_drop = excess;
+        self.entries.retain(|_, (_, hit)| {
+            if to_drop > 0 && *hit <= cutoff {
+                to_drop -= 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.evicted += excess as u64;
+    }
+}
+
+/// Cap the process-wide verdict memo at `capacity` entries (LRU by
+/// last hit; clamped to at least 1). Returns the previous capacity.
+/// Shrinking below the current size evicts immediately.
+pub fn set_solver_memo_capacity(capacity: usize) -> usize {
+    let mut m = memo();
+    let old = m.capacity;
+    m.capacity = capacity.max(1);
+    m.enforce_capacity();
+    old
+}
+
+/// The current verdict-memo capacity (see [`set_solver_memo_capacity`]).
+pub fn solver_memo_capacity() -> usize {
+    memo().capacity
+}
 
 fn memo() -> std::sync::MutexGuard<'static, MemoTable> {
     MEMO.lock().unwrap_or_else(PoisonError::into_inner)
@@ -142,8 +213,13 @@ pub struct SolverMemoStats {
     /// Entries dropped as stale (epoch retirement, or snapshot entries
     /// whose ids could not be remapped).
     pub stale_dropped: u64,
+    /// Entries evicted by the capacity guard (LRU by last hit; see
+    /// [`set_solver_memo_capacity`]).
+    pub evicted: u64,
     /// Entries currently memoized.
     pub entries: usize,
+    /// The capacity the memo is capped at.
+    pub capacity: usize,
 }
 
 /// Snapshot the verdict-memo counters.
@@ -154,7 +230,9 @@ pub fn solver_memo_stats() -> SolverMemoStats {
         hits: m.hits,
         misses: m.misses,
         stale_dropped: m.stale_dropped,
+        evicted: m.evicted,
         entries: m.entries.len(),
+        capacity: m.capacity,
     }
 }
 
@@ -184,7 +262,7 @@ pub fn export_solver_memo() -> MemoExport {
     let mut entries: Vec<(u64, Vec<u32>, Verdict)> = m
         .entries
         .iter()
-        .map(|((tag, key), v)| (*tag, key.iter().map(|e| e.index()).collect(), v.clone()))
+        .map(|((tag, key), (v, _))| (*tag, key.iter().map(|e| e.index()).collect(), v.clone()))
         .collect();
     entries.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
     MemoExport { entries }
@@ -223,14 +301,18 @@ pub fn import_solver_memo(export: &MemoExport, remap: &[Expr]) -> MemoImportStat
         // Remapping does not preserve order: re-canonicalize.
         ids.sort_unstable();
         ids.dedup();
+        let stamp = m.touch();
         match m.entries.entry((*tag, ids.into_boxed_slice())) {
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(verdict.clone());
+                v.insert((verdict.clone(), stamp));
                 stats.imported += 1;
             }
             std::collections::hash_map::Entry::Occupied(_) => stats.dropped += 1,
         }
     }
+    // One batched pass: snapshot imports land in file order, so the
+    // surviving tail under a tight cap is the most recently saved.
+    m.enforce_capacity();
     stats
 }
 
@@ -263,7 +345,10 @@ impl Solver {
         {
             let mut m = memo();
             m.queries += 1;
-            if let Some(v) = m.entries.get(&key).cloned() {
+            let stamp = m.touch();
+            if let Some((v, hit)) = m.entries.get_mut(&key) {
+                *hit = stamp;
+                let v = v.clone();
                 m.hits += 1;
                 return v;
             }
@@ -271,7 +356,9 @@ impl Solver {
         let verdict = self.check_uncached(constraints);
         let mut m = memo();
         m.misses += 1;
-        m.entries.insert(key, verdict.clone());
+        let stamp = m.touch();
+        m.entries.insert(key, (verdict.clone(), stamp));
+        m.enforce_capacity();
         verdict
     }
 

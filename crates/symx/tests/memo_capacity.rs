@@ -1,0 +1,79 @@
+//! The verdict-memo capacity guard: the LRU cap bounds the table,
+//! evictions are counted, recently-hit entries survive, and evicted
+//! entries are simply re-solved (never wrong, just slower).
+//!
+//! One `#[test]` on purpose: the memo (and its capacity) is
+//! process-wide, so the scenario runs serially in its own binary.
+
+use sct_core::OpCode;
+use sct_symx::{
+    set_solver_memo_capacity, solver_memo_capacity, solver_memo_stats, Expr, Solver, VarId,
+    DEFAULT_MEMO_CAPACITY,
+};
+
+/// The distinct constraint `x > k` (one memo key per `k`).
+fn gt(k: u64) -> Expr {
+    Expr::app(OpCode::Gt, vec![Expr::var(VarId(0)), Expr::constant(k)])
+}
+
+#[test]
+fn lru_capacity_guard() {
+    assert_eq!(solver_memo_capacity(), DEFAULT_MEMO_CAPACITY);
+    let solver = Solver::new();
+    let baseline_entries = solver_memo_stats().entries;
+
+    // A small cap for the scenario. (Other keys may already be
+    // memoized from this binary — there are none, but stay robust:
+    // shrinking evicts immediately, so the invariant below holds
+    // regardless.)
+    let cap = baseline_entries + 8;
+    let old = set_solver_memo_capacity(cap);
+    assert_eq!(old, DEFAULT_MEMO_CAPACITY);
+    assert_eq!(solver_memo_capacity(), cap);
+
+    // Fill to the cap with distinct constraint sets.
+    for k in 0..8 {
+        solver.check(&[gt(k)]);
+    }
+    let full = solver_memo_stats();
+    assert!(full.entries <= cap, "{full:?}");
+    let evicted_before = full.evicted;
+
+    // Refresh k=0 (a hit bumps its recency) ...
+    let hits_before = solver_memo_stats().hits;
+    solver.check(&[gt(0)]);
+    assert_eq!(solver_memo_stats().hits, hits_before + 1, "refresh hits");
+
+    // ... then overflow: eviction drops the least-recently-hit entries
+    // (k=1, k=2 — everything else is younger or refreshed).
+    solver.check(&[gt(100)]);
+    let after = solver_memo_stats();
+    assert!(after.entries <= cap, "cap holds after overflow: {after:?}");
+    assert!(
+        after.evicted > evicted_before,
+        "the capacity guard counted its evictions: {after:?}"
+    );
+
+    // The refreshed entry survived ...
+    let hits = solver_memo_stats().hits;
+    let misses = solver_memo_stats().misses;
+    solver.check(&[gt(0)]);
+    assert_eq!(solver_memo_stats().hits, hits + 1, "k=0 survived (LRU)");
+
+    // ... the stale one did not, and re-solving re-memoizes it with the
+    // same verdict the memo would have served.
+    let v = solver.check(&[gt(1)]);
+    let after_miss = solver_memo_stats();
+    assert_eq!(after_miss.misses, misses + 1, "k=1 was evicted (LRU)");
+    assert_eq!(v, solver.check_uncached(&[gt(1)]), "eviction never changes verdicts");
+
+    // Shrinking below the current size evicts immediately.
+    set_solver_memo_capacity(1);
+    let shrunk = solver_memo_stats();
+    assert!(shrunk.entries <= 1, "{shrunk:?}");
+    assert_eq!(shrunk.capacity, 1);
+
+    // Restore the default for any test that follows in this process.
+    set_solver_memo_capacity(DEFAULT_MEMO_CAPACITY);
+    assert_eq!(solver_memo_capacity(), DEFAULT_MEMO_CAPACITY);
+}

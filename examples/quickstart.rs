@@ -1,5 +1,8 @@
-//! Quickstart: define a program, run it speculatively, and check it for
-//! speculative constant-time violations.
+//! Quickstart: define a program, run it speculatively, and check it
+//! for speculative constant-time violations — through the
+//! service-oriented job API (`SessionService`), the same engine
+//! `pitchfork --serve` exposes over a socket. (See
+//! `examples/batch_scan.rs` for driving `AnalysisSession` directly.)
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -8,7 +11,8 @@
 use spectre_ct::asm::assemble;
 use spectre_ct::core::sched::sequential::run_sequential;
 use spectre_ct::core::Params;
-use spectre_ct::pitchfork::AnalysisSession;
+use spectre_ct::pitchfork::service::{Job, JobStatus, SessionService};
+use spectre_ct::pitchfork::{AnalysisSession, OwnedEvent};
 
 fn main() {
     // The paper's Figure 1 gadget, written in the `sct` assembly
@@ -22,7 +26,6 @@ fn main() {
 .public 0x40 = 1, 0, 2, 1          ; array A
 .public 0x44 = 0, 3, 1, 2          ; array B
 .secret 0x48 = 0x11, 0x22, 0x33, 0x44  ; the key
-
 start:
     br gt(4, ra), then, out        ; bounds check for A
 then:
@@ -44,20 +47,43 @@ out:
     );
 
     // Speculatively, Pitchfork's worst-case schedules find the Spectre
-    // v1 leak: the mispredicted branch lets both loads execute before
-    // the bounds check resolves.
-    let mut session = AnalysisSession::builder()
+    // v1 leak. Submit the program as a *job* to a session service — the
+    // in-process form of the `pitchfork --serve` daemon: jobs queue
+    // FIFO, run through one shared session, and leave a typed record
+    // plus an event log behind.
+    let session = AnalysisSession::builder()
         .v1_mode(20)
         .build()
         .expect("uncached session");
-    let report = session.analyze(&asm.program, &asm.config);
+    let mut service = SessionService::new(session);
+    let monitor = service.monitor();
+
+    let id = service.submit(Job::new("fig1", asm.program, asm.config));
+    println!("\nsubmitted as {id}: status {}", service.status(id).unwrap());
+    service.run_pending();
+
+    let record = service.record(id).expect("job record");
+    assert_eq!(record.status, JobStatus::Done);
+    let report = record.report.expect("finished jobs carry a report");
     println!(
-        "\npitchfork: {} ({} states explored)",
+        "pitchfork: {} ({} states explored)",
         report.verdict(),
         report.stats.states
     );
     for v in &report.violations {
         println!("\n{v}");
     }
+
+    // The monitor mirrors what a daemon streams to subscribed clients.
+    let (events, _) = monitor.events_since(id, 0).expect("event log");
+    let witnesses = events
+        .iter()
+        .filter(|e| matches!(e, OwnedEvent::ViolationFound { .. }))
+        .count();
+    println!(
+        "event stream: {} events ({witnesses} violation-found)",
+        events.len()
+    );
+
     assert!(report.has_violations(), "Figure 1 violates SCT");
 }

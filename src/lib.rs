@@ -20,13 +20,17 @@
 //!
 //! ```
 //! use spectre_ct::core::examples::fig1;
-//! use spectre_ct::pitchfork::{Detector, DetectorOptions};
+//! use spectre_ct::pitchfork::AnalysisSession;
 //!
 //! let (program, config) = fig1();
-//! let report = Detector::new(DetectorOptions::default())
-//!     .analyze(&program, &config);
+//! let mut session = AnalysisSession::builder().v1_mode(20).build().unwrap();
+//! let report = session.analyze(&program, &config);
 //! assert!(report.has_violations(), "Spectre v1 must be flagged");
 //! ```
+//!
+//! For many programs — or a resident analysis daemon — submit jobs to a
+//! [`pitchfork::service::SessionService`] instead (`pitchfork --serve`
+//! wraps one behind a Unix socket; see [`pitchfork::server`]).
 
 pub use pitchfork;
 pub use sct_asm as asm;

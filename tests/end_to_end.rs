@@ -1,6 +1,11 @@
 //! End-to-end integration: assembly text in, verdicts out — the same
 //! flow the `pitchfork` CLI drives, through the library APIs.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use spectre_ct::asm::{assemble, disassemble_with};
 use spectre_ct::core::sched::sequential::run_sequential;
 use spectre_ct::core::Params;

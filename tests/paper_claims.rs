@@ -1,5 +1,10 @@
 //! Cross-crate validation of the paper's central claims.
 
+
+// Legacy-API coverage: this file deliberately exercises the deprecated
+// `Detector`/`BatchAnalyzer` wrappers to pin their delegation behaviour.
+#![allow(deprecated)]
+
 use spectre_ct::core::{Machine, Params, Schedule};
 use spectre_ct::litmus;
 use spectre_ct::pitchfork::{Detector, DetectorOptions};
