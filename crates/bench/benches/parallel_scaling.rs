@@ -1,0 +1,161 @@
+//! Bench: parallel-frontier scaling — corpus throughput (states/sec)
+//! at 1/2/4/8 worker threads, cold (arena + memo retired before each
+//! pass) and memo-warm, on the corpus_v4 workload the explorer
+//! throughput bench established as the dedup stress case.
+//!
+//! Emits `BENCH_parallel_scaling.json` with the measured rates, the
+//! host's CPU count (scaling above 1× requires real cores — a
+//! single-core container measures lock overhead, not speedup), and the
+//! derived speedup-vs-serial ratios. Timing is hand-rolled rather than
+//! criterion-driven because the cold configuration must retire the
+//! process-wide arena *between* (not inside) timed passes.
+
+use pitchfork::{AnalysisSession, BatchItem, DetectorOptions};
+use sct_litmus::{all_cases, harness};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const BOUND: usize = 20;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const COLD_REPS: usize = 7;
+const WARM_REPS: usize = 21;
+
+fn corpus_items() -> Vec<BatchItem> {
+    let cases = all_cases();
+    let mut items = harness::batch_items(&cases);
+    for item in &mut items {
+        item.bound = Some(BOUND);
+    }
+    items
+}
+
+fn options(threads: usize) -> DetectorOptions {
+    let mut o = DetectorOptions::v4_mode(BOUND);
+    o.explorer.threads = threads;
+    o.explorer.max_states = 200_000;
+    o
+}
+
+/// One timed corpus pass; returns (wall, states expanded).
+fn pass(items: &[BatchItem], threads: usize) -> (Duration, usize) {
+    let mut session = AnalysisSession::with_options(options(threads));
+    let start = Instant::now();
+    let report = session.run_batch(items.to_vec());
+    (start.elapsed(), report.totals.states)
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+struct Sample {
+    name: String,
+    threads: usize,
+    mode: &'static str,
+    states: usize,
+    median_ns: u128,
+    per_second: f64,
+}
+
+fn measure(items: &[BatchItem], threads: usize, cold: bool) -> Sample {
+    let reps = if cold { COLD_REPS } else { WARM_REPS };
+    let mut walls = Vec::with_capacity(reps);
+    let mut states = 0usize;
+    if cold {
+        for _ in 0..reps {
+            // A fresh epoch before (outside) each timed pass: the pass
+            // pays all interning and all solver misses.
+            sct_symx::retire_arena();
+            let (wall, s) = pass(items, threads);
+            walls.push(wall);
+            states = s;
+        }
+    } else {
+        // Warm the process-wide memo once from a fresh epoch, then
+        // time passes that answer almost everything from caches.
+        sct_symx::retire_arena();
+        let (_, _) = pass(items, threads);
+        for _ in 0..reps {
+            let (wall, s) = pass(items, threads);
+            walls.push(wall);
+            states = s;
+        }
+    }
+    let med = median(walls);
+    let per_second = states as f64 / med.as_secs_f64();
+    let mode = if cold { "cold" } else { "warm" };
+    Sample {
+        name: format!("corpus_v4_{mode}/threads={threads}"),
+        threads,
+        mode,
+        states,
+        median_ns: med.as_nanos(),
+        per_second,
+    }
+}
+
+fn main() {
+    // `cargo bench` passes harness flags; a plain main ignores them.
+    let items = corpus_items();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut samples = Vec::new();
+    for cold in [true, false] {
+        for threads in THREAD_COUNTS {
+            let s = measure(&items, threads, cold);
+            println!(
+                "{:<34} {:>9.0} states/s  (median {:>10} ns over {} states)",
+                s.name, s.per_second, s.median_ns, s.states
+            );
+            samples.push(s);
+        }
+    }
+
+    let rate = |mode: &str, threads: usize| {
+        samples
+            .iter()
+            .find(|s| s.mode == mode && s.threads == threads)
+            .map(|s| s.per_second)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup_cold_4t = rate("cold", 4) / rate("cold", 1);
+    let speedup_warm_4t = rate("warm", 4) / rate("warm", 1);
+    println!(
+        "host cpus: {host_cpus}; 4-thread speedup: cold {speedup_cold_4t:.2}x, warm {speedup_warm_4t:.2}x"
+    );
+    if host_cpus < 4 {
+        println!(
+            "note: {host_cpus} core(s) available — the ≥2x-at-4-threads target \
+             is only observable on ≥4 real cores; these numbers measure \
+             oversubscription overhead instead"
+        );
+    }
+
+    let mut json = String::from("{\n  \"group\": \"parallel_scaling\",\n");
+    let _ = writeln!(json, "  \"workload\": \"corpus_v4\",");
+    let _ = writeln!(json, "  \"bound\": {BOUND},");
+    let _ = writeln!(
+        json,
+        "  \"host_cpus\": {host_cpus},\n  \"cold_reps\": {COLD_REPS},\n  \"warm_reps\": {WARM_REPS},"
+    );
+    let _ = writeln!(json, "  \"speedup_cold_4t\": {speedup_cold_4t:.3},");
+    let _ = writeln!(json, "  \"speedup_warm_4t\": {speedup_warm_4t:.3},");
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"mode\": \"{}\", \"states\": {}, \
+             \"median_ns\": {}, \"per_second\": {:.1}}}{}",
+            s.name, s.threads, s.mode, s.states, s.median_ns, s.per_second, sep
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = criterion::Criterion::output_dir().join("BENCH_parallel_scaling.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

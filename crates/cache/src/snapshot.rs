@@ -29,9 +29,8 @@
 use crate::codec::{fnv1a, Reader, Writer};
 use sct_core::OpCode;
 use sct_symx::{
-    export_arena, export_solver_memo, import_arena, import_solver_memo, ArenaExport,
-    ArenaImportError, ArenaImportStats, ExportedNode, MemoExport, MemoImportStats, Model, VarId,
-    Verdict,
+    export_all, import_arena, import_solver_memo, ArenaExport, ArenaImportError, ArenaImportStats,
+    ExportedNode, MemoExport, MemoImportStats, Model, VarId, Verdict,
 };
 use std::fmt;
 
@@ -164,12 +163,13 @@ pub struct HydrateStats {
 }
 
 impl Snapshot {
-    /// Capture the current process-wide arena and verdict memo.
+    /// Capture the current process-wide arena and verdict memo. The
+    /// two are exported under one set of interner read guards
+    /// ([`sct_symx::export_all`]), so memo key ids always resolve
+    /// inside the captured node table even while other threads intern.
     pub fn capture() -> Snapshot {
-        Snapshot {
-            arena: export_arena(),
-            memo: export_solver_memo(),
-        }
+        let (arena, memo) = export_all();
+        Snapshot { arena, memo }
     }
 
     /// `true` when the snapshot holds no nodes and no verdicts.

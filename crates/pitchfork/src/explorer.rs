@@ -36,7 +36,7 @@
 //!   for delayed branches, address resolution for delayed stores.
 
 use crate::machine::SymMachine;
-use crate::observe::{BoxObserver, Event};
+use crate::observe::{BoxObserver, DirectSink, Event, EventSink};
 use crate::report::{Report, Violation};
 use crate::state::{SymState, SymStoreAddr, SymTransient};
 use crate::strategy::StrategyKind;
@@ -76,12 +76,34 @@ pub struct ExplorerOptions {
     /// Prune states whose fingerprint was already expanded (on by
     /// default; the bench compares both settings).
     pub dedup_states: bool,
+    /// Worker threads for the frontier. `1` (the default) runs the
+    /// serial engine, byte-identical to every release before parallel
+    /// exploration existed; `0` means one worker per available core;
+    /// `n > 1` runs the multi-threaded engine of [`crate::parallel`].
+    /// Verdicts and witness *sets* match the serial engine (the
+    /// determinism contract is documented at the crate level); witness
+    /// *order* and event interleaving may differ.
+    pub threads: usize,
     /// State-expansion budget; exploration truncates beyond it.
     pub max_states: usize,
     /// Stop extending a path once it has produced a violation.
     pub stop_path_on_violation: bool,
     /// Stop the whole exploration after this many violations.
     pub max_violations: usize,
+}
+
+impl ExplorerOptions {
+    /// The worker count [`ExplorerOptions::threads`] denotes: `0`
+    /// resolves to the machine's available parallelism (1 when that
+    /// cannot be determined), anything else is taken literally.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        }
+    }
 }
 
 impl Default for ExplorerOptions {
@@ -94,6 +116,7 @@ impl Default for ExplorerOptions {
             jmpi_mistraining: false,
             jmpi_target_cap: 32,
             dedup_states: true,
+            threads: 1,
             max_states: 50_000,
             stop_path_on_violation: true,
             max_violations: 64,
@@ -104,7 +127,7 @@ impl Default for ExplorerOptions {
 /// A continuation: a micro-sequence of directives plus a successor
 /// filter implementing Definition B.18's branch-schedule pairing.
 #[derive(Clone, Debug)]
-enum Cont {
+pub(crate) enum Cont {
     /// Apply all directives, keep all successors.
     Seq(Vec<Directive>),
     /// Apply all directives, keep only successors whose final step did
@@ -125,8 +148,8 @@ impl Cont {
 
 /// The worst-case schedule explorer.
 pub struct Explorer<'p> {
-    machine: SymMachine<'p>,
-    options: ExplorerOptions,
+    pub(crate) machine: SymMachine<'p>,
+    pub(crate) options: ExplorerOptions,
 }
 
 impl<'p> Explorer<'p> {
@@ -160,12 +183,23 @@ impl<'p> Explorer<'p> {
 
     /// [`Explorer::explore`], streaming [`Event`]s (state expansions,
     /// violations) to `observers` as they happen.
+    ///
+    /// With [`ExplorerOptions::threads`] at its default of 1 this is
+    /// the serial worklist engine; above 1 (or 0 = auto) the frontier
+    /// is worked by a thread pool (see [`crate::parallel`]) with the
+    /// same verdict and witness-set semantics.
     pub fn explore_observed(
         &self,
         initial: SymState,
         observers: &mut [BoxObserver],
     ) -> Report {
+        let threads = self.options.effective_threads();
+        if threads > 1 {
+            return crate::parallel::explore_parallel(self, initial, observers, threads);
+        }
         let memo_before = sct_symx::solver_memo_stats();
+        let arena_waits_before = sct_symx::arena_lock_waits();
+        let mut sink = DirectSink(observers);
         let mut report = Report::default();
         report.stats.strategy = self.options.strategy.name();
         let dedup = self.options.dedup_states;
@@ -183,21 +217,18 @@ impl<'p> Explorer<'p> {
                 break;
             }
             report.stats.states += 1;
-            crate::observe::emit(
-                observers,
-                Event::StateExpanded {
-                    states: report.stats.states,
-                    frontier: frontier.len(),
-                    rob_depth: state.rob.len(),
-                },
-            );
+            sink.emit(Event::StateExpanded {
+                states: report.stats.states,
+                frontier: frontier.len(),
+                rob_depth: state.rob.len(),
+            });
             let conts = self.continuations(&state);
             if conts.is_empty() {
                 report.stats.schedules += 1;
                 continue;
             }
             for cont in conts {
-                for succ in self.apply(&state, &cont, &mut report, observers) {
+                for succ in self.apply(&state, &cont, &mut report, &mut sink) {
                     if dedup && !visited.insert(succ.fingerprint()) {
                         report.stats.deduped += 1;
                         continue;
@@ -212,17 +243,22 @@ impl<'p> Explorer<'p> {
         report.stats.solver_memo_hits = (memo_after.hits - memo_before.hits) as usize;
         report.stats.solver_memo_misses = (memo_after.misses - memo_before.misses) as usize;
         report.stats.solver_memo_evicted = (memo_after.evicted - memo_before.evicted) as usize;
+        report.stats.memo_lock_waits = (memo_after.lock_waits - memo_before.lock_waits) as usize;
+        report.stats.arena_lock_waits =
+            (sct_symx::arena_lock_waits() - arena_waits_before) as usize;
         report
     }
 
     /// Apply a continuation, checking each step's new observations for
-    /// secret labels.
-    fn apply(
+    /// secret labels. Generic over the event sink so the serial and
+    /// parallel engines share one implementation of the step/violation
+    /// plumbing.
+    pub(crate) fn apply<S: EventSink>(
         &self,
         state: &SymState,
         cont: &Cont,
         report: &mut Report,
-        observers: &mut [BoxObserver],
+        sink: &mut S,
     ) -> Vec<SymState> {
         let mut frontier = vec![state.clone()];
         let directives = cont.directives();
@@ -272,13 +308,10 @@ impl<'p> Explorer<'p> {
                             .stats
                             .first_witness_depth
                             .get_or_insert(violation.schedule.len());
-                        crate::observe::emit(
-                            observers,
-                            Event::ViolationFound {
-                                violation: &violation,
-                                states: report.stats.states,
-                            },
-                        );
+                        sink.emit(Event::ViolationFound {
+                            violation: &violation,
+                            states: report.stats.states,
+                        });
                         report.violations.push(violation);
                         if self.options.stop_path_on_violation {
                             report.stats.schedules += 1;
@@ -294,7 +327,7 @@ impl<'p> Explorer<'p> {
     }
 
     /// The Definition B.18 continuations available in `state`.
-    fn continuations(&self, state: &SymState) -> Vec<Cont> {
+    pub(crate) fn continuations(&self, state: &SymState) -> Vec<Cont> {
         let fetchable = self.machine.program.fetch(state.pc).is_some();
         if fetchable {
             let instr = self.machine.program.fetch(state.pc).expect("checked");

@@ -92,6 +92,44 @@
 //! the [`protocol`] types are `std`-only, so the daemon needs no
 //! dependencies the workspace doesn't vendor).
 //!
+//! # Parallel exploration
+//!
+//! Exploration is embarrassingly parallel at the state level: each
+//! frontier state expands independently, and everything shared — the
+//! hash-consing expression arena, the solver-verdict memo, the
+//! fingerprint visited set — is lock-striped. Opt in with
+//! [`SessionBuilder::parallelism`] (CLI `--threads N`; `N = 0` means
+//! one worker per core), per job with [`service::JobSpec::threads`],
+//! and at the daemon level with `--serve ... --jobs K`, which runs K
+//! whole jobs concurrently against the shared arena. Worker threads
+//! come from a persistent process-wide pool, so even sub-millisecond
+//! explorations pay a condvar wake, not a thread spawn.
+//!
+//! **Determinism contract.** `threads = 1` (the default) is the serial
+//! engine, byte-for-byte identical to previous releases. For
+//! `threads > 1`, with deduplication on and no truncation, the engine
+//! expands exactly the serial engine's distinct-state set whatever the
+//! worker timing, so the **verdict**, the **witness set** (violations
+//! as a set of (pc, schedule, observation)), and the order-insensitive
+//! statistics (`states`, `steps`, `deduped`) are identical to serial
+//! mode — the parallel-equivalence suite pins all of this over the
+//! litmus corpus and Table 2 for every strategy at 2/4/8 threads. What
+//! may differ: which witness is found *first* (`first_witness_*`
+//! record whichever a worker reached first; merged violation lists are
+//! sorted canonically), event interleaving, and — under a `max_states`
+//! / `max_violations` truncation — the explored prefix, exactly as it
+//! already differs across strategies. The [`SearchStrategy`] order
+//! becomes a priority *hint*: each pop takes the best state enqueued
+//! so far, but enqueue order depends on timing.
+//!
+//! **When to use it.** Parallelism pays on deep explorations (big
+//! programs, high bounds, v4/alias modes) and on multi-core hosts;
+//! contention is visible without a profiler via
+//! [`ExploreStats::arena_lock_waits`] / `memo_lock_waits` and the
+//! daemon's `Stats` response. Single large-batch workloads on few
+//! cores are often better served by `--jobs` (parallelism *across*
+//! programs) than `--threads` (parallelism *within* one).
+//!
 //! # Compatibility wrappers
 //!
 //! [`Detector`] and [`BatchAnalyzer`], the pre-session entry points,
@@ -125,6 +163,7 @@ pub mod detector;
 pub mod explorer;
 pub mod machine;
 pub mod observe;
+pub mod parallel;
 pub mod protocol;
 pub mod repair;
 pub mod report;
@@ -149,8 +188,8 @@ pub use repair::{insert_fences, repair, suggest_fences, RepairError, Repaired};
 pub use report::{ExploreStats, Report, Verdict, Violation};
 pub use server::Server;
 pub use service::{
-    Job, JobId, JobMode, JobRecord, JobSpec, JobStatus, RetirePolicy, ServiceMonitor,
-    ServiceStats, SessionService,
+    FinishedJob, Job, JobId, JobMode, JobRecord, JobSpec, JobStatus, PreparedJob, RetirePolicy,
+    ServiceMonitor, ServiceStats, SessionService,
 };
 pub use session::{AnalysisSession, SessionBuilder};
 pub use state::SymState;

@@ -39,6 +39,7 @@ struct Cli {
     bound: usize,
     fwd_hazards: bool,
     strategy: StrategyKind,
+    threads: usize,
     symbolic: Vec<Reg>,
     verbose: bool,
     cache: Option<String>,
@@ -47,12 +48,13 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--symbolic ra,rb] [--verbose] [--cache PATH] FILE..."
+        "usage: pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--threads N] [--symbolic ra,rb] [--verbose] [--cache PATH] FILE..."
     );
     eprintln!("       pitchfork --serve SOCK [--cache PATH] [--bound N] [--strategy NAME]");
-    eprintln!("                 [--retire-every N] [--retire-nodes N] [--memo-capacity N]");
+    eprintln!("                 [--threads N] [--jobs K] [--retire-every N] [--retire-nodes N]");
+    eprintln!("                 [--memo-capacity N]");
     eprintln!("       pitchfork submit --connect SOCK [--mode v1|v4|alias|v2] [--bound N]");
-    eprintln!("                 [--strategy NAME] [--symbolic ra,rb] [--verbose] FILE...");
+    eprintln!("                 [--strategy NAME] [--threads N] [--symbolic ra,rb] [--verbose] FILE...");
     eprintln!("       pitchfork status|events --connect SOCK --job ID");
     eprintln!("       pitchfork stats|retire|shutdown --connect SOCK");
     eprintln!();
@@ -63,6 +65,9 @@ fn usage() -> ! {
     eprintln!("  --strategy NAME  frontier order: lifo (default), fifo, deepest-rob,");
     eprintln!("                   violation-likely — same verdicts, different");
     eprintln!("                   states-to-first-witness");
+    eprintln!("  --threads N      worker threads per exploration (default 1 = serial;");
+    eprintln!("                   0 = one per core). Verdicts and witness sets match");
+    eprintln!("                   serial mode; witness order may differ");
     eprintln!("  --symbolic LIST  treat these registers as symbolic inputs");
     eprintln!("  --verbose        print schedules and traces for each violation");
     eprintln!("  --cache PATH     warm-start the expression arena and solver memo");
@@ -71,7 +76,9 @@ fn usage() -> ! {
     eprintln!("Daemon mode (--serve) keeps one session resident: submissions share the");
     eprintln!("hash-consed arena and solver memo across clients, and the epoch-retire");
     eprintln!("policy (--retire-every jobs / --retire-nodes arena nodes) snapshots and");
-    eprintln!("warm-starts without restarting the process.");
+    eprintln!("warm-starts without restarting the process. --threads sets the default");
+    eprintln!("per-job parallelism (submit --threads overrides per job); --jobs K runs");
+    eprintln!("up to K jobs concurrently against the shared sharded arena.");
     std::process::exit(2)
 }
 
@@ -80,6 +87,7 @@ fn parse_args(args: Vec<String>) -> Cli {
         bound: 20,
         fwd_hazards: false,
         strategy: StrategyKind::Lifo,
+        threads: 1,
         symbolic: Vec::new(),
         verbose: false,
         cache: None,
@@ -91,6 +99,10 @@ fn parse_args(args: Vec<String>) -> Cli {
             "--bound" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cli.bound = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.threads = v.parse().unwrap_or_else(|_| usage());
             }
             "--fwd-hazards" => cli.fwd_hazards = true,
             "--strategy" => {
@@ -141,6 +153,7 @@ fn build_session(
     bound: usize,
     fwd_hazards: bool,
     strategy: StrategyKind,
+    threads: usize,
     symbolic: &[Reg],
     cache: Option<&str>,
 ) -> AnalysisSession {
@@ -148,6 +161,7 @@ fn build_session(
         let mut b = SessionBuilder::new()
             .bound(bound)
             .strategy(strategy)
+            .parallelism(threads)
             .symbolize(symbolic.iter().copied());
         if fwd_hazards {
             b = b.v4_mode(bound);
@@ -203,6 +217,7 @@ fn run_oneshot(args: Vec<String>) -> ExitCode {
         cli.bound,
         cli.fwd_hazards,
         cli.strategy,
+        cli.threads,
         &cli.symbolic,
         cli.cache.as_deref(),
     );
@@ -272,6 +287,8 @@ fn run_serve(args: Vec<String>) -> ExitCode {
     let mut cache: Option<String> = None;
     let mut bound = 20usize;
     let mut strategy = StrategyKind::Lifo;
+    let mut threads = 1usize;
+    let mut jobs = 1usize;
     let mut policy = RetirePolicy::never();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -282,6 +299,19 @@ fn run_serve(args: Vec<String>) -> ExitCode {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage())
+                    .max(1)
             }
             "--strategy" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -313,16 +343,18 @@ fn run_serve(args: Vec<String>) -> ExitCode {
         }
     }
     let Some(socket) = socket else { usage() };
-    let session = build_session(bound, false, strategy, &[], cache.as_deref());
+    let session = build_session(bound, false, strategy, threads, &[], cache.as_deref());
     let service = SessionService::with_policy(session, policy);
-    let server = match pitchfork::server::Server::bind(&socket, service) {
+    let server = match pitchfork::server::Server::bind_with_workers(&socket, service, jobs) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("--serve {socket}: {e}");
             return ExitCode::from(2);
         }
     };
-    println!("serving on {socket} (bound {bound}, strategy {strategy})");
+    println!(
+        "serving on {socket} (bound {bound}, strategy {strategy}, threads {threads}, jobs {jobs})"
+    );
     server.wait();
     println!("daemon stopped");
     ExitCode::SUCCESS
@@ -336,6 +368,7 @@ struct ClientArgs {
     mode: JobMode,
     bound: Option<usize>,
     strategy: Option<StrategyKind>,
+    threads: usize,
     symbolic: Vec<Reg>,
     verbose: bool,
     files: Vec<String>,
@@ -348,6 +381,7 @@ fn parse_client_args(args: Vec<String>) -> ClientArgs {
         mode: JobMode::V1,
         bound: None,
         strategy: None,
+        threads: 0,
         symbolic: Vec::new(),
         verbose: false,
         files: Vec::new(),
@@ -376,6 +410,12 @@ fn parse_client_args(args: Vec<String>) -> ClientArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
                 )
+            }
+            "--threads" => {
+                out.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--strategy" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -501,6 +541,7 @@ fn run_submit(args: Vec<String>) -> ExitCode {
         mode: args.mode,
         bound: args.bound,
         strategy: args.strategy,
+        threads: args.threads,
         symbolic: args.symbolic.clone(),
     };
     let mut ids = Vec::new();

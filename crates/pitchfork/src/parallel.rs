@@ -1,0 +1,608 @@
+//! The multi-threaded frontier engine behind
+//! [`ExplorerOptions::threads`](crate::ExplorerOptions::threads).
+//!
+//! Exploration at the state level is embarrassingly parallel: each
+//! frontier state expands independently, and only three things are
+//! shared — the strategy-ordered frontier, the fingerprint visited
+//! set, and the process-wide expression arena / solver memo (which
+//! `sct-symx` lock-stripes; see its crate docs). This module runs a
+//! `std::thread::scope` worker pool over exactly the serial engine's
+//! expansion logic ([`Explorer::continuations`] / [`Explorer::apply`]
+//! are shared code, not reimplementations):
+//!
+//! * **Frontier** — one strategy frontier behind a mutex plus a
+//!   condvar. Workers pop under the lock, expand without it, and push
+//!   fresh successors back in one batch. The [`SearchStrategy`] order
+//!   becomes a priority *hint*: each pop still takes the
+//!   highest-priority state enqueued so far, but which states have
+//!   been enqueued depends on worker timing.
+//! * **Visited set** — lock-striped (64 mutexes over `u128`
+//!   fingerprints); a successor is claimed by whichever worker inserts
+//!   its fingerprint first, so every distinct state is expanded
+//!   exactly once, as in serial mode.
+//! * **Termination** — a worker finding the frontier empty parks on
+//!   the condvar; when the last worker goes idle with an empty
+//!   frontier, exploration is complete (no in-flight expansion can
+//!   produce more work) and everyone is woken to exit.
+//!
+//! # Determinism contract
+//!
+//! With the state budget and violation cap not hit, the set of
+//! expanded states is the set of *distinct reachable* states whatever
+//! the expansion order, so parallel runs produce the same verdict and
+//! the same witness **set** as the serial engine — the equivalence
+//! suite pins this over the litmus corpus and the Table 2 case studies
+//! for every strategy. What may differ from serial mode (and between
+//! parallel runs): the order witnesses are discovered (merged reports
+//! sort them canonically), the `first_witness_*` metrics (they record
+//! whichever witness a worker reached first), and event interleaving.
+//! Under truncation (`max_states` / `max_violations`) the *prefix* of
+//! states explored is timing-dependent, exactly as it is
+//! order-dependent across strategies.
+
+use crate::explorer::Explorer;
+use crate::observe::{BoxObserver, Event, EventSink, SharedSink};
+use crate::report::Report;
+use crate::state::SymState;
+use crate::strategy::SearchStrategy;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// A persistent pool of parked worker threads shared by every parallel
+/// exploration in the process.
+///
+/// Spawning OS threads per exploration costs ~50–100µs per thread —
+/// more than the *entire* serial exploration of a small litmus program
+/// — so a `std::thread::scope` per `explore_parallel` call would make
+/// parallelism a net loss on exactly the many-small-programs batch
+/// workload it exists to speed up. The pool spawns each worker once,
+/// parks it on a condvar between explorations, and hands it scoped
+/// jobs; dispatch cost is a condvar wake instead of a thread spawn.
+mod pool {
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, LazyLock, Mutex, MutexGuard, PoisonError};
+
+    /// Completion latch for one `run` call: how many invocations are
+    /// still outstanding, and whether any of them panicked.
+    struct Latch {
+        state: Mutex<(usize, bool)>,
+        done: Condvar,
+    }
+
+    impl Latch {
+        fn complete(&self, panicked: bool) {
+            let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            s.0 -= 1;
+            s.1 |= panicked;
+            if s.0 == 0 {
+                // Notified while the lock is held: the waiter can only
+                // observe the zero after this thread releases the
+                // mutex, after which this thread never touches the
+                // latch again — so the waiter may safely destroy it.
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// One erased invocation: a pointer to the caller's job closure
+    /// and to its latch.
+    ///
+    /// # Safety invariant
+    ///
+    /// Both pointees live on the stack of the `run` call that enqueued
+    /// the task, and `run` does not return until the latch has counted
+    /// every invocation — so the pointers are valid whenever a worker
+    /// dereferences them. This is the same guarantee
+    /// `std::thread::scope` provides, rebuilt so the threads
+    /// themselves can outlive the scope.
+    struct Task {
+        job: *const (dyn Fn() + Sync),
+        latch: *const Latch,
+    }
+
+    // Safety: see `Task` — the pointees outlive every dereference, and
+    // the job is `Sync` so any worker thread may call it.
+    unsafe impl Send for Task {}
+
+    struct Inner {
+        tasks: VecDeque<Task>,
+        /// Workers parked on the condvar right now.
+        idle: usize,
+    }
+
+    struct Pool {
+        inner: Mutex<Inner>,
+        work: Condvar,
+    }
+
+    static POOL: LazyLock<Pool> = LazyLock::new(|| Pool {
+        inner: Mutex::new(Inner {
+            tasks: VecDeque::new(),
+            idle: 0,
+        }),
+        work: Condvar::new(),
+    });
+
+    fn lock() -> MutexGuard<'static, Inner> {
+        POOL.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn worker_loop() {
+        loop {
+            let task = {
+                let mut inner = lock();
+                loop {
+                    if let Some(t) = inner.tasks.pop_front() {
+                        break t;
+                    }
+                    inner.idle += 1;
+                    inner = POOL.work.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                    inner.idle -= 1;
+                }
+            };
+            // Safety: the enqueuing `run` is still blocked on the
+            // latch (see `Task`), so both pointers are live.
+            let job = unsafe { &*task.job };
+            let latch = unsafe { &*task.latch };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            latch.complete(result.is_err());
+        }
+    }
+
+    /// Invoke `job` up to `n` times concurrently: once inline on the
+    /// calling thread (the caller is a full worker, not a blocked
+    /// supervisor) and up to `n - 1` times on pool threads. Every
+    /// planned extra invocation that will *not* run — the OS refused a
+    /// thread and no parked worker was free — is reported through one
+    /// `cancel()` call instead, so the caller's worker accounting can
+    /// stop waiting for it.
+    ///
+    /// Blocks until every started invocation returns — including when
+    /// the inline invocation panics (the unwind is caught, the latch
+    /// is drained, and only then is the panic resumed), so no worker
+    /// can ever dereference the stack-allocated job or latch after
+    /// `run` leaves. Panics if any invocation panicked.
+    pub(super) fn run(n: usize, job: &(dyn Fn() + Sync), cancel: &(dyn Fn() + Sync)) {
+        let extra = n.saturating_sub(1);
+        if extra == 0 {
+            job();
+            return;
+        }
+        let latch = Latch {
+            state: Mutex::new((extra, false)),
+            done: Condvar::new(),
+        };
+        // Safety: purely a lifetime erasure (same type, longer
+        // lifetime) — the latch protocol below keeps `job` borrowed
+        // for as long as any worker can reach the pointer.
+        let erased: &'static (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), _>(job) };
+        let slots;
+        {
+            let mut inner = lock();
+            // Capacity = parked workers not already claimed by queued
+            // tasks, topped up by spawning (all under one lock, so the
+            // arithmetic cannot race another `run`). Workers are never
+            // reaped: the pool's high-water mark is the highest
+            // concurrent demand, which the daemon bounds by
+            // `--jobs × --threads`.
+            let free = inner.idle.saturating_sub(inner.tasks.len());
+            let mut capacity = free.min(extra);
+            while capacity < extra {
+                if std::thread::Builder::new()
+                    .name("pitchfork-explore".into())
+                    .spawn(worker_loop)
+                    .is_err()
+                {
+                    break;
+                }
+                capacity += 1;
+            }
+            slots = capacity;
+            if slots < extra {
+                // No task for these invocations exists yet (nothing is
+                // published until the pushes below), so shrinking the
+                // latch expectation cannot race a completion.
+                latch
+                    .state
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0 -= extra - slots;
+            }
+            for _ in 0..slots {
+                inner.tasks.push_back(Task {
+                    job: erased as *const _,
+                    latch: &latch as *const _,
+                });
+            }
+            if slots > 0 {
+                POOL.work.notify_all();
+            }
+        }
+        for _ in slots..extra {
+            cancel();
+        }
+        let inline = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        // Wait unconditionally — panicked or not, pool workers may
+        // still hold pointers into this stack frame.
+        let mut s = latch.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while s.0 > 0 {
+            s = latch.done.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        let pool_panicked = s.1;
+        drop(s);
+        match inline {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) if pool_panicked => panic!("exploration worker panicked"),
+            Ok(()) => {}
+        }
+    }
+}
+
+/// Lock stripes of the visited set (fingerprints spread uniformly, so
+/// 64 stripes keep 8 workers essentially collision-free).
+const VISITED_SHARDS: usize = 64;
+
+/// The mutex-guarded part of the shared frontier.
+struct Frontier {
+    queue: Box<dyn SearchStrategy + Send>,
+    /// Workers currently parked waiting for work.
+    idle: usize,
+    /// Workers still participating. Starts at the planned thread count
+    /// and drops when a planned worker is cancelled (the pool could
+    /// not start it) or dies (its expansion panicked) — termination is
+    /// "every *living* worker idle over an empty frontier", so a lost
+    /// worker can never strand the survivors on the condvar.
+    alive: usize,
+    /// Set once: budget hit or frontier drained with all workers idle.
+    stop: bool,
+    /// Current and peak queue occupancy (the strategy trait exposes
+    /// `len`, but tracking it here keeps the event path lock-free).
+    len: usize,
+    peak: usize,
+}
+
+/// Everything the workers share.
+struct Shared<'obs> {
+    frontier: Mutex<Frontier>,
+    work: Condvar,
+    visited: Vec<Mutex<HashSet<u128>>>,
+    /// States expanded so far (the budget counter; claimed by CAS so
+    /// exactly `max_states` expansions happen under truncation).
+    states: AtomicUsize,
+    deduped: AtomicUsize,
+    violations: AtomicUsize,
+    truncated: AtomicBool,
+    frontier_len: AtomicUsize,
+    observers: Mutex<&'obs mut [BoxObserver]>,
+}
+
+impl Shared<'_> {
+    fn lock_frontier(&self) -> MutexGuard<'_, Frontier> {
+        self.frontier.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Flag termination and wake every parked worker.
+    fn stop_all(&self) {
+        self.lock_frontier().stop = true;
+        self.work.notify_all();
+    }
+
+    /// One planned worker will never (or no longer) participate:
+    /// re-run the termination check against the reduced head count so
+    /// the survivors are not left waiting for it.
+    fn retire_worker(&self) {
+        let mut f = self.lock_frontier();
+        f.alive = f.alive.saturating_sub(1);
+        if f.idle == f.alive && f.len == 0 {
+            f.stop = true;
+        }
+        self.work.notify_all();
+    }
+
+    /// Insert a fingerprint; `false` when already present.
+    fn visit(&self, fp: u128) -> bool {
+        self.visited[(fp as usize) & (VISITED_SHARDS - 1)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fp)
+    }
+}
+
+/// Run `explorer`'s exploration of `initial` on `threads` workers.
+/// Called by [`Explorer::explore_observed`] when
+/// [`crate::ExplorerOptions::threads`] resolves above 1.
+pub(crate) fn explore_parallel(
+    explorer: &Explorer<'_>,
+    initial: SymState,
+    observers: &mut [BoxObserver],
+    threads: usize,
+) -> Report {
+    let options = &explorer.options;
+    let memo_before = sct_symx::solver_memo_stats();
+    let arena_waits_before = sct_symx::arena_lock_waits();
+
+    let shared = Shared {
+        frontier: Mutex::new(Frontier {
+            queue: options.strategy.frontier(),
+            idle: 0,
+            alive: threads,
+            stop: false,
+            len: 0,
+            peak: 0,
+        }),
+        work: Condvar::new(),
+        visited: (0..VISITED_SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        states: AtomicUsize::new(0),
+        deduped: AtomicUsize::new(0),
+        violations: AtomicUsize::new(0),
+        truncated: AtomicBool::new(false),
+        frontier_len: AtomicUsize::new(0),
+        observers: Mutex::new(observers),
+    };
+    if options.dedup_states {
+        shared.visit(initial.fingerprint());
+    }
+    {
+        let mut f = shared.lock_frontier();
+        f.queue.push(initial);
+        f.len = 1;
+        f.peak = 1;
+    }
+    shared.frontier_len.store(1, Ordering::Relaxed);
+
+    // One invocation per worker: the calling thread runs one inline,
+    // the persistent pool supplies the rest (no per-exploration thread
+    // spawns — see `mod pool`). A worker whose expansion panics (or
+    // that the pool could not start) retires itself from the head
+    // count so the survivors still terminate; the panic itself is
+    // re-raised by `pool::run` once everything has stopped.
+    let collected: Mutex<Vec<Report>> = Mutex::new(Vec::with_capacity(threads));
+    pool::run(
+        threads,
+        &|| {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                worker(explorer, &shared)
+            })) {
+                Ok(local) => collected
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(local),
+                Err(payload) => {
+                    shared.retire_worker();
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        },
+        &|| shared.retire_worker(),
+    );
+    let locals = collected.into_inner().unwrap_or_else(PoisonError::into_inner);
+
+    // Merge worker-local reports into one.
+    let mut report = Report::default();
+    report.stats.strategy = options.strategy.name();
+    report.stats.threads = threads;
+    report.stats.states = shared.states.load(Ordering::Relaxed);
+    report.stats.deduped = shared.deduped.load(Ordering::Relaxed);
+    report.stats.truncated = shared.truncated.load(Ordering::Relaxed);
+    report.stats.frontier_peak = shared.lock_frontier().peak;
+    let mut first_witness: Option<(usize, usize)> = None;
+    for local in locals {
+        report.stats.schedules += local.stats.schedules;
+        report.stats.steps += local.stats.steps;
+        if let (Some(s), Some(d)) = (
+            local.stats.first_witness_states,
+            local.stats.first_witness_depth,
+        ) {
+            if first_witness.is_none_or(|(best, _)| s < best) {
+                first_witness = Some((s, d));
+            }
+        }
+        report.violations.extend(local.violations);
+    }
+    if let Some((s, d)) = first_witness {
+        report.stats.first_witness_states = Some(s);
+        report.stats.first_witness_depth = Some(d);
+    }
+    // Canonical witness order: workers interleave nondeterministically,
+    // but the witness *set* is fixed, so sorting makes parallel output
+    // reproducible (serial mode keeps discovery order).
+    report.violations.sort_by_cached_key(|v| {
+        (
+            v.pc,
+            v.schedule.to_string(),
+            v.observation.to_string(),
+            v.trace.len(),
+        )
+    });
+
+    let memo_after = sct_symx::solver_memo_stats();
+    report.stats.solver_queries = (memo_after.queries - memo_before.queries) as usize;
+    report.stats.solver_memo_hits = (memo_after.hits - memo_before.hits) as usize;
+    report.stats.solver_memo_misses = (memo_after.misses - memo_before.misses) as usize;
+    report.stats.solver_memo_evicted = (memo_after.evicted - memo_before.evicted) as usize;
+    report.stats.memo_lock_waits = (memo_after.lock_waits - memo_before.lock_waits) as usize;
+    report.stats.arena_lock_waits =
+        (sct_symx::arena_lock_waits() - arena_waits_before) as usize;
+    report
+}
+
+/// One worker: pop under the frontier lock, expand without it, push
+/// fresh successors back in a batch. Returns the worker-local report
+/// (steps, schedules, violations, first-witness metrics).
+fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>) -> Report {
+    let options = &explorer.options;
+    let dedup = options.dedup_states;
+    let mut local = Report::default();
+    local.stats.strategy = options.strategy.name();
+    let mut sink = SharedSink(&shared.observers);
+    loop {
+        // ----- pop (or terminate) -----
+        let state = {
+            let mut f = shared.lock_frontier();
+            loop {
+                if f.stop {
+                    return local;
+                }
+                if let Some(state) = f.queue.pop() {
+                    f.len -= 1;
+                    shared.frontier_len.store(f.len, Ordering::Relaxed);
+                    break state;
+                }
+                f.idle += 1;
+                if f.idle == f.alive {
+                    // Every living worker idle over an empty frontier:
+                    // no in-flight expansion exists to refill it. Done.
+                    f.stop = true;
+                    shared.work.notify_all();
+                    return local;
+                }
+                f = shared.work.wait(f).unwrap_or_else(PoisonError::into_inner);
+                f.idle -= 1;
+            }
+        };
+
+        // ----- claim an expansion slot against the budgets -----
+        let states_now = loop {
+            let expanded = shared.states.load(Ordering::Relaxed);
+            if expanded >= options.max_states
+                || shared.violations.load(Ordering::Relaxed) >= options.max_violations
+            {
+                shared.truncated.store(true, Ordering::Relaxed);
+                shared.stop_all();
+                return local;
+            }
+            if shared
+                .states
+                .compare_exchange(expanded, expanded + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break expanded + 1;
+            }
+        };
+        // `apply` reads `report.stats.states` for first-witness
+        // metrics and violation events: give it the global count at
+        // expansion time (the merge recomputes the true total).
+        local.stats.states = states_now;
+        sink.emit(Event::StateExpanded {
+            states: states_now,
+            frontier: shared.frontier_len.load(Ordering::Relaxed),
+            rob_depth: state.rob.len(),
+        });
+
+        // ----- expand -----
+        let conts = explorer.continuations(&state);
+        if conts.is_empty() {
+            local.stats.schedules += 1;
+            continue;
+        }
+        let violations_before = local.violations.len();
+        let mut fresh: Vec<SymState> = Vec::new();
+        for cont in conts {
+            for succ in explorer.apply(&state, &cont, &mut local, &mut sink) {
+                if dedup && !shared.visit(succ.fingerprint()) {
+                    shared.deduped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                fresh.push(succ);
+            }
+        }
+        let found = local.violations.len() - violations_before;
+        if found > 0 {
+            shared.violations.fetch_add(found, Ordering::Relaxed);
+        }
+        if !fresh.is_empty() {
+            let mut f = shared.lock_frontier();
+            for succ in fresh {
+                f.queue.push(succ);
+                f.len += 1;
+            }
+            f.peak = f.peak.max(f.len);
+            shared.frontier_len.store(f.len, Ordering::Relaxed);
+            if f.idle > 0 {
+                shared.work.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::explorer::{Explorer, ExplorerOptions};
+    use crate::report::Verdict;
+    use crate::state::SymState;
+    use sct_core::examples::fig1;
+
+    fn explore(threads: usize, max_states: usize) -> crate::report::Report {
+        let (p, cfg) = fig1();
+        let explorer = Explorer::new(
+            &p,
+            ExplorerOptions {
+                threads,
+                max_states,
+                ..Default::default()
+            },
+        );
+        explorer.explore(SymState::from_config(&cfg))
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_fig1() {
+        let serial = explore(1, 50_000);
+        for threads in [2, 4] {
+            let par = explore(threads, 50_000);
+            assert_eq!(par.verdict(), serial.verdict(), "{threads} threads");
+            assert_eq!(par.stats.states, serial.stats.states, "{threads} threads");
+            assert_eq!(par.stats.steps, serial.stats.steps, "{threads} threads");
+            assert_eq!(par.stats.deduped, serial.stats.deduped, "{threads} threads");
+            assert_eq!(par.flagged_pcs(), serial.flagged_pcs(), "{threads} threads");
+            assert_eq!(par.stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn parallel_truncates_at_budget() {
+        let par = explore(4, 3);
+        assert!(par.stats.truncated);
+        assert!(par.stats.states <= 3, "CAS budget: {}", par.stats.states);
+        assert!(matches!(par.verdict(), Verdict::Unknown { .. } | Verdict::Insecure { .. }));
+    }
+
+    // Either message is correct: the caller's inline worker resumes
+    // the original payload ("injected observer panic"), a pool worker
+    // surfaces as the pool's "exploration worker panicked".
+    #[test]
+    #[should_panic(expected = "panic")]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A panicking observer unwinds one worker mid-expansion. The
+        // dead worker must retire itself from the head count so the
+        // survivors terminate and the panic is re-raised here — the
+        // failure mode this guards against is an eternal condvar park,
+        // which would time the whole suite out rather than fail fast.
+        use crate::observe::{BoxObserver, Event};
+        let (p, cfg) = fig1();
+        let explorer = Explorer::new(
+            &p,
+            ExplorerOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        let mut observers: Vec<BoxObserver> = vec![Box::new(|e: &Event<'_>| {
+            if matches!(e, Event::StateExpanded { states: 3, .. }) {
+                panic!("injected observer panic");
+            }
+        })];
+        explorer.explore_observed(SymState::from_config(&cfg), &mut observers);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        // 0 = one worker per core; on any machine this must still
+        // produce fig1's violation.
+        let report = explore(0, 50_000);
+        assert!(report.verdict().is_insecure());
+        assert!(report.stats.threads >= 1);
+    }
+}

@@ -510,6 +510,9 @@ impl Request {
                 if let Some(s) = spec.strategy {
                     fields.push(("strategy".into(), Json::Str(s.name().into())));
                 }
+                if spec.threads != 0 {
+                    fields.push(("threads".into(), Json::Int(spec.threads as i128)));
+                }
                 if !spec.symbolic.is_empty() {
                     fields.push((
                         "symbolic".into(),
@@ -575,6 +578,9 @@ impl Request {
                         mode,
                         bound: json.opt_u64_field("bound")?.map(|b| b as usize),
                         strategy,
+                        // 0 (or absent, for older clients) inherits the
+                        // daemon session's parallelism.
+                        threads: json.opt_u64_field("threads")?.unwrap_or(0) as usize,
                         symbolic,
                     },
                 })
@@ -745,6 +751,15 @@ fn explore_stats_to_json(s: &ExploreStats) -> Json {
             "solver_memo_evicted".into(),
             Json::Int(s.solver_memo_evicted as i128),
         ),
+        ("threads".into(), Json::Int(s.threads as i128)),
+        (
+            "arena_lock_waits".into(),
+            Json::Int(s.arena_lock_waits as i128),
+        ),
+        (
+            "memo_lock_waits".into(),
+            Json::Int(s.memo_lock_waits as i128),
+        ),
         ("truncated".into(), Json::Bool(s.truncated)),
     ])
 }
@@ -773,6 +788,11 @@ fn explore_stats_from_json(json: &Json) -> Result<ExploreStats, ProtocolError> {
         solver_memo_hits: json.u64_field("solver_memo_hits")? as usize,
         solver_memo_misses: json.u64_field("solver_memo_misses")? as usize,
         solver_memo_evicted: json.u64_field("solver_memo_evicted")? as usize,
+        // Added after the v1 wire format: tolerate their absence (an
+        // older daemon) and default to the serial engine's values.
+        threads: json.opt_u64_field("threads")?.unwrap_or(1) as usize,
+        arena_lock_waits: json.opt_u64_field("arena_lock_waits")?.unwrap_or(0) as usize,
+        memo_lock_waits: json.opt_u64_field("memo_lock_waits")?.unwrap_or(0) as usize,
         truncated: json.bool_field("truncated")?,
     })
 }
@@ -868,7 +888,10 @@ fn violation_from_json(json: &Json) -> Result<WireViolation, ProtocolError> {
     })
 }
 
-/// The `ServiceStats` wire fields, in stable order.
+/// The original (v1) `ServiceStats` wire fields, in stable order.
+/// Required on parse; fields added later are listed in
+/// `SERVICE_STAT_FIELDS_V2` and tolerated when absent, so a new client
+/// can read an old daemon's stats line.
 const SERVICE_STAT_FIELDS: [&str; 16] = [
     "jobs_submitted",
     "jobs_done",
@@ -887,6 +910,9 @@ const SERVICE_STAT_FIELDS: [&str; 16] = [
     "last_reload_nodes",
     "last_reload_verdicts",
 ];
+
+/// Fields added with concurrent job execution (parse defaults to 0).
+const SERVICE_STAT_FIELDS_V2: [&str; 3] = ["in_flight", "arena_lock_waits", "memo_lock_waits"];
 
 fn service_stats_values(s: &ServiceStats) -> [u64; 16] {
     [
@@ -910,19 +936,28 @@ fn service_stats_values(s: &ServiceStats) -> [u64; 16] {
 }
 
 fn service_stats_to_json(s: &ServiceStats) -> Json {
-    Json::Obj(
-        SERVICE_STAT_FIELDS
-            .iter()
-            .zip(service_stats_values(s))
-            .map(|(k, v)| ((*k).to_string(), Json::Int(v as i128)))
-            .collect(),
-    )
+    let mut fields: Vec<(String, Json)> = SERVICE_STAT_FIELDS
+        .iter()
+        .zip(service_stats_values(s))
+        .map(|(k, v)| ((*k).to_string(), Json::Int(v as i128)))
+        .collect();
+    for (k, v) in SERVICE_STAT_FIELDS_V2
+        .iter()
+        .zip([s.in_flight, s.arena_lock_waits, s.memo_lock_waits])
+    {
+        fields.push(((*k).to_string(), Json::Int(v as i128)));
+    }
+    Json::Obj(fields)
 }
 
 fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
     let mut v = [0u64; 16];
     for (slot, key) in v.iter_mut().zip(SERVICE_STAT_FIELDS) {
         *slot = json.u64_field(key)?;
+    }
+    let mut v2 = [0u64; 3];
+    for (slot, key) in v2.iter_mut().zip(SERVICE_STAT_FIELDS_V2) {
+        *slot = json.opt_u64_field(key)?.unwrap_or(0);
     }
     Ok(ServiceStats {
         jobs_submitted: v[0],
@@ -941,6 +976,9 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
         memo_stale_dropped: v[13],
         last_reload_nodes: v[14],
         last_reload_verdicts: v[15],
+        in_flight: v2[0],
+        arena_lock_waits: v2[1],
+        memo_lock_waits: v2[2],
     })
 }
 
@@ -1090,6 +1128,7 @@ mod tests {
                     mode: JobMode::V4,
                     bound: Some(20),
                     strategy: Some(StrategyKind::DeepestRob),
+                    threads: 4,
                     symbolic: vec![sct_core::reg::names::RA],
                 },
             },

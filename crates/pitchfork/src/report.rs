@@ -131,6 +131,15 @@ pub struct ExploreStats {
     /// exploration ran (LRU by last hit; same delta-of-global caveat as
     /// [`ExploreStats::solver_queries`]).
     pub solver_memo_evicted: usize,
+    /// Worker threads the exploration ran on (1 = the serial engine).
+    pub threads: usize,
+    /// Contended expression-interner lock acquisitions while this
+    /// exploration ran (delta of the process-wide counter; the
+    /// shard-contention signal the parallel engine is judged by).
+    pub arena_lock_waits: usize,
+    /// Contended solver-memo lock acquisitions while this exploration
+    /// ran (same delta-of-global caveat).
+    pub memo_lock_waits: usize,
     /// `true` when exploration hit the state budget and stopped early.
     pub truncated: bool,
 }
@@ -150,6 +159,9 @@ impl Default for ExploreStats {
             solver_memo_hits: 0,
             solver_memo_misses: 0,
             solver_memo_evicted: 0,
+            threads: 1,
+            arena_lock_waits: 0,
+            memo_lock_waits: 0,
             truncated: false,
         }
     }

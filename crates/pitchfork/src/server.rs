@@ -1,15 +1,19 @@
 //! The `pitchfork --serve` daemon: a Unix-domain-socket front end over
 //! one [`SessionService`].
 //!
-//! std-only, thread-per-connection. One **worker** thread owns the
-//! service lock while jobs run (jobs are FIFO; the analysis session,
-//! arena, and cache are one shared substrate, so job execution is
-//! serial by design); each accepted connection gets a handler thread
-//! speaking the line-delimited JSON protocol of [`crate::protocol`].
-//! `Status` and `Events` are answered from the [`ServiceMonitor`]
-//! without touching the service lock, which is what lets a client
-//! stream events *while* a job runs. Submissions and stats wait for the
-//! lock (bounded by the running job).
+//! std-only, thread-per-connection. A pool of **job worker** threads
+//! (size = [`Server::bind_with_workers`]'s `job_workers`, CLI
+//! `--jobs K`, default 1) executes queued jobs: each worker takes the
+//! service lock only long enough to pop a [`PreparedJob`], runs the
+//! analysis with **no lock held** — the expression arena and solver
+//! memo are lock-striped process-wide state, so K jobs proceed
+//! genuinely in parallel — and re-locks briefly to publish the result.
+//! Each accepted connection gets a handler thread speaking the
+//! line-delimited JSON protocol of [`crate::protocol`]. `Status` and
+//! `Events` are answered from the [`ServiceMonitor`] without touching
+//! the service lock, which is what lets a client stream events *while*
+//! jobs run; submissions and stats wait only for the short queue-pop /
+//! publish critical sections.
 //!
 //! ```no_run
 //! use pitchfork::server::Server;
@@ -58,13 +62,28 @@ pub struct Server {
     shared: Arc<Shared>,
     path: PathBuf,
     accept: Option<JoinHandle<()>>,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind `path` (an existing socket file is replaced — a daemon that
-    /// crashed leaves one behind) and start serving `service`.
+    /// crashed leaves one behind) and start serving `service` with one
+    /// job worker (jobs execute one at a time, as daemons did before
+    /// concurrent execution existed).
     pub fn bind(path: impl AsRef<Path>, service: SessionService) -> std::io::Result<Server> {
+        Server::bind_with_workers(path, service, 1)
+    }
+
+    /// [`Server::bind`] with a pool of `job_workers` threads executing
+    /// queued jobs concurrently (clamped to at least 1). Status reads
+    /// and event streams stay correct under concurrency — events are
+    /// routed by job id — and epoch retirement is deferred until the
+    /// in-flight jobs drain.
+    pub fn bind_with_workers(
+        path: impl AsRef<Path>,
+        service: SessionService,
+        job_workers: usize,
+    ) -> std::io::Result<Server> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
@@ -79,12 +98,14 @@ impl Server {
             monitor,
         });
 
-        let worker = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("pitchfork-worker".into())
-                .spawn(move || worker_loop(&shared))?
-        };
+        let workers = (0..job_workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pitchfork-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -95,7 +116,7 @@ impl Server {
             shared,
             path,
             accept: Some(accept),
-            worker: Some(worker),
+            workers,
         })
     }
 
@@ -118,7 +139,7 @@ impl Server {
 
     /// Block until the daemon stops, then remove the socket file.
     pub fn wait(mut self) {
-        if let Some(h) = self.worker.take() {
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
         if let Some(h) = self.accept.take() {
@@ -128,28 +149,35 @@ impl Server {
     }
 }
 
+/// One job worker: pop a prepared job under the service lock, run it
+/// with no lock held, publish the result. On shutdown the pool drains
+/// the queue (and waits out jobs running on sibling workers) before
+/// exiting, preserving the "shutdown finishes accepted work" contract.
 fn worker_loop(shared: &Shared) {
-    let mut service = shared.lock();
     loop {
-        if service.has_pending() {
-            service.run_next();
-            // Release the lock between jobs so waiting Submit/Stats/
-            // Retire handlers get a turn — a deep queue must not make
-            // every other request wait for the whole drain ("bounded
-            // by the running job", not by the backlog).
-            drop(service);
-            std::thread::yield_now();
-            service = shared.lock();
-            continue;
+        let prepared = shared.lock().begin_next();
+        match prepared {
+            Some(job) => {
+                let finished = job.run();
+                shared.lock().finish(finished);
+                // Wake sibling workers (the queue may hold more) and
+                // event streamers waiting on terminal status.
+                shared.work.notify_all();
+            }
+            None => {
+                let service = shared.lock();
+                if shared.shutdown.load(Ordering::SeqCst)
+                    && !service.has_pending()
+                    && service.in_flight() == 0
+                {
+                    return;
+                }
+                let _ = shared
+                    .work
+                    .wait_timeout(service, IDLE_POLL)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let (guard, _) = shared
-            .work
-            .wait_timeout(service, IDLE_POLL)
-            .unwrap_or_else(PoisonError::into_inner);
-        service = guard;
     }
 }
 

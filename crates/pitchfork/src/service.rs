@@ -28,9 +28,11 @@
 //! ```
 
 use crate::detector::DetectorOptions;
-use crate::observe::{Event, OwnedEvent};
+use crate::explorer::Explorer;
+use crate::observe::{BoxObserver, Event, OwnedEvent};
 use crate::report::Report;
 use crate::session::AnalysisSession;
+use crate::state::SymState;
 use crate::strategy::StrategyKind;
 use sct_core::{Config, Program, Reg};
 use std::collections::{BTreeMap, VecDeque};
@@ -159,8 +161,9 @@ impl fmt::Display for JobMode {
     }
 }
 
-/// Per-job analysis options: mode, bound, frontier order, and
-/// symbolized registers. `None` fields inherit the session's setting.
+/// Per-job analysis options: mode, bound, frontier order, worker
+/// threads, and symbolized registers. `None` (or 0 for `threads`)
+/// fields inherit the session's setting.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct JobSpec {
     /// Detector mode.
@@ -169,6 +172,10 @@ pub struct JobSpec {
     pub bound: Option<usize>,
     /// Frontier-order override (`None` = the session's strategy).
     pub strategy: Option<StrategyKind>,
+    /// Worker threads for this job's exploration (0 = the session's
+    /// setting; 1 = serial; n = n-thread frontier — the wire form of
+    /// `--threads`).
+    pub threads: usize,
     /// Registers replaced by fresh symbolic inputs.
     pub symbolic: Vec<Reg>,
 }
@@ -313,6 +320,15 @@ pub struct ServiceStats {
     pub last_reload_nodes: u64,
     /// Verdicts the most recent retirement warm-started.
     pub last_reload_verdicts: u64,
+    /// Jobs currently executing (0 or 1 on a single-worker daemon;
+    /// up to `--jobs K` under concurrent execution).
+    pub in_flight: u64,
+    /// Cumulative contended interner-lock acquisitions (process-wide;
+    /// the shard-contention signal for concurrent jobs and parallel
+    /// frontiers).
+    pub arena_lock_waits: u64,
+    /// Cumulative contended solver-memo-lock acquisitions.
+    pub memo_lock_waits: u64,
 }
 
 /// Cap on retained events per job: one event per expanded state adds
@@ -425,24 +441,34 @@ impl ServiceMonitor {
     fn record_event(&self, event: OwnedEvent) {
         let mut inner = self.lock();
         match inner.current {
-            Some(id) => {
-                if let Some(j) = inner.jobs.get_mut(&id) {
-                    // Per-job cap: count overflow instead of storing it,
-                    // but always keep the terminal `ItemFinished` so
-                    // streams close on a real event.
-                    if j.events.len() < MAX_EVENTS_PER_JOB
-                        || matches!(event, OwnedEvent::ItemFinished { .. })
-                    {
-                        j.events.push(event);
-                    } else {
-                        j.events_dropped += 1;
-                    }
-                }
-            }
+            Some(id) => Self::push_event(&mut inner, id, event),
             None => {
                 if inner.service_events.len() < MAX_EVENTS_PER_JOB {
                     inner.service_events.push(event);
                 }
+            }
+        }
+    }
+
+    /// Append an event to an explicit job's log — the routing used by
+    /// concurrent job execution, where several jobs stream at once and
+    /// a single `current` pointer cannot attribute events.
+    fn record_event_for(&self, id: JobId, event: OwnedEvent) {
+        let mut inner = self.lock();
+        Self::push_event(&mut inner, id.as_u64(), event);
+    }
+
+    fn push_event(inner: &mut MonitorInner, id: u64, event: OwnedEvent) {
+        if let Some(j) = inner.jobs.get_mut(&id) {
+            // Per-job cap: count overflow instead of storing it,
+            // but always keep the terminal `ItemFinished` so
+            // streams close on a real event.
+            if j.events.len() < MAX_EVENTS_PER_JOB
+                || matches!(event, OwnedEvent::ItemFinished { .. })
+            {
+                j.events.push(event);
+            } else {
+                j.events_dropped += 1;
             }
         }
     }
@@ -497,16 +523,92 @@ impl ServiceMonitor {
     }
 }
 
+/// A dequeued job, self-contained and ready to execute **off the
+/// service lock**: resolved detector options (session defaults with
+/// the job's overrides applied), the program, and a monitor handle
+/// that streams events under the job's own id. Produced by
+/// [`SessionService::begin_next`]; consumed by [`PreparedJob::run`];
+/// the result returns to the service via [`SessionService::finish`].
+pub struct PreparedJob {
+    id: JobId,
+    name: String,
+    program: Program,
+    config: Config,
+    symbolic: Vec<Reg>,
+    options: DetectorOptions,
+    monitor: ServiceMonitor,
+}
+
+impl PreparedJob {
+    /// The job's id (handed out at submission).
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The resolved options the job will run under.
+    pub fn options(&self) -> &DetectorOptions {
+        &self.options
+    }
+
+    /// Execute the analysis. Needs no lock on the service: events
+    /// stream straight into the monitor under this job's id (several
+    /// running jobs interleave their logs correctly), and the shared
+    /// expression arena / solver memo are internally lock-striped.
+    pub fn run(self) -> FinishedJob {
+        let monitor = self.monitor.clone();
+        let id = self.id;
+        let mut observers: Vec<BoxObserver> = vec![Box::new(move |e: &Event<'_>| {
+            monitor.record_event_for(id, OwnedEvent::from(e));
+        })];
+        let explorer =
+            Explorer::with_params(&self.program, self.options.params, self.options.explorer);
+        let initial = if self.symbolic.is_empty() {
+            SymState::from_config(&self.config)
+        } else {
+            SymState::from_config_symbolizing(&self.config, &self.symbolic)
+        };
+        let report = explorer.explore_observed(initial, &mut observers);
+        FinishedJob {
+            id: self.id,
+            name: self.name,
+            report,
+        }
+    }
+}
+
+/// A completed [`PreparedJob`]: pass to [`SessionService::finish`] to
+/// publish the report and apply lifecycle bookkeeping.
+pub struct FinishedJob {
+    id: JobId,
+    name: String,
+    report: Report,
+}
+
+impl FinishedJob {
+    /// The finished job's id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The analysis report about to be published.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+}
+
 /// A long-lived analysis service: one [`AnalysisSession`], a FIFO job
 /// queue, and the epoch-retire policy.
 ///
-/// The service is single-threaded by design — [`SessionService::submit`]
-/// enqueues, [`SessionService::run_next`] /
-/// [`SessionService::run_pending`] execute — because the session's
-/// arena, cache binding, and epoch lifecycle are one shared substrate;
-/// concurrency lives in the transport ([`crate::server`] runs the
-/// service on a worker thread and serves status/event reads from the
-/// [`ServiceMonitor`]).
+/// Two execution styles ship. The classic serial loop —
+/// [`SessionService::submit`] enqueues, [`SessionService::run_next`] /
+/// [`SessionService::run_pending`] execute through the owned session —
+/// and **bounded concurrent execution**: [`SessionService::begin_next`]
+/// pops a self-contained [`PreparedJob`] that runs off the service
+/// lock, so K transport workers analyze K jobs simultaneously against
+/// the lock-striped arena/memo ([`SessionService::run_concurrent`] is
+/// the in-process form; [`crate::server`] spawns `--jobs K` worker
+/// threads). Epoch retirement — the one operation that must be alone —
+/// is deferred until the in-flight count drains.
 pub struct SessionService {
     session: AnalysisSession,
     monitor: ServiceMonitor,
@@ -517,6 +619,13 @@ pub struct SessionService {
     jobs_done: u64,
     jobs_failed: u64,
     jobs_submitted: u64,
+    /// Jobs begun via [`SessionService::begin_next`] and not yet
+    /// finished — the guard that keeps epoch retirement (which
+    /// invalidates every live `ExprRef`) from running under a job.
+    in_flight: usize,
+    /// A retirement became due (policy or explicit request) while jobs
+    /// were in flight; applied when the last one finishes.
+    retire_deferred: bool,
     last_reload: Option<sct_cache::LoadStats>,
     last_retire_error: Option<String>,
 }
@@ -544,6 +653,8 @@ impl SessionService {
             jobs_done: 0,
             jobs_failed: 0,
             jobs_submitted: 0,
+            in_flight: 0,
+            retire_deferred: false,
             last_reload: None,
             last_retire_error: None,
         }
@@ -644,11 +755,15 @@ impl SessionService {
         if let Some(s) = job.spec.strategy {
             self.session.set_strategy(s);
         }
+        if job.spec.threads > 0 {
+            self.session.set_parallelism(job.spec.threads);
+        }
         let report = self
             .session
             .analyze_symbolic(&job.program, &job.config, &job.spec.symbolic);
         self.session.set_options(saved_options);
         self.session.set_strategy(saved_options.explorer.strategy);
+        self.session.set_parallelism(saved_options.explorer.threads);
 
         self.jobs_done += 1;
         self.jobs_since_retire += 1;
@@ -689,12 +804,148 @@ impl SessionService {
         n
     }
 
+    /// Jobs begun via [`SessionService::begin_next`] and not yet handed
+    /// back to [`SessionService::finish`].
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Pop the oldest queued job as a [`PreparedJob`] that runs
+    /// **without the service**: everything the analysis needs (program,
+    /// resolved options, a monitor handle for event streaming) is
+    /// captured, so a transport can release its service lock, call
+    /// [`PreparedJob::run`] on a worker thread — several concurrently —
+    /// and hand the [`FinishedJob`] back to
+    /// [`SessionService::finish`]. Per-job overrides resolve against
+    /// the session's current defaults exactly as
+    /// [`SessionService::run_next`] does.
+    ///
+    /// Safe concurrency falls out of the substrate: the expression
+    /// arena and solver memo are lock-striped process-wide state, and
+    /// epoch retirement is deferred while any prepared job is in
+    /// flight.
+    pub fn begin_next(&mut self) -> Option<PreparedJob> {
+        let (id, job) = self.queue.pop_front()?;
+        self.in_flight += 1;
+        self.monitor.set_status(id, JobStatus::Running);
+        let defaults = *self.session.options();
+        let bound = job.spec.bound.unwrap_or(defaults.explorer.spec_bound);
+        let mut options = job.spec.mode.options(bound);
+        options.explorer.strategy = job.spec.strategy.unwrap_or(defaults.explorer.strategy);
+        options.explorer.dedup_states = defaults.explorer.dedup_states;
+        options.explorer.threads = if job.spec.threads > 0 {
+            job.spec.threads
+        } else {
+            defaults.explorer.threads
+        };
+        Some(PreparedJob {
+            id,
+            name: job.name,
+            program: job.program,
+            config: job.config,
+            symbolic: job.spec.symbolic,
+            options,
+            monitor: self.monitor.clone(),
+        })
+    }
+
+    /// Record a completed [`PreparedJob`]: bookkeeping, the terminal
+    /// `ItemFinished` event, the job's report, and — once no other job
+    /// is in flight — any due (or deferred) epoch retirement.
+    pub fn finish(&mut self, done: FinishedJob) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.jobs_done += 1;
+        self.jobs_since_retire += 1;
+        let due = self.retire_deferred
+            || self
+                .policy
+                .due(self.jobs_since_retire, sct_symx::arena_stats().nodes);
+        if due {
+            if self.in_flight == 0 {
+                if let Err(e) = self.retire() {
+                    self.last_retire_error = Some(e.to_string());
+                }
+            } else {
+                // Retiring now would invalidate the ExprRefs of the
+                // jobs still running; the last finisher applies it.
+                self.retire_deferred = true;
+            }
+        }
+        self.monitor.record_event_for(
+            done.id,
+            OwnedEvent::ItemFinished {
+                name: done.name.clone(),
+                flagged: done.report.has_violations(),
+                states: done.report.stats.states,
+            },
+        );
+        self.monitor.finish(done.id, done.report);
+    }
+
+    /// Drain the queue on `workers` concurrent job threads (each job
+    /// may itself run a multi-threaded frontier per its spec). Jobs
+    /// run against the shared lock-striped arena/memo and are
+    /// finalized **as each completes** — records flip to `Done` and
+    /// event streams close exactly as under
+    /// [`SessionService::run_pending`], without waiting for the whole
+    /// batch (a slow job never delays a fast job's terminal status).
+    /// Completion order — and therefore which job triggers a policy
+    /// retirement — is timing-dependent. Returns how many jobs ran.
+    pub fn run_concurrent(&mut self, workers: usize) -> usize {
+        let workers = workers.max(1);
+        let mut batch = VecDeque::new();
+        while let Some(p) = self.begin_next() {
+            batch.push_back(p);
+        }
+        if batch.is_empty() {
+            return 0;
+        }
+        let ran = batch.len();
+        let pool = workers.min(ran);
+        let queue = Mutex::new(batch);
+        // Workers borrow the service through a mutex only for the
+        // brief `finish` critical section; nothing else can reach the
+        // service meanwhile (the caller holds `&mut self`).
+        let service = Mutex::new(&mut *self);
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                scope.spawn(|| loop {
+                    let job = queue
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop_front();
+                    match job {
+                        Some(j) => {
+                            let done = j.run();
+                            service
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .finish(done);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        ran
+    }
+
     /// Retire the session's arena epoch now (snapshot save → retire →
     /// warm-start; see [`AnalysisSession::retire`]) and reset the
     /// policy's job counter.
+    ///
+    /// With jobs in flight the retirement is **deferred** instead
+    /// (retiring would invalidate their live expression references):
+    /// `Ok(None)` is returned and the epoch turns over when the last
+    /// in-flight job finishes.
     pub fn retire(&mut self) -> Result<Option<sct_cache::LoadStats>, sct_cache::CacheError> {
+        if self.in_flight > 0 {
+            self.retire_deferred = true;
+            return Ok(None);
+        }
         let reload = self.session.retire()?;
         self.jobs_since_retire = 0;
+        self.retire_deferred = false;
         self.last_reload = reload;
         self.last_retire_error = None;
         Ok(reload)
@@ -711,6 +962,9 @@ impl SessionService {
         let arena = sct_symx::arena_stats();
         let memo = sct_symx::solver_memo_stats();
         ServiceStats {
+            in_flight: self.in_flight as u64,
+            arena_lock_waits: arena.lock_waits,
+            memo_lock_waits: memo.lock_waits,
             jobs_submitted: self.jobs_submitted,
             jobs_done: self.jobs_done,
             jobs_failed: self.jobs_failed,
@@ -845,6 +1099,7 @@ mod tests {
             mode: JobMode::V4,
             bound: Some(12),
             strategy: Some(StrategyKind::Fifo),
+            threads: 0,
             symbolic: vec![],
         };
         let id = svc.submit(Job::with_spec("fig1-v4", p, cfg, spec));
@@ -857,6 +1112,60 @@ mod tests {
         assert_eq!(svc.session().options().explorer.spec_bound, 16);
         assert!(!svc.session().options().explorer.forwarding_hazards);
     }
+
+    #[test]
+    fn concurrent_execution_matches_serial_records() {
+        let mut svc = service();
+        let (p, cfg) = fig1();
+        let ids: Vec<_> = (0..4)
+            .map(|i| svc.submit(Job::new(format!("job{i}"), p.clone(), cfg.clone())))
+            .collect();
+        assert_eq!(svc.run_concurrent(3), 4);
+        assert_eq!(svc.in_flight(), 0);
+        let monitor = svc.monitor();
+        for id in ids {
+            let rec = svc.record(id).unwrap();
+            assert_eq!(rec.status, JobStatus::Done);
+            let report = rec.report.unwrap();
+            assert!(report.verdict().is_insecure());
+            // Event streams stayed per-job under concurrency: each log
+            // has exactly its job's expansions and closes terminally.
+            let (events, _) = monitor.events_since(id, 0).unwrap();
+            assert!(matches!(
+                events.last(),
+                Some(OwnedEvent::ItemFinished { flagged: true, .. })
+            ));
+            let expanded = events
+                .iter()
+                .filter(|e| matches!(e, OwnedEvent::StateExpanded { .. }))
+                .count();
+            assert_eq!(expanded, report.stats.states);
+        }
+        assert_eq!(svc.stats().jobs_done, 4);
+    }
+
+    #[test]
+    fn per_job_threads_runs_parallel_engine() {
+        let mut svc = service();
+        let (p, cfg) = fig1();
+        let spec = JobSpec {
+            threads: 2,
+            ..JobSpec::default()
+        };
+        let id = svc.submit(Job::with_spec("fig1-par", p, cfg, spec));
+        svc.run_concurrent(1);
+        let report = svc.record(id).unwrap().report.unwrap();
+        assert_eq!(report.stats.threads, 2);
+        assert!(report.verdict().is_insecure());
+        // The session's own parallelism default is untouched.
+        assert_eq!(svc.session().parallelism(), 1);
+    }
+
+    // Deferred-retire semantics (retire requested while a prepared job
+    // is in flight) live in `tests/serve_e2e.rs`
+    // (`retire_defers_while_jobs_in_flight`): they retire the
+    // process-wide arena, which must not race the parallel unit tests
+    // here.
 
     #[test]
     fn mode_and_status_names_round_trip() {

@@ -40,8 +40,11 @@ use std::collections::{BinaryHeap, VecDeque};
 /// call through [`StrategyKind::frontier`] (or the session's custom
 /// factory). Implementations must be deterministic: two explorations of
 /// the same program with the same options must pop states in the same
-/// order, or reports stop being reproducible.
-pub trait SearchStrategy {
+/// order, or reports stop being reproducible. (Parallel exploration
+/// shares one frontier behind a mutex, so pop order additionally
+/// depends on worker timing there — the strategy then acts as a
+/// priority *hint*; see the crate-level "Parallel exploration" notes.)
+pub trait SearchStrategy: Send {
     /// The strategy's stable display name (appears in
     /// [`crate::ExploreStats::strategy`], JSON reports, and `--strategy`).
     fn name(&self) -> &'static str;
@@ -105,7 +108,7 @@ impl StrategyKind {
     }
 
     /// A fresh frontier implementing this order.
-    pub fn frontier(self) -> Box<dyn SearchStrategy> {
+    pub fn frontier(self) -> Box<dyn SearchStrategy + Send> {
         match self {
             StrategyKind::Lifo => Box::new(Lifo::default()),
             StrategyKind::Fifo => Box::new(Fifo::default()),

@@ -44,6 +44,7 @@ fn random_spec(rng: &mut SmallRng) -> JobSpec {
         strategy: rng
             .gen_bool(0.5)
             .then(|| StrategyKind::ALL[rng.gen_range(0..StrategyKind::ALL.len())]),
+        threads: if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..16) },
         symbolic: (0..rng.gen_range(0..3)).map(|i| regs[i]).collect(),
     }
 }
@@ -92,6 +93,9 @@ fn random_explore_stats(rng: &mut SmallRng) -> ExploreStats {
         solver_memo_hits: rng.gen_range(0..100_000),
         solver_memo_misses: rng.gen_range(0..100_000),
         solver_memo_evicted: rng.gen_range(0..100_000),
+        threads: rng.gen_range(1..16),
+        arena_lock_waits: rng.gen_range(0..100_000),
+        memo_lock_waits: rng.gen_range(0..100_000),
         truncated: rng.gen_bool(0.5),
     }
 }
@@ -148,6 +152,9 @@ fn random_service_stats(rng: &mut SmallRng) -> ServiceStats {
         memo_stale_dropped: rng.gen(),
         last_reload_nodes: rng.gen(),
         last_reload_verdicts: rng.gen(),
+        in_flight: rng.gen(),
+        arena_lock_waits: rng.gen(),
+        memo_lock_waits: rng.gen(),
     }
 }
 

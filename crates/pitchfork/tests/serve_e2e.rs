@@ -290,3 +290,60 @@ fn retire_policy_cycles_epochs_under_service() {
     assert!(svc.last_retire_error().is_none());
     let _ = std::fs::remove_file(&cache);
 }
+
+#[test]
+fn retire_defers_while_jobs_in_flight() {
+    let _guard = lock();
+    let session = SessionBuilder::new().v1_mode(16).build().unwrap();
+    let mut svc = SessionService::new(session);
+    let (p, cfg) = fig1();
+    svc.submit(Job::new("held", p, cfg));
+    let prepared = svc.begin_next().expect("queued job");
+    assert_eq!(svc.in_flight(), 1);
+    let epochs_before = svc.session().epochs_retired();
+    // Retiring now would invalidate the prepared job's ExprRefs: the
+    // service defers instead of retiring under it.
+    assert!(matches!(svc.retire(), Ok(None)));
+    assert_eq!(svc.session().epochs_retired(), epochs_before);
+    let finished = prepared.run();
+    assert!(finished.report().verdict().is_insecure());
+    svc.finish(finished);
+    assert_eq!(svc.in_flight(), 0);
+    // The deferred retirement was applied by the last finisher, and
+    // the job's record survived it.
+    assert_eq!(svc.session().epochs_retired(), epochs_before + 1);
+    assert_eq!(svc.stats().jobs_done, 1);
+}
+
+#[test]
+fn concurrent_job_workers_serve_parallel_submissions() {
+    let _guard = lock();
+    let sock = temp_path("jobs", "sock");
+    let session = SessionBuilder::new().v1_mode(16).build().unwrap();
+    let service = SessionService::new(session);
+    let server = Server::bind_with_workers(&sock, service, 3).unwrap();
+    let source = fig1_source();
+    let mut client = Client::connect(&sock).unwrap();
+    // Burst-submit: with 3 job workers the daemon runs several at
+    // once; all must complete with the batch-mode verdict.
+    let ids: Vec<_> = (0..6)
+        .map(|i| {
+            client
+                .submit_source(format!("fig1-{i}"), source.clone(), JobSpec::default())
+                .unwrap()
+        })
+        .collect();
+    let mut session = SessionBuilder::new().v1_mode(16).build().unwrap();
+    let (p, cfg) = fig1();
+    let direct = session.analyze(&p, &cfg);
+    for id in ids {
+        let view = client.wait(id, WAIT).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(view.verdict.as_ref(), Some(&direct.verdict()));
+        let stats = view.stats.expect("done job has stats");
+        assert_eq!(stats.states, direct.stats.states);
+    }
+    let stats = client.shutdown().unwrap();
+    assert_eq!(stats.jobs_done, 6);
+    server.wait();
+}

@@ -10,22 +10,47 @@
 //! [`crate::simplify`], and memoizes `(op, args) → result`, so
 //! re-deriving the same value along different schedules is a cache hit.
 //!
+//! # Sharding
+//!
+//! The interner is **lock-striped** across [`NUM_SHARDS`] shards, each
+//! behind its own `RwLock`. A node's shard is chosen by its structural
+//! hash, so two threads interning unrelated expressions almost never
+//! touch the same lock, and the dominant hit path (the structure is
+//! already interned) takes a single shard *read* lock — concurrent
+//! readers never block each other. The id encodes the shard in its low
+//! bits, so resolving an id to its node is a single read-lock on the
+//! owning shard; no global lock exists at all. Failed `try_lock`
+//! attempts are counted ([`ArenaStats::lock_waits`]) so contention is
+//! visible without a profiler.
+//!
 //! The arena is shared by every analysis in the process (see
-//! [`arena_stats`]); batch runs over many programs reuse each other's
-//! interned expressions.
+//! [`arena_stats`]); batch runs over many programs — and parallel
+//! explorations within one program — reuse each other's interned
+//! expressions.
 
 use sct_core::op::{self, OpCode};
 use sct_core::Val;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{LazyLock, PoisonError, RwLock, RwLockReadGuard};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError};
 
 /// Bits of an [`ExprRef`] holding the arena index; the remaining high
 /// bits hold the epoch tag (see [`retire_arena`]).
 const INDEX_BITS: u32 = 24;
 /// Largest interned-node index representable in one epoch (~16.7M).
 const MAX_INDEX: u32 = (1 << INDEX_BITS) - 1;
+/// Low bits of an index naming the owning shard.
+const SHARD_BITS: u32 = 4;
+/// Interner shards (lock stripes). A node's shard is its structural
+/// hash modulo this; the shard id is packed into the low index bits so
+/// id → node resolution needs no directory.
+pub const NUM_SHARDS: usize = 1 << SHARD_BITS;
+const SHARD_MASK: u32 = NUM_SHARDS as u32 - 1;
+/// Largest per-shard slot (the 24-bit index space divided evenly).
+const MAX_SLOT: u32 = (1 << (INDEX_BITS - SHARD_BITS)) - 1;
 
 /// A symbolic input variable.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -86,12 +111,13 @@ pub(crate) enum Node {
 /// structural equality of the interned (simplified) expression.
 ///
 /// `ExprRef` is `Copy`; cloning a whole symbolic machine state copies
-/// ids, never expression trees. The `Ord` instance is interning order —
-/// arbitrary but deterministic within a process, which is what the
+/// ids, never expression trees. The `Ord` instance is id order —
+/// arbitrary but stable within a process epoch, which is what the
 /// explorer needs to canonicalize path-condition sets.
 ///
-/// The 32 bits are split: the low [`INDEX_BITS`] index into the arena,
-/// the high bits carry the arena's epoch tag at interning time. After
+/// The 32 bits are split: the low [`INDEX_BITS`] index into the arena
+/// (their own low [`SHARD_BITS`] naming the owning shard), the high
+/// bits carry the arena's epoch tag at interning time. After
 /// [`retire_arena`] the tag no longer matches, so using a retired
 /// reference panics loudly instead of silently reading an unrelated
 /// node (see the epoch discussion on [`retire_arena`]).
@@ -107,6 +133,17 @@ impl ExprRef {
     /// The arena index (low bits, without the epoch tag).
     pub(crate) fn index(self) -> u32 {
         self.0 & MAX_INDEX
+    }
+
+    /// The raw 32 bits (index + epoch tag), for local caches keyed by
+    /// the full reference.
+    pub(crate) fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The owning interner shard.
+    fn shard(self) -> usize {
+        (self.0 & SHARD_MASK) as usize
     }
 
     /// The epoch tag this reference was interned under.
@@ -131,23 +168,21 @@ pub enum ExprKind {
     App(OpCode, Vec<ExprRef>),
 }
 
-/// The hash-consing interner. One process-wide instance lives behind a
-/// [`RwLock`]; public [`ExprRef`] methods lock it, crate-internal code
-/// (the simplifier, the interval analysis, the solver's hot loops)
-/// receives `&ExprArena`/`&mut ExprArena` to stay re-entrancy-free.
-///
-/// The dedup index is **id-keyed**: each node is stored exactly once,
-/// in `nodes`, and the index maps a 64-bit structural hash to the id
-/// (with an overflow table for the ~never case of colliding hashes).
-/// The previous layout kept every `Node` a second time as its own map
-/// key, roughly doubling resident arena memory.
+/// One lock stripe of the interner. The dedup index is **id-keyed**:
+/// each node is stored exactly once, in `nodes`, and the index maps a
+/// 64-bit structural hash to the id (with an overflow table for the
+/// ~never case of colliding hashes).
 #[derive(Debug, Default)]
-pub(crate) struct ExprArena {
-    /// Epoch counter; bumped by [`ExprArena::retire`]. The low 8 bits
-    /// are the tag packed into every handed-out [`ExprRef`].
-    epoch: u64,
+struct Shard {
+    /// Interned nodes, slot-indexed (id = slot << SHARD_BITS | shard).
     nodes: Vec<Node>,
-    /// Total child slots across all `App` nodes (memory accounting).
+    /// Global interning sequence number per slot. Children always carry
+    /// a smaller sequence than their parents (they exist first), which
+    /// is what lets [`export_arena`] emit a topologically ordered flat
+    /// table even though slot order is per-shard.
+    seqs: Vec<u64>,
+    /// Total child slots across this shard's `App` nodes (memory
+    /// accounting).
     child_slots: usize,
     /// Structural hash → interned id. Nodes live only in `nodes`.
     dedup: HashMap<u64, u32>,
@@ -155,10 +190,92 @@ pub(crate) struct ExprArena {
     /// `dedup` (64-bit collisions: expected never at our arena sizes,
     /// handled for correctness).
     dedup_overflow: HashMap<u64, Vec<u32>>,
-    app_cache: HashMap<ExprRef, ExprRef>,
-    app_hits: u64,
-    app_misses: u64,
+    /// Memoized `(op, args) → simplified` results for raw `App` nodes
+    /// owned by this shard, keyed and valued by bare indices (cleared
+    /// wholesale on retirement, so no epoch tags needed).
+    app_cache: HashMap<u32, u32>,
 }
+
+impl Shard {
+    fn node_at(&self, id: u32) -> &Node {
+        &self.nodes[(id >> SHARD_BITS) as usize]
+    }
+
+    /// The interned id of `node` in this shard, if present.
+    fn find(&self, h: u64, node: &Node) -> Option<u32> {
+        let &id = self.dedup.get(&h)?;
+        if self.node_at(id) == node {
+            return Some(id);
+        }
+        // Genuine 64-bit hash collision: consult overflow.
+        if let Some(ids) = self.dedup_overflow.get(&h) {
+            for &id in ids {
+                if self.node_at(id) == node {
+                    return Some(id);
+                }
+            }
+        }
+        None
+    }
+
+    /// Append `node` (known absent) and index it under `h`.
+    fn push_node(&mut self, shard_id: u32, h: u64, node: Node) -> u32 {
+        let slot = u32::try_from(self.nodes.len()).expect("expression arena overflow");
+        assert!(
+            slot <= MAX_SLOT,
+            "expression arena shard overflow: {} nodes exceed the per-shard \
+             capacity of 2^{} this epoch; retire the arena between batches",
+            self.nodes.len(),
+            INDEX_BITS - SHARD_BITS,
+        );
+        let id = (slot << SHARD_BITS) | shard_id;
+        if let Node::App(_, args) = &node {
+            self.child_slots += args.len();
+        }
+        self.nodes.push(node);
+        self.seqs.push(SEQ.fetch_add(1, Ordering::Relaxed));
+        match self.dedup.entry(h) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.dedup_overflow.entry(h).or_default().push(id);
+            }
+        }
+        id
+    }
+
+    fn clear(&mut self) {
+        self.nodes = Vec::new();
+        self.seqs = Vec::new();
+        self.child_slots = 0;
+        self.dedup = HashMap::new();
+        self.dedup_overflow = HashMap::new();
+        self.app_cache = HashMap::new();
+    }
+}
+
+/// The sharded process-wide interner plus its global counters. The
+/// epoch and interning sequence are atomics — they order across shards
+/// without a global lock.
+struct ShardedArena {
+    shards: [RwLock<Shard>; NUM_SHARDS],
+    epoch: AtomicU64,
+}
+
+static ARENA: LazyLock<ShardedArena> = LazyLock::new(|| ShardedArena {
+    shards: std::array::from_fn(|_| RwLock::new(Shard::default())),
+    epoch: AtomicU64::new(0),
+});
+
+/// Global interning sequence (drives the topological export order).
+static SEQ: AtomicU64 = AtomicU64::new(0);
+/// Memoized application-constructor hits/misses (process-wide).
+static APP_HITS: AtomicU64 = AtomicU64::new(0);
+static APP_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Shard lock acquisitions that found the lock contended (the `try_*`
+/// probe failed and the caller had to block).
+static LOCK_WAITS: AtomicU64 = AtomicU64::new(0);
 
 /// The deterministic structural hash the dedup index is keyed by
 /// (SipHash with fixed keys; stable within a process, not across).
@@ -168,152 +285,256 @@ fn node_hash(node: &Node) -> u64 {
     h.finish()
 }
 
-impl ExprArena {
-    fn epoch_tag(&self) -> u8 {
-        self.epoch as u8
-    }
+fn shard_of_hash(h: u64) -> usize {
+    (h as usize) & (NUM_SHARDS - 1)
+}
 
-    /// Intern a node, returning the existing id when the structure is
-    /// already present.
-    fn intern(&mut self, node: Node) -> ExprRef {
-        let h = node_hash(&node);
-        if let Some(&id) = self.dedup.get(&h) {
-            if self.nodes[id as usize] == node {
-                return ExprRef::pack(self.epoch_tag(), id);
+/// Read-lock a shard, counting contention. Poisoned locks are ignored
+/// because shards are append-only and stay structurally valid.
+fn read_shard(i: usize) -> RwLockReadGuard<'static, Shard> {
+    match ARENA.shards[i].try_read() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            LOCK_WAITS.fetch_add(1, Ordering::Relaxed);
+            ARENA.shards[i].read().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// Write-lock a shard, counting contention.
+fn write_shard(i: usize) -> RwLockWriteGuard<'static, Shard> {
+    match ARENA.shards[i].try_write() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            LOCK_WAITS.fetch_add(1, Ordering::Relaxed);
+            ARENA.shards[i].write().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// The current epoch's tag. Loaded while a shard lock is held so the
+/// tag and the shard contents are from the same epoch (retirement takes
+/// every shard's write lock before bumping).
+fn current_tag() -> u8 {
+    ARENA.epoch.load(Ordering::Acquire) as u8
+}
+
+/// Intern a node, returning the reference and whether it was fresh.
+/// The dominant path (structure already interned) takes one shard
+/// *read* lock.
+fn intern_node(node: Node) -> (ExprRef, bool) {
+    let h = node_hash(&node);
+    let si = shard_of_hash(h);
+    {
+        let shard = read_shard(si);
+        if let Some(id) = shard.find(h, &node) {
+            return (ExprRef::pack(current_tag(), id), false);
+        }
+    }
+    let mut shard = write_shard(si);
+    // Re-check: another thread may have interned it between the probes.
+    if let Some(id) = shard.find(h, &node) {
+        return (ExprRef::pack(current_tag(), id), false);
+    }
+    let id = shard.push_node(si as u32, h, node);
+    (ExprRef::pack(current_tag(), id), true)
+}
+
+/// Run `f` on the node behind `e` (one shard read lock).
+///
+/// # Panics
+///
+/// Panics when `e` is stale — interned under an epoch tag that no
+/// longer matches the arena's (the reference outlived
+/// [`retire_arena`]).
+pub(crate) fn with_node<R>(e: ExprRef, f: impl FnOnce(&Node) -> R) -> R {
+    let shard = read_shard(e.shard());
+    let tag = current_tag();
+    assert!(
+        e.epoch_tag() == tag,
+        "stale ExprRef: interned under epoch tag {} but the arena \
+         is at epoch {} — the reference outlived retire_arena()",
+        e.epoch_tag(),
+        ARENA.epoch.load(Ordering::Acquire),
+    );
+    f(shard.node_at(e.index()))
+}
+
+pub(crate) fn constant_global(v: u64) -> ExprRef {
+    intern_node(Node::Const(v)).0
+}
+
+pub(crate) fn var_global(v: VarId) -> ExprRef {
+    intern_node(Node::Var(v)).0
+}
+
+pub(crate) fn raw_app_global(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+    intern_node(Node::App(opcode, args.into_boxed_slice())).0
+}
+
+pub(crate) fn as_const_global(e: ExprRef) -> Option<u64> {
+    with_node(e, |n| match n {
+        Node::Const(v) => Some(*v),
+        _ => None,
+    })
+}
+
+/// Fold, simplify, and intern an application; memoized per raw
+/// interned node. The (dominant) cache-hit path costs one shard read
+/// lock: the raw node's interned id and its cached simplification live
+/// in the same shard, so one acquisition answers both. The miss path
+/// computes the simplification with **no lock held** (the simplifier
+/// re-enters the public constructors, which lock per operation), so two
+/// shards are never locked at once and worker threads cannot deadlock.
+pub(crate) fn app_global(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+    let raw_node = Node::App(opcode, args.into_boxed_slice());
+    let h = node_hash(&raw_node);
+    let si = shard_of_hash(h);
+    // Fast path: raw interned and its simplification cached.
+    let raw = {
+        let shard = read_shard(si);
+        if let Some(id) = shard.find(h, &raw_node) {
+            if let Some(&res) = shard.app_cache.get(&id) {
+                APP_HITS.fetch_add(1, Ordering::Relaxed);
+                return ExprRef::pack(current_tag(), res);
             }
-            // Genuine 64-bit hash collision: consult/extend overflow.
-            if let Some(ids) = self.dedup_overflow.get(&h) {
-                for &id in ids {
-                    if self.nodes[id as usize] == node {
-                        return ExprRef::pack(self.epoch_tag(), id);
-                    }
-                }
-            }
-            let id = self.push_node(node);
-            self.dedup_overflow.entry(h).or_default().push(id);
-            return ExprRef::pack(self.epoch_tag(), id);
-        }
-        let id = self.push_node(node);
-        self.dedup.insert(h, id);
-        ExprRef::pack(self.epoch_tag(), id)
-    }
-
-    fn push_node(&mut self, node: Node) -> u32 {
-        let id = u32::try_from(self.nodes.len()).expect("expression arena overflow");
-        assert!(
-            id <= MAX_INDEX,
-            "expression arena overflow: {} nodes exceed the per-epoch \
-             capacity of 2^{INDEX_BITS}; retire the arena between batches",
-            self.nodes.len()
-        );
-        if let Node::App(_, args) = &node {
-            self.child_slots += args.len();
-        }
-        self.nodes.push(node);
-        id
-    }
-
-    fn node(&self, e: ExprRef) -> &Node {
-        assert!(
-            e.epoch_tag() == self.epoch_tag(),
-            "stale ExprRef: interned under epoch tag {} but the arena \
-             is at epoch {} — the reference outlived retire_arena()",
-            e.epoch_tag(),
-            self.epoch
-        );
-        &self.nodes[e.index() as usize]
-    }
-
-    /// Retire the current expression arena: drop every node, the dedup
-    /// index, and the memoized constructor cache, and bump the epoch so
-    /// previously handed-out `ExprRef`s are detectably stale.
-    pub(crate) fn retire(&mut self) -> u64 {
-        self.epoch += 1;
-        self.nodes = Vec::new();
-        self.child_slots = 0;
-        self.dedup = HashMap::new();
-        self.dedup_overflow = HashMap::new();
-        self.app_cache = HashMap::new();
-        self.epoch
-    }
-
-    pub(crate) fn constant(&mut self, v: u64) -> ExprRef {
-        self.intern(Node::Const(v))
-    }
-
-    pub(crate) fn var(&mut self, v: VarId) -> ExprRef {
-        self.intern(Node::Var(v))
-    }
-
-    /// Intern an application verbatim, without simplification (used by
-    /// the simplifier to terminate).
-    pub(crate) fn raw_app(&mut self, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
-        self.intern(Node::App(opcode, args.into_boxed_slice()))
-    }
-
-    /// Fold, simplify, and intern an application; memoized per raw
-    /// interned node. The (dominant) cache-hit path costs one interning
-    /// probe — exact-capacity argument vectors convert to boxed slices
-    /// without reallocating, so no fresh allocation on a hit beyond
-    /// that probe's key.
-    pub(crate) fn app(&mut self, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
-        let raw = self.intern(Node::App(opcode, args.into_boxed_slice()));
-        if let Some(&cached) = self.app_cache.get(&raw) {
-            self.app_hits += 1;
-            return cached;
-        }
-        self.app_misses += 1;
-        let args: Vec<ExprRef> = match self.node(raw) {
-            Node::App(_, a) => a.to_vec(),
-            _ => unreachable!("raw app interned above"),
-        };
-        // Constant folding through the concrete evaluator.
-        let result = if let Some(consts) = args
-            .iter()
-            .map(|a| self.as_const(*a))
-            .collect::<Option<Vec<u64>>>()
-        {
-            let vals: Vec<Val> = consts.into_iter().map(Val::public).collect();
-            let folded = op::eval(opcode, &vals).expect("arity checked upstream");
-            self.constant(folded.bits)
+            Some(ExprRef::pack(current_tag(), id))
         } else {
-            crate::simplify::simplify_app(self, opcode, args)
-        };
-        self.app_cache.insert(raw, result);
-        result
+            None
+        }
+    };
+    let raw = match raw {
+        Some(r) => r,
+        None => {
+            let mut shard = write_shard(si);
+            if let Some(id) = shard.find(h, &raw_node) {
+                if let Some(&res) = shard.app_cache.get(&id) {
+                    APP_HITS.fetch_add(1, Ordering::Relaxed);
+                    return ExprRef::pack(current_tag(), res);
+                }
+                ExprRef::pack(current_tag(), id)
+            } else {
+                let id = shard.push_node(si as u32, h, raw_node);
+                ExprRef::pack(current_tag(), id)
+            }
+        }
+    };
+    APP_MISSES.fetch_add(1, Ordering::Relaxed);
+    let args: Vec<ExprRef> = with_node(raw, |n| match n {
+        Node::App(_, a) => a.to_vec(),
+        _ => unreachable!("raw app interned above"),
+    });
+    // Constant folding through the concrete evaluator.
+    let result = if let Some(consts) = args
+        .iter()
+        .map(|&a| as_const_global(a))
+        .collect::<Option<Vec<u64>>>()
+    {
+        let vals: Vec<Val> = consts.into_iter().map(Val::public).collect();
+        let folded = op::eval(opcode, &vals).expect("arity checked upstream");
+        constant_global(folded.bits)
+    } else {
+        crate::simplify::simplify_app(opcode, args)
+    };
+    // Two racing computations of the same raw node produce the same
+    // structural result (simplification is deterministic), so first
+    // insert wins and the values agree.
+    write_shard(si).app_cache.entry(raw.index()).or_insert(result.index());
+    result
+}
+
+// ----- local read view ----------------------------------------------------
+
+/// A cheap multiplicative hasher for `u32`-keyed local caches (the
+/// default SipHash costs more than the lookup it guards here).
+#[derive(Default)]
+pub(crate) struct FibHasher(u64);
+
+impl Hasher for FibHasher {
+    fn finish(&self) -> u64 {
+        self.0
     }
 
-    pub(crate) fn as_const(&self, e: ExprRef) -> Option<u64> {
-        match self.node(e) {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type FastMap<V> = HashMap<u32, V, std::hash::BuildHasherDefault<FibHasher>>;
+
+/// A query-local cache of arena nodes: each distinct node is fetched
+/// from its shard exactly once (one read lock) and then read without
+/// any locking.
+///
+/// The sharded interner has no "hold one big read lock for the whole
+/// query" mode on purpose — a long-held all-shard read guard would
+/// block every writer in every thread, serializing exactly the workload
+/// the shards exist for. The solver's hot loops (hundreds of `eval`s
+/// over the same constraint expressions per query) go through a
+/// `LocalView` instead.
+#[derive(Default)]
+pub(crate) struct LocalView {
+    cache: FastMap<Rc<Node>>,
+}
+
+impl LocalView {
+    pub(crate) fn new() -> Self {
+        LocalView::default()
+    }
+
+    fn node(&mut self, e: ExprRef) -> Rc<Node> {
+        if let Some(n) = self.cache.get(&e.bits()) {
+            return Rc::clone(n);
+        }
+        let n = Rc::new(with_node(e, Clone::clone));
+        self.cache.insert(e.bits(), Rc::clone(&n));
+        n
+    }
+
+    pub(crate) fn as_const(&mut self, e: ExprRef) -> Option<u64> {
+        match &*self.node(e) {
             Node::Const(v) => Some(*v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_var(&self, e: ExprRef) -> Option<VarId> {
-        match self.node(e) {
+    pub(crate) fn as_var(&mut self, e: ExprRef) -> Option<VarId> {
+        match &*self.node(e) {
             Node::Var(v) => Some(*v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_app(&self, e: ExprRef) -> Option<(OpCode, &[ExprRef])> {
-        match self.node(e) {
-            Node::App(op, args) => Some((*op, args)),
+    pub(crate) fn as_app(&mut self, e: ExprRef) -> Option<(OpCode, Vec<ExprRef>)> {
+        match &*self.node(e) {
+            Node::App(op, args) => Some((*op, args.to_vec())),
             _ => None,
         }
     }
 
-    pub(crate) fn kind(&self, e: ExprRef) -> ExprKind {
-        match self.node(e) {
+    pub(crate) fn kind(&mut self, e: ExprRef) -> ExprKind {
+        match &*self.node(e) {
             Node::Const(v) => ExprKind::Const(*v),
             Node::Var(v) => ExprKind::Var(*v),
             Node::App(op, args) => ExprKind::App(*op, args.to_vec()),
         }
     }
 
-    pub(crate) fn eval(&self, e: ExprRef, model: &Model) -> u64 {
-        match self.node(e) {
+    pub(crate) fn eval(&mut self, e: ExprRef, model: &Model) -> u64 {
+        let node = self.node(e);
+        match &*node {
             Node::Const(v) => *v,
             Node::Var(v) => model.get(*v),
             Node::App(opcode, args) => {
@@ -328,8 +549,9 @@ impl ExprArena {
         }
     }
 
-    pub(crate) fn collect_vars(&self, e: ExprRef, out: &mut BTreeSet<VarId>) {
-        match self.node(e) {
+    pub(crate) fn collect_vars(&mut self, e: ExprRef, out: &mut BTreeSet<VarId>) {
+        let node = self.node(e);
+        match &*node {
             Node::Const(_) => {}
             Node::Var(v) => {
                 out.insert(*v);
@@ -342,8 +564,9 @@ impl ExprArena {
         }
     }
 
-    pub(crate) fn collect_consts(&self, e: ExprRef, out: &mut BTreeSet<u64>) {
-        match self.node(e) {
+    pub(crate) fn collect_consts(&mut self, e: ExprRef, out: &mut BTreeSet<u64>) {
+        let node = self.node(e);
+        match &*node {
             Node::Const(v) => {
                 out.insert(*v);
             }
@@ -356,8 +579,9 @@ impl ExprArena {
         }
     }
 
-    fn display(&self, e: ExprRef, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.node(e) {
+    fn display(&mut self, e: ExprRef, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let node = self.node(e);
+        match &*node {
             Node::Const(v) => write!(f, "{v:#x}"),
             Node::Var(v) => write!(f, "{v}"),
             Node::App(opcode, args) => {
@@ -374,32 +598,12 @@ impl ExprArena {
     }
 }
 
-static ARENA: LazyLock<RwLock<ExprArena>> = LazyLock::new(|| RwLock::new(ExprArena::default()));
-
-/// Run `f` with shared access to the process-wide arena.
-///
-/// Lock discipline: arena-internal code never calls back into these
-/// helpers; a poisoned lock (panic in an unrelated test) is ignored
-/// because the arena is append-only and stays structurally valid.
-pub(crate) fn with_arena<R>(f: impl FnOnce(&ExprArena) -> R) -> R {
-    f(&ARENA.read().unwrap_or_else(PoisonError::into_inner))
-}
-
-/// Run `f` with exclusive access to the process-wide arena.
-pub(crate) fn with_arena_mut<R>(f: impl FnOnce(&mut ExprArena) -> R) -> R {
-    f(&mut ARENA.write().unwrap_or_else(PoisonError::into_inner))
-}
-
-/// A read guard on the arena, for hot loops that make many read-only
-/// queries (the solver's model search) without re-locking.
-pub(crate) fn read_arena() -> RwLockReadGuard<'static, ExprArena> {
-    ARENA.read().unwrap_or_else(PoisonError::into_inner)
-}
+// ----- stats, epoch -------------------------------------------------------
 
 /// Counters describing the process-wide expression arena.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ArenaStats {
-    /// Distinct interned nodes.
+    /// Distinct interned nodes (all shards).
     pub nodes: usize,
     /// Memoized application-constructor hits.
     pub app_cache_hits: u64,
@@ -407,41 +611,66 @@ pub struct ArenaStats {
     pub app_cache_misses: u64,
     /// Current arena epoch (bumped by [`retire_arena`]).
     pub epoch: u64,
-    /// Approximate bytes held by the node table itself (node headers
-    /// plus `App` child slots).
+    /// Approximate bytes held by the node tables themselves (node
+    /// headers plus `App` child slots).
     pub node_bytes: usize,
-    /// Approximate bytes held by the dedup index. With the id-keyed
+    /// Approximate bytes held by the dedup indices. With the id-keyed
     /// layout this is a hash and an id per node; the old node-keyed
     /// layout paid `node_bytes` again here.
     pub dedup_bytes: usize,
+    /// Shard-lock acquisitions that had to block (the uncontended
+    /// `try_lock` probe failed). The roll-up of every shard's
+    /// contention; explorations report the delta as
+    /// `arena_lock_waits`.
+    pub lock_waits: u64,
+    /// Lock stripes the interner is divided into.
+    pub shards: usize,
 }
 
 /// Snapshot the arena counters (used by batch analyses to report
-/// structural sharing across programs).
+/// structural sharing across programs). Shards are sampled one at a
+/// time, so concurrent interning can skew individual counters by a few
+/// nodes — the numbers are for reporting, not synchronization.
 pub fn arena_stats() -> ArenaStats {
-    with_arena(|a| {
-        let overflow_ids: usize = a.dedup_overflow.values().map(Vec::len).sum();
-        ArenaStats {
-            nodes: a.nodes.len(),
-            app_cache_hits: a.app_hits,
-            app_cache_misses: a.app_misses,
-            epoch: a.epoch,
-            node_bytes: a.nodes.len() * std::mem::size_of::<Node>()
-                + a.child_slots * std::mem::size_of::<ExprRef>(),
-            dedup_bytes: a.dedup.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
-                + overflow_ids * std::mem::size_of::<u32>(),
-        }
-    })
+    let mut nodes = 0usize;
+    let mut child_slots = 0usize;
+    let mut dedup_len = 0usize;
+    let mut overflow_ids = 0usize;
+    for i in 0..NUM_SHARDS {
+        let shard = read_shard(i);
+        nodes += shard.nodes.len();
+        child_slots += shard.child_slots;
+        dedup_len += shard.dedup.len();
+        overflow_ids += shard.dedup_overflow.values().map(Vec::len).sum::<usize>();
+    }
+    ArenaStats {
+        nodes,
+        app_cache_hits: APP_HITS.load(Ordering::Relaxed),
+        app_cache_misses: APP_MISSES.load(Ordering::Relaxed),
+        epoch: ARENA.epoch.load(Ordering::Acquire),
+        node_bytes: nodes * std::mem::size_of::<Node>()
+            + child_slots * std::mem::size_of::<ExprRef>(),
+        dedup_bytes: dedup_len * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+            + overflow_ids * std::mem::size_of::<u32>(),
+        lock_waits: LOCK_WAITS.load(Ordering::Relaxed),
+        shards: NUM_SHARDS,
+    }
+}
+
+/// Cumulative count of contended interner-lock acquisitions (see
+/// [`ArenaStats::lock_waits`]).
+pub fn arena_lock_waits() -> u64 {
+    LOCK_WAITS.load(Ordering::Relaxed)
 }
 
 /// The current arena epoch. References interned before the last
 /// [`retire_arena`] call belong to earlier epochs and must not be used.
 pub fn arena_epoch() -> u64 {
-    with_arena(|a| a.epoch)
+    ARENA.epoch.load(Ordering::Acquire)
 }
 
 /// Retire the process-wide expression arena: every interned node, the
-/// dedup index, the memoized application cache, and the solver's
+/// dedup indices, the memoized application caches, and the solver's
 /// verdict memo are dropped, and the epoch is bumped.
 ///
 /// Long-lived processes call this between batches so the arena does not
@@ -451,11 +680,23 @@ pub fn arena_epoch() -> u64 {
 /// of the new epoch. (The tag is 8 bits, so detection is generational
 /// modulo 256 — a stale reference would have to survive 256 retirements
 /// unused before it could be misread; holding `ExprRef`s across even
-/// one retirement is already a bug.)
+/// one retirement is already a bug.) Retirement takes every shard's
+/// write lock, so it must not run while analyses are in flight — the
+/// service layer defers policy-triggered retirement until its job
+/// count drains.
 ///
 /// Returns the new epoch number.
 pub fn retire_arena() -> u64 {
-    let epoch = with_arena_mut(ExprArena::retire);
+    let epoch = {
+        let mut guards: Vec<RwLockWriteGuard<'_, Shard>> =
+            (0..NUM_SHARDS).map(write_shard).collect();
+        for g in guards.iter_mut() {
+            g.clear();
+        }
+        // Bumped while every shard is exclusively held: no interner can
+        // mint a new-epoch reference into an old shard or vice versa.
+        ARENA.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    };
     crate::solver::reset_memo_for_new_epoch();
     epoch
 }
@@ -464,7 +705,8 @@ pub fn retire_arena() -> u64 {
 
 /// One interned node in flat, id-free form: children are indices into
 /// the exported node table (always smaller than the node's own index —
-/// the arena is topologically ordered by construction).
+/// the export is emitted in global interning order, and children are
+/// always interned before their parents).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExportedNode {
     /// A constant.
@@ -487,28 +729,60 @@ pub struct ArenaExport {
     pub app_cache: Vec<(u32, u32)>,
 }
 
+/// Flatten the shards into an export while holding `guards` (read
+/// guards on every shard, in order), returning the export plus the
+/// live-id → table-position map the memo export needs.
+fn export_arena_locked(guards: &[RwLockReadGuard<'static, Shard>]) -> (ArenaExport, FastMap<u32>) {
+    // Global interning order: children precede parents.
+    let mut order: Vec<(u64, u32)> = Vec::new();
+    for (si, shard) in guards.iter().enumerate() {
+        for (slot, &seq) in shard.seqs.iter().enumerate() {
+            order.push((seq, ((slot as u32) << SHARD_BITS) | si as u32));
+        }
+    }
+    order.sort_unstable();
+    let mut pos_of: FastMap<u32> = FastMap::default();
+    let mut nodes = Vec::with_capacity(order.len());
+    for (pos, &(_, id)) in order.iter().enumerate() {
+        let node = guards[(id & SHARD_MASK) as usize].node_at(id);
+        let exported = match node {
+            Node::Const(v) => ExportedNode::Const(*v),
+            Node::Var(v) => ExportedNode::Var(v.0),
+            Node::App(op, args) => ExportedNode::App(
+                *op,
+                args.iter()
+                    .map(|c| *pos_of.get(&c.index()).expect("children precede parents"))
+                    .collect(),
+            ),
+        };
+        nodes.push(exported);
+        pos_of.insert(id, pos as u32);
+    }
+    let mut app_cache: Vec<(u32, u32)> = Vec::new();
+    for shard in guards {
+        for (&raw, &result) in &shard.app_cache {
+            app_cache.push((pos_of[&raw], pos_of[&result]));
+        }
+    }
+    app_cache.sort_unstable();
+    (ArenaExport { nodes, app_cache }, pos_of)
+}
+
 /// Flatten the process-wide arena into an [`ArenaExport`].
 pub fn export_arena() -> ArenaExport {
-    with_arena(|a| {
-        let nodes = a
-            .nodes
-            .iter()
-            .map(|n| match n {
-                Node::Const(v) => ExportedNode::Const(*v),
-                Node::Var(v) => ExportedNode::Var(v.0),
-                Node::App(op, args) => {
-                    ExportedNode::App(*op, args.iter().map(|c| c.index()).collect())
-                }
-            })
-            .collect();
-        let mut app_cache: Vec<(u32, u32)> = a
-            .app_cache
-            .iter()
-            .map(|(raw, result)| (raw.index(), result.index()))
-            .collect();
-        app_cache.sort_unstable();
-        ArenaExport { nodes, app_cache }
-    })
+    let guards: Vec<_> = (0..NUM_SHARDS).map(read_shard).collect();
+    export_arena_locked(&guards).0
+}
+
+/// Flatten the arena **and** the solver-verdict memo consistently: the
+/// arena shards stay read-locked while the memo is exported, so every
+/// memo key id resolves to a position in the very node table being
+/// written. This is what `sct-cache` snapshots call.
+pub fn export_all() -> (ArenaExport, crate::solver::MemoExport) {
+    let guards: Vec<_> = (0..NUM_SHARDS).map(read_shard).collect();
+    let (arena, pos_of) = export_arena_locked(&guards);
+    let memo = crate::solver::export_memo_with(|index| pos_of.get(&index).copied());
+    (arena, memo)
 }
 
 /// Why an [`ArenaExport`] was rejected by [`import_arena`].
@@ -616,55 +890,53 @@ pub fn import_arena(export: &ArenaExport) -> Result<(Vec<ExprRef>, ArenaImportSt
             }
         }
     }
-    with_arena_mut(|a| {
-        let mut stats = ArenaImportStats {
-            snapshot_nodes: export.nodes.len(),
-            ..Default::default()
+    let mut stats = ArenaImportStats {
+        snapshot_nodes: export.nodes.len(),
+        ..Default::default()
+    };
+    let mut remap: Vec<ExprRef> = Vec::with_capacity(export.nodes.len());
+    for node in &export.nodes {
+        let node = match node {
+            ExportedNode::Const(v) => Node::Const(*v),
+            ExportedNode::Var(v) => Node::Var(VarId(*v)),
+            ExportedNode::App(op, args) => Node::App(
+                *op,
+                args.iter().map(|&c| remap[c as usize]).collect(),
+            ),
         };
-        let mut remap: Vec<ExprRef> = Vec::with_capacity(export.nodes.len());
-        for node in &export.nodes {
-            let node = match node {
-                ExportedNode::Const(v) => Node::Const(*v),
-                ExportedNode::Var(v) => Node::Var(VarId(*v)),
-                ExportedNode::App(op, args) => Node::App(
-                    *op,
-                    args.iter().map(|&c| remap[c as usize]).collect(),
-                ),
-            };
-            let before = a.nodes.len();
-            let e = a.intern(node);
-            if a.nodes.len() == before {
-                stats.preexisting += 1;
-            } else {
-                stats.added += 1;
-            }
-            remap.push(e);
+        let (e, fresh) = intern_node(node);
+        if fresh {
+            stats.added += 1;
+        } else {
+            stats.preexisting += 1;
         }
-        for &(raw, result) in &export.app_cache {
-            let (raw, result) = (remap[raw as usize], remap[result as usize]);
-            if let std::collections::hash_map::Entry::Vacant(v) = a.app_cache.entry(raw) {
-                v.insert(result);
-                stats.app_cache_merged += 1;
-            }
+        remap.push(e);
+    }
+    for &(raw, result) in &export.app_cache {
+        let (raw, result) = (remap[raw as usize], remap[result as usize]);
+        let mut shard = write_shard(raw.shard());
+        if let std::collections::hash_map::Entry::Vacant(v) = shard.app_cache.entry(raw.index()) {
+            v.insert(result.index());
+            stats.app_cache_merged += 1;
         }
-        Ok((remap, stats))
-    })
+    }
+    Ok((remap, stats))
 }
 
 impl ExprRef {
     /// A constant.
     pub fn constant(v: u64) -> ExprRef {
-        with_arena_mut(|a| a.constant(v))
+        constant_global(v)
     }
 
     /// A variable.
     pub fn var(v: VarId) -> ExprRef {
-        with_arena_mut(|a| a.var(v))
+        var_global(v)
     }
 
     /// Apply an opcode, folding constants and simplifying. Structurally
-    /// identical results — however they were derived — intern to the
-    /// same id.
+    /// identical results — however they were derived, on whatever
+    /// thread — intern to the same id.
     ///
     /// # Panics
     ///
@@ -672,30 +944,37 @@ impl ExprRef {
     /// construct applications from machine instructions, which were
     /// arity-checked at assembly time.
     pub fn app(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
-        with_arena_mut(|a| a.app(opcode, args))
+        app_global(opcode, args)
     }
 
     /// Intern an application verbatim, without simplification. Used by
     /// tests and diagnostics to compare raw against simplified forms;
     /// production construction goes through [`ExprRef::app`].
     pub fn raw_app(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
-        with_arena_mut(|a| a.raw_app(opcode, args))
+        raw_app_global(opcode, args)
     }
 
     /// The constant value, if this expression is a constant.
     pub fn as_const(self) -> Option<u64> {
-        with_arena(|a| a.as_const(self))
+        as_const_global(self)
     }
 
     /// The variable, if this expression is one.
     pub fn as_var(self) -> Option<VarId> {
-        with_arena(|a| a.as_var(self))
+        with_node(self, |n| match n {
+            Node::Var(v) => Some(*v),
+            _ => None,
+        })
     }
 
     /// The node shape: constant, variable, or application (children as
     /// [`ExprRef`]s).
     pub fn kind(self) -> ExprKind {
-        with_arena(|a| a.kind(self))
+        with_node(self, |n| match n {
+            Node::Const(v) => ExprKind::Const(*v),
+            Node::Var(v) => ExprKind::Var(*v),
+            Node::App(op, args) => ExprKind::App(*op, args.to_vec()),
+        })
     }
 
     /// `true` when the expression contains no variables.
@@ -705,12 +984,12 @@ impl ExprRef {
 
     /// Evaluate under a model (total: missing variables read 0).
     pub fn eval(self, model: &Model) -> u64 {
-        with_arena(|a| a.eval(self, model))
+        LocalView::new().eval(self, model)
     }
 
     /// Collect the variables occurring in the expression.
     pub fn collect_vars(self, out: &mut BTreeSet<VarId>) {
-        with_arena(|a| a.collect_vars(self, out));
+        LocalView::new().collect_vars(self, out);
     }
 
     /// The variables occurring in the expression.
@@ -729,7 +1008,7 @@ impl ExprRef {
     /// All constants occurring in the expression (seed values for the
     /// solver's candidate search).
     pub fn collect_consts(self, out: &mut BTreeSet<u64>) {
-        with_arena(|a| a.collect_consts(self, out));
+        LocalView::new().collect_consts(self, out);
     }
 }
 
@@ -741,7 +1020,7 @@ impl From<u64> for ExprRef {
 
 impl fmt::Display for ExprRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        with_arena(|a| a.display(*self, f))
+        LocalView::new().display(*self, f)
     }
 }
 
@@ -808,6 +1087,30 @@ mod tests {
         assert_eq!(a, b, "same structure must intern to the same id");
         let c = Expr::app(OpCode::Add, vec![Expr::var(VarId(1)), Expr::constant(3)]);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interning_is_structural_across_threads() {
+        // The whole point of shard-by-hash: two threads interning the
+        // same structure get the same id, whoever wins the race.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64u64)
+                        .map(|k| {
+                            Expr::app(
+                                OpCode::Add,
+                                vec![Expr::var(VarId(900)), Expr::constant(0x5eed_0000 + k)],
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let ids: Vec<Vec<Expr>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "concurrent interning must agree on ids");
+        }
     }
 
     #[test]
@@ -882,5 +1185,11 @@ mod tests {
             after.app_cache_hits > before.app_cache_hits,
             "second construction must hit the cache"
         );
+    }
+
+    #[test]
+    fn stats_report_shards() {
+        let stats = arena_stats();
+        assert_eq!(stats.shards, NUM_SHARDS);
     }
 }

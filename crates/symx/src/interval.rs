@@ -5,7 +5,7 @@
 //! analysis is deliberately conservative — any operation that might wrap
 //! returns the full range.
 
-use crate::expr::{with_arena, Expr, ExprArena, VarId};
+use crate::expr::{Expr, LocalView, VarId};
 use sct_core::op::OpCode;
 use std::collections::BTreeMap;
 
@@ -82,20 +82,20 @@ pub type VarIntervals = BTreeMap<VarId, Interval>;
 
 /// Compute an interval over-approximation of `expr` under `vars`.
 pub fn interval_of(expr: &Expr, vars: &VarIntervals) -> Interval {
-    with_arena(|arena| interval_of_in(arena, *expr, vars))
+    interval_of_in(&mut LocalView::new(), *expr, vars)
 }
 
-/// [`interval_of`] against an already-borrowed arena (the solver's hot
-/// path, which holds the interner lock across a whole query).
-pub(crate) fn interval_of_in(arena: &ExprArena, expr: Expr, vars: &VarIntervals) -> Interval {
+/// [`interval_of`] against a query-local node cache (the solver's hot
+/// path, which reuses one view across a whole query).
+pub(crate) fn interval_of_in(view: &mut LocalView, expr: Expr, vars: &VarIntervals) -> Interval {
     use crate::expr::ExprKind;
-    match arena.kind(expr) {
+    match view.kind(expr) {
         ExprKind::Const(v) => Interval::point(v),
         ExprKind::Var(v) => vars.get(&v).copied().unwrap_or(Interval::TOP),
         ExprKind::App(opcode, args) => {
             let iv: Vec<Interval> = args
                 .iter()
-                .map(|&a| interval_of_in(arena, a, vars))
+                .map(|&a| interval_of_in(view, a, vars))
                 .collect();
             apply(opcode, &iv)
         }
@@ -196,9 +196,9 @@ pub fn provably_false(expr: &Expr, vars: &VarIntervals) -> bool {
     interval_of(expr, vars).is_point(0)
 }
 
-/// [`provably_false`] against an already-borrowed arena.
-pub(crate) fn provably_false_in(arena: &ExprArena, expr: Expr, vars: &VarIntervals) -> bool {
-    interval_of_in(arena, expr, vars).is_point(0)
+/// [`provably_false`] against a query-local node cache.
+pub(crate) fn provably_false_in(view: &mut LocalView, expr: Expr, vars: &VarIntervals) -> bool {
+    interval_of_in(view, expr, vars).is_point(0)
 }
 
 /// `true` when interval analysis proves the constraint is always

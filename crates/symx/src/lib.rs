@@ -24,14 +24,21 @@
 //!   clone because contents are interned ids.
 //!
 //! The arena is shared by every analysis in the process — batch runs
-//! over a corpus reuse each other's expressions; [`arena_stats`]
-//! reports the sharing. It also outlives the process: [`export_arena`]
-//! / [`import_arena`] flatten and re-intern it with id remapping (the
-//! `sct-cache` crate persists both the arena and the verdict memo to
-//! disk), and [`retire_arena`] gives long-lived processes an epoch
-//! lifecycle — the whole arena is dropped, and any `ExprRef` that
-//! outlives the reset is detectably stale (its packed epoch tag no
-//! longer matches, so use panics instead of aliasing a new node).
+//! over a corpus, and worker threads of one parallel exploration,
+//! reuse each other's expressions; [`arena_stats`] reports the
+//! sharing. Both the interner and the verdict memo are **lock-striped**
+//! ([`NUM_SHARDS`] / [`MEMO_SHARDS`] shards keyed by structural hash),
+//! so concurrent interning and memo probes from many threads contend
+//! only within a stripe; contended acquisitions are counted
+//! ([`arena_lock_waits`], [`solver_memo_lock_waits`]) so regressions
+//! show up in stats, not just profiles. The arena also outlives the
+//! process: [`export_all`] / [`import_arena`] flatten and re-intern it
+//! with id remapping (the `sct-cache` crate persists both the arena
+//! and the verdict memo to disk), and [`retire_arena`] gives
+//! long-lived processes an epoch lifecycle — the whole arena is
+//! dropped, and any `ExprRef` that outlives the reset is detectably
+//! stale (its packed epoch tag no longer matches, so use panics
+//! instead of aliasing a new node).
 //!
 //! The paper builds its tool on angr's symbolic
 //! execution (citation 30); this crate is the from-scratch substitute.
@@ -70,14 +77,14 @@ pub mod solver;
 pub mod symmem;
 
 pub use expr::{
-    arena_epoch, arena_stats, export_arena, import_arena, retire_arena, ArenaExport,
-    ArenaImportError, ArenaImportStats, ArenaStats, ExportedNode, Expr, ExprKind, ExprRef, Model,
-    VarId, VarPool,
+    arena_epoch, arena_lock_waits, arena_stats, export_all, export_arena, import_arena,
+    retire_arena, ArenaExport, ArenaImportError, ArenaImportStats, ArenaStats, ExportedNode, Expr,
+    ExprKind, ExprRef, Model, VarId, VarPool, NUM_SHARDS,
 };
 pub use interval::{interval_of, Interval};
 pub use solver::{
-    export_solver_memo, import_solver_memo, set_solver_memo_capacity, solver_memo_capacity,
+    import_solver_memo, set_solver_memo_capacity, solver_memo_capacity, solver_memo_lock_waits,
     solver_memo_stats, MemoExport, MemoImportStats, Solver, SolverMemoStats, SolverOptions,
-    Verdict, DEFAULT_MEMO_CAPACITY,
+    Verdict, DEFAULT_MEMO_CAPACITY, MEMO_SHARDS,
 };
 pub use symmem::{SymMemory, SymRegFile, SymVal};

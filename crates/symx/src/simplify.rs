@@ -5,89 +5,103 @@
 //! property test at the bottom checks random instances under random
 //! models). Anything clever (and risky) is left to the solver.
 //!
-//! All functions take the arena directly: the caller
-//! ([`ExprArena::app`](crate::expr)) already holds the interner lock,
-//! and results it returns are memoized there, so each distinct
-//! application simplifies once per process.
+//! All functions run **without holding any interner lock**: the caller
+//! ([`crate::expr`]'s memoized `app` constructor) releases the raw
+//! node's shard before simplifying, and every constructor re-entered
+//! here ([`constant`], [`raw_app`]) locks per operation. Results are
+//! memoized per raw node, so each distinct application simplifies once
+//! per process.
 
-use crate::expr::{ExprArena, ExprRef};
+use crate::expr::{as_const_global, constant_global, raw_app_global, ExprKind, ExprRef};
 use sct_core::op::OpCode;
+
+fn constant(v: u64) -> ExprRef {
+    constant_global(v)
+}
+
+fn raw_app(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+    raw_app_global(opcode, args)
+}
+
+fn as_const(e: ExprRef) -> Option<u64> {
+    as_const_global(e)
+}
 
 /// Simplify `opcode(args)` after constant folding failed (at least one
 /// operand is symbolic).
-pub(crate) fn simplify_app(arena: &mut ExprArena, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+pub(crate) fn simplify_app(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
     use OpCode::*;
     match opcode {
-        Add | Addr => simplify_add(arena, opcode, args),
-        Mul => simplify_mul(arena, args),
-        And => simplify_and(arena, args),
-        Or => simplify_or(arena, args),
-        Xor => simplify_xor(arena, args),
-        Sub => simplify_sub(arena, args),
+        Add | Addr => simplify_add(opcode, args),
+        Mul => simplify_mul(args),
+        And => simplify_and(args),
+        Or => simplify_or(args),
+        Xor => simplify_xor(args),
+        Sub => simplify_sub(args),
         Mov => args.into_iter().next().expect("mov has one operand"),
-        Not => simplify_not(arena, args),
-        Eq => simplify_eq(arena, args),
-        Ne => simplify_cmp_same(arena, Ne, args, 0),
-        Lt => simplify_cmp_same(arena, Lt, args, 0),
-        Gt => simplify_cmp_same(arena, Gt, args, 0),
-        Le => simplify_cmp_same(arena, Le, args, 1),
-        Ge => simplify_cmp_same(arena, Ge, args, 1),
-        SLt => simplify_cmp_same(arena, SLt, args, 0),
-        SLe => simplify_cmp_same(arena, SLe, args, 1),
-        Csel => simplify_csel(arena, args),
-        Shl | Shr | Succ | Pred => arena.raw_app(opcode, args),
+        Not => simplify_not(args),
+        Eq => simplify_eq(args),
+        Ne => simplify_cmp_same(Ne, args, 0),
+        Lt => simplify_cmp_same(Lt, args, 0),
+        Gt => simplify_cmp_same(Gt, args, 0),
+        Le => simplify_cmp_same(Le, args, 1),
+        Ge => simplify_cmp_same(Ge, args, 1),
+        SLt => simplify_cmp_same(SLt, args, 0),
+        SLe => simplify_cmp_same(SLe, args, 1),
+        Csel => simplify_csel(args),
+        Shl | Shr | Succ | Pred => raw_app(opcode, args),
     }
 }
 
 /// Drop additive zeros; single remaining operand collapses.
-fn simplify_add(arena: &mut ExprArena, opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_add(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
     let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 0;
     for a in args {
-        match arena.as_const(a) {
+        match as_const(a) {
             Some(c) => acc = acc.wrapping_add(c),
             None => rest.push(a),
         }
     }
     if acc != 0 {
-        rest.push(arena.constant(acc));
+        rest.push(constant(acc));
     }
     match rest.len() {
-        0 => arena.constant(0),
+        0 => constant(0),
         1 => rest.pop().expect("len checked"),
-        _ => arena.raw_app(opcode, rest),
+        _ => raw_app(opcode, rest),
     }
 }
 
-fn simplify_mul(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_mul(args: Vec<ExprRef>) -> ExprRef {
     let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 1;
     for a in args {
-        match arena.as_const(a) {
-            Some(0) => return arena.constant(0),
+        match as_const(a) {
+            Some(0) => return constant(0),
             Some(c) => acc = acc.wrapping_mul(c),
             None => rest.push(a),
         }
     }
     if acc == 0 {
-        return arena.constant(0);
+        return constant(0);
     }
     if acc != 1 {
-        rest.push(arena.constant(acc));
+        rest.push(constant(acc));
     }
     match rest.len() {
-        0 => arena.constant(1),
+        0 => constant(1),
         1 => rest.pop().expect("len checked"),
-        _ => arena.raw_app(OpCode::Mul, rest),
+        _ => raw_app(OpCode::Mul, rest),
     }
 }
 
-fn simplify_and(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_and(args: Vec<ExprRef>) -> ExprRef {
     let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = u64::MAX;
     for a in args {
-        match arena.as_const(a) {
-            Some(0) => return arena.constant(0),
+        match as_const(a) {
+            Some(0) => return constant(0),
             Some(c) => acc &= c,
             None => {
                 if !rest.contains(&a) {
@@ -97,24 +111,24 @@ fn simplify_and(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
         }
     }
     if acc == 0 {
-        return arena.constant(0);
+        return constant(0);
     }
     if acc != u64::MAX {
-        rest.push(arena.constant(acc));
+        rest.push(constant(acc));
     }
     match rest.len() {
-        0 => arena.constant(u64::MAX),
+        0 => constant(u64::MAX),
         1 => rest.pop().expect("len checked"),
-        _ => arena.raw_app(OpCode::And, rest),
+        _ => raw_app(OpCode::And, rest),
     }
 }
 
-fn simplify_or(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_or(args: Vec<ExprRef>) -> ExprRef {
     let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 0;
     for a in args {
-        match arena.as_const(a) {
-            Some(u64::MAX) => return arena.constant(u64::MAX),
+        match as_const(a) {
+            Some(u64::MAX) => return constant(u64::MAX),
             Some(c) => acc |= c,
             None => {
                 if !rest.contains(&a) {
@@ -124,24 +138,24 @@ fn simplify_or(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
         }
     }
     if acc == u64::MAX {
-        return arena.constant(u64::MAX);
+        return constant(u64::MAX);
     }
     if acc != 0 {
-        rest.push(arena.constant(acc));
+        rest.push(constant(acc));
     }
     match rest.len() {
-        0 => arena.constant(0),
+        0 => constant(0),
         1 => rest.pop().expect("len checked"),
-        _ => arena.raw_app(OpCode::Or, rest),
+        _ => raw_app(OpCode::Or, rest),
     }
 }
 
-fn simplify_xor(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_xor(args: Vec<ExprRef>) -> ExprRef {
     // x ^ x cancels pairwise; constants fold together.
     let mut rest: Vec<ExprRef> = Vec::with_capacity(args.len());
     let mut acc: u64 = 0;
     for a in args {
-        match arena.as_const(a) {
+        match as_const(a) {
             Some(c) => acc ^= c,
             None => {
                 if let Some(k) = rest.iter().position(|&r| r == a) {
@@ -153,69 +167,64 @@ fn simplify_xor(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
         }
     }
     if acc != 0 {
-        rest.push(arena.constant(acc));
+        rest.push(constant(acc));
     }
     match rest.len() {
-        0 => arena.constant(0),
+        0 => constant(0),
         1 => rest.pop().expect("len checked"),
-        _ => arena.raw_app(OpCode::Xor, rest),
+        _ => raw_app(OpCode::Xor, rest),
     }
 }
 
-fn simplify_sub(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_sub(args: Vec<ExprRef>) -> ExprRef {
     // x - 0 - 0 ... = x ; x - x = 0 (two-operand case only).
     if args.len() == 2 {
-        if arena.as_const(args[1]) == Some(0) {
+        if as_const(args[1]) == Some(0) {
             return args[0];
         }
         if args[0] == args[1] {
-            return arena.constant(0);
+            return constant(0);
         }
     }
-    if args[1..].iter().all(|&a| arena.as_const(a) == Some(0)) {
+    if args[1..].iter().all(|&a| as_const(a) == Some(0)) {
         return args[0];
     }
-    arena.raw_app(OpCode::Sub, args)
+    raw_app(OpCode::Sub, args)
 }
 
-fn simplify_not(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_not(args: Vec<ExprRef>) -> ExprRef {
     // not(not(x)) = x
-    if let Some((OpCode::Not, inner)) = arena.as_app(args[0]) {
+    if let ExprKind::App(OpCode::Not, inner) = args[0].kind() {
         return inner[0];
     }
-    arena.raw_app(OpCode::Not, args)
+    raw_app(OpCode::Not, args)
 }
 
-fn simplify_eq(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
+fn simplify_eq(args: Vec<ExprRef>) -> ExprRef {
     if args[0] == args[1] {
-        return arena.constant(1);
+        return constant(1);
     }
-    arena.raw_app(OpCode::Eq, args)
+    raw_app(OpCode::Eq, args)
 }
 
 /// Comparisons of an expression with itself have a known value
 /// (`x < x = 0`, `x ≤ x = 1`, ...).
-fn simplify_cmp_same(
-    arena: &mut ExprArena,
-    opcode: OpCode,
-    args: Vec<ExprRef>,
-    same_value: u64,
-) -> ExprRef {
+fn simplify_cmp_same(opcode: OpCode, args: Vec<ExprRef>, same_value: u64) -> ExprRef {
     if args[0] == args[1] {
-        return arena.constant(same_value);
+        return constant(same_value);
     }
-    arena.raw_app(opcode, args)
+    raw_app(opcode, args)
 }
 
-fn simplify_csel(arena: &mut ExprArena, args: Vec<ExprRef>) -> ExprRef {
-    match arena.as_const(args[0]) {
+fn simplify_csel(args: Vec<ExprRef>) -> ExprRef {
+    match as_const(args[0]) {
         Some(0) => args[2],
         Some(_) => args[1],
         None => {
             if args[1] == args[2] {
                 args[1]
             } else {
-                arena.raw_app(OpCode::Csel, args)
+                raw_app(OpCode::Csel, args)
             }
         }
     }

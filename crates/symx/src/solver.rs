@@ -14,14 +14,22 @@
 //! [`Verdict::Unknown`], which the detector treats as satisfiable — an
 //! over-approximation that can cost a false positive but never a missed
 //! leak, matching how angr concretization errs.
+//!
+//! Verdicts are memoized in a **lock-striped** process-wide table: the
+//! canonical constraint-set key picks one of [`MEMO_SHARDS`] mutexes,
+//! so parallel explorations answering from the memo contend only when
+//! two threads ask about keys in the same stripe. Recency and capacity
+//! stay *global* — one logical LRU across all stripes — so the
+//! eviction contract is unchanged from the single-table implementation.
 
-use crate::expr::{read_arena, Expr, ExprArena, Model, VarId};
+use crate::expr::{Expr, LocalView, Model, VarId};
 use crate::interval::{provably_false_in, VarIntervals};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::{LazyLock, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{LazyLock, Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// The solver's answer.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -87,25 +95,62 @@ impl SolverOptions {
 
 // ----- verdict memoization ------------------------------------------------
 
-/// The process-wide verdict memo: canonical constraint-id sets (sorted,
-/// deduplicated arena indices of the current epoch) → verdicts, keyed
-/// additionally by the solver-options tag. The same path conditions
-/// recur constantly across schedules and programs, and solving is
-/// deterministic given the options, so one table serves every analysis
-/// in the process — and persists across processes via `sct-cache`.
-struct MemoTable {
-    /// Keys hold full `ExprRef`s (epoch tag included), not bare
-    /// indices: a stale reference used after [`crate::expr::retire_arena`]
-    /// can then never be answered from the memo — it misses here and
-    /// trips the arena's stale-ref panic in the solver pipeline,
-    /// keeping the epoch contract loud.
-    ///
-    /// Each verdict carries the tick of its last hit (insertion counts);
-    /// when the table exceeds [`MemoTable::capacity`] the
-    /// least-recently-hit entries are evicted.
+/// Lock stripes of the verdict memo. A key's stripe is its hash modulo
+/// this; per-stripe hit/miss counters roll up into
+/// [`SolverMemoStats`].
+pub const MEMO_SHARDS: usize = 16;
+
+/// A canonical memo key: options tag plus the sorted, deduplicated
+/// constraint ids, with the structural hash computed **once** at
+/// construction. The hash picks the stripe *and* feeds the stripe's
+/// table (via a multiplicative finisher), so the hot probe path hashes
+/// the id list exactly once — hashing it twice was a measurable tax on
+/// v4-mode exploration.
+#[derive(Clone, PartialEq, Eq)]
+struct MemoKey {
+    hash: u64,
+    tag: u64,
+    ids: Box<[Expr]>,
+}
+
+impl MemoKey {
+    fn new(tag: u64, ids: Box<[Expr]>) -> MemoKey {
+        let mut h = std::hash::DefaultHasher::new();
+        tag.hash(&mut h);
+        ids.hash(&mut h);
+        MemoKey {
+            hash: h.finish(),
+            tag,
+            ids,
+        }
+    }
+
+    fn shard(&self) -> usize {
+        (self.hash as usize) % MEMO_SHARDS
+    }
+}
+
+impl Hash for MemoKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Memo storage: [`MemoKey`]s to `(verdict, last-hit tick)`, hashed by
+/// the key's precomputed hash.
+type MemoEntries =
+    HashMap<MemoKey, (Verdict, u64), std::hash::BuildHasherDefault<crate::expr::FibHasher>>;
+
+/// One stripe of the memo.
+///
+/// Keys hold full `ExprRef`s (epoch tag included), not bare indices: a
+/// stale reference used after [`crate::expr::retire_arena`] can then
+/// never be answered from the memo — it misses here and trips the
+/// arena's stale-ref panic in the solver pipeline, keeping the epoch
+/// contract loud.
+#[derive(Default)]
+struct MemoShard {
     entries: MemoEntries,
-    capacity: usize,
-    tick: u64,
     queries: u64,
     hits: u64,
     misses: u64,
@@ -113,53 +158,83 @@ struct MemoTable {
     evicted: u64,
 }
 
-/// Memo storage: canonical `(options tag, sorted constraint ids)` keys
-/// to `(verdict, last-hit tick)`.
-type MemoEntries = HashMap<(u64, Box<[Expr]>), (Verdict, u64)>;
-
 /// Default cap on memoized verdicts. Within an epoch the memo grows
 /// monotonically; the cap keeps a months-old long-running service (and
 /// the snapshot it persists) from ballooning without bound.
 pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 20;
 
-static MEMO: LazyLock<Mutex<MemoTable>> = LazyLock::new(|| {
-    Mutex::new(MemoTable {
-        entries: HashMap::new(),
-        capacity: DEFAULT_MEMO_CAPACITY,
-        tick: 0,
-        queries: 0,
-        hits: 0,
-        misses: 0,
-        stale_dropped: 0,
-        evicted: 0,
-    })
-});
+static MEMO: LazyLock<[Mutex<MemoShard>; MEMO_SHARDS]> =
+    LazyLock::new(|| std::array::from_fn(|_| Mutex::new(MemoShard::default())));
 
-impl MemoTable {
-    fn touch(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
-    }
+/// Global recency clock: each probe and insert takes a fresh tick, so
+/// "least recently hit" is well defined across stripes.
+static MEMO_TICK: AtomicU64 = AtomicU64::new(0);
+/// Total entries across stripes (the capacity trigger).
+static MEMO_TOTAL: AtomicUsize = AtomicUsize::new(0);
+/// The global capacity cap (one budget shared by all stripes).
+static MEMO_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_MEMO_CAPACITY);
+/// Contended memo-lock acquisitions (the `try_lock` probe failed).
+static MEMO_LOCK_WAITS: AtomicU64 = AtomicU64::new(0);
+/// Serializes eviction passes (the passes lock stripes one at a time;
+/// two concurrent passes would double-evict).
+static EVICT_LOCK: Mutex<()> = Mutex::new(());
 
-    /// Evict least-recently-hit entries until the table fits the
-    /// capacity. Eviction is batched — when the cap is crossed, the
-    /// table is taken ~1/16th below it — so an insert-heavy workload
-    /// pays the O(n) recency scan once per batch, not once per insert.
-    fn enforce_capacity(&mut self) {
-        if self.entries.len() <= self.capacity {
-            return;
+fn lock_memo(i: usize) -> MutexGuard<'static, MemoShard> {
+    match MEMO[i].try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            MEMO_LOCK_WAITS.fetch_add(1, Ordering::Relaxed);
+            MEMO[i].lock().unwrap_or_else(PoisonError::into_inner)
         }
-        let slack = (self.capacity / 16).max(1);
-        let target = self.capacity.saturating_sub(slack).max(1);
-        let excess = self.entries.len() - target;
-        let mut stamps: Vec<u64> = self.entries.values().map(|(_, hit)| *hit).collect();
-        stamps.sort_unstable();
-        let cutoff = stamps[excess - 1];
-        // Drop everything at or below the cutoff stamp, but never more
-        // than `excess` entries (ties on the cutoff stamp cannot happen
-        // with a monotonic tick, so this retains exactly `target`).
-        let mut to_drop = excess;
-        self.entries.retain(|_, (_, hit)| {
+    }
+}
+
+fn next_tick() -> u64 {
+    MEMO_TICK.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Evict least-recently-hit entries (across all stripes) until the
+/// table fits the capacity. Eviction is batched — when the cap is
+/// crossed, the table is taken ~1/16th below it — so an insert-heavy
+/// workload pays the O(n) recency scan once per batch, not once per
+/// insert. Entries touched or inserted while the pass runs simply
+/// survive it; the cap is a bound, not an invariant the hot path
+/// re-establishes per insert.
+fn enforce_capacity_global() {
+    let capacity = MEMO_CAPACITY.load(Ordering::Relaxed);
+    if MEMO_TOTAL.load(Ordering::Relaxed) <= capacity {
+        return;
+    }
+    let _pass = EVICT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let total = MEMO_TOTAL.load(Ordering::Relaxed);
+    if total <= capacity {
+        return;
+    }
+    let slack = (capacity / 16).max(1);
+    let target = capacity.saturating_sub(slack).max(1);
+    let excess = total - target;
+    let mut stamps: Vec<u64> = Vec::with_capacity(total);
+    for i in 0..MEMO_SHARDS {
+        stamps.extend(lock_memo(i).entries.values().map(|(_, hit)| *hit));
+    }
+    if stamps.len() < excess {
+        return;
+    }
+    stamps.sort_unstable();
+    let cutoff = stamps[excess - 1];
+    // Drop everything at or below the cutoff stamp, but never more
+    // than `excess` entries (ties on the cutoff stamp cannot happen
+    // with a monotonic tick, so this retains exactly `target` barring
+    // concurrent touches).
+    let mut to_drop = excess;
+    for i in 0..MEMO_SHARDS {
+        if to_drop == 0 {
+            break;
+        }
+        let mut m = lock_memo(i);
+        let before = m.entries.len();
+        m.entries.retain(|_, (_, hit)| {
             if to_drop > 0 && *hit <= cutoff {
                 to_drop -= 1;
                 false
@@ -167,7 +242,9 @@ impl MemoTable {
                 true
             }
         });
-        self.evicted += excess as u64;
+        let dropped = before - m.entries.len();
+        m.evicted += dropped as u64;
+        MEMO_TOTAL.fetch_sub(dropped, Ordering::Relaxed);
     }
 }
 
@@ -175,20 +252,14 @@ impl MemoTable {
 /// last hit; clamped to at least 1). Returns the previous capacity.
 /// Shrinking below the current size evicts immediately.
 pub fn set_solver_memo_capacity(capacity: usize) -> usize {
-    let mut m = memo();
-    let old = m.capacity;
-    m.capacity = capacity.max(1);
-    m.enforce_capacity();
+    let old = MEMO_CAPACITY.swap(capacity.max(1), Ordering::Relaxed);
+    enforce_capacity_global();
     old
 }
 
 /// The current verdict-memo capacity (see [`set_solver_memo_capacity`]).
 pub fn solver_memo_capacity() -> usize {
-    memo().capacity
-}
-
-fn memo() -> std::sync::MutexGuard<'static, MemoTable> {
-    MEMO.lock().unwrap_or_else(PoisonError::into_inner)
+    MEMO_CAPACITY.load(Ordering::Relaxed)
 }
 
 /// The canonical memo key for a constraint list: sorted, deduplicated
@@ -201,7 +272,8 @@ fn canonical_key(constraints: &[Expr]) -> Box<[Expr]> {
     ids.into_boxed_slice()
 }
 
-/// Counters describing the process-wide solver verdict memo.
+/// Counters describing the process-wide solver verdict memo (per-shard
+/// counters rolled up).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SolverMemoStats {
     /// Total `Solver::check` queries issued.
@@ -216,54 +288,85 @@ pub struct SolverMemoStats {
     /// Entries evicted by the capacity guard (LRU by last hit; see
     /// [`set_solver_memo_capacity`]).
     pub evicted: u64,
-    /// Entries currently memoized.
+    /// Entries currently memoized (all stripes).
     pub entries: usize,
     /// The capacity the memo is capped at.
     pub capacity: usize,
+    /// Memo-lock acquisitions that had to block (the uncontended
+    /// `try_lock` probe failed). Explorations report the delta as
+    /// `memo_lock_waits`.
+    pub lock_waits: u64,
+    /// Lock stripes the memo is divided into.
+    pub shards: usize,
 }
 
 /// Snapshot the verdict-memo counters.
 pub fn solver_memo_stats() -> SolverMemoStats {
-    let m = memo();
-    SolverMemoStats {
-        queries: m.queries,
-        hits: m.hits,
-        misses: m.misses,
-        stale_dropped: m.stale_dropped,
-        evicted: m.evicted,
-        entries: m.entries.len(),
-        capacity: m.capacity,
+    let mut stats = SolverMemoStats {
+        capacity: MEMO_CAPACITY.load(Ordering::Relaxed),
+        lock_waits: MEMO_LOCK_WAITS.load(Ordering::Relaxed),
+        shards: MEMO_SHARDS,
+        ..SolverMemoStats::default()
+    };
+    for i in 0..MEMO_SHARDS {
+        let m = lock_memo(i);
+        stats.queries += m.queries;
+        stats.hits += m.hits;
+        stats.misses += m.misses;
+        stats.stale_dropped += m.stale_dropped;
+        stats.evicted += m.evicted;
+        stats.entries += m.entries.len();
     }
+    stats
 }
 
-/// Drop every memoized verdict: ids are arena indices, so a retired
+/// Cumulative count of contended memo-lock acquisitions (see
+/// [`SolverMemoStats::lock_waits`]).
+pub fn solver_memo_lock_waits() -> u64 {
+    MEMO_LOCK_WAITS.load(Ordering::Relaxed)
+}
+
+/// Drop every memoized verdict: ids are arena references, so a retired
 /// arena invalidates the whole table. Called by
 /// [`crate::expr::retire_arena`]; counts the drops as stale.
 pub(crate) fn reset_memo_for_new_epoch() {
-    let mut m = memo();
-    m.stale_dropped += m.entries.len() as u64;
-    m.entries = HashMap::new();
+    for i in 0..MEMO_SHARDS {
+        let mut m = lock_memo(i);
+        let dropped = m.entries.len();
+        m.stale_dropped += dropped as u64;
+        m.entries = MemoEntries::default();
+        MEMO_TOTAL.fetch_sub(dropped, Ordering::Relaxed);
+    }
 }
 
 /// A flat copy of the verdict memo for persistence: `(options tag,
 /// canonical key indices, verdict)` triples, sorted for determinism.
 #[derive(Clone, Default, Debug)]
 pub struct MemoExport {
-    /// The memo entries. Key ids are arena indices of the exporting
-    /// epoch; [`import_solver_memo`] remaps them.
+    /// The memo entries. Key ids are positions in the arena snapshot
+    /// the memo was exported with; [`import_solver_memo`] remaps them.
     pub entries: Vec<(u64, Vec<u32>, Verdict)>,
 }
 
-/// Flatten the process-wide verdict memo into a [`MemoExport`]. Keys
-/// are exported as epoch-agnostic arena indices (the snapshot format
-/// never stores epoch tags).
-pub fn export_solver_memo() -> MemoExport {
-    let m = memo();
-    let mut entries: Vec<(u64, Vec<u32>, Verdict)> = m
-        .entries
-        .iter()
-        .map(|((tag, key), (v, _))| (*tag, key.iter().map(|e| e.index()).collect(), v.clone()))
-        .collect();
+/// Flatten the memo, translating each key id through `position` (the
+/// live-index → snapshot-position map of the arena export taken under
+/// the same shard guards — see [`crate::expr::export_all`]). Entries
+/// with an untranslatable id are dropped rather than exported wrong.
+pub(crate) fn export_memo_with(position: impl Fn(u32) -> Option<u32>) -> MemoExport {
+    let mut entries: Vec<(u64, Vec<u32>, Verdict)> = Vec::new();
+    for i in 0..MEMO_SHARDS {
+        let m = lock_memo(i);
+        'entry: for (key, (v, _)) in m.entries.iter() {
+            let mut ids = Vec::with_capacity(key.ids.len());
+            for e in key.ids.iter() {
+                match position(e.index()) {
+                    Some(p) => ids.push(p),
+                    None => continue 'entry,
+                }
+            }
+            entries.push((key.tag, ids, v.clone()));
+        }
+    }
     entries.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
     MemoExport { entries }
 }
@@ -285,7 +388,6 @@ pub struct MemoImportStats {
 /// trusted.
 pub fn import_solver_memo(export: &MemoExport, remap: &[Expr]) -> MemoImportStats {
     let mut stats = MemoImportStats::default();
-    let mut m = memo();
     'entry: for (tag, key, verdict) in &export.entries {
         let mut ids: Vec<Expr> = Vec::with_capacity(key.len());
         for &old in key {
@@ -293,7 +395,8 @@ pub fn import_solver_memo(export: &MemoExport, remap: &[Expr]) -> MemoImportStat
                 Some(&e) => ids.push(e),
                 None => {
                     stats.dropped += 1;
-                    m.stale_dropped += 1;
+                    let si = old as usize % MEMO_SHARDS;
+                    lock_memo(si).stale_dropped += 1;
                     continue 'entry;
                 }
             }
@@ -301,10 +404,14 @@ pub fn import_solver_memo(export: &MemoExport, remap: &[Expr]) -> MemoImportStat
         // Remapping does not preserve order: re-canonicalize.
         ids.sort_unstable();
         ids.dedup();
-        let stamp = m.touch();
-        match m.entries.entry((*tag, ids.into_boxed_slice())) {
+        let key = MemoKey::new(*tag, ids.into_boxed_slice());
+        let si = key.shard();
+        let stamp = next_tick();
+        let mut m = lock_memo(si);
+        match m.entries.entry(key) {
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert((verdict.clone(), stamp));
+                MEMO_TOTAL.fetch_add(1, Ordering::Relaxed);
                 stats.imported += 1;
             }
             std::collections::hash_map::Entry::Occupied(_) => stats.dropped += 1,
@@ -312,7 +419,7 @@ pub fn import_solver_memo(export: &MemoExport, remap: &[Expr]) -> MemoImportStat
     }
     // One batched pass: snapshot imports land in file order, so the
     // surviving tail under a tight cap is the most recently saved.
-    m.enforce_capacity();
+    enforce_capacity_global();
     stats
 }
 
@@ -339,13 +446,15 @@ impl Solver {
     /// Results are memoized process-wide per canonical constraint set
     /// (sorted, deduplicated ids) and options tag — solving is
     /// deterministic, and the same path conditions recur constantly
-    /// across schedules and programs. See [`solver_memo_stats`].
+    /// across schedules, programs, and worker threads. See
+    /// [`solver_memo_stats`].
     pub fn check(&self, constraints: &[Expr]) -> Verdict {
-        let key = (self.options.tag(), canonical_key(constraints));
+        let key = MemoKey::new(self.options.tag(), canonical_key(constraints));
+        let si = key.shard();
         {
-            let mut m = memo();
+            let mut m = lock_memo(si);
             m.queries += 1;
-            let stamp = m.touch();
+            let stamp = next_tick();
             if let Some((v, hit)) = m.entries.get_mut(&key) {
                 *hit = stamp;
                 let v = v.clone();
@@ -354,24 +463,32 @@ impl Solver {
             }
         }
         let verdict = self.check_uncached(constraints);
-        let mut m = memo();
-        m.misses += 1;
-        let stamp = m.touch();
-        m.entries.insert(key, (verdict.clone(), stamp));
-        m.enforce_capacity();
+        {
+            let mut m = lock_memo(si);
+            m.misses += 1;
+            let stamp = next_tick();
+            // Two threads racing on the same uncached key both solve it
+            // (deterministically, to the same verdict); only the first
+            // insert grows the table.
+            if m.entries.insert(key, (verdict.clone(), stamp)).is_none() {
+                MEMO_TOTAL.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        enforce_capacity_global();
         verdict
     }
 
     /// The full solver pipeline, bypassing (and not populating) the
     /// verdict memo.
     pub fn check_uncached(&self, constraints: &[Expr]) -> Verdict {
-        // One interner read-lock for the whole query: every sub-step is
-        // read-only against the arena.
-        let arena = read_arena();
+        // A query-local node cache: every sub-step is read-only against
+        // the arena, and each distinct node is fetched (one shard read
+        // lock) at most once for the whole query.
+        let mut view = LocalView::new();
         // 1. Constant and structural checks.
         let mut live: Vec<Expr> = Vec::new();
         for &c in constraints {
-            match arena.as_const(c) {
+            match view.as_const(c) {
                 Some(0) => return Verdict::Unsat,
                 Some(_) => {}
                 None => live.push(c),
@@ -383,18 +500,18 @@ impl Solver {
         // 2. Interval refutation: derive per-variable bounds from the
         // simple comparisons among the constraints, then re-check every
         // constraint under those assumptions.
-        let assumptions = match derive_var_intervals(&arena, &live) {
+        let assumptions = match derive_var_intervals(&mut view, &live) {
             Some(a) => a,
             None => return Verdict::Unsat, // contradictory bounds
         };
         if live
             .iter()
-            .any(|&c| provably_false_in(&arena, c, &assumptions))
+            .any(|&c| provably_false_in(&mut view, c, &assumptions))
         {
             return Verdict::Unsat;
         }
         // 3. Model search.
-        match self.search(&arena, &live) {
+        match self.search(&mut view, &live) {
             Some(model) => Verdict::Sat(model),
             None => Verdict::Unknown,
         }
@@ -418,10 +535,10 @@ impl Solver {
         }
     }
 
-    fn candidate_values(&self, arena: &ExprArena, constraints: &[Expr]) -> Vec<u64> {
+    fn candidate_values(&self, view: &mut LocalView, constraints: &[Expr]) -> Vec<u64> {
         let mut consts = BTreeSet::new();
         for &c in constraints {
-            arena.collect_consts(c, &mut consts);
+            view.collect_consts(c, &mut consts);
         }
         let mut cands = BTreeSet::new();
         for v in [0u64, 1, 2, 3, 4, 8, 16, 255, u64::MAX] {
@@ -444,20 +561,20 @@ impl Solver {
         cands.into_iter().collect()
     }
 
-    fn satisfied(arena: &ExprArena, model: &Model, constraints: &[Expr]) -> usize {
+    fn satisfied(view: &mut LocalView, model: &Model, constraints: &[Expr]) -> usize {
         constraints
             .iter()
-            .filter(|&&c| arena.eval(c, model) != 0)
+            .filter(|&&c| view.eval(c, model) != 0)
             .count()
     }
 
-    fn search(&self, arena: &ExprArena, constraints: &[Expr]) -> Option<Model> {
+    fn search(&self, view: &mut LocalView, constraints: &[Expr]) -> Option<Model> {
         let mut vars = BTreeSet::new();
         for &c in constraints {
-            arena.collect_vars(c, &mut vars);
+            view.collect_vars(c, &mut vars);
         }
         let vars: Vec<VarId> = vars.into_iter().collect();
-        let cands = self.candidate_values(arena, constraints);
+        let cands = self.candidate_values(view, constraints);
         let total = constraints.len();
 
         // Exhaustive product when affordable.
@@ -465,7 +582,7 @@ impl Solver {
         if let Some(n) = combos {
             if n <= self.options.exhaustive_budget {
                 let mut model = Model::new();
-                if self.exhaustive(arena, &vars, &cands, constraints, &mut model, 0) {
+                if self.exhaustive(view, &vars, &cands, constraints, &mut model, 0) {
                     return Some(model);
                 }
                 // Complete search over the candidate grid failed; random
@@ -487,14 +604,14 @@ impl Solver {
                     (v, x)
                 })
                 .collect();
-            if Self::satisfied(arena, &model, constraints) == total {
+            if Self::satisfied(view, &model, constraints) == total {
                 return Some(model);
             }
             // Greedy repair: sweep variables, try every candidate.
             for _ in 0..self.options.repair_rounds {
                 let mut improved = false;
                 for &v in &vars {
-                    let before = Self::satisfied(arena, &model, constraints);
+                    let before = Self::satisfied(view, &model, constraints);
                     if before == total {
                         return Some(model);
                     }
@@ -502,7 +619,7 @@ impl Solver {
                     let mut best = (before, orig);
                     for &cand in &cands {
                         model.set(v, cand);
-                        let score = Self::satisfied(arena, &model, constraints);
+                        let score = Self::satisfied(view, &model, constraints);
                         if score > best.0 {
                             best = (score, cand);
                         }
@@ -512,7 +629,7 @@ impl Solver {
                         improved = true;
                     }
                 }
-                if Self::satisfied(arena, &model, constraints) == total {
+                if Self::satisfied(view, &model, constraints) == total {
                     return Some(model);
                 }
                 if !improved {
@@ -526,7 +643,7 @@ impl Solver {
     #[allow(clippy::too_many_arguments)]
     fn exhaustive(
         &self,
-        arena: &ExprArena,
+        view: &mut LocalView,
         vars: &[VarId],
         cands: &[u64],
         constraints: &[Expr],
@@ -534,11 +651,11 @@ impl Solver {
         depth: usize,
     ) -> bool {
         if depth == vars.len() {
-            return Self::satisfied(arena, model, constraints) == constraints.len();
+            return Self::satisfied(view, model, constraints) == constraints.len();
         }
         for &c in cands {
             model.set(vars[depth], c);
-            if self.exhaustive(arena, vars, cands, constraints, model, depth + 1) {
+            if self.exhaustive(view, vars, cands, constraints, model, depth + 1) {
                 return true;
             }
         }
@@ -548,7 +665,7 @@ impl Solver {
 
 /// Extract `var ⋈ const` bounds from the constraints and intersect them
 /// per variable; `None` means the bounds are contradictory.
-fn derive_var_intervals(arena: &ExprArena, constraints: &[Expr]) -> Option<VarIntervals> {
+fn derive_var_intervals(view: &mut LocalView, constraints: &[Expr]) -> Option<VarIntervals> {
     use crate::interval::Interval;
     use sct_core::op::OpCode::*;
 
@@ -571,16 +688,16 @@ fn derive_var_intervals(arena: &ExprArena, constraints: &[Expr]) -> Option<VarIn
     };
 
     for &c in constraints {
-        let Some((op, args)) = arena.as_app(c) else {
+        let Some((op, args)) = view.as_app(c) else {
             continue;
         };
         if args.len() != 2 {
             continue;
         }
         // Normalize to (var ⋈ const).
-        let (v, k, op) = match (arena.as_var(args[0]), arena.as_const(args[1])) {
+        let (v, k, op) = match (view.as_var(args[0]), view.as_const(args[1])) {
             (Some(v), Some(k)) => (v, k, op),
-            _ => match (arena.as_const(args[0]), arena.as_var(args[1])) {
+            _ => match (view.as_const(args[0]), view.as_var(args[1])) {
                 // Mirror: const ⋈ var  ⇒  var ⋈' const.
                 (Some(k), Some(v)) => {
                     let mirrored = match op {
@@ -736,5 +853,30 @@ mod tests {
         let s2 = Solver::new();
         let c = Expr::app(OpCode::Gt, vec![x(), Expr::constant(1000)]);
         assert_eq!(s1.check(std::slice::from_ref(&c)), s2.check(&[c]));
+    }
+
+    #[test]
+    fn concurrent_checks_agree() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let s = Solver::new();
+                    let _ = t;
+                    (0..16u64)
+                        .map(|k| {
+                            let c = Expr::app(
+                                OpCode::Gt,
+                                vec![Expr::var(VarId(400)), Expr::constant(0x7000 + k)],
+                            );
+                            s.check(&[c]).is_sat()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<bool>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &results[1..] {
+            assert_eq!(&results[0], other, "memo races must not change verdicts");
+        }
     }
 }
