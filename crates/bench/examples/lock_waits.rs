@@ -1,0 +1,38 @@
+//! Lock-contention probe: run the litmus corpus (v1 + v4) at a given
+//! worker count and print the summed shared-lock contention and
+//! thread-cache hits from the per-case reports.
+//!
+//! ```text
+//! cargo run --release -p sct-bench --example lock_waits -- 4
+//! ```
+//!
+//! This is the observability companion to the scaling bench: the
+//! `arena_lock_waits` / `memo_lock_waits` columns are the signal the
+//! work-stealing engine and the thread-local L1 caches exist to drive
+//! down, and `local_cache_hits` shows where the avoided acquisitions
+//! went.
+
+use pitchfork::StrategyKind;
+use sct_litmus::corpus;
+use sct_litmus::harness::run_corpus_parallel;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let cases = corpus::cases();
+    let run = run_corpus_parallel(&cases, StrategyKind::Lifo, threads);
+    let (mut arena, mut memo, mut local, mut steals, mut states) = (0usize, 0, 0, 0, 0);
+    for o in run.v1.outcomes.iter().chain(run.v4.outcomes.iter()) {
+        arena += o.report.stats.arena_lock_waits;
+        memo += o.report.stats.memo_lock_waits;
+        local += o.report.stats.local_cache_hits;
+        steals += o.report.stats.steals;
+        states += o.report.stats.states;
+    }
+    println!(
+        "threads={threads} states={states} arena_lock_waits={arena} \
+         memo_lock_waits={memo} local_cache_hits={local} steals={steals}"
+    );
+}

@@ -7,5 +7,6 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod manifest;
 pub mod render;
 pub mod sweep;

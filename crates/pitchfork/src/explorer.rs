@@ -78,12 +78,21 @@ pub struct ExplorerOptions {
     pub dedup_states: bool,
     /// Worker threads for the frontier. `1` (the default) runs the
     /// serial engine, byte-identical to every release before parallel
-    /// exploration existed; `0` means one worker per available core;
-    /// `n > 1` runs the multi-threaded engine of [`crate::parallel`].
-    /// Verdicts and witness *sets* match the serial engine (the
-    /// determinism contract is documented at the crate level); witness
-    /// *order* and event interleaving may differ.
+    /// exploration existed; `n > 1` runs the work-stealing engine of
+    /// [`crate::parallel`] on `n` workers; `0` is **adaptive** — the
+    /// exploration starts serial and hands its frontier to one worker
+    /// per available core only once the frontier grows wide enough to
+    /// feed them (so litmus-sized programs never pay parallel
+    /// overhead, and a 1-core host always stays serial). Verdicts and
+    /// witness *sets* match the serial engine (the determinism
+    /// contract is documented at the crate level); witness *order* and
+    /// event interleaving may differ.
     pub threads: usize,
+    /// Seed rotating the work-stealing victim order (see
+    /// [`crate::parallel`]). Affects steal timing only, never results —
+    /// the equivalence proptest varies it to hammer steal/terminate
+    /// races. Leave 0 unless stress-testing.
+    pub steal_seed: u64,
     /// State-expansion budget; exploration truncates beyond it.
     pub max_states: usize,
     /// Stop extending a path once it has produced a violation.
@@ -95,7 +104,10 @@ pub struct ExplorerOptions {
 impl ExplorerOptions {
     /// The worker count [`ExplorerOptions::threads`] denotes: `0`
     /// resolves to the machine's available parallelism (1 when that
-    /// cannot be determined), anything else is taken literally.
+    /// cannot be determined), anything else is taken literally. For
+    /// `threads == 0` this is the pool size the *adaptive* engine
+    /// hands over to if the frontier ever grows wide enough — the
+    /// exploration itself may stay serial throughout.
     pub fn effective_threads(&self) -> usize {
         match self.threads {
             0 => std::thread::available_parallelism()
@@ -117,6 +129,7 @@ impl Default for ExplorerOptions {
             jmpi_target_cap: 32,
             dedup_states: true,
             threads: 1,
+            steal_seed: 0,
             max_states: 50_000,
             stop_path_on_violation: true,
             max_violations: 64,
@@ -144,6 +157,18 @@ impl Cont {
             Cont::Seq(d) | Cont::SeqNoRollback(d) | Cont::SeqRollbackOnly(d) => d,
         }
     }
+}
+
+/// Floor on the adaptive spill width: even on a 2-core host the
+/// frontier must be this wide before the pool is worth waking.
+const SPILL_WIDTH_MIN: usize = 32;
+
+/// What [`Explorer::explore_serial_core`] ended with: a finished
+/// report, or (adaptive mode) a frontier wide enough to hand to the
+/// parallel engine.
+enum SerialOutcome {
+    Done(Report),
+    Spill(crate::parallel::ParallelSeed),
 }
 
 /// The worst-case schedule explorer.
@@ -185,20 +210,64 @@ impl<'p> Explorer<'p> {
     /// violations) to `observers` as they happen.
     ///
     /// With [`ExplorerOptions::threads`] at its default of 1 this is
-    /// the serial worklist engine; above 1 (or 0 = auto) the frontier
-    /// is worked by a thread pool (see [`crate::parallel`]) with the
-    /// same verdict and witness-set semantics.
+    /// the serial worklist engine; above 1 the frontier is worked by
+    /// the work-stealing pool (see [`crate::parallel`]) with the same
+    /// verdict and witness-set semantics; 0 is adaptive — serial until
+    /// the frontier is wide enough to feed one worker per core, then
+    /// the frontier, visited set, and partial stats are handed to the
+    /// pool mid-exploration.
     pub fn explore_observed(
         &self,
         initial: SymState,
         observers: &mut [BoxObserver],
     ) -> Report {
-        let threads = self.options.effective_threads();
-        if threads > 1 {
-            return crate::parallel::explore_parallel(self, initial, observers, threads);
+        match self.options.threads {
+            1 => match self.explore_serial_core(initial, observers, None) {
+                SerialOutcome::Done(report) => report,
+                SerialOutcome::Spill(..) => unreachable!("no spill threshold given"),
+            },
+            0 => {
+                let cores = self.options.effective_threads();
+                if cores <= 1 {
+                    return match self.explore_serial_core(initial, observers, None) {
+                        SerialOutcome::Done(report) => report,
+                        SerialOutcome::Spill(..) => unreachable!("no spill threshold given"),
+                    };
+                }
+                // Serial until the frontier could feed every core a
+                // few states each; small programs finish before then
+                // and never pay for the pool.
+                let spill_at = (cores * 4).max(SPILL_WIDTH_MIN);
+                match self.explore_serial_core(initial, observers, Some(spill_at)) {
+                    SerialOutcome::Done(report) => report,
+                    SerialOutcome::Spill(seed) => {
+                        crate::parallel::explore_parallel(self, seed, observers, cores)
+                    }
+                }
+            }
+            threads => crate::parallel::explore_parallel(
+                self,
+                crate::parallel::ParallelSeed::fresh(self, initial),
+                observers,
+                threads,
+            ),
         }
+    }
+
+    /// The serial worklist engine. With `spill_at` set (the adaptive
+    /// path), the loop stops as soon as the frontier reaches that
+    /// width and returns everything a parallel continuation needs;
+    /// stats accumulated so far (including this thread's exact
+    /// lock-wait and cache-hit deltas) travel along in the seed's base
+    /// report, and the parallel merge adds its own on top.
+    fn explore_serial_core(
+        &self,
+        initial: SymState,
+        observers: &mut [BoxObserver],
+        spill_at: Option<usize>,
+    ) -> SerialOutcome {
         let memo_before = sct_symx::solver_memo_stats();
-        let arena_waits_before = sct_symx::arena_lock_waits();
+        let tls_before = sct_symx::thread_stats();
         let mut sink = DirectSink(observers);
         let mut report = Report::default();
         report.stats.strategy = self.options.strategy.name();
@@ -209,6 +278,7 @@ impl<'p> Explorer<'p> {
         }
         let mut frontier = self.options.strategy.frontier();
         frontier.push(initial);
+        let mut spilled = false;
         while let Some(state) = frontier.pop() {
             if report.stats.states >= self.options.max_states
                 || report.violations.len() >= self.options.max_violations
@@ -237,16 +307,32 @@ impl<'p> Explorer<'p> {
                 }
             }
             report.stats.frontier_peak = report.stats.frontier_peak.max(frontier.len());
+            if spill_at.is_some_and(|w| frontier.len() >= w) {
+                spilled = true;
+                break;
+            }
         }
         let memo_after = sct_symx::solver_memo_stats();
         report.stats.solver_queries = (memo_after.queries - memo_before.queries) as usize;
         report.stats.solver_memo_hits = (memo_after.hits - memo_before.hits) as usize;
         report.stats.solver_memo_misses = (memo_after.misses - memo_before.misses) as usize;
         report.stats.solver_memo_evicted = (memo_after.evicted - memo_before.evicted) as usize;
-        report.stats.memo_lock_waits = (memo_after.lock_waits - memo_before.lock_waits) as usize;
-        report.stats.arena_lock_waits =
-            (sct_symx::arena_lock_waits() - arena_waits_before) as usize;
-        report
+        let tls = sct_symx::thread_stats().since(&tls_before);
+        report.stats.memo_lock_waits = tls.memo_lock_waits as usize;
+        report.stats.arena_lock_waits = tls.arena_lock_waits as usize;
+        report.stats.local_cache_hits = tls.local_cache_hits() as usize;
+        if !spilled {
+            return SerialOutcome::Done(report);
+        }
+        let mut initials = Vec::with_capacity(frontier.len());
+        while let Some(state) = frontier.pop() {
+            initials.push(state);
+        }
+        SerialOutcome::Spill(crate::parallel::ParallelSeed {
+            initials,
+            visited,
+            base: report,
+        })
     }
 
     /// Apply a continuation, checking each step's new observations for

@@ -97,38 +97,72 @@
 //! Exploration is embarrassingly parallel at the state level: each
 //! frontier state expands independently, and everything shared — the
 //! hash-consing expression arena, the solver-verdict memo, the
-//! fingerprint visited set — is lock-striped. Opt in with
-//! [`SessionBuilder::parallelism`] (CLI `--threads N`; `N = 0` means
-//! one worker per core), per job with [`service::JobSpec::threads`],
-//! and at the daemon level with `--serve ... --jobs K`, which runs K
-//! whole jobs concurrently against the shared arena. Worker threads
-//! come from a persistent process-wide pool, so even sub-millisecond
+//! fingerprint visited set — is lock-striped, with a thread-local L1
+//! cache in front of the arena and memo so hot-path hits touch no
+//! shared lock at all ([`ExploreStats::local_cache_hits`] counts
+//! them). Opt in with [`SessionBuilder::parallelism`] (CLI
+//! `--threads N`), per job with [`service::JobSpec::threads`], and at
+//! the daemon level with `--serve ... --jobs K`, which runs K whole
+//! jobs concurrently against the shared arena. Worker threads come
+//! from a persistent process-wide pool, so even sub-millisecond
 //! explorations pay a condvar wake, not a thread spawn.
+//!
+//! **The work-stealing engine.** `threads > 1` gives every worker its
+//! own private frontier — an instance of the session's
+//! [`SearchStrategy`], pushed and popped with no lock — plus a small
+//! mutex-guarded *donation buffer* touched only during rebalancing.
+//! When a worker runs dry it sweeps the buffers (its own first, then
+//! the other workers in a per-worker pseudo-random rotation) and takes
+//! a whole batch in one lock acquisition; owners with surplus donate
+//! half their frontier (capped) the moment any peer goes hungry.
+//! Balanced phases therefore run entirely lock-free on the hot path;
+//! the old single mutex-guarded global frontier is gone. Termination
+//! is an in-flight state counter — enqueued states count up, finished
+//! expansions count down, zero means done — so idle workers park on a
+//! condvar and are woken by the next donation. [`ExploreStats::steals`]
+//! and [`ExploreStats::steal_fails`] make the rebalancing traffic
+//! observable, and [`ExplorerOptions::steal_seed`] perturbs victim
+//! order for race-hunting without ever changing results.
+//!
+//! **Adaptive `--threads 0`.** Zero means *adaptive*: exploration
+//! starts on the serial engine and hands the frontier over to one
+//! worker per core only if it grows wide enough to pay for the
+//! coordination (a few states per core). Litmus-sized programs finish
+//! serially at full serial speed; deep v4 explorations spill and use
+//! the machine. On a single-core host the engine never spills.
 //!
 //! **Determinism contract.** `threads = 1` (the default) is the serial
 //! engine, byte-for-byte identical to previous releases. For
 //! `threads > 1`, with deduplication on and no truncation, the engine
 //! expands exactly the serial engine's distinct-state set whatever the
-//! worker timing, so the **verdict**, the **witness set** (violations
-//! as a set of (pc, schedule, observation)), and the order-insensitive
-//! statistics (`states`, `steps`, `deduped`) are identical to serial
-//! mode — the parallel-equivalence suite pins all of this over the
-//! litmus corpus and Table 2 for every strategy at 2/4/8 threads. What
-//! may differ: which witness is found *first* (`first_witness_*`
+//! steal timing, so the **verdict**, the **witness multiset** (every
+//! violation's (pc, observation) pair with its multiplicity), and the
+//! order-insensitive statistics (`states`, `steps`, `deduped`) are
+//! identical to serial mode — the work-stealing-equivalence suite pins
+//! this over the litmus corpus and Table 2 for every strategy at 2/4/8
+//! threads (there, with the full schedules too), and a property test
+//! hammers the steal/terminate races under randomized victim order.
+//! What may differ: which witness is found *first* (`first_witness_*`
 //! record whichever a worker reached first; merged violation lists are
-//! sorted canonically), event interleaving, and — under a `max_states`
-//! / `max_violations` truncation — the explored prefix, exactly as it
-//! already differs across strategies. The [`SearchStrategy`] order
-//! becomes a priority *hint*: each pop takes the best state enqueued
-//! so far, but enqueue order depends on timing.
+//! sorted canonically), event interleaving, the **schedule prefix**
+//! naming a witness whose state is reachable along several schedules
+//! (which duplicate wins the visited-set insert is timing-dependent —
+//! the leak's location and observation never are), and — under a
+//! `max_states` / `max_violations` truncation — the explored prefix,
+//! exactly as it already differs across strategies.
+//! Each worker pops its own frontier in strategy order; *globally* the
+//! [`SearchStrategy`] acts as a priority hint, since which states a
+//! worker owns depends on donation timing.
 //!
 //! **When to use it.** Parallelism pays on deep explorations (big
 //! programs, high bounds, v4/alias modes) and on multi-core hosts;
 //! contention is visible without a profiler via
-//! [`ExploreStats::arena_lock_waits`] / `memo_lock_waits` and the
-//! daemon's `Stats` response. Single large-batch workloads on few
-//! cores are often better served by `--jobs` (parallelism *across*
-//! programs) than `--threads` (parallelism *within* one).
+//! [`ExploreStats::arena_lock_waits`] / `memo_lock_waits` (summed
+//! exactly over the exploration's workers) and the daemon's `Stats`
+//! response. Single large-batch workloads on few cores are often
+//! better served by `--jobs` (parallelism *across* programs) than
+//! `--threads` (parallelism *within* one) — or by `--threads 0`,
+//! which makes the call per exploration.
 //!
 //! # Compatibility wrappers
 //!

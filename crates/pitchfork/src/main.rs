@@ -66,8 +66,10 @@ fn usage() -> ! {
     eprintln!("                   violation-likely — same verdicts, different");
     eprintln!("                   states-to-first-witness");
     eprintln!("  --threads N      worker threads per exploration (default 1 = serial;");
-    eprintln!("                   0 = one per core). Verdicts and witness sets match");
-    eprintln!("                   serial mode; witness order may differ");
+    eprintln!("                   0 = adaptive: start serial, spill to one worker per");
+    eprintln!("                   core only if the frontier grows wide enough to pay");
+    eprintln!("                   for it). Verdicts, witness sets, and state counts");
+    eprintln!("                   always match serial mode exactly");
     eprintln!("  --symbolic LIST  treat these registers as symbolic inputs");
     eprintln!("  --verbose        print schedules and traces for each violation");
     eprintln!("  --cache PATH     warm-start the expression arena and solver memo");

@@ -3,42 +3,66 @@
 //!
 //! Exploration at the state level is embarrassingly parallel: each
 //! frontier state expands independently, and only three things are
-//! shared — the strategy-ordered frontier, the fingerprint visited
-//! set, and the process-wide expression arena / solver memo (which
-//! `sct-symx` lock-stripes; see its crate docs). This module runs a
-//! `std::thread::scope` worker pool over exactly the serial engine's
-//! expansion logic ([`Explorer::continuations`] / [`Explorer::apply`]
-//! are shared code, not reimplementations):
+//! shared — pending work, the fingerprint visited set, and the
+//! process-wide expression arena / solver memo (which `sct-symx`
+//! lock-stripes and fronts with thread-local L1 caches; see its crate
+//! docs). The engine runs a persistent worker pool over exactly the
+//! serial engine's expansion logic ([`Explorer::continuations`] /
+//! [`Explorer::apply`] are shared code, not reimplementations), with a
+//! **work-stealing** frontier:
 //!
-//! * **Frontier** — one strategy frontier behind a mutex plus a
-//!   condvar. Workers pop under the lock, expand without it, and push
-//!   fresh successors back in one batch. The [`SearchStrategy`] order
-//!   becomes a priority *hint*: each pop still takes the
-//!   highest-priority state enqueued so far, but which states have
-//!   been enqueued depends on worker timing.
+//! * **Per-worker frontiers** — every worker owns a private
+//!   strategy-ordered frontier ([`SearchStrategy`]) it pushes and pops
+//!   with *no* synchronization at all. There is no global frontier
+//!   lock; the strategy order is exact within a worker and a priority
+//!   *hint* across workers (which states a worker owns depends on
+//!   timing).
+//! * **Batch donation and stealing** — a worker whose push leaves
+//!   hungry peers (`hungry > 0`) pops half its frontier (its
+//!   highest-priority states, capped at [`MAX_DONATION`]) into its
+//!   donation buffer, a small mutex-guarded vector nobody touches on
+//!   the hot path. A worker whose own frontier drains sweeps the
+//!   donation buffers — its own first, then the others starting from a
+//!   seed-rotated victim ([`crate::ExplorerOptions::steal_seed`]) —
+//!   and takes a whole buffer per steal, so one steal funds many
+//!   expansions. Batches keep steal traffic (and the `steals` counter)
+//!   proportional to load imbalance, not to state count.
 //! * **Visited set** — lock-striped (64 mutexes over `u128`
 //!   fingerprints); a successor is claimed by whichever worker inserts
 //!   its fingerprint first, so every distinct state is expanded
 //!   exactly once, as in serial mode.
-//! * **Termination** — a worker finding the frontier empty parks on
-//!   the condvar; when the last worker goes idle with an empty
-//!   frontier, exploration is complete (no in-flight expansion can
-//!   produce more work) and everyone is woken to exit.
+//! * **Termination** — a shared `in_flight` counter of states that are
+//!   queued somewhere or being expanded: seeded with the initial
+//!   frontier, incremented for fresh successors *before* the expansion
+//!   that produced them is counted finished, decremented once per
+//!   finished expansion. It hits zero exactly when no state exists
+//!   anywhere — every worker's frontier and buffer is empty and no
+//!   expansion is in flight — and the worker that zeroes it raises the
+//!   stop flag and wakes the sleepers. A worker that finds nothing to
+//!   steal parks on a condvar; donors bump the `published` count
+//!   before taking the park lock to notify, and sleepers re-check
+//!   `published` and `stop` under that lock before waiting, so
+//!   wake-ups cannot be lost. A worker panic raises the same stop
+//!   flag, so the survivors always exit rather than parking forever.
 //!
 //! # Determinism contract
 //!
 //! With the state budget and violation cap not hit, the set of
 //! expanded states is the set of *distinct reachable* states whatever
-//! the expansion order, so parallel runs produce the same verdict and
-//! the same witness **set** as the serial engine — the equivalence
-//! suite pins this over the litmus corpus and the Table 2 case studies
-//! for every strategy. What may differ from serial mode (and between
-//! parallel runs): the order witnesses are discovered (merged reports
-//! sort them canonically), the `first_witness_*` metrics (they record
-//! whichever witness a worker reached first), and event interleaving.
-//! Under truncation (`max_states` / `max_violations`) the *prefix* of
-//! states explored is timing-dependent, exactly as it is
-//! order-dependent across strategies.
+//! the expansion order, so parallel runs produce the same verdict, the
+//! same witness **set**, and the same state/step/dedup counts as the
+//! serial engine — the equivalence suite pins this over the litmus
+//! corpus and the Table 2 case studies for every strategy × thread
+//! count. Merged reports sort witnesses canonically, so parallel
+//! *output* is reproducible run-to-run as well. What may differ from
+//! serial mode: witness order before the sort (serial keeps discovery
+//! order), the `first_witness_*` metrics (they record whichever
+//! witness a worker reached first), and event interleaving. Under
+//! truncation (`max_states` / `max_violations`) the *prefix* of states
+//! explored is timing-dependent, exactly as it is order-dependent
+//! across strategies. [`crate::ExplorerOptions::steal_seed`] rotates
+//! victim order and therefore timing, never results — the equivalence
+//! proptest hammers exactly this.
 
 use crate::explorer::Explorer;
 use crate::observe::{BoxObserver, Event, EventSink, SharedSink};
@@ -46,7 +70,7 @@ use crate::report::Report;
 use crate::state::SymState;
 use crate::strategy::SearchStrategy;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A persistent pool of parked worker threads shared by every parallel
@@ -155,8 +179,8 @@ mod pool {
     /// supervisor) and up to `n - 1` times on pool threads. Every
     /// planned extra invocation that will *not* run — the OS refused a
     /// thread and no parked worker was free — is reported through one
-    /// `cancel()` call instead, so the caller's worker accounting can
-    /// stop waiting for it.
+    /// `cancel()` call instead, so callers that track planned workers
+    /// can account for it.
     ///
     /// Blocks until every started invocation returns — including when
     /// the inline invocation panics (the unwind is caught, the latch
@@ -244,28 +268,35 @@ mod pool {
 /// 64 stripes keep 8 workers essentially collision-free).
 const VISITED_SHARDS: usize = 64;
 
-/// The mutex-guarded part of the shared frontier.
-struct Frontier {
-    queue: Box<dyn SearchStrategy + Send>,
-    /// Workers currently parked waiting for work.
-    idle: usize,
-    /// Workers still participating. Starts at the planned thread count
-    /// and drops when a planned worker is cancelled (the pool could
-    /// not start it) or dies (its expansion panicked) — termination is
-    /// "every *living* worker idle over an empty frontier", so a lost
-    /// worker can never strand the survivors on the condvar.
-    alive: usize,
-    /// Set once: budget hit or frontier drained with all workers idle.
-    stop: bool,
-    /// Current and peak queue occupancy (the strategy trait exposes
-    /// `len`, but tracking it here keeps the event path lock-free).
-    len: usize,
-    peak: usize,
+/// Cap on states moved per donation. Half-frontier batches amortize
+/// steal overhead; the cap keeps one donation from hollowing out a
+/// deep frontier (the donor keeps locality on its own subtree).
+const MAX_DONATION: usize = 32;
+
+/// One worker's mailbox: states it donated for hungry peers to take.
+/// Only touched when load is imbalanced — the owner's push/pop path
+/// never locks it.
+struct WorkerSlot {
+    donations: Mutex<Vec<SymState>>,
 }
 
 /// Everything the workers share.
 struct Shared<'obs> {
-    frontier: Mutex<Frontier>,
+    /// Donation buffers, indexed by worker id.
+    workers: Vec<WorkerSlot>,
+    /// States sitting in donation buffers (sleepers re-check this
+    /// under the park lock, so donors can never publish unseen work).
+    published: AtomicUsize,
+    /// Workers currently out of local work (donors check this before
+    /// paying for a donation).
+    hungry: AtomicUsize,
+    /// States queued anywhere or currently being expanded; zero means
+    /// exploration is complete (see the module docs on termination).
+    in_flight: AtomicUsize,
+    /// Raised on completion, budget truncation, or worker panic.
+    stop: AtomicBool,
+    /// Park point for hungry workers (paired with `work`).
+    park: Mutex<()>,
     work: Condvar,
     visited: Vec<Mutex<HashSet<u128>>>,
     /// States expanded so far (the budget counter; claimed by CAS so
@@ -274,31 +305,35 @@ struct Shared<'obs> {
     deduped: AtomicUsize,
     violations: AtomicUsize,
     truncated: AtomicBool,
-    frontier_len: AtomicUsize,
+    /// Approximate total frontier occupancy across workers (event
+    /// payloads and the `frontier_peak` stat).
+    queued: AtomicUsize,
+    peak: AtomicUsize,
+    steals: AtomicU64,
+    steal_fails: AtomicU64,
+    /// Worker-id dispenser (the pool hands every invocation the same
+    /// closure; each claims a distinct id here).
+    next_worker: AtomicUsize,
+    steal_seed: u64,
     observers: Mutex<&'obs mut [BoxObserver]>,
 }
 
 impl Shared<'_> {
-    fn lock_frontier(&self) -> MutexGuard<'_, Frontier> {
-        self.frontier.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Flag termination and wake every parked worker.
+    /// Flag termination and wake every parked worker. Taking the park
+    /// lock orders the flag against sleepers' re-check, so none can
+    /// park after missing it.
     fn stop_all(&self) {
-        self.lock_frontier().stop = true;
+        self.stop.store(true, Ordering::Release);
+        let _park = self.park.lock().unwrap_or_else(PoisonError::into_inner);
         self.work.notify_all();
     }
 
-    /// One planned worker will never (or no longer) participate:
-    /// re-run the termination check against the reduced head count so
-    /// the survivors are not left waiting for it.
-    fn retire_worker(&self) {
-        let mut f = self.lock_frontier();
-        f.alive = f.alive.saturating_sub(1);
-        if f.idle == f.alive && f.len == 0 {
-            f.stop = true;
+    /// One expansion finished; the worker that drains `in_flight` to
+    /// zero ends the exploration.
+    fn finish_state(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.stop_all();
         }
-        self.work.notify_all();
     }
 
     /// Insert a fingerprint; `false` when already present.
@@ -308,89 +343,165 @@ impl Shared<'_> {
             .unwrap_or_else(PoisonError::into_inner)
             .insert(fp)
     }
+
+    fn lock_donations(&self, v: usize) -> MutexGuard<'_, Vec<SymState>> {
+        self.workers[v]
+            .donations
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
-/// Run `explorer`'s exploration of `initial` on `threads` workers.
+/// SplitMix64: decorrelates worker ids and attempt counters into
+/// victim-order rotations.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Everything a parallel exploration starts from. [`ParallelSeed::fresh`]
+/// seeds a from-scratch run; the adaptive `--threads 0` path hands over
+/// a serial prelude's frontier, visited set, and partial report instead
+/// (see [`Explorer::explore_observed`]).
+pub(crate) struct ParallelSeed {
+    /// The starting frontier (already fingerprinted into `visited`).
+    pub(crate) initials: Vec<SymState>,
+    /// Fingerprints of every state ever enqueued so far.
+    pub(crate) visited: HashSet<u128>,
+    /// Stats and violations accumulated before the handover (zeroed
+    /// for a fresh run). Counters resume from these values.
+    pub(crate) base: Report,
+}
+
+impl ParallelSeed {
+    /// A from-scratch seed: one initial state, empty history.
+    pub(crate) fn fresh(explorer: &Explorer<'_>, initial: SymState) -> ParallelSeed {
+        let mut visited = HashSet::new();
+        if explorer.options.dedup_states {
+            visited.insert(initial.fingerprint());
+        }
+        ParallelSeed {
+            initials: vec![initial],
+            visited,
+            base: Report::default(),
+        }
+    }
+}
+
+/// Run `explorer`'s exploration of `seed` on `threads` workers.
 /// Called by [`Explorer::explore_observed`] when
 /// [`crate::ExplorerOptions::threads`] resolves above 1.
 pub(crate) fn explore_parallel(
     explorer: &Explorer<'_>,
-    initial: SymState,
+    seed: ParallelSeed,
     observers: &mut [BoxObserver],
     threads: usize,
 ) -> Report {
     let options = &explorer.options;
+    let ParallelSeed {
+        initials,
+        visited,
+        base,
+    } = seed;
+    if initials.is_empty() {
+        let mut report = base;
+        report.stats.threads = threads;
+        return report;
+    }
     let memo_before = sct_symx::solver_memo_stats();
-    let arena_waits_before = sct_symx::arena_lock_waits();
 
+    let queued0 = initials.len();
+    let mut visited_shards: Vec<Mutex<HashSet<u128>>> = (0..VISITED_SHARDS)
+        .map(|_| Mutex::new(HashSet::new()))
+        .collect();
+    for fp in visited {
+        visited_shards[(fp as usize) & (VISITED_SHARDS - 1)]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fp);
+    }
     let shared = Shared {
-        frontier: Mutex::new(Frontier {
-            queue: options.strategy.frontier(),
-            idle: 0,
-            alive: threads,
-            stop: false,
-            len: 0,
-            peak: 0,
-        }),
+        workers: (0..threads)
+            .map(|_| WorkerSlot {
+                donations: Mutex::new(Vec::new()),
+            })
+            .collect(),
+        published: AtomicUsize::new(queued0),
+        hungry: AtomicUsize::new(0),
+        in_flight: AtomicUsize::new(queued0),
+        stop: AtomicBool::new(false),
+        park: Mutex::new(()),
         work: Condvar::new(),
-        visited: (0..VISITED_SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
-        states: AtomicUsize::new(0),
-        deduped: AtomicUsize::new(0),
-        violations: AtomicUsize::new(0),
+        visited: visited_shards,
+        states: AtomicUsize::new(base.stats.states),
+        deduped: AtomicUsize::new(base.stats.deduped),
+        violations: AtomicUsize::new(base.violations.len()),
         truncated: AtomicBool::new(false),
-        frontier_len: AtomicUsize::new(0),
+        queued: AtomicUsize::new(queued0),
+        peak: AtomicUsize::new(base.stats.frontier_peak.max(queued0)),
+        steals: AtomicU64::new(0),
+        steal_fails: AtomicU64::new(0),
+        next_worker: AtomicUsize::new(0),
+        steal_seed: options.steal_seed,
         observers: Mutex::new(observers),
     };
-    if options.dedup_states {
-        shared.visit(initial.fingerprint());
+    // Round-robin the starting frontier across donation buffers: every
+    // worker's first sweep reclaims its own share lock-free of others,
+    // and an imbalanced split is stolen right back.
+    for (i, st) in initials.into_iter().enumerate() {
+        shared.lock_donations(i % threads).push(st);
     }
-    {
-        let mut f = shared.lock_frontier();
-        f.queue.push(initial);
-        f.len = 1;
-        f.peak = 1;
-    }
-    shared.frontier_len.store(1, Ordering::Relaxed);
 
     // One invocation per worker: the calling thread runs one inline,
     // the persistent pool supplies the rest (no per-exploration thread
-    // spawns — see `mod pool`). A worker whose expansion panics (or
-    // that the pool could not start) retires itself from the head
-    // count so the survivors still terminate; the panic itself is
-    // re-raised by `pool::run` once everything has stopped.
+    // spawns — see `mod pool`). A worker whose expansion panics raises
+    // the stop flag so the survivors drain and exit; the panic itself
+    // is re-raised by `pool::run` once everything has stopped. An
+    // invocation the pool could not start at all needs no accounting —
+    // termination counts states, not workers.
     let collected: Mutex<Vec<Report>> = Mutex::new(Vec::with_capacity(threads));
     pool::run(
         threads,
         &|| {
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                worker(explorer, &shared)
+                worker(explorer, &shared, threads)
             })) {
                 Ok(local) => collected
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .push(local),
                 Err(payload) => {
-                    shared.retire_worker();
+                    shared.stop_all();
                     std::panic::resume_unwind(payload);
                 }
             }
         },
-        &|| shared.retire_worker(),
+        &|| {},
     );
     let locals = collected.into_inner().unwrap_or_else(PoisonError::into_inner);
 
-    // Merge worker-local reports into one.
-    let mut report = Report::default();
+    // Merge worker-local reports onto the seed's base report.
+    let mut report = base;
     report.stats.strategy = options.strategy.name();
     report.stats.threads = threads;
     report.stats.states = shared.states.load(Ordering::Relaxed);
     report.stats.deduped = shared.deduped.load(Ordering::Relaxed);
-    report.stats.truncated = shared.truncated.load(Ordering::Relaxed);
-    report.stats.frontier_peak = shared.lock_frontier().peak;
-    let mut first_witness: Option<(usize, usize)> = None;
+    report.stats.truncated |= shared.truncated.load(Ordering::Relaxed);
+    report.stats.frontier_peak = shared.peak.load(Ordering::Relaxed);
+    report.stats.steals += shared.steals.load(Ordering::Relaxed) as usize;
+    report.stats.steal_fails += shared.steal_fails.load(Ordering::Relaxed) as usize;
+    let mut first_witness = report
+        .stats
+        .first_witness_states
+        .zip(report.stats.first_witness_depth);
     for local in locals {
         report.stats.schedules += local.stats.schedules;
         report.stats.steps += local.stats.steps;
+        report.stats.arena_lock_waits += local.stats.arena_lock_waits;
+        report.stats.memo_lock_waits += local.stats.memo_lock_waits;
+        report.stats.local_cache_hits += local.stats.local_cache_hits;
         if let (Some(s), Some(d)) = (
             local.stats.first_witness_states,
             local.stats.first_witness_depth,
@@ -418,50 +529,41 @@ pub(crate) fn explore_parallel(
     });
 
     let memo_after = sct_symx::solver_memo_stats();
-    report.stats.solver_queries = (memo_after.queries - memo_before.queries) as usize;
-    report.stats.solver_memo_hits = (memo_after.hits - memo_before.hits) as usize;
-    report.stats.solver_memo_misses = (memo_after.misses - memo_before.misses) as usize;
-    report.stats.solver_memo_evicted = (memo_after.evicted - memo_before.evicted) as usize;
-    report.stats.memo_lock_waits = (memo_after.lock_waits - memo_before.lock_waits) as usize;
-    report.stats.arena_lock_waits =
-        (sct_symx::arena_lock_waits() - arena_waits_before) as usize;
+    report.stats.solver_queries += (memo_after.queries - memo_before.queries) as usize;
+    report.stats.solver_memo_hits += (memo_after.hits - memo_before.hits) as usize;
+    report.stats.solver_memo_misses += (memo_after.misses - memo_before.misses) as usize;
+    report.stats.solver_memo_evicted += (memo_after.evicted - memo_before.evicted) as usize;
     report
 }
 
-/// One worker: pop under the frontier lock, expand without it, push
-/// fresh successors back in a batch. Returns the worker-local report
-/// (steps, schedules, violations, first-witness metrics).
-fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>) -> Report {
+/// One worker: pop the private frontier, expand, push successors back
+/// privately, donate when peers are hungry, steal when empty. Returns
+/// the worker-local report (steps, schedules, violations,
+/// first-witness metrics, and this thread's exact lock-wait and
+/// cache-hit deltas).
+fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Report {
+    let me = shared.next_worker.fetch_add(1, Ordering::Relaxed) % threads;
     let options = &explorer.options;
     let dedup = options.dedup_states;
+    let tls_before = sct_symx::thread_stats();
+    let mut frontier = options.strategy.frontier();
+    let mut attempt = 0u64;
     let mut local = Report::default();
     local.stats.strategy = options.strategy.name();
     let mut sink = SharedSink(&shared.observers);
     loop {
-        // ----- pop (or terminate) -----
-        let state = {
-            let mut f = shared.lock_frontier();
-            loop {
-                if f.stop {
-                    return local;
-                }
-                if let Some(state) = f.queue.pop() {
-                    f.len -= 1;
-                    shared.frontier_len.store(f.len, Ordering::Relaxed);
-                    break state;
-                }
-                f.idle += 1;
-                if f.idle == f.alive {
-                    // Every living worker idle over an empty frontier:
-                    // no in-flight expansion exists to refill it. Done.
-                    f.stop = true;
-                    shared.work.notify_all();
-                    return local;
-                }
-                f = shared.work.wait(f).unwrap_or_else(PoisonError::into_inner);
-                f.idle -= 1;
-            }
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // ----- pop own frontier, else steal (or terminate) -----
+        let state = match frontier.pop() {
+            Some(s) => s,
+            None => match acquire(shared, me, threads, frontier.as_mut(), &mut attempt) {
+                Some(s) => s,
+                None => break,
+            },
         };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
 
         // ----- claim an expansion slot against the budgets -----
         let states_now = loop {
@@ -471,7 +573,7 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>) -> Report {
             {
                 shared.truncated.store(true, Ordering::Relaxed);
                 shared.stop_all();
-                return local;
+                return finish_local(local, &tls_before);
             }
             if shared
                 .states
@@ -487,7 +589,7 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>) -> Report {
         local.stats.states = states_now;
         sink.emit(Event::StateExpanded {
             states: states_now,
-            frontier: shared.frontier_len.load(Ordering::Relaxed),
+            frontier: shared.queued.load(Ordering::Relaxed),
             rob_depth: state.rob.len(),
         });
 
@@ -495,6 +597,7 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>) -> Report {
         let conts = explorer.continuations(&state);
         if conts.is_empty() {
             local.stats.schedules += 1;
+            shared.finish_state();
             continue;
         }
         let violations_before = local.violations.len();
@@ -513,18 +616,131 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>) -> Report {
             shared.violations.fetch_add(found, Ordering::Relaxed);
         }
         if !fresh.is_empty() {
-            let mut f = shared.lock_frontier();
+            // Fresh states are in flight *before* this expansion is
+            // counted finished — `in_flight` can therefore never dip
+            // to zero while work exists.
+            shared.in_flight.fetch_add(fresh.len(), Ordering::AcqRel);
+            let n = fresh.len();
             for succ in fresh {
-                f.queue.push(succ);
-                f.len += 1;
+                frontier.push(succ);
             }
-            f.peak = f.peak.max(f.len);
-            shared.frontier_len.store(f.len, Ordering::Relaxed);
-            if f.idle > 0 {
-                shared.work.notify_all();
+            let q = shared.queued.fetch_add(n, Ordering::Relaxed) + n;
+            shared.peak.fetch_max(q, Ordering::Relaxed);
+            if shared.hungry.load(Ordering::Relaxed) > 0 {
+                donate(shared, me, frontier.as_mut());
             }
         }
+        shared.finish_state();
     }
+    finish_local(local, &tls_before)
+}
+
+/// Stamp the worker's exact thread-local deltas into its report.
+fn finish_local(mut local: Report, tls_before: &sct_symx::ThreadStats) -> Report {
+    let tls = sct_symx::thread_stats().since(tls_before);
+    local.stats.arena_lock_waits = tls.arena_lock_waits as usize;
+    local.stats.memo_lock_waits = tls.memo_lock_waits as usize;
+    local.stats.local_cache_hits = tls.local_cache_hits() as usize;
+    local
+}
+
+/// Move half the frontier (capped) into this worker's donation buffer
+/// and wake the sleepers. The donor pops, so it donates its
+/// *highest-priority* states — the strategy hint travels with the work.
+fn donate(shared: &Shared<'_>, me: usize, frontier: &mut dyn SearchStrategy) {
+    let len = frontier.len();
+    if len < 2 {
+        return;
+    }
+    let give = (len / 2).min(MAX_DONATION);
+    let mut batch = Vec::with_capacity(give);
+    for _ in 0..give {
+        match frontier.pop() {
+            Some(s) => batch.push(s),
+            None => break,
+        }
+    }
+    if batch.is_empty() {
+        return;
+    }
+    let n = batch.len();
+    shared.lock_donations(me).extend(batch);
+    // Publish before taking the park lock: a sleeper that already
+    // checked `published` is inside `wait` (it held the lock from
+    // check to wait), so the notify below cannot be lost; a sleeper
+    // that has not yet checked will see the new count.
+    shared.published.fetch_add(n, Ordering::AcqRel);
+    let _park = shared.park.lock().unwrap_or_else(PoisonError::into_inner);
+    shared.work.notify_all();
+}
+
+/// Out of local work: sweep the donation buffers (own first, then a
+/// seed-rotated victim order), parking between failed sweeps, until a
+/// batch lands in `frontier` or the stop flag is raised.
+fn acquire(
+    shared: &Shared<'_>,
+    me: usize,
+    threads: usize,
+    frontier: &mut dyn SearchStrategy,
+    attempt: &mut u64,
+) -> Option<SymState> {
+    shared.hungry.fetch_add(1, Ordering::Relaxed);
+    let got = loop {
+        if shared.stop.load(Ordering::Acquire) {
+            break None;
+        }
+        if grab_batch(shared, me, threads, frontier, attempt) {
+            match frontier.pop() {
+                Some(s) => break Some(s),
+                None => continue,
+            }
+        }
+        shared.steal_fails.fetch_add(1, Ordering::Relaxed);
+        let park = shared.park.lock().unwrap_or_else(PoisonError::into_inner);
+        if shared.stop.load(Ordering::Acquire) || shared.published.load(Ordering::Acquire) > 0 {
+            continue;
+        }
+        drop(shared.work.wait(park).unwrap_or_else(PoisonError::into_inner));
+    };
+    shared.hungry.fetch_sub(1, Ordering::Relaxed);
+    got
+}
+
+/// One sweep over the donation buffers. Takes a whole buffer into
+/// `frontier` (re-establishing the strategy order locally) and reports
+/// whether anything was found.
+fn grab_batch(
+    shared: &Shared<'_>,
+    me: usize,
+    threads: usize,
+    frontier: &mut dyn SearchStrategy,
+    attempt: &mut u64,
+) -> bool {
+    let salt = splitmix64(shared.steal_seed ^ ((me as u64) << 32) ^ *attempt);
+    *attempt += 1;
+    let start = (salt as usize) % threads;
+    for k in 0..=threads {
+        let v = if k == 0 { me } else { (start + k - 1) % threads };
+        if k > 0 && v == me {
+            continue;
+        }
+        let batch = {
+            let mut buf = shared.lock_donations(v);
+            if buf.is_empty() {
+                continue;
+            }
+            std::mem::take(&mut *buf)
+        };
+        shared.published.fetch_sub(batch.len(), Ordering::AcqRel);
+        if v != me {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        for s in batch {
+            frontier.push(s);
+        }
+        return true;
+    }
+    false
 }
 
 #[cfg(test)]
@@ -569,6 +785,26 @@ mod tests {
         assert!(matches!(par.verdict(), Verdict::Unknown { .. } | Verdict::Insecure { .. }));
     }
 
+    #[test]
+    fn steal_seed_rotates_victims_not_results() {
+        let baseline = explore(4, 50_000);
+        for seed in [1u64, 0xdead_beef, u64::MAX] {
+            let (p, cfg) = fig1();
+            let explorer = Explorer::new(
+                &p,
+                ExplorerOptions {
+                    threads: 4,
+                    steal_seed: seed,
+                    ..Default::default()
+                },
+            );
+            let par = explorer.explore(SymState::from_config(&cfg));
+            assert_eq!(par.verdict(), baseline.verdict(), "seed {seed:#x}");
+            assert_eq!(par.stats.states, baseline.stats.states, "seed {seed:#x}");
+            assert_eq!(par.flagged_pcs(), baseline.flagged_pcs(), "seed {seed:#x}");
+        }
+    }
+
     // Either message is correct: the caller's inline worker resumes
     // the original payload ("injected observer panic"), a pool worker
     // surfaces as the pool's "exploration worker panicked".
@@ -576,10 +812,10 @@ mod tests {
     #[should_panic(expected = "panic")]
     fn worker_panic_propagates_instead_of_hanging() {
         // A panicking observer unwinds one worker mid-expansion. The
-        // dead worker must retire itself from the head count so the
-        // survivors terminate and the panic is re-raised here — the
-        // failure mode this guards against is an eternal condvar park,
-        // which would time the whole suite out rather than fail fast.
+        // dying worker raises the stop flag, so the survivors exit and
+        // the panic is re-raised here — the failure mode this guards
+        // against is an eternal condvar park, which would time the
+        // whole suite out rather than fail fast.
         use crate::observe::{BoxObserver, Event};
         let (p, cfg) = fig1();
         let explorer = Explorer::new(
@@ -599,8 +835,9 @@ mod tests {
 
     #[test]
     fn zero_threads_means_auto() {
-        // 0 = one worker per core; on any machine this must still
-        // produce fig1's violation.
+        // 0 = adaptive: serial until the frontier is wide enough to
+        // feed a pool (and always serial on a 1-core host). On any
+        // machine this must still produce fig1's violation.
         let report = explore(0, 50_000);
         assert!(report.verdict().is_insecure());
         assert!(report.stats.threads >= 1);

@@ -760,6 +760,12 @@ fn explore_stats_to_json(s: &ExploreStats) -> Json {
             "memo_lock_waits".into(),
             Json::Int(s.memo_lock_waits as i128),
         ),
+        ("steals".into(), Json::Int(s.steals as i128)),
+        ("steal_fails".into(), Json::Int(s.steal_fails as i128)),
+        (
+            "local_cache_hits".into(),
+            Json::Int(s.local_cache_hits as i128),
+        ),
         ("truncated".into(), Json::Bool(s.truncated)),
     ])
 }
@@ -793,6 +799,9 @@ fn explore_stats_from_json(json: &Json) -> Result<ExploreStats, ProtocolError> {
         threads: json.opt_u64_field("threads")?.unwrap_or(1) as usize,
         arena_lock_waits: json.opt_u64_field("arena_lock_waits")?.unwrap_or(0) as usize,
         memo_lock_waits: json.opt_u64_field("memo_lock_waits")?.unwrap_or(0) as usize,
+        steals: json.opt_u64_field("steals")?.unwrap_or(0) as usize,
+        steal_fails: json.opt_u64_field("steal_fails")?.unwrap_or(0) as usize,
+        local_cache_hits: json.opt_u64_field("local_cache_hits")?.unwrap_or(0) as usize,
         truncated: json.bool_field("truncated")?,
     })
 }
@@ -914,6 +923,11 @@ const SERVICE_STAT_FIELDS: [&str; 16] = [
 /// Fields added with concurrent job execution (parse defaults to 0).
 const SERVICE_STAT_FIELDS_V2: [&str; 3] = ["in_flight", "arena_lock_waits", "memo_lock_waits"];
 
+/// Fields added with the work-stealing engine — per-job-exact steal
+/// and thread-cache counters (parse defaults to 0, same tolerance as
+/// the v2 set).
+const SERVICE_STAT_FIELDS_V3: [&str; 3] = ["steals", "steal_fails", "local_cache_hits"];
+
 fn service_stats_values(s: &ServiceStats) -> [u64; 16] {
     [
         s.jobs_submitted,
@@ -947,6 +961,12 @@ fn service_stats_to_json(s: &ServiceStats) -> Json {
     {
         fields.push(((*k).to_string(), Json::Int(v as i128)));
     }
+    for (k, v) in SERVICE_STAT_FIELDS_V3
+        .iter()
+        .zip([s.steals, s.steal_fails, s.local_cache_hits])
+    {
+        fields.push(((*k).to_string(), Json::Int(v as i128)));
+    }
     Json::Obj(fields)
 }
 
@@ -957,6 +977,10 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
     }
     let mut v2 = [0u64; 3];
     for (slot, key) in v2.iter_mut().zip(SERVICE_STAT_FIELDS_V2) {
+        *slot = json.opt_u64_field(key)?.unwrap_or(0);
+    }
+    let mut v3 = [0u64; 3];
+    for (slot, key) in v3.iter_mut().zip(SERVICE_STAT_FIELDS_V3) {
         *slot = json.opt_u64_field(key)?.unwrap_or(0);
     }
     Ok(ServiceStats {
@@ -979,6 +1003,9 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
         in_flight: v2[0],
         arena_lock_waits: v2[1],
         memo_lock_waits: v2[2],
+        steals: v3[0],
+        steal_fails: v3[1],
+        local_cache_hits: v3[2],
     })
 }
 

@@ -140,6 +140,16 @@ pub struct ExploreStats {
     /// Contended solver-memo lock acquisitions while this exploration
     /// ran (same delta-of-global caveat).
     pub memo_lock_waits: usize,
+    /// Cross-worker batch steals the work-stealing engine performed
+    /// (0 under the serial engine).
+    pub steals: usize,
+    /// Steal sweeps that found every donation buffer empty (the worker
+    /// parked afterwards).
+    pub steal_fails: usize,
+    /// Intern constructions and solver queries answered by a worker's
+    /// thread-local L1 cache, touching no shared lock (summed exactly
+    /// over this exploration's workers — no delta-of-global caveat).
+    pub local_cache_hits: usize,
     /// `true` when exploration hit the state budget and stopped early.
     pub truncated: bool,
 }
@@ -162,6 +172,9 @@ impl Default for ExploreStats {
             threads: 1,
             arena_lock_waits: 0,
             memo_lock_waits: 0,
+            steals: 0,
+            steal_fails: 0,
+            local_cache_hits: 0,
             truncated: false,
         }
     }

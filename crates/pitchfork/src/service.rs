@@ -329,6 +329,16 @@ pub struct ServiceStats {
     pub arena_lock_waits: u64,
     /// Cumulative contended solver-memo-lock acquisitions.
     pub memo_lock_waits: u64,
+    /// Cross-worker batch steals summed over every finished job's
+    /// report (exact per-job attribution — concurrent jobs each roll
+    /// up their own workers' counters, unlike the process-wide
+    /// lock-wait gauges above).
+    pub steals: u64,
+    /// Failed steal sweeps (worker parked) summed over finished jobs.
+    pub steal_fails: u64,
+    /// Thread-local L1 cache hits (interner + verdict memo) summed
+    /// over finished jobs.
+    pub local_cache_hits: u64,
 }
 
 /// Cap on retained events per job: one event per expanded state adds
@@ -628,6 +638,13 @@ pub struct SessionService {
     retire_deferred: bool,
     last_reload: Option<sct_cache::LoadStats>,
     last_retire_error: Option<String>,
+    /// Work-stealing counters rolled up from every finished job's
+    /// report (`run_next` and `finish` both feed these, so jobs run
+    /// concurrently off the service lock are attributed exactly
+    /// rather than sampled from a process-wide gauge at quiesce).
+    job_steals: u64,
+    job_steal_fails: u64,
+    job_local_cache_hits: u64,
 }
 
 impl SessionService {
@@ -657,7 +674,19 @@ impl SessionService {
             retire_deferred: false,
             last_reload: None,
             last_retire_error: None,
+            job_steals: 0,
+            job_steal_fails: 0,
+            job_local_cache_hits: 0,
         }
+    }
+
+    /// Roll one finished job's work-stealing counters into the
+    /// service totals (exact — each job's report already sums its own
+    /// workers).
+    fn absorb_job_stats(&mut self, stats: &crate::report::ExploreStats) {
+        self.job_steals += stats.steals as u64;
+        self.job_steal_fails += stats.steal_fails as u64;
+        self.job_local_cache_hits += stats.local_cache_hits as u64;
     }
 
     /// The wrapped session (options, cache binding, epoch counters).
@@ -767,6 +796,7 @@ impl SessionService {
 
         self.jobs_done += 1;
         self.jobs_since_retire += 1;
+        self.absorb_job_stats(&report.stats);
         // Apply the retire policy while this job is still `current`, so
         // the `EpochRetired` event lands in the *triggering job's* log
         // — per-job streams are the only events a daemon client can
@@ -856,6 +886,7 @@ impl SessionService {
         self.in_flight = self.in_flight.saturating_sub(1);
         self.jobs_done += 1;
         self.jobs_since_retire += 1;
+        self.absorb_job_stats(&done.report.stats);
         let due = self.retire_deferred
             || self
                 .policy
@@ -981,6 +1012,9 @@ impl SessionService {
             memo_stale_dropped: memo.stale_dropped,
             last_reload_nodes: self.last_reload.map_or(0, |l| l.added as u64),
             last_reload_verdicts: self.last_reload.map_or(0, |l| l.verdicts_imported as u64),
+            steals: self.job_steals,
+            steal_fails: self.job_steal_fails,
+            local_cache_hits: self.job_local_cache_hits,
         }
     }
 }

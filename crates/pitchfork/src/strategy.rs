@@ -41,9 +41,12 @@ use std::collections::{BinaryHeap, VecDeque};
 /// factory). Implementations must be deterministic: two explorations of
 /// the same program with the same options must pop states in the same
 /// order, or reports stop being reproducible. (Parallel exploration
-/// shares one frontier behind a mutex, so pop order additionally
-/// depends on worker timing there — the strategy then acts as a
-/// priority *hint*; see the crate-level "Parallel exploration" notes.)
+/// gives each worker its own private frontier of this type and
+/// rebalances by donating batches between workers, so *global* pop
+/// order additionally depends on steal timing there — each worker
+/// still pops its own states in strategy order, and the strategy acts
+/// as a priority *hint* across workers; see the crate-level "Parallel
+/// exploration" notes.)
 pub trait SearchStrategy: Send {
     /// The strategy's stable display name (appears in
     /// [`crate::ExploreStats::strategy`], JSON reports, and `--strategy`).

@@ -96,6 +96,9 @@ fn random_explore_stats(rng: &mut SmallRng) -> ExploreStats {
         threads: rng.gen_range(1..16),
         arena_lock_waits: rng.gen_range(0..100_000),
         memo_lock_waits: rng.gen_range(0..100_000),
+        steals: rng.gen_range(0..100_000),
+        steal_fails: rng.gen_range(0..100_000),
+        local_cache_hits: rng.gen_range(0..10_000_000),
         truncated: rng.gen_bool(0.5),
     }
 }
@@ -155,6 +158,9 @@ fn random_service_stats(rng: &mut SmallRng) -> ServiceStats {
         in_flight: rng.gen(),
         arena_lock_waits: rng.gen(),
         memo_lock_waits: rng.gen(),
+        steals: rng.gen(),
+        steal_fails: rng.gen(),
+        local_cache_hits: rng.gen(),
     }
 }
 

@@ -30,6 +30,7 @@
 
 use sct_core::op::{self, OpCode};
 use sct_core::Val;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -277,6 +278,123 @@ static APP_MISSES: AtomicU64 = AtomicU64::new(0);
 /// probe failed and the caller had to block).
 static LOCK_WAITS: AtomicU64 = AtomicU64::new(0);
 
+// ----- thread-local L1 caches ---------------------------------------------
+//
+// In front of the sharded interner each thread keeps two tiny
+// direct-mapped caches: constants (`value → id`) and small
+// applications (`(op, args) → simplified id`). A hit touches no shared
+// lock at all, which is what lets the hot construction path scale
+// across worker threads — and removes the lock-striping tax from
+// serial runs. Entries are compared exactly (full key, not just the
+// slot hash), stamped with the arena epoch, and flushed lazily the
+// first time the owning thread constructs after [`retire_arena`], so a
+// retired id can never leak into a new epoch through a thread cache.
+
+/// Slots in the per-thread constant cache (direct-mapped).
+const LOCAL_CONST_SLOTS: usize = 1 << 9;
+/// Slots in the per-thread application cache (direct-mapped).
+const LOCAL_APP_SLOTS: usize = 1 << 12;
+/// Largest application arity the thread cache holds; covers the hot
+/// constructors (unary/binary ops plus `Csel`). Wider applications fall
+/// through to the sharded cache.
+const LOCAL_APP_MAX_ARGS: usize = 4;
+
+/// One thread-cache application entry: the exact key and the
+/// simplified result, all as raw [`ExprRef`] bits.
+#[derive(Clone, Copy)]
+struct LocalApp {
+    op: OpCode,
+    argc: u8,
+    args: [u32; LOCAL_APP_MAX_ARGS],
+    result: u32,
+}
+
+struct LocalCaches {
+    epoch: u64,
+    consts: Box<[Option<(u64, u32)>]>,
+    apps: Box<[Option<LocalApp>]>,
+}
+
+impl LocalCaches {
+    fn new(epoch: u64) -> LocalCaches {
+        LocalCaches {
+            epoch,
+            consts: vec![None; LOCAL_CONST_SLOTS].into_boxed_slice(),
+            apps: vec![None; LOCAL_APP_SLOTS].into_boxed_slice(),
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL_CACHES: RefCell<Option<LocalCaches>> = const { RefCell::new(None) };
+    /// Per-thread mirror of [`LOCK_WAITS`]: exact contention
+    /// attribution for parallel workers (the global atomic stays the
+    /// process-wide roll-up).
+    static TLS_LOCK_WAITS: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread count of thread-cache hits (constants + applications).
+    static TLS_LOCAL_HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Run `f` on this thread's L1 caches, allocating them on first use and
+/// flushing them when the arena epoch moved since the last touch.
+fn with_local_caches<R>(f: impl FnOnce(&mut LocalCaches) -> R) -> R {
+    LOCAL_CACHES.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let epoch = ARENA.epoch.load(Ordering::Acquire);
+        let caches = match slot.as_mut() {
+            Some(c) => {
+                if c.epoch != epoch {
+                    c.consts.fill(None);
+                    c.apps.fill(None);
+                    c.epoch = epoch;
+                }
+                c
+            }
+            None => slot.insert(LocalCaches::new(epoch)),
+        };
+        f(caches)
+    })
+}
+
+fn local_const_slot(v: u64) -> usize {
+    (v.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & (LOCAL_CONST_SLOTS - 1)
+}
+
+fn local_app_slot(opcode: OpCode, args: &[ExprRef]) -> usize {
+    let mut h = (opcode as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &a in args {
+        h = (h ^ u64::from(a.bits())).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    (h >> 32) as usize & (LOCAL_APP_SLOTS - 1)
+}
+
+fn note_local_hit() {
+    TLS_LOCAL_HITS.with(|h| h.set(h.get() + 1));
+}
+
+/// Drop the calling thread's L1 intern caches (the shared arena is
+/// untouched).
+pub(crate) fn flush_local_caches() {
+    LOCAL_CACHES.with(|cell| {
+        if let Some(c) = cell.borrow_mut().as_mut() {
+            c.consts.fill(None);
+            c.apps.fill(None);
+        }
+    });
+}
+
+/// This thread's cumulative contended interner-lock acquisitions
+/// (the thread's share of [`arena_lock_waits`]).
+pub(crate) fn tls_lock_waits() -> u64 {
+    TLS_LOCK_WAITS.with(Cell::get)
+}
+
+/// This thread's cumulative thread-cache hits (see the module notes on
+/// thread-local L1 caches).
+pub(crate) fn tls_local_hits() -> u64 {
+    TLS_LOCAL_HITS.with(Cell::get)
+}
+
 /// The deterministic structural hash the dedup index is keyed by
 /// (SipHash with fixed keys; stable within a process, not across).
 fn node_hash(node: &Node) -> u64 {
@@ -297,6 +415,7 @@ fn read_shard(i: usize) -> RwLockReadGuard<'static, Shard> {
         Err(TryLockError::Poisoned(p)) => p.into_inner(),
         Err(TryLockError::WouldBlock) => {
             LOCK_WAITS.fetch_add(1, Ordering::Relaxed);
+            TLS_LOCK_WAITS.with(|w| w.set(w.get() + 1));
             ARENA.shards[i].read().unwrap_or_else(PoisonError::into_inner)
         }
     }
@@ -309,6 +428,7 @@ fn write_shard(i: usize) -> RwLockWriteGuard<'static, Shard> {
         Err(TryLockError::Poisoned(p)) => p.into_inner(),
         Err(TryLockError::WouldBlock) => {
             LOCK_WAITS.fetch_add(1, Ordering::Relaxed);
+            TLS_LOCK_WAITS.with(|w| w.set(w.get() + 1));
             ARENA.shards[i].write().unwrap_or_else(PoisonError::into_inner)
         }
     }
@@ -363,7 +483,17 @@ pub(crate) fn with_node<R>(e: ExprRef, f: impl FnOnce(&Node) -> R) -> R {
 }
 
 pub(crate) fn constant_global(v: u64) -> ExprRef {
-    intern_node(Node::Const(v)).0
+    let slot = local_const_slot(v);
+    if let Some(hit) = with_local_caches(|c| match c.consts[slot] {
+        Some((val, bits)) if val == v => Some(ExprRef(bits)),
+        _ => None,
+    }) {
+        note_local_hit();
+        return hit;
+    }
+    let e = intern_node(Node::Const(v)).0;
+    with_local_caches(|c| c.consts[slot] = Some((v, e.0)));
+    e
 }
 
 pub(crate) fn var_global(v: VarId) -> ExprRef {
@@ -389,6 +519,47 @@ pub(crate) fn as_const_global(e: ExprRef) -> Option<u64> {
 /// re-enters the public constructors, which lock per operation), so two
 /// shards are never locked at once and worker threads cannot deadlock.
 pub(crate) fn app_global(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
+    // L0: the thread cache. A hit would also have hit the sharded
+    // constructor cache, so it counts toward the global hit counter.
+    let small = args.len() <= LOCAL_APP_MAX_ARGS;
+    if small {
+        let slot = local_app_slot(opcode, &args);
+        if let Some(hit) = with_local_caches(|c| match &c.apps[slot] {
+            Some(e)
+                if e.op == opcode
+                    && usize::from(e.argc) == args.len()
+                    && e.args[..args.len()]
+                        .iter()
+                        .zip(&args)
+                        .all(|(&cached, arg)| cached == arg.bits()) =>
+            {
+                Some(ExprRef(e.result))
+            }
+            _ => None,
+        }) {
+            APP_HITS.fetch_add(1, Ordering::Relaxed);
+            note_local_hit();
+            return hit;
+        }
+        let mut entry = LocalApp {
+            op: opcode,
+            argc: args.len() as u8,
+            args: [0; LOCAL_APP_MAX_ARGS],
+            result: 0,
+        };
+        for (dst, arg) in entry.args.iter_mut().zip(&args) {
+            *dst = arg.bits();
+        }
+        let result = app_global_shared(opcode, args);
+        entry.result = result.bits();
+        with_local_caches(|c| c.apps[slot] = Some(entry));
+        result
+    } else {
+        app_global_shared(opcode, args)
+    }
+}
+
+fn app_global_shared(opcode: OpCode, args: Vec<ExprRef>) -> ExprRef {
     let raw_node = Node::App(opcode, args.into_boxed_slice());
     let h = node_hash(&raw_node);
     let si = shard_of_hash(h);

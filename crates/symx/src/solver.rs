@@ -26,6 +26,7 @@ use crate::expr::{Expr, LocalView, Model, VarId};
 use crate::interval::{provably_false_in, VarIntervals};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -185,9 +186,103 @@ fn lock_memo(i: usize) -> MutexGuard<'static, MemoShard> {
         Err(TryLockError::Poisoned(p)) => p.into_inner(),
         Err(TryLockError::WouldBlock) => {
             MEMO_LOCK_WAITS.fetch_add(1, Ordering::Relaxed);
+            TLS_MEMO_WAITS.with(|w| w.set(w.get() + 1));
             MEMO[i].lock().unwrap_or_else(PoisonError::into_inner)
         }
     }
+}
+
+// ----- thread-local memo-read cache ---------------------------------------
+//
+// In front of the striped memo each thread keeps a small direct-mapped
+// read cache of `(key, verdict)` pairs. A hit answers `Solver::check`
+// without touching any shared lock. Keys are compared in full (options
+// tag + sorted ids), the cache is stamped with the arena epoch and
+// flushed lazily after [`crate::expr::retire_arena`], so a stale-epoch
+// verdict is never replayed. Thread-cache hits bypass the stripe's
+// recency touch (the entry may be evicted by the LRU guard while still
+// locally cached — harmless, verdicts are deterministic) and are folded
+// into [`solver_memo_stats`] through [`MEMO_TLS_HITS`] so hit-rate
+// reporting stays truthful.
+
+/// Slots in the per-thread verdict cache (direct-mapped).
+const LOCAL_MEMO_SLOTS: usize = 1 << 10;
+
+struct LocalMemo {
+    epoch: u64,
+    slots: Box<[Option<(MemoKey, Verdict)>]>,
+}
+
+thread_local! {
+    static LOCAL_MEMO: RefCell<Option<LocalMemo>> = const { RefCell::new(None) };
+    /// Per-thread mirror of [`MEMO_LOCK_WAITS`] (exact attribution for
+    /// parallel workers).
+    static TLS_MEMO_WAITS: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread count of thread-cache verdict hits.
+    static TLS_MEMO_HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Queries answered by a thread-local verdict cache (process-wide).
+/// These bypass the per-stripe counters, so [`solver_memo_stats`] adds
+/// them to both `queries` and `hits`.
+static MEMO_TLS_HITS: AtomicU64 = AtomicU64::new(0);
+
+fn with_local_memo<R>(f: impl FnOnce(&mut LocalMemo) -> R) -> R {
+    LOCAL_MEMO.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let epoch = crate::expr::arena_epoch();
+        let memo = match slot.as_mut() {
+            Some(m) => {
+                if m.epoch != epoch {
+                    m.slots.fill(None);
+                    m.epoch = epoch;
+                }
+                m
+            }
+            None => slot.insert(LocalMemo {
+                epoch,
+                slots: vec![None; LOCAL_MEMO_SLOTS].into_boxed_slice(),
+            }),
+        };
+        f(memo)
+    })
+}
+
+fn local_memo_slot(key: &MemoKey) -> usize {
+    (key.hash.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize & (LOCAL_MEMO_SLOTS - 1)
+}
+
+fn local_memo_get(key: &MemoKey) -> Option<Verdict> {
+    with_local_memo(|m| match &m.slots[local_memo_slot(key)] {
+        Some((k, v)) if k == key => Some(v.clone()),
+        _ => None,
+    })
+}
+
+fn local_memo_put(key: MemoKey, verdict: Verdict) {
+    let slot = local_memo_slot(&key);
+    with_local_memo(|m| m.slots[slot] = Some((key, verdict)));
+}
+
+/// Drop the calling thread's L1 verdict cache (the shared memo is
+/// untouched).
+pub(crate) fn flush_local_memo() {
+    LOCAL_MEMO.with(|cell| {
+        if let Some(m) = cell.borrow_mut().as_mut() {
+            m.slots.fill(None);
+        }
+    });
+}
+
+/// This thread's cumulative contended memo-lock acquisitions (the
+/// thread's share of [`solver_memo_lock_waits`]).
+pub(crate) fn tls_memo_waits() -> u64 {
+    TLS_MEMO_WAITS.with(Cell::get)
+}
+
+/// This thread's cumulative thread-cache verdict hits.
+pub(crate) fn tls_memo_hits() -> u64 {
+    TLS_MEMO_HITS.with(Cell::get)
 }
 
 fn next_tick() -> u64 {
@@ -300,9 +395,14 @@ pub struct SolverMemoStats {
     pub shards: usize,
 }
 
-/// Snapshot the verdict-memo counters.
+/// Snapshot the verdict-memo counters. Queries answered by a
+/// thread-local read cache never reach a stripe; they are added to both
+/// `queries` and `hits` here so rates stay truthful.
 pub fn solver_memo_stats() -> SolverMemoStats {
+    let tls_hits = MEMO_TLS_HITS.load(Ordering::Relaxed);
     let mut stats = SolverMemoStats {
+        queries: tls_hits,
+        hits: tls_hits,
         capacity: MEMO_CAPACITY.load(Ordering::Relaxed),
         lock_waits: MEMO_LOCK_WAITS.load(Ordering::Relaxed),
         shards: MEMO_SHARDS,
@@ -450,6 +550,12 @@ impl Solver {
     /// [`solver_memo_stats`].
     pub fn check(&self, constraints: &[Expr]) -> Verdict {
         let key = MemoKey::new(self.options.tag(), canonical_key(constraints));
+        // L0: the thread-local read cache — no shared lock on a hit.
+        if let Some(v) = local_memo_get(&key) {
+            MEMO_TLS_HITS.fetch_add(1, Ordering::Relaxed);
+            TLS_MEMO_HITS.with(|h| h.set(h.get() + 1));
+            return v;
+        }
         let si = key.shard();
         {
             let mut m = lock_memo(si);
@@ -459,6 +565,8 @@ impl Solver {
                 *hit = stamp;
                 let v = v.clone();
                 m.hits += 1;
+                drop(m);
+                local_memo_put(key, v.clone());
                 return v;
             }
         }
@@ -470,10 +578,11 @@ impl Solver {
             // Two threads racing on the same uncached key both solve it
             // (deterministically, to the same verdict); only the first
             // insert grows the table.
-            if m.entries.insert(key, (verdict.clone(), stamp)).is_none() {
+            if m.entries.insert(key.clone(), (verdict.clone(), stamp)).is_none() {
                 MEMO_TOTAL.fetch_add(1, Ordering::Relaxed);
             }
         }
+        local_memo_put(key, verdict.clone());
         enforce_capacity_global();
         verdict
     }

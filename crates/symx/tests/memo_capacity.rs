@@ -7,8 +7,8 @@
 
 use sct_core::OpCode;
 use sct_symx::{
-    set_solver_memo_capacity, solver_memo_capacity, solver_memo_stats, Expr, Solver, VarId,
-    DEFAULT_MEMO_CAPACITY,
+    flush_thread_caches, set_solver_memo_capacity, solver_memo_capacity, solver_memo_stats, Expr,
+    Solver, VarId, DEFAULT_MEMO_CAPACITY,
 };
 
 /// The distinct constraint `x > k` (one memo key per `k`).
@@ -39,7 +39,10 @@ fn lru_capacity_guard() {
     assert!(full.entries <= cap, "{full:?}");
     let evicted_before = full.evicted;
 
-    // Refresh k=0 (a hit bumps its recency) ...
+    // Refresh k=0 (a hit bumps its recency). Flush the thread-local
+    // verdict cache first: this scenario pins the *shared* memo's LRU
+    // behavior, and a thread-cache hit would bypass the recency touch.
+    flush_thread_caches();
     let hits_before = solver_memo_stats().hits;
     solver.check(&[gt(0)]);
     assert_eq!(solver_memo_stats().hits, hits_before + 1, "refresh hits");
@@ -54,7 +57,9 @@ fn lru_capacity_guard() {
         "the capacity guard counted its evictions: {after:?}"
     );
 
-    // The refreshed entry survived ...
+    // The refreshed entry survived ... (flush again so both probes
+    // below reach the shared memo rather than the thread cache)
+    flush_thread_caches();
     let hits = solver_memo_stats().hits;
     let misses = solver_memo_stats().misses;
     solver.check(&[gt(0)]);
