@@ -5,7 +5,10 @@
 //! Besides the criterion timings (`BENCH_explorer_throughput.json`),
 //! this bench writes `BENCH_explorer_dedup.json` recording the state
 //! counts both ways, quantifying exactly how much the fingerprint
-//! visited-set prunes.
+//! visited-set prunes, and `BENCH_telemetry_overhead.json` — an A/B of
+//! the same serial corpus pass with the `sct-telemetry` registry
+//! disabled and enabled, gating the instrumentation's overhead (the
+//! CI metrics-smoke job asserts it stays under 3%).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pitchfork::{AnalysisSession, DetectorOptions, Report};
@@ -97,6 +100,7 @@ fn bench_explorer_throughput(c: &mut Criterion) {
     group.finish();
 
     write_dedup_counts();
+    write_telemetry_overhead();
 }
 
 /// One representative run per configuration, recording explored-state
@@ -148,6 +152,76 @@ fn write_dedup_counts() {
     } else {
         println!("wrote {}", path.display());
     }
+}
+
+/// A/B overhead gate for the telemetry instrumentation: the same
+/// serial corpus pass (bound 20, dedup on) with the registry disabled
+/// and enabled. Rates use the *minimum* pass time per arm — the
+/// noise-robust estimator — so the <3% gate holds on shared runners.
+fn write_telemetry_overhead() {
+    const BOUND: usize = 20;
+    const REPS: usize = 5;
+    let items = corpus_items(BOUND);
+    // One warm-up pass so neither arm pays first-touch allocation.
+    corpus_pass(&items, BOUND, false, true);
+
+    let time_arm = |enabled: bool| -> (usize, f64) {
+        sct_telemetry::set_enabled(enabled);
+        let mut states = 0usize;
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let start = std::time::Instant::now();
+            states = corpus_pass(&items, BOUND, false, true).totals.states;
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (states, states as f64 / best)
+    };
+    let (states, rate_off) = time_arm(false);
+    let (_, rate_on) = time_arm(true);
+    sct_telemetry::set_enabled(true);
+    let overhead_pct = (rate_off / rate_on - 1.0) * 100.0;
+
+    // The instrumented arm's own histograms, as the registry saw them.
+    let hist = |name: &str| -> (u64, u64, u64) {
+        sct_telemetry::global()
+            .snapshot()
+            .into_iter()
+            .find(|m| m.name == name)
+            .map(|m| (m.value, m.percentile_ns(0.50), m.percentile_ns(0.99)))
+            .unwrap_or((0, 0, 0))
+    };
+    let (hit_n, hit_p50, hit_p99) = hist(sct_telemetry::names::SOLVER_CHECK_HIT);
+    let (miss_n, miss_p50, miss_p99) = hist(sct_telemetry::names::SOLVER_CHECK_MISS);
+    let (exp_n, exp_p50, exp_p99) = hist(sct_telemetry::names::STATE_EXPAND);
+
+    let manifest = sct_bench::manifest::RunManifest::capture(
+        &format!("telemetry_overhead corpus_v1_dedup bound={BOUND} reps={REPS}"),
+        0,
+        &[1],
+    );
+    let mut json = String::from("{\n");
+    json.push_str(&manifest.json_fields("  "));
+    let _ = write!(
+        json,
+        "  \"workload\": \"corpus_v1_dedup\",\n  \"bound\": {BOUND},\n  \"reps\": {REPS},\n  \
+         \"states\": {states},\n  \"rate_off\": {rate_off:.1},\n  \"rate_on\": {rate_on:.1},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"within_3pct\": {},\n  \
+         \"solver_check_hit\": {{\"count\": {hit_n}, \"p50_ns\": {hit_p50}, \"p99_ns\": {hit_p99}}},\n  \
+         \"solver_check_miss\": {{\"count\": {miss_n}, \"p50_ns\": {miss_p50}, \"p99_ns\": {miss_p99}}},\n  \
+         \"state_expand\": {{\"count\": {exp_n}, \"p50_ns\": {exp_p50}, \"p99_ns\": {exp_p99}}}\n}}\n",
+        overhead_pct < 3.0
+    );
+    let dir = criterion::Criterion::output_dir();
+    let path = dir.join("BENCH_telemetry_overhead.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+    let _ = manifest.append_audit(&dir, "BENCH_telemetry_overhead.json");
+    println!(
+        "telemetry overhead: {overhead_pct:.2}% (off {rate_off:.0} states/s, on {rate_on:.0} states/s)"
+    );
 }
 
 criterion_group!(benches, bench_explorer_throughput);

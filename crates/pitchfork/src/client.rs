@@ -81,6 +81,9 @@ pub struct JobView {
     pub violations: Vec<WireViolation>,
     /// Failure message for failed jobs.
     pub error: Option<String>,
+    /// Wall-clock milliseconds running (live while `running`, final
+    /// once terminal; `None` from pre-telemetry daemons).
+    pub elapsed_ms: Option<u64>,
 }
 
 /// A connection to a running daemon.
@@ -185,6 +188,7 @@ impl Client {
                 stats,
                 violations,
                 error,
+                elapsed_ms,
             } => Ok(JobView {
                 id: JobId::from_u64(id),
                 status,
@@ -192,6 +196,7 @@ impl Client {
                 stats,
                 violations,
                 error,
+                elapsed_ms,
             }),
             _ => Err(ClientError::Unexpected("verdicts")),
         }
@@ -250,6 +255,17 @@ impl Client {
         match self.request(&Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
             _ => Err(ClientError::Unexpected("stats")),
+        }
+    }
+
+    /// The daemon's full telemetry snapshot: service statistics plus
+    /// every registered counter, gauge, and latency histogram.
+    pub fn metrics(
+        &mut self,
+    ) -> Result<(ServiceStats, Vec<sct_telemetry::MetricSnapshot>), ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { stats, metrics } => Ok((stats, metrics)),
+            _ => Err(ClientError::Unexpected("metrics")),
         }
     }
 

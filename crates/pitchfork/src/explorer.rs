@@ -41,6 +41,55 @@ use crate::report::{Report, Violation};
 use crate::state::{SymState, SymStoreAddr, SymTransient};
 use crate::strategy::StrategyKind;
 use sct_core::{Directive, Instr, Observation, Params, Program};
+use std::sync::LazyLock;
+use std::time::Instant;
+
+static STATE_EXPAND_HIST: LazyLock<&'static sct_telemetry::Histogram> =
+    LazyLock::new(|| sct_telemetry::histogram(sct_telemetry::names::STATE_EXPAND));
+
+/// Per-state expansion timing at one clock read per state: each
+/// [`ExpandTimer::stamp`] records the span since the previous stamp
+/// (or [`ExpandTimer::reset`] baseline) into the process-wide
+/// `state_expand_ns` histogram through a thread-owned buffer that
+/// publishes when the timer drops. When telemetry is disabled the
+/// timer is inert and never touches the clock.
+pub(crate) struct ExpandTimer {
+    spans: Option<(sct_telemetry::LocalHist, Instant)>,
+}
+
+impl ExpandTimer {
+    pub(crate) fn start() -> ExpandTimer {
+        ExpandTimer {
+            spans: sct_telemetry::enabled()
+                .then(|| (sct_telemetry::LocalHist::new(*STATE_EXPAND_HIST), Instant::now())),
+        }
+    }
+
+    /// Record one finished expansion; returns the span in nanoseconds
+    /// (0 when telemetry is off).
+    #[inline]
+    pub(crate) fn stamp(&mut self) -> u64 {
+        match self.spans.as_mut() {
+            Some((hist, last)) => {
+                let now = Instant::now();
+                let ns = sct_telemetry::saturating_ns(now.duration_since(*last));
+                hist.record_ns(ns);
+                *last = now;
+                ns
+            }
+            None => 0,
+        }
+    }
+
+    /// Move the baseline to now without recording (excludes a
+    /// steal/park gap from the next stamp).
+    #[inline]
+    pub(crate) fn reset(&mut self) {
+        if let Some((_, last)) = self.spans.as_mut() {
+            *last = Instant::now();
+        }
+    }
+}
 
 /// Explorer options.
 #[derive(Clone, Copy, Debug)]
@@ -279,6 +328,7 @@ impl<'p> Explorer<'p> {
         let mut frontier = self.options.strategy.frontier();
         frontier.push(initial);
         let mut spilled = false;
+        let mut expand_timer = ExpandTimer::start();
         while let Some(state) = frontier.pop() {
             if report.stats.states >= self.options.max_states
                 || report.violations.len() >= self.options.max_violations
@@ -295,6 +345,7 @@ impl<'p> Explorer<'p> {
             let conts = self.continuations(&state);
             if conts.is_empty() {
                 report.stats.schedules += 1;
+                expand_timer.stamp();
                 continue;
             }
             for cont in conts {
@@ -307,6 +358,7 @@ impl<'p> Explorer<'p> {
                 }
             }
             report.stats.frontier_peak = report.stats.frontier_peak.max(frontier.len());
+            expand_timer.stamp();
             if spill_at.is_some_and(|w| frontier.len() >= w) {
                 spilled = true;
                 break;

@@ -164,6 +164,61 @@
 //! `--threads` (parallelism *within* one) — or by `--threads 0`,
 //! which makes the call per exploration.
 //!
+//! # Observability
+//!
+//! Every layer is instrumented through the std-only `sct-telemetry`
+//! crate: a process-wide [`sct_telemetry::MetricsRegistry`] of
+//! counters, gauges, and log-bucketed latency histograms (fixed
+//! power-of-two nanosecond buckets; hot paths record into thread-local
+//! buffers that flush in batches, so an observation is an increment,
+//! not a lock). The kill switch is the `SCT_TELEMETRY=0` environment
+//! variable (or [`sct_telemetry::set_enabled`]); disabled, every span
+//! collapses to one relaxed atomic load — the throughput bench gates
+//! the enabled overhead under 3%.
+//!
+//! The registered metric families:
+//!
+//! | metric | kind | what it times |
+//! |---|---|---|
+//! | `solver_check_hit_ns` | histogram | satisfiability checks answered by the memo (L1 or stripe) |
+//! | `solver_check_miss_ns` | histogram | checks that fell through to the decision procedure |
+//! | `state_expand_ns` | histogram | one frontier-state expansion in the explorer |
+//! | `steal_attempt_ns` | histogram | one work-stealing sweep in the parallel engine |
+//! | `job_queue_wait_ns` | histogram | daemon job: submission → dequeue |
+//! | `job_run_ns` | histogram | daemon job: dequeue → verdict |
+//! | `job_events_dropped` | counter | events evicted by per-job retention caps |
+//! | `worker_busy_ns{worker="i"}` | counter | per-worker time spent expanding states |
+//! | `worker_steal_ns{worker="i"}` | counter | per-worker time spent rebalancing |
+//! | `worker_parked_ns{worker="i"}` | counter | per-worker time parked on the idle condvar |
+//!
+//! The daemon answers [`Request::Metrics`] with its [`ServiceStats`]
+//! plus a full registry snapshot, and `pitchfork metrics --connect
+//! SOCK` renders that as Prometheus text exposition
+//! ([`sct_telemetry::render_prometheus`]): one `# TYPE` line per
+//! family; histograms emit cumulative `_bucket{le="..."}` series, a
+//! `_sum`/`_count` pair, and a `# name p50=... p90=... p99=... max=...`
+//! summary comment. Per-job latency surfaces as
+//! [`ServiceStats::queue_wait_ms_total`] / `run_ms_total` /
+//! `jobs_timed`, and per-job wall time as [`JobView::elapsed_ms`]
+//! (rendered by `pitchfork status`).
+//!
+//! `--trace PATH` (one-shot and `--serve`) appends structured JSONL
+//! trace records: a manifest-style provenance header first (`ts`,
+//! `artifact`, `git_commit`, `host_cpus`, mode and bounds — the same
+//! shape as the bench `audit.jsonl` lines), then one object per
+//! lifecycle event (`job_submitted`, `job_status`, `violation_found`,
+//! `item_finished`, `epoch_retired`, `job_done`) carrying the job id
+//! and a monotonic `t_ms` relative to the header. State-expansion
+//! events are deliberately *not* traced — at ~10⁵ events/s that
+//! belongs in the `state_expand_ns` histogram, not a log file.
+//!
+//! Event retention is bounded per job: the daemon keeps the first
+//! [`service::EVENT_HEAD_RETAIN`] and the most recent
+//! [`service::EVENT_TAIL_RETAIN`] events, counts evictions, and
+//! reports the per-job `dropped` total on every `Events` response, so
+//! a slow subscriber sees *that* it lost mid-run events and exactly
+//! how many — never a silently truncated stream.
+//!
 //! # Compatibility wrappers
 //!
 //! [`Detector`] and [`BatchAnalyzer`], the pre-session entry points,

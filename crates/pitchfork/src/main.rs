@@ -5,11 +5,12 @@
 //! ```text
 //! # one-shot (classic) mode
 //! pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--symbolic ra,rb]
-//!           [--verbose] [--cache PATH] FILE...
+//!           [--verbose] [--cache PATH] [--trace PATH] FILE...
 //!
 //! # daemon mode: serve analyses over a Unix socket
 //! pitchfork --serve SOCK [--cache PATH] [--bound N] [--strategy NAME]
 //!           [--retire-every N] [--retire-nodes N] [--memo-capacity N]
+//!           [--trace PATH]
 //!
 //! # client verbs against a running daemon
 //! pitchfork submit   --connect SOCK [--mode v1|v4|alias|v2] [--bound N]
@@ -17,6 +18,7 @@
 //! pitchfork status   --connect SOCK --job ID
 //! pitchfork events   --connect SOCK --job ID
 //! pitchfork stats    --connect SOCK
+//! pitchfork metrics  --connect SOCK
 //! pitchfork retire   --connect SOCK
 //! pitchfork shutdown --connect SOCK
 //! ```
@@ -43,20 +45,21 @@ struct Cli {
     symbolic: Vec<Reg>,
     verbose: bool,
     cache: Option<String>,
+    trace: Option<String>,
     files: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--threads N] [--symbolic ra,rb] [--verbose] [--cache PATH] FILE..."
+        "usage: pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--threads N] [--symbolic ra,rb] [--verbose] [--cache PATH] [--trace PATH] FILE..."
     );
     eprintln!("       pitchfork --serve SOCK [--cache PATH] [--bound N] [--strategy NAME]");
     eprintln!("                 [--threads N] [--jobs K] [--retire-every N] [--retire-nodes N]");
-    eprintln!("                 [--memo-capacity N]");
+    eprintln!("                 [--memo-capacity N] [--trace PATH]");
     eprintln!("       pitchfork submit --connect SOCK [--mode v1|v4|alias|v2] [--bound N]");
     eprintln!("                 [--strategy NAME] [--threads N] [--symbolic ra,rb] [--verbose] FILE...");
     eprintln!("       pitchfork status|events --connect SOCK --job ID");
-    eprintln!("       pitchfork stats|retire|shutdown --connect SOCK");
+    eprintln!("       pitchfork stats|metrics|retire|shutdown --connect SOCK");
     eprintln!();
     eprintln!("Analyze sct assembly files for speculative constant-time violations.");
     eprintln!("  --bound N        speculation bound (default 20; paper: 250 without");
@@ -74,6 +77,13 @@ fn usage() -> ! {
     eprintln!("  --verbose        print schedules and traces for each violation");
     eprintln!("  --cache PATH     warm-start the expression arena and solver memo");
     eprintln!("                   from PATH (if it exists) and save back after the run");
+    eprintln!("  --trace PATH     append structured JSONL trace records (job lifecycle,");
+    eprintln!("                   violations, epoch retirements) to PATH");
+    eprintln!();
+    eprintln!("The metrics verb scrapes the daemon's telemetry registry (latency");
+    eprintln!("histograms, per-worker utilization, job queue-wait/run totals) in");
+    eprintln!("Prometheus text exposition format. Set SCT_TELEMETRY=0 to disable");
+    eprintln!("metric collection entirely.");
     eprintln!();
     eprintln!("Daemon mode (--serve) keeps one session resident: submissions share the");
     eprintln!("hash-consed arena and solver memo across clients, and the epoch-retire");
@@ -93,6 +103,7 @@ fn parse_args(args: Vec<String>) -> Cli {
         symbolic: Vec::new(),
         verbose: false,
         cache: None,
+        trace: None,
         files: Vec::new(),
     };
     let mut args = args.into_iter();
@@ -117,6 +128,10 @@ fn parse_args(args: Vec<String>) -> Cli {
             "--cache" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cli.cache = Some(v);
+            }
+            "--trace" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cli.trace = Some(v);
             }
             "--symbolic" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -197,6 +212,44 @@ fn build_session(
     builder().build().expect("cache-less session build cannot fail")
 }
 
+/// Open a `--trace PATH` JSONL writer with a manifest-style provenance
+/// header (same shape as the daemon's `audit.jsonl` header: who wrote
+/// the file, from what commit, on what machine). An unwritable path is
+/// reported and disables tracing — it never aborts an analysis.
+fn open_trace(
+    path: &str,
+    mode: &str,
+    bound: usize,
+    strategy: StrategyKind,
+) -> Option<std::sync::Arc<sct_telemetry::TraceWriter>> {
+    use sct_telemetry::TraceValue;
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let header = [
+        ("artifact", TraceValue::Str("pitchfork-trace".to_string())),
+        ("mode", TraceValue::Str(mode.to_string())),
+        ("git_commit", TraceValue::Str(git_commit)),
+        ("host_cpus", TraceValue::U64(host_cpus)),
+        ("bound", TraceValue::U64(bound as u64)),
+        ("strategy", TraceValue::Str(strategy.to_string())),
+    ];
+    match sct_telemetry::TraceWriter::create(std::path::Path::new(path), &header) {
+        Ok(w) => Some(std::sync::Arc::new(w)),
+        Err(e) => {
+            eprintln!("--trace {path}: {e}");
+            None
+        }
+    }
+}
+
 /// The per-file report line, shared verbatim by one-shot and daemon
 /// output so the serve-smoke CI job can diff them.
 fn report_line(
@@ -223,8 +276,12 @@ fn run_oneshot(args: Vec<String>) -> ExitCode {
         &cli.symbolic,
         cli.cache.as_deref(),
     );
+    let trace = cli
+        .trace
+        .as_deref()
+        .and_then(|p| open_trace(p, "oneshot", cli.bound, cli.strategy));
     let mut any_violation = false;
-    for file in &cli.files {
+    for (index, file) in cli.files.iter().enumerate() {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
             Err(e) => {
@@ -239,7 +296,34 @@ fn run_oneshot(args: Vec<String>) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        // One-shot runs have no daemon job ids; number the files 1..N
+        // so trace records stay joinable on the `job` key either way.
+        let job = (index + 1) as u64;
+        if let Some(t) = &trace {
+            t.record(
+                Some(job),
+                "item_start",
+                &[("name", sct_telemetry::TraceValue::Str(file.clone()))],
+            );
+        }
+        let started = std::time::Instant::now();
         let report = session.analyze(&asm.program, &asm.config);
+        if let Some(t) = &trace {
+            use sct_telemetry::TraceValue;
+            t.record(
+                Some(job),
+                "item_finished",
+                &[
+                    ("name", TraceValue::Str(file.clone())),
+                    ("flagged", TraceValue::Bool(report.has_violations())),
+                    ("states", TraceValue::U64(report.stats.states as u64)),
+                    (
+                        "elapsed_ms",
+                        TraceValue::U64(started.elapsed().as_millis() as u64),
+                    ),
+                ],
+            );
+        }
         any_violation |= report.has_violations();
         println!(
             "{}",
@@ -291,11 +375,13 @@ fn run_serve(args: Vec<String>) -> ExitCode {
     let mut strategy = StrategyKind::Lifo;
     let mut threads = 1usize;
     let mut jobs = 1usize;
+    let mut trace: Option<String> = None;
     let mut policy = RetirePolicy::never();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--cache" => cache = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
             "--bound" => {
                 bound = args
                     .next()
@@ -347,6 +433,11 @@ fn run_serve(args: Vec<String>) -> ExitCode {
     let Some(socket) = socket else { usage() };
     let session = build_session(bound, false, strategy, threads, &[], cache.as_deref());
     let service = SessionService::with_policy(session, policy);
+    if let Some(path) = &trace {
+        if let Some(writer) = open_trace(path, "serve", bound, strategy) {
+            service.monitor().set_trace(writer);
+        }
+    }
     let server = match pitchfork::server::Server::bind_with_workers(&socket, service, jobs) {
         Ok(s) => s,
         Err(e) => {
@@ -468,6 +559,10 @@ fn print_stats(stats: &ServiceStats) {
         stats.jobs_submitted, stats.jobs_done, stats.jobs_failed, stats.queued
     );
     outln!(
+        "latency: {} ms queue-wait / {} ms run over {} timed jobs; {} events dropped",
+        stats.queue_wait_ms_total, stats.run_ms_total, stats.jobs_timed, stats.events_dropped
+    );
+    outln!(
         "epochs_retired: {} ({} jobs since; last warm-start {} nodes, {} verdicts)",
         stats.epochs_retired,
         stats.jobs_since_retire,
@@ -507,6 +602,9 @@ fn print_view(label: &str, view: &pitchfork::client::JobView, verbose: bool) -> 
                 "  memo: {} hits / {} misses; first witness at {:?} states",
                 stats.solver_memo_hits, stats.solver_memo_misses, stats.first_witness_states
             );
+            if let Some(ms) = view.elapsed_ms {
+                outln!("  elapsed: {ms} ms");
+            }
             if verbose {
                 for v in &view.violations {
                     outln!("  violation: {} near program point {}", v.observation, v.pc);
@@ -520,8 +618,11 @@ fn print_view(label: &str, view: &pitchfork::client::JobView, verbose: bool) -> 
         }
         _ => {
             outln!(
-                "{label}: {}{}",
+                "{label}: {}{}{}",
                 view.status,
+                view.elapsed_ms
+                    .map(|ms| format!(" ({ms} ms elapsed)"))
+                    .unwrap_or_default(),
                 view.error
                     .as_deref()
                     .map(|e| format!(" ({e})"))
@@ -650,6 +751,51 @@ fn run_events(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// Render [`ServiceStats`] as Prometheus-style exposition lines, one
+/// `service_*` family per field, matching the registry families that
+/// [`sct_telemetry::render_prometheus`] emits after it.
+fn render_service_stats(stats: &ServiceStats) -> String {
+    let mut out = String::new();
+    let families: [(&str, &str, u64); 13] = [
+        ("service_jobs_submitted", "counter", stats.jobs_submitted),
+        ("service_jobs_done", "counter", stats.jobs_done),
+        ("service_jobs_failed", "counter", stats.jobs_failed),
+        ("service_jobs_queued", "gauge", stats.queued),
+        ("service_queue_wait_ms_total", "counter", stats.queue_wait_ms_total),
+        ("service_run_ms_total", "counter", stats.run_ms_total),
+        ("service_jobs_timed", "counter", stats.jobs_timed),
+        ("service_events_dropped", "counter", stats.events_dropped),
+        ("service_epochs_retired", "counter", stats.epochs_retired),
+        ("service_arena_nodes", "gauge", stats.arena_nodes),
+        ("service_memo_entries", "gauge", stats.memo_entries),
+        ("service_memo_hits", "counter", stats.memo_hits),
+        ("service_memo_misses", "counter", stats.memo_misses),
+    ];
+    for (name, kind, value) in families {
+        out.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    }
+    out
+}
+
+fn run_metrics(args: Vec<String>) -> ExitCode {
+    let args = parse_client_args(args);
+    let mut client = connect(&args);
+    match client.metrics() {
+        Ok((stats, metrics)) => {
+            use std::io::Write as _;
+            let mut text = render_service_stats(&stats);
+            text.push_str(&sct_telemetry::render_prometheus(&metrics));
+            // One write, tolerant of a closed stdout (`... | head`).
+            let _ = std::io::stdout().write_all(text.as_bytes());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("metrics: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn run_simple_verb(args: Vec<String>, verb: &str) -> ExitCode {
     let args = parse_client_args(args);
     let mut client = connect(&args);
@@ -689,6 +835,10 @@ fn main() -> ExitCode {
         Some("events") => {
             args.remove(0);
             run_events(args)
+        }
+        Some("metrics") => {
+            args.remove(0);
+            run_metrics(args)
         }
         Some(verb @ ("stats" | "retire" | "shutdown")) => {
             let verb = verb.to_string();

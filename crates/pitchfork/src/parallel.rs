@@ -64,14 +64,87 @@
 //! victim order and therefore timing, never results — the equivalence
 //! proptest hammers exactly this.
 
-use crate::explorer::Explorer;
+use crate::explorer::{ExpandTimer, Explorer};
 use crate::observe::{BoxObserver, Event, EventSink, SharedSink};
 use crate::report::Report;
 use crate::state::SymState;
 use crate::strategy::SearchStrategy;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Condvar, LazyLock, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+static STEAL_ATTEMPT_HIST: LazyLock<&'static sct_telemetry::Histogram> =
+    LazyLock::new(|| sct_telemetry::histogram(sct_telemetry::names::STEAL_ATTEMPT));
+
+/// Per-worker utilization accounting, published on worker exit to the
+/// labeled counters `worker_busy_ns{worker="i"}` /
+/// `worker_steal_ns{...}` / `worker_parked_ns{...}` (cumulative per
+/// worker slot across explorations) plus the `steal_attempt_ns`
+/// histogram. Inert when telemetry is disabled.
+struct WorkerUtil {
+    on: bool,
+    busy_ns: u64,
+    steal_ns: u64,
+    parked_ns: u64,
+    steal_hist: Option<sct_telemetry::LocalHist>,
+}
+
+impl WorkerUtil {
+    fn new() -> WorkerUtil {
+        let on = sct_telemetry::enabled();
+        WorkerUtil {
+            on,
+            busy_ns: 0,
+            steal_ns: 0,
+            parked_ns: 0,
+            steal_hist: on.then(|| sct_telemetry::LocalHist::new(*STEAL_ATTEMPT_HIST)),
+        }
+    }
+
+    #[inline]
+    fn now(&self) -> Option<Instant> {
+        if self.on {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// One donation-buffer sweep finished (hit or miss).
+    #[inline]
+    fn steal_attempt(&mut self, t0: Option<Instant>) {
+        if let (Some(t0), Some(hist)) = (t0, self.steal_hist.as_mut()) {
+            let ns = sct_telemetry::saturating_ns(t0.elapsed());
+            hist.record_ns(ns);
+            self.steal_ns += ns;
+        }
+    }
+
+    /// One condvar park finished.
+    #[inline]
+    fn parked(&mut self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.parked_ns += sct_telemetry::saturating_ns(t0.elapsed());
+        }
+    }
+
+    /// Publish the totals for worker slot `me`.
+    fn publish(&mut self, me: usize) {
+        if !self.on {
+            return;
+        }
+        if let Some(hist) = self.steal_hist.as_mut() {
+            hist.flush();
+        }
+        sct_telemetry::counter(&sct_telemetry::names::worker_busy(me)).add(self.busy_ns);
+        sct_telemetry::counter(&sct_telemetry::names::worker_steal(me)).add(self.steal_ns);
+        sct_telemetry::counter(&sct_telemetry::names::worker_parked(me)).add(self.parked_ns);
+        self.busy_ns = 0;
+        self.steal_ns = 0;
+        self.parked_ns = 0;
+    }
+}
 
 /// A persistent pool of parked worker threads shared by every parallel
 /// exploration in the process.
@@ -551,6 +624,8 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Repor
     let mut local = Report::default();
     local.stats.strategy = options.strategy.name();
     let mut sink = SharedSink(&shared.observers);
+    let mut util = WorkerUtil::new();
+    let mut expand_timer = ExpandTimer::start();
     loop {
         if shared.stop.load(Ordering::Acquire) {
             break;
@@ -558,10 +633,17 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Repor
         // ----- pop own frontier, else steal (or terminate) -----
         let state = match frontier.pop() {
             Some(s) => s,
-            None => match acquire(shared, me, threads, frontier.as_mut(), &mut attempt) {
-                Some(s) => s,
-                None => break,
-            },
+            None => {
+                match acquire(shared, me, threads, frontier.as_mut(), &mut attempt, &mut util) {
+                    Some(s) => {
+                        // Steal/park time is the utilization counters'
+                        // business, not the next state's span.
+                        expand_timer.reset();
+                        s
+                    }
+                    None => break,
+                }
+            }
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
 
@@ -573,7 +655,7 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Repor
             {
                 shared.truncated.store(true, Ordering::Relaxed);
                 shared.stop_all();
-                return finish_local(local, &tls_before);
+                return finish_local(local, &tls_before, &mut util, me);
             }
             if shared
                 .states
@@ -598,6 +680,7 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Repor
         if conts.is_empty() {
             local.stats.schedules += 1;
             shared.finish_state();
+            util.busy_ns += expand_timer.stamp();
             continue;
         }
         let violations_before = local.violations.len();
@@ -631,16 +714,25 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Repor
             }
         }
         shared.finish_state();
+        util.busy_ns += expand_timer.stamp();
     }
-    finish_local(local, &tls_before)
+    finish_local(local, &tls_before, &mut util, me)
 }
 
-/// Stamp the worker's exact thread-local deltas into its report.
-fn finish_local(mut local: Report, tls_before: &sct_symx::ThreadStats) -> Report {
+/// Stamp the worker's exact thread-local deltas into its report and
+/// publish its utilization counters.
+fn finish_local(
+    mut local: Report,
+    tls_before: &sct_symx::ThreadStats,
+    util: &mut WorkerUtil,
+    me: usize,
+) -> Report {
     let tls = sct_symx::thread_stats().since(tls_before);
     local.stats.arena_lock_waits = tls.arena_lock_waits as usize;
     local.stats.memo_lock_waits = tls.memo_lock_waits as usize;
     local.stats.local_cache_hits = tls.local_cache_hits() as usize;
+    util.publish(me);
+    sct_symx::flush_thread_telemetry();
     local
 }
 
@@ -683,13 +775,17 @@ fn acquire(
     threads: usize,
     frontier: &mut dyn SearchStrategy,
     attempt: &mut u64,
+    util: &mut WorkerUtil,
 ) -> Option<SymState> {
     shared.hungry.fetch_add(1, Ordering::Relaxed);
     let got = loop {
         if shared.stop.load(Ordering::Acquire) {
             break None;
         }
-        if grab_batch(shared, me, threads, frontier, attempt) {
+        let sweep_start = util.now();
+        let found = grab_batch(shared, me, threads, frontier, attempt);
+        util.steal_attempt(sweep_start);
+        if found {
             match frontier.pop() {
                 Some(s) => break Some(s),
                 None => continue,
@@ -700,7 +796,9 @@ fn acquire(
         if shared.stop.load(Ordering::Acquire) || shared.published.load(Ordering::Acquire) > 0 {
             continue;
         }
+        let park_start = util.now();
         drop(shared.work.wait(park).unwrap_or_else(PoisonError::into_inner));
+        util.parked(park_start);
     };
     shared.hungry.fetch_sub(1, Ordering::Relaxed);
     got

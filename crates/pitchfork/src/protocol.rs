@@ -27,6 +27,7 @@ use crate::report::{ExploreStats, Verdict, Violation};
 use crate::service::{JobSpec, JobStatus, ServiceStats};
 use crate::strategy::StrategyKind;
 use sct_core::Reg;
+use sct_telemetry::{MetricKind, MetricSnapshot};
 use std::fmt;
 
 /// The longest line either side accepts (1 MiB — a corpus source is a
@@ -487,6 +488,10 @@ pub enum Request {
     },
     /// Ask for service statistics.
     Stats,
+    /// Ask for the full telemetry snapshot: service statistics plus
+    /// every registered counter, gauge, and latency histogram (the
+    /// payload behind `pitchfork metrics`).
+    Metrics,
     /// Retire the session's arena epoch now (snapshot save →
     /// warm-start) and report the resulting statistics.
     Retire,
@@ -536,6 +541,7 @@ impl Request {
                 ("since".into(), Json::Int(*since as i128)),
             ]),
             Request::Stats => Json::Obj(vec![("req".into(), Json::Str("stats".into()))]),
+            Request::Metrics => Json::Obj(vec![("req".into(), Json::Str("metrics".into()))]),
             Request::Retire => Json::Obj(vec![("req".into(), Json::Str("retire".into()))]),
             Request::Shutdown => {
                 Json::Obj(vec![("req".into(), Json::Str("shutdown".into()))])
@@ -593,6 +599,7 @@ impl Request {
                 since: json.u64_field("since")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "retire" => Ok(Request::Retire),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError::new(format!("unknown request `{other}`"))),
@@ -662,6 +669,10 @@ pub enum Response {
         violations: Vec<WireViolation>,
         /// The failure message for [`JobStatus::Failed`] jobs.
         error: Option<String>,
+        /// Wall-clock milliseconds the job has been (or was) running
+        /// (`None` while queued, from older daemons, or for
+        /// failed-at-submission jobs).
+        elapsed_ms: Option<u64>,
     },
     /// A slice of a job's event stream.
     EventBatch {
@@ -674,11 +685,22 @@ pub enum Response {
         /// `true` when the job is terminal and the log is drained —
         /// the last batch of the subscription.
         done: bool,
+        /// Events this job has lost to the daemon's retention cap so
+        /// far (0 normally; absent on older daemons).
+        dropped: u64,
     },
     /// Service statistics.
     Stats {
         /// The counters.
         stats: ServiceStats,
+    },
+    /// The full telemetry snapshot: service statistics plus every
+    /// registered metric.
+    Metrics {
+        /// The service counters (same payload as [`Response::Stats`]).
+        stats: ServiceStats,
+        /// Every registered counter, gauge, and histogram.
+        metrics: Vec<MetricSnapshot>,
     },
     /// The request could not be served (parse failure, unknown job,
     /// internal error). The connection stays usable.
@@ -928,6 +950,16 @@ const SERVICE_STAT_FIELDS_V2: [&str; 3] = ["in_flight", "arena_lock_waits", "mem
 /// the v2 set).
 const SERVICE_STAT_FIELDS_V3: [&str; 3] = ["steals", "steal_fails", "local_cache_hits"];
 
+/// Fields added with telemetry — job-latency roll-ups and the event
+/// retention-drop counter (parse defaults to 0, same tolerance as the
+/// v2/v3 sets).
+const SERVICE_STAT_FIELDS_V4: [&str; 4] = [
+    "queue_wait_ms_total",
+    "run_ms_total",
+    "jobs_timed",
+    "events_dropped",
+];
+
 fn service_stats_values(s: &ServiceStats) -> [u64; 16] {
     [
         s.jobs_submitted,
@@ -967,6 +999,14 @@ fn service_stats_to_json(s: &ServiceStats) -> Json {
     {
         fields.push(((*k).to_string(), Json::Int(v as i128)));
     }
+    for (k, v) in SERVICE_STAT_FIELDS_V4.iter().zip([
+        s.queue_wait_ms_total,
+        s.run_ms_total,
+        s.jobs_timed,
+        s.events_dropped,
+    ]) {
+        fields.push(((*k).to_string(), Json::Int(v as i128)));
+    }
     Json::Obj(fields)
 }
 
@@ -981,6 +1021,10 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
     }
     let mut v3 = [0u64; 3];
     for (slot, key) in v3.iter_mut().zip(SERVICE_STAT_FIELDS_V3) {
+        *slot = json.opt_u64_field(key)?.unwrap_or(0);
+    }
+    let mut v4 = [0u64; 4];
+    for (slot, key) in v4.iter_mut().zip(SERVICE_STAT_FIELDS_V4) {
         *slot = json.opt_u64_field(key)?.unwrap_or(0);
     }
     Ok(ServiceStats {
@@ -1006,6 +1050,64 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
         steals: v3[0],
         steal_fails: v3[1],
         local_cache_hits: v3[2],
+        queue_wait_ms_total: v4[0],
+        run_ms_total: v4[1],
+        jobs_timed: v4[2],
+        events_dropped: v4[3],
+    })
+}
+
+/// One metric in wire form: flat scalar fields plus the bucket array
+/// for histograms. Tolerant on parse — `sum_ns` / `max_ns` / `buckets`
+/// default to empty (counters and gauges never carry them, and a
+/// shorter bucket array from an older build still decodes).
+fn metric_to_json(m: &MetricSnapshot) -> Json {
+    let mut fields = vec![
+        ("name".into(), Json::Str(m.name.clone())),
+        ("kind".into(), Json::Str(m.kind.name().into())),
+        ("value".into(), Json::Int(m.value as i128)),
+    ];
+    if m.kind == MetricKind::Histogram {
+        fields.push(("sum_ns".into(), Json::Int(m.sum_ns as i128)));
+        fields.push(("max_ns".into(), Json::Int(m.max_ns as i128)));
+        fields.push((
+            "buckets".into(),
+            Json::Arr(m.buckets.iter().map(|&n| Json::Int(n as i128)).collect()),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn metric_from_json(json: &Json) -> Result<MetricSnapshot, ProtocolError> {
+    let kind = MetricKind::parse(json.str_field("kind")?)
+        .ok_or_else(|| ProtocolError::field("kind", "counter, gauge, or histogram"))?;
+    let mut buckets = Vec::new();
+    match json.get("buckets") {
+        None | Some(Json::Null) => {}
+        Some(Json::Arr(items)) => {
+            for item in items {
+                match item {
+                    Json::Int(n) if *n >= 0 && *n <= u64::MAX as i128 => {
+                        buckets.push(*n as u64)
+                    }
+                    _ => {
+                        return Err(ProtocolError::field(
+                            "buckets",
+                            "array of unsigned integers",
+                        ))
+                    }
+                }
+            }
+        }
+        Some(_) => return Err(ProtocolError::field("buckets", "array or null")),
+    }
+    Ok(MetricSnapshot {
+        name: json.str_field("name")?.to_string(),
+        kind,
+        value: json.u64_field("value")?,
+        sum_ns: json.opt_u64_field("sum_ns")?.unwrap_or(0),
+        max_ns: json.opt_u64_field("max_ns")?.unwrap_or(0),
+        buckets,
     })
 }
 
@@ -1023,6 +1125,7 @@ impl Response {
                 stats,
                 violations,
                 error,
+                elapsed_ms,
             } => {
                 let mut fields = vec![
                     ("resp".into(), Json::Str("verdicts".into())),
@@ -1044,6 +1147,9 @@ impl Response {
                 if let Some(e) = error {
                     fields.push(("error".into(), Json::Str(e.clone())));
                 }
+                if let Some(ms) = elapsed_ms {
+                    fields.push(("elapsed_ms".into(), Json::Int(*ms as i128)));
+                }
                 Json::Obj(fields)
             }
             Response::EventBatch {
@@ -1051,6 +1157,7 @@ impl Response {
                 events,
                 next,
                 done,
+                dropped,
             } => Json::Obj(vec![
                 ("resp".into(), Json::Str("events".into())),
                 ("id".into(), Json::Int(*id as i128)),
@@ -1060,10 +1167,19 @@ impl Response {
                 ),
                 ("next".into(), Json::Int(*next as i128)),
                 ("done".into(), Json::Bool(*done)),
+                ("dropped".into(), Json::Int(*dropped as i128)),
             ]),
             Response::Stats { stats } => Json::Obj(vec![
                 ("resp".into(), Json::Str("stats".into())),
                 ("stats".into(), service_stats_to_json(stats)),
+            ]),
+            Response::Metrics { stats, metrics } => Json::Obj(vec![
+                ("resp".into(), Json::Str("metrics".into())),
+                ("stats".into(), service_stats_to_json(stats)),
+                (
+                    "metrics".into(),
+                    Json::Arr(metrics.iter().map(metric_to_json).collect()),
+                ),
             ]),
             Response::Error { message } => Json::Obj(vec![
                 ("resp".into(), Json::Str("error".into())),
@@ -1111,6 +1227,8 @@ impl Response {
                     stats,
                     violations,
                     error: json.opt_str_field("error")?.map(String::from),
+                    // Tolerant: absent on daemons predating telemetry.
+                    elapsed_ms: json.opt_u64_field("elapsed_ms")?,
                 })
             }
             "events" => {
@@ -1124,6 +1242,8 @@ impl Response {
                     events,
                     next: json.u64_field("next")?,
                     done: json.bool_field("done")?,
+                    // Tolerant: absent on daemons predating retention.
+                    dropped: json.opt_u64_field("dropped")?.unwrap_or(0),
                 })
             }
             "stats" => Ok(Response::Stats {
@@ -1132,6 +1252,20 @@ impl Response {
                         .ok_or_else(|| ProtocolError::field("stats", "object"))?,
                 )?,
             }),
+            "metrics" => {
+                let metrics = json
+                    .arr_field("metrics")?
+                    .iter()
+                    .map(metric_from_json)
+                    .collect::<Result<_, _>>()?;
+                Ok(Response::Metrics {
+                    stats: service_stats_from_json(
+                        json.get("stats")
+                            .ok_or_else(|| ProtocolError::field("stats", "object"))?,
+                    )?,
+                    metrics,
+                })
+            }
             "error" => Ok(Response::Error {
                 message: json.str_field("message")?.to_string(),
             }),
@@ -1162,6 +1296,7 @@ mod tests {
             Request::Status { id: 7 },
             Request::Events { id: 7, since: 42 },
             Request::Stats,
+            Request::Metrics,
             Request::Retire,
             Request::Shutdown,
         ];
@@ -1195,6 +1330,7 @@ mod tests {
                     constraints: vec!["(gt 0x4 idx)".into()],
                 }],
                 error: None,
+                elapsed_ms: Some(125),
             },
             Response::EventBatch {
                 id: 3,
@@ -1221,14 +1357,44 @@ mod tests {
                 ],
                 next: 4,
                 done: true,
+                dropped: 17,
             },
             Response::Stats {
                 stats: ServiceStats {
                     jobs_submitted: 5,
                     jobs_done: 4,
                     memo_capacity: 1 << 20,
+                    queue_wait_ms_total: 12,
+                    run_ms_total: 340,
+                    jobs_timed: 4,
+                    events_dropped: 9,
                     ..ServiceStats::default()
                 },
+            },
+            Response::Metrics {
+                stats: ServiceStats {
+                    jobs_submitted: 2,
+                    jobs_done: 2,
+                    ..ServiceStats::default()
+                },
+                metrics: vec![
+                    MetricSnapshot {
+                        name: "job_events_dropped".into(),
+                        kind: MetricKind::Counter,
+                        value: 3,
+                        sum_ns: 0,
+                        max_ns: 0,
+                        buckets: vec![],
+                    },
+                    MetricSnapshot {
+                        name: "solver_check_hit_ns".into(),
+                        kind: MetricKind::Histogram,
+                        value: 6,
+                        sum_ns: 4_096,
+                        max_ns: 1_024,
+                        buckets: vec![0, 1, 2, 3],
+                    },
+                ],
             },
             Response::Error {
                 message: "protocol error: unexpected end of input".into(),
@@ -1239,6 +1405,79 @@ mod tests {
             assert!(!line.contains('\n'), "one line: {line}");
             assert_eq!(Response::parse(&line).unwrap(), resp, "{line}");
         }
+    }
+
+    #[test]
+    fn pre_v4_lines_still_parse() {
+        // A stats object with only the v1 fields (an old daemon): the
+        // v2/v3/v4 additions default to zero.
+        let mut fields: Vec<(String, Json)> =
+            vec![("resp".to_string(), Json::Str("stats".into()))];
+        let inner: Vec<(String, Json)> = SERVICE_STAT_FIELDS
+            .iter()
+            .map(|k| ((*k).to_string(), Json::Int(7)))
+            .collect();
+        fields.push(("stats".to_string(), Json::Obj(inner)));
+        let line = Json::Obj(fields).to_line();
+        let Response::Stats { stats } = Response::parse(&line).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.jobs_submitted, 7);
+        assert_eq!(stats.queue_wait_ms_total, 0);
+        assert_eq!(stats.jobs_timed, 0);
+        assert_eq!(stats.events_dropped, 0);
+
+        // An event batch without `dropped` and a verdicts line without
+        // `elapsed_ms` (both pre-telemetry daemons).
+        let batch = r#"{"resp":"events","id":1,"events":[],"next":0,"done":true}"#;
+        let Response::EventBatch { dropped, .. } = Response::parse(batch).unwrap() else {
+            panic!("expected events");
+        };
+        assert_eq!(dropped, 0);
+        let verdicts = r#"{"resp":"verdicts","id":1,"status":"queued"}"#;
+        let Response::Verdicts { elapsed_ms, .. } = Response::parse(verdicts).unwrap() else {
+            panic!("expected verdicts");
+        };
+        assert_eq!(elapsed_ms, None);
+    }
+
+    #[test]
+    fn metric_snapshots_reject_garbage() {
+        for garbage in [
+            r#"{"resp":"metrics"}"#,
+            r#"{"resp":"metrics","metrics":[]}"#,
+            r#"{"resp":"metrics","stats":{},"metrics":[]}"#,
+            r#"{"resp":"metrics","stats":null,"metrics":[{"name":"x","kind":"counter","value":1}]}"#,
+        ] {
+            assert!(Response::parse(garbage).is_err(), "{garbage:?}");
+        }
+        // Unknown metric kinds and negative buckets are errors, not
+        // panics or silent misreads.
+        let stats: Vec<(String, Json)> = SERVICE_STAT_FIELDS
+            .iter()
+            .map(|k| ((*k).to_string(), Json::Int(0)))
+            .collect();
+        let mk = |metric: Json| {
+            Json::Obj(vec![
+                ("resp".to_string(), Json::Str("metrics".into())),
+                ("stats".to_string(), Json::Obj(stats.clone())),
+                ("metrics".to_string(), Json::Arr(vec![metric])),
+            ])
+            .to_line()
+        };
+        let bad_kind = mk(Json::Obj(vec![
+            ("name".to_string(), Json::Str("x".into())),
+            ("kind".to_string(), Json::Str("speedometer".into())),
+            ("value".to_string(), Json::Int(1)),
+        ]));
+        assert!(Response::parse(&bad_kind).is_err());
+        let bad_bucket = mk(Json::Obj(vec![
+            ("name".to_string(), Json::Str("x".into())),
+            ("kind".to_string(), Json::Str("histogram".into())),
+            ("value".to_string(), Json::Int(1)),
+            ("buckets".to_string(), Json::Arr(vec![Json::Int(-3)])),
+        ]));
+        assert!(Response::parse(&bad_bucket).is_err());
     }
 
     #[test]

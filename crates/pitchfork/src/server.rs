@@ -238,6 +238,7 @@ fn verdicts_response(monitor: &ServiceMonitor, id: u64) -> Response {
                 stats,
                 violations,
                 error: record.error,
+                elapsed_ms: record.elapsed_ms,
             }
         }
     }
@@ -308,6 +309,14 @@ fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) -> std::io::Resul
                 let stats = shared.lock().stats();
                 write_line(&mut writer, &Response::Stats { stats })?;
             }
+            Request::Metrics => {
+                // Service counters under the lock; the metric registry
+                // is its own concurrency domain (atomics), so the
+                // snapshot needs no service lock.
+                let stats = shared.lock().stats();
+                let metrics = sct_telemetry::global().snapshot();
+                write_line(&mut writer, &Response::Metrics { stats, metrics })?;
+            }
             Request::Retire => {
                 let response = {
                     let mut service = shared.lock();
@@ -361,6 +370,7 @@ fn stream_events(
         let done = status.is_terminal();
         let had_events = !events.is_empty();
         if had_events || done {
+            let dropped = shared.monitor.events_dropped(job).unwrap_or(0) as u64;
             write_line(
                 writer,
                 &Response::EventBatch {
@@ -368,6 +378,7 @@ fn stream_events(
                     events,
                     next: next as u64,
                     done,
+                    dropped,
                 },
             )?;
         }
@@ -385,6 +396,7 @@ fn stream_events(
                     events: Vec::new(),
                     next: cursor as u64,
                     done: true,
+                    dropped: shared.monitor.events_dropped(job).unwrap_or(0) as u64,
                 },
             );
         }

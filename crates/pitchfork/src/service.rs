@@ -35,9 +35,18 @@ use crate::session::AnalysisSession;
 use crate::state::SymState;
 use crate::strategy::StrategyKind;
 use sct_core::{Config, Program, Reg};
+use sct_telemetry::TraceValue;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, LazyLock, Mutex, PoisonError};
+use std::time::Instant;
+
+static QUEUE_WAIT_HIST: LazyLock<&'static sct_telemetry::Histogram> =
+    LazyLock::new(|| sct_telemetry::histogram(sct_telemetry::names::JOB_QUEUE_WAIT));
+static RUN_HIST: LazyLock<&'static sct_telemetry::Histogram> =
+    LazyLock::new(|| sct_telemetry::histogram(sct_telemetry::names::JOB_RUN));
+static EVENTS_DROPPED_CTR: LazyLock<&'static sct_telemetry::Counter> =
+    LazyLock::new(|| sct_telemetry::counter(sct_telemetry::names::EVENTS_DROPPED));
 
 /// A service-assigned job identifier, unique within one
 /// [`SessionService`] (and one daemon): the handle every status, event,
@@ -250,6 +259,11 @@ pub struct JobRecord {
     pub report: Option<Report>,
     /// The failure message, once [`JobStatus::Failed`].
     pub error: Option<String>,
+    /// Wall-clock milliseconds the job has been (or was) executing:
+    /// live and growing while [`JobStatus::Running`], frozen at the
+    /// final run time once terminal. `None` for queued jobs and for
+    /// submissions that failed before running.
+    pub elapsed_ms: Option<u64>,
 }
 
 /// When the service retires the session's arena epoch (save snapshot →
@@ -339,13 +353,34 @@ pub struct ServiceStats {
     /// Thread-local L1 cache hits (interner + verdict memo) summed
     /// over finished jobs.
     pub local_cache_hits: u64,
+    /// Milliseconds jobs spent queued before execution, summed over
+    /// finished jobs.
+    pub queue_wait_ms_total: u64,
+    /// Milliseconds jobs spent executing, summed over finished jobs.
+    pub run_ms_total: u64,
+    /// Jobs contributing to the two totals above (failed submissions
+    /// never run, so this can trail `jobs_submitted`).
+    pub jobs_timed: u64,
+    /// Events lost to the per-job retention cap, summed over all jobs.
+    pub events_dropped: u64,
 }
 
 /// Cap on retained events per job: one event per expanded state adds
-/// up, and the daemon is resident. Beyond the cap, events are counted
-/// but not stored (the terminal `ItemFinished` is always kept), so
-/// cursors stay monotonic and streams still close cleanly.
+/// up, and the daemon is resident. An over-cap log keeps its **first
+/// [`EVENT_HEAD_RETAIN`] and last [`EVENT_TAIL_RETAIN`] events** —
+/// the head shows how the job started, the tail always contains the
+/// most recent activity and the terminal `ItemFinished` — and counts
+/// the dropped middle ([`ServiceMonitor::events_dropped`], surfaced in
+/// `Events` responses), so cursors stay monotonic and streams still
+/// close cleanly.
 pub const MAX_EVENTS_PER_JOB: usize = 100_000;
+
+/// Oldest events kept per job (the head of a first/last-N split log).
+pub const EVENT_HEAD_RETAIN: usize = MAX_EVENTS_PER_JOB / 2;
+
+/// Newest events kept per job (the tail ring of a first/last-N split
+/// log; always ends at the most recent event).
+pub const EVENT_TAIL_RETAIN: usize = MAX_EVENTS_PER_JOB - EVENT_HEAD_RETAIN;
 
 /// Cap on retained job records. When exceeded, the oldest *terminal*
 /// records are dropped (their ids then answer "unknown job") — queued
@@ -356,15 +391,33 @@ pub const MAX_EVENTS_PER_JOB: usize = 100_000;
 /// the deployment, or retire records faster via a smaller cap).
 pub const MAX_RETAINED_JOBS: usize = 4_096;
 
-/// Per-job shared state: the record fields plus the event log.
+/// Per-job shared state: the record fields plus the first/last-N
+/// split event log. Virtual event indices run `0..total_events()`;
+/// indices `head.len()..head.len()+events_dropped` name the evicted
+/// middle and yield nothing.
 struct JobEntry {
     name: String,
     status: JobStatus,
     report: Option<Report>,
     error: Option<String>,
-    events: Vec<OwnedEvent>,
-    /// Events dropped past [`MAX_EVENTS_PER_JOB`].
+    /// The first [`EVENT_HEAD_RETAIN`] events, in order.
+    head: Vec<OwnedEvent>,
+    /// The last up-to-[`EVENT_TAIL_RETAIN`] events after the head
+    /// filled, in order (a ring: overflow evicts the front).
+    tail: VecDeque<OwnedEvent>,
+    /// Events evicted from between head and tail.
     events_dropped: usize,
+    /// When the job flipped to [`JobStatus::Running`].
+    started_at: Option<Instant>,
+    /// Final run time, stamped when the job turns terminal.
+    elapsed_ms: Option<u64>,
+}
+
+impl JobEntry {
+    /// Events ever appended (retained or dropped) — the cursor space.
+    fn total_events(&self) -> usize {
+        self.head.len() + self.events_dropped + self.tail.len()
+    }
 }
 
 struct MonitorInner {
@@ -373,6 +426,14 @@ struct MonitorInner {
     current: Option<u64>,
     /// Events outside any job (epoch retirements between jobs).
     service_events: Vec<OwnedEvent>,
+    /// Events lost to per-job retention, summed over every job
+    /// (retained *and* already-evicted records).
+    events_dropped_total: u64,
+    /// Structured trace sink: when set, job lifecycle transitions and
+    /// non-`StateExpanded` events append JSONL records (expansions are
+    /// far too hot to trace per event; their latencies go to the
+    /// `state_expand_ns` histogram instead).
+    trace: Option<Arc<sct_telemetry::TraceWriter>>,
 }
 
 /// A cheap, clonable view of job records and event logs — the
@@ -395,12 +456,22 @@ impl ServiceMonitor {
                 jobs: BTreeMap::new(),
                 current: None,
                 service_events: Vec::new(),
+                events_dropped_total: 0,
+                trace: None,
             })),
         }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MonitorInner> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attach a structured trace sink: from now on, job lifecycle
+    /// transitions and every non-`StateExpanded` event append JSONL
+    /// records (see the crate-level Observability docs for the
+    /// schema).
+    pub fn set_trace(&self, trace: Arc<sct_telemetry::TraceWriter>) {
+        self.lock().trace = Some(trace);
     }
 
     fn add_job(&self, id: JobId, name: String, status: JobStatus, error: Option<String>) {
@@ -418,6 +489,16 @@ impl ServiceMonitor {
             };
             inner.jobs.remove(&oldest);
         }
+        if let Some(t) = &inner.trace {
+            t.record(
+                Some(id.as_u64()),
+                "job_submitted",
+                &[
+                    ("name", TraceValue::Str(name.clone())),
+                    ("status", TraceValue::Str(status.name().to_string())),
+                ],
+            );
+        }
         inner.jobs.insert(
             id.as_u64(),
             JobEntry {
@@ -425,21 +506,50 @@ impl ServiceMonitor {
                 status,
                 report: None,
                 error,
-                events: Vec::new(),
+                head: Vec::new(),
+                tail: VecDeque::new(),
                 events_dropped: 0,
+                started_at: None,
+                elapsed_ms: None,
             },
         );
     }
 
     fn set_status(&self, id: JobId, status: JobStatus) {
-        if let Some(j) = self.lock().jobs.get_mut(&id.as_u64()) {
+        let mut inner = self.lock();
+        if let Some(t) = &inner.trace {
+            t.record(
+                Some(id.as_u64()),
+                "job_status",
+                &[("status", TraceValue::Str(status.name().to_string()))],
+            );
+        }
+        if let Some(j) = inner.jobs.get_mut(&id.as_u64()) {
             j.status = status;
+            if status == JobStatus::Running && j.started_at.is_none() {
+                j.started_at = Some(Instant::now());
+            }
         }
     }
 
     fn finish(&self, id: JobId, report: Report) {
-        if let Some(j) = self.lock().jobs.get_mut(&id.as_u64()) {
+        let mut inner = self.lock();
+        let MonitorInner { jobs, trace, .. } = &mut *inner;
+        if let Some(j) = jobs.get_mut(&id.as_u64()) {
             j.status = JobStatus::Done;
+            j.elapsed_ms = j
+                .elapsed_ms
+                .or_else(|| j.started_at.map(|t| t.elapsed().as_millis() as u64));
+            if let Some(t) = trace {
+                t.record(
+                    Some(id.as_u64()),
+                    "job_done",
+                    &[
+                        ("states", TraceValue::U64(report.stats.states as u64)),
+                        ("flagged", TraceValue::Bool(report.has_violations())),
+                    ],
+                );
+            }
             j.report = Some(report);
         }
     }
@@ -453,6 +563,7 @@ impl ServiceMonitor {
         match inner.current {
             Some(id) => Self::push_event(&mut inner, id, event),
             None => {
+                Self::trace_event(&inner.trace, None, &event);
                 if inner.service_events.len() < MAX_EVENTS_PER_JOB {
                     inner.service_events.push(event);
                 }
@@ -468,17 +579,79 @@ impl ServiceMonitor {
         Self::push_event(&mut inner, id.as_u64(), event);
     }
 
+    /// Mirror a non-`StateExpanded` event into the trace sink, if one
+    /// is attached. Expansions are the per-state hot path — tracing
+    /// them would dominate the file and the analysis; the
+    /// `state_expand_ns` histogram covers their timing.
+    fn trace_event(
+        trace: &Option<Arc<sct_telemetry::TraceWriter>>,
+        job: Option<u64>,
+        event: &OwnedEvent,
+    ) {
+        let Some(t) = trace else { return };
+        match event {
+            OwnedEvent::StateExpanded { .. } => {}
+            OwnedEvent::ViolationFound {
+                states,
+                pc,
+                observation,
+            } => t.record(
+                job,
+                "violation_found",
+                &[
+                    ("states", TraceValue::U64(*states as u64)),
+                    ("pc", TraceValue::U64(*pc)),
+                    ("observation", TraceValue::Str(observation.clone())),
+                ],
+            ),
+            OwnedEvent::ItemFinished {
+                name,
+                flagged,
+                states,
+            } => t.record(
+                job,
+                "item_finished",
+                &[
+                    ("name", TraceValue::Str(name.clone())),
+                    ("flagged", TraceValue::Bool(*flagged)),
+                    ("states", TraceValue::U64(*states as u64)),
+                ],
+            ),
+            OwnedEvent::EpochRetired { epoch, rehydrated } => t.record(
+                job,
+                "epoch_retired",
+                &[
+                    ("epoch", TraceValue::U64(*epoch)),
+                    ("rehydrated", TraceValue::U64(*rehydrated as u64)),
+                ],
+            ),
+        }
+    }
+
     fn push_event(inner: &mut MonitorInner, id: u64, event: OwnedEvent) {
-        if let Some(j) = inner.jobs.get_mut(&id) {
-            // Per-job cap: count overflow instead of storing it,
-            // but always keep the terminal `ItemFinished` so
-            // streams close on a real event.
-            if j.events.len() < MAX_EVENTS_PER_JOB
-                || matches!(event, OwnedEvent::ItemFinished { .. })
-            {
-                j.events.push(event);
+        Self::trace_event(&inner.trace, Some(id), &event);
+        let MonitorInner {
+            jobs,
+            events_dropped_total,
+            ..
+        } = inner;
+        if let Some(j) = jobs.get_mut(&id) {
+            // First/last-N retention: the head keeps the log's start,
+            // the tail ring always holds the newest events (the
+            // terminal `ItemFinished` included), and the evicted
+            // middle is counted instead of stored.
+            if j.head.len() < EVENT_HEAD_RETAIN && j.tail.is_empty() {
+                j.head.push(event);
             } else {
-                j.events_dropped += 1;
+                j.tail.push_back(event);
+                if j.tail.len() > EVENT_TAIL_RETAIN {
+                    j.tail.pop_front();
+                    j.events_dropped += 1;
+                    *events_dropped_total += 1;
+                    if sct_telemetry::enabled() {
+                        EVENTS_DROPPED_CTR.inc();
+                    }
+                }
             }
         }
     }
@@ -492,33 +665,54 @@ impl ServiceMonitor {
     pub fn job_record(&self, id: JobId) -> Option<JobRecord> {
         let inner = self.lock();
         let j = inner.jobs.get(&id.as_u64())?;
+        let elapsed_ms = match j.status {
+            JobStatus::Running => j.started_at.map(|t| t.elapsed().as_millis() as u64),
+            _ => j.elapsed_ms,
+        };
         Some(JobRecord {
             name: j.name.clone(),
             status: j.status,
             report: j.report.clone(),
             error: j.error.clone(),
+            elapsed_ms,
         })
     }
 
-    /// Events logged for a job from index `since` on, together with the
-    /// next cursor. `None` for unknown ids; an empty batch means
-    /// nothing new yet.
+    /// Events logged for a job from virtual index `since` on, together
+    /// with the next cursor. `None` for unknown ids; an empty batch
+    /// means nothing new yet. Cursors index the *full* event sequence
+    /// (dropped middle included), so they stay monotonic across
+    /// retention eviction; a cursor pointing into the evicted gap
+    /// resumes at the retained tail.
     pub fn events_since(&self, id: JobId, since: usize) -> Option<(Vec<OwnedEvent>, usize)> {
         let inner = self.lock();
         let j = inner.jobs.get(&id.as_u64())?;
-        let start = since.min(j.events.len());
-        Some((j.events[start..].to_vec(), j.events.len()))
+        let tail_start = j.head.len() + j.events_dropped;
+        let mut out = Vec::new();
+        if since < j.head.len() {
+            out.extend_from_slice(&j.head[since..]);
+        }
+        let skip = since.saturating_sub(tail_start).min(j.tail.len());
+        out.extend(j.tail.iter().skip(skip).cloned());
+        Some((out, j.total_events()))
     }
 
-    /// Events logged for a job so far.
+    /// Events logged for a job so far (dropped middle included — this
+    /// is the cursor space's upper bound, not the retained count).
     pub fn event_count(&self, id: JobId) -> Option<usize> {
-        self.lock().jobs.get(&id.as_u64()).map(|j| j.events.len())
+        self.lock().jobs.get(&id.as_u64()).map(|j| j.total_events())
     }
 
-    /// Events a job lost to the [`MAX_EVENTS_PER_JOB`] retention cap
-    /// (0 for ordinary jobs).
+    /// Events a job lost to the first/last-N retention cap (0 for
+    /// ordinary jobs).
     pub fn events_dropped(&self, id: JobId) -> Option<usize> {
         self.lock().jobs.get(&id.as_u64()).map(|j| j.events_dropped)
+    }
+
+    /// Events lost to per-job retention summed over every job this
+    /// monitor ever tracked (survives job-record eviction).
+    pub fn events_dropped_total(&self) -> u64 {
+        self.lock().events_dropped_total
     }
 
     /// Service-level events (epoch retirements between jobs) from index
@@ -547,6 +741,9 @@ pub struct PreparedJob {
     symbolic: Vec<Reg>,
     options: DetectorOptions,
     monitor: ServiceMonitor,
+    /// Time spent queued (submission → dequeue), for the service's
+    /// job-latency accounting.
+    queue_wait_ns: u64,
 }
 
 impl PreparedJob {
@@ -570,6 +767,7 @@ impl PreparedJob {
         let mut observers: Vec<BoxObserver> = vec![Box::new(move |e: &Event<'_>| {
             monitor.record_event_for(id, OwnedEvent::from(e));
         })];
+        let started = Instant::now();
         let explorer =
             Explorer::with_params(&self.program, self.options.params, self.options.explorer);
         let initial = if self.symbolic.is_empty() {
@@ -578,10 +776,16 @@ impl PreparedJob {
             SymState::from_config_symbolizing(&self.config, &self.symbolic)
         };
         let report = explorer.explore_observed(initial, &mut observers);
+        // Publish this thread's buffered latency spans so a metrics
+        // scrape right after the job sees them (parallel explorations
+        // already publish per worker at join).
+        sct_symx::flush_thread_telemetry();
         FinishedJob {
             id: self.id,
             name: self.name,
             report,
+            queue_wait_ns: self.queue_wait_ns,
+            run_ns: sct_telemetry::saturating_ns(started.elapsed()),
         }
     }
 }
@@ -592,6 +796,8 @@ pub struct FinishedJob {
     id: JobId,
     name: String,
     report: Report,
+    queue_wait_ns: u64,
+    run_ns: u64,
 }
 
 impl FinishedJob {
@@ -622,7 +828,9 @@ impl FinishedJob {
 pub struct SessionService {
     session: AnalysisSession,
     monitor: ServiceMonitor,
-    queue: VecDeque<(JobId, Job)>,
+    /// FIFO queue; the `Instant` is the submission time, for
+    /// queue-wait latency accounting.
+    queue: VecDeque<(JobId, Job, Instant)>,
     next_id: u64,
     policy: RetirePolicy,
     jobs_since_retire: usize,
@@ -645,6 +853,11 @@ pub struct SessionService {
     job_steals: u64,
     job_steal_fails: u64,
     job_local_cache_hits: u64,
+    /// Job-latency roll-ups (the wire `Stats` v4 field group): total
+    /// queue wait, total run time, and how many jobs they cover.
+    queue_wait_ms_total: u64,
+    run_ms_total: u64,
+    jobs_timed: u64,
 }
 
 impl SessionService {
@@ -677,6 +890,23 @@ impl SessionService {
             job_steals: 0,
             job_steal_fails: 0,
             job_local_cache_hits: 0,
+            queue_wait_ms_total: 0,
+            run_ms_total: 0,
+            jobs_timed: 0,
+        }
+    }
+
+    /// Roll one finished job's latencies into the service totals and —
+    /// when telemetry is on — the `job_queue_wait_ns` / `job_run_ns`
+    /// histograms (jobs are low-rate; no thread-local buffering
+    /// needed).
+    fn note_job_timing(&mut self, queue_wait_ns: u64, run_ns: u64) {
+        self.queue_wait_ms_total += queue_wait_ns / 1_000_000;
+        self.run_ms_total += run_ns / 1_000_000;
+        self.jobs_timed += 1;
+        if sct_telemetry::enabled() {
+            QUEUE_WAIT_HIST.observe_ns(queue_wait_ns);
+            RUN_HIST.observe_ns(run_ns);
         }
     }
 
@@ -718,7 +948,7 @@ impl SessionService {
         self.jobs_submitted += 1;
         self.monitor
             .add_job(id, job.name.clone(), JobStatus::Queued, None);
-        self.queue.push_back((id, job));
+        self.queue.push_back((id, job, Instant::now()));
         id
     }
 
@@ -770,7 +1000,9 @@ impl SessionService {
     /// Run the oldest queued job to completion, then apply the retire
     /// policy. Returns the job's id, or `None` when the queue is empty.
     pub fn run_next(&mut self) -> Option<JobId> {
-        let (id, job) = self.queue.pop_front()?;
+        let (id, job, submitted) = self.queue.pop_front()?;
+        let started = Instant::now();
+        let queue_wait_ns = sct_telemetry::saturating_ns(started.duration_since(submitted));
         self.monitor.set_status(id, JobStatus::Running);
         self.monitor.set_current(Some(id));
 
@@ -797,6 +1029,13 @@ impl SessionService {
         self.jobs_done += 1;
         self.jobs_since_retire += 1;
         self.absorb_job_stats(&report.stats);
+        self.note_job_timing(
+            queue_wait_ns,
+            sct_telemetry::saturating_ns(started.elapsed()),
+        );
+        // Make this thread's buffered check-latency spans visible to a
+        // metrics scrape right after the job.
+        sct_symx::flush_thread_telemetry();
         // Apply the retire policy while this job is still `current`, so
         // the `EpochRetired` event lands in the *triggering job's* log
         // — per-job streams are the only events a daemon client can
@@ -855,7 +1094,8 @@ impl SessionService {
     /// epoch retirement is deferred while any prepared job is in
     /// flight.
     pub fn begin_next(&mut self) -> Option<PreparedJob> {
-        let (id, job) = self.queue.pop_front()?;
+        let (id, job, submitted) = self.queue.pop_front()?;
+        let queue_wait_ns = sct_telemetry::saturating_ns(submitted.elapsed());
         self.in_flight += 1;
         self.monitor.set_status(id, JobStatus::Running);
         let defaults = *self.session.options();
@@ -876,6 +1116,7 @@ impl SessionService {
             symbolic: job.spec.symbolic,
             options,
             monitor: self.monitor.clone(),
+            queue_wait_ns,
         })
     }
 
@@ -887,6 +1128,7 @@ impl SessionService {
         self.jobs_done += 1;
         self.jobs_since_retire += 1;
         self.absorb_job_stats(&done.report.stats);
+        self.note_job_timing(done.queue_wait_ns, done.run_ns);
         let due = self.retire_deferred
             || self
                 .policy
@@ -1015,6 +1257,10 @@ impl SessionService {
             steals: self.job_steals,
             steal_fails: self.job_steal_fails,
             local_cache_hits: self.job_local_cache_hits,
+            queue_wait_ms_total: self.queue_wait_ms_total,
+            run_ms_total: self.run_ms_total,
+            jobs_timed: self.jobs_timed,
+            events_dropped: self.monitor.events_dropped_total(),
         }
     }
 }
@@ -1200,6 +1446,71 @@ mod tests {
     // (`retire_defers_while_jobs_in_flight`): they retire the
     // process-wide arena, which must not race the parallel unit tests
     // here.
+
+    #[test]
+    fn event_retention_keeps_first_and_last() {
+        let monitor = ServiceMonitor::new();
+        let id = JobId::from_u64(1);
+        monitor.add_job(id, "big".into(), JobStatus::Running, None);
+        let total = MAX_EVENTS_PER_JOB + 100;
+        for i in 0..total {
+            monitor.record_event_for(
+                id,
+                OwnedEvent::StateExpanded {
+                    states: i,
+                    frontier: 0,
+                    rob_depth: 0,
+                },
+            );
+        }
+        assert_eq!(monitor.events_dropped(id), Some(100));
+        assert_eq!(monitor.events_dropped_total(), 100);
+        // Cursors index the full sequence, not just what's retained.
+        assert_eq!(monitor.event_count(id), Some(total));
+        let (events, next) = monitor.events_since(id, 0).unwrap();
+        assert_eq!(next, total);
+        assert_eq!(events.len(), MAX_EVENTS_PER_JOB);
+        // The head keeps the log's start...
+        assert!(matches!(
+            events[0],
+            OwnedEvent::StateExpanded { states: 0, .. }
+        ));
+        assert!(matches!(
+            events[EVENT_HEAD_RETAIN - 1],
+            OwnedEvent::StateExpanded { states, .. } if states == EVENT_HEAD_RETAIN - 1
+        ));
+        // ...and the tail always ends at the newest event.
+        assert!(matches!(
+            events.last(),
+            Some(OwnedEvent::StateExpanded { states, .. }) if *states == total - 1
+        ));
+        // A cursor into the evicted gap resumes at the retained tail.
+        let (resumed, _) = monitor.events_since(id, EVENT_HEAD_RETAIN + 10).unwrap();
+        assert!(matches!(
+            resumed.first(),
+            Some(OwnedEvent::StateExpanded { states, .. }) if *states == EVENT_HEAD_RETAIN + 100
+        ));
+        // Reads past the end are empty and the cursor is stable.
+        let (empty, again) = monitor.events_since(id, next).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(again, next);
+    }
+
+    #[test]
+    fn elapsed_ms_tracks_job_lifecycle() {
+        let mut svc = service();
+        let (p, cfg) = fig1();
+        let id = svc.submit(Job::new("fig1", p, cfg));
+        // Queued jobs have not started.
+        assert_eq!(svc.record(id).unwrap().elapsed_ms, None);
+        svc.run_pending();
+        let rec = svc.record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Done);
+        assert!(rec.elapsed_ms.is_some());
+        let stats = svc.stats();
+        assert_eq!(stats.jobs_timed, 1);
+        assert_eq!(stats.events_dropped, 0);
+    }
 
     #[test]
     fn mode_and_status_names_round_trip() {

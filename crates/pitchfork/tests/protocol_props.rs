@@ -50,7 +50,7 @@ fn random_spec(rng: &mut SmallRng) -> JobSpec {
 }
 
 fn random_request(rng: &mut SmallRng) -> Request {
-    match rng.gen_range(0..6) {
+    match rng.gen_range(0..7) {
         0 => Request::Submit {
             name: random_string(rng),
             source: random_string(rng),
@@ -63,6 +63,7 @@ fn random_request(rng: &mut SmallRng) -> Request {
         },
         3 => Request::Stats,
         4 => Request::Retire,
+        5 => Request::Metrics,
         _ => Request::Shutdown,
     }
 }
@@ -161,11 +162,57 @@ fn random_service_stats(rng: &mut SmallRng) -> ServiceStats {
         steals: rng.gen(),
         steal_fails: rng.gen(),
         local_cache_hits: rng.gen(),
+        queue_wait_ms_total: rng.gen(),
+        run_ms_total: rng.gen(),
+        jobs_timed: rng.gen(),
+        events_dropped: rng.gen(),
+    }
+}
+
+fn random_metric(rng: &mut SmallRng) -> sct_telemetry::MetricSnapshot {
+    use sct_telemetry::{MetricKind, MetricSnapshot};
+    let names = [
+        sct_telemetry::names::SOLVER_CHECK_HIT,
+        sct_telemetry::names::SOLVER_CHECK_MISS,
+        sct_telemetry::names::STATE_EXPAND,
+        sct_telemetry::names::JOB_RUN,
+        "worker_busy_ns{worker=\"3\"}",
+    ];
+    let name = names[rng.gen_range(0..names.len())].to_string();
+    match rng.gen_range(0..3) {
+        0 => MetricSnapshot {
+            name,
+            kind: MetricKind::Counter,
+            value: rng.gen(),
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: Vec::new(),
+        },
+        1 => MetricSnapshot {
+            name,
+            kind: MetricKind::Gauge,
+            value: rng.gen(),
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: Vec::new(),
+        },
+        _ => {
+            let buckets: Vec<u64> =
+                (0..sct_telemetry::BUCKETS).map(|_| rng.gen_range(0..1_000_000)).collect();
+            MetricSnapshot {
+                name,
+                kind: MetricKind::Histogram,
+                value: buckets.iter().sum(),
+                sum_ns: rng.gen(),
+                max_ns: rng.gen(),
+                buckets,
+            }
+        }
     }
 }
 
 fn random_response(rng: &mut SmallRng) -> Response {
-    match rng.gen_range(0..5) {
+    match rng.gen_range(0..6) {
         0 => Response::Accepted { id: rng.gen() },
         1 => {
             let statuses = [
@@ -183,6 +230,7 @@ fn random_response(rng: &mut SmallRng) -> Response {
                     .map(|_| random_violation(rng))
                     .collect(),
                 error: rng.gen_bool(0.3).then(|| random_string(rng)),
+                elapsed_ms: rng.gen_bool(0.5).then(|| rng.gen()),
             }
         }
         2 => Response::EventBatch {
@@ -190,9 +238,14 @@ fn random_response(rng: &mut SmallRng) -> Response {
             events: (0..rng.gen_range(0..5)).map(|_| random_event(rng)).collect(),
             next: rng.gen(),
             done: rng.gen_bool(0.5),
+            dropped: rng.gen(),
         },
         3 => Response::Stats {
             stats: random_service_stats(rng),
+        },
+        4 => Response::Metrics {
+            stats: random_service_stats(rng),
+            metrics: (0..rng.gen_range(0..6)).map(|_| random_metric(rng)).collect(),
         },
         _ => Response::Error {
             message: random_string(rng),

@@ -143,6 +143,16 @@ impl ThreadStats {
 pub fn flush_thread_caches() {
     expr::flush_local_caches();
     solver::flush_local_memo();
+    flush_thread_telemetry();
+}
+
+/// Publish the calling thread's buffered telemetry (check-latency
+/// spans) to the process-wide `sct-telemetry` histograms. Buffers also
+/// publish on their auto-flush threshold and when the thread exits;
+/// this makes a just-finished job's spans visible to a concurrent
+/// metrics scrape immediately.
+pub fn flush_thread_telemetry() {
+    solver::flush_check_spans();
 }
 
 /// Snapshot the calling thread's private counters (see [`ThreadStats`]).

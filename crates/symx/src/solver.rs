@@ -227,6 +227,55 @@ thread_local! {
 /// them to both `queries` and `hits`.
 static MEMO_TLS_HITS: AtomicU64 = AtomicU64::new(0);
 
+// ----- check-latency spans ------------------------------------------------
+//
+// Every `Solver::check` is timed into one of two process-wide
+// histograms — answered-from-memo vs full-pipeline — through a
+// per-thread `LocalHist` buffer (plain integer bumps on the hot path,
+// published on the auto-flush threshold, on `flush_thread_caches`, and
+// on thread exit). Timing is skipped entirely when
+// `sct_telemetry::enabled()` is off.
+
+static CHECK_HIT_HIST: LazyLock<&'static sct_telemetry::Histogram> =
+    LazyLock::new(|| sct_telemetry::histogram(sct_telemetry::names::SOLVER_CHECK_HIT));
+static CHECK_MISS_HIST: LazyLock<&'static sct_telemetry::Histogram> =
+    LazyLock::new(|| sct_telemetry::histogram(sct_telemetry::names::SOLVER_CHECK_MISS));
+
+struct CheckSpans {
+    hit: sct_telemetry::LocalHist,
+    miss: sct_telemetry::LocalHist,
+}
+
+thread_local! {
+    static CHECK_SPANS: RefCell<Option<CheckSpans>> = const { RefCell::new(None) };
+}
+
+fn record_check_span(hit: bool, ns: u64) {
+    CHECK_SPANS.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let spans = slot.get_or_insert_with(|| CheckSpans {
+            hit: sct_telemetry::LocalHist::with_auto_flush(*CHECK_HIT_HIST, 64),
+            miss: sct_telemetry::LocalHist::with_auto_flush(*CHECK_MISS_HIST, 16),
+        });
+        if hit {
+            spans.hit.record_ns(ns);
+        } else {
+            spans.miss.record_ns(ns);
+        }
+    });
+}
+
+/// Publish the calling thread's buffered check-latency spans to the
+/// process-wide histograms.
+pub(crate) fn flush_check_spans() {
+    CHECK_SPANS.with(|cell| {
+        if let Some(spans) = cell.borrow_mut().as_mut() {
+            spans.hit.flush();
+            spans.miss.flush();
+        }
+    });
+}
+
 fn with_local_memo<R>(f: impl FnOnce(&mut LocalMemo) -> R) -> R {
     LOCAL_MEMO.with(|cell| {
         let mut slot = cell.borrow_mut();
@@ -549,11 +598,15 @@ impl Solver {
     /// across schedules, programs, and worker threads. See
     /// [`solver_memo_stats`].
     pub fn check(&self, constraints: &[Expr]) -> Verdict {
+        let span = sct_telemetry::span_start();
         let key = MemoKey::new(self.options.tag(), canonical_key(constraints));
         // L0: the thread-local read cache — no shared lock on a hit.
         if let Some(v) = local_memo_get(&key) {
             MEMO_TLS_HITS.fetch_add(1, Ordering::Relaxed);
             TLS_MEMO_HITS.with(|h| h.set(h.get() + 1));
+            if let Some(ns) = sct_telemetry::span_ns(span) {
+                record_check_span(true, ns);
+            }
             return v;
         }
         let si = key.shard();
@@ -567,6 +620,9 @@ impl Solver {
                 m.hits += 1;
                 drop(m);
                 local_memo_put(key, v.clone());
+                if let Some(ns) = sct_telemetry::span_ns(span) {
+                    record_check_span(true, ns);
+                }
                 return v;
             }
         }
@@ -584,6 +640,9 @@ impl Solver {
         }
         local_memo_put(key, verdict.clone());
         enforce_capacity_global();
+        if let Some(ns) = sct_telemetry::span_ns(span) {
+            record_check_span(false, ns);
+        }
         verdict
     }
 

@@ -1,0 +1,96 @@
+//! Property tests for the histogram primitives.
+//!
+//! The load-bearing one records a random batch of durations from **8
+//! concurrent threads** — a mix of direct atomic observation and
+//! [`LocalHist`] buffers with randomized auto-flush thresholds, dropped
+//! (not explicitly flushed) at thread exit — and asserts the shared
+//! histogram converges to exactly the same totals as a serial
+//! reference fold. Nothing may be lost, double-counted, or mis-bucketed
+//! whatever the flush interleaving.
+
+use proptest::prelude::*;
+use sct_telemetry::{bucket_of, bucket_upper_ns, Histogram, LocalHist, BUCKETS};
+
+const THREADS: usize = 8;
+
+/// Serial reference: fold every observation into plain arrays.
+fn reference(values: &[Vec<u64>]) -> (Vec<u64>, u64, u64, u64) {
+    let mut buckets = vec![0u64; BUCKETS];
+    let (mut count, mut sum, mut max) = (0u64, 0u64, 0u64);
+    for per_thread in values {
+        for &ns in per_thread {
+            buckets[bucket_of(ns)] += 1;
+            count += 1;
+            sum += ns;
+            max = max.max(ns);
+        }
+    }
+    (buckets, count, sum, max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn concurrent_recording_loses_nothing(
+        (values, thresholds) in (
+            proptest::collection::vec(
+                proptest::collection::vec(0u64..200_000_000, 0..300),
+                THREADS..THREADS + 1,
+            ),
+            proptest::collection::vec(0u64..64, THREADS..THREADS + 1),
+        ),
+    ) {
+        let shared: &'static Histogram = Box::leak(Box::new(Histogram::default()));
+        std::thread::scope(|scope| {
+            for (i, per_thread) in values.iter().enumerate() {
+                let threshold = thresholds[i];
+                scope.spawn(move || {
+                    if i % 2 == 0 {
+                        // Direct atomic recording.
+                        for &ns in per_thread {
+                            shared.observe_ns(ns);
+                        }
+                    } else {
+                        // Buffered recording, published by auto-flush
+                        // and the drop at scope exit.
+                        let mut local = LocalHist::with_auto_flush(shared, threshold);
+                        for &ns in per_thread {
+                            local.record_ns(ns);
+                        }
+                    }
+                });
+            }
+        });
+        let (buckets, count, sum, max) = reference(&values);
+        let snap = shared.snapshot("concurrent");
+        prop_assert_eq!(snap.buckets, buckets);
+        prop_assert_eq!(snap.value, count);
+        prop_assert_eq!(snap.sum_ns, sum);
+        prop_assert_eq!(snap.max_ns, max);
+    }
+
+    #[test]
+    fn percentiles_bound_the_true_quantile(
+        (mut values, q_pct) in (
+            proptest::collection::vec(0u64..1_000_000_000, 1..500),
+            0u64..101,
+        ),
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let h = Histogram::default();
+        for &ns in &values {
+            h.observe_ns(ns);
+        }
+        let snap = h.snapshot("q");
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let true_quantile = values[rank - 1];
+        let reported = snap.percentile_ns(q);
+        // The readout is the bucket's upper bound (capped at the exact
+        // max): never below the true quantile, never more than one
+        // 2x bucket above it.
+        prop_assert!(reported >= true_quantile);
+        prop_assert!(reported <= bucket_upper_ns(bucket_of(true_quantile)).min(snap.max_ns));
+    }
+}
