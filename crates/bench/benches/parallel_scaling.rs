@@ -6,7 +6,10 @@
 //! Emits `BENCH_parallel_scaling.json` with the measured rates, the
 //! host's CPU count (scaling above 1× requires real cores — a
 //! single-core container measures lock overhead, not speedup), the
-//! derived parallel-vs-serial ratios, and a provenance manifest
+//! derived parallel-vs-serial ratios, per-configuration worker
+//! utilization (busy/steal/parked nanoseconds from one extra
+//! telemetry-instrumented pass, kept outside the timed reps so the
+//! clock reads never skew the medians), and a provenance manifest
 //! ([`sct_bench::manifest::RunManifest`]: git commit, config hash,
 //! seed, host CPUs, thread counts); every run also appends a line to
 //! `audit.jsonl` next to the artifact. On a single-core host the
@@ -63,6 +66,39 @@ struct Sample {
     states: usize,
     median_ns: u128,
     per_second: f64,
+    busy_ns: u64,
+    steal_ns: u64,
+    parked_ns: u64,
+}
+
+impl Sample {
+    /// Fraction of worker wall time spent expanding states (vs
+    /// hunting for work or parked). `0.0` when no worker counters
+    /// moved — the 1-thread configurations run the serial engine.
+    fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.steal_ns + self.parked_ns;
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / total as f64
+    }
+}
+
+/// Cumulative (busy, steal, parked) nanoseconds summed across all
+/// worker slots in the process-wide registry.
+fn worker_totals() -> (u64, u64, u64) {
+    let (mut busy, mut steal, mut parked) = (0u64, 0u64, 0u64);
+    for m in sct_telemetry::global().snapshot() {
+        if let Some(rest) = m.name.strip_prefix("worker_") {
+            match rest.split('{').next() {
+                Some("busy_ns") => busy += m.value,
+                Some("steal_ns") => steal += m.value,
+                Some("parked_ns") => parked += m.value,
+                _ => {}
+            }
+        }
+    }
+    (busy, steal, parked)
 }
 
 fn measure(items: &[BatchItem], threads: usize, cold: bool) -> Sample {
@@ -89,6 +125,18 @@ fn measure(items: &[BatchItem], threads: usize, cold: bool) -> Sample {
             states = s;
         }
     }
+    // One extra instrumented pass per configuration: telemetry on,
+    // counter deltas captured, telemetry restored. Run after (never
+    // between) the timed reps so per-state clock reads cannot leak
+    // into the medians.
+    if cold {
+        sct_symx::retire_arena();
+    }
+    let was = sct_telemetry::set_enabled(true);
+    let before = worker_totals();
+    let _ = pass(items, threads);
+    let after = worker_totals();
+    sct_telemetry::set_enabled(was);
     let med = median(walls);
     let per_second = states as f64 / med.as_secs_f64();
     let mode = if cold { "cold" } else { "warm" };
@@ -99,6 +147,9 @@ fn measure(items: &[BatchItem], threads: usize, cold: bool) -> Sample {
         states,
         median_ns: med.as_nanos(),
         per_second,
+        busy_ns: after.0 - before.0,
+        steal_ns: after.1 - before.1,
+        parked_ns: after.2 - before.2,
     }
 }
 
@@ -113,8 +164,13 @@ fn main() {
         for threads in THREAD_COUNTS {
             let s = measure(&items, threads, cold);
             println!(
-                "{:<34} {:>9.0} states/s  (median {:>10} ns over {} states)",
-                s.name, s.per_second, s.median_ns, s.states
+                "{:<34} {:>9.0} states/s  (median {:>10} ns over {} states, \
+                 utilization {:.2})",
+                s.name,
+                s.per_second,
+                s.median_ns,
+                s.states,
+                s.utilization()
             );
             samples.push(s);
         }
@@ -179,8 +235,19 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"threads\": {}, \"mode\": \"{}\", \"states\": {}, \
-             \"median_ns\": {}, \"per_second\": {:.1}}}{}",
-            s.name, s.threads, s.mode, s.states, s.median_ns, s.per_second, sep
+             \"median_ns\": {}, \"per_second\": {:.1}, \"busy_ns\": {}, \"steal_ns\": {}, \
+             \"parked_ns\": {}, \"utilization\": {:.3}}}{}",
+            s.name,
+            s.threads,
+            s.mode,
+            s.states,
+            s.median_ns,
+            s.per_second,
+            s.busy_ns,
+            s.steal_ns,
+            s.parked_ns,
+            s.utilization(),
+            sep
         );
     }
     json.push_str("  ]\n}\n");

@@ -384,6 +384,7 @@ pub fn run_corpus_served(
             strategy: None,
             threads: 0,
             symbolic: Vec::new(),
+            max_states: None,
         };
         let id = client.submit_source(entry.name, entry.source, spec)?;
         pending.push((entry.name.to_string(), id));

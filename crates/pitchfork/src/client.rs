@@ -1,5 +1,6 @@
 //! A std-only client for the `pitchfork --serve` daemon: connect to
-//! the Unix socket, speak the line protocol, get typed answers back.
+//! the Unix socket or a fleet worker's TCP address, speak the line
+//! protocol, get typed answers back.
 //!
 //! ```no_run
 //! use pitchfork::client::Client;
@@ -18,8 +19,8 @@ use crate::observe::OwnedEvent;
 use crate::protocol::{ProtocolError, Request, Response, WireViolation};
 use crate::report::{ExploreStats, Verdict};
 use crate::service::{JobId, JobSpec, JobStatus, ServiceStats};
+use crate::transport::Stream;
 use std::io::{BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -84,12 +85,16 @@ pub struct JobView {
     /// Wall-clock milliseconds running (live while `running`, final
     /// once terminal; `None` from pre-telemetry daemons).
     pub elapsed_ms: Option<u64>,
+    /// The state budget actually applied when the submitted
+    /// `max_states` exceeded the daemon's cap and was clamped down
+    /// (`None` when no clamp happened, and from pre-fleet daemons).
+    pub clamped_states: Option<u64>,
 }
 
 /// A connection to a running daemon.
 pub struct Client {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    reader: BufReader<Stream>,
+    writer: Stream,
     /// Set when the stream desynced (an oversized line was truncated
     /// mid-read); every later call fails fast instead of parsing from
     /// the middle of a line.
@@ -97,9 +102,19 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to the daemon's socket.
+    /// Connect to the daemon's Unix socket.
     pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Client> {
-        let stream = UnixStream::connect(path)?;
+        Client::from_stream(Stream::connect_unix(path)?)
+    }
+
+    /// Connect to a daemon address — `HOST:PORT` for a TCP fleet
+    /// worker, anything else as a Unix socket path (the rule of
+    /// [`crate::transport::Endpoint::parse`]).
+    pub fn connect_addr(addr: &str) -> std::io::Result<Client> {
+        Client::from_stream(Stream::connect(addr)?)
+    }
+
+    fn from_stream(stream: Stream) -> std::io::Result<Client> {
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
@@ -189,6 +204,7 @@ impl Client {
                 violations,
                 error,
                 elapsed_ms,
+                clamped_states,
             } => Ok(JobView {
                 id: JobId::from_u64(id),
                 status,
@@ -197,8 +213,59 @@ impl Client {
                 violations,
                 error,
                 elapsed_ms,
+                clamped_states,
             }),
             _ => Err(ClientError::Unexpected("verdicts")),
+        }
+    }
+
+    /// Authenticate with the daemon's shared token. Must be the first
+    /// request on a connection to a `--token` daemon; a daemon without
+    /// a token accepts the handshake as a no-op, so fleet clients can
+    /// always send it. A wrong token errors and the daemon closes the
+    /// connection.
+    pub fn hello(&mut self, token: impl Into<String>) -> Result<(), ClientError> {
+        match self.request(&Request::Hello {
+            token: token.into(),
+        })? {
+            Response::Accepted { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("accepted")),
+        }
+    }
+
+    /// Request cancellation of a job: a queued job is reaped without
+    /// running; a running job stops cooperatively at its next state
+    /// expansion. Either way its status becomes `cancelled`.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), ClientError> {
+        match self.request(&Request::Cancel { id: id.as_u64() })? {
+            Response::Accepted { .. } => Ok(()),
+            _ => Err(ClientError::Unexpected("accepted")),
+        }
+    }
+
+    /// Ship an `sct-cache` snapshot to the daemon as a warm start: the
+    /// encoded bytes travel as hex chunks small enough for the line
+    /// cap, and the daemon hydrates the snapshot into its arena and
+    /// verdict memo on the final chunk. Returns `(nodes, verdicts)`
+    /// imported.
+    pub fn seed(&mut self, snapshot_bytes: &[u8]) -> Result<(u64, u64), ClientError> {
+        // 256 KiB of raw bytes per chunk = 512 KiB of hex, comfortably
+        // under the 1 MiB protocol line cap with JSON framing around it.
+        const CHUNK_RAW: usize = 256 * 1024;
+        let mut chunks = snapshot_bytes.chunks(CHUNK_RAW).peekable();
+        loop {
+            // An empty snapshot still sends one final empty chunk so
+            // the daemon answers with its (zero) import counts.
+            let chunk = chunks.next().unwrap_or_default();
+            let last = chunks.peek().is_none();
+            match self.request(&Request::Seed {
+                chunk: crate::protocol::hex_encode(chunk),
+                last,
+            })? {
+                Response::Seeded { nodes, verdicts } if last => return Ok((nodes, verdicts)),
+                Response::Seeded { .. } => {}
+                _ => return Err(ClientError::Unexpected("seeded")),
+            }
         }
     }
 

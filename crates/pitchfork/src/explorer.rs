@@ -224,6 +224,10 @@ enum SerialOutcome {
 pub struct Explorer<'p> {
     pub(crate) machine: SymMachine<'p>,
     pub(crate) options: ExplorerOptions,
+    /// Cooperative cancellation flag (daemon `Cancel` requests): the
+    /// state loop polls it and stops early with `truncated` set, the
+    /// same early-exit shape as an exhausted state budget.
+    pub(crate) cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl<'p> Explorer<'p> {
@@ -232,6 +236,7 @@ impl<'p> Explorer<'p> {
         Explorer {
             machine: SymMachine::new(program),
             options,
+            cancel: None,
         }
     }
 
@@ -240,7 +245,23 @@ impl<'p> Explorer<'p> {
         Explorer {
             machine: SymMachine::with_params(program, params),
             options,
+            cancel: None,
         }
+    }
+
+    /// Attach a cooperative cancellation flag: once it reads `true`,
+    /// the exploration (serial or work-stealing) stops at the next
+    /// state-loop iteration and returns a truncated partial report.
+    pub fn with_cancel(mut self, cancel: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// `true` once an attached cancellation flag has been raised.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Acquire))
     }
 
     /// Explore all worst-case schedules from `initial` with a worklist.
@@ -332,6 +353,7 @@ impl<'p> Explorer<'p> {
         while let Some(state) = frontier.pop() {
             if report.stats.states >= self.options.max_states
                 || report.violations.len() >= self.options.max_violations
+                || self.is_cancelled()
             {
                 report.stats.truncated = true;
                 break;

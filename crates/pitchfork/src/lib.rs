@@ -92,6 +92,48 @@
 //! the [`protocol`] types are `std`-only, so the daemon needs no
 //! dependencies the workspace doesn't vendor).
 //!
+//! # Fleet mode
+//!
+//! The daemon also listens on TCP (`--listen HOST:PORT`, same
+//! protocol, same verdict bytes — [`transport`] abstracts the two
+//! socket families), which turns a set of machines into an analysis
+//! **fleet** driven by `pitchfork coordinate`:
+//!
+//! ```text
+//! # one worker per host (or per core locally), sharing a token
+//! $ pitchfork --serve --listen 0.0.0.0:7433 --token "$SCT_TOKEN" \
+//!       --jobs 2 --client-quota 64 &
+//! $ pitchfork --serve --listen 0.0.0.0:7434 --token "$SCT_TOKEN" &
+//!
+//! # shard a corpus manifest across the workers, warm-starting each
+//! # from a shared cache snapshot
+//! $ pitchfork coordinate --worker 127.0.0.1:7433 --worker 127.0.0.1:7434 \
+//!       --token "$SCT_TOKEN" --seed /tmp/pitchfork.cache \
+//!       --bound 16 --symbolic ra crates/litmus/corpus/*.sasm
+//! crates/litmus/corpus/spectre_v1.sasm: VIOLATION (12 states, 3 schedules explored, strategy lifo)
+//! ...
+//! ```
+//!
+//! The coordinator ([`fleet`]) assigns entries to workers largest-first
+//! (size-aware LPT), streams per-worker progress to stderr, and prints
+//! merged verdict lines to stdout **in manifest order, byte-identical
+//! to a single-process `pitchfork` batch over the same corpus** — CI
+//! diffs the two. A worker that dies mid-run has its in-flight and
+//! queued shards requeued to the survivors (bounded retries per
+//! entry); a worker seeded with a snapshot reports the import as
+//! nonzero `seed_nodes_added` / `seed_verdicts_imported` counters in
+//! its `pitchfork metrics` scrape.
+//!
+//! Connections authenticate with [`Request::Hello`] carrying the
+//! shared `--token` (tokenless daemons accept the handshake as a
+//! no-op; a wrong token closes the connection). `--client-quota N`
+//! bounds submissions per connection, per-job
+//! [`service::JobSpec::max_states`] budgets are clamped to the
+//! daemon's cap (the applied budget surfaces in the job's status as
+//! `clamped_states`), and [`Request::Cancel`] stops a queued or
+//! running job cooperatively — its status becomes
+//! [`service::JobStatus::Cancelled`].
+//!
 //! # Parallel exploration
 //!
 //! Exploration is embarrassingly parallel at the state level: each
@@ -190,6 +232,17 @@
 //! | `worker_busy_ns{worker="i"}` | counter | per-worker time spent expanding states |
 //! | `worker_steal_ns{worker="i"}` | counter | per-worker time spent rebalancing |
 //! | `worker_parked_ns{worker="i"}` | counter | per-worker time parked on the idle condvar |
+//! | `seed_nodes_added` | counter | arena nodes imported from `seed` warm-start snapshots |
+//! | `seed_verdicts_imported` | counter | memoised verdicts imported from `seed` snapshots |
+//! | `fleet_dispatch_total{worker="i"}` | counter | coordinator: shards dispatched to worker i |
+//! | `fleet_retry_total{worker="i"}` | counter | coordinator: shard attempts retried off worker i |
+//! | `fleet_shard_ns{worker="i"}` | histogram | coordinator: shard submit → terminal status on worker i |
+//!
+//! The job-latency histograms (`job_queue_wait_ns`, `job_run_ns`, and
+//! the coordinator's `fleet_shard_ns`) carry an **exemplar**: the job
+//! id of their maximum observation, rendered as ` max_job=N` on the
+//! exposition summary comment, so a p99 spike links straight to a
+//! concrete submission.
 //!
 //! The daemon answers [`Request::Metrics`] with its [`ServiceStats`]
 //! plus a full registry snapshot, and `pitchfork metrics --connect
@@ -250,6 +303,7 @@ pub mod batch;
 pub mod client;
 pub mod detector;
 pub mod explorer;
+pub mod fleet;
 pub mod machine;
 pub mod observe;
 pub mod parallel;
@@ -261,6 +315,7 @@ pub mod service;
 pub mod session;
 pub mod state;
 pub mod strategy;
+pub mod transport;
 
 #[allow(deprecated)]
 pub use batch::BatchAnalyzer;

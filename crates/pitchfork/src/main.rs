@@ -7,20 +7,29 @@
 //! pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--symbolic ra,rb]
 //!           [--verbose] [--cache PATH] [--trace PATH] FILE...
 //!
-//! # daemon mode: serve analyses over a Unix socket
-//! pitchfork --serve SOCK [--cache PATH] [--bound N] [--strategy NAME]
+//! # daemon mode: serve analyses over a Unix socket or TCP
+//! pitchfork --serve SOCK [--listen HOST:PORT] [--token T] [--client-quota N]
+//!           [--cache PATH] [--bound N] [--strategy NAME]
 //!           [--retire-every N] [--retire-nodes N] [--memo-capacity N]
 //!           [--trace PATH]
 //!
-//! # client verbs against a running daemon
+//! # client verbs against a running daemon (--connect takes a socket
+//! # path or HOST:PORT; --token authenticates first)
 //! pitchfork submit   --connect SOCK [--mode v1|v4|alias|v2] [--bound N]
-//!                    [--strategy NAME] [--symbolic ra,rb] [--verbose] FILE...
+//!                    [--strategy NAME] [--symbolic ra,rb] [--max-states N]
+//!                    [--verbose] FILE...
 //! pitchfork status   --connect SOCK --job ID
 //! pitchfork events   --connect SOCK --job ID
+//! pitchfork cancel   --connect SOCK --job ID
 //! pitchfork stats    --connect SOCK
 //! pitchfork metrics  --connect SOCK
 //! pitchfork retire   --connect SOCK
 //! pitchfork shutdown --connect SOCK
+//!
+//! # fleet mode: shard a corpus across workers, merge verdicts
+//! pitchfork coordinate --worker ADDR [--worker ADDR ...] [--token T]
+//!           [--seed CACHE] [--mode M] [--bound N] [--strategy NAME]
+//!           [--symbolic ra,rb] [--max-states N] [--attempts N] FILE...
 //! ```
 //!
 //! The one-shot CLI is a thin shell over
@@ -53,13 +62,18 @@ fn usage() -> ! {
     eprintln!(
         "usage: pitchfork [--bound N] [--fwd-hazards] [--strategy NAME] [--threads N] [--symbolic ra,rb] [--verbose] [--cache PATH] [--trace PATH] FILE..."
     );
-    eprintln!("       pitchfork --serve SOCK [--cache PATH] [--bound N] [--strategy NAME]");
+    eprintln!("       pitchfork --serve SOCK [--listen HOST:PORT] [--token T] [--client-quota N]");
+    eprintln!("                 [--cache PATH] [--bound N] [--strategy NAME]");
     eprintln!("                 [--threads N] [--jobs K] [--retire-every N] [--retire-nodes N]");
     eprintln!("                 [--memo-capacity N] [--trace PATH]");
-    eprintln!("       pitchfork submit --connect SOCK [--mode v1|v4|alias|v2] [--bound N]");
-    eprintln!("                 [--strategy NAME] [--threads N] [--symbolic ra,rb] [--verbose] FILE...");
-    eprintln!("       pitchfork status|events --connect SOCK --job ID");
+    eprintln!("       pitchfork submit --connect SOCK [--token T] [--mode v1|v4|alias|v2]");
+    eprintln!("                 [--bound N] [--strategy NAME] [--threads N] [--symbolic ra,rb]");
+    eprintln!("                 [--max-states N] [--verbose] FILE...");
+    eprintln!("       pitchfork status|events|cancel --connect SOCK --job ID");
     eprintln!("       pitchfork stats|metrics|retire|shutdown --connect SOCK");
+    eprintln!("       pitchfork coordinate --worker ADDR [--worker ADDR ...] [--token T]");
+    eprintln!("                 [--seed CACHE] [--mode M] [--bound N] [--strategy NAME]");
+    eprintln!("                 [--symbolic ra,rb] [--max-states N] [--attempts N] FILE...");
     eprintln!();
     eprintln!("Analyze sct assembly files for speculative constant-time violations.");
     eprintln!("  --bound N        speculation bound (default 20; paper: 250 without");
@@ -91,6 +105,13 @@ fn usage() -> ! {
     eprintln!("warm-starts without restarting the process. --threads sets the default");
     eprintln!("per-job parallelism (submit --threads overrides per job); --jobs K runs");
     eprintln!("up to K jobs concurrently against the shared sharded arena.");
+    eprintln!();
+    eprintln!("Fleet mode: --listen puts the daemon on TCP (same protocol, same verdict");
+    eprintln!("bytes), --token requires clients to authenticate with an opening hello,");
+    eprintln!("and --client-quota bounds submissions per connection. `coordinate` shards");
+    eprintln!("a corpus across --worker daemons largest-first, warm-starts each from");
+    eprintln!("--seed, requeues shards off dead workers, and prints merged verdict lines");
+    eprintln!("in manifest order (byte-identical to a one-process batch).");
     std::process::exit(2)
 }
 
@@ -250,21 +271,9 @@ fn open_trace(
     }
 }
 
-/// The per-file report line, shared verbatim by one-shot and daemon
-/// output so the serve-smoke CI job can diff them.
-fn report_line(
-    file: &str,
-    verdict: impl std::fmt::Display,
-    states: usize,
-    schedules: usize,
-    strategy: &str,
-    truncated: bool,
-) -> String {
-    format!(
-        "{file}: {verdict} ({states} states, {schedules} schedules explored, strategy {strategy}{})",
-        if truncated { ", truncated" } else { "" }
-    )
-}
+// The per-file report line lives in the library so one-shot, daemon,
+// and fleet-coordinator output share it verbatim (CI diffs them).
+use pitchfork::fleet::report_line;
 
 fn run_oneshot(args: Vec<String>) -> ExitCode {
     let cli = parse_args(args);
@@ -370,6 +379,7 @@ fn run_oneshot(args: Vec<String>) -> ExitCode {
 
 fn run_serve(args: Vec<String>) -> ExitCode {
     let mut socket: Option<String> = None;
+    let mut listen: Option<String> = None;
     let mut cache: Option<String> = None;
     let mut bound = 20usize;
     let mut strategy = StrategyKind::Lifo;
@@ -377,11 +387,20 @@ fn run_serve(args: Vec<String>) -> ExitCode {
     let mut jobs = 1usize;
     let mut trace: Option<String> = None;
     let mut policy = RetirePolicy::never();
+    let mut server_options = pitchfork::server::ServerOptions::default();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--cache" => cache = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--listen" => listen = Some(args.next().unwrap_or_else(|| usage())),
+            "--token" => server_options.token = Some(args.next().unwrap_or_else(|| usage())),
+            "--client-quota" => {
+                server_options.max_jobs_per_client = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--bound" => {
                 bound = args
                     .next()
@@ -430,7 +449,13 @@ fn run_serve(args: Vec<String>) -> ExitCode {
             _ => usage(),
         }
     }
-    let Some(socket) = socket else { usage() };
+    // `--listen HOST:PORT` takes a TCP endpoint; otherwise the
+    // positional SOCK path is a Unix socket, exactly as before.
+    let endpoint = match (&listen, &socket) {
+        (Some(addr), _) => pitchfork::transport::Endpoint::Tcp(addr.clone()),
+        (None, Some(path)) => pitchfork::transport::Endpoint::Unix(path.into()),
+        (None, None) => usage(),
+    };
     let session = build_session(bound, false, strategy, threads, &[], cache.as_deref());
     let service = SessionService::with_policy(session, policy);
     if let Some(path) = &trace {
@@ -438,15 +463,17 @@ fn run_serve(args: Vec<String>) -> ExitCode {
             service.monitor().set_trace(writer);
         }
     }
-    let server = match pitchfork::server::Server::bind_with_workers(&socket, service, jobs) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("--serve {socket}: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    let server =
+        match pitchfork::server::Server::bind_endpoint(&endpoint, service, jobs, server_options) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("--serve {}: {e}", endpoint.display());
+                return ExitCode::from(2);
+            }
+        };
     println!(
-        "serving on {socket} (bound {bound}, strategy {strategy}, threads {threads}, jobs {jobs})"
+        "serving on {} (bound {bound}, strategy {strategy}, threads {threads}, jobs {jobs})",
+        server.local_addr()
     );
     server.wait();
     println!("daemon stopped");
@@ -457,32 +484,59 @@ fn run_serve(args: Vec<String>) -> ExitCode {
 
 struct ClientArgs {
     connect: Option<String>,
+    token: Option<String>,
     job: Option<u64>,
     mode: JobMode,
     bound: Option<usize>,
     strategy: Option<StrategyKind>,
     threads: usize,
+    max_states: Option<usize>,
     symbolic: Vec<Reg>,
     verbose: bool,
     files: Vec<String>,
+    // coordinate-only
+    workers: Vec<String>,
+    seed: Option<String>,
+    attempts: u32,
 }
 
 fn parse_client_args(args: Vec<String>) -> ClientArgs {
     let mut out = ClientArgs {
         connect: None,
+        token: None,
         job: None,
         mode: JobMode::V1,
         bound: None,
         strategy: None,
         threads: 0,
+        max_states: None,
         symbolic: Vec::new(),
         verbose: false,
         files: Vec::new(),
+        workers: Vec::new(),
+        seed: None,
+        attempts: 3,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--connect" => out.connect = Some(args.next().unwrap_or_else(|| usage())),
+            "--token" => out.token = Some(args.next().unwrap_or_else(|| usage())),
+            "--worker" => out.workers.push(args.next().unwrap_or_else(|| usage())),
+            "--seed" => out.seed = Some(args.next().unwrap_or_else(|| usage())),
+            "--attempts" => {
+                out.attempts = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-states" => {
+                out.max_states = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--job" => {
                 out.job = Some(
                     args.next()
@@ -529,17 +583,24 @@ fn parse_client_args(args: Vec<String>) -> ClientArgs {
 }
 
 fn connect(args: &ClientArgs) -> Client {
-    let Some(path) = args.connect.as_deref() else {
+    let Some(addr) = args.connect.as_deref() else {
         eprintln!("missing --connect SOCK");
         usage();
     };
-    match Client::connect(path) {
+    let mut client = match Client::connect_addr(addr) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("--connect {path}: {e}");
+            eprintln!("--connect {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(token) = &args.token {
+        if let Err(e) = client.hello(token.clone()) {
+            eprintln!("--connect {addr}: {e}");
             std::process::exit(2);
         }
     }
+    client
 }
 
 /// Print one line, tolerating a closed stdout (`... | head` closes the
@@ -555,8 +616,8 @@ macro_rules! outln {
 
 fn print_stats(stats: &ServiceStats) {
     outln!(
-        "jobs: {} submitted, {} done, {} failed, {} queued",
-        stats.jobs_submitted, stats.jobs_done, stats.jobs_failed, stats.queued
+        "jobs: {} submitted, {} done, {} failed, {} cancelled, {} queued",
+        stats.jobs_submitted, stats.jobs_done, stats.jobs_failed, stats.jobs_cancelled, stats.queued
     );
     outln!(
         "latency: {} ms queue-wait / {} ms run over {} timed jobs; {} events dropped",
@@ -605,6 +666,9 @@ fn print_view(label: &str, view: &pitchfork::client::JobView, verbose: bool) -> 
             if let Some(ms) = view.elapsed_ms {
                 outln!("  elapsed: {ms} ms");
             }
+            if let Some(cap) = view.clamped_states {
+                outln!("  state budget clamped to {cap} (requested more than the daemon cap)");
+            }
             if verbose {
                 for v in &view.violations {
                     outln!("  violation: {} near program point {}", v.observation, v.pc);
@@ -646,6 +710,7 @@ fn run_submit(args: Vec<String>) -> ExitCode {
         strategy: args.strategy,
         threads: args.threads,
         symbolic: args.symbolic.clone(),
+        max_states: args.max_states,
     };
     let mut ids = Vec::new();
     for file in &args.files {
@@ -715,6 +780,29 @@ fn run_status(args: Vec<String>) -> ExitCode {
     }
 }
 
+fn run_cancel(args: Vec<String>) -> ExitCode {
+    let args = parse_client_args(args);
+    let Some(job) = args.job else {
+        eprintln!("missing --job ID");
+        usage();
+    };
+    let mut client = connect(&args);
+    if let Err(e) = client.cancel(JobId::from_u64(job)) {
+        eprintln!("cancel: {e}");
+        return ExitCode::from(2);
+    }
+    match client.wait(JobId::from_u64(job), Duration::from_secs(120)) {
+        Ok(view) => {
+            outln!("job {job}: {}", view.status);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cancel: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn run_events(args: Vec<String>) -> ExitCode {
     let args = parse_client_args(args);
     let Some(job) = args.job else {
@@ -756,10 +844,14 @@ fn run_events(args: Vec<String>) -> ExitCode {
 /// [`sct_telemetry::render_prometheus`] emits after it.
 fn render_service_stats(stats: &ServiceStats) -> String {
     let mut out = String::new();
-    let families: [(&str, &str, u64); 13] = [
+    let families: [(&str, &str, u64); 17] = [
         ("service_jobs_submitted", "counter", stats.jobs_submitted),
         ("service_jobs_done", "counter", stats.jobs_done),
         ("service_jobs_failed", "counter", stats.jobs_failed),
+        ("service_jobs_cancelled", "counter", stats.jobs_cancelled),
+        ("service_budget_clamped_jobs", "counter", stats.budget_clamped_jobs),
+        ("service_seed_nodes_added", "counter", stats.seed_nodes_added),
+        ("service_seed_verdicts_imported", "counter", stats.seed_verdicts_imported),
         ("service_jobs_queued", "gauge", stats.queued),
         ("service_queue_wait_ms_total", "counter", stats.queue_wait_ms_total),
         ("service_run_ms_total", "counter", stats.run_ms_total),
@@ -793,6 +885,103 @@ fn run_metrics(args: Vec<String>) -> ExitCode {
             eprintln!("metrics: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+// ----- fleet mode ---------------------------------------------------------
+
+fn run_coordinate(args: Vec<String>) -> ExitCode {
+    let args = parse_client_args(args);
+    if args.workers.is_empty() {
+        eprintln!("coordinate: no --worker addresses");
+        usage();
+    }
+    if args.files.is_empty() {
+        eprintln!("coordinate: no files");
+        usage();
+    }
+    let mut manifest = Vec::new();
+    for file in &args.files {
+        match std::fs::read_to_string(file) {
+            Ok(source) => manifest.push(pitchfork::fleet::ManifestEntry {
+                name: file.clone(),
+                source,
+            }),
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let seed = match args.seed.as_deref() {
+        Some(path) => match std::fs::read(path) {
+            Ok(bytes) => Some(bytes),
+            Err(e) => {
+                eprintln!("--seed {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let options = pitchfork::fleet::FleetOptions {
+        workers: args.workers.clone(),
+        token: args.token.clone(),
+        seed,
+        spec: JobSpec {
+            mode: args.mode,
+            bound: args.bound,
+            strategy: args.strategy,
+            threads: args.threads,
+            symbolic: args.symbolic.clone(),
+            max_states: args.max_states,
+        },
+        max_attempts: args.attempts.max(1),
+        job_timeout: Duration::from_secs(600),
+    };
+    let report = match pitchfork::fleet::run_fleet(&manifest, &options, |line| {
+        eprintln!("{line}");
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("coordinate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Verdict lines to stdout in manifest order — byte-identical to a
+    // single-process batch over the same files; failures to stderr.
+    for outcome in &report.outcomes {
+        if let Some(line) = &outcome.line {
+            outln!("{line}");
+        }
+        if let Some(error) = &outcome.error {
+            eprintln!("{}: {error}", outcome.name);
+        }
+    }
+    eprintln!(
+        "fleet: {} entries over {} workers, {} flagged, {} failed, {} retries",
+        report.outcomes.len(),
+        options.workers.len(),
+        report.flagged(),
+        report.failed(),
+        report.retries,
+    );
+    // The coordinator's own registry (fleet_dispatch_total,
+    // fleet_retry_total, fleet_shard_ns with max_job exemplars) makes
+    // the run inspectable; stderr keeps stdout byte-comparable.
+    if sct_telemetry::enabled() {
+        let snaps: Vec<_> = sct_telemetry::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.name.starts_with("fleet_"))
+            .collect();
+        eprint!("{}", sct_telemetry::render_prometheus(&snaps));
+    }
+    if report.failed() > 0 {
+        ExitCode::from(2)
+    } else if report.flagged() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -835,6 +1024,14 @@ fn main() -> ExitCode {
         Some("events") => {
             args.remove(0);
             run_events(args)
+        }
+        Some("cancel") => {
+            args.remove(0);
+            run_cancel(args)
+        }
+        Some("coordinate") => {
+            args.remove(0);
+            run_coordinate(args)
         }
         Some("metrics") => {
             args.remove(0);

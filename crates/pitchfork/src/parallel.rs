@@ -652,6 +652,7 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Repor
             let expanded = shared.states.load(Ordering::Relaxed);
             if expanded >= options.max_states
                 || shared.violations.load(Ordering::Relaxed) >= options.max_violations
+                || explorer.is_cancelled()
             {
                 shared.truncated.store(true, Ordering::Relaxed);
                 shared.stop_all();

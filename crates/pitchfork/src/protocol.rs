@@ -429,6 +429,41 @@ pub fn read_line_capped(reader: &mut impl std::io::BufRead) -> std::io::Result<C
     }
 }
 
+// ----- seed-chunk hex -----------------------------------------------------
+
+/// Encode bytes as lowercase hex — seed snapshot chunks travel inside
+/// JSON string fields, which cannot carry raw bytes. Doubling the size
+/// is fine: chunking keeps each line far under [`MAX_LINE_BYTES`].
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decode a hex string produced by [`hex_encode`] (either case
+/// accepted). Odd length or a non-hex digit is an error, never a
+/// silent truncation.
+pub fn hex_decode(text: &str) -> Result<Vec<u8>, ProtocolError> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(ProtocolError::new("odd-length hex payload"));
+    }
+    let digit = |b: u8| -> Result<u8, ProtocolError> {
+        (b as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| ProtocolError::new(format!("invalid hex digit {:?}", b as char)))
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((digit(pair[0])? << 4) | digit(pair[1])?);
+    }
+    Ok(out)
+}
+
 // ----- errors -------------------------------------------------------------
 
 /// Why a line failed to parse or decode.
@@ -463,6 +498,14 @@ impl std::error::Error for ProtocolError {}
 /// the variant.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
+    /// Authenticate the connection (fleet mode). A daemon started with
+    /// `--token` rejects every other request until a `Hello` with the
+    /// matching token arrives; a daemon without a token accepts the
+    /// handshake as a no-op, so clients can always send it first.
+    Hello {
+        /// The shared secret (empty when the client has none).
+        token: String,
+    },
     /// Submit `.sasm` source for analysis.
     Submit {
         /// Display name for the job.
@@ -471,6 +514,23 @@ pub enum Request {
         source: String,
         /// Analysis options.
         spec: JobSpec,
+    },
+    /// Cancel a job: a queued job is retired unrun; a running job's
+    /// explorer observes the cooperative flag at its next state pop and
+    /// stops. Either way the job ends as [`JobStatus::Cancelled`].
+    Cancel {
+        /// The job.
+        id: u64,
+    },
+    /// One chunk of an `sct-cache` snapshot (hex-encoded), shipped by
+    /// the fleet coordinator to warm-start a fresh worker. Chunks
+    /// accumulate per connection; the `last` chunk triggers decode +
+    /// hydrate into the process-wide arena and verdict memo.
+    Seed {
+        /// Hex-encoded snapshot bytes (chunked under the line cap).
+        chunk: String,
+        /// `true` on the final chunk.
+        last: bool,
     },
     /// Ask for a job's status and (when done) its verdicts.
     Status {
@@ -502,6 +562,19 @@ pub enum Request {
 impl Request {
     fn to_json(&self) -> Json {
         match self {
+            Request::Hello { token } => Json::Obj(vec![
+                ("req".into(), Json::Str("hello".into())),
+                ("token".into(), Json::Str(token.clone())),
+            ]),
+            Request::Cancel { id } => Json::Obj(vec![
+                ("req".into(), Json::Str("cancel".into())),
+                ("id".into(), Json::Int(*id as i128)),
+            ]),
+            Request::Seed { chunk, last } => Json::Obj(vec![
+                ("req".into(), Json::Str("seed".into())),
+                ("chunk".into(), Json::Str(chunk.clone())),
+                ("last".into(), Json::Bool(*last)),
+            ]),
             Request::Submit { name, source, spec } => {
                 let mut fields = vec![
                     ("req".into(), Json::Str("submit".into())),
@@ -517,6 +590,9 @@ impl Request {
                 }
                 if spec.threads != 0 {
                     fields.push(("threads".into(), Json::Int(spec.threads as i128)));
+                }
+                if let Some(ms) = spec.max_states {
+                    fields.push(("max_states".into(), Json::Int(ms as i128)));
                 }
                 if !spec.symbolic.is_empty() {
                     fields.push((
@@ -560,6 +636,16 @@ impl Request {
         let json = Json::parse(line)?;
         let kind = json.str_field("req")?;
         match kind {
+            "hello" => Ok(Request::Hello {
+                token: json.str_field("token")?.to_string(),
+            }),
+            "cancel" => Ok(Request::Cancel {
+                id: json.u64_field("id")?,
+            }),
+            "seed" => Ok(Request::Seed {
+                chunk: json.str_field("chunk")?.to_string(),
+                last: json.bool_field("last")?,
+            }),
             "submit" => {
                 let mode = JobSpec::parse_mode(json.str_field("mode")?)?;
                 let strategy = match json.opt_str_field("strategy")? {
@@ -587,6 +673,9 @@ impl Request {
                         // 0 (or absent, for older clients) inherits the
                         // daemon session's parallelism.
                         threads: json.opt_u64_field("threads")?.unwrap_or(0) as usize,
+                        // Absent (pre-v5 clients) inherits the daemon's
+                        // state budget.
+                        max_states: json.opt_u64_field("max_states")?.map(|n| n as usize),
                         symbolic,
                     },
                 })
@@ -673,6 +762,10 @@ pub enum Response {
         /// (`None` while queued, from older daemons, or for
         /// failed-at-submission jobs).
         elapsed_ms: Option<u64>,
+        /// When the submitted per-job state budget exceeded the
+        /// daemon's cap, the budget actually applied (`None` when no
+        /// clamp happened or from older daemons).
+        clamped_states: Option<u64>,
     },
     /// A slice of a job's event stream.
     EventBatch {
@@ -701,6 +794,15 @@ pub enum Response {
         stats: ServiceStats,
         /// Every registered counter, gauge, and histogram.
         metrics: Vec<MetricSnapshot>,
+    },
+    /// A snapshot seed was hydrated into the worker's arena and memo
+    /// (the answer to the final [`Request::Seed`] chunk; intermediate
+    /// chunks answer with `nodes == 0 && verdicts == 0`).
+    Seeded {
+        /// Arena nodes added by the hydration.
+        nodes: u64,
+        /// Solver verdicts imported into the memo.
+        verdicts: u64,
     },
     /// The request could not be served (parse failure, unknown job,
     /// internal error). The connection stays usable.
@@ -960,6 +1062,16 @@ const SERVICE_STAT_FIELDS_V4: [&str; 4] = [
     "events_dropped",
 ];
 
+/// Fields added with fleet mode — cancellation, budget clamping, and
+/// snapshot seeding counters (parse defaults to 0, same tolerance as
+/// the v2–v4 sets).
+const SERVICE_STAT_FIELDS_V5: [&str; 4] = [
+    "jobs_cancelled",
+    "budget_clamped_jobs",
+    "seed_nodes_added",
+    "seed_verdicts_imported",
+];
+
 fn service_stats_values(s: &ServiceStats) -> [u64; 16] {
     [
         s.jobs_submitted,
@@ -1007,6 +1119,14 @@ fn service_stats_to_json(s: &ServiceStats) -> Json {
     ]) {
         fields.push(((*k).to_string(), Json::Int(v as i128)));
     }
+    for (k, v) in SERVICE_STAT_FIELDS_V5.iter().zip([
+        s.jobs_cancelled,
+        s.budget_clamped_jobs,
+        s.seed_nodes_added,
+        s.seed_verdicts_imported,
+    ]) {
+        fields.push(((*k).to_string(), Json::Int(v as i128)));
+    }
     Json::Obj(fields)
 }
 
@@ -1025,6 +1145,10 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
     }
     let mut v4 = [0u64; 4];
     for (slot, key) in v4.iter_mut().zip(SERVICE_STAT_FIELDS_V4) {
+        *slot = json.opt_u64_field(key)?.unwrap_or(0);
+    }
+    let mut v5 = [0u64; 4];
+    for (slot, key) in v5.iter_mut().zip(SERVICE_STAT_FIELDS_V5) {
         *slot = json.opt_u64_field(key)?.unwrap_or(0);
     }
     Ok(ServiceStats {
@@ -1054,6 +1178,10 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
         run_ms_total: v4[1],
         jobs_timed: v4[2],
         events_dropped: v4[3],
+        jobs_cancelled: v5[0],
+        budget_clamped_jobs: v5[1],
+        seed_nodes_added: v5[2],
+        seed_verdicts_imported: v5[3],
     })
 }
 
@@ -1070,6 +1198,9 @@ fn metric_to_json(m: &MetricSnapshot) -> Json {
     if m.kind == MetricKind::Histogram {
         fields.push(("sum_ns".into(), Json::Int(m.sum_ns as i128)));
         fields.push(("max_ns".into(), Json::Int(m.max_ns as i128)));
+        if m.max_job != 0 {
+            fields.push(("max_job".into(), Json::Int(m.max_job as i128)));
+        }
         fields.push((
             "buckets".into(),
             Json::Arr(m.buckets.iter().map(|&n| Json::Int(n as i128)).collect()),
@@ -1107,6 +1238,8 @@ fn metric_from_json(json: &Json) -> Result<MetricSnapshot, ProtocolError> {
         value: json.u64_field("value")?,
         sum_ns: json.opt_u64_field("sum_ns")?.unwrap_or(0),
         max_ns: json.opt_u64_field("max_ns")?.unwrap_or(0),
+        // Exemplar job id; absent on pre-fleet daemons.
+        max_job: json.opt_u64_field("max_job")?.unwrap_or(0),
         buckets,
     })
 }
@@ -1126,6 +1259,7 @@ impl Response {
                 violations,
                 error,
                 elapsed_ms,
+                clamped_states,
             } => {
                 let mut fields = vec![
                     ("resp".into(), Json::Str("verdicts".into())),
@@ -1149,6 +1283,9 @@ impl Response {
                 }
                 if let Some(ms) = elapsed_ms {
                     fields.push(("elapsed_ms".into(), Json::Int(*ms as i128)));
+                }
+                if let Some(cs) = clamped_states {
+                    fields.push(("clamped_states".into(), Json::Int(*cs as i128)));
                 }
                 Json::Obj(fields)
             }
@@ -1180,6 +1317,11 @@ impl Response {
                     "metrics".into(),
                     Json::Arr(metrics.iter().map(metric_to_json).collect()),
                 ),
+            ]),
+            Response::Seeded { nodes, verdicts } => Json::Obj(vec![
+                ("resp".into(), Json::Str("seeded".into())),
+                ("nodes".into(), Json::Int(*nodes as i128)),
+                ("verdicts".into(), Json::Int(*verdicts as i128)),
             ]),
             Response::Error { message } => Json::Obj(vec![
                 ("resp".into(), Json::Str("error".into())),
@@ -1229,6 +1371,8 @@ impl Response {
                     error: json.opt_str_field("error")?.map(String::from),
                     // Tolerant: absent on daemons predating telemetry.
                     elapsed_ms: json.opt_u64_field("elapsed_ms")?,
+                    // Tolerant: absent on daemons predating fleet mode.
+                    clamped_states: json.opt_u64_field("clamped_states")?,
                 })
             }
             "events" => {
@@ -1266,6 +1410,10 @@ impl Response {
                     metrics,
                 })
             }
+            "seeded" => Ok(Response::Seeded {
+                nodes: json.u64_field("nodes")?,
+                verdicts: json.u64_field("verdicts")?,
+            }),
             "error" => Ok(Response::Error {
                 message: json.str_field("message")?.to_string(),
             }),
@@ -1282,6 +1430,9 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
+            Request::Hello {
+                token: "s3cret\"token".into(),
+            },
             Request::Submit {
                 name: "fig1".into(),
                 source: ".entry L1\nL1:\n    ra = add rb, 0x4\n".into(),
@@ -1290,8 +1441,14 @@ mod tests {
                     bound: Some(20),
                     strategy: Some(StrategyKind::DeepestRob),
                     threads: 4,
+                    max_states: Some(10_000),
                     symbolic: vec![sct_core::reg::names::RA],
                 },
+            },
+            Request::Cancel { id: 7 },
+            Request::Seed {
+                chunk: "53435443".into(),
+                last: true,
             },
             Request::Status { id: 7 },
             Request::Events { id: 7, since: 42 },
@@ -1331,6 +1488,21 @@ mod tests {
                 }],
                 error: None,
                 elapsed_ms: Some(125),
+                clamped_states: None,
+            },
+            Response::Verdicts {
+                id: 9,
+                status: JobStatus::Cancelled,
+                verdict: None,
+                stats: None,
+                violations: vec![],
+                error: None,
+                elapsed_ms: Some(12),
+                clamped_states: Some(50_000),
+            },
+            Response::Seeded {
+                nodes: 1_200,
+                verdicts: 87,
             },
             Response::EventBatch {
                 id: 3,
@@ -1384,6 +1556,7 @@ mod tests {
                         value: 3,
                         sum_ns: 0,
                         max_ns: 0,
+                        max_job: 0,
                         buckets: vec![],
                     },
                     MetricSnapshot {
@@ -1392,6 +1565,7 @@ mod tests {
                         value: 6,
                         sum_ns: 4_096,
                         max_ns: 1_024,
+                        max_job: 14,
                         buckets: vec![0, 1, 2, 3],
                     },
                 ],
@@ -1439,6 +1613,71 @@ mod tests {
             panic!("expected verdicts");
         };
         assert_eq!(elapsed_ms, None);
+    }
+
+    #[test]
+    fn pre_v5_lines_still_parse() {
+        // A submit from a pre-fleet client carries no max_states; the
+        // daemon must read it as "inherit the server default".
+        let submit = r#"{"req":"submit","name":"fig1","source":"x","mode":"v1","threads":1}"#;
+        let Request::Submit { spec, .. } = Request::parse(submit).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.max_states, None);
+
+        // A verdicts line from a pre-fleet daemon has no clamped_states.
+        let verdicts = r#"{"resp":"verdicts","id":1,"status":"done"}"#;
+        let Response::Verdicts { clamped_states, .. } = Response::parse(verdicts).unwrap()
+        else {
+            panic!("expected verdicts");
+        };
+        assert_eq!(clamped_states, None);
+
+        // A metric without max_job (pre-exemplar daemon) reads as
+        // "no exemplar recorded".
+        let stats: Vec<(String, Json)> = SERVICE_STAT_FIELDS
+            .iter()
+            .map(|k| ((*k).to_string(), Json::Int(0)))
+            .collect();
+        let metrics = Json::Obj(vec![
+            ("resp".to_string(), Json::Str("metrics".into())),
+            ("stats".to_string(), Json::Obj(stats.clone())),
+            (
+                "metrics".to_string(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("name".to_string(), Json::Str("job_run_ns".into())),
+                    ("kind".to_string(), Json::Str("histogram".into())),
+                    ("value".to_string(), Json::Int(2)),
+                    ("sum_ns".to_string(), Json::Int(64)),
+                    ("max_ns".to_string(), Json::Int(48)),
+                ])]),
+            ),
+        ])
+        .to_line();
+        let Response::Metrics { metrics, .. } = Response::parse(&metrics).unwrap() else {
+            panic!("expected metrics");
+        };
+        assert_eq!(metrics[0].max_job, 0);
+
+        // Stats with only v1–v4 fields: the v5 additions default to 0.
+        let mut fields: Vec<(String, Json)> =
+            vec![("resp".to_string(), Json::Str("stats".into()))];
+        let inner: Vec<(String, Json)> = SERVICE_STAT_FIELDS
+            .iter()
+            .chain(SERVICE_STAT_FIELDS_V2.iter())
+            .chain(SERVICE_STAT_FIELDS_V3.iter())
+            .chain(SERVICE_STAT_FIELDS_V4.iter())
+            .map(|k| ((*k).to_string(), Json::Int(3)))
+            .collect();
+        fields.push(("stats".to_string(), Json::Obj(inner)));
+        let Response::Stats { stats } = Response::parse(&Json::Obj(fields).to_line()).unwrap()
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.jobs_cancelled, 0);
+        assert_eq!(stats.budget_clamped_jobs, 0);
+        assert_eq!(stats.seed_nodes_added, 0);
+        assert_eq!(stats.seed_verdicts_imported, 0);
     }
 
     #[test]
@@ -1518,6 +1757,17 @@ mod tests {
             assert!(Request::parse(garbage).is_err(), "{garbage:?}");
             assert!(Response::parse(garbage).is_err(), "{garbage:?}");
         }
+    }
+
+    #[test]
+    fn seed_hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let hex = hex_encode(&bytes);
+        assert_eq!(hex_decode(&hex).unwrap(), bytes);
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(hex_decode("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
     }
 
     #[test]

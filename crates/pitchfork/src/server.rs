@@ -1,5 +1,6 @@
-//! The `pitchfork --serve` daemon: a Unix-domain-socket front end over
-//! one [`SessionService`].
+//! The `pitchfork --serve` daemon: a socket front end over one
+//! [`SessionService`], listening on a Unix socket or (fleet mode) a
+//! TCP address via [`crate::transport`].
 //!
 //! std-only, thread-per-connection. A pool of **job worker** threads
 //! (size = [`Server::bind_with_workers`]'s `job_workers`, CLI
@@ -15,6 +16,10 @@
 //! jobs run; submissions and stats wait only for the short queue-pop /
 //! publish critical sections.
 //!
+//! TCP listeners usually want [`ServerOptions::token`]: clients then
+//! authenticate with `Request::Hello` before anything else, and every
+//! other request on an unauthenticated connection is rejected.
+//!
 //! ```no_run
 //! use pitchfork::server::Server;
 //! use pitchfork::service::SessionService;
@@ -27,9 +32,9 @@
 
 use crate::protocol::{Request, Response, WireViolation};
 use crate::service::{JobId, JobStatus, ServiceMonitor, SessionService};
+use crate::transport::{Endpoint, Listener, Stream};
 use std::io::{BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -40,11 +45,28 @@ use std::time::Duration;
 /// condvar; this is only the fallback cadence.
 const IDLE_POLL: Duration = Duration::from_millis(25);
 
+/// Listener-level policy: authentication and per-client limits. The
+/// defaults (no token, unlimited submissions) match the pre-fleet
+/// daemon exactly.
+#[derive(Clone, Debug, Default)]
+pub struct ServerOptions {
+    /// When set, clients must open with a matching `Request::Hello`
+    /// before any other request is honored; a wrong token closes the
+    /// connection. When unset, `Hello` is accepted as a no-op so fleet
+    /// clients can always send it first.
+    pub token: Option<String>,
+    /// Submissions allowed per connection (0 = unlimited). Requests
+    /// past the quota get `Response::Error` and the connection stays
+    /// usable for status/event reads.
+    pub max_jobs_per_client: u64,
+}
+
 struct Shared {
     service: Mutex<SessionService>,
     work: Condvar,
     shutdown: AtomicBool,
     monitor: ServiceMonitor,
+    options: ServerOptions,
 }
 
 impl Shared {
@@ -60,7 +82,10 @@ impl Shared {
 /// [`Server::wait`].
 pub struct Server {
     shared: Arc<Shared>,
-    path: PathBuf,
+    endpoint: Endpoint,
+    /// The address as actually bound — for TCP with port 0 this is the
+    /// assigned port, for Unix the socket path.
+    local: String,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -84,18 +109,36 @@ impl Server {
         service: SessionService,
         job_workers: usize,
     ) -> std::io::Result<Server> {
-        let path = path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
-        let listener = UnixListener::bind(&path)?;
+        Server::bind_endpoint(
+            &Endpoint::Unix(path.as_ref().to_path_buf()),
+            service,
+            job_workers,
+            ServerOptions::default(),
+        )
+    }
+
+    /// The general form: bind a Unix or TCP [`Endpoint`] with
+    /// listener-level [`ServerOptions`] (token auth, per-client job
+    /// quota). All connection handling, job execution, and protocol
+    /// code is shared between the transports.
+    pub fn bind_endpoint(
+        endpoint: &Endpoint,
+        service: SessionService,
+        job_workers: usize,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let listener = Listener::bind(endpoint)?;
         // Non-blocking accept: the loop polls the shutdown flag between
         // attempts, so `Shutdown` works without a wake-up connection.
         listener.set_nonblocking(true)?;
+        let local = listener.local_display().unwrap_or_else(|| endpoint.display());
         let monitor = service.monitor();
         let shared = Arc::new(Shared {
             service: Mutex::new(service),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             monitor,
+            options,
         });
 
         let workers = (0..job_workers.max(1))
@@ -114,15 +157,18 @@ impl Server {
         };
         Ok(Server {
             shared,
-            path,
+            endpoint: endpoint.clone(),
+            local,
             accept: Some(accept),
             workers,
         })
     }
 
-    /// The socket path the daemon listens on.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The address the daemon is serving on: the Unix socket path, or
+    /// the TCP address actually bound (`--listen 127.0.0.1:0` reports
+    /// the assigned port here).
+    pub fn local_addr(&self) -> &str {
+        &self.local
     }
 
     /// Ask the daemon to stop: no new connections; the worker drains
@@ -137,7 +183,8 @@ impl Server {
         !self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Block until the daemon stops, then remove the socket file.
+    /// Block until the daemon stops, then remove the socket file (Unix
+    /// endpoints only; TCP has nothing to clean up).
     pub fn wait(mut self) {
         for h in self.workers.drain(..) {
             let _ = h.join();
@@ -145,7 +192,9 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let _ = std::fs::remove_file(&self.path);
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -181,13 +230,13 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn accept_loop(listener: UnixListener, shared: &Arc<Shared>) {
+fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok(stream) => {
                 let shared = Arc::clone(shared);
                 let _ = std::thread::Builder::new()
                     .name("pitchfork-conn".into())
@@ -209,7 +258,7 @@ fn accept_loop(listener: UnixListener, shared: &Arc<Shared>) {
     }
 }
 
-fn write_line(stream: &mut UnixStream, response: &Response) -> std::io::Result<()> {
+fn write_line(stream: &mut Stream, response: &Response) -> std::io::Result<()> {
     let mut line = response.to_line();
     line.push('\n');
     stream.write_all(line.as_bytes())
@@ -239,6 +288,7 @@ fn verdicts_response(monitor: &ServiceMonitor, id: u64) -> Response {
                 violations,
                 error: record.error,
                 elapsed_ms: record.elapsed_ms,
+                clamped_states: record.clamped_states,
             }
         }
     }
@@ -250,10 +300,16 @@ fn verdicts_response(monitor: &ServiceMonitor, id: u64) -> Response {
 /// bounds buffering, so newline-less floods cost bounded memory, not
 /// daemon OOM) gets the error and then the connection closes — the
 /// stream is desynced mid-line.
-fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+fn handle_connection(stream: Stream, shared: &Arc<Shared>) -> std::io::Result<()> {
     use crate::protocol::{read_line_capped, CappedLine};
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    // Per-connection state: authentication (trivially satisfied when
+    // no token is configured), submissions so far (the per-client
+    // quota's denominator), and the seed-chunk accumulator.
+    let mut authed = shared.options.token.is_none();
+    let mut submitted: u64 = 0;
+    let mut seed_buf: Vec<u8> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return Ok(());
@@ -291,13 +347,72 @@ fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) -> std::io::Resul
             }
         };
         match request {
+            Request::Hello { token } => match &shared.options.token {
+                Some(expected) if *expected != token => {
+                    // A wrong token closes the connection: fail fast
+                    // rather than inviting guesses on a kept-alive
+                    // stream.
+                    write_line(
+                        &mut writer,
+                        &Response::Error {
+                            message: "invalid token".into(),
+                        },
+                    )?;
+                    return Ok(());
+                }
+                // Matching token — or no token configured, in which
+                // case the handshake is an accepted no-op so fleet
+                // clients can always open with it.
+                _ => {
+                    authed = true;
+                    write_line(&mut writer, &Response::Accepted { id: 0 })?;
+                }
+            },
+            _ if !authed => {
+                write_line(
+                    &mut writer,
+                    &Response::Error {
+                        message: "authentication required: open with a hello request".into(),
+                    },
+                )?;
+            }
             Request::Submit { name, source, spec } => {
+                let quota = shared.options.max_jobs_per_client;
+                if quota > 0 && submitted >= quota {
+                    write_line(
+                        &mut writer,
+                        &Response::Error {
+                            message: format!("job quota exceeded ({quota} per client)"),
+                        },
+                    )?;
+                    continue;
+                }
+                submitted += 1;
                 let id = {
                     let mut service = shared.lock();
                     service.submit_source(name, &source, spec)
                 };
                 shared.work.notify_all();
                 write_line(&mut writer, &Response::Accepted { id: id.as_u64() })?;
+            }
+            Request::Cancel { id } => {
+                let response = match shared.monitor.request_cancel(JobId::from_u64(id)) {
+                    Some(_) => {
+                        // Wake the workers: a queued job with the flag
+                        // set is reaped (terminal `Cancelled`) at its
+                        // next dequeue.
+                        shared.work.notify_all();
+                        Response::Accepted { id }
+                    }
+                    None => Response::Error {
+                        message: format!("unknown job {id}"),
+                    },
+                };
+                write_line(&mut writer, &response)?;
+            }
+            Request::Seed { chunk, last } => {
+                let response = apply_seed_chunk(shared, &mut seed_buf, &chunk, last);
+                write_line(&mut writer, &response)?;
             }
             Request::Status { id } => {
                 write_line(&mut writer, &verdicts_response(&shared.monitor, id))?;
@@ -342,11 +457,67 @@ fn handle_connection(stream: UnixStream, shared: &Arc<Shared>) -> std::io::Resul
     }
 }
 
+/// Accumulate one `Seed` chunk; on the final chunk, decode the
+/// snapshot and hydrate it into the process arena/memo. Hydration runs
+/// under the service lock — imports touch the process-wide arena and
+/// solver memo and must not race an epoch retirement. Non-final chunks
+/// answer `Seeded{0,0}`; the final chunk answers the import counts (or
+/// an error, clearing the accumulator either way).
+fn apply_seed_chunk(
+    shared: &Shared,
+    seed_buf: &mut Vec<u8>,
+    chunk: &str,
+    last: bool,
+) -> Response {
+    let bytes = match crate::protocol::hex_decode(chunk) {
+        Ok(b) => b,
+        Err(e) => {
+            seed_buf.clear();
+            return Response::Error {
+                message: format!("bad seed chunk: {e}"),
+            };
+        }
+    };
+    seed_buf.extend_from_slice(&bytes);
+    if !last {
+        return Response::Seeded {
+            nodes: 0,
+            verdicts: 0,
+        };
+    }
+    let payload = std::mem::take(seed_buf);
+    let snapshot = match sct_cache::Snapshot::decode(&payload) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::Error {
+                message: format!("bad seed snapshot: {e}"),
+            }
+        }
+    };
+    let mut service = shared.lock();
+    match snapshot.hydrate() {
+        Err(e) => Response::Error {
+            message: format!("seed import failed: {e}"),
+        },
+        Ok(stats) => {
+            let nodes = stats.arena.added as u64;
+            let verdicts = stats.memo.imported as u64;
+            service.note_seed(nodes, verdicts);
+            if sct_telemetry::enabled() {
+                sct_telemetry::counter(sct_telemetry::names::SEED_NODES_ADDED).add(nodes);
+                sct_telemetry::counter(sct_telemetry::names::SEED_VERDICTS_IMPORTED)
+                    .add(verdicts);
+            }
+            Response::Seeded { nodes, verdicts }
+        }
+    }
+}
+
 /// Stream a job's events as `EventBatch` lines until the job is
 /// terminal and its log drained. Served entirely from the monitor, so
 /// batches flow while the worker analyzes.
 fn stream_events(
-    writer: &mut UnixStream,
+    writer: &mut Stream,
     shared: &Arc<Shared>,
     id: u64,
     since: u64,

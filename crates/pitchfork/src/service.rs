@@ -38,6 +38,7 @@ use sct_core::{Config, Program, Reg};
 use sct_telemetry::TraceValue;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, LazyLock, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -83,16 +84,22 @@ pub enum JobStatus {
     Done,
     /// Rejected or aborted; the record holds an error message.
     Failed,
+    /// Stopped by a `Cancel` request: either reaped from the queue
+    /// before running, or stopped cooperatively mid-exploration (the
+    /// record then holds the truncated partial report).
+    Cancelled,
 }
 
 impl JobStatus {
-    /// The stable wire name (`queued`, `running`, `done`, `failed`).
+    /// The stable wire name (`queued`, `running`, `done`, `failed`,
+    /// `cancelled`).
     pub fn name(self) -> &'static str {
         match self {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
         }
     }
 
@@ -103,6 +110,7 @@ impl JobStatus {
             JobStatus::Running,
             JobStatus::Done,
             JobStatus::Failed,
+            JobStatus::Cancelled,
         ]
         .into_iter()
         .find(|s| s.name() == name)
@@ -110,7 +118,10 @@ impl JobStatus {
 
     /// `true` once the job will never change again.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobStatus::Done | JobStatus::Failed)
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
     }
 }
 
@@ -185,6 +196,11 @@ pub struct JobSpec {
     /// setting; 1 = serial; n = n-thread frontier — the wire form of
     /// `--threads`).
     pub threads: usize,
+    /// Per-job state-budget override (`None` = the daemon's default).
+    /// A request above the daemon's own budget is clamped down to it,
+    /// and the clamp is surfaced on the job's record rather than
+    /// applied silently.
+    pub max_states: Option<usize>,
     /// Registers replaced by fresh symbolic inputs.
     pub symbolic: Vec<Reg>,
 }
@@ -264,6 +280,10 @@ pub struct JobRecord {
     /// final run time once terminal. `None` for queued jobs and for
     /// submissions that failed before running.
     pub elapsed_ms: Option<u64>,
+    /// The state budget actually applied when the job's requested
+    /// `max_states` exceeded the daemon's cap and was clamped down;
+    /// `None` when no clamp happened.
+    pub clamped_states: Option<u64>,
 }
 
 /// When the service retires the session's arena epoch (save snapshot →
@@ -363,6 +383,17 @@ pub struct ServiceStats {
     pub jobs_timed: u64,
     /// Events lost to the per-job retention cap, summed over all jobs.
     pub events_dropped: u64,
+    /// Jobs stopped by a `Cancel` request (reaped from the queue or
+    /// stopped cooperatively mid-run).
+    pub jobs_cancelled: u64,
+    /// Jobs whose requested per-job state budget exceeded the daemon's
+    /// cap and was clamped down to it.
+    pub budget_clamped_jobs: u64,
+    /// Arena nodes added by `Seed` snapshot imports (warm-start
+    /// shipping from a fleet coordinator).
+    pub seed_nodes_added: u64,
+    /// Solver verdicts imported by `Seed` snapshot imports.
+    pub seed_verdicts_imported: u64,
 }
 
 /// Cap on retained events per job: one event per expanded state adds
@@ -411,6 +442,13 @@ struct JobEntry {
     started_at: Option<Instant>,
     /// Final run time, stamped when the job turns terminal.
     elapsed_ms: Option<u64>,
+    /// Cooperative cancellation flag, shared with the explorer's state
+    /// loop while the job runs. Set by `Cancel` requests; a queued job
+    /// with the flag set is reaped without running.
+    cancel: Arc<AtomicBool>,
+    /// Budget actually applied when the requested `max_states` was
+    /// clamped to the daemon cap (`None` = no clamp).
+    clamped_states: Option<u64>,
 }
 
 impl JobEntry {
@@ -511,6 +549,8 @@ impl ServiceMonitor {
                 events_dropped: 0,
                 started_at: None,
                 elapsed_ms: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+                clamped_states: None,
             },
         );
     }
@@ -532,18 +572,22 @@ impl ServiceMonitor {
         }
     }
 
-    fn finish(&self, id: JobId, report: Report) {
+    fn finish(&self, id: JobId, report: Report, cancelled: bool) {
         let mut inner = self.lock();
         let MonitorInner { jobs, trace, .. } = &mut *inner;
         if let Some(j) = jobs.get_mut(&id.as_u64()) {
-            j.status = JobStatus::Done;
+            j.status = if cancelled {
+                JobStatus::Cancelled
+            } else {
+                JobStatus::Done
+            };
             j.elapsed_ms = j
                 .elapsed_ms
                 .or_else(|| j.started_at.map(|t| t.elapsed().as_millis() as u64));
             if let Some(t) = trace {
                 t.record(
                     Some(id.as_u64()),
-                    "job_done",
+                    if cancelled { "job_cancelled" } else { "job_done" },
                     &[
                         ("states", TraceValue::U64(report.stats.states as u64)),
                         ("flagged", TraceValue::Bool(report.has_violations())),
@@ -551,6 +595,55 @@ impl ServiceMonitor {
                 );
             }
             j.report = Some(report);
+        }
+    }
+
+    /// Request cancellation: sets the job's cooperative flag (observed
+    /// by the explorer's state loop, and by the queue when the job has
+    /// not started). Returns the job's status at request time; `None`
+    /// for unknown ids. Terminal jobs are left untouched (the request
+    /// is an idempotent no-op).
+    pub fn request_cancel(&self, id: JobId) -> Option<JobStatus> {
+        let mut inner = self.lock();
+        let trace_rec = inner.trace.clone();
+        let j = inner.jobs.get_mut(&id.as_u64())?;
+        let status = j.status;
+        if !status.is_terminal() {
+            j.cancel.store(true, Ordering::Release);
+            if let Some(t) = &trace_rec {
+                t.record(
+                    Some(id.as_u64()),
+                    "job_cancel_requested",
+                    &[("status", TraceValue::Str(status.name().to_string()))],
+                );
+            }
+        }
+        Some(status)
+    }
+
+    /// The job's cooperative cancellation flag (`None` for unknown
+    /// ids) — handed to the explorer while the job runs.
+    fn cancel_handle(&self, id: JobId) -> Option<Arc<AtomicBool>> {
+        self.lock().jobs.get(&id.as_u64()).map(|j| j.cancel.clone())
+    }
+
+    /// Finalize a job reaped from the queue by a cancellation request:
+    /// it never ran, so it turns terminal with no report.
+    fn finish_unrun_cancelled(&self, id: JobId) {
+        let mut inner = self.lock();
+        if let Some(t) = &inner.trace {
+            t.record(Some(id.as_u64()), "job_cancelled", &[]);
+        }
+        if let Some(j) = inner.jobs.get_mut(&id.as_u64()) {
+            j.status = JobStatus::Cancelled;
+        }
+    }
+
+    /// Record that a job's requested state budget was clamped down to
+    /// `applied` (the daemon's cap).
+    fn note_clamp(&self, id: JobId, applied: u64) {
+        if let Some(j) = self.lock().jobs.get_mut(&id.as_u64()) {
+            j.clamped_states = Some(applied);
         }
     }
 
@@ -675,6 +768,7 @@ impl ServiceMonitor {
             report: j.report.clone(),
             error: j.error.clone(),
             elapsed_ms,
+            clamped_states: j.clamped_states,
         })
     }
 
@@ -741,6 +835,9 @@ pub struct PreparedJob {
     symbolic: Vec<Reg>,
     options: DetectorOptions,
     monitor: ServiceMonitor,
+    /// Cooperative cancellation flag shared with the monitor's record:
+    /// the explorer polls it in its state loop.
+    cancel: Arc<AtomicBool>,
     /// Time spent queued (submission → dequeue), for the service's
     /// job-latency accounting.
     queue_wait_ns: u64,
@@ -769,7 +866,8 @@ impl PreparedJob {
         })];
         let started = Instant::now();
         let explorer =
-            Explorer::with_params(&self.program, self.options.params, self.options.explorer);
+            Explorer::with_params(&self.program, self.options.params, self.options.explorer)
+                .with_cancel(self.cancel.clone());
         let initial = if self.symbolic.is_empty() {
             SymState::from_config(&self.config)
         } else {
@@ -784,6 +882,7 @@ impl PreparedJob {
             id: self.id,
             name: self.name,
             report,
+            cancelled: self.cancel.load(Ordering::Acquire),
             queue_wait_ns: self.queue_wait_ns,
             run_ns: sct_telemetry::saturating_ns(started.elapsed()),
         }
@@ -796,6 +895,10 @@ pub struct FinishedJob {
     id: JobId,
     name: String,
     report: Report,
+    /// The cancellation flag was set while (or before) the job ran:
+    /// the record turns [`JobStatus::Cancelled`] with the truncated
+    /// partial report attached.
+    cancelled: bool,
     queue_wait_ns: u64,
     run_ns: u64,
 }
@@ -858,6 +961,15 @@ pub struct SessionService {
     queue_wait_ms_total: u64,
     run_ms_total: u64,
     jobs_timed: u64,
+    /// Jobs stopped by cancellation (queued reaps + mid-run stops).
+    jobs_cancelled: u64,
+    /// Jobs whose requested state budget was clamped to the daemon cap.
+    budget_clamped_jobs: u64,
+    /// Arena nodes / verdicts imported by `Seed` snapshot requests
+    /// (fleet warm-start), reported by the transport via
+    /// [`SessionService::note_seed`].
+    seed_nodes_added: u64,
+    seed_verdicts_imported: u64,
 }
 
 impl SessionService {
@@ -893,20 +1005,33 @@ impl SessionService {
             queue_wait_ms_total: 0,
             run_ms_total: 0,
             jobs_timed: 0,
+            jobs_cancelled: 0,
+            budget_clamped_jobs: 0,
+            seed_nodes_added: 0,
+            seed_verdicts_imported: 0,
         }
+    }
+
+    /// Record a snapshot import performed by the transport on behalf
+    /// of this service (fleet warm-start shipping): the counts land in
+    /// [`ServiceStats`] so a scraped worker shows its warm start.
+    pub fn note_seed(&mut self, nodes: u64, verdicts: u64) {
+        self.seed_nodes_added += nodes;
+        self.seed_verdicts_imported += verdicts;
     }
 
     /// Roll one finished job's latencies into the service totals and —
     /// when telemetry is on — the `job_queue_wait_ns` / `job_run_ns`
-    /// histograms (jobs are low-rate; no thread-local buffering
-    /// needed).
-    fn note_job_timing(&mut self, queue_wait_ns: u64, run_ns: u64) {
+    /// histograms, tagged with the job id so a latency spike's exemplar
+    /// names a concrete submission (jobs are low-rate; no thread-local
+    /// buffering needed).
+    fn note_job_timing(&mut self, id: JobId, queue_wait_ns: u64, run_ns: u64) {
         self.queue_wait_ms_total += queue_wait_ns / 1_000_000;
         self.run_ms_total += run_ns / 1_000_000;
         self.jobs_timed += 1;
         if sct_telemetry::enabled() {
-            QUEUE_WAIT_HIST.observe_ns(queue_wait_ns);
-            RUN_HIST.observe_ns(run_ns);
+            QUEUE_WAIT_HIST.observe_ns_tagged(queue_wait_ns, id.as_u64());
+            RUN_HIST.observe_ns_tagged(run_ns, id.as_u64());
         }
     }
 
@@ -1001,6 +1126,17 @@ impl SessionService {
     /// policy. Returns the job's id, or `None` when the queue is empty.
     pub fn run_next(&mut self) -> Option<JobId> {
         let (id, job, submitted) = self.queue.pop_front()?;
+        // A queued job whose cancel flag was set never runs: it turns
+        // terminal `Cancelled` with no report.
+        if self
+            .monitor
+            .cancel_handle(id)
+            .is_some_and(|c| c.load(Ordering::Acquire))
+        {
+            self.jobs_cancelled += 1;
+            self.monitor.finish_unrun_cancelled(id);
+            return Some(id);
+        }
         let started = Instant::now();
         let queue_wait_ns = sct_telemetry::saturating_ns(started.duration_since(submitted));
         self.monitor.set_status(id, JobStatus::Running);
@@ -1012,7 +1148,10 @@ impl SessionService {
         // never leaks into the next job's "inherit the session" case.
         let saved_options = *self.session.options();
         let bound = job.spec.bound.unwrap_or(saved_options.explorer.spec_bound);
-        self.session.set_options(job.spec.mode.options(bound));
+        let mut options = job.spec.mode.options(bound);
+        options.explorer.max_states =
+            self.resolve_state_budget(id, job.spec.max_states, saved_options.explorer.max_states);
+        self.session.set_options(options);
         if let Some(s) = job.spec.strategy {
             self.session.set_strategy(s);
         }
@@ -1030,6 +1169,7 @@ impl SessionService {
         self.jobs_since_retire += 1;
         self.absorb_job_stats(&report.stats);
         self.note_job_timing(
+            id,
             queue_wait_ns,
             sct_telemetry::saturating_ns(started.elapsed()),
         );
@@ -1060,8 +1200,23 @@ impl SessionService {
             states: report.stats.states,
         });
         self.monitor.set_current(None);
-        self.monitor.finish(id, report);
+        self.monitor.finish(id, report, false);
         Some(id)
+    }
+
+    /// Resolve a job's effective state budget against the daemon's
+    /// `cap`: `None` inherits the cap, a request above it is clamped
+    /// down (counted, and surfaced on the job's record).
+    fn resolve_state_budget(&mut self, id: JobId, requested: Option<usize>, cap: usize) -> usize {
+        match requested {
+            Some(r) if r > cap => {
+                self.budget_clamped_jobs += 1;
+                self.monitor.note_clamp(id, cap as u64);
+                cap
+            }
+            Some(r) => r,
+            None => cap,
+        }
     }
 
     /// Drain the queue; returns how many jobs ran.
@@ -1094,7 +1249,21 @@ impl SessionService {
     /// epoch retirement is deferred while any prepared job is in
     /// flight.
     pub fn begin_next(&mut self) -> Option<PreparedJob> {
-        let (id, job, submitted) = self.queue.pop_front()?;
+        let (id, job, submitted) = loop {
+            let (id, job, submitted) = self.queue.pop_front()?;
+            // Reap queued jobs whose cancel flag was set: they turn
+            // terminal `Cancelled` without ever running.
+            if self
+                .monitor
+                .cancel_handle(id)
+                .is_some_and(|c| c.load(Ordering::Acquire))
+            {
+                self.jobs_cancelled += 1;
+                self.monitor.finish_unrun_cancelled(id);
+                continue;
+            }
+            break (id, job, submitted);
+        };
         let queue_wait_ns = sct_telemetry::saturating_ns(submitted.elapsed());
         self.in_flight += 1;
         self.monitor.set_status(id, JobStatus::Running);
@@ -1108,6 +1277,9 @@ impl SessionService {
         } else {
             defaults.explorer.threads
         };
+        options.explorer.max_states =
+            self.resolve_state_budget(id, job.spec.max_states, defaults.explorer.max_states);
+        let cancel = self.monitor.cancel_handle(id).unwrap_or_default();
         Some(PreparedJob {
             id,
             name: job.name,
@@ -1116,6 +1288,7 @@ impl SessionService {
             symbolic: job.spec.symbolic,
             options,
             monitor: self.monitor.clone(),
+            cancel,
             queue_wait_ns,
         })
     }
@@ -1125,10 +1298,14 @@ impl SessionService {
     /// is in flight — any due (or deferred) epoch retirement.
     pub fn finish(&mut self, done: FinishedJob) {
         self.in_flight = self.in_flight.saturating_sub(1);
-        self.jobs_done += 1;
+        if done.cancelled {
+            self.jobs_cancelled += 1;
+        } else {
+            self.jobs_done += 1;
+        }
         self.jobs_since_retire += 1;
         self.absorb_job_stats(&done.report.stats);
-        self.note_job_timing(done.queue_wait_ns, done.run_ns);
+        self.note_job_timing(done.id, done.queue_wait_ns, done.run_ns);
         let due = self.retire_deferred
             || self
                 .policy
@@ -1152,7 +1329,7 @@ impl SessionService {
                 states: done.report.stats.states,
             },
         );
-        self.monitor.finish(done.id, done.report);
+        self.monitor.finish(done.id, done.report, done.cancelled);
     }
 
     /// Drain the queue on `workers` concurrent job threads (each job
@@ -1261,6 +1438,10 @@ impl SessionService {
             run_ms_total: self.run_ms_total,
             jobs_timed: self.jobs_timed,
             events_dropped: self.monitor.events_dropped_total(),
+            jobs_cancelled: self.jobs_cancelled,
+            budget_clamped_jobs: self.budget_clamped_jobs,
+            seed_nodes_added: self.seed_nodes_added,
+            seed_verdicts_imported: self.seed_verdicts_imported,
         }
     }
 }
@@ -1380,6 +1561,7 @@ mod tests {
             bound: Some(12),
             strategy: Some(StrategyKind::Fifo),
             threads: 0,
+            max_states: None,
             symbolic: vec![],
         };
         let id = svc.submit(Job::with_spec("fig1-v4", p, cfg, spec));
@@ -1522,10 +1704,79 @@ mod tests {
             JobStatus::Running,
             JobStatus::Done,
             JobStatus::Failed,
+            JobStatus::Cancelled,
         ] {
             assert_eq!(JobStatus::parse(s.name()), Some(s));
         }
         assert_eq!(JobMode::parse("v5"), None);
         assert_eq!(JobStatus::parse(""), None);
+        assert!(JobStatus::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_reaps_it_without_running() {
+        let mut svc = service();
+        let monitor = svc.monitor();
+        let (p, cfg) = fig1();
+        let id = svc.submit(Job::new("doomed", p, cfg));
+        assert_eq!(monitor.request_cancel(id), Some(JobStatus::Queued));
+        assert_eq!(svc.run_next(), Some(id));
+        let rec = svc.record(id).unwrap();
+        assert_eq!(rec.status, JobStatus::Cancelled);
+        assert!(rec.report.is_none());
+        assert_eq!(svc.stats().jobs_cancelled, 1);
+        assert_eq!(svc.stats().jobs_done, 0);
+        // Cancelling again (or a terminal job) is an idempotent no-op.
+        assert_eq!(monitor.request_cancel(id), Some(JobStatus::Cancelled));
+        // Unknown ids answer None so the transport can report an error.
+        assert_eq!(monitor.request_cancel(JobId::from_u64(999)), None);
+    }
+
+    #[test]
+    fn begin_next_skips_cancelled_queue_entries() {
+        let mut svc = service();
+        let monitor = svc.monitor();
+        let (p, cfg) = fig1();
+        let dead = svc.submit(Job::new("dead", p.clone(), cfg.clone()));
+        let live = svc.submit(Job::new("live", p, cfg));
+        monitor.request_cancel(dead);
+        let prepared = svc.begin_next().expect("live job prepared");
+        assert_eq!(prepared.id(), live);
+        assert_eq!(svc.status(dead), Some(JobStatus::Cancelled));
+        svc.finish(prepared.run());
+        assert_eq!(svc.status(live), Some(JobStatus::Done));
+    }
+
+    #[test]
+    fn over_cap_state_budget_is_clamped_and_surfaced() {
+        let mut svc = service();
+        let cap = svc.session().options().explorer.max_states;
+        let (p, cfg) = fig1();
+        let spec = JobSpec {
+            max_states: Some(cap * 10),
+            ..JobSpec::default()
+        };
+        let id = svc.submit(Job::with_spec("greedy", p.clone(), cfg.clone(), spec));
+        let prepared = svc.begin_next().unwrap();
+        assert_eq!(prepared.options().explorer.max_states, cap);
+        svc.finish(prepared.run());
+        let rec = svc.record(id).unwrap();
+        assert_eq!(rec.clamped_states, Some(cap as u64));
+        assert_eq!(svc.stats().budget_clamped_jobs, 1);
+        // An in-cap override applies verbatim, with no clamp marker,
+        // and a one-state budget visibly truncates the exploration.
+        let spec = JobSpec {
+            max_states: Some(1),
+            ..JobSpec::default()
+        };
+        let id = svc.submit(Job::with_spec("tiny", p, cfg, spec));
+        let prepared = svc.begin_next().unwrap();
+        assert_eq!(prepared.options().explorer.max_states, 1);
+        svc.finish(prepared.run());
+        let rec = svc.record(id).unwrap();
+        assert_eq!(rec.clamped_states, None);
+        let stats = rec.report.unwrap().stats;
+        assert!(stats.truncated, "budget 1 must truncate ({} states)", stats.states);
+        assert_eq!(svc.stats().budget_clamped_jobs, 1);
     }
 }

@@ -46,11 +46,12 @@ fn random_spec(rng: &mut SmallRng) -> JobSpec {
             .then(|| StrategyKind::ALL[rng.gen_range(0..StrategyKind::ALL.len())]),
         threads: if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..16) },
         symbolic: (0..rng.gen_range(0..3)).map(|i| regs[i]).collect(),
+        max_states: rng.gen_bool(0.5).then(|| rng.gen_range(1..10_000_000)),
     }
 }
 
 fn random_request(rng: &mut SmallRng) -> Request {
-    match rng.gen_range(0..7) {
+    match rng.gen_range(0..10) {
         0 => Request::Submit {
             name: random_string(rng),
             source: random_string(rng),
@@ -64,6 +65,18 @@ fn random_request(rng: &mut SmallRng) -> Request {
         3 => Request::Stats,
         4 => Request::Retire,
         5 => Request::Metrics,
+        6 => Request::Hello {
+            token: random_string(rng),
+        },
+        7 => Request::Cancel { id: rng.gen() },
+        8 => Request::Seed {
+            chunk: pitchfork::protocol::hex_encode(
+                &(0..rng.gen_range(0..64))
+                    .map(|_| rng.gen_range(0..256) as u8)
+                    .collect::<Vec<u8>>(),
+            ),
+            last: rng.gen_bool(0.5),
+        },
         _ => Request::Shutdown,
     }
 }
@@ -166,6 +179,10 @@ fn random_service_stats(rng: &mut SmallRng) -> ServiceStats {
         run_ms_total: rng.gen(),
         jobs_timed: rng.gen(),
         events_dropped: rng.gen(),
+        jobs_cancelled: rng.gen(),
+        budget_clamped_jobs: rng.gen(),
+        seed_nodes_added: rng.gen(),
+        seed_verdicts_imported: rng.gen(),
     }
 }
 
@@ -186,6 +203,7 @@ fn random_metric(rng: &mut SmallRng) -> sct_telemetry::MetricSnapshot {
             value: rng.gen(),
             sum_ns: 0,
             max_ns: 0,
+            max_job: 0,
             buckets: Vec::new(),
         },
         1 => MetricSnapshot {
@@ -194,6 +212,7 @@ fn random_metric(rng: &mut SmallRng) -> sct_telemetry::MetricSnapshot {
             value: rng.gen(),
             sum_ns: 0,
             max_ns: 0,
+            max_job: 0,
             buckets: Vec::new(),
         },
         _ => {
@@ -205,6 +224,7 @@ fn random_metric(rng: &mut SmallRng) -> sct_telemetry::MetricSnapshot {
                 value: buckets.iter().sum(),
                 sum_ns: rng.gen(),
                 max_ns: rng.gen(),
+                max_job: rng.gen(),
                 buckets,
             }
         }
@@ -212,7 +232,7 @@ fn random_metric(rng: &mut SmallRng) -> sct_telemetry::MetricSnapshot {
 }
 
 fn random_response(rng: &mut SmallRng) -> Response {
-    match rng.gen_range(0..6) {
+    match rng.gen_range(0..7) {
         0 => Response::Accepted { id: rng.gen() },
         1 => {
             let statuses = [
@@ -220,6 +240,7 @@ fn random_response(rng: &mut SmallRng) -> Response {
                 JobStatus::Running,
                 JobStatus::Done,
                 JobStatus::Failed,
+                JobStatus::Cancelled,
             ];
             Response::Verdicts {
                 id: rng.gen(),
@@ -231,6 +252,7 @@ fn random_response(rng: &mut SmallRng) -> Response {
                     .collect(),
                 error: rng.gen_bool(0.3).then(|| random_string(rng)),
                 elapsed_ms: rng.gen_bool(0.5).then(|| rng.gen()),
+                clamped_states: rng.gen_bool(0.3).then(|| rng.gen()),
             }
         }
         2 => Response::EventBatch {
@@ -246,6 +268,10 @@ fn random_response(rng: &mut SmallRng) -> Response {
         4 => Response::Metrics {
             stats: random_service_stats(rng),
             metrics: (0..rng.gen_range(0..6)).map(|_| random_metric(rng)).collect(),
+        },
+        5 => Response::Seeded {
+            nodes: rng.gen(),
+            verdicts: rng.gen(),
         },
         _ => Response::Error {
             message: random_string(rng),

@@ -8,10 +8,12 @@
 //! epochs — interleaving them with concurrent analyses would trip the
 //! stale-`ExprRef` guard by design.
 
-use pitchfork::client::Client;
+use pitchfork::client::{Client, ClientError};
+use pitchfork::fleet::{self, FleetOptions, ManifestEntry};
 use pitchfork::observe::OwnedEvent;
-use pitchfork::server::Server;
+use pitchfork::server::{Server, ServerOptions};
 use pitchfork::service::{Job, JobSpec, JobStatus, RetirePolicy, SessionService};
+use pitchfork::transport::Endpoint;
 use pitchfork::{AnalysisSession, SessionBuilder};
 use sct_core::examples::fig1;
 use sct_core::reg::names::RA;
@@ -346,4 +348,264 @@ fn concurrent_job_workers_serve_parallel_submissions() {
     let stats = client.shutdown().unwrap();
     assert_eq!(stats.jobs_done, 6);
     server.wait();
+}
+
+// ----- fleet mode ---------------------------------------------------------
+
+/// A TCP loopback daemon on an OS-assigned port.
+fn serve_tcp(options: ServerOptions) -> Server {
+    let session = SessionBuilder::new().v1_mode(16).build().unwrap();
+    Server::bind_endpoint(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        SessionService::new(session),
+        1,
+        options,
+    )
+    .expect("bind tcp loopback")
+}
+
+#[test]
+fn tcp_daemon_authenticates_and_enforces_quota() {
+    let _guard = lock();
+    let server = serve_tcp(ServerOptions {
+        token: Some("sesame".to_string()),
+        max_jobs_per_client: 2,
+    });
+    let addr = server.local_addr().to_string();
+    let source = fig1_source();
+
+    // A wrong token errors and the daemon closes the connection.
+    let mut intruder = Client::connect_addr(&addr).expect("connect");
+    assert!(matches!(
+        intruder.hello("open says me"),
+        Err(ClientError::Server(m)) if m.contains("invalid token")
+    ));
+    assert!(intruder.stats().is_err(), "wrong-token connection is closed");
+
+    // Requests before the handshake are rejected, connection stays up.
+    let mut hasty = Client::connect_addr(&addr).expect("connect");
+    assert!(matches!(
+        hasty.stats(),
+        Err(ClientError::Server(m)) if m.contains("authentication required")
+    ));
+    hasty.hello("sesame").expect("handshake after a rejection");
+    hasty.stats().expect("authenticated requests flow");
+
+    // The per-client quota bites on the third submission.
+    let id1 = hasty
+        .submit_source("q1", source.clone(), JobSpec::default())
+        .expect("first submit");
+    let id2 = hasty
+        .submit_source("q2", source.clone(), JobSpec::default())
+        .expect("second submit");
+    assert!(matches!(
+        hasty.submit_source("q3", source.clone(), JobSpec::default()),
+        Err(ClientError::Server(m)) if m.contains("quota")
+    ));
+    assert_eq!(hasty.wait(id1, WAIT).unwrap().status, JobStatus::Done);
+    assert_eq!(hasty.wait(id2, WAIT).unwrap().status, JobStatus::Done);
+    // A fresh connection gets a fresh quota.
+    let mut next = Client::connect_addr(&addr).unwrap();
+    next.hello("sesame").unwrap();
+    let id3 = next.submit_source("q3", source, JobSpec::default()).unwrap();
+    assert_eq!(next.wait(id3, WAIT).unwrap().status, JobStatus::Done);
+
+    // Cancelling a terminal job is an idempotent no-op; unknown ids
+    // are errors.
+    next.cancel(id3).expect("terminal cancel is a no-op");
+    assert_eq!(next.status(id3).unwrap().status, JobStatus::Done);
+    assert!(next.cancel(pitchfork::JobId::from_u64(999)).is_err());
+
+    next.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn cancelling_a_running_job_stops_it_cooperatively() {
+    let _guard = lock();
+    let session = SessionBuilder::new().v1_mode(16).build().unwrap();
+    let mut svc = SessionService::new(session);
+    let (p, cfg) = fig1();
+    let id = svc.submit(Job::new("doomed", p, cfg));
+    let prepared = svc.begin_next().expect("queued job");
+    assert_eq!(svc.status(id), Some(JobStatus::Running));
+    // Cancel while the job is mid-run: the explorer observes the flag
+    // at its next budget check and stops with a truncated report.
+    assert_eq!(svc.monitor().request_cancel(id), Some(JobStatus::Running));
+    svc.finish(prepared.run());
+    assert_eq!(svc.status(id), Some(JobStatus::Cancelled));
+    let rec = svc.record(id).expect("record");
+    assert!(
+        rec.report.expect("cancelled jobs keep their partial report").stats.truncated,
+        "a cancelled exploration reports as truncated"
+    );
+    let stats = svc.stats();
+    assert_eq!(stats.jobs_cancelled, 1);
+    assert_eq!(stats.jobs_done, 0, "cancelled jobs do not count as done");
+}
+
+#[test]
+fn seed_warm_starts_a_daemon_over_the_wire() {
+    let _guard = lock();
+    // Produce a genuine snapshot: analyze fig1, save the cache.
+    let cache = temp_path("seed_src", "cache");
+    let _ = std::fs::remove_file(&cache);
+    let mut donor = SessionBuilder::new().v1_mode(16).cache(&cache).build().unwrap();
+    let (p, cfg) = fig1();
+    let _ = donor.analyze_symbolic(&p, &cfg, &[RA]);
+    donor.save().expect("save snapshot").expect("snapshot written");
+    let snapshot = std::fs::read(&cache).expect("read snapshot bytes");
+
+    let server = serve_tcp(ServerOptions::default());
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect_addr(&addr).unwrap();
+    // Garbage is rejected without poisoning the connection.
+    assert!(matches!(client.seed(b"not a snapshot"), Err(ClientError::Server(_))));
+    // The real snapshot hydrates; the daemon's stats carry the exact
+    // import counts the response reported.
+    let (nodes, verdicts) = client.seed(&snapshot).expect("seed");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.seed_nodes_added, nodes);
+    assert_eq!(stats.seed_verdicts_imported, verdicts);
+    // A post-seed submission runs against the hydrated memo/arena and
+    // still answers with the canonical verdict.
+    let id = client
+        .submit_source(
+            "fig1",
+            fig1_source(),
+            JobSpec {
+                symbolic: vec![RA],
+                ..JobSpec::default()
+            },
+        )
+        .unwrap();
+    let view = client.wait(id, WAIT).unwrap();
+    assert_eq!(view.status, JobStatus::Done);
+    assert!(view.verdict.unwrap().is_insecure());
+
+    client.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn coordinator_merges_fleet_verdicts_byte_identically() {
+    let _guard = lock();
+    let options = ServerOptions {
+        token: Some("fleet".to_string()),
+        max_jobs_per_client: 0,
+    };
+    let s1 = serve_tcp(options.clone());
+    let s2 = serve_tcp(options);
+    let manifest: Vec<ManifestEntry> = (0..5)
+        .map(|i| ManifestEntry {
+            name: format!("fig1-{i}.sasm"),
+            source: fig1_source(),
+        })
+        .collect();
+    // Single-process baseline: the same entries through a plain
+    // session, rendered with the shared report-line formatter.
+    let baseline: Vec<String> = manifest
+        .iter()
+        .map(|entry| {
+            let mut session = SessionBuilder::new().v1_mode(16).build().unwrap();
+            let (p, cfg) = fig1();
+            let report = session.analyze_symbolic(&p, &cfg, &[RA]);
+            fleet::report_line(
+                &entry.name,
+                report.verdict(),
+                report.stats.states,
+                report.stats.schedules,
+                report.stats.strategy,
+                report.stats.truncated,
+            )
+        })
+        .collect();
+    let fleet_options = FleetOptions {
+        workers: vec![s1.local_addr().to_string(), s2.local_addr().to_string()],
+        token: Some("fleet".to_string()),
+        spec: JobSpec {
+            symbolic: vec![RA],
+            ..JobSpec::default()
+        },
+        ..FleetOptions::default()
+    };
+    let progress = Mutex::new(Vec::new());
+    let report = fleet::run_fleet(&manifest, &fleet_options, |line| {
+        progress.lock().unwrap().push(line);
+    })
+    .expect("fleet run");
+    assert_eq!(report.failed(), 0, "outcomes: {:?}", report.outcomes);
+    let merged: Vec<String> = report
+        .outcomes
+        .iter()
+        .map(|o| o.line.clone().expect("completed entry"))
+        .collect();
+    assert_eq!(
+        merged, baseline,
+        "fleet verdict lines must be byte-identical to batch mode, in manifest order"
+    );
+    assert_eq!(report.flagged(), manifest.len(), "fig1 flags everywhere");
+
+    for server in [&s1, &s2] {
+        let mut c = Client::connect_addr(server.local_addr()).unwrap();
+        c.hello("fleet").unwrap();
+        c.shutdown().unwrap();
+    }
+    s1.wait();
+    s2.wait();
+}
+
+#[test]
+fn coordinator_survives_a_worker_dying_mid_run() {
+    let _guard = lock();
+    let survivor = serve_tcp(ServerOptions::default());
+    // A fake worker that accepts exactly one connection, then goes
+    // away for good: first the listener closes (no reconnects), then
+    // the accepted connection drops mid-conversation (EOF on the
+    // in-flight entry).
+    let fake = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake worker");
+    let fake_addr = fake.local_addr().unwrap().to_string();
+    let killer = std::thread::spawn(move || {
+        let accepted = fake.accept().map(|(conn, _)| conn);
+        drop(fake);
+        if let Ok(conn) = accepted {
+            // Give the coordinator a moment to send its submit into
+            // the doomed connection.
+            std::thread::sleep(Duration::from_millis(30));
+            drop(conn);
+        }
+    });
+    let manifest: Vec<ManifestEntry> = (0..6)
+        .map(|i| ManifestEntry {
+            name: format!("fig1-{i}.sasm"),
+            source: fig1_source(),
+        })
+        .collect();
+    let fleet_options = FleetOptions {
+        workers: vec![survivor.local_addr().to_string(), fake_addr],
+        spec: JobSpec {
+            symbolic: vec![RA],
+            ..JobSpec::default()
+        },
+        ..FleetOptions::default()
+    };
+    let progress = Mutex::new(Vec::new());
+    let report = fleet::run_fleet(&manifest, &fleet_options, |line| {
+        progress.lock().unwrap().push(line);
+    })
+    .expect("fleet run");
+    killer.join().unwrap();
+    // Every entry completed despite the dead worker: whatever the fake
+    // took was requeued to the survivor.
+    assert_eq!(report.failed(), 0, "outcomes: {:?}", report.outcomes);
+    assert!(
+        report.outcomes.iter().all(|o| o.line.is_some() && o.worker == Some(0)),
+        "all verdicts come from the survivor: {:?}",
+        report.outcomes
+    );
+
+    let mut c = Client::connect_addr(survivor.local_addr()).unwrap();
+    c.shutdown().unwrap();
+    survivor.wait();
 }

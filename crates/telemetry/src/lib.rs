@@ -179,6 +179,10 @@ pub struct Histogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Exemplar: the job id supplied with the max observation (0 =
+    /// none — job ids start at 1), so a p99/max spike links back to a
+    /// concrete submission.
+    max_job: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -188,6 +192,7 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            max_job: AtomicU64::new(0),
         }
     }
 }
@@ -196,10 +201,25 @@ impl Histogram {
     /// Record one observation of `ns` nanoseconds.
     #[inline]
     pub fn observe_ns(&self, ns: u64) {
+        self.observe_ns_tagged(ns, 0);
+    }
+
+    /// Record one observation of `ns` nanoseconds tagged with the job
+    /// id it came from: when this observation is the new maximum, the
+    /// family's exemplar follows it. (The untagged form passes job 0 =
+    /// "no exemplar", keeping the invariant that `max_job` always
+    /// describes the max observation.)
+    #[inline]
+    pub fn observe_ns_tagged(&self, ns: u64, job: u64) {
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let prev = self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        if ns >= prev {
+            // Benign race: a concurrent equal-or-larger observation may
+            // overwrite; either exemplar is a genuine max-tier sample.
+            self.max_job.store(job, Ordering::Relaxed);
+        }
     }
 
     /// Record one observation of a `Duration`.
@@ -209,8 +229,16 @@ impl Histogram {
     }
 
     /// Merge a batch of pre-bucketed observations (a [`LocalHist`]
-    /// flush) in one pass.
-    pub fn merge(&self, buckets: &[u64; BUCKETS], count: u64, sum_ns: u64, max_ns: u64) {
+    /// flush) in one pass. `max_job` is the exemplar tag of the
+    /// batch's `max_ns` observation.
+    pub fn merge(
+        &self,
+        buckets: &[u64; BUCKETS],
+        count: u64,
+        sum_ns: u64,
+        max_ns: u64,
+        max_job: u64,
+    ) {
         if count == 0 {
             return;
         }
@@ -221,7 +249,10 @@ impl Histogram {
         }
         self.count.fetch_add(count, Ordering::Relaxed);
         self.sum_ns.fetch_add(sum_ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(max_ns, Ordering::Relaxed);
+        let prev = self.max_ns.fetch_max(max_ns, Ordering::Relaxed);
+        if max_ns >= prev {
+            self.max_job.store(max_job, Ordering::Relaxed);
+        }
     }
 
     /// Total observations recorded.
@@ -239,6 +270,7 @@ impl Histogram {
             value: self.count.load(Ordering::Relaxed),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
             max_ns: self.max_ns.load(Ordering::Relaxed),
+            max_job: self.max_job.load(Ordering::Relaxed),
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
         }
     }
@@ -255,6 +287,7 @@ pub struct LocalHist {
     count: u64,
     sum_ns: u64,
     max_ns: u64,
+    max_job: u64,
     flush_every: u64,
 }
 
@@ -273,6 +306,7 @@ impl LocalHist {
             count: 0,
             sum_ns: 0,
             max_ns: 0,
+            max_job: 0,
             flush_every: every,
         }
     }
@@ -280,10 +314,20 @@ impl LocalHist {
     /// Record one observation of `ns` nanoseconds.
     #[inline]
     pub fn record_ns(&mut self, ns: u64) {
+        self.record_ns_tagged(ns, 0);
+    }
+
+    /// Record one observation tagged with the job id it came from
+    /// (see [`Histogram::observe_ns_tagged`]).
+    #[inline]
+    pub fn record_ns_tagged(&mut self, ns: u64, job: u64) {
         self.buckets[bucket_of(ns)] += 1;
         self.count += 1;
         self.sum_ns = self.sum_ns.saturating_add(ns);
-        self.max_ns = self.max_ns.max(ns);
+        if ns >= self.max_ns {
+            self.max_ns = ns;
+            self.max_job = job;
+        }
         if self.flush_every != 0 && self.count >= self.flush_every {
             self.flush();
         }
@@ -300,11 +344,13 @@ impl LocalHist {
         if self.count == 0 {
             return;
         }
-        self.target.merge(&self.buckets, self.count, self.sum_ns, self.max_ns);
+        self.target
+            .merge(&self.buckets, self.count, self.sum_ns, self.max_ns, self.max_job);
         self.buckets = [0; BUCKETS];
         self.count = 0;
         self.sum_ns = 0;
         self.max_ns = 0;
+        self.max_job = 0;
     }
 }
 
@@ -364,6 +410,9 @@ pub struct MetricSnapshot {
     pub sum_ns: u64,
     /// Histogram: largest observed value in nanoseconds.
     pub max_ns: u64,
+    /// Histogram: exemplar job id of the `max_ns` observation (`0` =
+    /// untagged; job ids start at 1).
+    pub max_job: u64,
     /// Histogram bucket counts (non-cumulative), `[]` otherwise.
     pub buckets: Vec<u64>,
 }
@@ -443,6 +492,7 @@ impl MetricsRegistry {
                 value: c.get(),
                 sum_ns: 0,
                 max_ns: 0,
+                max_job: 0,
                 buckets: Vec::new(),
             });
         }
@@ -453,6 +503,7 @@ impl MetricsRegistry {
                 value: g.get(),
                 sum_ns: 0,
                 max_ns: 0,
+                max_job: 0,
                 buckets: Vec::new(),
             });
         }
@@ -506,6 +557,12 @@ pub mod names {
     pub const JOB_RUN: &str = "job_run_ns";
     /// Per-job events dropped by the bounded retention window.
     pub const EVENTS_DROPPED: &str = "job_events_dropped";
+    /// Arena nodes imported from warm-start snapshots shipped over
+    /// `seed` requests.
+    pub const SEED_NODES_ADDED: &str = "seed_nodes_added";
+    /// Memoised verdicts imported from warm-start snapshots shipped
+    /// over `seed` requests.
+    pub const SEED_VERDICTS_IMPORTED: &str = "seed_verdicts_imported";
 
     /// Nanoseconds worker `i` spent expanding states.
     pub fn worker_busy(i: usize) -> String {
@@ -520,6 +577,23 @@ pub mod names {
     /// Nanoseconds worker `i` spent parked on the idle condvar.
     pub fn worker_parked(i: usize) -> String {
         format!("worker_parked_ns{{worker=\"{i}\"}}")
+    }
+
+    /// Corpus shards the fleet coordinator dispatched to worker `i`.
+    pub fn fleet_dispatch(i: usize) -> String {
+        format!("fleet_dispatch_total{{worker=\"{i}\"}}")
+    }
+
+    /// Shard attempts the coordinator retried after worker `i` died or
+    /// errored.
+    pub fn fleet_retry(i: usize) -> String {
+        format!("fleet_retry_total{{worker=\"{i}\"}}")
+    }
+
+    /// End-to-end shard latency (submit → terminal status) on worker
+    /// `i`, as observed by the coordinator.
+    pub fn fleet_shard(i: usize) -> String {
+        format!("fleet_shard_ns{{worker=\"{i}\"}}")
     }
 }
 
@@ -553,8 +627,9 @@ fn series(family: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>)
 /// Render a registry snapshot in Prometheus text exposition format.
 /// Histograms become cumulative `_bucket{le="..."}` series plus `_sum`
 /// and `_count`, each preceded by a `# name p50=... p90=... p99=...
-/// max=... mean=...` summary comment; counters and gauges are single
-/// sample lines. Output order follows the (sorted) snapshot, so the
+/// max=... mean=...` summary comment (with a ` max_job=N` exemplar tag
+/// when the max observation was recorded with a job id); counters and
+/// gauges are single sample lines. Output order follows the (sorted) snapshot, so the
 /// format is stable run to run.
 pub fn render_prometheus(snaps: &[MetricSnapshot]) -> String {
     let mut out = String::new();
@@ -570,9 +645,14 @@ pub fn render_prometheus(snaps: &[MetricSnapshot]) -> String {
                 let _ = writeln!(out, "{} {}", s.name, s.value);
             }
             MetricKind::Histogram => {
+                let exemplar = if s.max_job != 0 {
+                    format!(" max_job={}", s.max_job)
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(
                     out,
-                    "# {} p50={} p90={} p99={} max={} mean={} count={}",
+                    "# {} p50={} p90={} p99={} max={} mean={} count={}{}",
                     s.name,
                     s.percentile_ns(0.50),
                     s.percentile_ns(0.90),
@@ -580,6 +660,7 @@ pub fn render_prometheus(snaps: &[MetricSnapshot]) -> String {
                     s.max_ns,
                     s.mean_ns(),
                     s.value,
+                    exemplar,
                 );
                 let mut cumulative = 0u64;
                 let last_nonzero = s.buckets.iter().rposition(|&n| n != 0).unwrap_or(0);
@@ -784,6 +865,44 @@ mod tests {
         let s = target.snapshot("t");
         assert_eq!(s.sum_ns, 300);
         assert_eq!(s.max_ns, 200);
+    }
+
+    #[test]
+    fn max_observation_carries_its_job_exemplar() {
+        let h = Histogram::default();
+        h.observe_ns_tagged(100, 3);
+        h.observe_ns_tagged(900, 7);
+        h.observe_ns_tagged(500, 11);
+        let s = h.snapshot("t");
+        assert_eq!(s.max_ns, 900);
+        assert_eq!(s.max_job, 7, "exemplar follows the max observation");
+        // Untagged observations report job 0 = no exemplar.
+        h.observe_ns(5_000);
+        assert_eq!(h.snapshot("t").max_job, 0);
+        // The exposition summary shows the tag only when nonzero.
+        let tagged = Histogram::default();
+        tagged.observe_ns_tagged(42, 9);
+        let text = render_prometheus(&[tagged.snapshot("job_run_ns")]);
+        assert!(text.contains("max_job=9"), "missing exemplar in:\n{text}");
+        let text = render_prometheus(&[h.snapshot("t")]);
+        assert!(!text.contains("max_job"), "untagged exemplar leaked into:\n{text}");
+    }
+
+    #[test]
+    fn local_hist_batches_preserve_the_exemplar() {
+        let target: &'static Histogram = Box::leak(Box::new(Histogram::default()));
+        let mut local = LocalHist::new(target);
+        local.record_ns_tagged(300, 2);
+        local.record_ns_tagged(800, 5);
+        local.record_ns_tagged(100, 8);
+        local.flush();
+        let s = target.snapshot("t");
+        assert_eq!(s.max_ns, 800);
+        assert_eq!(s.max_job, 5);
+        // A later batch with a smaller max does not steal the exemplar.
+        local.record_ns_tagged(400, 13);
+        local.flush();
+        assert_eq!(target.snapshot("t").max_job, 5);
     }
 
     #[test]
