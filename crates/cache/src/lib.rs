@@ -71,5 +71,5 @@ pub mod codec;
 pub mod snapshot;
 mod store;
 
-pub use snapshot::{Snapshot, SnapshotError, FORMAT_VERSION};
-pub use store::{load, load_if_exists, save, CacheError, LoadStats, SaveStats};
+pub use snapshot::{HydrateStats, PruneStats, Snapshot, SnapshotError, FORMAT_VERSION};
+pub use store::{load, load_if_exists, save, save_rooted, CacheError, LoadStats, SaveStats};

@@ -29,8 +29,8 @@
 use crate::codec::{fnv1a, Reader, Writer};
 use sct_core::OpCode;
 use sct_symx::{
-    export_all, import_arena, import_solver_memo, ArenaExport, ArenaImportError, ArenaImportStats,
-    ExportedNode, MemoExport, MemoImportStats, Model, VarId, Verdict,
+    export_all, export_all_rooted, import_arena, import_solver_memo, ArenaExport, ArenaImportError,
+    ArenaImportStats, ExportedNode, ExprRef, MemoExport, MemoImportStats, Model, VarId, Verdict,
 };
 use std::fmt;
 
@@ -162,6 +162,16 @@ pub struct HydrateStats {
     pub memo: MemoImportStats,
 }
 
+/// What reachability pruning dropped and kept (see
+/// [`Snapshot::capture_rooted`] / [`Snapshot::prune_unreachable`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PruneStats {
+    /// Nodes reachable from the root set, kept in the pruned snapshot.
+    pub kept_nodes: usize,
+    /// Unreachable nodes dropped by the prune.
+    pub pruned_nodes: usize,
+}
+
 impl Snapshot {
     /// Capture the current process-wide arena and verdict memo. The
     /// two are exported under one set of interner read guards
@@ -170,6 +180,100 @@ impl Snapshot {
     pub fn capture() -> Snapshot {
         let (arena, memo) = export_all();
         Snapshot { arena, memo }
+    }
+
+    /// Capture a **reachability-pruned** snapshot: export the arena and
+    /// memo consistently (as [`Snapshot::capture`] does), then keep only
+    /// nodes reachable from the root set — every memoized verdict's key
+    /// expressions plus the caller's live `roots` — remapping ids and
+    /// dropping everything else. A months-old cache accumulates every
+    /// dead expression ever interned; the pruned snapshot carries only
+    /// what a warm start can actually use, and hydrates to the same
+    /// verdict memo (the pruned-vs-unpruned equivalence test pins this).
+    ///
+    /// Stale-epoch roots are skipped, not errors.
+    pub fn capture_rooted(roots: &[ExprRef]) -> (Snapshot, PruneStats) {
+        let (arena, memo, positions) = export_all_rooted(roots);
+        Snapshot { arena, memo }.prune_unreachable(&positions)
+    }
+
+    /// The pure pruning pass behind [`Snapshot::capture_rooted`]: keep
+    /// the transitive children of the memo keys and of `extra_roots`
+    /// (positions into this snapshot's node table; out-of-range entries
+    /// are ignored), remap indices, and drop app-cache pairs whose
+    /// endpoints did not both survive. Node order — and with it the
+    /// children-precede-parents invariant — is preserved.
+    pub fn prune_unreachable(&self, extra_roots: &[u32]) -> (Snapshot, PruneStats) {
+        let n = self.arena.nodes.len();
+        let mut keep = vec![false; n];
+        for (_, key, _) in &self.memo.entries {
+            for &id in key {
+                if (id as usize) < n {
+                    keep[id as usize] = true;
+                }
+            }
+        }
+        for &root in extra_roots {
+            if (root as usize) < n {
+                keep[root as usize] = true;
+            }
+        }
+        // Children precede parents, so one descending pass reaches the
+        // whole closure: by the time a position is visited, every
+        // parent that could mark it already has.
+        for pos in (0..n).rev() {
+            if keep[pos] {
+                if let ExportedNode::App(_, args) = &self.arena.nodes[pos] {
+                    for &c in args {
+                        keep[c as usize] = true;
+                    }
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; n];
+        let mut nodes = Vec::new();
+        for (pos, node) in self.arena.nodes.iter().enumerate() {
+            if !keep[pos] {
+                continue;
+            }
+            remap[pos] = nodes.len() as u32;
+            nodes.push(match node {
+                ExportedNode::App(op, args) => ExportedNode::App(
+                    *op,
+                    args.iter().map(|&c| remap[c as usize]).collect(),
+                ),
+                other => other.clone(),
+            });
+        }
+        let app_cache = self
+            .arena
+            .app_cache
+            .iter()
+            .filter(|&&(raw, simplified)| keep[raw as usize] && keep[simplified as usize])
+            .map(|&(raw, simplified)| (remap[raw as usize], remap[simplified as usize]))
+            .collect();
+        let entries = self
+            .memo
+            .entries
+            .iter()
+            .map(|(tag, key, verdict)| {
+                // Remapping is monotonic, so canonical (sorted) keys
+                // stay sorted.
+                let key = key.iter().map(|&id| remap[id as usize]).collect();
+                (*tag, key, verdict.clone())
+            })
+            .collect();
+        let stats = PruneStats {
+            kept_nodes: nodes.len(),
+            pruned_nodes: n - nodes.len(),
+        };
+        (
+            Snapshot {
+                arena: ArenaExport { nodes, app_cache },
+                memo: MemoExport { entries },
+            },
+            stats,
+        )
     }
 
     /// `true` when the snapshot holds no nodes and no verdicts.
@@ -402,6 +506,68 @@ mod tests {
             assert_eq!((t1, k1), (t2, k2));
             assert_eq!(v1, v2);
         }
+    }
+
+    #[test]
+    fn prune_drops_unreachable_nodes_and_remaps() {
+        // Table: 0=Const(4), 1=Var(0), 2=Gt(0,1) [memo key],
+        // 3=Add(0,0,1) [unreachable from the memo].
+        let snap = sample_snapshot();
+        let only_first_memo = Snapshot {
+            arena: snap.arena.clone(),
+            memo: MemoExport {
+                entries: vec![snap.memo.entries[0].clone()],
+            },
+        };
+        let (pruned, stats) = only_first_memo.prune_unreachable(&[]);
+        assert_eq!(stats.kept_nodes, 3);
+        assert_eq!(stats.pruned_nodes, 1);
+        assert_eq!(
+            pruned.arena.nodes,
+            vec![
+                ExportedNode::Const(4),
+                ExportedNode::Var(0),
+                ExportedNode::App(OpCode::Gt, vec![0, 1]),
+            ]
+        );
+        // The (3, 3) app-cache pair died with node 3; (2, 2) survives.
+        assert_eq!(pruned.arena.app_cache, vec![(2, 2)]);
+        assert_eq!(pruned.memo.entries.len(), 1);
+        assert_eq!(pruned.memo.entries[0].1, vec![2]);
+        // A pruned snapshot is still a valid snapshot.
+        let bytes = pruned.encode();
+        assert!(Snapshot::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn prune_keeps_extra_roots_alive() {
+        let snap = Snapshot {
+            arena: sample_snapshot().arena,
+            memo: MemoExport::default(),
+        };
+        let (pruned, stats) = snap.prune_unreachable(&[3]);
+        // Node 3 = Add(0, 0, 1) keeps its children 0 and 1; node 2 dies.
+        assert_eq!(stats.kept_nodes, 3);
+        assert_eq!(stats.pruned_nodes, 1);
+        assert_eq!(
+            pruned.arena.nodes,
+            vec![
+                ExportedNode::Const(4),
+                ExportedNode::Var(0),
+                ExportedNode::App(OpCode::Add, vec![0, 0, 1]),
+            ]
+        );
+        assert_eq!(pruned.arena.app_cache, vec![(2, 2)]);
+    }
+
+    #[test]
+    fn prune_with_all_memo_keys_is_lossless_for_the_memo() {
+        let snap = sample_snapshot();
+        let (pruned, stats) = snap.prune_unreachable(&[]);
+        // Both memo keys (nodes 2 and 3) root the whole table here.
+        assert_eq!(stats.pruned_nodes, 0);
+        assert_eq!(pruned.arena.nodes, snap.arena.nodes);
+        assert_eq!(pruned.memo.entries.len(), snap.memo.entries.len());
     }
 
     #[test]

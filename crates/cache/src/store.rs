@@ -87,7 +87,7 @@ impl fmt::Display for LoadStats {
     }
 }
 
-/// What a [`save`] wrote.
+/// What a [`save`] or [`save_rooted`] wrote.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SaveStats {
     /// Nodes written.
@@ -99,8 +99,16 @@ pub struct SaveStats {
     /// [`sct_symx::set_solver_memo_capacity`]) — what the snapshot does
     /// *not* carry because the LRU cap dropped it first.
     pub verdicts_evicted: u64,
-    /// File size in bytes.
+    /// File size in bytes as written (post-pruning for
+    /// [`save_rooted`]).
     pub bytes: usize,
+    /// Unreachable nodes dropped by reachability pruning (0 for the
+    /// unpruned [`save`]).
+    pub pruned_nodes: usize,
+    /// Encoded size the snapshot would have had without pruning: the
+    /// on-disk win is `unpruned_bytes - bytes`. Equal to `bytes` for
+    /// the unpruned [`save`].
+    pub unpruned_bytes: usize,
 }
 
 impl fmt::Display for SaveStats {
@@ -109,7 +117,15 @@ impl fmt::Display for SaveStats {
             f,
             "{} nodes, {} verdicts ({} evicted), {} bytes",
             self.nodes, self.verdicts, self.verdicts_evicted, self.bytes
-        )
+        )?;
+        if self.pruned_nodes > 0 {
+            write!(
+                f,
+                " [pruned {} unreachable nodes, {} bytes unpruned]",
+                self.pruned_nodes, self.unpruned_bytes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -152,10 +168,54 @@ pub fn load_if_exists(path: &Path) -> Result<Option<LoadStats>, CacheError> {
 /// over the target, so a crashed writer never leaves a torn cache for
 /// the next run to trip on.
 pub fn save(path: &Path) -> Result<SaveStats, CacheError> {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
     let snapshot = Snapshot::capture();
     let bytes = snapshot.encode();
+    write_atomic(path, &bytes)?;
+    Ok(SaveStats {
+        nodes: snapshot.arena.nodes.len(),
+        verdicts: snapshot.memo.entries.len(),
+        verdicts_evicted: sct_symx::solver_memo_stats().evicted,
+        bytes: bytes.len(),
+        pruned_nodes: 0,
+        unpruned_bytes: bytes.len(),
+    })
+}
+
+/// [`save`], but through [`Snapshot::capture_rooted`]: only nodes
+/// reachable from the memoized verdicts' keys and the caller's live
+/// `roots` are written. The returned [`SaveStats`] reports both the
+/// pruned size actually on disk and the size the unpruned snapshot
+/// would have encoded to, so the win is visible in stats output and
+/// bench artifacts.
+pub fn save_rooted(path: &Path, roots: &[sct_symx::ExprRef]) -> Result<SaveStats, CacheError> {
+    let (snapshot, prune) = Snapshot::capture_rooted(roots);
+    let bytes = snapshot.encode();
+    // Pricing the win needs the unpruned encoding too; encoding is
+    // linear and saves are rare (retirement / shutdown), so just
+    // capture and encode the full snapshot when anything was pruned.
+    let unpruned_bytes = if prune.pruned_nodes == 0 {
+        bytes.len()
+    } else {
+        Snapshot::capture().encode().len()
+    };
+    write_atomic(path, &bytes)?;
+    Ok(SaveStats {
+        nodes: snapshot.arena.nodes.len(),
+        verdicts: snapshot.memo.entries.len(),
+        verdicts_evicted: sct_symx::solver_memo_stats().evicted,
+        bytes: bytes.len(),
+        pruned_nodes: prune.pruned_nodes,
+        unpruned_bytes,
+    })
+}
+
+/// Write `bytes` to `path` atomically: a uniquely named temporary
+/// sibling first (per-process, so concurrent savers to the same path
+/// do not clobber each other's half-written bytes), renamed over the
+/// target, so a crashed writer never leaves a torn cache behind.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CacheError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(
         ".{}.{}.tmp",
@@ -168,15 +228,10 @@ pub fn save(path: &Path) -> Result<SaveStats, CacheError> {
             std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(&tmp, &bytes)?;
+    std::fs::write(&tmp, bytes)?;
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(e.into());
     }
-    Ok(SaveStats {
-        nodes: snapshot.arena.nodes.len(),
-        verdicts: snapshot.memo.entries.len(),
-        verdicts_evicted: sct_symx::solver_memo_stats().evicted,
-        bytes: bytes.len(),
-    })
+    Ok(())
 }

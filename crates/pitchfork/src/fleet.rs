@@ -70,6 +70,18 @@ pub struct FleetOptions {
     /// How long to wait for one entry's terminal status before
     /// treating the worker as wedged and requeueing.
     pub job_timeout: Duration,
+    /// Transport-level failures one worker may burn across the whole
+    /// run — failed dispatches and failed reconnects both count —
+    /// before the thread retires and leaves its queue share to the
+    /// survivors. Bounds how long a flapping daemon (reachable, but
+    /// dropping every job) can keep reclaiming requeued entries.
+    /// Minimum 1.
+    pub worker_retry_budget: u32,
+    /// Base delay of the per-worker retry backoff: doubles per
+    /// consecutive failure (capped at 32×) with ±50% deterministic
+    /// jitter, so workers recovering from a shared daemon restart
+    /// don't reconnect in lockstep. Reset by any successful entry.
+    pub retry_backoff: Duration,
 }
 
 impl Default for FleetOptions {
@@ -81,8 +93,28 @@ impl Default for FleetOptions {
             spec: JobSpec::default(),
             max_attempts: 3,
             job_timeout: Duration::from_secs(600),
+            worker_retry_budget: 8,
+            retry_backoff: Duration::from_millis(200),
         }
     }
+}
+
+/// The delay before a worker's next attempt after `consecutive`
+/// failures in a row: exponential (`base * 2^(consecutive-1)`, capped
+/// at 32× base) scaled by a deterministic xorshift jitter in
+/// `[0.5, 1.5)` keyed on the worker id and its failure count — no RNG
+/// dependency, reproducible in tests, and no two workers share a
+/// schedule.
+fn backoff_delay(base: Duration, consecutive: u32, wid: usize, salt: u32) -> Duration {
+    let exp = 1u32 << consecutive.saturating_sub(1).min(5);
+    let mut x = (wid as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((salt as u64) << 17 | 0x243F);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    base.saturating_mul(exp)
+        .mul_f64(0.5 + (x % 1024) as f64 / 1024.0)
 }
 
 /// What happened to one manifest entry.
@@ -252,6 +284,13 @@ fn run_entry(
 /// drains or the daemon is unreachable.
 fn worker_loop(shared: &SharedRun<'_>, wid: usize, addr: &str) {
     let telemetry = sct_telemetry::enabled();
+    let budget = shared.options.worker_retry_budget.max(1);
+    let base = shared.options.retry_backoff;
+    // Transport failures burned so far (the budget's numerator) and
+    // the current failure streak (the backoff exponent; a success
+    // resets it).
+    let mut spent: u32 = 0;
+    let mut streak: u32 = 0;
     let mut client = match prepare_worker(shared, wid, addr, true) {
         Ok(c) => c,
         Err(e) => {
@@ -325,9 +364,12 @@ fn worker_loop(shared: &SharedRun<'_>, wid: usize, addr: &str) {
                     },
                 };
                 shared.record(item.index, outcome);
+                streak = 0;
             }
             Err(e) => {
                 shared.retries.fetch_add(1, Ordering::Relaxed);
+                spent += 1;
+                streak += 1;
                 if telemetry {
                     sct_telemetry::counter(&sct_telemetry::names::fleet_retry(wid)).inc();
                 }
@@ -354,14 +396,34 @@ fn worker_loop(shared: &SharedRun<'_>, wid: usize, addr: &str) {
                     ));
                     shared.requeue(item);
                 }
-                // One reconnect (the daemon may have dropped just this
-                // connection); a dead daemon retires the thread and the
-                // requeued entry goes to the survivors.
-                match prepare_worker(shared, wid, addr, false) {
-                    Ok(c) => client = c,
-                    Err(e) => {
-                        shared.say(format!("worker {wid} ({addr}): dead ({e})"));
+                // Reconnect under the worker's retry budget, backing
+                // off exponentially (with jitter) per consecutive
+                // failure so a recovering daemon isn't hammered in
+                // lockstep. A worker that exhausts the budget — or
+                // whose daemon stays dead through it — retires, and
+                // the requeued entries go to the survivors.
+                loop {
+                    if spent >= budget {
+                        shared.say(format!(
+                            "worker {wid} ({addr}): retry budget exhausted ({budget})"
+                        ));
                         return;
+                    }
+                    let delay = backoff_delay(base, streak, wid, spent);
+                    shared.say(format!(
+                        "worker {wid} ({addr}): backing off {delay:?} (failure {spent}/{budget})"
+                    ));
+                    std::thread::sleep(delay);
+                    match prepare_worker(shared, wid, addr, false) {
+                        Ok(c) => {
+                            client = c;
+                            break;
+                        }
+                        Err(e) => {
+                            shared.say(format!("worker {wid} ({addr}): reconnect failed ({e})"));
+                            spent += 1;
+                            streak += 1;
+                        }
                     }
                 }
             }
@@ -486,6 +548,73 @@ mod tests {
             .map(|q| manifest[q.index].name.as_str())
             .collect();
         assert_eq!(order, ["big", "medium", "small"]);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let base = Duration::from_millis(200);
+        for wid in 0..4 {
+            let mut prev_nominal = 0u128;
+            for streak in 1..=8u32 {
+                let d = backoff_delay(base, streak, wid, streak);
+                let nominal = base.as_millis() << (streak - 1).min(5);
+                // Jitter stays within ±50% of the nominal delay.
+                assert!(
+                    d.as_millis() >= nominal / 2 && d.as_millis() < nominal + nominal / 2,
+                    "worker {wid} streak {streak}: {d:?} outside [{}, {}) ms",
+                    nominal / 2,
+                    nominal + nominal / 2,
+                );
+                // The nominal schedule is monotone and caps at 32x.
+                assert!(nominal >= prev_nominal);
+                assert!(nominal <= base.as_millis() * 32);
+                prev_nominal = nominal;
+            }
+        }
+        // Deterministic: same inputs, same delay.
+        assert_eq!(backoff_delay(base, 3, 1, 5), backoff_delay(base, 3, 1, 5));
+        // Distinct workers on the same streak don't share a schedule.
+        assert_ne!(backoff_delay(base, 3, 0, 5), backoff_delay(base, 3, 1, 5));
+    }
+
+    #[test]
+    fn retry_budget_retires_a_flapping_worker() {
+        // A daemon that accepts connections and then hangs up before
+        // answering: every dispatch fails, the connection "recovers",
+        // and without a budget the worker would reclaim its requeued
+        // entry forever. The budget must retire it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let flapping = std::thread::spawn(move || {
+            // Accept-and-drop until the coordinator gives up.
+            while let Ok((stream, _)) = listener.accept() {
+                drop(stream);
+            }
+        });
+        let manifest = [ManifestEntry {
+            name: "a.sasm".to_string(),
+            source: ".entry l\nl:\n    fence\n    ret\n".to_string(),
+        }];
+        let options = FleetOptions {
+            workers: vec![addr.to_string()],
+            max_attempts: u32::MAX, // never fail the entry; only the budget can end this
+            worker_retry_budget: 3,
+            retry_backoff: Duration::from_millis(1),
+            ..FleetOptions::default()
+        };
+        let lines = Mutex::new(Vec::new());
+        let report = run_fleet(&manifest, &options, |l| {
+            lines.lock().unwrap().push(l);
+        })
+        .unwrap();
+        drop(flapping); // detached; the listener dies with the test process
+        assert_eq!(report.failed(), 1);
+        let lines = lines.into_inner().unwrap();
+        assert!(
+            lines.iter().any(|l| l.contains("retry budget exhausted")),
+            "progress missing the budget notice: {lines:?}"
+        );
+        assert!(report.retries >= 1);
     }
 
     #[test]

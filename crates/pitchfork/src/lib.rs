@@ -134,6 +134,56 @@
 //! running job cooperatively — its status becomes
 //! [`service::JobStatus::Cancelled`].
 //!
+//! # Incremental analysis (CI gate)
+//!
+//! The [`incremental`] module turns re-analysis of a mostly-unchanged
+//! corpus from linear to proportional-to-the-diff. Each entry gets a
+//! **fingerprint** ([`incremental::entry_fingerprint`]): a hash of its
+//! basic-block partition ([`incremental::block_hashes`]) combined with
+//! a [`incremental::config_tag`] over every option that can change a
+//! verdict — bound, mode, strategy, budgets, symbolized registers —
+//! and deliberately *excluding* `threads` and `steal_seed`, which the
+//! determinism contract guarantees never do. A passing run persists a
+//! [`BaselineManifest`] (one line-JSON record per entry: fingerprint,
+//! verdict, report line, exploration stats) next to a
+//! **reachability-pruned** cache snapshot
+//! (`sct_cache::save_rooted` keeps only arena nodes reachable from
+//! the memoized verdicts, so a months-old baseline doesn't ship every
+//! dead expression ever interned; the pruned-vs-unpruned equivalence
+//! suite pins that both hydrate to identical verdicts).
+//!
+//! [`AnalysisSession::analyze_incremental`] diffs a batch against the
+//! baseline ([`incremental::plan_entry`] classifies each entry
+//! [`EntryPlan::Unchanged`] / [`EntryPlan::Dirty`] / [`EntryPlan::New`]),
+//! replays unchanged entries with **zero exploration** — their report
+//! lines are carried over byte-for-byte — and re-explores only the
+//! rest against the warm memo. The CLI packaging is a CI gate:
+//!
+//! ```text
+//! $ pitchfork ci-gate --baseline .sct-baseline --bound 16 --symbolic ra \
+//!       crates/litmus/corpus/*.sasm
+//! crates/litmus/corpus/spectre_v1.sasm: VIOLATION (12 states, 3 schedules explored, strategy lifo)
+//! ...
+//! ci-gate: 23 entries — 22 replayed, 1 re-analyzed; 12 states explored, 374 skipped (96.9%)
+//! REGRESSION: crates/litmus/corpus/spectre_v1_fenced.sasm flipped secure (within bound) -> VIOLATION
+//! ci-gate: FAIL — 1 regression(s); baseline not promoted
+//! ```
+//!
+//! Exit 0 promotes the refreshed baseline; exit 3 means an entry
+//! **flipped to insecure** (new insecure entries don't flip — there is
+//! nothing to regress from); exit 2 is an operational error. With
+//! `--connect` the same gate runs against a daemon:
+//! [`Request::SubmitDiff`] ships each unchanged entry's
+//! [`JobBaseline`] alongside the normal submission (on the wire it is
+//! a `submit` line with a `baseline` object, so pre-diff daemons just
+//! run the job in full), and the daemon recomputes the fingerprint
+//! from its *resolved* options before replaying — a stale baseline
+//! costs a re-analysis, never a wrong verdict. Replays surface as
+//! `incr_reuse_total` / `incr_reanalyzed_total` counters, pruning as
+//! `incr_prune_nodes`; `pitchfork metrics --watch N` re-scrapes every
+//! N seconds and renders only what moved
+//! ([`sct_telemetry::render_delta`]).
+//!
 //! # Parallel exploration
 //!
 //! Exploration is embarrassingly parallel at the state level: each
@@ -304,6 +354,7 @@ pub mod client;
 pub mod detector;
 pub mod explorer;
 pub mod fleet;
+pub mod incremental;
 pub mod machine;
 pub mod observe;
 pub mod parallel;
@@ -325,6 +376,9 @@ pub use client::{Client, ClientError, JobView};
 pub use detector::Detector;
 pub use detector::DetectorOptions;
 pub use explorer::{Explorer, ExplorerOptions};
+pub use incremental::{
+    BaselineEntry, BaselineManifest, EntryPlan, IncrementalOutcome, IncrementalReport,
+};
 pub use machine::SymMachine;
 pub use observe::{BoxObserver, Event, EventLog, Observer, OwnedEvent};
 pub use protocol::{ProtocolError, Request, Response, WireViolation};
@@ -332,8 +386,8 @@ pub use repair::{insert_fences, repair, suggest_fences, RepairError, Repaired};
 pub use report::{ExploreStats, Report, Verdict, Violation};
 pub use server::Server;
 pub use service::{
-    FinishedJob, Job, JobId, JobMode, JobRecord, JobSpec, JobStatus, PreparedJob, RetirePolicy,
-    ServiceMonitor, ServiceStats, SessionService,
+    FinishedJob, Job, JobBaseline, JobId, JobMode, JobRecord, JobSpec, JobStatus, PreparedJob,
+    RetirePolicy, ServiceMonitor, ServiceStats, SessionService,
 };
 pub use session::{AnalysisSession, SessionBuilder};
 pub use state::SymState;

@@ -22,9 +22,13 @@
 //! pitchfork events   --connect SOCK --job ID
 //! pitchfork cancel   --connect SOCK --job ID
 //! pitchfork stats    --connect SOCK
-//! pitchfork metrics  --connect SOCK
+//! pitchfork metrics  --connect SOCK [--watch SECONDS]
 //! pitchfork retire   --connect SOCK
 //! pitchfork shutdown --connect SOCK
+//!
+//! # incremental CI gate: replay unchanged entries, re-analyze the diff
+//! pitchfork ci-gate --baseline DIR [--connect SOCK] [--mode M] [--bound N]
+//!           [--strategy NAME] [--symbolic ra,rb] [--max-states N] FILE...
 //!
 //! # fleet mode: shard a corpus across workers, merge verdicts
 //! pitchfork coordinate --worker ADDR [--worker ADDR ...] [--token T]
@@ -70,10 +74,15 @@ fn usage() -> ! {
     eprintln!("                 [--bound N] [--strategy NAME] [--threads N] [--symbolic ra,rb]");
     eprintln!("                 [--max-states N] [--verbose] FILE...");
     eprintln!("       pitchfork status|events|cancel --connect SOCK --job ID");
-    eprintln!("       pitchfork stats|metrics|retire|shutdown --connect SOCK");
+    eprintln!("       pitchfork stats|retire|shutdown --connect SOCK");
+    eprintln!("       pitchfork metrics --connect SOCK [--watch SECONDS]");
+    eprintln!("       pitchfork ci-gate --baseline DIR [--connect SOCK] [--mode M]");
+    eprintln!("                 [--bound N] [--strategy NAME] [--threads N]");
+    eprintln!("                 [--symbolic ra,rb] [--max-states N] FILE...");
     eprintln!("       pitchfork coordinate --worker ADDR [--worker ADDR ...] [--token T]");
     eprintln!("                 [--seed CACHE] [--mode M] [--bound N] [--strategy NAME]");
-    eprintln!("                 [--symbolic ra,rb] [--max-states N] [--attempts N] FILE...");
+    eprintln!("                 [--symbolic ra,rb] [--max-states N] [--attempts N]");
+    eprintln!("                 [--retry-budget N] FILE...");
     eprintln!();
     eprintln!("Analyze sct assembly files for speculative constant-time violations.");
     eprintln!("  --bound N        speculation bound (default 20; paper: 250 without");
@@ -96,8 +105,17 @@ fn usage() -> ! {
     eprintln!();
     eprintln!("The metrics verb scrapes the daemon's telemetry registry (latency");
     eprintln!("histograms, per-worker utilization, job queue-wait/run totals) in");
-    eprintln!("Prometheus text exposition format. Set SCT_TELEMETRY=0 to disable");
+    eprintln!("Prometheus text exposition format; --watch N re-scrapes every N");
+    eprintln!("seconds and prints only what moved. Set SCT_TELEMETRY=0 to disable");
     eprintln!("metric collection entirely.");
+    eprintln!();
+    eprintln!("ci-gate re-analyzes a corpus against the baseline saved in --baseline");
+    eprintln!("DIR: entries whose per-entry fingerprint (basic-block hashes + analysis");
+    eprintln!("config) is unchanged replay their recorded verdict lines byte-identically");
+    eprintln!("with zero exploration; dirty or new entries re-run against the baseline's");
+    eprintln!("warm-start snapshot. Exit 0 promotes the refreshed baseline, exit 3 means");
+    eprintln!("an entry flipped to insecure (the baseline is left untouched). With");
+    eprintln!("--connect the diff runs daemon-side via baseline-carrying submits.");
     eprintln!();
     eprintln!("Daemon mode (--serve) keeps one session resident: submissions share the");
     eprintln!("hash-consed arena and solver memo across clients, and the epoch-retire");
@@ -498,6 +516,11 @@ struct ClientArgs {
     workers: Vec<String>,
     seed: Option<String>,
     attempts: u32,
+    retry_budget: Option<u32>,
+    // ci-gate-only
+    baseline: Option<String>,
+    // metrics-only
+    watch: Option<u64>,
 }
 
 fn parse_client_args(args: Vec<String>) -> ClientArgs {
@@ -516,6 +539,9 @@ fn parse_client_args(args: Vec<String>) -> ClientArgs {
         workers: Vec::new(),
         seed: None,
         attempts: 3,
+        retry_budget: None,
+        baseline: None,
+        watch: None,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -524,11 +550,28 @@ fn parse_client_args(args: Vec<String>) -> ClientArgs {
             "--token" => out.token = Some(args.next().unwrap_or_else(|| usage())),
             "--worker" => out.workers.push(args.next().unwrap_or_else(|| usage())),
             "--seed" => out.seed = Some(args.next().unwrap_or_else(|| usage())),
+            "--baseline" => out.baseline = Some(args.next().unwrap_or_else(|| usage())),
+            "--watch" => {
+                out.watch = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--attempts" => {
                 out.attempts = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--retry-budget" => {
+                out.retry_budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--max-states" => {
                 out.max_states = Some(
@@ -869,23 +912,384 @@ fn render_service_stats(stats: &ServiceStats) -> String {
     out
 }
 
+/// [`ServiceStats`] as counter/gauge snapshots (same families as
+/// [`render_service_stats`]) so `metrics --watch` deltas them alongside
+/// the registry metrics.
+fn service_stat_snapshots(stats: &ServiceStats) -> Vec<sct_telemetry::MetricSnapshot> {
+    use sct_telemetry::{MetricKind, MetricSnapshot};
+    let families = [
+        ("service_jobs_submitted", MetricKind::Counter, stats.jobs_submitted),
+        ("service_jobs_done", MetricKind::Counter, stats.jobs_done),
+        ("service_jobs_failed", MetricKind::Counter, stats.jobs_failed),
+        ("service_jobs_cancelled", MetricKind::Counter, stats.jobs_cancelled),
+        ("service_jobs_queued", MetricKind::Gauge, stats.queued),
+        ("service_queue_wait_ms_total", MetricKind::Counter, stats.queue_wait_ms_total),
+        ("service_run_ms_total", MetricKind::Counter, stats.run_ms_total),
+        ("service_epochs_retired", MetricKind::Counter, stats.epochs_retired),
+        ("service_arena_nodes", MetricKind::Gauge, stats.arena_nodes),
+        ("service_memo_entries", MetricKind::Gauge, stats.memo_entries),
+    ];
+    families
+        .into_iter()
+        .map(|(name, kind, value)| MetricSnapshot {
+            name: name.to_string(),
+            kind,
+            value,
+            sum_ns: 0,
+            max_ns: 0,
+            max_job: 0,
+            buckets: Vec::new(),
+        })
+        .collect()
+}
+
 fn run_metrics(args: Vec<String>) -> ExitCode {
     let args = parse_client_args(args);
     let mut client = connect(&args);
-    match client.metrics() {
-        Ok((stats, metrics)) => {
-            use std::io::Write as _;
-            let mut text = render_service_stats(&stats);
-            text.push_str(&sct_telemetry::render_prometheus(&metrics));
-            // One write, tolerant of a closed stdout (`... | head`).
-            let _ = std::io::stdout().write_all(text.as_bytes());
-            ExitCode::SUCCESS
-        }
+    let scrape = |client: &mut Client| -> Result<_, _> {
+        client.metrics().map(|(stats, metrics)| {
+            let mut snaps = service_stat_snapshots(&stats);
+            snaps.extend(metrics.iter().cloned());
+            (stats, metrics, snaps)
+        })
+    };
+    let (stats, metrics, mut prev) = match scrape(&mut client) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("metrics: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    {
+        use std::io::Write as _;
+        let mut text = render_service_stats(&stats);
+        text.push_str(&sct_telemetry::render_prometheus(&metrics));
+        // One write, tolerant of a closed stdout (`... | head`).
+        let _ = std::io::stdout().write_all(text.as_bytes());
+    }
+    // --watch N: keep the connection open and re-scrape every N
+    // seconds, printing only what moved since the previous scrape.
+    let Some(every) = args.watch else {
+        return ExitCode::SUCCESS;
+    };
+    let period = Duration::from_secs(every);
+    loop {
+        std::thread::sleep(period);
+        let (_, _, cur) = match scrape(&mut client) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("metrics: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let delta = sct_telemetry::render_delta(&prev, &cur, every as f64);
+        if delta.is_empty() {
+            outln!("-- +{every}s: idle");
+        } else {
+            outln!("-- +{every}s:");
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(delta.as_bytes());
+        }
+        prev = cur;
+    }
+}
+
+// ----- the incremental CI gate --------------------------------------------
+
+/// `pitchfork ci-gate --baseline DIR FILE...`: diff-aware re-analysis
+/// against a persisted baseline. Unchanged entries (by per-entry
+/// fingerprint) replay their recorded verdict lines byte-identically
+/// with zero exploration; dirty or new entries are re-analyzed against
+/// the baseline's warm-start snapshot. Exit 0 promotes the refreshed
+/// baseline; a secure→insecure flip exits 3 and leaves the baseline
+/// untouched. With `--connect` the diff runs daemon-side (each entry
+/// ships as a baseline-carrying submit the daemon can replay).
+fn run_ci_gate(args: Vec<String>) -> ExitCode {
+    use pitchfork::incremental::save_baseline;
+    use pitchfork::BaselineManifest;
+    let args = parse_client_args(args);
+    let Some(dir) = args.baseline.as_deref() else {
+        eprintln!("ci-gate: missing --baseline DIR");
+        usage();
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if args.files.is_empty() {
+        eprintln!("ci-gate: no files");
+        usage();
+    }
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("ci-gate: --baseline {}: {e}", dir.display());
+        return ExitCode::from(2);
+    }
+    // A missing manifest is an empty baseline: the first run analyzes
+    // everything, passes (nothing to flip from), and creates it.
+    let baseline = match BaselineManifest::load_dir(&dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ci-gate: --baseline {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    let bound = args.bound.unwrap_or(20);
+    if args.connect.is_some() {
+        return run_ci_gate_remote(&args, &dir, &baseline, bound);
+    }
+
+    let mut options = args.mode.options(bound);
+    if let Some(s) = args.strategy {
+        options.explorer.strategy = s;
+    }
+    if args.threads > 0 {
+        options.explorer.threads = args.threads;
+    }
+    if let Some(ms) = args.max_states {
+        options.explorer.max_states = ms;
+    }
+    // Warm-start the arena and verdict memo from the baseline's pruned
+    // snapshot; an unreadable snapshot degrades to a cold start.
+    let cache_path = dir.join(BaselineManifest::CACHE_NAME);
+    let mut session = match SessionBuilder::new().options(options).cache(&cache_path).build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "ci-gate: cold start ({}: {e})",
+                cache_path.display()
+            );
+            let mut s = SessionBuilder::new()
+                .options(options)
+                .build()
+                .expect("cache-less session build cannot fail");
+            s.attach_cache(&cache_path);
+            s
+        }
+    };
+    let mut items = Vec::new();
+    for file in &args.files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let asm = match sct_asm::assemble(&src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        items.push(
+            pitchfork::BatchItem::new(file.clone(), asm.program, asm.config)
+                .symbolize(args.symbolic.iter().copied()),
+        );
+    }
+    let report = session.analyze_incremental(items, &baseline);
+    // Verdict lines to stdout — byte-identical to a batch run over the
+    // same corpus (and to the baseline's own lines for replayed
+    // entries); bookkeeping to stderr so scripts can diff stdout.
+    for o in &report.outcomes {
+        outln!("{}", o.line);
+    }
+    eprintln!(
+        "ci-gate: {} entries — {} replayed, {} re-analyzed; {} states explored, {} skipped ({:.1}%) in {:.1?}",
+        report.outcomes.len(),
+        report.reused,
+        report.reanalyzed,
+        report.states_explored,
+        report.states_skipped,
+        100.0 * report.skip_ratio(),
+        report.wall,
+    );
+    let regressed: Vec<String> = report
+        .regressions()
+        .iter()
+        .map(|o| {
+            format!(
+                "REGRESSION: {} flipped {} -> {}",
+                o.name,
+                o.flip.expect("regressed implies a flip"),
+                o.verdict,
+            )
+        })
+        .collect();
+    if !regressed.is_empty() {
+        for line in &regressed {
+            eprintln!("{line}");
+        }
+        eprintln!(
+            "ci-gate: FAIL — {} regression(s); baseline not promoted",
+            regressed.len()
+        );
+        return ExitCode::from(3);
+    }
+    match save_baseline(&dir, &report.manifest) {
+        Ok(stats) => eprintln!("ci-gate: PASS — baseline promoted at {} ({stats})", dir.display()),
+        Err(e) => {
+            eprintln!("ci-gate: baseline save failed ({}: {e})", dir.display());
+            return ExitCode::from(2);
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// The daemon-side gate: each entry ships as a baseline-carrying
+/// submit, so an unchanged fingerprint is replayed by the daemon
+/// without exploring (and counted in its `incr_reuse_total`). The
+/// client recomputes the same fingerprints from explicit flags; start
+/// the daemon with matching defaults (bound, strategy, budgets) or
+/// pass them here explicitly — a disagreement only costs a full
+/// re-analysis, never a wrong verdict.
+fn run_ci_gate_remote(
+    args: &ClientArgs,
+    dir: &std::path::Path,
+    baseline: &pitchfork::BaselineManifest,
+    bound: usize,
+) -> ExitCode {
+    use pitchfork::incremental::{block_hashes, config_tag, entry_fingerprint};
+    use pitchfork::{BaselineEntry, JobBaseline};
+    let mut options = args.mode.options(bound);
+    if let Some(s) = args.strategy {
+        options.explorer.strategy = s;
+    }
+    if args.threads > 0 {
+        options.explorer.threads = args.threads;
+    }
+    if let Some(ms) = args.max_states {
+        options.explorer.max_states = ms;
+    }
+    let tag = config_tag(&options, bound, &args.symbolic);
+    let spec = JobSpec {
+        mode: args.mode,
+        bound: args.bound,
+        strategy: args.strategy,
+        threads: args.threads,
+        symbolic: args.symbolic.clone(),
+        max_states: args.max_states,
+    };
+    let mut client = connect(args);
+    let mut jobs = Vec::new();
+    let mut replay_candidates = 0usize;
+    for file in &args.files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let asm = match sct_asm::assemble(&src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let blocks = block_hashes(&asm.program);
+        let fp = entry_fingerprint(&blocks, tag);
+        let submit = match baseline.get(file) {
+            Some(old) if old.fingerprint == fp => {
+                replay_candidates += 1;
+                client.submit_source_diff(
+                    file.clone(),
+                    src,
+                    spec.clone(),
+                    JobBaseline {
+                        fingerprint: fp,
+                        verdict: old.verdict,
+                        states: old.states,
+                        schedules: old.schedules,
+                        strategy: old.strategy.clone(),
+                        truncated: old.truncated,
+                    },
+                )
+            }
+            _ => client.submit_source(file.clone(), src, spec.clone()),
+        };
+        match submit {
+            Ok(id) => jobs.push((file.clone(), id, fp, blocks)),
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut fresh = baseline.clone();
+    let mut regressed = Vec::new();
+    for (file, id, fp, blocks) in jobs {
+        let view = match client.wait(id, Duration::from_secs(600)) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (Some(verdict), Some(stats)) = (view.verdict, view.stats) else {
+            eprintln!(
+                "{file}: {}{}",
+                view.status,
+                view.error
+                    .as_deref()
+                    .map(|e| format!(" ({e})"))
+                    .unwrap_or_default()
+            );
+            return ExitCode::from(2);
+        };
+        let line = report_line(
+            &file,
+            verdict,
+            stats.states,
+            stats.schedules,
+            stats.strategy,
+            stats.truncated,
+        );
+        outln!("{line}");
+        if verdict.is_insecure() {
+            if let Some(old) = baseline.get(&file) {
+                if !old.verdict.is_insecure() {
+                    regressed.push(format!(
+                        "REGRESSION: {file} flipped {} -> {verdict}",
+                        old.verdict
+                    ));
+                }
+            }
+        }
+        fresh.upsert(BaselineEntry {
+            name: file,
+            fingerprint: fp,
+            blocks,
+            verdict,
+            line,
+            states: stats.states,
+            schedules: stats.schedules,
+            strategy: stats.strategy.to_string(),
+            truncated: stats.truncated,
+        });
+    }
+    eprintln!(
+        "ci-gate: {} entries — {replay_candidates} replay candidates shipped with baselines",
+        args.files.len(),
+    );
+    if !regressed.is_empty() {
+        for line in &regressed {
+            eprintln!("{line}");
+        }
+        eprintln!(
+            "ci-gate: FAIL — {} regression(s); baseline not promoted",
+            regressed.len()
+        );
+        return ExitCode::from(3);
+    }
+    // Promote the manifest only: the warm memo lives daemon-side in
+    // remote mode, and overwriting baseline.cache with this (empty)
+    // client process's memo would cost the next local run its warm
+    // start.
+    if let Err(e) = fresh.save_dir(dir) {
+        eprintln!("ci-gate: baseline save failed ({}: {e})", dir.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("ci-gate: PASS — baseline promoted at {}", dir.display());
+    ExitCode::SUCCESS
 }
 
 // ----- fleet mode ---------------------------------------------------------
@@ -937,6 +1341,10 @@ fn run_coordinate(args: Vec<String>) -> ExitCode {
         },
         max_attempts: args.attempts.max(1),
         job_timeout: Duration::from_secs(600),
+        worker_retry_budget: args
+            .retry_budget
+            .unwrap_or(pitchfork::fleet::FleetOptions::default().worker_retry_budget),
+        retry_backoff: pitchfork::fleet::FleetOptions::default().retry_backoff,
     };
     let report = match pitchfork::fleet::run_fleet(&manifest, &options, |line| {
         eprintln!("{line}");
@@ -1032,6 +1440,10 @@ fn main() -> ExitCode {
         Some("coordinate") => {
             args.remove(0);
             run_coordinate(args)
+        }
+        Some("ci-gate") => {
+            args.remove(0);
+            run_ci_gate(args)
         }
         Some("metrics") => {
             args.remove(0);

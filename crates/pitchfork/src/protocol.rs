@@ -24,7 +24,7 @@
 
 use crate::observe::OwnedEvent;
 use crate::report::{ExploreStats, Verdict, Violation};
-use crate::service::{JobSpec, JobStatus, ServiceStats};
+use crate::service::{JobBaseline, JobSpec, JobStatus, ServiceStats};
 use crate::strategy::StrategyKind;
 use sct_core::Reg;
 use sct_telemetry::{MetricKind, MetricSnapshot};
@@ -60,28 +60,28 @@ pub enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn str_field(&self, key: &str) -> Result<&str, ProtocolError> {
+    pub(crate) fn str_field(&self, key: &str) -> Result<&str, ProtocolError> {
         match self.get(key) {
             Some(Json::Str(s)) => Ok(s),
             _ => Err(ProtocolError::field(key, "string")),
         }
     }
 
-    fn u64_field(&self, key: &str) -> Result<u64, ProtocolError> {
+    pub(crate) fn u64_field(&self, key: &str) -> Result<u64, ProtocolError> {
         match self.get(key) {
             Some(Json::Int(n)) if *n >= 0 && *n <= u64::MAX as i128 => Ok(*n as u64),
             _ => Err(ProtocolError::field(key, "unsigned integer")),
         }
     }
 
-    fn opt_u64_field(&self, key: &str) -> Result<Option<u64>, ProtocolError> {
+    pub(crate) fn opt_u64_field(&self, key: &str) -> Result<Option<u64>, ProtocolError> {
         match self.get(key) {
             None | Some(Json::Null) => Ok(None),
             Some(Json::Int(n)) if *n >= 0 && *n <= u64::MAX as i128 => Ok(Some(*n as u64)),
@@ -89,21 +89,21 @@ impl Json {
         }
     }
 
-    fn bool_field(&self, key: &str) -> Result<bool, ProtocolError> {
+    pub(crate) fn bool_field(&self, key: &str) -> Result<bool, ProtocolError> {
         match self.get(key) {
             Some(Json::Bool(b)) => Ok(*b),
             _ => Err(ProtocolError::field(key, "boolean")),
         }
     }
 
-    fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [Json], ProtocolError> {
+    pub(crate) fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [Json], ProtocolError> {
         match self.get(key) {
             Some(Json::Arr(items)) => Ok(items),
             _ => Err(ProtocolError::field(key, "array")),
         }
     }
 
-    fn opt_str_field(&self, key: &str) -> Result<Option<&str>, ProtocolError> {
+    pub(crate) fn opt_str_field(&self, key: &str) -> Result<Option<&str>, ProtocolError> {
         match self.get(key) {
             None | Some(Json::Null) => Ok(None),
             Some(Json::Str(s)) => Ok(Some(s)),
@@ -111,7 +111,7 @@ impl Json {
         }
     }
 
-    fn str_items(&self, key: &str) -> Result<Vec<String>, ProtocolError> {
+    pub(crate) fn str_items(&self, key: &str) -> Result<Vec<String>, ProtocolError> {
         let mut out = Vec::new();
         for item in self.arr_field(key)? {
             match item {
@@ -515,6 +515,24 @@ pub enum Request {
         /// Analysis options.
         spec: JobSpec,
     },
+    /// Submit `.sasm` source together with a baseline record from a
+    /// previous run (the incremental CI-gate path): when the daemon's
+    /// recomputed fingerprint matches, it replays the baseline verdict
+    /// without exploring.
+    ///
+    /// On the wire this is a `submit` line with an extra `baseline`
+    /// object — pre-v6 daemons parse it tolerantly, ignore the unknown
+    /// field, and simply run the job in full.
+    SubmitDiff {
+        /// Display name for the job.
+        name: String,
+        /// The assembly source text.
+        source: String,
+        /// Analysis options.
+        spec: JobSpec,
+        /// The prior run's fingerprint + verdict + exploration stats.
+        baseline: JobBaseline,
+    },
     /// Cancel a job: a queued job is retired unrun; a running job's
     /// explorer observes the cooperative flag at its next state pop and
     /// stops. Either way the job ends as [`JobStatus::Cancelled`].
@@ -576,35 +594,16 @@ impl Request {
                 ("last".into(), Json::Bool(*last)),
             ]),
             Request::Submit { name, source, spec } => {
-                let mut fields = vec![
-                    ("req".into(), Json::Str("submit".into())),
-                    ("name".into(), Json::Str(name.clone())),
-                    ("source".into(), Json::Str(source.clone())),
-                    ("mode".into(), Json::Str(spec.mode.name().into())),
-                ];
-                if let Some(b) = spec.bound {
-                    fields.push(("bound".into(), Json::Int(b as i128)));
-                }
-                if let Some(s) = spec.strategy {
-                    fields.push(("strategy".into(), Json::Str(s.name().into())));
-                }
-                if spec.threads != 0 {
-                    fields.push(("threads".into(), Json::Int(spec.threads as i128)));
-                }
-                if let Some(ms) = spec.max_states {
-                    fields.push(("max_states".into(), Json::Int(ms as i128)));
-                }
-                if !spec.symbolic.is_empty() {
-                    fields.push((
-                        "symbolic".into(),
-                        Json::Arr(
-                            spec.symbolic
-                                .iter()
-                                .map(|r| Json::Str(r.name()))
-                                .collect(),
-                        ),
-                    ));
-                }
+                Json::Obj(submit_fields(name, source, spec))
+            }
+            Request::SubmitDiff {
+                name,
+                source,
+                spec,
+                baseline,
+            } => {
+                let mut fields = submit_fields(name, source, spec);
+                fields.push(("baseline".into(), baseline_to_json(baseline)));
                 Json::Obj(fields)
             }
             Request::Status { id } => Json::Obj(vec![
@@ -663,22 +662,29 @@ impl Request {
                         })?);
                     }
                 }
-                Ok(Request::Submit {
-                    name: json.str_field("name")?.to_string(),
-                    source: json.str_field("source")?.to_string(),
-                    spec: JobSpec {
-                        mode,
-                        bound: json.opt_u64_field("bound")?.map(|b| b as usize),
-                        strategy,
-                        // 0 (or absent, for older clients) inherits the
-                        // daemon session's parallelism.
-                        threads: json.opt_u64_field("threads")?.unwrap_or(0) as usize,
-                        // Absent (pre-v5 clients) inherits the daemon's
-                        // state budget.
-                        max_states: json.opt_u64_field("max_states")?.map(|n| n as usize),
-                        symbolic,
-                    },
-                })
+                let name = json.str_field("name")?.to_string();
+                let source = json.str_field("source")?.to_string();
+                let spec = JobSpec {
+                    mode,
+                    bound: json.opt_u64_field("bound")?.map(|b| b as usize),
+                    strategy,
+                    // 0 (or absent, for older clients) inherits the
+                    // daemon session's parallelism.
+                    threads: json.opt_u64_field("threads")?.unwrap_or(0) as usize,
+                    // Absent (pre-v5 clients) inherits the daemon's
+                    // state budget.
+                    max_states: json.opt_u64_field("max_states")?.map(|n| n as usize),
+                    symbolic,
+                };
+                match json.get("baseline") {
+                    Some(b) => Ok(Request::SubmitDiff {
+                        name,
+                        source,
+                        spec,
+                        baseline: baseline_from_json(b)?,
+                    }),
+                    None => Ok(Request::Submit { name, source, spec }),
+                }
             }
             "status" => Ok(Request::Status {
                 id: json.u64_field("id")?,
@@ -694,6 +700,62 @@ impl Request {
             other => Err(ProtocolError::new(format!("unknown request `{other}`"))),
         }
     }
+}
+
+fn submit_fields(name: &str, source: &str, spec: &JobSpec) -> Vec<(String, Json)> {
+    let mut fields = vec![
+        ("req".into(), Json::Str("submit".into())),
+        ("name".into(), Json::Str(name.to_string())),
+        ("source".into(), Json::Str(source.to_string())),
+        ("mode".into(), Json::Str(spec.mode.name().into())),
+    ];
+    if let Some(b) = spec.bound {
+        fields.push(("bound".into(), Json::Int(b as i128)));
+    }
+    if let Some(s) = spec.strategy {
+        fields.push(("strategy".into(), Json::Str(s.name().into())));
+    }
+    if spec.threads != 0 {
+        fields.push(("threads".into(), Json::Int(spec.threads as i128)));
+    }
+    if let Some(ms) = spec.max_states {
+        fields.push(("max_states".into(), Json::Int(ms as i128)));
+    }
+    if !spec.symbolic.is_empty() {
+        fields.push((
+            "symbolic".into(),
+            Json::Arr(spec.symbolic.iter().map(|r| Json::Str(r.name())).collect()),
+        ));
+    }
+    fields
+}
+
+fn baseline_to_json(b: &JobBaseline) -> Json {
+    Json::Obj(vec![
+        ("fp".into(), Json::Int(b.fingerprint as i128)),
+        ("verdict".into(), verdict_to_json(&b.verdict)),
+        ("states".into(), Json::Int(b.states as i128)),
+        ("schedules".into(), Json::Int(b.schedules as i128)),
+        ("strategy".into(), Json::Str(b.strategy.clone())),
+        ("truncated".into(), Json::Bool(b.truncated)),
+    ])
+}
+
+// The baseline object itself parses strictly: a submit carrying a
+// malformed baseline is rejected rather than silently run in full, so
+// client-side encoding bugs surface immediately.
+fn baseline_from_json(json: &Json) -> Result<JobBaseline, ProtocolError> {
+    let verdict = json
+        .get("verdict")
+        .ok_or_else(|| ProtocolError::field("baseline.verdict", "a verdict object"))?;
+    Ok(JobBaseline {
+        fingerprint: json.u64_field("fp")?,
+        verdict: verdict_from_json(verdict)?,
+        states: json.u64_field("states")? as usize,
+        schedules: json.u64_field("schedules")? as usize,
+        strategy: json.str_field("strategy")?.to_string(),
+        truncated: json.bool_field("truncated")?,
+    })
 }
 
 impl JobSpec {
@@ -1456,12 +1518,72 @@ mod tests {
             Request::Metrics,
             Request::Retire,
             Request::Shutdown,
+            Request::SubmitDiff {
+                name: "fig1".into(),
+                source: ".entry L1\nL1:\n    ra = add rb, 0x4\n".into(),
+                spec: JobSpec {
+                    mode: JobMode::V1,
+                    bound: Some(16),
+                    strategy: Some(StrategyKind::Fifo),
+                    threads: 0,
+                    max_states: Some(50_000),
+                    symbolic: vec![sct_core::reg::names::RA],
+                },
+                baseline: JobBaseline {
+                    fingerprint: u64::MAX - 5,
+                    verdict: Verdict::Insecure { witnesses: 2 },
+                    states: 412,
+                    schedules: 31,
+                    strategy: "bfs".into(),
+                    truncated: false,
+                },
+            },
         ];
         for req in reqs {
             let line = req.to_line();
             assert!(!line.contains('\n'), "one line: {line}");
             assert_eq!(Request::parse(&line).unwrap(), req, "{line}");
         }
+    }
+
+    #[test]
+    fn submit_diff_wire_form_is_a_submit_line() {
+        // Pre-v6 compatibility: the diff submit is a plain `submit`
+        // line plus a `baseline` object an old daemon ignores. Strip
+        // the extra field and the line must parse as a plain submit.
+        let req = Request::SubmitDiff {
+            name: "gate".into(),
+            source: ".entry L1\nL1:\n    ret\n".into(),
+            spec: JobSpec {
+                mode: JobMode::V1,
+                bound: None,
+                strategy: None,
+                threads: 0,
+                max_states: None,
+                symbolic: vec![],
+            },
+            baseline: JobBaseline {
+                fingerprint: 99,
+                verdict: Verdict::Secure,
+                states: 10,
+                schedules: 1,
+                strategy: "bfs".into(),
+                truncated: false,
+            },
+        };
+        let line = req.to_line();
+        assert!(line.contains("\"req\":\"submit\""), "{line}");
+        match Request::parse(&line).unwrap() {
+            Request::SubmitDiff { baseline, .. } => {
+                assert_eq!(baseline.fingerprint, 99);
+                assert_eq!(baseline.verdict, Verdict::Secure);
+            }
+            other => panic!("expected SubmitDiff, got {other:?}"),
+        }
+        // A malformed baseline object is rejected outright rather than
+        // silently downgraded to a full run.
+        let bad = line.replace("\"fp\":99", "\"fp\":\"nope\"");
+        assert!(Request::parse(&bad).is_err());
     }
 
     #[test]

@@ -274,7 +274,11 @@ fn verdicts_response(monitor: &ServiceMonitor, id: u64) -> Response {
         Some(record) => {
             let (verdict, stats, violations) = match &record.report {
                 Some(report) => (
-                    Some(report.verdict()),
+                    // A replayed job's synthesized report carries no
+                    // witnesses, so the record's replayed verdict — the
+                    // baseline's, witnesses and all — wins over the
+                    // report's recomputation.
+                    Some(record.replayed.unwrap_or_else(|| report.verdict())),
                     Some(report.stats),
                     report.violations.iter().map(WireViolation::from).collect(),
                 ),
@@ -391,6 +395,30 @@ fn handle_connection(stream: Stream, shared: &Arc<Shared>) -> std::io::Result<()
                 let id = {
                     let mut service = shared.lock();
                     service.submit_source(name, &source, spec)
+                };
+                shared.work.notify_all();
+                write_line(&mut writer, &Response::Accepted { id: id.as_u64() })?;
+            }
+            Request::SubmitDiff {
+                name,
+                source,
+                spec,
+                baseline,
+            } => {
+                let quota = shared.options.max_jobs_per_client;
+                if quota > 0 && submitted >= quota {
+                    write_line(
+                        &mut writer,
+                        &Response::Error {
+                            message: format!("job quota exceeded ({quota} per client)"),
+                        },
+                    )?;
+                    continue;
+                }
+                submitted += 1;
+                let id = {
+                    let mut service = shared.lock();
+                    service.submit_source_with_baseline(name, &source, spec, baseline)
                 };
                 shared.work.notify_all();
                 write_line(&mut writer, &Response::Accepted { id: id.as_u64() })?;

@@ -26,6 +26,10 @@
 use crate::batch::{BatchItem, BatchOutcome, BatchReport, BatchTotals};
 use crate::detector::DetectorOptions;
 use crate::explorer::Explorer;
+use crate::incremental::{
+    block_hashes, config_tag, entry_fingerprint, plan_entry, BaselineEntry, BaselineManifest,
+    EntryPlan, IncrementalOutcome, IncrementalReport,
+};
 use crate::observe::{emit, BoxObserver, Event};
 use crate::report::Report;
 use crate::state::SymState;
@@ -379,6 +383,122 @@ impl AnalysisSession {
         }
     }
 
+    /// Diff-aware re-analysis: run a batch against a
+    /// [`BaselineManifest`], replaying the recorded verdict for every
+    /// entry whose fingerprint is unchanged (zero exploration) and
+    /// re-exploring only dirty or new entries — typically against the
+    /// warm memo hydrated from the baseline's pruned snapshot.
+    ///
+    /// The returned report carries the refreshed manifest (see
+    /// [`crate::incremental::save_baseline`]) and flags verdict flips;
+    /// the `ci-gate` CLI verb exits nonzero on any flip to insecure.
+    /// Replayed report lines are byte-identical to the baseline's, so
+    /// untouched entries diff clean across runs.
+    pub fn analyze_incremental(
+        &mut self,
+        items: impl IntoIterator<Item = BatchItem>,
+        baseline: &BaselineManifest,
+    ) -> IncrementalReport {
+        fn verdict_kind(v: &crate::report::Verdict) -> u8 {
+            match v {
+                crate::report::Verdict::Secure => 0,
+                crate::report::Verdict::Insecure { .. } => 1,
+                crate::report::Verdict::Unknown { .. } => 2,
+            }
+        }
+        let start = Instant::now();
+        let mut manifest = BaselineManifest::empty();
+        let mut outcomes = Vec::new();
+        let (mut reused, mut reanalyzed) = (0, 0);
+        let (mut states_explored, mut states_skipped) = (0, 0);
+        let saved_bound = self.options.explorer.spec_bound;
+        for item in items {
+            let bound = item.bound.unwrap_or(saved_bound);
+            let blocks = block_hashes(&item.program);
+            let tag = config_tag(&self.options, bound, &item.symbolic);
+            let fingerprint = entry_fingerprint(&blocks, tag);
+            let plan = plan_entry(baseline, &item.name, fingerprint, &blocks);
+            if plan == EntryPlan::Unchanged {
+                let old = baseline
+                    .get(&item.name)
+                    .expect("unchanged implies a baseline entry")
+                    .clone();
+                if sct_telemetry::enabled() {
+                    sct_telemetry::counter(sct_telemetry::names::INCR_REUSE_TOTAL).inc();
+                }
+                reused += 1;
+                states_skipped += old.states;
+                outcomes.push(IncrementalOutcome {
+                    name: old.name.clone(),
+                    plan,
+                    verdict: old.verdict,
+                    line: old.line.clone(),
+                    states: 0,
+                    flip: None,
+                });
+                manifest.upsert(old);
+                continue;
+            }
+            self.options.explorer.spec_bound = bound;
+            let report = self.analyze_symbolic(&item.program, &item.config, &item.symbolic);
+            self.options.explorer.spec_bound = saved_bound;
+            if sct_telemetry::enabled() {
+                sct_telemetry::counter(sct_telemetry::names::INCR_REANALYZED_TOTAL).inc();
+            }
+            reanalyzed += 1;
+            states_explored += report.stats.states;
+            let verdict = report.verdict();
+            let line = crate::fleet::report_line(
+                &item.name,
+                verdict,
+                report.stats.states,
+                report.stats.schedules,
+                report.stats.strategy,
+                report.stats.truncated,
+            );
+            let flip = baseline
+                .get(&item.name)
+                .map(|e| e.verdict)
+                .filter(|old| verdict_kind(old) != verdict_kind(&verdict));
+            emit(
+                &mut self.observers,
+                Event::ItemFinished {
+                    name: &item.name,
+                    flagged: report.has_violations(),
+                    states: report.stats.states,
+                },
+            );
+            manifest.upsert(BaselineEntry {
+                name: item.name.clone(),
+                fingerprint,
+                blocks,
+                verdict,
+                line: line.clone(),
+                states: report.stats.states,
+                schedules: report.stats.schedules,
+                strategy: report.stats.strategy.to_string(),
+                truncated: report.stats.truncated,
+            });
+            outcomes.push(IncrementalOutcome {
+                name: item.name,
+                plan,
+                verdict,
+                line,
+                states: report.stats.states,
+                flip,
+            });
+        }
+        IncrementalReport {
+            outcomes,
+            reused,
+            reanalyzed,
+            states_explored,
+            states_skipped,
+            manifest,
+            wall: start.elapsed(),
+        }
+    }
+
     /// Persist the process-wide arena and verdict memo to the attached
     /// cache path. `Ok(None)` when the session has no cache.
     pub fn save(&self) -> Result<Option<sct_cache::SaveStats>, sct_cache::CacheError> {
@@ -499,6 +619,33 @@ mod tests {
         assert_eq!(before.verdict(), after.verdict());
         assert_eq!(before.stats.states, after.stats.states);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incremental_replays_unchanged_and_dirties_config_changes() {
+        let (p, cfg) = fig1();
+        let mut session = AnalysisSession::builder().v1_mode(16).build().unwrap();
+        let items = || vec![BatchItem::new("fig1", p.clone(), cfg.clone())];
+        let cold = session.analyze_incremental(items(), &BaselineManifest::empty());
+        assert_eq!(cold.reanalyzed, 1);
+        assert_eq!(cold.outcomes[0].plan, EntryPlan::New);
+        assert!(cold.states_explored > 0);
+
+        // Same corpus, same config: everything replays, nothing explores,
+        // and the report line is byte-identical.
+        let warm = session.analyze_incremental(items(), &cold.manifest);
+        assert_eq!(warm.reused, 1);
+        assert_eq!(warm.reanalyzed, 0);
+        assert_eq!(warm.states_explored, 0);
+        assert_eq!(warm.states_skipped, cold.states_explored);
+        assert_eq!(warm.outcomes[0].line, cold.outcomes[0].line);
+        assert!(warm.regressions().is_empty());
+
+        // A per-item bound change moves the config tag: dirty, re-run.
+        let rebound = vec![BatchItem::with_bound("fig1", p.clone(), cfg.clone(), 4)];
+        let dirty = session.analyze_incremental(rebound, &warm.manifest);
+        assert_eq!(dirty.reanalyzed, 1);
+        assert!(matches!(dirty.outcomes[0].plan, EntryPlan::Dirty { .. }));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! End-to-end equivalence for the incremental subsystem: a
+//! reachability-pruned snapshot must warm-start re-analysis to exactly
+//! the verdicts the unpruned snapshot — or a cold run — produces, over
+//! both the shipped litmus corpus and random proggen programs; and the
+//! diff planner must replay untouched corpus entries byte-for-byte
+//! while flipping the gate on a one-line fence removal.
+//!
+//! Tests in this binary retire the process-wide arena, so they
+//! serialize on a file-local lock.
+
+use pitchfork::incremental::save_baseline;
+use pitchfork::{
+    AnalysisSession, BaselineManifest, BatchItem, DetectorOptions, SessionBuilder,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sct_cache::Snapshot;
+use sct_core::proggen::{random_config, random_program, ProgGenOptions};
+use sct_core::Reg;
+use sct_symx::retire_arena;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static ARENA_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ARENA_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const BOUND: usize = 16;
+
+fn session() -> AnalysisSession {
+    SessionBuilder::new()
+        .options(DetectorOptions::v1_mode(BOUND))
+        .build()
+        .expect("cache-less session build cannot fail")
+}
+
+/// The shipped `.sasm` corpus (read from `crates/litmus/corpus`, in
+/// name order — `sct-litmus` itself depends on this crate, so the
+/// sources come off disk rather than through a cyclic dev-dependency).
+fn corpus_sources() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../litmus/corpus");
+    let mut out: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("litmus corpus dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "sasm"))
+        .map(|e| {
+            let name = e.path().file_stem().expect("stem").to_string_lossy().into_owned();
+            let source = std::fs::read_to_string(e.path()).expect("corpus entry reads");
+            (name, source)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The corpus as symbolic-`ra` batch items; `edit` applies the
+/// one-line fence removal to `spectre_v1_fenced`, reintroducing the
+/// Spectre v1 leak the fence suppressed.
+fn corpus_items(edit: bool) -> Vec<BatchItem> {
+    let ra = Reg::parse("ra").expect("ra parses");
+    corpus_sources()
+        .into_iter()
+        .map(|(name, mut source)| {
+            if edit && name == "spectre_v1_fenced" {
+                source = source
+                    .lines()
+                    .filter(|l| l.trim() != "fence")
+                    .collect::<Vec<_>>()
+                    .join("\n");
+            }
+            let asm = sct_asm::assemble(&source).expect("corpus entry assembles");
+            BatchItem::new(name, asm.program, asm.config).symbolize([ra])
+        })
+        .collect()
+}
+
+/// One batch pass over the corpus, rendered to the per-file report
+/// lines every frontend shares.
+fn corpus_lines(session: &mut AnalysisSession) -> Vec<String> {
+    session
+        .run_batch(corpus_items(false))
+        .outcomes
+        .iter()
+        .map(|o| {
+            pitchfork::fleet::report_line(
+                &o.name,
+                o.report.verdict(),
+                o.report.stats.states,
+                o.report.stats.schedules,
+                o.report.stats.strategy,
+                o.report.stats.truncated,
+            )
+        })
+        .collect()
+}
+
+/// Pruned and unpruned snapshots of the same hot arena hydrate to
+/// warm starts that re-analyze the litmus corpus to byte-identical
+/// report lines.
+#[test]
+fn corpus_pruned_and_unpruned_warm_starts_agree() {
+    let _guard = lock();
+    retire_arena();
+    let cold_lines = corpus_lines(&mut session());
+
+    let full_bytes = Snapshot::capture().encode();
+    let (pruned, prune) = Snapshot::capture_rooted(&[]);
+    let pruned_bytes = pruned.encode();
+    assert!(
+        pruned_bytes.len() <= full_bytes.len(),
+        "pruning must never grow the snapshot ({} > {})",
+        pruned_bytes.len(),
+        full_bytes.len()
+    );
+    assert!(prune.kept_nodes > 0, "a corpus run leaves memoized roots");
+
+    retire_arena();
+    Snapshot::decode(&pruned_bytes)
+        .expect("pruned snapshot decodes")
+        .hydrate()
+        .expect("pruned snapshot hydrates");
+    let pruned_lines = corpus_lines(&mut session());
+
+    retire_arena();
+    Snapshot::decode(&full_bytes)
+        .expect("full snapshot decodes")
+        .hydrate()
+        .expect("full snapshot hydrates");
+    let full_lines = corpus_lines(&mut session());
+
+    assert_eq!(cold_lines, pruned_lines, "pruned warm start changed a verdict line");
+    assert_eq!(full_lines, pruned_lines, "pruned and unpruned warm starts disagree");
+    retire_arena();
+}
+
+/// The full ci-gate round at the library level: a cold incremental run
+/// promotes a baseline, an untouched re-run replays every entry with
+/// zero exploration and byte-identical lines, and the one-line fence
+/// removal re-explores only the edited entry and regresses the gate.
+#[test]
+fn incremental_replays_are_byte_identical_and_an_edit_flips_the_gate() {
+    let _guard = lock();
+    retire_arena();
+    let dir = std::env::temp_dir().join(format!("sct_incr_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("baseline dir");
+    let entries = corpus_sources().len();
+
+    let cold = session().analyze_incremental(corpus_items(false), &BaselineManifest::empty());
+    assert_eq!(cold.reanalyzed, entries);
+    assert!(cold.regressions().is_empty(), "an empty baseline cannot flip");
+    save_baseline(&dir, &cold.manifest).expect("baseline saves");
+    let baseline = BaselineManifest::load_dir(&dir).expect("baseline loads");
+
+    retire_arena();
+    let mut warm_session = SessionBuilder::new()
+        .options(DetectorOptions::v1_mode(BOUND))
+        .cache(dir.join(BaselineManifest::CACHE_NAME))
+        .build()
+        .expect("pruned baseline snapshot loads");
+    let warm = warm_session.analyze_incremental(corpus_items(false), &baseline);
+    assert_eq!(warm.reused, entries);
+    assert_eq!(warm.states_explored, 0, "replays must not explore");
+    let cold_lines: Vec<&str> = cold.outcomes.iter().map(|o| o.line.as_str()).collect();
+    let warm_lines: Vec<&str> = warm.outcomes.iter().map(|o| o.line.as_str()).collect();
+    assert_eq!(cold_lines, warm_lines, "replayed lines must be byte-identical");
+
+    let edited = warm_session.analyze_incremental(corpus_items(true), &baseline);
+    assert_eq!(edited.reused, entries - 1);
+    assert_eq!(edited.reanalyzed, 1);
+    let flips: Vec<&str> = edited.regressions().iter().map(|o| o.name.as_str()).collect();
+    assert_eq!(flips, ["spectre_v1_fenced"], "the fence removal must fail the gate");
+    for (old, new) in cold.outcomes.iter().zip(&edited.outcomes) {
+        if new.name != "spectre_v1_fenced" {
+            assert_eq!(old.line, new.line, "untouched entry {} moved", new.name);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    retire_arena();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Over random proggen programs with every register symbolic, a
+    /// pruned snapshot of the post-analysis arena warm-starts to the
+    /// same verdict and the same state count as the unpruned snapshot
+    /// and the cold run.
+    #[test]
+    fn proggen_pruned_vs_unpruned_verdicts_agree(seed in any::<u64>()) {
+        let _guard = lock();
+        retire_arena();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let opts = ProgGenOptions::default();
+        let program = random_program(&mut rng, &opts);
+        let config = random_config(&mut rng, &opts);
+        let symbolic: Vec<Reg> = (0..opts.regs).map(Reg::gpr).collect();
+        // Bound the blowup on adversarial programs: a truncated search
+        // yields Unknown{explored}, which must still round-trip.
+        let mut options = DetectorOptions::v1_mode(6);
+        options.explorer.max_states = 4_000;
+        let build = |opts: DetectorOptions| {
+            SessionBuilder::new().options(opts).build().expect("session builds")
+        };
+        let cold = build(options).analyze_symbolic(&program, &config, &symbolic);
+
+        let full_bytes = Snapshot::capture().encode();
+        let (pruned, _) = Snapshot::capture_rooted(&[]);
+        let pruned_bytes = pruned.encode();
+        prop_assert!(pruned_bytes.len() <= full_bytes.len());
+
+        retire_arena();
+        Snapshot::decode(&pruned_bytes)
+            .expect("pruned snapshot decodes")
+            .hydrate()
+            .expect("pruned snapshot hydrates");
+        let warm_pruned = build(options).analyze_symbolic(&program, &config, &symbolic);
+
+        retire_arena();
+        Snapshot::decode(&full_bytes)
+            .expect("full snapshot decodes")
+            .hydrate()
+            .expect("full snapshot hydrates");
+        let warm_full = build(options).analyze_symbolic(&program, &config, &symbolic);
+
+        prop_assert_eq!(warm_pruned.verdict(), cold.verdict());
+        prop_assert_eq!(warm_full.verdict(), cold.verdict());
+        prop_assert_eq!(warm_pruned.stats.states, cold.stats.states);
+        prop_assert_eq!(warm_full.stats.states, cold.stats.states);
+        retire_arena();
+    }
+}

@@ -956,6 +956,31 @@ pub fn export_all() -> (ArenaExport, crate::solver::MemoExport) {
     (arena, memo)
 }
 
+/// [`export_all`] plus the node-table positions of `roots`: live
+/// [`ExprRef`]s the caller wants kept by a reachability-pruned
+/// snapshot in addition to the memo keys (`sct-cache`'s
+/// `Snapshot::capture_rooted`). The arena shards stay read-locked
+/// across all three parts, so the positions index the very table
+/// being returned. Roots from an earlier epoch (stale tag) are
+/// skipped rather than panicking — a pruning caller holding
+/// pre-retirement refs just loses those roots.
+pub fn export_all_rooted(
+    roots: &[ExprRef],
+) -> (ArenaExport, crate::solver::MemoExport, Vec<u32>) {
+    let guards: Vec<_> = (0..NUM_SHARDS).map(read_shard).collect();
+    let (arena, pos_of) = export_arena_locked(&guards);
+    let memo = crate::solver::export_memo_with(|index| pos_of.get(&index).copied());
+    let tag = ARENA.epoch.load(Ordering::Acquire) as u8;
+    let mut positions: Vec<u32> = roots
+        .iter()
+        .filter(|r| r.epoch_tag() == tag)
+        .filter_map(|r| pos_of.get(&r.index()).copied())
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+    (arena, memo, positions)
+}
+
 /// Why an [`ArenaExport`] was rejected by [`import_arena`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ArenaImportError {

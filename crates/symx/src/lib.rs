@@ -82,7 +82,8 @@ pub mod solver;
 pub mod symmem;
 
 pub use expr::{
-    arena_epoch, arena_lock_waits, arena_stats, export_all, export_arena, import_arena,
+    arena_epoch, arena_lock_waits, arena_stats, export_all, export_all_rooted, export_arena,
+    import_arena,
     retire_arena, ArenaExport, ArenaImportError, ArenaImportStats, ArenaStats, ExportedNode, Expr,
     ExprKind, ExprRef, Model, VarId, VarPool, NUM_SHARDS,
 };

@@ -563,6 +563,15 @@ pub mod names {
     /// Memoised verdicts imported from warm-start snapshots shipped
     /// over `seed` requests.
     pub const SEED_VERDICTS_IMPORTED: &str = "seed_verdicts_imported";
+    /// Entries whose baseline verdict an incremental run replayed
+    /// without exploring (fingerprint unchanged).
+    pub const INCR_REUSE_TOTAL: &str = "incr_reuse_total";
+    /// Entries an incremental run re-explored (dirty or new
+    /// fingerprint).
+    pub const INCR_REANALYZED_TOTAL: &str = "incr_reanalyzed_total";
+    /// Arena nodes dropped by reachability pruning when a baseline
+    /// snapshot was persisted.
+    pub const INCR_PRUNE_NODES: &str = "incr_prune_nodes";
 
     /// Nanoseconds worker `i` spent expanding states.
     pub fn worker_busy(i: usize) -> String {
@@ -682,6 +691,65 @@ pub fn render_prometheus(snaps: &[MetricSnapshot]) -> String {
                 );
                 let _ = writeln!(out, "{} {}", series(family, "_sum", labels, None), s.sum_ns);
                 let _ = writeln!(out, "{} {}", series(family, "_count", labels, None), s.value);
+            }
+        }
+    }
+    out
+}
+
+/// Render what moved between two scrapes of the same registry — the
+/// payload behind `pitchfork metrics --watch N`. One line per changed
+/// metric, in `cur`'s order:
+///
+/// - counters: `name +delta (rate/s)`;
+/// - gauges: `name value (was old)`;
+/// - histograms: `name +count obs (mean of new = X ns)` from the
+///   count/sum deltas.
+///
+/// Unchanged metrics are skipped, so an idle daemon renders to an
+/// empty string; metrics absent from `prev` (registered between
+/// scrapes) delta against zero. `elapsed_secs` only scales the rate
+/// column.
+pub fn render_delta(prev: &[MetricSnapshot], cur: &[MetricSnapshot], elapsed_secs: f64) -> String {
+    let old: std::collections::BTreeMap<&str, &MetricSnapshot> =
+        prev.iter().map(|s| (s.name.as_str(), s)).collect();
+    let mut out = String::new();
+    for s in cur {
+        let before = old.get(s.name.as_str());
+        let prev_value = before.map_or(0, |p| p.value);
+        match s.kind {
+            MetricKind::Counter => {
+                let delta = s.value.saturating_sub(prev_value);
+                if delta == 0 {
+                    continue;
+                }
+                let rate = if elapsed_secs > 0.0 {
+                    delta as f64 / elapsed_secs
+                } else {
+                    0.0
+                };
+                let _ = writeln!(out, "{} +{delta} ({rate:.1}/s)", s.name);
+            }
+            MetricKind::Gauge => {
+                if before.is_some() && s.value == prev_value {
+                    continue;
+                }
+                let _ = writeln!(out, "{} {} (was {prev_value})", s.name, s.value);
+            }
+            MetricKind::Histogram => {
+                let count = s.value.saturating_sub(prev_value);
+                if count == 0 {
+                    continue;
+                }
+                let sum = s
+                    .sum_ns
+                    .saturating_sub(before.map_or(0, |p| p.sum_ns));
+                let _ = writeln!(
+                    out,
+                    "{} +{count} obs (mean of new = {} ns)",
+                    s.name,
+                    sum / count.max(1),
+                );
             }
         }
     }
@@ -822,6 +890,43 @@ mod tests {
             assert_eq!(bucket_of(upper / 2), i);
             assert_eq!(bucket_of(upper), i + 1);
         }
+    }
+
+    #[test]
+    fn render_delta_shows_only_what_moved() {
+        let snap = |name: &str, kind: MetricKind, value: u64, sum_ns: u64| MetricSnapshot {
+            name: name.to_string(),
+            kind,
+            value,
+            sum_ns,
+            max_ns: 0,
+            max_job: 0,
+            buckets: Vec::new(),
+        };
+        let prev = vec![
+            snap("jobs_total", MetricKind::Counter, 10, 0),
+            snap("idle_total", MetricKind::Counter, 4, 0),
+            snap("queue_depth", MetricKind::Gauge, 3, 0),
+            snap("run_ns", MetricKind::Histogram, 2, 1_000),
+        ];
+        let cur = vec![
+            snap("jobs_total", MetricKind::Counter, 16, 0),
+            snap("idle_total", MetricKind::Counter, 4, 0),
+            snap("queue_depth", MetricKind::Gauge, 3, 0),
+            snap("run_ns", MetricKind::Histogram, 4, 5_000),
+            snap("born_total", MetricKind::Counter, 2, 0),
+        ];
+        let text = render_delta(&prev, &cur, 3.0);
+        assert!(text.contains("jobs_total +6 (2.0/s)"), "{text}");
+        // Untouched counter and gauge render nothing.
+        assert!(!text.contains("idle_total"), "{text}");
+        assert!(!text.contains("queue_depth"), "{text}");
+        // Histogram delta: 2 new observations averaging 2000 ns.
+        assert!(text.contains("run_ns +2 obs (mean of new = 2000 ns)"), "{text}");
+        // A metric born between scrapes deltas against zero.
+        assert!(text.contains("born_total +2"), "{text}");
+        // Nothing moved → empty string.
+        assert_eq!(render_delta(&cur, &cur, 1.0), "");
     }
 
     #[test]
