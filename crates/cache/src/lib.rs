@@ -72,4 +72,7 @@ pub mod snapshot;
 mod store;
 
 pub use snapshot::{HydrateStats, PruneStats, Snapshot, SnapshotError, FORMAT_VERSION};
-pub use store::{load, load_if_exists, save, save_rooted, CacheError, LoadStats, SaveStats};
+pub use store::{
+    load, load_if_exists, load_or_quarantine, quarantine, save, save_rooted, CacheError,
+    DegradedLoad, LoadStats, SaveStats,
+};

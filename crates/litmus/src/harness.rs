@@ -385,6 +385,7 @@ pub fn run_corpus_served(
             threads: 0,
             symbolic: Vec::new(),
             max_states: None,
+            deadline_ms: None,
         };
         let id = client.submit_source(entry.name, entry.source, spec)?;
         pending.push((entry.name.to_string(), id));

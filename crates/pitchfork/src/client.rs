@@ -340,6 +340,28 @@ impl Client {
         }
     }
 
+    /// Health-check the daemon: returns `(in_flight, queued)` job
+    /// counts. Answered on the connection thread with only a brief
+    /// service-lock hold, so a daemon whose job workers are wedged
+    /// still pongs — combine with [`Client::set_read_timeout`] to tell
+    /// a hung daemon (read times out) from a busy one (pong with a
+    /// nonzero queue).
+    pub fn ping(&mut self) -> Result<(u64, u64), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { in_flight, queued } => Ok((in_flight, queued)),
+            _ => Err(ClientError::Unexpected("pong")),
+        }
+    }
+
+    /// Bound every read on this connection: a daemon that accepts but
+    /// never answers surfaces as a `WouldBlock`/`TimedOut` I/O error
+    /// instead of blocking forever. The timeout is set on the
+    /// underlying socket, so it covers the buffered reader too; `None`
+    /// restores blocking reads.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
     /// Service statistics.
     pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
         match self.request(&Request::Stats)? {

@@ -148,6 +148,17 @@ pub struct ExplorerOptions {
     pub stop_path_on_violation: bool,
     /// Stop the whole exploration after this many violations.
     pub max_violations: usize,
+    /// Wall-clock deadline in milliseconds, measured from exploration
+    /// start; `None` (the default) never times out. Enforced
+    /// cooperatively at the same stop points as [`crate::Explorer::
+    /// with_cancel`] cancellation: when the deadline expires the search
+    /// truncates (setting [`crate::ExploreStats::deadline_exceeded`]
+    /// and `truncated`) and reports what it found so far — a timed-out
+    /// clean run is `Unknown`, never a false `Secure`. Deliberately
+    /// *not* part of the incremental-analysis config fingerprint:
+    /// a deadline changes how long the search may run, not what any
+    /// completed analysis means.
+    pub deadline_ms: Option<u64>,
 }
 
 impl ExplorerOptions {
@@ -182,6 +193,7 @@ impl Default for ExplorerOptions {
             max_states: 50_000,
             stop_path_on_violation: true,
             max_violations: 64,
+            deadline_ms: None,
         }
     }
 }
@@ -262,6 +274,15 @@ impl<'p> Explorer<'p> {
         self.cancel
             .as_ref()
             .is_some_and(|c| c.load(std::sync::atomic::Ordering::Acquire))
+    }
+
+    /// The wall-clock cut-off implied by
+    /// [`ExplorerOptions::deadline_ms`], anchored at the instant of
+    /// this call (exploration start); `None` when no deadline is set.
+    pub(crate) fn deadline_from_now(&self) -> Option<Instant> {
+        self.options
+            .deadline_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms))
     }
 
     /// Explore all worst-case schedules from `initial` with a worklist.
@@ -349,11 +370,17 @@ impl<'p> Explorer<'p> {
         let mut frontier = self.options.strategy.frontier();
         frontier.push(initial);
         let mut spilled = false;
+        let deadline = self.deadline_from_now();
         let mut expand_timer = ExpandTimer::start();
         while let Some(state) = frontier.pop() {
+            let deadline_hit = deadline.is_some_and(|d| Instant::now() >= d);
+            if deadline_hit {
+                report.stats.deadline_exceeded = true;
+            }
             if report.stats.states >= self.options.max_states
                 || report.violations.len() >= self.options.max_violations
                 || self.is_cancelled()
+                || deadline_hit
             {
                 report.stats.truncated = true;
                 break;
@@ -406,6 +433,7 @@ impl<'p> Explorer<'p> {
             initials,
             visited,
             base: report,
+            deadline,
         })
     }
 

@@ -82,6 +82,15 @@ pub struct FleetOptions {
     /// jitter, so workers recovering from a shared daemon restart
     /// don't reconnect in lockstep. Reset by any successful entry.
     pub retry_backoff: Duration,
+    /// Per-read socket timeout on every worker connection. A daemon
+    /// that accepts but never answers (wedged accept loop, half-dead
+    /// host) surfaces as a timed-out read — requeued under the normal
+    /// retry budget — instead of blocking its coordinator thread
+    /// forever. Status polls round-trip in milliseconds on a healthy
+    /// daemon whatever the job length, so this only needs to cover
+    /// network latency, not analysis time. `None` disables the bound
+    /// (the pre-timeout behaviour).
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for FleetOptions {
@@ -95,6 +104,7 @@ impl Default for FleetOptions {
             job_timeout: Duration::from_secs(600),
             worker_retry_budget: 8,
             retry_backoff: Duration::from_millis(200),
+            read_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -246,17 +256,33 @@ impl SharedRun<'_> {
     }
 }
 
-/// Connect to `addr`, authenticate, and (on a first connect) ship the
-/// warm-start snapshot.
+/// Connect to `addr`, bound its reads, authenticate, health-check,
+/// and (on a first connect) ship the warm-start snapshot.
 fn prepare_worker(
     shared: &SharedRun<'_>,
     wid: usize,
     addr: &str,
     first: bool,
 ) -> Result<Client, ClientError> {
-    let mut client = Client::connect_addr(addr)?;
+    let client = Client::connect_addr(addr)?;
+    // Bound reads before the first request: a worker that accepts the
+    // connection and then never answers anything must not wedge this
+    // thread on its very first hello.
+    if let Some(timeout) = shared.options.read_timeout {
+        client.set_read_timeout(Some(timeout))?;
+    }
+    let mut client = client;
     if let Some(token) = &shared.options.token {
         client.hello(token.clone())?;
+    }
+    // Heartbeat on reconnect: answered on the daemon's connection
+    // thread, so a pong proves the daemon is alive (maybe busy) rather
+    // than wedged; a read timeout here burns the retry budget. First
+    // connects skip it — their first real request surfaces the same
+    // failures through the budgeted dispatch path, and skipping keeps
+    // the flap-versus-dead distinction visible in the retry counter.
+    if !first {
+        client.ping()?;
     }
     if first {
         if let Some(snapshot) = &shared.options.seed {
@@ -291,11 +317,25 @@ fn worker_loop(shared: &SharedRun<'_>, wid: usize, addr: &str) {
     // resets it).
     let mut spent: u32 = 0;
     let mut streak: u32 = 0;
-    let mut client = match prepare_worker(shared, wid, addr, true) {
-        Ok(c) => c,
-        Err(e) => {
-            shared.say(format!("worker {wid} ({addr}): unreachable ({e})"));
-            return;
+    // First connections burn the same retry budget as mid-run
+    // failures: a daemon that is down (or answers the health ping
+    // with silence) at startup gets bounded, backed-off retries —
+    // not an instant retirement that strands its queue share.
+    let mut client = loop {
+        match prepare_worker(shared, wid, addr, true) {
+            Ok(c) => break c,
+            Err(e) => {
+                shared.say(format!("worker {wid} ({addr}): unreachable ({e})"));
+                spent += 1;
+                streak += 1;
+                if spent >= budget {
+                    shared.say(format!(
+                        "worker {wid} ({addr}): retry budget exhausted ({budget})"
+                    ));
+                    return;
+                }
+                std::thread::sleep(backoff_delay(base, streak, wid, spent));
+            }
         }
     };
     loop {
@@ -505,6 +545,10 @@ mod tests {
         }];
         let options = FleetOptions {
             workers: vec!["/nonexistent/fleet-test.sock".to_string()],
+            // First connects retry under the budget now; keep the
+            // test fast with a tiny budget and backoff.
+            worker_retry_budget: 2,
+            retry_backoff: Duration::from_millis(1),
             ..FleetOptions::default()
         };
         let lines = Mutex::new(Vec::new());
@@ -615,6 +659,52 @@ mod tests {
             "progress missing the budget notice: {lines:?}"
         );
         assert!(report.retries >= 1);
+    }
+
+    #[test]
+    fn silent_worker_times_out_instead_of_hanging() {
+        // A daemon that accepts the connection and then never writes a
+        // byte. Without a read timeout the coordinator thread blocks in
+        // its first read forever; with one, the read errors, the retry
+        // budget burns down, and the run terminates.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            loop {
+                match done_rx.try_recv() {
+                    Ok(()) | Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+                    Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                }
+                if let Ok((stream, _)) = listener.accept() {
+                    held.push(stream); // keep it open, never answer
+                }
+            }
+        });
+        let manifest = [ManifestEntry {
+            name: "a.sasm".to_string(),
+            source: ".entry l\nl:\n    fence\n    ret\n".to_string(),
+        }];
+        let options = FleetOptions {
+            workers: vec![addr.to_string()],
+            max_attempts: u32::MAX,
+            worker_retry_budget: 2,
+            retry_backoff: Duration::from_millis(1),
+            read_timeout: Some(Duration::from_millis(100)),
+            ..FleetOptions::default()
+        };
+        let started = Instant::now();
+        let report = run_fleet(&manifest, &options, |_| {}).unwrap();
+        let _ = done_tx.send(());
+        assert_eq!(report.failed(), 1);
+        // Bounded by (budget) reads of 100 ms plus tiny backoffs — far
+        // under the 600 s job timeout a hang would consume.
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "silent worker stalled the coordinator for {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -287,6 +287,10 @@
 //! | `fleet_dispatch_total{worker="i"}` | counter | coordinator: shards dispatched to worker i |
 //! | `fleet_retry_total{worker="i"}` | counter | coordinator: shard attempts retried off worker i |
 //! | `fleet_shard_ns{worker="i"}` | histogram | coordinator: shard submit → terminal status on worker i |
+//! | `fault_injected_total` | counter | faults fired by the `SCT_FAULTS` injection harness |
+//! | `job_deadline_exceeded_total` | counter | jobs cut off by their per-job wall-clock deadline |
+//! | `journal_replayed_total` | counter | jobs re-submitted from the write-ahead journal on restart |
+//! | `cache_quarantined_total` | counter | corrupt snapshot/baseline files renamed aside to `*.bad` |
 //!
 //! The job-latency histograms (`job_queue_wait_ns`, `job_run_ns`, and
 //! the coordinator's `fleet_shard_ns`) carry an **exemplar**: the job
@@ -322,6 +326,69 @@
 //! a slow subscriber sees *that* it lost mid-run events and exactly
 //! how many — never a silently truncated stream.
 //!
+//! # Robustness & failure model
+//!
+//! Long-lived daemons and multi-machine fleets fail in ways a one-shot
+//! CLI never sees: workers die mid-job, connections stall without
+//! closing, cache files arrive truncated or bit-flipped, and a single
+//! pathological program can pin a worker forever. The failure model is
+//! explicit, and every recovery path preserves the one invariant that
+//! matters: **a verdict that is printed is byte-identical to the
+//! verdict a clean run would have printed** — degradation costs time,
+//! never soundness.
+//!
+//! * **Per-job deadlines.** [`service::JobSpec::deadline_ms`] (CLI
+//!   `--deadline-ms N` on `submit`, `ci-gate`, and `coordinate`) bounds
+//!   a job's wall-clock exploration. Both engines check the deadline
+//!   cooperatively — the serial engine per frontier pop, the parallel
+//!   engine at each budget claim, with the anchor carried across the
+//!   adaptive serial→parallel spill — so an expired job stops at a
+//!   state boundary with its partial [`ExploreStats`]
+//!   (`deadline_exceeded = true` implies `truncated = true`). Its
+//!   status becomes [`service::JobStatus::TimedOut`] and its verdict is
+//!   [`Verdict::Insecure`] if a violation was already found, otherwise
+//!   [`Verdict::Unknown`] — **never** a false `Secure`. The deadline is
+//!   deliberately *excluded* from the incremental fingerprint: it
+//!   bounds how long an answer may take, not what the answer is.
+//! * **Crash-safe job journal.** `--serve --journal PATH` appends a
+//!   write-ahead record per lifecycle edge (`submitted` with the full
+//!   wire submit line, `started`, `finished`) as line-JSON. On restart
+//!   the daemon replays the tail: jobs submitted-but-unfinished are
+//!   re-submitted under fresh ids ([`journal`] reuses
+//!   [`Request::parse`], so a replayed job is literally the original
+//!   submission re-made), torn trailing lines from a mid-write crash
+//!   are skipped, and the journal is compacted to just the live jobs.
+//!   Replay count surfaces as [`ServiceStats::jobs_replayed`] and the
+//!   `journal_replayed_total` counter.
+//! * **Heartbeats and read deadlines.** [`Request::Ping`] answers
+//!   [`Response::Pong`] with queue depth on the connection thread, so a
+//!   pong distinguishes *alive-but-busy* from *wedged*. The coordinator
+//!   bounds every read ([`fleet::FleetOptions::read_timeout`], default
+//!   30 s — status polls round-trip in milliseconds, so this only needs
+//!   to cover network latency, not job runtime) and pings on every
+//!   reconnect; a worker that accepts connections but never answers
+//!   surfaces as a timed-out read and burns the same per-worker retry
+//!   budget as a crash, instead of hanging the run forever.
+//! * **Graceful cache degradation.** A snapshot or baseline that fails
+//!   validation (truncation, bit flips, version skew) is **quarantined**
+//!   — renamed aside to `PATH.bad` ([`sct_cache::quarantine`],
+//!   `cache_quarantined_total`) — with a warning to stderr, and the run
+//!   continues cold. `ci-gate` treats an unreadable baseline directory
+//!   the same way: warn, run the full cold analysis, exit 0/3 on the
+//!   verdicts alone, and promote a fresh baseline over the wreckage.
+//!   Corruption is an operational hiccup, not a CI outage.
+//! * **Deterministic fault injection.** The `sct-faults` crate arms
+//!   seeded fault points — `conn-drop`, `read-stall`, `write-stall`,
+//!   `partial-write`, `snapshot-bit-flip`, `worker-death` — from the
+//!   `SCT_FAULTS` environment variable (e.g.
+//!   `SCT_FAULTS="seed=42,conn-drop=at:3,read-stall=every:5"`), fired
+//!   inside [`transport`], the server accept loop, and `sct-cache` I/O.
+//!   Disarmed (the default) it costs one relaxed atomic load per site.
+//!   The `chaos` test suite and the CI `chaos-smoke` leg drive seeded
+//!   schedules — killed workers, stalled streams, flipped snapshot
+//!   bytes — and assert the merged verdicts stay byte-identical to a
+//!   clean run; `fault_injected_total` counts what actually fired.
+//!
 //! # Compatibility wrappers
 //!
 //! [`Detector`] and [`BatchAnalyzer`], the pre-session entry points,
@@ -355,6 +422,7 @@ pub mod detector;
 pub mod explorer;
 pub mod fleet;
 pub mod incremental;
+pub mod journal;
 pub mod machine;
 pub mod observe;
 pub mod parallel;

@@ -378,6 +378,13 @@ struct Shared<'obs> {
     deduped: AtomicUsize,
     violations: AtomicUsize,
     truncated: AtomicBool,
+    /// Wall-clock cut-off (from
+    /// [`crate::ExplorerOptions::deadline_ms`], anchored at exploration
+    /// start — the adaptive path carries the serial prelude's anchor
+    /// over); `None` never expires.
+    deadline: Option<Instant>,
+    /// Raised by whichever worker observed the deadline expire.
+    deadline_exceeded: AtomicBool,
     /// Approximate total frontier occupancy across workers (event
     /// payloads and the `frontier_peak` stat).
     queued: AtomicUsize,
@@ -446,6 +453,11 @@ pub(crate) struct ParallelSeed {
     /// Stats and violations accumulated before the handover (zeroed
     /// for a fresh run). Counters resume from these values.
     pub(crate) base: Report,
+    /// Wall-clock deadline carried into the pool. For a fresh run this
+    /// anchors at seed construction; the adaptive handover passes the
+    /// serial prelude's anchor so the total budget spans the whole
+    /// exploration, not just the parallel tail.
+    pub(crate) deadline: Option<Instant>,
 }
 
 impl ParallelSeed {
@@ -459,6 +471,7 @@ impl ParallelSeed {
             initials: vec![initial],
             visited,
             base: Report::default(),
+            deadline: explorer.deadline_from_now(),
         }
     }
 }
@@ -477,6 +490,7 @@ pub(crate) fn explore_parallel(
         initials,
         visited,
         base,
+        deadline,
     } = seed;
     if initials.is_empty() {
         let mut report = base;
@@ -512,6 +526,8 @@ pub(crate) fn explore_parallel(
         deduped: AtomicUsize::new(base.stats.deduped),
         violations: AtomicUsize::new(base.violations.len()),
         truncated: AtomicBool::new(false),
+        deadline,
+        deadline_exceeded: AtomicBool::new(false),
         queued: AtomicUsize::new(queued0),
         peak: AtomicUsize::new(base.stats.frontier_peak.max(queued0)),
         steals: AtomicU64::new(0),
@@ -562,6 +578,7 @@ pub(crate) fn explore_parallel(
     report.stats.states = shared.states.load(Ordering::Relaxed);
     report.stats.deduped = shared.deduped.load(Ordering::Relaxed);
     report.stats.truncated |= shared.truncated.load(Ordering::Relaxed);
+    report.stats.deadline_exceeded |= shared.deadline_exceeded.load(Ordering::Relaxed);
     report.stats.frontier_peak = shared.peak.load(Ordering::Relaxed);
     report.stats.steals += shared.steals.load(Ordering::Relaxed) as usize;
     report.stats.steal_fails += shared.steal_fails.load(Ordering::Relaxed) as usize;
@@ -650,9 +667,14 @@ fn worker(explorer: &Explorer<'_>, shared: &Shared<'_>, threads: usize) -> Repor
         // ----- claim an expansion slot against the budgets -----
         let states_now = loop {
             let expanded = shared.states.load(Ordering::Relaxed);
+            let deadline_hit = shared.deadline.is_some_and(|d| Instant::now() >= d);
+            if deadline_hit {
+                shared.deadline_exceeded.store(true, Ordering::Relaxed);
+            }
             if expanded >= options.max_states
                 || shared.violations.load(Ordering::Relaxed) >= options.max_violations
                 || explorer.is_cancelled()
+                || deadline_hit
             {
                 shared.truncated.store(true, Ordering::Relaxed);
                 shared.stop_all();

@@ -473,7 +473,7 @@ pub struct ProtocolError {
 }
 
 impl ProtocolError {
-    fn new(message: impl Into<String>) -> ProtocolError {
+    pub(crate) fn new(message: impl Into<String>) -> ProtocolError {
         ProtocolError {
             message: message.into(),
         }
@@ -564,6 +564,12 @@ pub enum Request {
         /// Resume cursor (0 = from the beginning).
         since: u64,
     },
+    /// Liveness probe: answered immediately with [`Response::Pong`]
+    /// without touching the job queue. Coordinators use it to tell a
+    /// hung worker (accepts connections, never answers) from a merely
+    /// busy one — the reply happens on the connection thread, so a
+    /// daemon whose workers are wedged still answers.
+    Ping,
     /// Ask for service statistics.
     Stats,
     /// Ask for the full telemetry snapshot: service statistics plus
@@ -615,6 +621,7 @@ impl Request {
                 ("id".into(), Json::Int(*id as i128)),
                 ("since".into(), Json::Int(*since as i128)),
             ]),
+            Request::Ping => Json::Obj(vec![("req".into(), Json::Str("ping".into()))]),
             Request::Stats => Json::Obj(vec![("req".into(), Json::Str("stats".into()))]),
             Request::Metrics => Json::Obj(vec![("req".into(), Json::Str("metrics".into()))]),
             Request::Retire => Json::Obj(vec![("req".into(), Json::Str("retire".into()))]),
@@ -674,6 +681,8 @@ impl Request {
                     // Absent (pre-v5 clients) inherits the daemon's
                     // state budget.
                     max_states: json.opt_u64_field("max_states")?.map(|n| n as usize),
+                    // Absent (pre-deadline clients) means no cut-off.
+                    deadline_ms: json.opt_u64_field("deadline_ms")?,
                     symbolic,
                 };
                 match json.get("baseline") {
@@ -693,6 +702,7 @@ impl Request {
                 id: json.u64_field("id")?,
                 since: json.u64_field("since")?,
             }),
+            "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "retire" => Ok(Request::Retire),
@@ -720,6 +730,9 @@ fn submit_fields(name: &str, source: &str, spec: &JobSpec) -> Vec<(String, Json)
     }
     if let Some(ms) = spec.max_states {
         fields.push(("max_states".into(), Json::Int(ms as i128)));
+    }
+    if let Some(ms) = spec.deadline_ms {
+        fields.push(("deadline_ms".into(), Json::Int(ms as i128)));
     }
     if !spec.symbolic.is_empty() {
         fields.push((
@@ -866,6 +879,14 @@ pub enum Response {
         /// Solver verdicts imported into the memo.
         verdicts: u64,
     },
+    /// The daemon is alive (the answer to [`Request::Ping`]), with a
+    /// coarse load signal.
+    Pong {
+        /// Jobs currently executing.
+        in_flight: u64,
+        /// Jobs waiting in the queue.
+        queued: u64,
+    },
     /// The request could not be served (parse failure, unknown job,
     /// internal error). The connection stays usable.
     Error {
@@ -953,6 +974,7 @@ fn explore_stats_to_json(s: &ExploreStats) -> Json {
             Json::Int(s.local_cache_hits as i128),
         ),
         ("truncated".into(), Json::Bool(s.truncated)),
+        ("deadline_exceeded".into(), Json::Bool(s.deadline_exceeded)),
     ])
 }
 
@@ -989,6 +1011,8 @@ fn explore_stats_from_json(json: &Json) -> Result<ExploreStats, ProtocolError> {
         steal_fails: json.opt_u64_field("steal_fails")?.unwrap_or(0) as usize,
         local_cache_hits: json.opt_u64_field("local_cache_hits")?.unwrap_or(0) as usize,
         truncated: json.bool_field("truncated")?,
+        // Post-deadline wire format: absent from older daemons.
+        deadline_exceeded: matches!(json.get("deadline_exceeded"), Some(Json::Bool(true))),
     })
 }
 
@@ -1134,6 +1158,11 @@ const SERVICE_STAT_FIELDS_V5: [&str; 4] = [
     "seed_verdicts_imported",
 ];
 
+/// Fields added with the robustness work — per-job deadlines and the
+/// daemon's write-ahead job journal (parse defaults to 0, same
+/// tolerance as the v2–v5 sets).
+const SERVICE_STAT_FIELDS_V6: [&str; 2] = ["jobs_timed_out", "jobs_replayed"];
+
 fn service_stats_values(s: &ServiceStats) -> [u64; 16] {
     [
         s.jobs_submitted,
@@ -1189,6 +1218,12 @@ fn service_stats_to_json(s: &ServiceStats) -> Json {
     ]) {
         fields.push(((*k).to_string(), Json::Int(v as i128)));
     }
+    for (k, v) in SERVICE_STAT_FIELDS_V6
+        .iter()
+        .zip([s.jobs_timed_out, s.jobs_replayed])
+    {
+        fields.push(((*k).to_string(), Json::Int(v as i128)));
+    }
     Json::Obj(fields)
 }
 
@@ -1211,6 +1246,10 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
     }
     let mut v5 = [0u64; 4];
     for (slot, key) in v5.iter_mut().zip(SERVICE_STAT_FIELDS_V5) {
+        *slot = json.opt_u64_field(key)?.unwrap_or(0);
+    }
+    let mut v6 = [0u64; 2];
+    for (slot, key) in v6.iter_mut().zip(SERVICE_STAT_FIELDS_V6) {
         *slot = json.opt_u64_field(key)?.unwrap_or(0);
     }
     Ok(ServiceStats {
@@ -1244,6 +1283,8 @@ fn service_stats_from_json(json: &Json) -> Result<ServiceStats, ProtocolError> {
         budget_clamped_jobs: v5[1],
         seed_nodes_added: v5[2],
         seed_verdicts_imported: v5[3],
+        jobs_timed_out: v6[0],
+        jobs_replayed: v6[1],
     })
 }
 
@@ -1385,6 +1426,11 @@ impl Response {
                 ("nodes".into(), Json::Int(*nodes as i128)),
                 ("verdicts".into(), Json::Int(*verdicts as i128)),
             ]),
+            Response::Pong { in_flight, queued } => Json::Obj(vec![
+                ("resp".into(), Json::Str("pong".into())),
+                ("in_flight".into(), Json::Int(*in_flight as i128)),
+                ("queued".into(), Json::Int(*queued as i128)),
+            ]),
             Response::Error { message } => Json::Obj(vec![
                 ("resp".into(), Json::Str("error".into())),
                 ("message".into(), Json::Str(message.clone())),
@@ -1476,6 +1522,10 @@ impl Response {
                 nodes: json.u64_field("nodes")?,
                 verdicts: json.u64_field("verdicts")?,
             }),
+            "pong" => Ok(Response::Pong {
+                in_flight: json.u64_field("in_flight")?,
+                queued: json.u64_field("queued")?,
+            }),
             "error" => Ok(Response::Error {
                 message: json.str_field("message")?.to_string(),
             }),
@@ -1504,10 +1554,12 @@ mod tests {
                     strategy: Some(StrategyKind::DeepestRob),
                     threads: 4,
                     max_states: Some(10_000),
+                    deadline_ms: Some(2_500),
                     symbolic: vec![sct_core::reg::names::RA],
                 },
             },
             Request::Cancel { id: 7 },
+            Request::Ping,
             Request::Seed {
                 chunk: "53435443".into(),
                 last: true,
@@ -1527,6 +1579,7 @@ mod tests {
                     strategy: Some(StrategyKind::Fifo),
                     threads: 0,
                     max_states: Some(50_000),
+                    deadline_ms: None,
                     symbolic: vec![sct_core::reg::names::RA],
                 },
                 baseline: JobBaseline {
@@ -1560,6 +1613,7 @@ mod tests {
                 strategy: None,
                 threads: 0,
                 max_states: None,
+                deadline_ms: None,
                 symbolic: vec![],
             },
             baseline: JobBaseline {
@@ -1622,9 +1676,28 @@ mod tests {
                 elapsed_ms: Some(12),
                 clamped_states: Some(50_000),
             },
+            Response::Verdicts {
+                id: 11,
+                status: JobStatus::TimedOut,
+                verdict: Some(Verdict::Unknown { explored: 900 }),
+                stats: Some(ExploreStats {
+                    states: 900,
+                    truncated: true,
+                    deadline_exceeded: true,
+                    ..ExploreStats::default()
+                }),
+                violations: vec![],
+                error: None,
+                elapsed_ms: Some(2_501),
+                clamped_states: None,
+            },
             Response::Seeded {
                 nodes: 1_200,
                 verdicts: 87,
+            },
+            Response::Pong {
+                in_flight: 2,
+                queued: 5,
             },
             Response::EventBatch {
                 id: 3,

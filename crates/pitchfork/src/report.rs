@@ -152,6 +152,12 @@ pub struct ExploreStats {
     pub local_cache_hits: usize,
     /// `true` when exploration hit the state budget and stopped early.
     pub truncated: bool,
+    /// `true` when exploration stopped because the wall-clock deadline
+    /// ([`crate::ExplorerOptions::deadline_ms`]) expired. Implies
+    /// [`ExploreStats::truncated`]: an expired deadline truncates the
+    /// search, so a clean (violation-free) run still reports
+    /// [`Verdict::Unknown`], never a false `Secure`.
+    pub deadline_exceeded: bool,
 }
 
 impl Default for ExploreStats {
@@ -176,6 +182,7 @@ impl Default for ExploreStats {
             steal_fails: 0,
             local_cache_hits: 0,
             truncated: false,
+            deadline_exceeded: false,
         }
     }
 }

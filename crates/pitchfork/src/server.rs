@@ -30,6 +30,7 @@
 //! server.wait(); // serves until a Shutdown request arrives
 //! ```
 
+use crate::journal::Journal;
 use crate::protocol::{Request, Response, WireViolation};
 use crate::service::{JobId, JobStatus, ServiceMonitor, SessionService};
 use crate::transport::{Endpoint, Listener, Stream};
@@ -59,6 +60,13 @@ pub struct ServerOptions {
     /// past the quota get `Response::Error` and the connection stays
     /// usable for status/event reads.
     pub max_jobs_per_client: u64,
+    /// Write-ahead job journal path (`--serve --journal PATH`). When
+    /// set, every submission is journaled before it is acknowledged,
+    /// and binding replays the previous life's unfinished jobs: queued
+    /// jobs re-enter the queue and interrupted jobs re-run from their
+    /// original submit lines. `None` (the default) keeps the pre-journal
+    /// in-memory-only behavior.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 struct Shared {
@@ -67,11 +75,28 @@ struct Shared {
     shutdown: AtomicBool,
     monitor: ServiceMonitor,
     options: ServerOptions,
+    /// Write-ahead job journal (see [`ServerOptions::journal`]).
+    /// Locked independently of the service so appends never extend a
+    /// job-execution critical section. A failed append is logged and
+    /// the daemon continues — durability degrades, service does not.
+    journal: Option<Mutex<Journal>>,
 }
 
 impl Shared {
     fn lock(&self) -> std::sync::MutexGuard<'_, SessionService> {
         self.service.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Append one journal record through `f`; errors are reported to
+    /// stderr, never propagated (a full disk must not take down the
+    /// analysis service).
+    fn journal_append(&self, f: impl FnOnce(&mut Journal) -> std::io::Result<()>) {
+        if let Some(journal) = &self.journal {
+            let mut journal = journal.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = f(&mut journal) {
+                eprintln!("journal: append failed ({}): {e}", journal.path().display());
+            }
+        }
     }
 }
 
@@ -127,11 +152,46 @@ impl Server {
         job_workers: usize,
         options: ServerOptions,
     ) -> std::io::Result<Server> {
+        let mut service = service;
         let listener = Listener::bind(endpoint)?;
         // Non-blocking accept: the loop polls the shutdown flag between
         // attempts, so `Shutdown` works without a wake-up connection.
         listener.set_nonblocking(true)?;
         let local = listener.local_display().unwrap_or_else(|| endpoint.display());
+        // Journal recovery happens before the first connection can
+        // race a submission: unfinished jobs from the previous daemon
+        // life re-enter the queue (fresh ids), and the journal is
+        // rewritten compacted with just their records.
+        let journal = match &options.journal {
+            None => None,
+            Some(path) => {
+                let replay = Journal::replay(path)?;
+                let mut journal = Journal::create(path)?;
+                let replayed = replay.len() as u64;
+                for job in replay {
+                    let line = replay_submit_line(&job);
+                    let id = match job.baseline {
+                        Some(b) => {
+                            service.submit_source_with_baseline(job.name, &job.source, job.spec, b)
+                        }
+                        None => service.submit_source(job.name, &job.source, job.spec),
+                    };
+                    eprintln!(
+                        "journal: replaying job {} as {} ({})",
+                        job.old_id,
+                        id.as_u64(),
+                        if job.interrupted { "interrupted" } else { "queued" },
+                    );
+                    if let Err(e) = journal.submitted(id.as_u64(), &line) {
+                        eprintln!("journal: append failed ({}): {e}", path.display());
+                    }
+                }
+                if replayed > 0 {
+                    service.note_replayed(replayed);
+                }
+                Some(Mutex::new(journal))
+            }
+        };
         let monitor = service.monitor();
         let shared = Arc::new(Shared {
             service: Mutex::new(service),
@@ -139,6 +199,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             monitor,
             options,
+            journal,
         });
 
         let workers = (0..job_workers.max(1))
@@ -198,6 +259,26 @@ impl Server {
     }
 }
 
+/// Rebuild the wire submit line for a replayed job (what gets
+/// journaled under its fresh id).
+fn replay_submit_line(job: &crate::journal::ReplayJob) -> String {
+    match &job.baseline {
+        Some(b) => Request::SubmitDiff {
+            name: job.name.clone(),
+            source: job.source.clone(),
+            spec: job.spec.clone(),
+            baseline: b.clone(),
+        }
+        .to_line(),
+        None => Request::Submit {
+            name: job.name.clone(),
+            source: job.source.clone(),
+            spec: job.spec.clone(),
+        }
+        .to_line(),
+    }
+}
+
 /// One job worker: pop a prepared job under the service lock, run it
 /// with no lock held, publish the result. On shutdown the pool drains
 /// the queue (and waits out jobs running on sibling workers) before
@@ -207,8 +288,27 @@ fn worker_loop(shared: &Shared) {
         let prepared = shared.lock().begin_next();
         match prepared {
             Some(job) => {
+                let id = job.id().as_u64();
+                shared.journal_append(|j| j.started(id));
+                // The `worker-death` fault point kills the whole
+                // process at the most damaging instant — a job
+                // journaled `started` but not `finished` — which is
+                // exactly what the journal's replay contract covers.
+                if sct_faults::enabled()
+                    && sct_faults::should_fire(sct_faults::FaultPoint::WorkerDeath)
+                {
+                    eprintln!("sct-faults: injected worker death (job {id})");
+                    std::process::abort();
+                }
                 let finished = job.run();
-                shared.lock().finish(finished);
+                let mut service = shared.lock();
+                service.finish(finished);
+                drop(service);
+                let status = shared
+                    .monitor
+                    .status(JobId::from_u64(id))
+                    .unwrap_or(JobStatus::Done);
+                shared.journal_append(|j| j.finished(id, status.name()));
                 // Wake sibling workers (the queue may hold more) and
                 // event streamers waiting on terminal status.
                 shared.work.notify_all();
@@ -392,10 +492,21 @@ fn handle_connection(stream: Stream, shared: &Arc<Shared>) -> std::io::Result<()
                     continue;
                 }
                 submitted += 1;
+                let journal_line = shared.journal.is_some().then(|| {
+                    Request::Submit {
+                        name: name.clone(),
+                        source: source.clone(),
+                        spec: spec.clone(),
+                    }
+                    .to_line()
+                });
                 let id = {
                     let mut service = shared.lock();
                     service.submit_source(name, &source, spec)
                 };
+                if let Some(line) = journal_line {
+                    shared.journal_append(|j| j.submitted(id.as_u64(), &line));
+                }
                 shared.work.notify_all();
                 write_line(&mut writer, &Response::Accepted { id: id.as_u64() })?;
             }
@@ -416,10 +527,22 @@ fn handle_connection(stream: Stream, shared: &Arc<Shared>) -> std::io::Result<()
                     continue;
                 }
                 submitted += 1;
+                let journal_line = shared.journal.is_some().then(|| {
+                    Request::SubmitDiff {
+                        name: name.clone(),
+                        source: source.clone(),
+                        spec: spec.clone(),
+                        baseline: baseline.clone(),
+                    }
+                    .to_line()
+                });
                 let id = {
                     let mut service = shared.lock();
                     service.submit_source_with_baseline(name, &source, spec, baseline)
                 };
+                if let Some(line) = journal_line {
+                    shared.journal_append(|j| j.submitted(id.as_u64(), &line));
+                }
                 shared.work.notify_all();
                 write_line(&mut writer, &Response::Accepted { id: id.as_u64() })?;
             }
@@ -447,6 +570,18 @@ fn handle_connection(stream: Stream, shared: &Arc<Shared>) -> std::io::Result<()
             }
             Request::Events { id, since } => {
                 stream_events(&mut writer, shared, id, since)?;
+            }
+            Request::Ping => {
+                // Answered on the connection thread with only a brief
+                // service-lock hold, so a daemon whose job workers are
+                // wedged still pongs — the coordinator's idle-stream
+                // timeout, not this probe, is what catches a hung
+                // *connection*.
+                let (in_flight, queued) = {
+                    let service = shared.lock();
+                    (service.in_flight() as u64, service.queue_len() as u64)
+                };
+                write_line(&mut writer, &Response::Pong { in_flight, queued })?;
             }
             Request::Stats => {
                 let stats = shared.lock().stats();

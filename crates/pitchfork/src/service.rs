@@ -89,11 +89,15 @@ pub enum JobStatus {
     /// before running, or stopped cooperatively mid-exploration (the
     /// record then holds the truncated partial report).
     Cancelled,
+    /// The job's wall-clock deadline ([`JobSpec::deadline_ms`]) expired
+    /// mid-exploration; the record holds the truncated partial report
+    /// (verdict `Unknown` unless violations were already found).
+    TimedOut,
 }
 
 impl JobStatus {
     /// The stable wire name (`queued`, `running`, `done`, `failed`,
-    /// `cancelled`).
+    /// `cancelled`, `timed-out`).
     pub fn name(self) -> &'static str {
         match self {
             JobStatus::Queued => "queued",
@@ -101,6 +105,7 @@ impl JobStatus {
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed-out",
         }
     }
 
@@ -112,6 +117,7 @@ impl JobStatus {
             JobStatus::Done,
             JobStatus::Failed,
             JobStatus::Cancelled,
+            JobStatus::TimedOut,
         ]
         .into_iter()
         .find(|s| s.name() == name)
@@ -121,7 +127,7 @@ impl JobStatus {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled | JobStatus::TimedOut
         )
     }
 }
@@ -202,6 +208,12 @@ pub struct JobSpec {
     /// and the clamp is surfaced on the job's record rather than
     /// applied silently.
     pub max_states: Option<usize>,
+    /// Per-job wall-clock deadline in milliseconds, measured from the
+    /// moment exploration starts (queue wait does not count). `None`
+    /// never times out. Enforced cooperatively at the engines' stop
+    /// points; an expired job lands in [`JobStatus::TimedOut`] with
+    /// its truncated partial report.
+    pub deadline_ms: Option<u64>,
     /// Registers replaced by fresh symbolic inputs.
     pub symbolic: Vec<Reg>,
 }
@@ -459,6 +471,12 @@ pub struct ServiceStats {
     pub seed_nodes_added: u64,
     /// Solver verdicts imported by `Seed` snapshot imports.
     pub seed_verdicts_imported: u64,
+    /// Jobs whose wall-clock deadline ([`JobSpec::deadline_ms`])
+    /// expired mid-exploration.
+    pub jobs_timed_out: u64,
+    /// Jobs re-submitted from the write-ahead journal on daemon
+    /// restart (see `--journal`).
+    pub jobs_replayed: u64,
 }
 
 /// Cap on retained events per job: one event per expanded state adds
@@ -657,22 +675,22 @@ impl ServiceMonitor {
         }
     }
 
-    fn finish(&self, id: JobId, report: Report, cancelled: bool) {
+    fn finish(&self, id: JobId, report: Report, status: JobStatus) {
         let mut inner = self.lock();
         let MonitorInner { jobs, trace, .. } = &mut *inner;
         if let Some(j) = jobs.get_mut(&id.as_u64()) {
-            j.status = if cancelled {
-                JobStatus::Cancelled
-            } else {
-                JobStatus::Done
-            };
+            j.status = status;
             j.elapsed_ms = j
                 .elapsed_ms
                 .or_else(|| j.started_at.map(|t| t.elapsed().as_millis() as u64));
             if let Some(t) = trace {
                 t.record(
                     Some(id.as_u64()),
-                    if cancelled { "job_cancelled" } else { "job_done" },
+                    match status {
+                        JobStatus::Cancelled => "job_cancelled",
+                        JobStatus::TimedOut => "job_timed_out",
+                        _ => "job_done",
+                    },
                     &[
                         ("states", TraceValue::U64(report.stats.states as u64)),
                         ("flagged", TraceValue::Bool(report.has_violations())),
@@ -964,11 +982,13 @@ impl PreparedJob {
         // scrape right after the job sees them (parallel explorations
         // already publish per worker at join).
         sct_symx::flush_thread_telemetry();
+        let timed_out = report.stats.deadline_exceeded;
         FinishedJob {
             id: self.id,
             name: self.name,
             report,
             cancelled: self.cancel.load(Ordering::Acquire),
+            timed_out,
             queue_wait_ns: self.queue_wait_ns,
             run_ns: sct_telemetry::saturating_ns(started.elapsed()),
         }
@@ -985,6 +1005,10 @@ pub struct FinishedJob {
     /// the record turns [`JobStatus::Cancelled`] with the truncated
     /// partial report attached.
     cancelled: bool,
+    /// The job's wall-clock deadline expired mid-run: the record turns
+    /// [`JobStatus::TimedOut`] with the truncated partial report
+    /// attached (an explicit `Cancel` wins when both raced).
+    timed_out: bool,
     queue_wait_ns: u64,
     run_ns: u64,
 }
@@ -1056,6 +1080,10 @@ pub struct SessionService {
     /// [`SessionService::note_seed`].
     seed_nodes_added: u64,
     seed_verdicts_imported: u64,
+    /// Jobs whose wall-clock deadline expired mid-run.
+    jobs_timed_out: u64,
+    /// Jobs re-submitted from the write-ahead journal on restart.
+    jobs_replayed: u64,
 }
 
 impl SessionService {
@@ -1095,6 +1123,8 @@ impl SessionService {
             budget_clamped_jobs: 0,
             seed_nodes_added: 0,
             seed_verdicts_imported: 0,
+            jobs_timed_out: 0,
+            jobs_replayed: 0,
         }
     }
 
@@ -1104,6 +1134,23 @@ impl SessionService {
     pub fn note_seed(&mut self, nodes: u64, verdicts: u64) {
         self.seed_nodes_added += nodes;
         self.seed_verdicts_imported += verdicts;
+    }
+
+    /// Count one deadline expiry (stats counter + telemetry family).
+    fn note_timeout(&mut self) {
+        self.jobs_timed_out += 1;
+        if sct_telemetry::enabled() {
+            sct_telemetry::counter(sct_telemetry::names::JOB_DEADLINE_EXCEEDED).inc();
+        }
+    }
+
+    /// Count jobs re-submitted from the daemon's write-ahead journal
+    /// on restart (reported by [`crate::server`] after replay).
+    pub fn note_replayed(&mut self, jobs: u64) {
+        self.jobs_replayed += jobs;
+        if sct_telemetry::enabled() {
+            sct_telemetry::counter(sct_telemetry::names::JOURNAL_REPLAYED).add(jobs);
+        }
     }
 
     /// Roll one finished job's latencies into the service totals and —
@@ -1142,7 +1189,7 @@ impl SessionService {
                 states: report.stats.states,
             },
         );
-        self.monitor.finish(id, report, false);
+        self.monitor.finish(id, report, JobStatus::Done);
     }
 
     /// Roll one finished job's work-stealing counters into the
@@ -1287,6 +1334,7 @@ impl SessionService {
         let mut options = job.spec.mode.options(bound);
         options.explorer.max_states =
             self.resolve_state_budget(id, job.spec.max_states, saved_options.explorer.max_states);
+        options.explorer.deadline_ms = job.spec.deadline_ms;
         self.session.set_options(options);
         if let Some(s) = job.spec.strategy {
             self.session.set_strategy(s);
@@ -1326,7 +1374,12 @@ impl SessionService {
         self.session.set_strategy(saved_options.explorer.strategy);
         self.session.set_parallelism(saved_options.explorer.threads);
 
-        self.jobs_done += 1;
+        let timed_out = report.stats.deadline_exceeded;
+        if timed_out {
+            self.note_timeout();
+        } else {
+            self.jobs_done += 1;
+        }
         self.jobs_since_retire += 1;
         self.absorb_job_stats(&report.stats);
         self.note_job_timing(
@@ -1361,7 +1414,15 @@ impl SessionService {
             states: report.stats.states,
         });
         self.monitor.set_current(None);
-        self.monitor.finish(id, report, false);
+        self.monitor.finish(
+            id,
+            report,
+            if timed_out {
+                JobStatus::TimedOut
+            } else {
+                JobStatus::Done
+            },
+        );
         Some(id)
     }
 
@@ -1436,6 +1497,7 @@ impl SessionService {
             };
             options.explorer.max_states =
                 self.resolve_state_budget(id, job.spec.max_states, defaults.explorer.max_states);
+            options.explorer.deadline_ms = job.spec.deadline_ms;
             // Baseline replay (see `run_next`): a matching fingerprint
             // finalizes the job here — it never becomes a prepared job
             // or counts toward the in-flight retirement deferral.
@@ -1477,11 +1539,18 @@ impl SessionService {
     /// is in flight — any due (or deferred) epoch retirement.
     pub fn finish(&mut self, done: FinishedJob) {
         self.in_flight = self.in_flight.saturating_sub(1);
-        if done.cancelled {
+        // An explicit `Cancel` wins over a deadline expiry when both
+        // raced: the client asked for the stop it observed.
+        let status = if done.cancelled {
             self.jobs_cancelled += 1;
+            JobStatus::Cancelled
+        } else if done.timed_out {
+            self.note_timeout();
+            JobStatus::TimedOut
         } else {
             self.jobs_done += 1;
-        }
+            JobStatus::Done
+        };
         self.jobs_since_retire += 1;
         self.absorb_job_stats(&done.report.stats);
         self.note_job_timing(done.id, done.queue_wait_ns, done.run_ns);
@@ -1508,7 +1577,7 @@ impl SessionService {
                 states: done.report.stats.states,
             },
         );
-        self.monitor.finish(done.id, done.report, done.cancelled);
+        self.monitor.finish(done.id, done.report, status);
     }
 
     /// Drain the queue on `workers` concurrent job threads (each job
@@ -1621,6 +1690,8 @@ impl SessionService {
             budget_clamped_jobs: self.budget_clamped_jobs,
             seed_nodes_added: self.seed_nodes_added,
             seed_verdicts_imported: self.seed_verdicts_imported,
+            jobs_timed_out: self.jobs_timed_out,
+            jobs_replayed: self.jobs_replayed,
         }
     }
 }
@@ -1802,6 +1873,7 @@ mod tests {
             strategy: Some(StrategyKind::Fifo),
             threads: 0,
             max_states: None,
+            deadline_ms: None,
             symbolic: vec![],
         };
         let id = svc.submit(Job::with_spec("fig1-v4", p, cfg, spec));

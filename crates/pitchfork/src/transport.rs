@@ -143,10 +143,45 @@ impl Stream {
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
         }
     }
+
+    /// Bound every read on this connection to `timeout` (`None` blocks
+    /// forever again). The option is socket-level, so it also governs
+    /// reads through handles from [`Stream::try_clone`] — set it once
+    /// on either half of a split reader/writer pair. A timed-out read
+    /// fails with `WouldBlock`/`TimedOut`, which callers treat as a
+    /// dead peer.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// The `conn-drop` / stall fault points guarding one I/O op:
+    /// `Some(err)` aborts the op with a simulated peer reset, stalls
+    /// sleep in place first. Disarmed injector: one relaxed load.
+    fn faults(&self, stall_point: sct_faults::FaultPoint) -> Option<io::Error> {
+        if !sct_faults::enabled() {
+            return None;
+        }
+        if sct_faults::should_fire(stall_point) {
+            std::thread::sleep(sct_faults::stall());
+        }
+        if sct_faults::should_fire(sct_faults::FaultPoint::ConnDrop) {
+            return Some(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected connection drop (sct-faults)",
+            ));
+        }
+        None
+    }
 }
 
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(e) = self.faults(sct_faults::FaultPoint::ReadStall) {
+            return Err(e);
+        }
         match self {
             Stream::Unix(s) => s.read(buf),
             Stream::Tcp(s) => s.read(buf),
@@ -156,6 +191,9 @@ impl Read for Stream {
 
 impl Write for Stream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(e) = self.faults(sct_faults::FaultPoint::WriteStall) {
+            return Err(e);
+        }
         match self {
             Stream::Unix(s) => s.write(buf),
             Stream::Tcp(s) => s.write(buf),

@@ -47,11 +47,12 @@ fn random_spec(rng: &mut SmallRng) -> JobSpec {
         threads: if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..16) },
         symbolic: (0..rng.gen_range(0..3)).map(|i| regs[i]).collect(),
         max_states: rng.gen_bool(0.5).then(|| rng.gen_range(1..10_000_000)),
+        deadline_ms: rng.gen_bool(0.5).then(|| rng.gen_range(1..3_600_000)),
     }
 }
 
 fn random_request(rng: &mut SmallRng) -> Request {
-    match rng.gen_range(0..10) {
+    match rng.gen_range(0..11) {
         0 => Request::Submit {
             name: random_string(rng),
             source: random_string(rng),
@@ -69,6 +70,7 @@ fn random_request(rng: &mut SmallRng) -> Request {
             token: random_string(rng),
         },
         7 => Request::Cancel { id: rng.gen() },
+        9 => Request::Ping,
         8 => Request::Seed {
             chunk: pitchfork::protocol::hex_encode(
                 &(0..rng.gen_range(0..64))
@@ -114,6 +116,7 @@ fn random_explore_stats(rng: &mut SmallRng) -> ExploreStats {
         steal_fails: rng.gen_range(0..100_000),
         local_cache_hits: rng.gen_range(0..10_000_000),
         truncated: rng.gen_bool(0.5),
+        deadline_exceeded: rng.gen_bool(0.5),
     }
 }
 
@@ -183,6 +186,8 @@ fn random_service_stats(rng: &mut SmallRng) -> ServiceStats {
         budget_clamped_jobs: rng.gen(),
         seed_nodes_added: rng.gen(),
         seed_verdicts_imported: rng.gen(),
+        jobs_timed_out: rng.gen(),
+        jobs_replayed: rng.gen(),
     }
 }
 
@@ -232,7 +237,7 @@ fn random_metric(rng: &mut SmallRng) -> sct_telemetry::MetricSnapshot {
 }
 
 fn random_response(rng: &mut SmallRng) -> Response {
-    match rng.gen_range(0..7) {
+    match rng.gen_range(0..8) {
         0 => Response::Accepted { id: rng.gen() },
         1 => {
             let statuses = [
@@ -241,6 +246,7 @@ fn random_response(rng: &mut SmallRng) -> Response {
                 JobStatus::Done,
                 JobStatus::Failed,
                 JobStatus::Cancelled,
+                JobStatus::TimedOut,
             ];
             Response::Verdicts {
                 id: rng.gen(),
@@ -272,6 +278,10 @@ fn random_response(rng: &mut SmallRng) -> Response {
         5 => Response::Seeded {
             nodes: rng.gen(),
             verdicts: rng.gen(),
+        },
+        6 => Response::Pong {
+            in_flight: rng.gen(),
+            queued: rng.gen(),
         },
         _ => Response::Error {
             message: random_string(rng),

@@ -370,6 +370,7 @@ fn tcp_daemon_authenticates_and_enforces_quota() {
     let server = serve_tcp(ServerOptions {
         token: Some("sesame".to_string()),
         max_jobs_per_client: 2,
+        ..ServerOptions::default()
     });
     let addr = server.local_addr().to_string();
     let source = fig1_source();
@@ -494,6 +495,7 @@ fn coordinator_merges_fleet_verdicts_byte_identically() {
     let options = ServerOptions {
         token: Some("fleet".to_string()),
         max_jobs_per_client: 0,
+        ..ServerOptions::default()
     };
     let s1 = serve_tcp(options.clone());
     let s2 = serve_tcp(options);

@@ -572,6 +572,18 @@ pub mod names {
     /// Arena nodes dropped by reachability pruning when a baseline
     /// snapshot was persisted.
     pub const INCR_PRUNE_NODES: &str = "incr_prune_nodes";
+    /// Faults the `sct-faults` injector has fired (all points summed;
+    /// zero in any run without an armed `SCT_FAULTS` plan).
+    pub const FAULT_INJECTED: &str = "fault_injected_total";
+    /// Jobs stopped by their per-job wall-clock deadline
+    /// (`--deadline-ms`), ending as `timed-out`.
+    pub const JOB_DEADLINE_EXCEEDED: &str = "job_deadline_exceeded_total";
+    /// Jobs re-submitted from the write-ahead journal on daemon
+    /// restart (`--serve --journal PATH`).
+    pub const JOURNAL_REPLAYED: &str = "journal_replayed_total";
+    /// Corrupt cache snapshots / baselines quarantined with a `.bad`
+    /// rename and degraded to a cold start.
+    pub const CACHE_QUARANTINED: &str = "cache_quarantined_total";
 
     /// Nanoseconds worker `i` spent expanding states.
     pub fn worker_busy(i: usize) -> String {
